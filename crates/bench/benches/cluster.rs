@@ -1,0 +1,32 @@
+//! End-to-end simulator throughput: simulated requests per wall second
+//! for a short tm run under PARD.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pard_bench::{experiment_config, run_system, Workload};
+use pard_core::PardConfig;
+use pard_pipeline::AppKind;
+use pard_policies::SystemKind;
+use pard_workload::{constant, TraceKind};
+use std::hint::black_box;
+
+fn bench_cluster(c: &mut Criterion) {
+    let workload = Workload {
+        app: AppKind::Tm,
+        trace: TraceKind::Tweet,
+    };
+    let trace = constant(200.0, 10);
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("tm_10s_at_200rps", |b| {
+        b.iter(|| {
+            let config = experiment_config(7).with_pard(PardConfig::default().with_mc_draws(1_000));
+            let result = run_system(workload, SystemKind::Pard, &trace, config);
+            black_box(result.log.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

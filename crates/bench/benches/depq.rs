@@ -1,0 +1,48 @@
+//! DEPQ microbenchmarks (§5.4: `put()`/`get()` are `O(log n)` and add
+//! < 0.16 % request latency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pard_core::Depq;
+use pard_sim::DetRng;
+use std::hint::black_box;
+
+fn bench_depq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("depq");
+    for &n in &[64usize, 1_024, 16_384, 262_144] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("push_pop_min", n), &n, |b, &n| {
+            let mut rng = DetRng::new(1);
+            let mut q: Depq<u64> = (0..n as u64).map(|_| rng.next_u64()).collect();
+            b.iter(|| {
+                q.push(black_box(rng.next_u64()));
+                black_box(q.pop_min());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("push_pop_max", n), &n, |b, &n| {
+            let mut rng = DetRng::new(2);
+            let mut q: Depq<u64> = (0..n as u64).map(|_| rng.next_u64()).collect();
+            b.iter(|| {
+                q.push(black_box(rng.next_u64()));
+                black_box(q.pop_max());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("alternating_ends", n), &n, |b, &n| {
+            let mut rng = DetRng::new(3);
+            let mut q: Depq<u64> = (0..n as u64).map(|_| rng.next_u64()).collect();
+            let mut flip = false;
+            b.iter(|| {
+                q.push(black_box(rng.next_u64()));
+                flip = !flip;
+                if flip {
+                    black_box(q.pop_min());
+                } else {
+                    black_box(q.pop_max());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depq);
+criterion_main!(benches);

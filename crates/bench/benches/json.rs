@@ -1,0 +1,24 @@
+//! JSON configuration parser throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pard_pipeline::{json, AppKind};
+use std::hint::black_box;
+
+fn bench_json(c: &mut Criterion) {
+    let doc = AppKind::Lv.pipeline().to_json();
+    let mut group = c.benchmark_group("json");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.bench_function("parse_pipeline_config", |b| {
+        b.iter(|| json::parse(black_box(&doc)).expect("valid config"))
+    });
+    group.bench_function("round_trip", |b| {
+        b.iter(|| {
+            let v = json::parse(black_box(&doc)).expect("valid config");
+            black_box(v.to_json())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_json);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Fig. 2 — why reactive dropping fails (§3.1–3.2).
+//!
+//! * (a)/(b): minimum normalized goodput over the runtime, and the drop
+//!   rate of that worst window, across time-window sizes 2²–2⁸ s for
+//!   PARD / Nexus / Clipper++ / Naive on lv-tweet.
+//! * (c): percentage of dropped requests at each module under the
+//!   reactive policy (Nexus) for six workloads.
+//! * (d): transient drop rate of the reactive policy over time on
+//!   lv-tweet (10 s windows; the spike rides the t ≈ 850 s rate step).
+
+use pard_bench::{run_default, Workload};
+use pard_metrics::table::{pct, Table};
+use pard_pipeline::AppKind;
+use pard_policies::SystemKind;
+use pard_sim::SimDuration;
+use pard_workload::TraceKind;
+
+fn main() {
+    let workload = Workload::lv_tweet();
+    let windows_s: [u64; 7] = [4, 8, 16, 32, 64, 128, 256];
+
+    // One full run per system; every window statistic reuses its log.
+    println!("Running lv-tweet for 4 systems (full trace)...");
+    let runs: Vec<(SystemKind, pard_cluster::RunResult)> = SystemKind::BASELINES
+        .iter()
+        .map(|&s| (s, run_default(workload, s)))
+        .collect();
+
+    let mut fig2a = Table::new(
+        "Fig 2a: minimum normalized goodput vs window size (lv-tweet)",
+        &["system", "4s", "8s", "16s", "32s", "64s", "128s", "256s"],
+    );
+    let mut fig2b = Table::new(
+        "Fig 2b: drop rate of the worst window vs window size (lv-tweet)",
+        &["system", "4s", "8s", "16s", "32s", "64s", "128s", "256s"],
+    );
+    for (system, result) in &runs {
+        let mut goodput_cells = vec![system.name().to_string()];
+        let mut drop_cells = vec![system.name().to_string()];
+        for &w in &windows_s {
+            let series = result.log.window_series(SimDuration::from_secs(w));
+            let (_, goodput, drop) = series.worst_window().unwrap_or_default();
+            goodput_cells.push(format!("{goodput:.2}"));
+            drop_cells.push(pct(drop));
+        }
+        fig2a.row(&goodput_cells);
+        fig2b.row(&drop_cells);
+    }
+    print!("{}", fig2a.render());
+    println!();
+    print!("{}", fig2b.render());
+
+    // (c) Per-module drop distribution under the reactive policy.
+    println!();
+    let mut fig2c = Table::new(
+        "Fig 2c: % of dropped requests per module, reactive policy (Nexus)",
+        &["workload", "M1", "M2", "M3", "M4", "M5", "late-half share"],
+    );
+    let six: [(AppKind, TraceKind); 6] = [
+        (AppKind::Lv, TraceKind::Tweet),
+        (AppKind::Lv, TraceKind::Wiki),
+        (AppKind::Tm, TraceKind::Tweet),
+        (AppKind::Tm, TraceKind::Wiki),
+        (AppKind::Gm, TraceKind::Tweet),
+        (AppKind::Gm, TraceKind::Wiki),
+    ];
+    for (app, trace) in six {
+        let w = Workload { app, trace };
+        let result = run_default(w, SystemKind::Nexus);
+        let n = app.pipeline().len();
+        let dist = result.log.drop_distribution(n);
+        let mut cells = vec![w.name()];
+        for m in 0..5 {
+            cells.push(if m < n { pct(dist[m]) } else { "-".into() });
+        }
+        // The paper reports 57.1%–97.2% of drops in the latter half.
+        let late_half: f64 = dist[n.div_ceil(2)..].iter().sum();
+        cells.push(pct(late_half));
+        fig2c.row(&cells);
+    }
+    print!("{}", fig2c.render());
+
+    // (d) Transient drop rate of the reactive policy over time.
+    println!();
+    let reactive = runs
+        .iter()
+        .find(|(s, _)| *s == SystemKind::ClipperPlus)
+        .map(|(_, r)| r)
+        .expect("Clipper++ run present");
+    let series = reactive.log.window_series(SimDuration::from_secs(10));
+    let mut fig2d = Table::new(
+        "Fig 2d: transient drop rate, reactive policy (Clipper++), lv-tweet",
+        &["time", "drop rate"],
+    );
+    let drops = series.drop_rate_series();
+    // Print the 12 highest-drop windows in time order.
+    let mut worst: Vec<(pard_sim::SimTime, f64)> = drops.clone();
+    worst.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    let mut top: Vec<(pard_sim::SimTime, f64)> = worst.into_iter().take(12).collect();
+    top.sort_by_key(|&(t, _)| t);
+    for (t, rate) in top {
+        fig2d.row(&[format!("{t}"), pct(rate)]);
+    }
+    let peak = series.max_drop_rate();
+    fig2d.row(&["max transient".into(), pct(peak)]);
+    print!("{}", fig2d.render());
+}

@@ -1,0 +1,82 @@
+//! Fig. 10 — the three traces (left) and normalized real-time goodput of
+//! the four systems in the burst regions of all 12 workloads (right).
+
+use pard_bench::{experiment_config, run_system, Workload, SEED, TRACE_LEN_S};
+use pard_metrics::table::Table;
+use pard_policies::SystemKind;
+use pard_sim::SimDuration;
+use pard_workload::TraceKind;
+
+fn main() {
+    // Left column: trace shape statistics.
+    let mut traces = Table::new(
+        "Fig 10 (left): synthesised trace statistics",
+        &[
+            "trace",
+            "mean req/s",
+            "min",
+            "max",
+            "CV",
+            "burstiness",
+            "burst window",
+        ],
+    );
+    for kind in TraceKind::ALL {
+        let t = kind.build(TRACE_LEN_S, SEED);
+        let rates = t.rates();
+        let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+        let (from, to) = kind.burst_window();
+        traces.row(&[
+            kind.name().to_string(),
+            format!("{:.0}", t.mean_rate()),
+            format!("{min:.0}"),
+            format!("{:.0}", t.max_rate()),
+            format!("{:.2}", t.cv()),
+            format!("{:.2}", t.burstiness()),
+            format!("{from}s-{to}s"),
+        ]);
+    }
+    print!("{}", traces.render());
+
+    // Right: normalized goodput time series inside each burst window.
+    for workload in Workload::all() {
+        eprintln!("running {} ...", workload.name());
+        let (from, to) = workload.trace.burst_window();
+        let trace = workload.build_trace().window(from, to);
+        let mut table = Table::new(
+            format!(
+                "Fig 10 [{}]: normalized goodput, burst region {from}s-{to}s (10 s bins)",
+                workload.name()
+            ),
+            &["system", "series (oldest to newest)", "min", "mean"],
+        );
+        for &system in &SystemKind::BASELINES {
+            let result = run_system(workload, system, &trace, experiment_config(SEED));
+            let series = result.log.window_series(SimDuration::from_secs(10));
+            let values: Vec<f64> = series
+                .normalized_goodput_series()
+                .iter()
+                .map(|&(_, g)| g)
+                .collect();
+            let sparkline: String = values
+                .iter()
+                .map(|&g| {
+                    let idx = (g * 8.0).clamp(0.0, 7.99) as usize;
+                    ['.', ':', '-', '=', '+', '*', '#', '@'][idx]
+                })
+                .collect();
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+            table.row(&[
+                system.name().to_string(),
+                sparkline,
+                format!("{min:.2}"),
+                format!("{mean:.2}"),
+            ]);
+        }
+        println!();
+        print!("{}", table.render());
+    }
+    println!();
+    println!("legend: . < 0.125 through @ >= 0.875 of normalized goodput per 10 s bin");
+}

@@ -1,0 +1,53 @@
+//! Fig. 11 + Table 1 — the ablation study on lv-tweet (§5.3).
+//!
+//! Twelve variants (PARD plus eleven single-knob changes, Table 1) are
+//! compared on average drop rate, invalid rate, and the per-module
+//! distribution of drops. Expected shapes from the paper:
+//!
+//! * PARD-back concentrates ~95 % of drops in the last module and has
+//!   the highest invalid rate; PARD-sf improves but still drops late.
+//! * PARD-split/WCL keep drops early but over-drop (2.6×/2.8× PARD).
+//! * PARD-lower raises the invalid rate ~3.5×; PARD-upper raises the
+//!   drop rate ~1.3×.
+//! * PARD-FCFS/LBF suffer under bursts; PARD-HBF under steady load;
+//!   PARD-instant flaps between modes.
+//! * PARD concentrates ~87 % of drops in the first two modules.
+
+use pard_bench::{run_default, Workload};
+use pard_metrics::table::{pct, pct2, Table};
+use pard_policies::SystemKind;
+
+fn main() {
+    let workload = Workload::lv_tweet();
+    let modules = workload.app.pipeline().len();
+    let mut rates = Table::new(
+        "Fig 11a: ablation drop & invalid rates (lv-tweet)",
+        &["variant", "drop rate", "invalid rate", "goodput %"],
+    );
+    let mut dist = Table::new(
+        "Fig 11b: % of drops at each module (lv-tweet)",
+        &["variant", "M1", "M2", "M3", "M4", "M5", "first-two share"],
+    );
+    for &system in &SystemKind::ABLATIONS {
+        eprintln!("running {} ...", system.name());
+        let result = run_default(workload, system);
+        let log = &result.log;
+        rates.row(&[
+            system.name().to_string(),
+            pct2(log.drop_rate()),
+            pct2(log.invalid_rate()),
+            format!(
+                "{:.1}%",
+                100.0 * log.goodput_count() as f64 / log.len().max(1) as f64
+            ),
+        ]);
+        let d = log.drop_distribution(modules);
+        let mut cells = vec![system.name().to_string()];
+        cells.extend(d.iter().map(|&x| pct(x)));
+        cells.push(pct(d[0] + d[1]));
+        dist.row(&cells);
+    }
+    print!("{}", rates.render());
+    println!();
+    print!("{}", dist.render());
+}

@@ -1,0 +1,144 @@
+//! Fig. 12 — latency anatomy on lv-tweet (§5.3).
+//!
+//! * (a) consumed latency budget per module over time for SLO-compliant
+//!   requests (PARD-split's motivation: budgets fluctuate across
+//!   modules, so static splits waste them).
+//! * (b) CDF of end-to-end ΣQ, ΣW, ΣD — ΣW has by far the widest
+//!   spread, which is why the sweet-spot `w_k` exists.
+//! * (c) per-module queueing delay during the burst for PARD /
+//!   PARD-FCFS / PARD-LBF (arrival-order and LBF accumulate).
+//! * (d) remaining latency budget of 100 consecutive requests at M2 and
+//!   M3 — highly variable and time-independent, which is why arrival
+//!   order picks the wrong requests.
+
+use pard_bench::{run_burst_window, run_default, Workload};
+use pard_metrics::stats::Summary;
+use pard_metrics::table::{ms, Table};
+use pard_metrics::Cdf;
+use pard_policies::SystemKind;
+use pard_sim::{SimDuration, SimTime};
+
+fn main() {
+    let workload = Workload::lv_tweet();
+    eprintln!("running PARD on lv-tweet (full trace) ...");
+    let pard = run_default(workload, SystemKind::Pard);
+    let modules = workload.app.pipeline().len();
+
+    // (a) Consumed budget per module over time (60 s buckets, first 600 s).
+    let mut fig_a = Table::new(
+        "Fig 12a: avg consumed budget per module, SLO-compliant requests (lv-tweet)",
+        &["time", "M1", "M2", "M3", "M4", "M5", "total"],
+    );
+    let series = pard
+        .log
+        .consumed_budget_series(SimDuration::from_secs(60), modules);
+    for (t, avgs) in series.iter().take(10) {
+        let mut cells = vec![format!("{t}")];
+        cells.extend(avgs.iter().map(|&v| ms(v)));
+        cells.push(ms(avgs.iter().sum()));
+        fig_a.row(&cells);
+    }
+    print!("{}", fig_a.render());
+
+    // (b) CDF of ΣQ / ΣW / ΣD.
+    println!();
+    let (q, w, d) = pard.log.latency_components_ms();
+    let (cq, cw, cd) = (
+        Cdf::from_samples(&q),
+        Cdf::from_samples(&w),
+        Cdf::from_samples(&d),
+    );
+    let mut fig_b = Table::new(
+        "Fig 12b: CDF of end-to-end latency components (lv-tweet, PARD)",
+        &["percentile", "sum Q", "sum W", "sum D"],
+    );
+    for p in [0.10, 0.25, 0.50, 0.75, 0.90, 0.99] {
+        fig_b.row(&[
+            format!("p{:.0}", p * 100.0),
+            ms(cq.quantile(p)),
+            ms(cw.quantile(p)),
+            ms(cd.quantile(p)),
+        ]);
+    }
+    let spread = |c: &Cdf| c.quantile(0.95) - c.quantile(0.05);
+    fig_b.row(&[
+        "p95-p5 spread".into(),
+        ms(spread(&cq)),
+        ms(spread(&cw)),
+        ms(spread(&cd)),
+    ]);
+    print!("{}", fig_b.render());
+
+    // (c) Queueing delay per module during the burst window.
+    println!();
+    let mut fig_c = Table::new(
+        "Fig 12c: mean queueing delay per module during burst (lv-tweet)",
+        &["system", "M1", "M2", "M3", "M4", "M5", "mean"],
+    );
+    for system in [SystemKind::Pard, SystemKind::PardFcfs, SystemKind::PardLbf] {
+        eprintln!("running {} on burst window ...", system.name());
+        let result = run_burst_window(workload, system);
+        let mut cells = vec![system.name().to_string()];
+        let mut total = 0.0;
+        for m in 0..modules {
+            let samples = result.log.queueing_samples(m);
+            let mean = samples.iter().map(|&(_, q)| q).sum::<f64>() / samples.len().max(1) as f64;
+            total += mean;
+            cells.push(ms(mean));
+        }
+        cells.push(ms(total / modules as f64));
+        fig_c.row(&cells);
+    }
+    print!("{}", fig_c.render());
+
+    // (d) Remaining budget of 100 consecutive requests at M2 and M3.
+    println!();
+    let mut fig_d = Table::new(
+        "Fig 12d: remaining budget of 100 consecutive requests (lv-tweet, PARD)",
+        &["module", "mean", "std", "min", "max", "lag-1 autocorr"],
+    );
+    for m in [1usize, 2] {
+        let budget = pard.log.remaining_budget_at(m);
+        // Take 100 consecutive requests from the middle of the run.
+        let start = budget.len() / 2;
+        let vals: Vec<f64> = budget[start..start + 100.min(budget.len() - start)]
+            .iter()
+            .map(|&(_, b)| b)
+            .collect();
+        let s = Summary::of(&vals);
+        // Low lag-1 autocorrelation = "time-independent" in the paper.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..vals.len() {
+            den += (vals[i] - s.mean) * (vals[i] - s.mean);
+            if i + 1 < vals.len() {
+                num += (vals[i] - s.mean) * (vals[i + 1] - s.mean);
+            }
+        }
+        let autocorr = if den > 0.0 { num / den } else { 0.0 };
+        fig_d.row(&[
+            format!("M{}", m + 1),
+            ms(s.mean),
+            ms(s.std),
+            ms(s.min),
+            ms(s.max),
+            format!("{autocorr:.2}"),
+        ]);
+    }
+    print!("{}", fig_d.render());
+
+    // Context: when the burst hits, budgets tighten.
+    println!();
+    let at_burst: Vec<f64> = pard
+        .log
+        .remaining_budget_at(2)
+        .iter()
+        .filter(|&&(t, _)| t >= SimTime::from_secs(850) && t < SimTime::from_secs(870))
+        .map(|&(_, b)| b)
+        .collect();
+    println!(
+        "remaining budget at M3 during the 850s burst: mean {} over {} requests",
+        ms(Summary::of(&at_burst).mean),
+        at_burst.len()
+    );
+}

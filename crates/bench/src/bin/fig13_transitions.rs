@@ -1,0 +1,96 @@
+//! Fig. 13 — load factor and HBF/LBF transitions: PARD's delayed
+//! transition versus PARD-instant (§4.3, §5.3).
+//!
+//! The paper shows PARD-instant flapping between priorities whenever µ
+//! crosses 1.0, while PARD's dynamic hysteresis band `1 ± ε` holds the
+//! mode through fluctuations, dropping ~25 % fewer requests.
+
+use pard_bench::{run_default, Workload};
+use pard_core::PriorityMode;
+use pard_metrics::table::{pct2, Table};
+use pard_policies::SystemKind;
+
+fn main() {
+    let workload = Workload::lv_tweet();
+    let mut table = Table::new(
+        "Fig 13: priority transitions on lv-tweet (bottleneck module M1)",
+        &["system", "transitions", "time in HBF", "drop rate"],
+    );
+    let mut series_rows: Vec<(String, String)> = Vec::new();
+    for system in [SystemKind::Pard, SystemKind::PardInstant] {
+        eprintln!("running {} ...", system.name());
+        let result = run_default(workload, system);
+        // Module 0 is the bottleneck (heaviest model, first to overload).
+        let samples: Vec<_> = result
+            .priority_log
+            .iter()
+            .filter(|s| s.module == 0)
+            .collect();
+        let mut transitions = 0u64;
+        let mut hbf = 0usize;
+        let mut prev: Option<PriorityMode> = None;
+        let mut strip = String::new();
+        for (i, s) in samples.iter().enumerate() {
+            if let Some(mode) = s.mode {
+                if let Some(p) = prev {
+                    if p != mode {
+                        transitions += 1;
+                    }
+                }
+                prev = Some(mode);
+                if mode == PriorityMode::Hbf {
+                    hbf += 1;
+                }
+                // One char per 20 s for the printed strip.
+                if i % 20 == 0 {
+                    strip.push(match mode {
+                        PriorityMode::Hbf => 'H',
+                        PriorityMode::Lbf => '.',
+                    });
+                }
+            }
+        }
+        table.row(&[
+            system.name().to_string(),
+            transitions.to_string(),
+            format!("{:.1}%", 100.0 * hbf as f64 / samples.len().max(1) as f64),
+            pct2(result.log.drop_rate()),
+        ]);
+        series_rows.push((system.name().to_string(), strip));
+
+        if system == SystemKind::Pard {
+            // Show µ and ε around the 850 s burst.
+            let mut mu_table = Table::new(
+                "Fig 13 detail: load factor around the 850s burst (PARD, M1)",
+                &["t", "mu", "epsilon", "mode"],
+            );
+            for s in samples
+                .iter()
+                .filter(|s| {
+                    s.t >= pard_sim::SimTime::from_secs(840)
+                        && s.t <= pard_sim::SimTime::from_secs(960)
+                })
+                .step_by(10)
+            {
+                mu_table.row(&[
+                    format!("{}", s.t),
+                    format!("{:.2}", s.load_factor),
+                    format!("{:.2}", s.epsilon),
+                    match s.mode {
+                        Some(PriorityMode::Hbf) => "HBF".into(),
+                        Some(PriorityMode::Lbf) => "LBF".into(),
+                        None => "-".into(),
+                    },
+                ]);
+            }
+            print!("{}", mu_table.render());
+            println!();
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    println!("mode strip (1 char = 20 s; H = HBF, . = LBF):");
+    for (name, strip) in series_rows {
+        println!("{name:>13}: {strip}");
+    }
+}

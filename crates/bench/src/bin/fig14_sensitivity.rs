@@ -1,0 +1,150 @@
+//! Fig. 14 — stress testing and sensitivity analysis (§5.4).
+//!
+//! * (a) goodput vs offered rate with fixed instances: PARD degrades
+//!   gracefully; baselines collapse past capacity.
+//! * (b) drop rate vs SLO (200–600 ms): PARD lowest at every setting.
+//! * (c) drop rate vs quantile λ: optimum in [0.075, 0.15].
+//! * (d) drop rate vs smoothing window (1–15 s): bursty traces favour
+//!   shorter windows, stable traces longer ones.
+
+use pard_bench::{exec_estimates, experiment_config, oc_config, run_system, Workload, SEED};
+use pard_cluster::run;
+use pard_core::PardConfig;
+use pard_metrics::table::{pct2, Table};
+use pard_pipeline::AppKind;
+use pard_policies::{make_factory, SystemKind};
+use pard_sim::SimDuration;
+use pard_workload::{constant, TraceKind};
+
+fn main() {
+    fig14a_stress();
+    fig14b_slo();
+    fig14c_lambda();
+    fig14d_window();
+}
+
+/// Fixed 4-workers-per-module lv pipeline, offered 600–1400 req/s:
+/// the bottleneck module saturates near 1000 req/s.
+fn fig14a_stress() {
+    let app = AppKind::Lv;
+    let spec = app.pipeline();
+    let mut table = Table::new(
+        "Fig 14a: goodput (req/s) vs offered rate, fixed instances (lv)",
+        &["offered", "optimal", "PARD", "Nexus", "Clipper++", "Naive"],
+    );
+    // Capacity cap: 4 workers on the bottleneck module (~990 req/s).
+    let workers = vec![4usize; spec.modules.len()];
+    for offered in [600.0, 800.0, 1000.0, 1200.0, 1400.0] {
+        eprintln!("stress {offered} req/s ...");
+        let trace = constant(offered, 120);
+        let mut cells = vec![format!("{offered:.0}")];
+        let mut optimal_done = false;
+        for &system in &SystemKind::BASELINES {
+            let config = experiment_config(SEED).with_fixed_workers(workers.clone());
+            let exec = exec_estimates(&spec, config.headroom);
+            let factory = make_factory(system, &spec, &exec, oc_config(TraceKind::Tweet));
+            let result = run(&spec, &trace, factory, config);
+            let goodput = result.log.goodput_count() as f64 / result.trace_duration.as_secs_f64();
+            if !optimal_done {
+                // Optimal = min(offered, capacity); capacity from the plan.
+                let profiles: Vec<_> = spec
+                    .modules
+                    .iter()
+                    .map(|m| pard_profile::zoo::by_name(&m.name).unwrap())
+                    .collect();
+                let plan = pard_profile::plan_batches(&profiles, spec.slo, 2.0);
+                let capacity = plan.min_throughput() * 4.0;
+                cells.push(format!("{:.0}", offered.min(capacity)));
+                optimal_done = true;
+            }
+            cells.push(format!("{goodput:.0}"));
+        }
+        table.row(&cells);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+/// SLO sweep on lv-tweet: the paper varies 200–600 ms.
+fn fig14b_slo() {
+    let workload = Workload::lv_tweet();
+    let (from, to) = workload.trace.burst_window();
+    let trace = workload.build_trace().window(from, to);
+    let mut table = Table::new(
+        "Fig 14b: drop rate vs SLO (lv-tweet burst window)",
+        &["SLO", "PARD", "Nexus", "Clipper++", "Naive"],
+    );
+    for slo_ms in [200u64, 300, 400, 500, 600] {
+        eprintln!("SLO {slo_ms} ms ...");
+        let mut spec = workload.app.pipeline();
+        spec.slo = SimDuration::from_millis(slo_ms);
+        let mut cells = vec![format!("{slo_ms}ms")];
+        for &system in &SystemKind::BASELINES {
+            let config = experiment_config(SEED);
+            let exec = exec_estimates(&spec, config.headroom);
+            let factory = make_factory(system, &spec, &exec, oc_config(workload.trace));
+            let result = run(&spec, &trace, factory, config);
+            cells.push(pct2(result.log.drop_rate()));
+        }
+        table.row(&cells);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+/// λ sweep for the four applications on the tweet trace.
+fn fig14c_lambda() {
+    let mut table = Table::new(
+        "Fig 14c: PARD drop rate vs quantile lambda (tweet trace, full run)",
+        &["lambda", "lv", "tm", "gm", "da"],
+    );
+    for lambda in [0.0, 0.05, 0.075, 0.1, 0.15, 0.25, 0.5, 1.0] {
+        eprintln!("lambda {lambda} ...");
+        let mut cells = vec![format!("{lambda}")];
+        for app in [AppKind::Lv, AppKind::Tm, AppKind::Gm, AppKind::Da] {
+            let workload = Workload {
+                app,
+                trace: TraceKind::Tweet,
+            };
+            let trace = workload.build_trace();
+            let config = experiment_config(SEED).with_pard(
+                PardConfig::default()
+                    .with_mc_draws(4_000)
+                    .with_lambda(lambda),
+            );
+            let result = run_system(workload, SystemKind::Pard, &trace, config);
+            cells.push(pct2(result.log.drop_rate()));
+        }
+        table.row(&cells);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+/// Smoothing-window sweep on lv across the three traces.
+fn fig14d_window() {
+    let mut table = Table::new(
+        "Fig 14d: PARD drop rate vs smoothing window (lv, full traces)",
+        &["window", "wiki", "tweet", "azure"],
+    );
+    for window_ms in [1_000u64, 2_000, 3_000, 4_000, 5_000, 7_500, 10_000, 15_000] {
+        eprintln!("window {window_ms} ms ...");
+        let mut cells = vec![format!("{}s", window_ms as f64 / 1e3)];
+        for trace_kind in TraceKind::ALL {
+            let workload = Workload {
+                app: AppKind::Lv,
+                trace: trace_kind,
+            };
+            let trace = workload.build_trace();
+            let config = experiment_config(SEED).with_pard(
+                PardConfig::default()
+                    .with_mc_draws(4_000)
+                    .with_window(SimDuration::from_millis(window_ms)),
+            );
+            let result = run_system(workload, SystemKind::Pard, &trace, config);
+            cells.push(pct2(result.log.drop_rate()));
+        }
+        table.row(&cells);
+    }
+    print!("{}", table.render());
+}

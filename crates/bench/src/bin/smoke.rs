@@ -1,0 +1,39 @@
+//! Quick behavioural smoke run: the four headline systems on the
+//! lv-tweet burst window. Not a paper figure; a fast sanity check that
+//! the reproduction's qualitative ordering holds.
+
+use pard_bench::{run_burst_window, Workload};
+use pard_metrics::table::{pct2, Table};
+use pard_policies::SystemKind;
+
+fn main() {
+    let workload = Workload::lv_tweet();
+    let mut table = Table::new(
+        "smoke: lv-tweet burst window",
+        &[
+            "system",
+            "arrivals",
+            "goodput",
+            "drop rate",
+            "invalid",
+            "peak workers",
+        ],
+    );
+    for system in SystemKind::BASELINES {
+        let result = run_burst_window(workload, system);
+        let log = &result.log;
+        table.row(&[
+            system.name().to_string(),
+            log.len().to_string(),
+            format!(
+                "{} ({:.1}%)",
+                log.goodput_count(),
+                100.0 * log.goodput_count() as f64 / log.len().max(1) as f64
+            ),
+            pct2(log.drop_rate()),
+            pct2(log.invalid_rate()),
+            result.peak_workers.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,163 @@
+//! Cluster configuration and fault injection specs.
+
+use pard_core::PardConfig;
+use pard_sim::{SimDuration, SimTime};
+
+/// An injected fault (failure-handling tests and benches).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// Worker crashes: its executing batch is lost, queued requests are
+    /// re-dispatched, and the slot goes down permanently.
+    WorkerCrash {
+        /// Module of the crashing worker.
+        module: usize,
+        /// Worker index within the module.
+        worker: usize,
+        /// Crash time.
+        at: SimTime,
+    },
+    /// Worker executes `factor`× slower during `[from, until)`.
+    SlowWorker {
+        /// Module of the degraded worker.
+        module: usize,
+        /// Worker index within the module.
+        worker: usize,
+        /// Execution-duration multiplier (> 1 slows down).
+        factor: f64,
+        /// Degradation start.
+        from: SimTime,
+        /// Degradation end.
+        until: SimTime,
+    },
+}
+
+/// Full configuration of a cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// PARD algorithm knobs (λ, windows, sync period, ...).
+    pub pard: PardConfig,
+    /// Total worker budget across all modules (§5.1: 64 GPUs).
+    pub worker_cap: usize,
+    /// Whether the scaling engine adjusts worker counts at runtime.
+    pub autoscale: bool,
+    /// Fixed per-module worker counts (stress test, Fig. 14a); overrides
+    /// autoscaling when set.
+    pub fixed_workers: Option<Vec<usize>>,
+    /// Scaling evaluation period.
+    pub scale_period: SimDuration,
+    /// Model cold-start delay for a newly provisioned worker (§2).
+    pub cold_start: SimDuration,
+    /// Minimum time between scale-down operations per module.
+    pub scale_down_cooldown: SimDuration,
+    /// Capacity safety factor applied to measured input rates.
+    pub safety_factor: f64,
+    /// One-way network delay between client/modules.
+    pub net_delay: SimDuration,
+    /// Log-normal σ of execution-duration jitter (0 disables).
+    pub exec_jitter_sigma: f64,
+    /// Batch-planning headroom (multiple of `d(B)` per module share).
+    pub headroom: f64,
+    /// Master seed; all randomness forks from it.
+    pub seed: u64,
+    /// Extra simulated time after the trace ends so in-flight requests
+    /// can finish.
+    pub drain: SimDuration,
+    /// Injected faults.
+    pub faults: Vec<FaultSpec>,
+    /// Dynamic DAG paths (§5.2): at a split, each request takes *one*
+    /// randomly chosen branch instead of all of them, and merges fire on
+    /// the first delivery. Latency estimation still assumes the maximum
+    /// over paths, reproducing the paper's mis-estimation effect.
+    pub dynamic_paths: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            pard: PardConfig::default(),
+            worker_cap: 64,
+            autoscale: true,
+            fixed_workers: None,
+            scale_period: SimDuration::from_secs(2),
+            cold_start: SimDuration::from_secs(4),
+            scale_down_cooldown: SimDuration::from_secs(6),
+            safety_factor: 1.25,
+            net_delay: SimDuration::from_millis(1),
+            exec_jitter_sigma: 0.02,
+            headroom: 2.0,
+            seed: 42,
+            drain: SimDuration::from_secs(10),
+            faults: Vec::new(),
+            dynamic_paths: false,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> ClusterConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Fixes per-module worker counts and disables autoscaling.
+    pub fn with_fixed_workers(mut self, workers: Vec<usize>) -> ClusterConfig {
+        self.fixed_workers = Some(workers);
+        self.autoscale = false;
+        self
+    }
+
+    /// Sets the PARD algorithm configuration.
+    pub fn with_pard(mut self, pard: PardConfig) -> ClusterConfig {
+        self.pard = pard;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values (configurations are built once).
+    pub fn validate(&self) {
+        self.pard.validate();
+        assert!(self.worker_cap >= 1, "need at least one worker");
+        assert!(self.safety_factor > 0.0, "safety factor must be positive");
+        assert!(self.headroom > 0.0, "headroom must be positive");
+        assert!(
+            self.exec_jitter_sigma >= 0.0,
+            "jitter sigma must be non-negative"
+        );
+        if let Some(w) = &self.fixed_workers {
+            assert!(w.iter().all(|&n| n >= 1), "fixed workers must be >= 1");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ClusterConfig::default().validate();
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = ClusterConfig::default()
+            .with_seed(7)
+            .with_fixed_workers(vec![2, 3, 4]);
+        c.validate();
+        assert_eq!(c.seed, 7);
+        assert!(!c.autoscale);
+        assert_eq!(c.fixed_workers.as_deref(), Some(&[2usize, 3, 4][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed workers")]
+    fn rejects_zero_fixed_workers() {
+        ClusterConfig::default()
+            .with_fixed_workers(vec![0])
+            .validate();
+    }
+}

@@ -1,0 +1,238 @@
+//! In-flight request tracking, including DAG split/merge bookkeeping.
+
+use pard_metrics::{DropReason, Outcome, RequestRecord, StageRecord};
+use pard_pipeline::PipelineSpec;
+use pard_sim::SimTime;
+
+/// Lifecycle status of an in-flight request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReqStatus {
+    /// Travelling through the pipeline.
+    Active,
+    /// Dropped somewhere; surviving DAG branch copies are cancelled
+    /// lazily when they surface.
+    Dropped,
+    /// Completed the sink module.
+    Completed,
+}
+
+/// One in-flight request.
+#[derive(Clone, Debug)]
+pub struct InFlight {
+    /// Unique id.
+    pub id: u64,
+    /// Client send time.
+    pub sent: SimTime,
+    /// Absolute deadline.
+    pub deadline: SimTime,
+    /// Stage records accumulated so far.
+    pub stages: Vec<StageRecord>,
+    /// Current status.
+    pub status: ReqStatus,
+    /// Outcome details once finished.
+    pub outcome: Outcome,
+    /// Per-module count of predecessor copies that have arrived; a merge
+    /// module only enqueues once all predecessors delivered.
+    pub merge_arrivals: Vec<u8>,
+    /// Modules whose execution completed (guards double-forwarding).
+    pub completed_modules: Vec<bool>,
+}
+
+impl InFlight {
+    /// Creates a fresh request.
+    pub fn new(id: u64, sent: SimTime, deadline: SimTime, modules: usize) -> InFlight {
+        InFlight {
+            id,
+            sent,
+            deadline,
+            stages: Vec::with_capacity(modules),
+            status: ReqStatus::Active,
+            outcome: Outcome::InFlight,
+            merge_arrivals: vec![0; modules],
+            completed_modules: vec![false; modules],
+        }
+    }
+
+    /// Marks the request dropped at `module`.
+    pub fn mark_dropped(&mut self, module: usize, at: SimTime, reason: DropReason) {
+        if self.status == ReqStatus::Active {
+            self.status = ReqStatus::Dropped;
+            self.outcome = Outcome::Dropped { module, at, reason };
+        }
+    }
+
+    /// Marks the request completed at `finished`.
+    pub fn mark_completed(&mut self, finished: SimTime) {
+        if self.status == ReqStatus::Active {
+            self.status = ReqStatus::Completed;
+            self.outcome = Outcome::Completed { finished };
+        }
+    }
+
+    /// Registers one predecessor delivery at a merge point and reports
+    /// whether the request is now ready to enqueue at `module`.
+    pub fn deliver(&mut self, module: usize, required: usize) -> bool {
+        self.merge_arrivals[module] += 1;
+        self.merge_arrivals[module] as usize >= required.max(1)
+    }
+
+    /// Converts into the final metrics record.
+    pub fn into_record(self) -> RequestRecord {
+        RequestRecord {
+            id: self.id,
+            sent: self.sent,
+            deadline: self.deadline,
+            stages: self.stages,
+            outcome: self.outcome,
+        }
+    }
+}
+
+/// Table of all requests, alive and finished.
+#[derive(Debug, Default)]
+pub struct RequestTable {
+    slots: Vec<InFlight>,
+}
+
+impl RequestTable {
+    /// Creates an empty table.
+    pub fn new() -> RequestTable {
+        RequestTable::default()
+    }
+
+    /// Registers a new request and returns its id.
+    pub fn insert(&mut self, sent: SimTime, deadline: SimTime, spec: &PipelineSpec) -> u64 {
+        let id = self.slots.len() as u64;
+        self.slots
+            .push(InFlight::new(id, sent, deadline, spec.modules.len()));
+        id
+    }
+
+    /// Shared access by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown id — ids are only minted by
+    /// [`RequestTable::insert`].
+    pub fn get(&self, id: u64) -> &InFlight {
+        &self.slots[id as usize]
+    }
+
+    /// Exclusive access by id.
+    pub fn get_mut(&mut self, id: u64) -> &mut InFlight {
+        &mut self.slots[id as usize]
+    }
+
+    /// Total requests ever inserted.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Counts by status: `(active, dropped, completed)`.
+    pub fn status_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for r in &self.slots {
+            match r.status {
+                ReqStatus::Active => counts.0 += 1,
+                ReqStatus::Dropped => counts.1 += 1,
+                ReqStatus::Completed => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Drains everything into a metrics log.
+    pub fn into_log(self) -> pard_metrics::RequestLog {
+        let mut log = pard_metrics::RequestLog::new();
+        for r in self.slots {
+            log.push(r.into_record());
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_pipeline::AppKind;
+    use pard_sim::SimDuration;
+
+    #[test]
+    fn insert_and_lookup() {
+        let spec = AppKind::Tm.pipeline();
+        let mut table = RequestTable::new();
+        let id = table.insert(SimTime::ZERO, SimTime::from_millis(400), &spec);
+        assert_eq!(id, 0);
+        assert_eq!(table.get(id).status, ReqStatus::Active);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn drop_is_sticky_and_first_wins() {
+        let spec = AppKind::Da.pipeline();
+        let mut table = RequestTable::new();
+        let id = table.insert(SimTime::ZERO, SimTime::from_millis(420), &spec);
+        table
+            .get_mut(id)
+            .mark_dropped(1, SimTime::from_millis(50), DropReason::PredictedViolation);
+        // A later completion attempt must not overwrite the drop.
+        table.get_mut(id).mark_completed(SimTime::from_millis(60));
+        assert_eq!(table.get(id).status, ReqStatus::Dropped);
+        match table.get(id).outcome {
+            Outcome::Dropped { module, .. } => assert_eq!(module, 1),
+            ref o => panic!("unexpected outcome {o:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_requires_all_predecessors() {
+        let spec = AppKind::Da.pipeline();
+        let mut table = RequestTable::new();
+        let id = table.insert(SimTime::ZERO, SimTime::from_millis(420), &spec);
+        // Module 3 merges branches from modules 1 and 2.
+        assert!(!table.get_mut(id).deliver(3, 2));
+        assert!(table.get_mut(id).deliver(3, 2));
+    }
+
+    #[test]
+    fn status_counts_and_log_conversion() {
+        let spec = AppKind::Tm.pipeline();
+        let mut table = RequestTable::new();
+        let a = table.insert(SimTime::ZERO, SimTime::from_millis(400), &spec);
+        let b = table.insert(SimTime::ZERO, SimTime::from_millis(400), &spec);
+        let _c = table.insert(SimTime::ZERO, SimTime::from_millis(400), &spec);
+        table.get_mut(a).mark_completed(SimTime::from_millis(300));
+        table
+            .get_mut(b)
+            .mark_dropped(0, SimTime::from_millis(10), DropReason::PredictedViolation);
+        assert_eq!(table.status_counts(), (1, 1, 1));
+        let log = table.into_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.goodput_count(), 1);
+        assert_eq!(log.drop_count(), 1);
+    }
+
+    #[test]
+    fn stage_accumulation() {
+        let spec = AppKind::Tm.pipeline();
+        let mut table = RequestTable::new();
+        let id = table.insert(SimTime::ZERO, SimTime::from_millis(400), &spec);
+        let t0 = SimTime::from_millis(10);
+        table.get_mut(id).stages.push(StageRecord {
+            module: 0,
+            worker: 0,
+            arrived: t0,
+            batched: t0 + SimDuration::from_millis(2),
+            exec_start: t0 + SimDuration::from_millis(5),
+            exec_end: t0 + SimDuration::from_millis(45),
+            batch_size: 8,
+            gpu_share: SimDuration::from_millis(5),
+        });
+        assert_eq!(table.get(id).stages.len(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Worker state: the batching loop data of one GPU container.
+
+use pard_core::WorkerPolicy;
+use pard_sim::SimTime;
+
+/// Provisioning state of a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Model is loading; becomes [`WorkerState::Up`] at `ready_at` (§2
+    /// cold start).
+    ColdStarting {
+        /// When the worker becomes serviceable.
+        ready_at: SimTime,
+    },
+    /// Serving.
+    Up,
+    /// No longer dispatched to; finishes its executing batch then goes
+    /// down (scale-down path).
+    Draining,
+    /// Out of service.
+    Down,
+}
+
+/// A request admitted into a forming or executing batch.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchEntry {
+    /// Request id.
+    pub req: u64,
+    /// Arrival at the module (`t_r`).
+    pub arrived: SimTime,
+    /// Admission into the batch (`t_b`).
+    pub batched: SimTime,
+}
+
+/// One worker (GPU container) of a module.
+pub struct Worker {
+    /// Index within the module.
+    pub index: usize,
+    /// The dropping/ordering policy instance owned by this worker.
+    pub policy: Box<dyn WorkerPolicy>,
+    /// Provisioning state.
+    pub state: WorkerState,
+    /// End time of the executing batch, if any.
+    pub busy_until: Option<SimTime>,
+    /// Members of the executing batch.
+    pub executing: Vec<BatchEntry>,
+    /// Execution start of the executing batch (`t_e`).
+    pub exec_started: SimTime,
+    /// Members of the forming (next) batch.
+    pub forming: Vec<BatchEntry>,
+    /// Whether `on_batch_open` ran for the current forming batch.
+    pub batch_opened: bool,
+    /// Execution-duration multiplier (fault injection; 1.0 nominal).
+    pub slow_factor: f64,
+    /// Guards stale `BatchDone` events after a crash.
+    pub epoch: u64,
+}
+
+impl Worker {
+    /// Creates a worker in the given provisioning state.
+    pub fn new(index: usize, policy: Box<dyn WorkerPolicy>, state: WorkerState) -> Worker {
+        Worker {
+            index,
+            policy,
+            state,
+            busy_until: None,
+            executing: Vec::new(),
+            exec_started: SimTime::ZERO,
+            forming: Vec::new(),
+            batch_opened: false,
+            slow_factor: 1.0,
+            epoch: 0,
+        }
+    }
+
+    /// Whether the dispatcher may route new requests here.
+    pub fn dispatchable(&self) -> bool {
+        self.state == WorkerState::Up
+    }
+
+    /// Load metric for least-loaded dispatch: queued + forming +
+    /// executing requests.
+    pub fn load(&self) -> usize {
+        self.policy.queue_len() + self.forming.len() + self.executing.len()
+    }
+
+    /// Whether the GPU is currently idle.
+    pub fn idle(&self) -> bool {
+        self.busy_until.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_core::{PardPolicy, PardPolicyConfig, ReqMeta};
+
+    fn worker() -> Worker {
+        Worker::new(
+            0,
+            Box::new(PardPolicy::new(PardPolicyConfig::pard())),
+            WorkerState::Up,
+        )
+    }
+
+    #[test]
+    fn fresh_worker_is_idle_and_dispatchable() {
+        let w = worker();
+        assert!(w.dispatchable());
+        assert!(w.idle());
+        assert_eq!(w.load(), 0);
+    }
+
+    #[test]
+    fn load_counts_queue_forming_and_executing() {
+        let mut w = worker();
+        w.policy.enqueue(
+            ReqMeta {
+                id: 1,
+                sent: SimTime::ZERO,
+                deadline: SimTime::from_secs(1),
+                arrived: SimTime::ZERO,
+            },
+            SimTime::ZERO,
+        );
+        w.forming.push(BatchEntry {
+            req: 2,
+            arrived: SimTime::ZERO,
+            batched: SimTime::ZERO,
+        });
+        w.executing.push(BatchEntry {
+            req: 3,
+            arrived: SimTime::ZERO,
+            batched: SimTime::ZERO,
+        });
+        assert_eq!(w.load(), 3);
+    }
+
+    #[test]
+    fn non_up_states_are_not_dispatchable() {
+        let mut w = worker();
+        for state in [
+            WorkerState::ColdStarting {
+                ready_at: SimTime::from_secs(4),
+            },
+            WorkerState::Draining,
+            WorkerState::Down,
+        ] {
+            w.state = state;
+            assert!(!w.dispatchable(), "{state:?}");
+        }
+    }
+}

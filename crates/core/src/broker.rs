@@ -1,0 +1,180 @@
+//! The Request Broker: per-request drop decisions (Eq. 1–3).
+//!
+//! At the moment a request is about to enter a batch (`t_b` in Fig. 5)
+//! all bi-directional runtime information is available:
+//!
+//! * backward — `L_pre = t_r − t_s` is already spent;
+//! * current — the expected batch start `t_e` (the running batch's end)
+//!   and the profiled `d_k` give `L_cur`;
+//! * forward — the State Planner supplies `L_sub`.
+//!
+//! Equation 3 collapses to: the request finishes at
+//! `t_e + d_k + L_sub`; drop it iff that exceeds its deadline.
+
+use pard_metrics::DropReason;
+use pard_sim::{SimDuration, SimTime};
+
+use crate::planner::SubEstimate;
+use crate::policy::ReqMeta;
+
+/// The outcome of a drop decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Admit the request into the forming batch.
+    Admit,
+    /// Drop the request for the given reason.
+    Drop(DropReason),
+}
+
+/// Everything the broker needs at decision time.
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionInputs {
+    /// The decision moment (`t_b`).
+    pub now: SimTime,
+    /// Expected batch execution start (`t_e`): the end of the running
+    /// batch, or `now` if the worker is idle.
+    pub expected_exec_start: SimTime,
+    /// Profiled execution duration `d_k` at the planned batch size.
+    pub exec_duration: SimDuration,
+    /// The State Planner's downstream estimate.
+    pub sub: SubEstimate,
+}
+
+impl DecisionInputs {
+    /// The projected end-to-end completion time of a request admitted
+    /// now: `t_e + d_k + L_sub`.
+    pub fn projected_finish(&self) -> SimTime {
+        self.expected_exec_start + self.exec_duration + self.sub.total
+    }
+}
+
+/// PARD's proactive decision: Eq. 3 against the end-to-end deadline.
+pub fn proactive_decision(req: &ReqMeta, inputs: &DecisionInputs) -> Decision {
+    if inputs.now > req.deadline {
+        return Decision::Drop(DropReason::AlreadyExpired);
+    }
+    if inputs.projected_finish() > req.deadline {
+        Decision::Drop(DropReason::PredictedViolation)
+    } else {
+        Decision::Admit
+    }
+}
+
+/// Split-budget decision: the request must clear the *cumulative* budget
+/// through the current module (`SLO · Σ_{i≤k} share_i`), i.e. its
+/// projected completion of this module must not exceed
+/// `t_s + cumulative_budget`.
+///
+/// Used by the PARD-split and PARD-WCL ablations; Clipper++ uses a lazy
+/// variant (see `pard-policies`).
+pub fn split_decision(
+    req: &ReqMeta,
+    inputs: &DecisionInputs,
+    cumulative_budget: SimDuration,
+) -> Decision {
+    if inputs.now > req.deadline {
+        return Decision::Drop(DropReason::AlreadyExpired);
+    }
+    let module_finish = inputs.expected_exec_start + inputs.exec_duration;
+    // The budget may be the "unbounded" sentinel before the first sync.
+    if module_finish > req.sent.saturating_add(cumulative_budget) {
+        Decision::Drop(DropReason::BudgetExceeded)
+    } else {
+        Decision::Admit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(sent_ms: u64, slo_ms: u64) -> ReqMeta {
+        ReqMeta {
+            id: 1,
+            sent: SimTime::from_millis(sent_ms),
+            deadline: SimTime::from_millis(sent_ms + slo_ms),
+            arrived: SimTime::from_millis(sent_ms + 10),
+        }
+    }
+
+    fn inputs(now_ms: u64, te_ms: u64, d_ms: u64, sub_ms: u64) -> DecisionInputs {
+        let sub = SubEstimate {
+            sum_q: SimDuration::ZERO,
+            sum_d: SimDuration::from_millis(sub_ms),
+            wait_q: SimDuration::ZERO,
+            total: SimDuration::from_millis(sub_ms),
+        };
+        DecisionInputs {
+            now: SimTime::from_millis(now_ms),
+            expected_exec_start: SimTime::from_millis(te_ms),
+            exec_duration: SimDuration::from_millis(d_ms),
+            sub,
+        }
+    }
+
+    #[test]
+    fn admits_when_budget_suffices() {
+        // Deadline at 400; finish at 100+40+100 = 240.
+        let r = req(0, 400);
+        let d = proactive_decision(&r, &inputs(90, 100, 40, 100));
+        assert_eq!(d, Decision::Admit);
+    }
+
+    #[test]
+    fn drops_on_predicted_violation() {
+        // Finish at 300+40+100 = 440 > 400.
+        let r = req(0, 400);
+        let d = proactive_decision(&r, &inputs(290, 300, 40, 100));
+        assert_eq!(d, Decision::Drop(DropReason::PredictedViolation));
+    }
+
+    #[test]
+    fn drops_expired_requests_first() {
+        let r = req(0, 100);
+        let d = proactive_decision(&r, &inputs(150, 160, 40, 0));
+        assert_eq!(d, Decision::Drop(DropReason::AlreadyExpired));
+    }
+
+    #[test]
+    fn boundary_finish_exactly_at_deadline_admits() {
+        // Finish exactly at 400 == deadline → admit (SLO met).
+        let r = req(0, 400);
+        let d = proactive_decision(&r, &inputs(200, 260, 40, 100));
+        assert_eq!(d, Decision::Admit);
+    }
+
+    #[test]
+    fn ignoring_sub_estimate_admits_more() {
+        // Same request: with L_sub it is dropped, without (reactive) kept
+        // — the drop-too-late failure mode of §3.2.
+        let r = req(0, 400);
+        let with_sub = proactive_decision(&r, &inputs(290, 300, 40, 100));
+        let without_sub = proactive_decision(&r, &inputs(290, 300, 40, 0));
+        assert_eq!(with_sub, Decision::Drop(DropReason::PredictedViolation));
+        assert_eq!(without_sub, Decision::Admit);
+    }
+
+    #[test]
+    fn split_decision_checks_cumulative_budget() {
+        let r = req(0, 400);
+        // Module finish at 150+40=190; cumulative budget 200 → admit.
+        assert_eq!(
+            split_decision(&r, &inputs(140, 150, 40, 0), SimDuration::from_millis(200)),
+            Decision::Admit
+        );
+        // Cumulative budget 180 → 190 > 180 → drop.
+        assert_eq!(
+            split_decision(&r, &inputs(140, 150, 40, 0), SimDuration::from_millis(180)),
+            Decision::Drop(DropReason::BudgetExceeded)
+        );
+    }
+
+    #[test]
+    fn split_decision_still_drops_expired() {
+        let r = req(0, 100);
+        assert_eq!(
+            split_decision(&r, &inputs(200, 210, 40, 0), SimDuration::from_millis(500)),
+            Decision::Drop(DropReason::AlreadyExpired)
+        );
+    }
+}

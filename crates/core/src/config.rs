@@ -1,0 +1,120 @@
+//! System-wide configuration knobs and their paper defaults.
+
+use pard_sim::{SimDuration, SimTime};
+
+/// Tunables of the PARD system (§4–§5 defaults).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PardConfig {
+    /// Batch-wait quantile λ (default 0.1; sensitivity in Fig. 14c).
+    pub lambda: f64,
+    /// Sliding smoothing window (default 5 s linear-weighted; Fig. 14d).
+    pub window: SimDuration,
+    /// Cross-module state synchronisation period (default 1 s, §5.4).
+    pub sync_period: SimDuration,
+    /// Monte-Carlo draws `M` for the wait distribution (default 10 000).
+    pub mc_draws: usize,
+    /// Per-module batch-wait reservoir capacity.
+    pub reservoir_capacity: usize,
+    /// Samples included in the synchronised wait digest.
+    pub wait_digest_len: usize,
+    /// `T_in` history length (sync periods) for the dynamic ε.
+    pub rate_history_len: usize,
+}
+
+impl Default for PardConfig {
+    fn default() -> PardConfig {
+        PardConfig {
+            lambda: 0.1,
+            window: SimDuration::from_secs(5),
+            sync_period: SimDuration::from_secs(1),
+            mc_draws: 10_000,
+            reservoir_capacity: 512,
+            wait_digest_len: 64,
+            rate_history_len: 8,
+        }
+    }
+}
+
+impl PardConfig {
+    /// Sets λ.
+    pub fn with_lambda(mut self, lambda: f64) -> PardConfig {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the smoothing window.
+    pub fn with_window(mut self, window: SimDuration) -> PardConfig {
+        self.window = window;
+        self
+    }
+
+    /// Sets the synchronisation period.
+    pub fn with_sync_period(mut self, period: SimDuration) -> PardConfig {
+        self.sync_period = period;
+        self
+    }
+
+    /// Sets the Monte-Carlo draw count.
+    pub fn with_mc_draws(mut self, draws: usize) -> PardConfig {
+        self.mc_draws = draws;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values; configurations are built once at
+    /// startup, so failing fast beats threading `Result` everywhere.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.lambda),
+            "lambda must be in [0, 1]"
+        );
+        assert!(!self.window.is_zero(), "window must be positive");
+        assert!(!self.sync_period.is_zero(), "sync period must be positive");
+        assert!(self.mc_draws > 0, "mc_draws must be positive");
+        assert!(self.reservoir_capacity > 0, "reservoir must be non-empty");
+        assert!(self.wait_digest_len > 0, "digest must be non-empty");
+        assert!(self.rate_history_len >= 2, "rate history needs >= 2 slots");
+    }
+
+    /// First synchronisation instant.
+    pub fn first_sync(&self) -> SimTime {
+        SimTime::ZERO + self.sync_period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PardConfig::default();
+        c.validate();
+        assert_eq!(c.lambda, 0.1);
+        assert_eq!(c.window, SimDuration::from_secs(5));
+        assert_eq!(c.sync_period, SimDuration::from_secs(1));
+        assert_eq!(c.mc_draws, 10_000);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = PardConfig::default()
+            .with_lambda(0.25)
+            .with_window(SimDuration::from_secs(3))
+            .with_sync_period(SimDuration::from_millis(500))
+            .with_mc_draws(1_000);
+        c.validate();
+        assert_eq!(c.lambda, 0.25);
+        assert_eq!(c.window, SimDuration::from_secs(3));
+        assert_eq!(c.first_sync(), SimTime::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn rejects_bad_lambda() {
+        PardConfig::default().with_lambda(1.5).validate();
+    }
+}

@@ -1,0 +1,443 @@
+//! Double-ended priority queue backed by a min-max heap.
+//!
+//! PARD reorders requests by remaining latency budget and needs to pop
+//! from *either* end: the request with the smallest remaining budget
+//! under Low-Budget-First, the largest under High-Budget-First (§4.3).
+//! A min-max heap (Atkinson, Sack, Santoro & Strothotte, 1986) provides
+//! `push`, `pop_min`, and `pop_max` in `O(log n)` — the §5.4 overhead
+//! analysis depends on this bound, and `pard-bench` measures it.
+//!
+//! Elements on even ("min") levels are smaller than all descendants;
+//! elements on odd ("max") levels are larger than all descendants.
+
+/// A double-ended priority queue over `T: Ord`.
+#[derive(Clone, Debug, Default)]
+pub struct Depq<T: Ord> {
+    heap: Vec<T>,
+}
+
+/// Whether index `i` sits on a min (even) level of the heap.
+fn on_min_level(i: usize) -> bool {
+    // Level of node i is floor(log2(i+1)).
+    ((i + 1).ilog2()).is_multiple_of(2)
+}
+
+fn parent(i: usize) -> usize {
+    (i - 1) / 2
+}
+
+fn has_grandparent(i: usize) -> bool {
+    i >= 3
+}
+
+impl<T: Ord> Depq<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Depq<T> {
+        Depq { heap: Vec::new() }
+    }
+
+    /// Creates an empty queue with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Depq<T> {
+        Depq {
+            heap: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts an element. `O(log n)`.
+    pub fn push(&mut self, value: T) {
+        self.heap.push(value);
+        self.bubble_up(self.heap.len() - 1);
+    }
+
+    /// A reference to the minimum element.
+    pub fn peek_min(&self) -> Option<&T> {
+        self.heap.first()
+    }
+
+    /// A reference to the maximum element.
+    pub fn peek_max(&self) -> Option<&T> {
+        match self.heap.len() {
+            0 => None,
+            1 => Some(&self.heap[0]),
+            2 => Some(&self.heap[1]),
+            _ => Some(std::cmp::max(&self.heap[1], &self.heap[2])),
+        }
+    }
+
+    /// Removes and returns the minimum element. `O(log n)`.
+    pub fn pop_min(&mut self) -> Option<T> {
+        match self.heap.len() {
+            0 => None,
+            1 => self.heap.pop(),
+            _ => {
+                let last = self.heap.len() - 1;
+                self.heap.swap(0, last);
+                let out = self.heap.pop();
+                self.trickle_down(0);
+                out
+            }
+        }
+    }
+
+    /// Removes and returns the maximum element. `O(log n)`.
+    pub fn pop_max(&mut self) -> Option<T> {
+        let idx = match self.heap.len() {
+            0 => return None,
+            1 => 0,
+            2 => 1,
+            _ => {
+                if self.heap[1] >= self.heap[2] {
+                    1
+                } else {
+                    2
+                }
+            }
+        };
+        let last = self.heap.len() - 1;
+        self.heap.swap(idx, last);
+        let out = self.heap.pop();
+        if idx < self.heap.len() {
+            self.trickle_down(idx);
+        }
+        out
+    }
+
+    /// Iterates over the elements in unspecified (heap) order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.heap.iter()
+    }
+
+    /// Removes all elements, returning them in unspecified order.
+    pub fn drain(&mut self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let out = self.heap.clone();
+        self.heap.clear();
+        out
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    fn bubble_up(&mut self, i: usize) {
+        if i == 0 {
+            return;
+        }
+        let p = parent(i);
+        if on_min_level(i) {
+            if self.heap[i] > self.heap[p] {
+                self.heap.swap(i, p);
+                self.bubble_up_max(p);
+            } else {
+                self.bubble_up_min(i);
+            }
+        } else if self.heap[i] < self.heap[p] {
+            self.heap.swap(i, p);
+            self.bubble_up_min(p);
+        } else {
+            self.bubble_up_max(i);
+        }
+    }
+
+    fn bubble_up_min(&mut self, mut i: usize) {
+        while has_grandparent(i) {
+            let gp = parent(parent(i));
+            if self.heap[i] < self.heap[gp] {
+                self.heap.swap(i, gp);
+                i = gp;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn bubble_up_max(&mut self, mut i: usize) {
+        while has_grandparent(i) {
+            let gp = parent(parent(i));
+            if self.heap[i] > self.heap[gp] {
+                self.heap.swap(i, gp);
+                i = gp;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn trickle_down(&mut self, i: usize) {
+        if on_min_level(i) {
+            self.trickle_down_min(i);
+        } else {
+            self.trickle_down_max(i);
+        }
+    }
+
+    /// Index of the smallest/largest among children and grandchildren.
+    fn extreme_descendant(&self, i: usize, want_min: bool) -> Option<usize> {
+        let n = self.heap.len();
+        let first_child = 2 * i + 1;
+        if first_child >= n {
+            return None;
+        }
+        let candidates = [
+            first_child,
+            first_child + 1,
+            2 * first_child + 1,
+            2 * first_child + 2,
+            2 * (first_child + 1) + 1,
+            2 * (first_child + 1) + 2,
+        ];
+        let mut best = None;
+        for &c in &candidates {
+            if c < n {
+                best = match best {
+                    None => Some(c),
+                    Some(b) => {
+                        let better = if want_min {
+                            self.heap[c] < self.heap[b]
+                        } else {
+                            self.heap[c] > self.heap[b]
+                        };
+                        Some(if better { c } else { b })
+                    }
+                };
+            }
+        }
+        best
+    }
+
+    fn trickle_down_min(&mut self, mut i: usize) {
+        while let Some(m) = self.extreme_descendant(i, true) {
+            let is_grandchild = m > 2 * (2 * i + 1);
+            if is_grandchild {
+                if self.heap[m] < self.heap[i] {
+                    self.heap.swap(m, i);
+                    let p = parent(m);
+                    if self.heap[m] > self.heap[p] {
+                        self.heap.swap(m, p);
+                    }
+                    i = m;
+                } else {
+                    break;
+                }
+            } else {
+                if self.heap[m] < self.heap[i] {
+                    self.heap.swap(m, i);
+                }
+                break;
+            }
+        }
+    }
+
+    fn trickle_down_max(&mut self, mut i: usize) {
+        while let Some(m) = self.extreme_descendant(i, false) {
+            let is_grandchild = m > 2 * (2 * i + 1);
+            if is_grandchild {
+                if self.heap[m] > self.heap[i] {
+                    self.heap.swap(m, i);
+                    let p = parent(m);
+                    if self.heap[m] < self.heap[p] {
+                        self.heap.swap(m, p);
+                    }
+                    i = m;
+                } else {
+                    break;
+                }
+            } else {
+                if self.heap[m] > self.heap[i] {
+                    self.heap.swap(m, i);
+                }
+                break;
+            }
+        }
+    }
+}
+
+impl<T: Ord> FromIterator<T> for Depq<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Depq<T> {
+        let mut q = Depq::new();
+        for item in iter {
+            q.push(item);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: Depq<i32> = Depq::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_min(), None);
+        assert_eq!(q.peek_max(), None);
+        assert_eq!(q.pop_min(), None);
+        assert_eq!(q.pop_max(), None);
+    }
+
+    #[test]
+    fn single_and_double_element() {
+        let mut q = Depq::new();
+        q.push(5);
+        assert_eq!(q.peek_min(), Some(&5));
+        assert_eq!(q.peek_max(), Some(&5));
+        q.push(3);
+        assert_eq!(q.peek_min(), Some(&3));
+        assert_eq!(q.peek_max(), Some(&5));
+        assert_eq!(q.pop_max(), Some(5));
+        assert_eq!(q.pop_min(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_min_yields_sorted_ascending() {
+        let mut q: Depq<i64> = [5, 1, 9, 3, 7, 2, 8, 4, 6, 0].into_iter().collect();
+        let mut out = Vec::new();
+        while let Some(x) = q.pop_min() {
+            out.push(x);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_max_yields_sorted_descending() {
+        let mut q: Depq<i64> = [5, 1, 9, 3, 7, 2, 8, 4, 6, 0].into_iter().collect();
+        let mut out = Vec::new();
+        while let Some(x) = q.pop_max() {
+            out.push(x);
+        }
+        assert_eq!(out, (0..10).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn alternating_pops() {
+        let mut q: Depq<i64> = (0..100).collect();
+        for round in 0..50 {
+            assert_eq!(q.pop_min(), Some(round));
+            assert_eq!(q.pop_max(), Some(99 - round));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_preserved() {
+        let mut q: Depq<i32> = [2, 2, 2, 1, 3].into_iter().collect();
+        assert_eq!(q.pop_min(), Some(1));
+        assert_eq!(q.pop_max(), Some(3));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_min(), Some(2));
+        assert_eq!(q.pop_max(), Some(2));
+        assert_eq!(q.pop_min(), Some(2));
+    }
+
+    #[test]
+    fn drain_and_clear() {
+        let mut q: Depq<i32> = (0..5).collect();
+        let mut all = q.drain();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+        q.push(1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    /// Reference model: a sorted Vec.
+    #[derive(Default)]
+    struct Model(Vec<i64>);
+
+    impl Model {
+        fn push(&mut self, x: i64) {
+            let pos = self.0.partition_point(|&v| v <= x);
+            self.0.insert(pos, x);
+        }
+        fn pop_min(&mut self) -> Option<i64> {
+            if self.0.is_empty() {
+                None
+            } else {
+                Some(self.0.remove(0))
+            }
+        }
+        fn pop_max(&mut self) -> Option<i64> {
+            self.0.pop()
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Push(i64),
+        PopMin,
+        PopMax,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (-1000i64..1000).prop_map(Op::Push),
+            1 => Just(Op::PopMin),
+            1 => Just(Op::PopMax),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_model(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+            let mut q = Depq::new();
+            let mut model = Model::default();
+            for op in ops {
+                match op {
+                    Op::Push(x) => {
+                        q.push(x);
+                        model.push(x);
+                    }
+                    Op::PopMin => prop_assert_eq!(q.pop_min(), model.pop_min()),
+                    Op::PopMax => prop_assert_eq!(q.pop_max(), model.pop_max()),
+                }
+                prop_assert_eq!(q.len(), model.0.len());
+                prop_assert_eq!(q.peek_min(), model.0.first());
+                prop_assert_eq!(q.peek_max(), model.0.last());
+            }
+        }
+
+        #[test]
+        fn heap_invariant_holds(xs in proptest::collection::vec(-1000i64..1000, 0..200)) {
+            let q: Depq<i64> = xs.into_iter().collect();
+            // Every min-level node <= descendants; max-level node >= them.
+            let heap: Vec<i64> = q.iter().copied().collect();
+            for i in 0..heap.len() {
+                for &c in &[2 * i + 1, 2 * i + 2] {
+                    if c < heap.len() {
+                        if on_min_level(i) {
+                            prop_assert!(heap[i] <= heap[c]);
+                        } else {
+                            prop_assert!(heap[i] >= heap[c]);
+                        }
+                        for &g in &[2 * c + 1, 2 * c + 2] {
+                            if g < heap.len() {
+                                if on_min_level(i) {
+                                    prop_assert!(heap[i] <= heap[g]);
+                                } else {
+                                    prop_assert!(heap[i] >= heap[g]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

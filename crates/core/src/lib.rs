@@ -1,0 +1,42 @@
+//! PARD's core contribution: proactive request dropping and adaptive
+//! request priority for multi-model inference pipelines.
+//!
+//! The paper's two mechanisms (§4) and their supporting machinery:
+//!
+//! * **When to drop** — the [`broker`] evaluates Eq. 3 with
+//!   bi-directional runtime information: the determined past
+//!   (`L_pre = t_r − t_s`), the current module (`t_e`, profiled `d_k`),
+//!   and the [`planner`]'s estimate of the future (`Σq + Σd + w_k`),
+//!   where the batch-wait quantile `w_k` comes from the Monte-Carlo
+//!   machinery in [`batchwait`].
+//! * **Which to drop** — [`priority`] switches a double-ended priority
+//!   queue ([`depq`]) between High-Budget-First and Low-Budget-First on
+//!   the module load factor µ, with the delayed (hysteresis) transition
+//!   driven by the dynamic ε of [`window::RateHistory`].
+//!
+//! [`policy`] exposes the whole system behind the [`WorkerPolicy`]
+//! trait; every Table 1 ablation is a configuration of [`PardPolicy`],
+//! so ablation experiments exercise the same code path as the full
+//! system. Reactive baselines (Nexus, Clipper++, DAGOR-style overload
+//! control, the no-drop Naive) live in the `pard-policies` crate.
+
+pub mod batchwait;
+pub mod broker;
+pub mod config;
+pub mod depq;
+pub mod planner;
+pub mod policy;
+pub mod priority;
+pub mod state;
+pub mod window;
+
+pub use broker::{proactive_decision, split_decision, Decision, DecisionInputs};
+pub use config::PardConfig;
+pub use depq::Depq;
+pub use planner::{StatePlanner, SubEstimate};
+pub use policy::{
+    OrderMode, PardPolicy, PardPolicyConfig, PolicyFactory, PopCtx, PopOutcome, ReqMeta, RuleMode,
+    SubMode, SyncUpdate, WorkerPolicy,
+};
+pub use priority::{AdaptivePriority, PriorityMode};
+pub use state::{ModuleState, PipelineView};

@@ -1,0 +1,326 @@
+//! The State Planner: estimating `L_sub` with bi-directional information.
+//!
+//! At module `M_k`, the latency budget the *subsequent* modules will
+//! consume decomposes into three independently-estimated parts (§4.2):
+//!
+//! * `Σ Q_i` — cumulative queueing delay, from each module's
+//!   sliding-window average (synchronised across modules);
+//! * `Σ D_i` — cumulative execution duration, from offline profiles at
+//!   the synchronised batch sizes;
+//! * `Σ W_i` — aggregated batch wait, the λ-quantile of the Monte-Carlo
+//!   convolution of per-module wait samples ([`crate::batchwait`]).
+//!
+//! For DAG pipelines the planner estimates along every downstream path
+//! and takes the maximum (§4.2). The planner also derives the module's
+//! load factor µ and the dynamic threshold ε consumed by the adaptive
+//! priority (§4.3), and the dynamic worst-case-latency budget split used
+//! by the PARD-WCL ablation.
+
+use pard_sim::{DetRng, SimDuration};
+
+use crate::batchwait::{aggregate_wait_quantile, WaitSource};
+use crate::state::{ModuleState, PipelineView};
+use crate::window::RateHistory;
+
+/// The planner's estimate of what lies downstream of a module.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SubEstimate {
+    /// `Σ q_i` over the dominant downstream path.
+    pub sum_q: SimDuration,
+    /// `Σ d_i` over the dominant downstream path.
+    pub sum_d: SimDuration,
+    /// `w_k = F⁻¹(λ)` of the aggregated batch wait on that path.
+    pub wait_q: SimDuration,
+    /// `L_sub = Σq + Σd + w_k` (the maximum across downstream paths).
+    pub total: SimDuration,
+}
+
+impl SubEstimate {
+    /// The all-zero estimate (used at the sink and by the PARD-back
+    /// ablation).
+    pub const ZERO: SubEstimate = SubEstimate {
+        sum_q: SimDuration::ZERO,
+        sum_d: SimDuration::ZERO,
+        wait_q: SimDuration::ZERO,
+        total: SimDuration::ZERO,
+    };
+}
+
+/// Per-module State Planner.
+#[derive(Clone, Debug)]
+pub struct StatePlanner {
+    module: usize,
+    /// Downstream paths (module-id sequences, excluding `module` itself).
+    paths: Vec<Vec<usize>>,
+    lambda: f64,
+    mc_draws: usize,
+    rng: DetRng,
+    /// Input-rate history driving ε.
+    rate_history: RateHistory,
+}
+
+impl StatePlanner {
+    /// Creates a planner for `module` with the given downstream paths
+    /// (see [`pard_pipeline::graph::downstream_paths`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty (even the sink has one empty path) or
+    /// `lambda` is outside `[0, 1]`.
+    pub fn new(
+        module: usize,
+        paths: Vec<Vec<usize>>,
+        lambda: f64,
+        mc_draws: usize,
+        rate_history_len: usize,
+        rng: DetRng,
+    ) -> StatePlanner {
+        assert!(!paths.is_empty(), "need at least one downstream path");
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        StatePlanner {
+            module,
+            paths,
+            lambda,
+            mc_draws,
+            rng,
+            rate_history: RateHistory::new(rate_history_len.max(2)),
+        }
+    }
+
+    /// The module this planner serves.
+    pub fn module(&self) -> usize {
+        self.module
+    }
+
+    /// The quantile knob λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Changes λ (used by the sensitivity study, Fig. 14c).
+    pub fn set_lambda(&mut self, lambda: f64) {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        self.lambda = lambda;
+    }
+
+    /// Ingests the module's measured input rate for this sync period and
+    /// returns the current dynamic ε.
+    pub fn observe_input_rate(&mut self, rate: f64) -> f64 {
+        self.rate_history.push(rate);
+        self.rate_history.epsilon()
+    }
+
+    /// Current dynamic ε without pushing a new sample.
+    pub fn epsilon(&self) -> f64 {
+        self.rate_history.epsilon()
+    }
+
+    /// Estimates `L_sub` from the synchronised `view`.
+    ///
+    /// Per §4.2, each downstream path is estimated independently and the
+    /// maximum total is returned (its components are the returned parts).
+    pub fn estimate(&mut self, view: &PipelineView) -> SubEstimate {
+        let mut best = SubEstimate::ZERO;
+        // Paths are estimated in declaration order; strictly greater
+        // totals win, so ties resolve deterministically.
+        for path in &self.paths {
+            let est = estimate_path(view, path, self.lambda, self.mc_draws, &mut self.rng);
+            if est.total > best.total {
+                best = est;
+            }
+        }
+        best
+    }
+
+    /// Dynamic per-module budget split by recent worst-case latency
+    /// (PARD-WCL ablation): returns the *cumulative* budget through each
+    /// module, i.e. `SLO · Σ_{i≤k} wcl_i / Σ_i wcl_i`.
+    ///
+    /// Each module's weight is floored at its profiled execution
+    /// duration: a sliding-window worst case measured during a lull can
+    /// dip below one batch execution, and splitting by the raw value
+    /// would hand the module a budget it cannot physically meet.
+    pub fn wcl_cumulative_budgets(view: &PipelineView, slo: SimDuration) -> Vec<SimDuration> {
+        let weights: Vec<f64> = view
+            .modules
+            .iter()
+            .map(|m| m.worst_case_ms.max(m.exec_ms).max(1.0))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut cum = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                cum += w;
+                slo.mul_f64(cum / total)
+            })
+            .collect()
+    }
+}
+
+/// Estimates one downstream path from the view.
+fn estimate_path(
+    view: &PipelineView,
+    path: &[usize],
+    lambda: f64,
+    mc_draws: usize,
+    rng: &mut DetRng,
+) -> SubEstimate {
+    if path.is_empty() {
+        return SubEstimate::ZERO;
+    }
+    let mut sum_q_ms = 0.0;
+    let mut sum_d_ms = 0.0;
+    // Per-module f64 buffers for the Monte-Carlo draw.
+    let mut sample_buffers: Vec<Vec<f64>> = Vec::with_capacity(path.len());
+    for &m in path {
+        let state: &ModuleState = view.module(m);
+        sum_q_ms += state.avg_queueing_ms;
+        sum_d_ms += state.exec_ms;
+        sample_buffers.push(state.wait_sample_ms.iter().map(|&x| x as f64).collect());
+    }
+    let sources: Vec<WaitSource<'_>> = path
+        .iter()
+        .zip(&sample_buffers)
+        .map(|(&m, buf)| {
+            if buf.is_empty() {
+                WaitSource::Uniform(view.module(m).exec_ms)
+            } else {
+                WaitSource::Samples(buf)
+            }
+        })
+        .collect();
+    let wait_ms = aggregate_wait_quantile(&sources, lambda, mc_draws, rng);
+    let sum_q = SimDuration::from_millis_f64(sum_q_ms);
+    let sum_d = SimDuration::from_millis_f64(sum_d_ms);
+    let wait_q = SimDuration::from_millis_f64(wait_ms);
+    SubEstimate {
+        sum_q,
+        sum_d,
+        wait_q,
+        total: sum_q + sum_d + wait_q,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_sim::SimTime;
+
+    fn view(specs: &[(f64, f64)]) -> PipelineView {
+        // (avg_queueing_ms, exec_ms) per module; no wait samples.
+        let modules = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(q, d))| {
+                let mut m = ModuleState::empty(i);
+                m.avg_queueing_ms = q;
+                m.exec_ms = d;
+                m.throughput = 100.0;
+                m
+            })
+            .collect();
+        PipelineView {
+            taken_at: SimTime::ZERO,
+            modules,
+        }
+    }
+
+    fn planner(module: usize, paths: Vec<Vec<usize>>) -> StatePlanner {
+        StatePlanner::new(module, paths, 0.1, 10_000, 8, DetRng::new(1))
+    }
+
+    #[test]
+    fn chain_estimate_sums_components() {
+        let v = view(&[(5.0, 40.0), (10.0, 40.0), (15.0, 40.0)]);
+        // Module 0's downstream path is [1, 2].
+        let mut p = planner(0, vec![vec![1, 2]]);
+        let est = p.estimate(&v);
+        assert_eq!(est.sum_q, SimDuration::from_millis(25));
+        assert_eq!(est.sum_d, SimDuration::from_millis(80));
+        // No samples → uniform waits, Irwin-Hall(2) 0.1-quantile ≈ 0.447·d.
+        let expect_ms = 0.447 * 40.0;
+        let got_ms = est.wait_q.as_millis_f64();
+        assert!(
+            (got_ms / expect_ms - 1.0).abs() < 0.08,
+            "wait {got_ms}, expect {expect_ms}"
+        );
+        assert_eq!(est.total, est.sum_q + est.sum_d + est.wait_q);
+    }
+
+    #[test]
+    fn sink_estimate_is_zero() {
+        let v = view(&[(5.0, 40.0)]);
+        let mut p = planner(0, vec![vec![]]);
+        assert_eq!(p.estimate(&v), SubEstimate::ZERO);
+    }
+
+    #[test]
+    fn dag_takes_maximum_path() {
+        // Diamond: paths [1,3] and [2,3]; module 2 is much slower.
+        let v = view(&[(0.0, 10.0), (1.0, 10.0), (50.0, 80.0), (2.0, 10.0)]);
+        let mut p = planner(0, vec![vec![1, 3], vec![2, 3]]);
+        let est = p.estimate(&v);
+        // The dominant path must include module 2's 50 ms queueing.
+        assert_eq!(est.sum_q, SimDuration::from_millis(52));
+        assert_eq!(est.sum_d, SimDuration::from_millis(90));
+    }
+
+    #[test]
+    fn lambda_controls_aggressiveness() {
+        let v = view(&[(0.0, 40.0), (0.0, 40.0), (0.0, 40.0)]);
+        let mut low = planner(0, vec![vec![1, 2]]);
+        low.set_lambda(0.0);
+        let mut high = planner(0, vec![vec![1, 2]]);
+        high.set_lambda(1.0);
+        let w_low = low.estimate(&v).wait_q;
+        let w_high = high.estimate(&v).wait_q;
+        assert!(w_low < SimDuration::from_millis(3));
+        assert!(w_high > SimDuration::from_millis(70));
+        assert!(w_high <= SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let v = view(&[(5.0, 40.0), (10.0, 30.0)]);
+        let mut a = planner(0, vec![vec![1]]);
+        let mut b = planner(0, vec![vec![1]]);
+        assert_eq!(a.estimate(&v), b.estimate(&v));
+    }
+
+    #[test]
+    fn observe_input_rate_tracks_epsilon() {
+        let mut p = planner(0, vec![vec![]]);
+        for _ in 0..4 {
+            p.observe_input_rate(100.0);
+        }
+        assert_eq!(p.epsilon(), 0.0);
+        let eps = p.observe_input_rate(300.0);
+        assert!(eps > 0.1, "burst must widen epsilon, got {eps}");
+    }
+
+    #[test]
+    fn wcl_budgets_are_cumulative_and_bounded() {
+        let mut v = view(&[(0.0, 10.0), (0.0, 10.0), (0.0, 10.0)]);
+        v.modules[0].worst_case_ms = 10.0;
+        v.modules[1].worst_case_ms = 30.0;
+        v.modules[2].worst_case_ms = 60.0;
+        let slo = SimDuration::from_millis(500);
+        let budgets = StatePlanner::wcl_cumulative_budgets(&v, slo);
+        assert_eq!(budgets.len(), 3);
+        assert_eq!(budgets[0], SimDuration::from_millis(50));
+        assert_eq!(budgets[1], SimDuration::from_millis(200));
+        assert_eq!(budgets[2], slo);
+        for w in budgets.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn wcl_budgets_fall_back_to_exec() {
+        let v = view(&[(0.0, 10.0), (0.0, 30.0)]);
+        let budgets = StatePlanner::wcl_cumulative_budgets(&v, SimDuration::from_millis(400));
+        assert_eq!(budgets[0], SimDuration::from_millis(100));
+        assert_eq!(budgets[1], SimDuration::from_millis(400));
+    }
+}

@@ -1,0 +1,135 @@
+//! Adaptive request priority with delayed transition (§4.3).
+//!
+//! Two orderings over the DEPQ:
+//!
+//! * **HBF** (High-Budget-First) when the module is under-provisioned
+//!   (µ > 1): serving the requests with the *largest* remaining budgets
+//!   preserves budget for subsequent modules and sheds the ones that
+//!   were going to miss anyway.
+//! * **LBF** (Low-Budget-First) when the workload fits capacity (µ ≤ 1):
+//!   serving the *tightest* requests first absorbs latency uncertainty
+//!   and avoids unnecessary drops (Fig. 7).
+//!
+//! To avoid flapping on workload noise, PARD switches to HBF only when
+//! `µ > 1 + ε` and back to LBF only when `µ < 1 − ε`, where ε is the
+//! dynamic threshold from [`crate::window::RateHistory`]. The
+//! `PARD-instant` ablation sets ε ≡ 0.
+
+/// Which end of the DEPQ to serve first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PriorityMode {
+    /// High-Budget-First: pop the request with the largest remaining
+    /// latency budget.
+    Hbf,
+    /// Low-Budget-First: pop the request with the smallest remaining
+    /// latency budget.
+    Lbf,
+}
+
+/// The delayed-transition controller.
+#[derive(Clone, Debug)]
+pub struct AdaptivePriority {
+    mode: PriorityMode,
+    /// When `true`, thresholds collapse to exactly 1.0 (PARD-instant).
+    instant: bool,
+    transitions: u64,
+}
+
+impl AdaptivePriority {
+    /// Creates a controller starting in LBF (steady-state assumption).
+    pub fn new(instant: bool) -> AdaptivePriority {
+        AdaptivePriority {
+            mode: PriorityMode::Lbf,
+            instant,
+            transitions: 0,
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> PriorityMode {
+        self.mode
+    }
+
+    /// Number of HBF↔LBF transitions so far (Fig. 13 statistic).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Feeds a new load factor µ and dynamic ε; returns the (possibly
+    /// changed) mode.
+    ///
+    /// Within the hysteresis band `[1−ε, 1+ε]` the mode is unchanged.
+    pub fn update(&mut self, mu: f64, epsilon: f64) -> PriorityMode {
+        let eps = if self.instant { 0.0 } else { epsilon.max(0.0) };
+        let th_hbf = 1.0 + eps;
+        let th_lbf = 1.0 - eps;
+        let next = if mu > th_hbf {
+            PriorityMode::Hbf
+        } else if mu < th_lbf {
+            PriorityMode::Lbf
+        } else {
+            self.mode
+        };
+        if next != self.mode {
+            self.transitions += 1;
+            self.mode = next;
+        }
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_in_lbf() {
+        let p = AdaptivePriority::new(false);
+        assert_eq!(p.mode(), PriorityMode::Lbf);
+        assert_eq!(p.transitions(), 0);
+    }
+
+    #[test]
+    fn switches_on_clear_overload_and_back() {
+        let mut p = AdaptivePriority::new(false);
+        assert_eq!(p.update(1.5, 0.1), PriorityMode::Hbf);
+        assert_eq!(p.update(0.5, 0.1), PriorityMode::Lbf);
+        assert_eq!(p.transitions(), 2);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_mode() {
+        let mut p = AdaptivePriority::new(false);
+        p.update(1.5, 0.2); // → HBF
+                            // µ inside [0.8, 1.2]: stay HBF even though µ < 1.
+        assert_eq!(p.update(0.95, 0.2), PriorityMode::Hbf);
+        assert_eq!(p.update(1.1, 0.2), PriorityMode::Hbf);
+        assert_eq!(p.transitions(), 1);
+        // Below the band: back to LBF.
+        assert_eq!(p.update(0.7, 0.2), PriorityMode::Lbf);
+    }
+
+    #[test]
+    fn instant_mode_flaps() {
+        let mut instant = AdaptivePriority::new(true);
+        let mut delayed = AdaptivePriority::new(false);
+        // µ oscillating around 1.0 with wide ε.
+        for i in 0..100 {
+            let mu = if i % 2 == 0 { 1.05 } else { 0.95 };
+            instant.update(mu, 0.2);
+            delayed.update(mu, 0.2);
+        }
+        assert!(
+            instant.transitions() >= 99,
+            "instant transitions {}",
+            instant.transitions()
+        );
+        assert_eq!(delayed.transitions(), 0);
+    }
+
+    #[test]
+    fn negative_epsilon_is_clamped() {
+        let mut p = AdaptivePriority::new(false);
+        assert_eq!(p.update(1.01, -5.0), PriorityMode::Hbf);
+    }
+}

@@ -1,0 +1,157 @@
+//! Module runtime state snapshots exchanged between controllers.
+//!
+//! Each module's State Planner "monitors the runtime state of each
+//! worker, including queueing delay, batch size, and throughput, and
+//! synchronizes these states across modules" (§4.1, once per second in
+//! §5.4). A [`ModuleState`] is the per-module snapshot; a
+//! [`PipelineView`] is one module's (possibly stale) view of the whole
+//! pipeline. [`ModuleState::encoded_size_bytes`] supports the §5.4
+//! overhead accounting (< 3.2 kbps per worker).
+
+use pard_sim::SimTime;
+
+/// Snapshot of one module's runtime state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModuleState {
+    /// Module id.
+    pub module: usize,
+    /// Sliding-window average queueing delay `q_i`, milliseconds.
+    pub avg_queueing_ms: f64,
+    /// Current planned batch size.
+    pub batch_size: usize,
+    /// Profiled execution duration `d_i` at the current batch size, ms.
+    pub exec_ms: f64,
+    /// Aggregate module throughput `T_m` (workers × per-worker), req/s.
+    pub throughput: f64,
+    /// Measured input workload `T_in`, req/s.
+    pub input_rate: f64,
+    /// Recent drop fraction (informational; used by overload control).
+    pub drop_rate: f64,
+    /// Recent worst-case module latency (max `Q+W+D`), ms — the signal
+    /// the PARD-WCL ablation splits budgets by.
+    pub worst_case_ms: f64,
+    /// Compact digest of recent batch-wait samples, milliseconds.
+    pub wait_sample_ms: Vec<f32>,
+}
+
+impl ModuleState {
+    /// A state for a module that has not reported anything yet.
+    pub fn empty(module: usize) -> ModuleState {
+        ModuleState {
+            module,
+            avg_queueing_ms: 0.0,
+            batch_size: 1,
+            exec_ms: 0.0,
+            throughput: 0.0,
+            input_rate: 0.0,
+            drop_rate: 0.0,
+            worst_case_ms: 0.0,
+            wait_sample_ms: Vec::new(),
+        }
+    }
+
+    /// Size of this snapshot on the wire (compact binary encoding):
+    /// 6 × f64 + 2 × u32 + f32 per wait sample.
+    ///
+    /// The paper reports the full state exchange costs < 3.2 kbps per
+    /// worker; `pard-bench`'s overhead run checks this bound.
+    pub fn encoded_size_bytes(&self) -> usize {
+        6 * 8 + 2 * 4 + self.wait_sample_ms.len() * 4
+    }
+
+    /// Module load factor `µ = T_in / T_m` (§4.3); infinite throughput
+    /// deficiency (T_m = 0) reports µ = 0 when idle, else a large value.
+    pub fn load_factor(&self) -> f64 {
+        if self.throughput <= 0.0 {
+            if self.input_rate <= 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.input_rate / self.throughput
+        }
+    }
+}
+
+/// One module's view of every module's state, as of `taken_at`.
+///
+/// Views are refreshed on the synchronisation period, so entries for
+/// *other* modules are up to one period stale — exactly as in the
+/// distributed deployment the paper describes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineView {
+    /// When this view was assembled.
+    pub taken_at: SimTime,
+    /// Per-module states, indexed by module id.
+    pub modules: Vec<ModuleState>,
+}
+
+impl PipelineView {
+    /// An empty view over `n` modules at time zero.
+    pub fn empty(n: usize) -> PipelineView {
+        PipelineView {
+            taken_at: SimTime::ZERO,
+            modules: (0..n).map(ModuleState::empty).collect(),
+        }
+    }
+
+    /// The state of `module`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` is out of range.
+    pub fn module(&self, module: usize) -> &ModuleState {
+        &self.modules[module]
+    }
+
+    /// Total wire size of the view.
+    pub fn encoded_size_bytes(&self) -> usize {
+        self.modules.iter().map(|m| m.encoded_size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_factor_cases() {
+        let mut s = ModuleState::empty(0);
+        assert_eq!(s.load_factor(), 0.0);
+        s.input_rate = 10.0;
+        assert_eq!(s.load_factor(), f64::INFINITY);
+        s.throughput = 20.0;
+        assert!((s.load_factor() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encoded_size_scales_with_digest() {
+        let mut s = ModuleState::empty(0);
+        let base = s.encoded_size_bytes();
+        s.wait_sample_ms = vec![1.0; 64];
+        assert_eq!(s.encoded_size_bytes(), base + 64 * 4);
+    }
+
+    #[test]
+    fn sync_bandwidth_is_within_paper_bound() {
+        // One state per module per second, 5 modules, 64-sample digest:
+        // must stay below 3.2 kbps = 400 bytes/s per worker.
+        let mut s = ModuleState::empty(0);
+        s.wait_sample_ms = vec![0.0; 64];
+        let per_second = s.encoded_size_bytes();
+        assert!(
+            per_second * 8 < 3200,
+            "{} bits/s exceeds 3.2 kbps",
+            per_second * 8
+        );
+    }
+
+    #[test]
+    fn empty_view() {
+        let v = PipelineView::empty(3);
+        assert_eq!(v.modules.len(), 3);
+        assert_eq!(v.module(2).module, 2);
+        assert!(v.encoded_size_bytes() > 0);
+    }
+}

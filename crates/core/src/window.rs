@@ -1,0 +1,330 @@
+//! Sliding-window estimators over runtime signals.
+//!
+//! The State Planner "monitors the recent average queueing delay using a
+//! sliding window" — a 5-second *linear weighted* window by default
+//! (§4.2, footnote 4), with window-size sensitivity studied in §5.4.
+//! This module also provides the input-rate meter behind the module load
+//! factor µ and the dynamic threshold
+//! `ε = Σ|T_in − T_s| / Σ T_in` of §4.3.
+
+use std::collections::VecDeque;
+
+use pard_sim::{SimDuration, SimTime};
+
+/// Linear-weighted mean over a sliding time window.
+///
+/// A sample aged `a` within a window of span `s` carries weight
+/// `1 − a/s`; samples older than the span are evicted.
+#[derive(Clone, Debug)]
+pub struct LinearWeightedWindow {
+    span: SimDuration,
+    samples: VecDeque<(SimTime, f64)>,
+}
+
+impl LinearWeightedWindow {
+    /// Creates a window of the given span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    pub fn new(span: SimDuration) -> LinearWeightedWindow {
+        assert!(!span.is_zero(), "window span must be positive");
+        LinearWeightedWindow {
+            span,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// The configured span.
+    pub fn span(&self) -> SimDuration {
+        self.span
+    }
+
+    /// Records a sample observed at `t`.
+    ///
+    /// Samples must be pushed in non-decreasing time order; out-of-order
+    /// samples are clamped to the latest time seen.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        let t = match self.samples.back() {
+            Some(&(last, _)) if t < last => last,
+            _ => t,
+        };
+        self.samples.push_back((t, value));
+    }
+
+    /// Number of retained samples (before pruning at `now`).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Evicts samples older than the span relative to `now`.
+    pub fn prune(&mut self, now: SimTime) {
+        while let Some(&(t, _)) = self.samples.front() {
+            if now.saturating_since(t) > self.span {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Linear-weighted mean of the samples inside the window at `now`.
+    ///
+    /// Returns `None` when the window holds no in-range samples.
+    pub fn mean(&mut self, now: SimTime) -> Option<f64> {
+        self.prune(now);
+        let span = self.span.as_secs_f64();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(t, v) in &self.samples {
+            let age = now.saturating_since(t).as_secs_f64();
+            let w = (1.0 - age / span).max(0.0);
+            num += w * v;
+            den += w;
+        }
+        if den > 0.0 {
+            Some(num / den)
+        } else {
+            None
+        }
+    }
+
+    /// Maximum sample value inside the window at `now`.
+    pub fn max(&mut self, now: SimTime) -> Option<f64> {
+        self.prune(now);
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+/// Event-rate meter: events per second over a sliding window.
+#[derive(Clone, Debug)]
+pub struct RateMeter {
+    span: SimDuration,
+    events: VecDeque<SimTime>,
+}
+
+impl RateMeter {
+    /// Creates a rate meter with the given window span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    pub fn new(span: SimDuration) -> RateMeter {
+        assert!(!span.is_zero(), "rate meter span must be positive");
+        RateMeter {
+            span,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Records one event at `t`.
+    pub fn record(&mut self, t: SimTime) {
+        self.events.push_back(t);
+    }
+
+    /// Events per second over the window ending at `now`.
+    pub fn rate(&mut self, now: SimTime) -> f64 {
+        while let Some(&t) = self.events.front() {
+            if now.saturating_since(t) > self.span {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.events.len() as f64 / self.span.as_secs_f64()
+    }
+}
+
+/// Input-rate history for the dynamic priority-transition threshold.
+///
+/// §4.3: `ε = Σ|T_in − T_s| / Σ T_in`, where `T_s` is the workload
+/// smoothed by a sliding-window average. The history keeps one `T_in`
+/// sample per tick (the controller pushes once per sync period).
+#[derive(Clone, Debug)]
+pub struct RateHistory {
+    capacity: usize,
+    samples: VecDeque<f64>,
+}
+
+impl RateHistory {
+    /// Creates a history holding `capacity` rate samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> RateHistory {
+        assert!(capacity > 0, "capacity must be positive");
+        RateHistory {
+            capacity,
+            samples: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Records one `T_in` sample.
+    pub fn push(&mut self, rate: f64) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(rate.max(0.0));
+    }
+
+    /// The smoothed workload `T_s` (window average).
+    pub fn smoothed(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// The dynamic threshold `ε = Σ|T_in − T_s| / Σ T_in`.
+    ///
+    /// Returns zero until at least two samples exist or while the total
+    /// input is zero. Bursty workloads widen ε, suppressing priority
+    /// flapping (§4.3).
+    pub fn epsilon(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let total: f64 = self.samples.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let smoothed = self.smoothed();
+        let dev: f64 = self.samples.iter().map(|&r| (r - smoothed).abs()).sum();
+        dev / total
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn weighted_mean_prefers_recent_samples() {
+        let mut w = LinearWeightedWindow::new(SimDuration::from_secs(5));
+        w.push(t(0), 100.0);
+        w.push(t(4_000), 10.0);
+        // At t=4s, the old sample has weight 1-4/5=0.2, the new 1.0.
+        let m = w.mean(t(4_000)).unwrap();
+        let expect = (0.2 * 100.0 + 1.0 * 10.0) / 1.2;
+        assert!((m - expect).abs() < 1e-9, "mean {m}, expect {expect}");
+    }
+
+    #[test]
+    fn samples_expire() {
+        let mut w = LinearWeightedWindow::new(SimDuration::from_secs(5));
+        w.push(t(0), 100.0);
+        assert!(w.mean(t(6_000)).is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn equal_age_samples_average_plainly() {
+        let mut w = LinearWeightedWindow::new(SimDuration::from_secs(5));
+        w.push(t(1_000), 10.0);
+        w.push(t(1_000), 30.0);
+        assert!((w.mean(t(1_000)).unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_pushes_clamp() {
+        let mut w = LinearWeightedWindow::new(SimDuration::from_secs(5));
+        w.push(t(2_000), 1.0);
+        w.push(t(1_000), 2.0); // clamped to t=2000
+        assert_eq!(w.len(), 2);
+        assert!((w.mean(t(2_000)).unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_max() {
+        let mut w = LinearWeightedWindow::new(SimDuration::from_secs(5));
+        assert_eq!(w.max(t(0)), None);
+        w.push(t(0), 3.0);
+        w.push(t(100), 7.0);
+        w.push(t(200), 5.0);
+        assert_eq!(w.max(t(200)), Some(7.0));
+        // After the 7.0 sample expires the max drops.
+        assert_eq!(w.max(t(5_150)), Some(5.0));
+    }
+
+    #[test]
+    fn rate_meter_counts_window_events() {
+        let mut m = RateMeter::new(SimDuration::from_secs(2));
+        for i in 0..10 {
+            m.record(t(i * 100));
+        }
+        // All 10 events within 2 s window: 5 req/s.
+        assert!((m.rate(t(1_000)) - 5.0).abs() < 1e-9);
+        // At t=2.5s only events in [0.5s, 2.5s] remain: 5 events.
+        assert!((m.rate(t(2_500)) - 2.5).abs() < 1e-9);
+        assert_eq!(m.rate(t(60_000)), 0.0);
+    }
+
+    #[test]
+    fn epsilon_is_zero_for_steady_rates() {
+        let mut h = RateHistory::new(10);
+        for _ in 0..10 {
+            h.push(100.0);
+        }
+        assert_eq!(h.epsilon(), 0.0);
+        assert!((h.smoothed() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_grows_with_burstiness() {
+        let mut steady = RateHistory::new(8);
+        let mut bursty = RateHistory::new(8);
+        for i in 0..8 {
+            steady.push(100.0 + (i % 2) as f64);
+            bursty.push(if i % 2 == 0 { 50.0 } else { 250.0 });
+        }
+        assert!(bursty.epsilon() > steady.epsilon() * 10.0);
+        // ε of a ±100-around-150 alternation: Σ|dev| = 8*100, Σ = 8*150.
+        assert!((bursty.epsilon() - 100.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut h = RateHistory::new(4);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        assert_eq!(h.len(), 4);
+        assert!((h.smoothed() - 97.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_edge_cases() {
+        let mut h = RateHistory::new(4);
+        assert_eq!(h.epsilon(), 0.0);
+        h.push(5.0);
+        assert_eq!(h.epsilon(), 0.0); // single sample
+        let mut zeros = RateHistory::new(4);
+        zeros.push(0.0);
+        zeros.push(0.0);
+        assert_eq!(zeros.epsilon(), 0.0); // zero total input
+    }
+}

@@ -1,0 +1,289 @@
+//! Empirical distributions: histograms, CDFs, and reservoir sampling.
+
+use pard_sim::DetRng;
+
+use crate::stats::quantile_sorted;
+
+/// Fixed-range linear-bucket histogram.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi)` with `buckets` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
+        assert!(lo < hi, "empty histogram range");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.buckets.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.buckets[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Total observations recorded, including out-of-range ones.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bucket counts (in-range only).
+    pub fn counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Center value of bucket `i`.
+    pub fn bucket_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Probability-density estimate per bucket (integrates to ≤ 1).
+    pub fn density(&self) -> Vec<f64> {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let n = self.count.max(1) as f64;
+        self.buckets.iter().map(|&c| c as f64 / n / width).collect()
+    }
+
+    /// Observations below/above the configured range.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+}
+
+/// Exact empirical CDF built from a collected sample.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from any sample (copies and sorts it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample contains NaN.
+    pub fn from_samples(samples: &[f64]) -> Cdf {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Cdf { sorted }
+    }
+
+    /// Number of underlying observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; zero for an empty sample.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile function), `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_sorted(&self.sorted, q)
+    }
+
+    /// The sorted sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `(x, P(X<=x))` pairs at `points` evenly spaced quantiles, for plotting.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        (0..=points)
+            .map(|i| {
+                let q = i as f64 / points as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+}
+
+/// Uniform reservoir sampler with bounded memory.
+///
+/// The State Planner keeps recent batch-wait observations in reservoirs;
+/// this type is also reused by the bench harness to bound memory on long
+/// runs. Sampling uses Algorithm R driven by a deterministic RNG.
+#[derive(Clone, Debug)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    samples: Vec<f64>,
+    rng: DetRng,
+}
+
+impl Reservoir {
+    /// Creates a reservoir holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, seed: u64) -> Reservoir {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            capacity,
+            seen: 0,
+            samples: Vec::with_capacity(capacity),
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// Offers one observation to the reservoir.
+    pub fn record(&mut self, x: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(x);
+        } else {
+            let j = self.rng.below(self.seen);
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+
+    /// Total observations offered (not just retained).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained sample.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Discards all retained samples but keeps the RNG stream.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_density() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.counts(), &[1; 10]);
+        let d = h.density();
+        for &p in &d {
+            assert!((p - 0.1).abs() < 1e-12);
+        }
+        assert!((h.bucket_center(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0);
+        h.record(0.5);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram range")]
+    fn histogram_rejects_bad_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn cdf_fraction_and_quantile() {
+        let c = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_below(0.0), 0.0);
+        assert_eq!(c.fraction_below(2.0), 0.5);
+        assert_eq!(c.fraction_below(10.0), 1.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn cdf_curve_is_monotone() {
+        let c = Cdf::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        let curve = c.curve(10);
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn cdf_empty_sample() {
+        let c = Cdf::from_samples(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_below(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), 0.0);
+        assert!(c.curve(4).is_empty());
+    }
+
+    #[test]
+    fn reservoir_keeps_capacity_and_is_representative() {
+        let mut r = Reservoir::new(100, 7);
+        for i in 0..10_000 {
+            r.record(i as f64);
+        }
+        assert_eq!(r.samples().len(), 100);
+        assert_eq!(r.seen(), 10_000);
+        // The retained sample should be roughly uniform over the input.
+        let mean: f64 = r.samples().iter().sum::<f64>() / 100.0;
+        assert!((mean - 5_000.0).abs() < 1_500.0, "mean {mean}");
+    }
+
+    #[test]
+    fn reservoir_clear_resets() {
+        let mut r = Reservoir::new(4, 1);
+        r.record(1.0);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.seen(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Windowed time-series aggregation.
+//!
+//! The paper evaluates goodput and drop rate over *time windows* of varying
+//! size (Fig. 2a/2b, Fig. 9) and as real-time series (Fig. 2d, Fig. 10).
+//! [`WindowSeries`] buckets request events by the send time of the request
+//! (cohort semantics), so "normalized goodput of window i" reads as *the
+//! fraction of requests sent during window i that completed within their
+//! SLO* — bounded in `[0, 1]` and directly comparable across systems.
+
+use pard_sim::{SimDuration, SimTime};
+
+/// What happened to a request (cohort-attributed to its send window).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The request was sent.
+    Arrival,
+    /// The request completed within its SLO.
+    Goodput,
+    /// The request was dropped or completed after its SLO.
+    Drop,
+}
+
+/// Per-window counters of arrivals, goodput, and drops.
+#[derive(Clone, Debug)]
+pub struct WindowSeries {
+    window: SimDuration,
+    arrivals: Vec<u64>,
+    goodput: Vec<u64>,
+    drops: Vec<u64>,
+}
+
+impl WindowSeries {
+    /// Creates an empty series with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration) -> WindowSeries {
+        assert!(!window.is_zero(), "window must be positive");
+        WindowSeries {
+            window,
+            arrivals: Vec::new(),
+            goodput: Vec::new(),
+            drops: Vec::new(),
+        }
+    }
+
+    /// The window size.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Records `kind` for a request sent at `sent`.
+    pub fn record(&mut self, kind: EventKind, sent: SimTime) {
+        let idx = (sent.as_micros() / self.window.as_micros()) as usize;
+        let grow = |v: &mut Vec<u64>| {
+            if v.len() <= idx {
+                v.resize(idx + 1, 0);
+            }
+            v[idx] += 1;
+        };
+        match kind {
+            EventKind::Arrival => grow(&mut self.arrivals),
+            EventKind::Goodput => grow(&mut self.goodput),
+            EventKind::Drop => grow(&mut self.drops),
+        }
+        // Keep all three vectors the same length for easy iteration.
+        let len = self
+            .arrivals
+            .len()
+            .max(self.goodput.len())
+            .max(self.drops.len());
+        self.arrivals.resize(len, 0);
+        self.goodput.resize(len, 0);
+        self.drops.resize(len, 0);
+    }
+
+    /// Number of windows observed.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Start time of window `i`.
+    pub fn window_start(&self, i: usize) -> SimTime {
+        SimTime::from_micros(i as u64 * self.window.as_micros())
+    }
+
+    /// Fraction of window-`i` arrivals that met the SLO (zero if no arrivals).
+    pub fn normalized_goodput(&self, i: usize) -> f64 {
+        if self.arrivals[i] == 0 {
+            0.0
+        } else {
+            self.goodput[i] as f64 / self.arrivals[i] as f64
+        }
+    }
+
+    /// Fraction of window-`i` arrivals that were dropped (zero if no arrivals).
+    pub fn drop_rate(&self, i: usize) -> f64 {
+        if self.arrivals[i] == 0 {
+            0.0
+        } else {
+            self.drops[i] as f64 / self.arrivals[i] as f64
+        }
+    }
+
+    /// Goodput of window `i` in requests per second.
+    pub fn goodput_rate(&self, i: usize) -> f64 {
+        self.goodput[i] as f64 / self.window.as_secs_f64()
+    }
+
+    /// Arrival rate of window `i` in requests per second.
+    pub fn arrival_rate(&self, i: usize) -> f64 {
+        self.arrivals[i] as f64 / self.window.as_secs_f64()
+    }
+
+    /// Windows with at least one arrival, as `(index, normalized goodput)`.
+    pub fn normalized_goodput_series(&self) -> Vec<(SimTime, f64)> {
+        (0..self.len())
+            .filter(|&i| self.arrivals[i] > 0)
+            .map(|i| (self.window_start(i), self.normalized_goodput(i)))
+            .collect()
+    }
+
+    /// Windows with at least one arrival, as `(index, drop rate)`.
+    pub fn drop_rate_series(&self) -> Vec<(SimTime, f64)> {
+        (0..self.len())
+            .filter(|&i| self.arrivals[i] > 0)
+            .map(|i| (self.window_start(i), self.drop_rate(i)))
+            .collect()
+    }
+
+    /// The worst window: `(start, normalized goodput, drop rate)`.
+    ///
+    /// This is the Fig. 2a/2b statistic: the minimum goodput over the
+    /// entire runtime at this window size, with the drop rate of the same
+    /// window. Windows without arrivals are skipped. Returns `None` if no
+    /// window had arrivals.
+    pub fn worst_window(&self) -> Option<(SimTime, f64, f64)> {
+        (0..self.len())
+            .filter(|&i| self.arrivals[i] > 0)
+            .map(|i| {
+                (
+                    self.window_start(i),
+                    self.normalized_goodput(i),
+                    self.drop_rate(i),
+                )
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN goodput"))
+    }
+
+    /// The maximum windowed drop rate (Fig. 9 statistic).
+    pub fn max_drop_rate(&self) -> f64 {
+        (0..self.len())
+            .filter(|&i| self.arrivals[i] > 0)
+            .map(|i| self.drop_rate(i))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with(window_s: u64, events: &[(EventKind, u64)]) -> WindowSeries {
+        let mut s = WindowSeries::new(SimDuration::from_secs(window_s));
+        for &(kind, t_ms) in events {
+            s.record(kind, SimTime::from_millis(t_ms));
+        }
+        s
+    }
+
+    #[test]
+    fn buckets_by_send_time() {
+        use EventKind::*;
+        let s = series_with(
+            1,
+            &[
+                (Arrival, 100),
+                (Arrival, 900),
+                (Goodput, 100),
+                (Arrival, 1100),
+                (Drop, 1100),
+            ],
+        );
+        assert_eq!(s.len(), 2);
+        assert!((s.normalized_goodput(0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.drop_rate(0), 0.0);
+        assert_eq!(s.normalized_goodput(1), 0.0);
+        assert!((s.drop_rate(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_window_finds_minimum() {
+        use EventKind::*;
+        let s = series_with(
+            1,
+            &[
+                (Arrival, 0),
+                (Goodput, 0),
+                (Arrival, 1000),
+                (Drop, 1000),
+                (Arrival, 2000),
+                (Goodput, 2000),
+            ],
+        );
+        let (start, goodput, drop) = s.worst_window().unwrap();
+        assert_eq!(start, SimTime::from_secs(1));
+        assert_eq!(goodput, 0.0);
+        assert!((drop - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_divide_by_window() {
+        use EventKind::*;
+        let mut s = WindowSeries::new(SimDuration::from_secs(2));
+        for i in 0..10 {
+            s.record(Arrival, SimTime::from_millis(i * 100));
+            s.record(Goodput, SimTime::from_millis(i * 100));
+        }
+        assert!((s.goodput_rate(0) - 5.0).abs() < 1e-12);
+        assert!((s.arrival_rate(0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_windows_are_skipped_in_series() {
+        use EventKind::*;
+        let s = series_with(1, &[(Arrival, 100), (Goodput, 100), (Arrival, 5000)]);
+        // Windows 1..4 have no arrivals and are skipped.
+        let series = s.normalized_goodput_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(s.max_drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn worst_window_none_without_arrivals() {
+        let s = WindowSeries::new(SimDuration::from_secs(1));
+        assert!(s.worst_window().is_none());
+    }
+}

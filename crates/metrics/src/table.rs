@@ -1,0 +1,167 @@
+//! Plain-text table rendering for the benchmark harness.
+//!
+//! Every figure/table reproduction binary prints its result as an aligned
+//! ASCII table so `cargo run --bin figNN` output can be compared to the
+//! paper directly and diffed between runs.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of pre-formatted cells.
+    ///
+    /// Rows shorter than the header are padded with empty cells; longer
+    /// rows extend the column count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: appends a row of `&str` cells.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Table {
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let render_row = |out: &mut String, cells: &[String]| {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = width - cell.chars().count();
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                line.extend(std::iter::repeat_n(' ', pad));
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        };
+        if !self.header.is_empty() {
+            render_row(&mut out, &self.header);
+            let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for r in &self.rows {
+            render_row(&mut out, r);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `12.3%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a fraction as a percentage with two decimals, e.g. `0.12%`.
+pub fn pct2(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a float with three significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats milliseconds with one decimal, e.g. `41.3ms`.
+pub fn ms(x: f64) -> String {
+    format!("{x:.1}ms")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row_str(&["a", "1"]);
+        t.row_str(&["longer-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "== demo ==");
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[2].starts_with("---"));
+        assert!(lines[3].starts_with("a "));
+        assert!(lines[4].starts_with("longer-name"));
+        // The value column starts at the same offset in every row.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].trim_end().rfind('1').unwrap(), col);
+    }
+
+    #[test]
+    fn ragged_rows_do_not_panic() {
+        let mut t = Table::new("", &["a"]);
+        t.row_str(&["x", "extra", "cells"]);
+        t.row_str(&[]);
+        let s = t.render();
+        assert!(s.contains("extra"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(pct2(0.0012), "0.12%");
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(ms(41.25), "41.2ms");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new("t", &["h1", "h2"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert!(s.contains("h1"));
+    }
+}

@@ -1,0 +1,150 @@
+//! The four applications evaluated in the paper (§5.1).
+
+use pard_sim::SimDuration;
+
+use crate::spec::{ModuleSpec, PipelineSpec};
+
+/// The paper's application pipelines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Traffic monitoring: 3 modules, 400 ms SLO.
+    Tm,
+    /// Live video analysis: 5 modules, 500 ms SLO.
+    Lv,
+    /// Game analysis: 5 modules, 600 ms SLO.
+    Gm,
+    /// DAG-style live video analysis: 4 modules with a parallel branch,
+    /// 420 ms SLO.
+    Da,
+}
+
+impl AppKind {
+    /// All applications in the paper's order.
+    pub const ALL: [AppKind; 4] = [AppKind::Lv, AppKind::Tm, AppKind::Gm, AppKind::Da];
+
+    /// Canonical lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Tm => "tm",
+            AppKind::Lv => "lv",
+            AppKind::Gm => "gm",
+            AppKind::Da => "da",
+        }
+    }
+
+    /// The end-to-end latency SLO (§5.1).
+    pub fn slo(self) -> SimDuration {
+        SimDuration::from_millis(match self {
+            AppKind::Tm => 400,
+            AppKind::Lv => 500,
+            AppKind::Gm => 600,
+            AppKind::Da => 420,
+        })
+    }
+
+    /// Builds the pipeline specification.
+    pub fn pipeline(self) -> PipelineSpec {
+        match self {
+            AppKind::Tm => PipelineSpec::chain(
+                "tm",
+                self.slo(),
+                &["object-detection", "face-recognition", "text-recognition"],
+            ),
+            AppKind::Lv => PipelineSpec::chain(
+                "lv",
+                self.slo(),
+                &[
+                    "person-detection",
+                    "face-recognition",
+                    "expression-recognition",
+                    "eye-tracking",
+                    "pose-recognition",
+                ],
+            ),
+            AppKind::Gm => PipelineSpec::chain(
+                "gm",
+                self.slo(),
+                &[
+                    "object-detection",
+                    "kill-count-detection",
+                    "alive-player-recognition",
+                    "health-value-recognition",
+                    "icon-recognition",
+                ],
+            ),
+            AppKind::Da => PipelineSpec {
+                name: "da".into(),
+                slo: self.slo(),
+                modules: vec![
+                    ModuleSpec {
+                        name: "person-detection".into(),
+                        id: 0,
+                        pres: vec![],
+                        subs: vec![1, 2],
+                    },
+                    ModuleSpec {
+                        name: "pose-recognition".into(),
+                        id: 1,
+                        pres: vec![0],
+                        subs: vec![3],
+                    },
+                    ModuleSpec {
+                        name: "face-recognition".into(),
+                        id: 2,
+                        pres: vec![0],
+                        subs: vec![3],
+                    },
+                    ModuleSpec {
+                        name: "expression-recognition".into(),
+                        id: 3,
+                        pres: vec![1, 2],
+                        subs: vec![],
+                    },
+                ],
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+
+    #[test]
+    fn all_builtins_validate() {
+        for app in AppKind::ALL {
+            let p = app.pipeline();
+            p.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+            assert_eq!(p.name, app.name());
+            assert_eq!(p.slo, app.slo());
+        }
+    }
+
+    #[test]
+    fn module_counts_match_paper() {
+        assert_eq!(AppKind::Tm.pipeline().len(), 3);
+        assert_eq!(AppKind::Lv.pipeline().len(), 5);
+        assert_eq!(AppKind::Gm.pipeline().len(), 5);
+        assert_eq!(AppKind::Da.pipeline().len(), 4);
+    }
+
+    #[test]
+    fn da_has_parallel_branch() {
+        let da = AppKind::Da.pipeline();
+        assert!(!da.is_chain());
+        assert_eq!(graph::split_nodes(&da), vec![0]);
+        assert_eq!(graph::merge_nodes(&da), vec![3]);
+        let mut paths = graph::paths_to_sink(&da, 0);
+        paths.sort();
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn chains_are_chains() {
+        for app in [AppKind::Tm, AppKind::Lv, AppKind::Gm] {
+            assert!(app.pipeline().is_chain(), "{}", app.name());
+        }
+    }
+}

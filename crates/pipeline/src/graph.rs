@@ -1,0 +1,191 @@
+//! Graph utilities over pipeline specifications.
+//!
+//! The State Planner needs, for every module `k`, the set of *downstream
+//! paths* from `k` to the sink: latency is estimated along each path and
+//! the maximum is taken as the end-to-end estimate (§4.2, DAG handling).
+
+use crate::spec::PipelineSpec;
+
+/// Topological order of module ids (Kahn's algorithm).
+///
+/// The spec must be valid (acyclic); on cyclic input the result is
+/// truncated.
+pub fn topo_order(spec: &PipelineSpec) -> Vec<usize> {
+    let n = spec.modules.len();
+    let mut indeg: Vec<usize> = spec.modules.iter().map(|m| m.pres.len()).collect();
+    // Use a FIFO of ready nodes for a stable, deterministic order.
+    let mut ready: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = ready.pop_front() {
+        order.push(i);
+        for &s in &spec.modules[i].subs {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push_back(s);
+            }
+        }
+    }
+    order
+}
+
+/// All paths from `from` to the sink, as module-id sequences starting
+/// with `from` (inclusive).
+///
+/// Pipelines are small DAGs; path counts are bounded in practice. A hard
+/// cap of 4096 paths guards against pathological inputs.
+pub fn paths_to_sink(spec: &PipelineSpec, from: usize) -> Vec<Vec<usize>> {
+    const CAP: usize = 4096;
+    let mut out = Vec::new();
+    let mut stack = vec![from];
+    fn recurse(spec: &PipelineSpec, stack: &mut Vec<usize>, out: &mut Vec<Vec<usize>>, cap: usize) {
+        if out.len() >= cap {
+            return;
+        }
+        let cur = *stack.last().expect("stack is never empty");
+        if spec.modules[cur].subs.is_empty() {
+            out.push(stack.clone());
+            return;
+        }
+        for &s in &spec.modules[cur].subs {
+            stack.push(s);
+            recurse(spec, stack, out, cap);
+            stack.pop();
+        }
+    }
+    recurse(spec, &mut stack, &mut out, CAP);
+    out
+}
+
+/// All paths from `from` to the sink, *excluding* `from` itself.
+///
+/// This is the "subsequent modules" view used for `L_sub` estimation: at
+/// the sink it returns a single empty path.
+pub fn downstream_paths(spec: &PipelineSpec, from: usize) -> Vec<Vec<usize>> {
+    paths_to_sink(spec, from)
+        .into_iter()
+        .map(|p| p[1..].to_vec())
+        .collect()
+}
+
+/// Module ids that fan out (more than one successor).
+pub fn split_nodes(spec: &PipelineSpec) -> Vec<usize> {
+    spec.modules
+        .iter()
+        .filter(|m| m.subs.len() > 1)
+        .map(|m| m.id)
+        .collect()
+}
+
+/// Module ids that fan in (more than one predecessor).
+pub fn merge_nodes(spec: &PipelineSpec) -> Vec<usize> {
+    spec.modules
+        .iter()
+        .filter(|m| m.pres.len() > 1)
+        .map(|m| m.id)
+        .collect()
+}
+
+/// Length (module count) of the longest path from source to sink.
+pub fn depth(spec: &PipelineSpec) -> usize {
+    let order = topo_order(spec);
+    let mut dist = vec![1usize; spec.modules.len()];
+    for &i in &order {
+        for &s in &spec.modules[i].subs {
+            dist[s] = dist[s].max(dist[i] + 1);
+        }
+    }
+    dist.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ModuleSpec, PipelineSpec};
+    use pard_sim::SimDuration;
+
+    fn chain5() -> PipelineSpec {
+        PipelineSpec::chain(
+            "lv",
+            SimDuration::from_millis(500),
+            &["a", "b", "c", "d", "e"],
+        )
+    }
+
+    fn diamond() -> PipelineSpec {
+        PipelineSpec {
+            name: "da".into(),
+            slo: SimDuration::from_millis(420),
+            modules: vec![
+                ModuleSpec {
+                    name: "a".into(),
+                    id: 0,
+                    pres: vec![],
+                    subs: vec![1, 2],
+                },
+                ModuleSpec {
+                    name: "b".into(),
+                    id: 1,
+                    pres: vec![0],
+                    subs: vec![3],
+                },
+                ModuleSpec {
+                    name: "c".into(),
+                    id: 2,
+                    pres: vec![0],
+                    subs: vec![3],
+                },
+                ModuleSpec {
+                    name: "d".into(),
+                    id: 3,
+                    pres: vec![1, 2],
+                    subs: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let spec = diamond();
+        let order = topo_order(&spec);
+        assert_eq!(order.len(), 4);
+        let pos = |m: usize| order.iter().position(|&x| x == m).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn chain_paths_are_suffixes() {
+        let spec = chain5();
+        assert_eq!(paths_to_sink(&spec, 2), vec![vec![2, 3, 4]]);
+        assert_eq!(downstream_paths(&spec, 2), vec![vec![3, 4]]);
+        assert_eq!(downstream_paths(&spec, 4), vec![vec![]]);
+    }
+
+    #[test]
+    fn diamond_enumerates_both_branches() {
+        let spec = diamond();
+        let mut paths = paths_to_sink(&spec, 0);
+        paths.sort();
+        assert_eq!(paths, vec![vec![0, 1, 3], vec![0, 2, 3]]);
+        assert_eq!(downstream_paths(&spec, 1), vec![vec![3]]);
+    }
+
+    #[test]
+    fn split_and_merge_nodes() {
+        let spec = diamond();
+        assert_eq!(split_nodes(&spec), vec![0]);
+        assert_eq!(merge_nodes(&spec), vec![3]);
+        let chain = chain5();
+        assert!(split_nodes(&chain).is_empty());
+        assert!(merge_nodes(&chain).is_empty());
+    }
+
+    #[test]
+    fn depth_of_chain_and_diamond() {
+        assert_eq!(depth(&chain5()), 5);
+        assert_eq!(depth(&diamond()), 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! Pipeline specifications, JSON configuration, and DAG utilities.
+//!
+//! PARD "defines an inference pipeline via a JSON file composed of
+//! multiple module configurations `(name, id, pres, subs)`" (§5.1). This
+//! crate owns that schema:
+//!
+//! * [`json`] — an in-tree RFC 8259 JSON parser/serialiser (no external
+//!   dependency; see DESIGN.md for the rationale).
+//! * [`spec`] — [`PipelineSpec`]/[`ModuleSpec`] with full structural
+//!   validation (mirrored edges, single source/sink, acyclicity).
+//! * [`graph`] — topological order, downstream-path enumeration (the
+//!   basis of DAG latency estimation, §4.2), split/merge detection.
+//! * [`builtin`] — the paper's four applications (`tm`, `lv`, `gm`,
+//!   `da`) with their SLOs.
+
+pub mod builtin;
+pub mod graph;
+pub mod json;
+pub mod spec;
+
+pub use builtin::AppKind;
+pub use spec::{ModuleSpec, PipelineSpec, SpecError};

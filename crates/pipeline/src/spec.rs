@@ -1,0 +1,508 @@
+//! Pipeline specifications.
+//!
+//! A pipeline is a DAG of modules, each serving one DNN model. Following
+//! §5.1, a module configuration consists of `(name, id, pres, subs)`
+//! where `pres` and `subs` list the preceding and subsequent module ids.
+//! Requests are split when `subs` has several entries and merged when
+//! `pres` has several entries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pard_sim::SimDuration;
+
+use crate::json::{self, Value};
+
+/// One module of a pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModuleSpec {
+    /// Model name, as registered in the application library (model zoo).
+    pub name: String,
+    /// Module id; must equal the module's index in the pipeline.
+    pub id: usize,
+    /// Ids of preceding modules (empty for the source).
+    pub pres: Vec<usize>,
+    /// Ids of subsequent modules (empty for the sink).
+    pub subs: Vec<usize>,
+}
+
+/// A complete pipeline specification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineSpec {
+    /// Application name (e.g. `"lv"`).
+    pub name: String,
+    /// End-to-end latency SLO.
+    pub slo: SimDuration,
+    /// Modules, indexed by id.
+    pub modules: Vec<ModuleSpec>,
+}
+
+/// Validation failure for a [`PipelineSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The pipeline has no modules.
+    Empty,
+    /// Module at `index` has `id` not equal to its index.
+    IdMismatch {
+        /// Position in the module list.
+        index: usize,
+        /// Declared id.
+        id: usize,
+    },
+    /// An edge references a module id outside the pipeline.
+    DanglingEdge {
+        /// Module declaring the edge.
+        module: usize,
+        /// The out-of-range id.
+        target: usize,
+    },
+    /// A module lists itself as predecessor or successor.
+    SelfLoop {
+        /// The offending module.
+        module: usize,
+    },
+    /// `a` lists `b` in `subs` but `b` does not list `a` in `pres` (or
+    /// vice versa).
+    InconsistentEdge {
+        /// Upstream module.
+        from: usize,
+        /// Downstream module.
+        to: usize,
+    },
+    /// A duplicate id appears in a `pres`/`subs` list.
+    DuplicateEdge {
+        /// Module declaring the duplicate.
+        module: usize,
+        /// The duplicated neighbour id.
+        target: usize,
+    },
+    /// The graph contains a cycle.
+    Cyclic,
+    /// The pipeline does not have exactly one source module.
+    SourceCount(usize),
+    /// The pipeline does not have exactly one sink module.
+    SinkCount(usize),
+    /// The SLO is zero.
+    ZeroSlo,
+    /// JSON-level failure while deserialising.
+    Json(String),
+    /// A required field is missing or has the wrong type.
+    Schema(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Empty => write!(f, "pipeline has no modules"),
+            SpecError::IdMismatch { index, id } => {
+                write!(f, "module at index {index} declares id {id}")
+            }
+            SpecError::DanglingEdge { module, target } => {
+                write!(f, "module {module} references unknown module {target}")
+            }
+            SpecError::SelfLoop { module } => write!(f, "module {module} references itself"),
+            SpecError::InconsistentEdge { from, to } => {
+                write!(f, "edge {from}->{to} is not mirrored in pres/subs")
+            }
+            SpecError::DuplicateEdge { module, target } => {
+                write!(f, "module {module} lists {target} twice")
+            }
+            SpecError::Cyclic => write!(f, "pipeline graph contains a cycle"),
+            SpecError::SourceCount(n) => write!(f, "expected exactly 1 source, found {n}"),
+            SpecError::SinkCount(n) => write!(f, "expected exactly 1 sink, found {n}"),
+            SpecError::ZeroSlo => write!(f, "SLO must be positive"),
+            SpecError::Json(e) => write!(f, "invalid JSON: {e}"),
+            SpecError::Schema(e) => write!(f, "schema error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl PipelineSpec {
+    /// Builds a linear chain with modules named `names`, ids `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty.
+    pub fn chain(name: impl Into<String>, slo: SimDuration, names: &[&str]) -> PipelineSpec {
+        assert!(!names.is_empty(), "chain needs at least one module");
+        let n = names.len();
+        let modules = names
+            .iter()
+            .enumerate()
+            .map(|(i, &model)| ModuleSpec {
+                name: model.to_string(),
+                id: i,
+                pres: if i == 0 { vec![] } else { vec![i - 1] },
+                subs: if i + 1 == n { vec![] } else { vec![i + 1] },
+            })
+            .collect();
+        PipelineSpec {
+            name: name.into(),
+            slo,
+            modules,
+        }
+    }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Whether the pipeline has no modules.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// The single source module id.
+    ///
+    /// Call [`PipelineSpec::validate`] first; on an invalid spec this
+    /// returns the first module without predecessors (or 0).
+    pub fn source(&self) -> usize {
+        self.modules
+            .iter()
+            .position(|m| m.pres.is_empty())
+            .unwrap_or(0)
+    }
+
+    /// The single sink module id (same caveat as [`PipelineSpec::source`]).
+    pub fn sink(&self) -> usize {
+        self.modules
+            .iter()
+            .position(|m| m.subs.is_empty())
+            .unwrap_or(0)
+    }
+
+    /// Whether the pipeline is a simple chain (no splits or merges).
+    pub fn is_chain(&self) -> bool {
+        self.modules
+            .iter()
+            .all(|m| m.pres.len() <= 1 && m.subs.len() <= 1)
+    }
+
+    /// Checks all structural invariants.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.modules.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        if self.slo.is_zero() {
+            return Err(SpecError::ZeroSlo);
+        }
+        let n = self.modules.len();
+        for (index, m) in self.modules.iter().enumerate() {
+            if m.id != index {
+                return Err(SpecError::IdMismatch { index, id: m.id });
+            }
+            for list in [&m.pres, &m.subs] {
+                let mut seen = vec![false; n];
+                for &t in list {
+                    if t >= n {
+                        return Err(SpecError::DanglingEdge {
+                            module: m.id,
+                            target: t,
+                        });
+                    }
+                    if t == m.id {
+                        return Err(SpecError::SelfLoop { module: m.id });
+                    }
+                    if seen[t] {
+                        return Err(SpecError::DuplicateEdge {
+                            module: m.id,
+                            target: t,
+                        });
+                    }
+                    seen[t] = true;
+                }
+            }
+        }
+        // Edge consistency: subs and pres must mirror each other.
+        for m in &self.modules {
+            for &t in &m.subs {
+                if !self.modules[t].pres.contains(&m.id) {
+                    return Err(SpecError::InconsistentEdge { from: m.id, to: t });
+                }
+            }
+            for &p in &m.pres {
+                if !self.modules[p].subs.contains(&m.id) {
+                    return Err(SpecError::InconsistentEdge { from: p, to: m.id });
+                }
+            }
+        }
+        // Exactly one source and one sink.
+        let sources = self.modules.iter().filter(|m| m.pres.is_empty()).count();
+        if sources != 1 {
+            return Err(SpecError::SourceCount(sources));
+        }
+        let sinks = self.modules.iter().filter(|m| m.subs.is_empty()).count();
+        if sinks != 1 {
+            return Err(SpecError::SinkCount(sinks));
+        }
+        // Acyclicity via Kahn's algorithm.
+        let mut indeg: Vec<usize> = self.modules.iter().map(|m| m.pres.len()).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0;
+        while let Some(i) = ready.pop() {
+            visited += 1;
+            for &s in &self.modules[i].subs {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        if visited != n {
+            return Err(SpecError::Cyclic);
+        }
+        Ok(())
+    }
+
+    /// Serialises to the JSON configuration format of §5.1.
+    pub fn to_json(&self) -> String {
+        let modules: Vec<Value> = self
+            .modules
+            .iter()
+            .map(|m| {
+                let mut obj = BTreeMap::new();
+                obj.insert("name".to_string(), Value::String(m.name.clone()));
+                obj.insert("id".to_string(), Value::Number(m.id as f64));
+                obj.insert(
+                    "pres".to_string(),
+                    Value::Array(m.pres.iter().map(|&p| Value::Number(p as f64)).collect()),
+                );
+                obj.insert(
+                    "subs".to_string(),
+                    Value::Array(m.subs.iter().map(|&s| Value::Number(s as f64)).collect()),
+                );
+                Value::Object(obj)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("name".to_string(), Value::String(self.name.clone()));
+        root.insert(
+            "slo_ms".to_string(),
+            Value::Number(self.slo.as_millis_f64()),
+        );
+        root.insert("modules".to_string(), Value::Array(modules));
+        Value::Object(root).to_json()
+    }
+
+    /// Parses and validates a JSON configuration.
+    pub fn from_json(text: &str) -> Result<PipelineSpec, SpecError> {
+        let doc = json::parse(text).map_err(|e| SpecError::Json(e.to_string()))?;
+        let name = doc
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| SpecError::Schema("missing string field \"name\"".into()))?
+            .to_string();
+        let slo_ms = doc
+            .get("slo_ms")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| SpecError::Schema("missing numeric field \"slo_ms\"".into()))?;
+        let modules_json = doc
+            .get("modules")
+            .and_then(Value::as_array)
+            .ok_or_else(|| SpecError::Schema("missing array field \"modules\"".into()))?;
+        let parse_ids = |v: &Value, field: &str| -> Result<Vec<usize>, SpecError> {
+            v.as_array()
+                .ok_or_else(|| SpecError::Schema(format!("\"{field}\" must be an array")))?
+                .iter()
+                .map(|x| {
+                    x.as_u64().map(|u| u as usize).ok_or_else(|| {
+                        SpecError::Schema(format!("\"{field}\" entries must be ids"))
+                    })
+                })
+                .collect()
+        };
+        let mut modules = Vec::with_capacity(modules_json.len());
+        for m in modules_json {
+            let name = m
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| SpecError::Schema("module missing \"name\"".into()))?
+                .to_string();
+            let id = m
+                .get("id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| SpecError::Schema("module missing \"id\"".into()))?
+                as usize;
+            let pres = parse_ids(
+                m.get("pres")
+                    .ok_or_else(|| SpecError::Schema("module missing \"pres\"".into()))?,
+                "pres",
+            )?;
+            let subs = parse_ids(
+                m.get("subs")
+                    .ok_or_else(|| SpecError::Schema("module missing \"subs\"".into()))?,
+                "subs",
+            )?;
+            modules.push(ModuleSpec {
+                name,
+                id,
+                pres,
+                subs,
+            });
+        }
+        let spec = PipelineSpec {
+            name,
+            slo: SimDuration::from_millis_f64(slo_ms),
+            modules,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> PipelineSpec {
+        PipelineSpec {
+            name: "da".into(),
+            slo: SimDuration::from_millis(420),
+            modules: vec![
+                ModuleSpec {
+                    name: "a".into(),
+                    id: 0,
+                    pres: vec![],
+                    subs: vec![1, 2],
+                },
+                ModuleSpec {
+                    name: "b".into(),
+                    id: 1,
+                    pres: vec![0],
+                    subs: vec![3],
+                },
+                ModuleSpec {
+                    name: "c".into(),
+                    id: 2,
+                    pres: vec![0],
+                    subs: vec![3],
+                },
+                ModuleSpec {
+                    name: "d".into(),
+                    id: 3,
+                    pres: vec![1, 2],
+                    subs: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chain_builder_is_valid() {
+        let p = PipelineSpec::chain("tm", SimDuration::from_millis(400), &["a", "b", "c"]);
+        p.validate().unwrap();
+        assert!(p.is_chain());
+        assert_eq!(p.source(), 0);
+        assert_eq!(p.sink(), 2);
+    }
+
+    #[test]
+    fn diamond_is_valid_but_not_chain() {
+        let p = diamond();
+        p.validate().unwrap();
+        assert!(!p.is_chain());
+        assert_eq!(p.source(), 0);
+        assert_eq!(p.sink(), 3);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = diamond();
+        let text = p.to_json();
+        let back = PipelineSpec::from_json(&text).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn validation_catches_inconsistent_edges() {
+        let mut p = diamond();
+        p.modules[1].subs.clear();
+        assert!(matches!(
+            p.validate(),
+            Err(SpecError::InconsistentEdge { .. }) | Err(SpecError::SinkCount(_))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_cycles() {
+        let mut p = PipelineSpec::chain("x", SimDuration::from_millis(100), &["a", "b"]);
+        // Make 1 -> 0 as well: cycle (and no source/sink).
+        p.modules[1].subs = vec![0];
+        p.modules[0].pres = vec![1];
+        let err = p.validate().unwrap_err();
+        assert!(
+            matches!(err, SpecError::Cyclic | SpecError::SourceCount(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validation_catches_id_and_edge_errors() {
+        let mut p = diamond();
+        p.modules[2].id = 7;
+        assert_eq!(p.validate(), Err(SpecError::IdMismatch { index: 2, id: 7 }));
+
+        let mut p = diamond();
+        p.modules[0].subs = vec![1, 9];
+        assert_eq!(
+            p.validate(),
+            Err(SpecError::DanglingEdge {
+                module: 0,
+                target: 9
+            })
+        );
+
+        let mut p = diamond();
+        p.modules[0].subs = vec![0];
+        assert_eq!(p.validate(), Err(SpecError::SelfLoop { module: 0 }));
+
+        let mut p = diamond();
+        p.modules[3].pres = vec![1, 1];
+        assert_eq!(
+            p.validate(),
+            Err(SpecError::DuplicateEdge {
+                module: 3,
+                target: 1
+            })
+        );
+    }
+
+    #[test]
+    fn validation_catches_empty_and_zero_slo() {
+        let p = PipelineSpec {
+            name: "e".into(),
+            slo: SimDuration::from_millis(1),
+            modules: vec![],
+        };
+        assert_eq!(p.validate(), Err(SpecError::Empty));
+        let mut p = diamond();
+        p.slo = SimDuration::ZERO;
+        assert_eq!(p.validate(), Err(SpecError::ZeroSlo));
+    }
+
+    #[test]
+    fn from_json_reports_schema_errors() {
+        assert!(matches!(
+            PipelineSpec::from_json("{"),
+            Err(SpecError::Json(_))
+        ));
+        assert!(matches!(
+            PipelineSpec::from_json(r#"{"name":"x"}"#),
+            Err(SpecError::Schema(_))
+        ));
+        let no_pres = r#"{"name":"x","slo_ms":400,"modules":[{"name":"a","id":0,"subs":[]}]}"#;
+        assert!(matches!(
+            PipelineSpec::from_json(no_pres),
+            Err(SpecError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SpecError::InconsistentEdge { from: 1, to: 2 };
+        assert!(e.to_string().contains("1->2"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the in-tree JSON parser: round-trip fidelity and
+//! no-panic robustness on arbitrary input.
+
+use pard_pipeline::json::{parse, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy for arbitrary JSON values of bounded depth/size.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        // Finite numbers only; NaN/inf are not JSON.
+        (-1e12f64..1e12).prop_map(Value::Number),
+        "[ -~]{0,24}".prop_map(Value::String),
+        "\\PC{0,12}".prop_map(Value::String), // printable unicode
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6)
+                .prop_map(|m| Value::Object(m.into_iter().collect::<BTreeMap<_, _>>())),
+        ]
+    })
+}
+
+proptest! {
+    /// Serialise → parse returns a value that serialises identically
+    /// (absorbing the one inexact f64-to-text step).
+    #[test]
+    fn round_trips(v in value_strategy()) {
+        let text = v.to_json();
+        let back = parse(&text).unwrap_or_else(|e| panic!("{e}: {text}"));
+        let text2 = back.to_json();
+        prop_assert_eq!(&text, &text2);
+        // And a second parse yields the identical value.
+        let back2 = parse(&text2).expect("second parse");
+        prop_assert_eq!(back, back2);
+    }
+
+    /// The parser never panics, whatever characters arrive.
+    #[test]
+    fn never_panics_on_garbage(s in "\\PC{0,64}") {
+        let _ = parse(&s);
+    }
+
+    /// Near-JSON garbage (mutated valid documents) never panics, and
+    /// reported error offsets stay within the input.
+    #[test]
+    fn mutated_documents_fail_cleanly(
+        v in value_strategy(),
+        flip in 0usize..64,
+        byte in 0u8..128,
+    ) {
+        let mut text = v.to_json().into_bytes();
+        if !text.is_empty() {
+            let i = flip % text.len();
+            text[i] = byte;
+        }
+        if let Ok(s) = String::from_utf8(text) {
+            match parse(&s) {
+                Ok(_) => {}
+                Err(e) => prop_assert!(e.offset <= s.len()),
+            }
+        }
+    }
+}

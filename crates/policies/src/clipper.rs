@@ -1,0 +1,161 @@
+//! Clipper++ — the paper's extension of Clipper to pipelines.
+//!
+//! Clipper drops a request "only if it already exceeds the latency
+//! objective before inference" (§2). Following §5.1, Clipper++ divides
+//! the end-to-end SLO proportionally to per-module execution durations,
+//! `SLO_k = SLO · d_k / Σ d_i`, and applies Clipper's *lazy* rule per
+//! module: a request is dropped at module `k` iff its elapsed time
+//! already exceeds the cumulative budget through `k`. No estimate of the
+//! current module's own latency is involved — that is what makes it
+//! reactive.
+
+use std::collections::VecDeque;
+
+use pard_core::{PopCtx, PopOutcome, ReqMeta, WorkerPolicy};
+use pard_metrics::DropReason;
+use pard_sim::{SimDuration, SimTime};
+
+/// Clipper++ policy for one worker of one module.
+#[derive(Debug)]
+pub struct ClipperPolicy {
+    /// Cumulative SLO budget through this module (`Σ_{i≤k} SLO_i`).
+    cumulative_budget: SimDuration,
+    fifo: VecDeque<ReqMeta>,
+}
+
+impl ClipperPolicy {
+    /// Creates a policy with the given cumulative per-module budget.
+    pub fn new(cumulative_budget: SimDuration) -> ClipperPolicy {
+        ClipperPolicy {
+            cumulative_budget,
+            fifo: VecDeque::new(),
+        }
+    }
+
+    /// Computes cumulative budgets for a pipeline from per-module
+    /// execution durations: `SLO · Σ_{i≤k} d_i / Σ d_i`.
+    pub fn cumulative_budgets(exec_ms: &[f64], slo: SimDuration) -> Vec<SimDuration> {
+        let total: f64 = exec_ms.iter().sum();
+        let mut cum = 0.0;
+        exec_ms
+            .iter()
+            .map(|&d| {
+                cum += d;
+                if total > 0.0 {
+                    slo.mul_f64(cum / total)
+                } else {
+                    slo
+                }
+            })
+            .collect()
+    }
+}
+
+impl WorkerPolicy for ClipperPolicy {
+    fn name(&self) -> &'static str {
+        "clipper++"
+    }
+
+    fn enqueue(&mut self, req: ReqMeta, _now: SimTime) -> Option<(ReqMeta, DropReason)> {
+        self.fifo.push_back(req);
+        None
+    }
+
+    fn pop_next(&mut self, ctx: &PopCtx) -> PopOutcome {
+        let Some(req) = self.fifo.pop_front() else {
+            return PopOutcome::Empty;
+        };
+        if ctx.now > req.deadline {
+            return PopOutcome::Drop(req, DropReason::AlreadyExpired);
+        }
+        // Lazy rule: elapsed time already exceeds the cumulative budget.
+        let elapsed = ctx.now.saturating_since(req.sent);
+        if elapsed > self.cumulative_budget {
+            PopOutcome::Drop(req, DropReason::BudgetExceeded)
+        } else {
+            PopOutcome::Admit(req)
+        }
+    }
+
+    fn queue_len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    fn drain_queue(&mut self) -> Vec<ReqMeta> {
+        self.fifo.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, sent_ms: u64, slo_ms: u64) -> ReqMeta {
+        ReqMeta {
+            id,
+            sent: SimTime::from_millis(sent_ms),
+            deadline: SimTime::from_millis(sent_ms + slo_ms),
+            arrived: SimTime::from_millis(sent_ms),
+        }
+    }
+
+    fn ctx(now_ms: u64) -> PopCtx {
+        PopCtx {
+            now: SimTime::from_millis(now_ms),
+            expected_exec_start: SimTime::from_millis(now_ms + 10),
+            exec_duration: SimDuration::from_millis(40),
+            batch_size: 4,
+        }
+    }
+
+    #[test]
+    fn budget_split_is_proportional_and_cumulative() {
+        let budgets =
+            ClipperPolicy::cumulative_budgets(&[10.0, 30.0, 60.0], SimDuration::from_millis(400));
+        assert_eq!(budgets[0], SimDuration::from_millis(40));
+        assert_eq!(budgets[1], SimDuration::from_millis(160));
+        assert_eq!(budgets[2], SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn keeps_requests_within_budget() {
+        let mut p = ClipperPolicy::new(SimDuration::from_millis(100));
+        p.enqueue(req(1, 0, 400), SimTime::ZERO);
+        assert!(matches!(p.pop_next(&ctx(90)), PopOutcome::Admit(_)));
+    }
+
+    #[test]
+    fn drops_requests_over_cumulative_budget() {
+        let mut p = ClipperPolicy::new(SimDuration::from_millis(100));
+        p.enqueue(req(1, 0, 400), SimTime::ZERO);
+        // Elapsed 150 > 100 budget, but deadline (400) not yet violated.
+        assert!(matches!(
+            p.pop_next(&ctx(150)),
+            PopOutcome::Drop(_, DropReason::BudgetExceeded)
+        ));
+    }
+
+    #[test]
+    fn lazy_rule_ignores_current_module_duration() {
+        // Elapsed 90 ≤ 100: admitted although exec would end at 140 > 100.
+        let mut p = ClipperPolicy::new(SimDuration::from_millis(100));
+        p.enqueue(req(1, 0, 400), SimTime::ZERO);
+        assert!(matches!(p.pop_next(&ctx(90)), PopOutcome::Admit(_)));
+    }
+
+    #[test]
+    fn expired_requests_use_expired_reason() {
+        let mut p = ClipperPolicy::new(SimDuration::from_millis(500));
+        p.enqueue(req(1, 0, 100), SimTime::ZERO);
+        assert!(matches!(
+            p.pop_next(&ctx(200)),
+            PopOutcome::Drop(_, DropReason::AlreadyExpired)
+        ));
+    }
+
+    #[test]
+    fn zero_exec_split_falls_back_to_slo() {
+        let budgets = ClipperPolicy::cumulative_budgets(&[0.0, 0.0], SimDuration::from_millis(400));
+        assert_eq!(budgets[1], SimDuration::from_millis(400));
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline and ablation dropping policies (§5.1 baselines, Table 1).
+//!
+//! The PARD system itself (and the ablations that are pure
+//! configurations of it) lives in `pard-core`; this crate adds the
+//! external comparators:
+//!
+//! * [`NaivePolicy`] — FIFO, never drops.
+//! * [`ClipperPolicy`] — Clipper++: lazy per-module SLO split.
+//! * [`NexusPolicy`] — reactive sliding-window queue scan.
+//! * [`OcPolicy`] — DAGOR-style admission throttling on queue delay.
+//!
+//! [`SystemKind`] + [`make_factory`] form the registry that experiment
+//! harnesses use to instantiate any of the fifteen evaluated systems.
+
+pub mod clipper;
+pub mod naive;
+pub mod nexus;
+pub mod oc;
+pub mod registry;
+
+pub use clipper::ClipperPolicy;
+pub use naive::NaivePolicy;
+pub use nexus::NexusPolicy;
+pub use oc::{OcConfig, OcPolicy};
+pub use registry::{make_factory, SystemKind};

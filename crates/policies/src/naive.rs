@@ -1,0 +1,99 @@
+//! The Naive baseline: FIFO, no dropping at all.
+//!
+//! Every request executes end to end; requests that finish after their
+//! deadline are still counted as drops by the metrics (§5.1), and their
+//! queueing backpressure is what makes this the worst baseline in Fig. 8.
+
+use std::collections::VecDeque;
+
+use pard_core::{PopCtx, PopOutcome, ReqMeta, WorkerPolicy};
+use pard_metrics::DropReason;
+use pard_sim::SimTime;
+
+/// FIFO queue that never drops.
+#[derive(Debug, Default)]
+pub struct NaivePolicy {
+    fifo: VecDeque<ReqMeta>,
+}
+
+impl NaivePolicy {
+    /// Creates an empty policy.
+    pub fn new() -> NaivePolicy {
+        NaivePolicy::default()
+    }
+}
+
+impl WorkerPolicy for NaivePolicy {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn enqueue(&mut self, req: ReqMeta, _now: SimTime) -> Option<(ReqMeta, DropReason)> {
+        self.fifo.push_back(req);
+        None
+    }
+
+    fn pop_next(&mut self, _ctx: &PopCtx) -> PopOutcome {
+        match self.fifo.pop_front() {
+            Some(req) => PopOutcome::Admit(req),
+            None => PopOutcome::Empty,
+        }
+    }
+
+    fn queue_len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    fn drain_queue(&mut self) -> Vec<ReqMeta> {
+        self.fifo.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_sim::SimDuration;
+
+    fn ctx() -> PopCtx {
+        PopCtx {
+            now: SimTime::from_secs(100),
+            expected_exec_start: SimTime::from_secs(100),
+            exec_duration: SimDuration::from_millis(40),
+            batch_size: 4,
+        }
+    }
+
+    #[test]
+    fn never_drops_even_expired_requests() {
+        let mut p = NaivePolicy::new();
+        let req = ReqMeta {
+            id: 1,
+            sent: SimTime::ZERO,
+            deadline: SimTime::from_millis(100), // long expired at t=100s
+            arrived: SimTime::from_millis(5),
+        };
+        assert!(p.enqueue(req, SimTime::ZERO).is_none());
+        assert!(matches!(p.pop_next(&ctx()), PopOutcome::Admit(r) if r.id == 1));
+        assert_eq!(p.pop_next(&ctx()), PopOutcome::Empty);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut p = NaivePolicy::new();
+        for i in 0..3 {
+            p.enqueue(
+                ReqMeta {
+                    id: i,
+                    sent: SimTime::ZERO,
+                    deadline: SimTime::from_secs(1),
+                    arrived: SimTime::ZERO,
+                },
+                SimTime::ZERO,
+            );
+        }
+        assert_eq!(p.queue_len(), 3);
+        for expect in 0..3 {
+            assert!(matches!(p.pop_next(&ctx()), PopOutcome::Admit(r) if r.id == expect));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Nexus — the sliding-window reactive baseline.
+//!
+//! Per §5.1: Nexus "scans the queue in arrival order with a sliding
+//! window equal to the batch size, stopping at the first position where
+//! all requests in the window can meet the current module's latency
+//! budget and dropping all earlier ones". The feasibility test is the
+//! reactive type-2 rule of §2 — accumulated latency plus the current
+//! module's execution must fit the end-to-end SLO; subsequent modules'
+//! budgets are ignored (the drop-too-late failure mode of Fig. 2c).
+
+use std::collections::VecDeque;
+
+use pard_core::{PopCtx, PopOutcome, ReqMeta, WorkerPolicy};
+use pard_metrics::DropReason;
+use pard_sim::SimTime;
+
+/// Nexus policy for one worker.
+#[derive(Debug, Default)]
+pub struct NexusPolicy {
+    fifo: VecDeque<ReqMeta>,
+}
+
+impl NexusPolicy {
+    /// Creates an empty policy.
+    pub fn new() -> NexusPolicy {
+        NexusPolicy::default()
+    }
+
+    /// Whether `req` can finish the *current* module within its SLO.
+    fn feasible(req: &ReqMeta, ctx: &PopCtx) -> bool {
+        ctx.expected_exec_start + ctx.exec_duration <= req.deadline
+    }
+}
+
+impl WorkerPolicy for NexusPolicy {
+    fn name(&self) -> &'static str {
+        "nexus"
+    }
+
+    fn enqueue(&mut self, req: ReqMeta, _now: SimTime) -> Option<(ReqMeta, DropReason)> {
+        self.fifo.push_back(req);
+        None
+    }
+
+    fn on_batch_open(&mut self, ctx: &PopCtx) -> Vec<(ReqMeta, DropReason)> {
+        // Slide a window of `batch_size` over the queue in arrival order;
+        // stop at the first offset where the whole window is feasible and
+        // drop everything before it.
+        let window = ctx.batch_size.max(1);
+        let len = self.fifo.len();
+        let mut first_ok = None;
+        for start in 0..len {
+            let end = (start + window).min(len);
+            let all_ok = self
+                .fifo
+                .range(start..end)
+                .all(|req| Self::feasible(req, ctx));
+            if all_ok {
+                first_ok = Some(start);
+                break;
+            }
+        }
+        let cut = first_ok.unwrap_or(0);
+        let mut dropped = Vec::with_capacity(cut);
+        for _ in 0..cut {
+            let req = self.fifo.pop_front().expect("cut <= len");
+            let reason = if ctx.now > req.deadline {
+                DropReason::AlreadyExpired
+            } else {
+                DropReason::PredictedViolation
+            };
+            dropped.push((req, reason));
+        }
+        dropped
+    }
+
+    fn pop_next(&mut self, ctx: &PopCtx) -> PopOutcome {
+        let Some(req) = self.fifo.pop_front() else {
+            return PopOutcome::Empty;
+        };
+        if ctx.now > req.deadline {
+            return PopOutcome::Drop(req, DropReason::AlreadyExpired);
+        }
+        if !Self::feasible(&req, ctx) {
+            return PopOutcome::Drop(req, DropReason::PredictedViolation);
+        }
+        PopOutcome::Admit(req)
+    }
+
+    fn queue_len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    fn drain_queue(&mut self) -> Vec<ReqMeta> {
+        self.fifo.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_sim::SimDuration;
+
+    fn req(id: u64, sent_ms: u64, slo_ms: u64) -> ReqMeta {
+        ReqMeta {
+            id,
+            sent: SimTime::from_millis(sent_ms),
+            deadline: SimTime::from_millis(sent_ms + slo_ms),
+            arrived: SimTime::from_millis(sent_ms),
+        }
+    }
+
+    fn ctx(now_ms: u64, te_ms: u64, d_ms: u64, batch: usize) -> PopCtx {
+        PopCtx {
+            now: SimTime::from_millis(now_ms),
+            expected_exec_start: SimTime::from_millis(te_ms),
+            exec_duration: SimDuration::from_millis(d_ms),
+            batch_size: batch,
+        }
+    }
+
+    #[test]
+    fn window_scan_drops_infeasible_prefix() {
+        let mut p = NexusPolicy::new();
+        // Two stale requests (deadline 100/150) and two fresh ones.
+        p.enqueue(req(1, 0, 100), SimTime::ZERO);
+        p.enqueue(req(2, 0, 150), SimTime::ZERO);
+        p.enqueue(req(3, 180, 400), SimTime::ZERO);
+        p.enqueue(req(4, 190, 400), SimTime::ZERO);
+        // Batch would run at t=200..240: 240 > 100/150 but < 580/590.
+        let dropped = p.on_batch_open(&ctx(200, 200, 40, 2));
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(dropped[0].0.id, 1);
+        assert_eq!(dropped[1].0.id, 2);
+        assert_eq!(p.queue_len(), 2);
+    }
+
+    #[test]
+    fn window_scan_requires_whole_window_feasible() {
+        let mut p = NexusPolicy::new();
+        // Feasible, infeasible, feasible, feasible.
+        p.enqueue(req(1, 150, 400), SimTime::ZERO); // ok
+        p.enqueue(req(2, 0, 150), SimTime::ZERO); // stale
+        p.enqueue(req(3, 180, 400), SimTime::ZERO); // ok
+        p.enqueue(req(4, 190, 400), SimTime::ZERO); // ok
+                                                    // Window of 2: [1,2] infeasible (2 stale), [2,3] infeasible,
+                                                    // [3,4] feasible → drop requests 1 and 2.
+        let dropped = p.on_batch_open(&ctx(200, 200, 40, 2));
+        let ids: Vec<u64> = dropped.iter().map(|(r, _)| r.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn no_feasible_window_drops_nothing_eagerly() {
+        let mut p = NexusPolicy::new();
+        p.enqueue(req(1, 0, 100), SimTime::ZERO);
+        p.enqueue(req(2, 0, 120), SimTime::ZERO);
+        let dropped = p.on_batch_open(&ctx(200, 200, 40, 2));
+        assert!(dropped.is_empty());
+        // They are still dropped lazily at pop time.
+        assert!(matches!(
+            p.pop_next(&ctx(200, 200, 40, 2)),
+            PopOutcome::Drop(_, DropReason::AlreadyExpired)
+        ));
+    }
+
+    #[test]
+    fn pop_checks_current_module_only() {
+        let mut p = NexusPolicy::new();
+        // Deadline 400: batch ends at 390 ≤ 400 → admitted, even though
+        // any downstream module would push it over (reactive behaviour).
+        p.enqueue(req(1, 0, 400), SimTime::ZERO);
+        assert!(matches!(
+            p.pop_next(&ctx(340, 350, 40, 4)),
+            PopOutcome::Admit(_)
+        ));
+        // Deadline 380: batch ends at 390 > 380 → dropped.
+        p.enqueue(req(2, 0, 380), SimTime::ZERO);
+        assert!(matches!(
+            p.pop_next(&ctx(340, 350, 40, 4)),
+            PopOutcome::Drop(_, DropReason::PredictedViolation)
+        ));
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut p = NexusPolicy::new();
+        assert_eq!(p.pop_next(&ctx(0, 0, 40, 4)), PopOutcome::Empty);
+        assert!(p.on_batch_open(&ctx(0, 0, 40, 4)).is_empty());
+    }
+}

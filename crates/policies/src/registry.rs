@@ -1,0 +1,270 @@
+//! The system/ablation registry — Table 1 as code.
+//!
+//! Every system evaluated in §5 is identified by a [`SystemKind`] and
+//! materialised as a [`PolicyFactory`] that builds one policy instance
+//! per worker. PARD ablations are configurations of
+//! [`pard_core::PardPolicy`]; the external baselines have their own
+//! implementations in this crate.
+
+use pard_core::{
+    OrderMode, PardPolicy, PardPolicyConfig, PolicyFactory, RuleMode, SubMode, WorkerPolicy,
+};
+use pard_pipeline::{graph, PipelineSpec};
+use pard_sim::SimDuration;
+
+use crate::clipper::ClipperPolicy;
+use crate::naive::NaivePolicy;
+use crate::nexus::NexusPolicy;
+use crate::oc::{OcConfig, OcPolicy};
+
+/// Every system and ablation evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// The full PARD system.
+    Pard,
+    /// Nexus (reactive sliding-window scan).
+    Nexus,
+    /// Clipper++ (lazy per-module split).
+    ClipperPlus,
+    /// No dropping at all.
+    Naive,
+    /// Considers preceding modules only (`L_sub = 0`).
+    PardBack,
+    /// Ignores Q and W of subsequent modules (`L_sub = Σd`).
+    PardSf,
+    /// DAGOR-style overload control on queueing delay.
+    PardOc,
+    /// Fixed per-module SLO split.
+    PardSplit,
+    /// Dynamic worst-case-latency split.
+    PardWcl,
+    /// Assumes batch wait is zero.
+    PardLower,
+    /// Assumes batch wait is `Σ d_i`.
+    PardUpper,
+    /// Drops by arrival order.
+    PardFcfs,
+    /// High-Budget-First only.
+    PardHbf,
+    /// Low-Budget-First only.
+    PardLbf,
+    /// Adaptive priority without delayed transition.
+    PardInstant,
+}
+
+impl SystemKind {
+    /// The four systems of the overall comparison (Fig. 8–10).
+    pub const BASELINES: [SystemKind; 4] = [
+        SystemKind::Pard,
+        SystemKind::Nexus,
+        SystemKind::ClipperPlus,
+        SystemKind::Naive,
+    ];
+
+    /// The twelve variants of the ablation study (Fig. 11).
+    pub const ABLATIONS: [SystemKind; 12] = [
+        SystemKind::Pard,
+        SystemKind::PardBack,
+        SystemKind::PardSf,
+        SystemKind::PardOc,
+        SystemKind::PardSplit,
+        SystemKind::PardWcl,
+        SystemKind::PardUpper,
+        SystemKind::PardLower,
+        SystemKind::PardInstant,
+        SystemKind::PardHbf,
+        SystemKind::PardLbf,
+        SystemKind::PardFcfs,
+    ];
+
+    /// Every kind.
+    pub const ALL: [SystemKind; 15] = [
+        SystemKind::Pard,
+        SystemKind::Nexus,
+        SystemKind::ClipperPlus,
+        SystemKind::Naive,
+        SystemKind::PardBack,
+        SystemKind::PardSf,
+        SystemKind::PardOc,
+        SystemKind::PardSplit,
+        SystemKind::PardWcl,
+        SystemKind::PardLower,
+        SystemKind::PardUpper,
+        SystemKind::PardFcfs,
+        SystemKind::PardHbf,
+        SystemKind::PardLbf,
+        SystemKind::PardInstant,
+    ];
+
+    /// Canonical display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Pard => "PARD",
+            SystemKind::Nexus => "Nexus",
+            SystemKind::ClipperPlus => "Clipper++",
+            SystemKind::Naive => "Naive",
+            SystemKind::PardBack => "PARD-back",
+            SystemKind::PardSf => "PARD-sf",
+            SystemKind::PardOc => "PARD-oc",
+            SystemKind::PardSplit => "PARD-split",
+            SystemKind::PardWcl => "PARD-WCL",
+            SystemKind::PardLower => "PARD-lower",
+            SystemKind::PardUpper => "PARD-upper",
+            SystemKind::PardFcfs => "PARD-FCFS",
+            SystemKind::PardHbf => "PARD-HBF",
+            SystemKind::PardLbf => "PARD-LBF",
+            SystemKind::PardInstant => "PARD-instant",
+        }
+    }
+}
+
+/// Builds the per-worker policy factory for `kind`.
+///
+/// `exec_ms[k]` is module `k`'s profiled execution duration at its
+/// planned batch size (used for static budget splits); `oc` configures
+/// the overload-control baseline (ignored by the others).
+pub fn make_factory(
+    kind: SystemKind,
+    spec: &PipelineSpec,
+    exec_ms: &[f64],
+    oc: OcConfig,
+) -> PolicyFactory {
+    assert_eq!(
+        exec_ms.len(),
+        spec.modules.len(),
+        "one execution estimate per module"
+    );
+    let slo = spec.slo;
+    let cum_budgets = ClipperPolicy::cumulative_budgets(exec_ms, slo);
+    // Watch sets for overload control: self plus all downstream modules.
+    let watch_sets: Vec<Vec<usize>> = (0..spec.modules.len())
+        .map(|m| {
+            let mut set: Vec<usize> = graph::downstream_paths(spec, m)
+                .into_iter()
+                .flatten()
+                .collect();
+            set.push(m);
+            set.sort_unstable();
+            set.dedup();
+            set
+        })
+        .collect();
+
+    let pard_variant = move |config: PardPolicyConfig| -> PolicyFactory {
+        Box::new(move |_module: usize| Box::new(PardPolicy::new(config)))
+    };
+    let split_variant =
+        move |name: &'static str, order: OrderMode, budgets: Vec<SimDuration>| -> PolicyFactory {
+            Box::new(move |module: usize| {
+                Box::new(PardPolicy::new(PardPolicyConfig {
+                    name,
+                    sub_mode: SubMode::Full,
+                    rule: RuleMode::SplitStatic(budgets[module]),
+                    order,
+                })) as Box<dyn WorkerPolicy>
+            })
+        };
+
+    match kind {
+        SystemKind::Pard => pard_variant(PardPolicyConfig::pard()),
+        SystemKind::Naive => Box::new(|_| Box::new(NaivePolicy::new())),
+        SystemKind::Nexus => Box::new(|_| Box::new(NexusPolicy::new())),
+        SystemKind::ClipperPlus => {
+            Box::new(move |module| Box::new(ClipperPolicy::new(cum_budgets[module])))
+        }
+        SystemKind::PardOc => {
+            Box::new(move |module| Box::new(OcPolicy::new(oc, watch_sets[module].clone())))
+        }
+        SystemKind::PardBack => pard_variant(PardPolicyConfig {
+            name: "pard-back",
+            sub_mode: SubMode::Zero,
+            ..PardPolicyConfig::pard()
+        }),
+        SystemKind::PardSf => pard_variant(PardPolicyConfig {
+            name: "pard-sf",
+            sub_mode: SubMode::ExecOnly,
+            ..PardPolicyConfig::pard()
+        }),
+        SystemKind::PardLower => pard_variant(PardPolicyConfig {
+            name: "pard-lower",
+            sub_mode: SubMode::WaitLower,
+            ..PardPolicyConfig::pard()
+        }),
+        SystemKind::PardUpper => pard_variant(PardPolicyConfig {
+            name: "pard-upper",
+            sub_mode: SubMode::WaitUpper,
+            ..PardPolicyConfig::pard()
+        }),
+        SystemKind::PardSplit => split_variant("pard-split", OrderMode::Adaptive, cum_budgets),
+        SystemKind::PardWcl => pard_variant(PardPolicyConfig {
+            name: "pard-wcl",
+            rule: RuleMode::SplitWcl,
+            ..PardPolicyConfig::pard()
+        }),
+        SystemKind::PardFcfs => pard_variant(PardPolicyConfig {
+            name: "pard-fcfs",
+            order: OrderMode::Fcfs,
+            ..PardPolicyConfig::pard()
+        }),
+        SystemKind::PardHbf => pard_variant(PardPolicyConfig {
+            name: "pard-hbf",
+            order: OrderMode::HbfOnly,
+            ..PardPolicyConfig::pard()
+        }),
+        SystemKind::PardLbf => pard_variant(PardPolicyConfig {
+            name: "pard-lbf",
+            order: OrderMode::LbfOnly,
+            ..PardPolicyConfig::pard()
+        }),
+        SystemKind::PardInstant => pard_variant(PardPolicyConfig {
+            name: "pard-instant",
+            order: OrderMode::AdaptiveInstant,
+            ..PardPolicyConfig::pard()
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_pipeline::AppKind;
+
+    fn exec_ms(spec: &PipelineSpec) -> Vec<f64> {
+        vec![40.0; spec.modules.len()]
+    }
+
+    #[test]
+    fn every_kind_builds_policies_for_every_module() {
+        let spec = AppKind::Da.pipeline();
+        let exec = exec_ms(&spec);
+        for kind in SystemKind::ALL {
+            let factory = make_factory(kind, &spec, &exec, OcConfig::default());
+            for module in 0..spec.modules.len() {
+                let policy = factory(module);
+                assert!(!policy.name().is_empty(), "{:?}", kind);
+                assert_eq!(policy.queue_len(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = SystemKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SystemKind::ALL.len());
+    }
+
+    #[test]
+    fn ablations_include_pard_and_eleven_variants() {
+        assert_eq!(SystemKind::ABLATIONS.len(), 12);
+        assert_eq!(SystemKind::ABLATIONS[0], SystemKind::Pard);
+    }
+
+    #[test]
+    #[should_panic(expected = "one execution estimate per module")]
+    fn mismatched_exec_vector_is_rejected() {
+        let spec = AppKind::Tm.pipeline();
+        let _ = make_factory(SystemKind::Pard, &spec, &[1.0], OcConfig::default());
+    }
+}

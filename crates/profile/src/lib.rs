@@ -1,0 +1,178 @@
+//! Model profiles and offline profiling.
+//!
+//! PARD's dropping decisions consume per-model execution durations
+//! `D_k = d_k(B)` obtained from *offline profiling* (§4.2). The paper runs
+//! real DNNs on 2080Ti GPUs; this reproduction substitutes an analytic
+//! batch-latency model calibrated to the same qualitative shape — affine
+//! in a sub-linear power of the batch size:
+//!
+//! ```text
+//! d(B) = base + slope · B^gamma        (gamma < 1)
+//! ```
+//!
+//! which captures the two facts every batching scheduler relies on:
+//! latency grows with batch size, and *throughput* `B / d(B)` also grows
+//! with batch size (sub-linear cost amortisation).
+//!
+//! The crate provides:
+//!
+//! * [`ModelProfile`] — the analytic profile with latency/throughput
+//!   queries and feasible-batch selection.
+//! * [`zoo`] — the eleven vision models used by the paper's four
+//!   pipelines, with distinct cost envelopes.
+//! * [`profiler`] — the offline profiling pass: measure a backend at a
+//!   set of batch sizes and fit a [`ModelProfile`] to the measurements
+//!   (grid search over `gamma`, least squares for `base`/`slope`).
+//! * [`planner`] — Nexus-style batch planning: split an SLO across the
+//!   pipeline's modules and pick the largest batch size whose execution
+//!   fits its share.
+
+pub mod planner;
+pub mod profiler;
+pub mod zoo;
+
+pub use planner::{plan_batches, BatchPlan};
+pub use profiler::{fit_profile, MeasuredPoint, MeasuredProfile, Profileable};
+pub use zoo::{model, models, ModelId};
+
+use pard_sim::SimDuration;
+
+/// Analytic batch-latency profile of one model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelProfile {
+    /// Human-readable model name (e.g. `"object-detection"`).
+    pub name: String,
+    /// Fixed per-batch cost in milliseconds (kernel launch, pre/post).
+    pub base_ms: f64,
+    /// Per-item cost coefficient in milliseconds.
+    pub slope_ms: f64,
+    /// Batch-size exponent in `(0, 1]`; lower is better amortisation.
+    pub gamma: f64,
+    /// Largest batch the model (GPU memory) supports.
+    pub max_batch: usize,
+}
+
+impl ModelProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or `max_batch` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        base_ms: f64,
+        slope_ms: f64,
+        gamma: f64,
+        max_batch: usize,
+    ) -> ModelProfile {
+        assert!(base_ms > 0.0 && slope_ms > 0.0, "costs must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        assert!(max_batch > 0, "max_batch must be positive");
+        ModelProfile {
+            name: name.into(),
+            base_ms,
+            slope_ms,
+            gamma,
+            max_batch,
+        }
+    }
+
+    /// Execution duration of one batch of `batch` requests.
+    ///
+    /// Batch sizes above [`ModelProfile::max_batch`] are clamped.
+    pub fn latency(&self, batch: usize) -> SimDuration {
+        SimDuration::from_millis_f64(self.latency_ms(batch))
+    }
+
+    /// Same as [`ModelProfile::latency`], in fractional milliseconds.
+    pub fn latency_ms(&self, batch: usize) -> f64 {
+        let b = batch.clamp(1, self.max_batch) as f64;
+        self.base_ms + self.slope_ms * b.powf(self.gamma)
+    }
+
+    /// Steady-state throughput at `batch`, in requests per second.
+    pub fn throughput(&self, batch: usize) -> f64 {
+        let b = batch.clamp(1, self.max_batch) as f64;
+        b / (self.latency_ms(batch) / 1e3)
+    }
+
+    /// Largest batch size whose execution keeps `headroom · d(B)` within
+    /// `budget`; at least 1 even when nothing fits.
+    ///
+    /// `headroom` accounts for the non-execution parts of a module's
+    /// latency (batch wait is up to one execution duration, Fig. 3b), so
+    /// planners conventionally pass 2.0 or higher.
+    pub fn best_batch_for_budget(&self, budget: SimDuration, headroom: f64) -> usize {
+        let budget_ms = budget.as_millis_f64();
+        let mut best = 1;
+        for b in 1..=self.max_batch {
+            if self.latency_ms(b) * headroom <= budget_ms {
+                best = b;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ModelProfile {
+        ModelProfile::new("test", 10.0, 5.0, 0.9, 32)
+    }
+
+    #[test]
+    fn latency_is_monotone_in_batch() {
+        let p = profile();
+        let mut prev = 0.0;
+        for b in 1..=32 {
+            let d = p.latency_ms(b);
+            assert!(d > prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn throughput_grows_with_batch() {
+        let p = profile();
+        let mut prev = 0.0;
+        for b in 1..=32 {
+            let t = p.throughput(b);
+            assert!(t > prev, "throughput must grow: batch {b}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn batch_clamps_to_max() {
+        let p = profile();
+        assert_eq!(p.latency(64), p.latency(32));
+        assert_eq!(p.latency(0), p.latency(1));
+    }
+
+    #[test]
+    fn best_batch_respects_budget() {
+        let p = profile();
+        let b = p.best_batch_for_budget(SimDuration::from_millis(100), 2.0);
+        assert!(b >= 1);
+        assert!(p.latency_ms(b) * 2.0 <= 100.0);
+        if b < p.max_batch {
+            assert!(p.latency_ms(b + 1) * 2.0 > 100.0);
+        }
+    }
+
+    #[test]
+    fn best_batch_floor_is_one() {
+        let p = profile();
+        assert_eq!(p.best_batch_for_budget(SimDuration::from_millis(1), 2.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_bad_gamma() {
+        let _ = ModelProfile::new("bad", 1.0, 1.0, 1.5, 8);
+    }
+}

@@ -1,0 +1,151 @@
+//! Batch planning: pick per-module batch sizes under an end-to-end SLO.
+//!
+//! PARD "adopts dynamic batching and resource scaling similar to
+//! [Inferline, Nexus]: yields feasible batch sizes and per-worker
+//! throughput based on offline profiling" (§5.1). The planner splits the
+//! end-to-end SLO across modules proportionally to their unit-batch
+//! execution cost and then picks, per module, the largest batch size
+//! whose execution (with headroom for batch wait) fits the share.
+
+use pard_sim::SimDuration;
+
+use crate::ModelProfile;
+
+/// The result of batch planning for one pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchPlan {
+    /// Chosen batch size per module.
+    pub batch_sizes: Vec<usize>,
+    /// Per-module SLO share used for the choice.
+    pub budget_shares: Vec<SimDuration>,
+    /// Per-worker throughput (req/s) at the chosen batch sizes.
+    pub worker_throughput: Vec<f64>,
+}
+
+impl BatchPlan {
+    /// The bottleneck per-worker throughput across modules.
+    pub fn min_throughput(&self) -> f64 {
+        self.worker_throughput
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Sum of profiled execution durations at the planned batch sizes.
+    pub fn total_execution(&self, profiles: &[ModelProfile]) -> SimDuration {
+        profiles
+            .iter()
+            .zip(&self.batch_sizes)
+            .map(|(p, &b)| p.latency(b))
+            .sum()
+    }
+}
+
+/// Plans batch sizes for a pipeline of `profiles` under `slo`.
+///
+/// `headroom` is the multiple of the execution duration each module's
+/// share must cover (2.0 leaves room for a full batch wait, Fig. 3b).
+///
+/// # Panics
+///
+/// Panics if `profiles` is empty or `headroom` is not positive.
+pub fn plan_batches(profiles: &[ModelProfile], slo: SimDuration, headroom: f64) -> BatchPlan {
+    assert!(!profiles.is_empty(), "pipeline must have modules");
+    assert!(headroom > 0.0, "headroom must be positive");
+    // Split the SLO proportionally to unit-batch cost.
+    let unit_costs: Vec<f64> = profiles.iter().map(|p| p.latency_ms(1)).collect();
+    let total_cost: f64 = unit_costs.iter().sum();
+    let budget_shares: Vec<SimDuration> = unit_costs
+        .iter()
+        .map(|&c| slo.mul_f64(c / total_cost))
+        .collect();
+    let batch_sizes: Vec<usize> = profiles
+        .iter()
+        .zip(&budget_shares)
+        .map(|(p, &share)| p.best_batch_for_budget(share, headroom))
+        .collect();
+    let worker_throughput: Vec<f64> = profiles
+        .iter()
+        .zip(&batch_sizes)
+        .map(|(p, &b)| p.throughput(b))
+        .collect();
+    BatchPlan {
+        batch_sizes,
+        budget_shares,
+        worker_throughput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{model, ModelId};
+
+    fn lv_profiles() -> Vec<ModelProfile> {
+        [
+            ModelId::PersonDetection,
+            ModelId::FaceRecognition,
+            ModelId::ExpressionRecognition,
+            ModelId::EyeTracking,
+            ModelId::PoseRecognition,
+        ]
+        .iter()
+        .map(|&id| model(id))
+        .collect()
+    }
+
+    #[test]
+    fn shares_sum_to_slo() {
+        let plan = plan_batches(&lv_profiles(), SimDuration::from_millis(500), 2.0);
+        let total: SimDuration = plan.budget_shares.iter().copied().sum();
+        // Rounding to microseconds may lose a few µs.
+        let diff = (total.as_micros() as i64 - 500_000i64).abs();
+        assert!(diff < 10, "shares sum {total:?}");
+    }
+
+    #[test]
+    fn execution_fits_headroom() {
+        let profiles = lv_profiles();
+        let plan = plan_batches(&profiles, SimDuration::from_millis(500), 2.0);
+        for ((p, &b), &share) in profiles
+            .iter()
+            .zip(&plan.batch_sizes)
+            .zip(&plan.budget_shares)
+        {
+            if b > 1 {
+                assert!(
+                    p.latency_ms(b) * 2.0 <= share.as_millis_f64() + 1e-6,
+                    "{}: batch {b} does not fit share {share:?}",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_slo_yields_smaller_batches() {
+        let profiles = lv_profiles();
+        let loose = plan_batches(&profiles, SimDuration::from_millis(600), 2.0);
+        let tight = plan_batches(&profiles, SimDuration::from_millis(200), 2.0);
+        for (l, t) in loose.batch_sizes.iter().zip(&tight.batch_sizes) {
+            assert!(t <= l);
+        }
+    }
+
+    #[test]
+    fn plan_supports_traces_with_64_workers() {
+        // The bottleneck throughput per worker times a reasonable worker
+        // allocation must exceed the maximum trace rate (~600 req/s).
+        let plan = plan_batches(&lv_profiles(), SimDuration::from_millis(500), 2.0);
+        let min_tput = plan.min_throughput();
+        assert!(
+            min_tput * 10.0 > 600.0,
+            "bottleneck throughput {min_tput} req/s too small"
+        );
+        let total_exec = plan.total_execution(&lv_profiles());
+        assert!(
+            total_exec < SimDuration::from_millis(250),
+            "execution {total_exec:?} leaves no slack in a 500 ms SLO"
+        );
+    }
+}

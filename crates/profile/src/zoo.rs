@@ -1,0 +1,149 @@
+//! The synthetic model zoo.
+//!
+//! Eleven vision models cover the four pipelines of §5.1 (`tm`, `lv`,
+//! `gm`, `da`). Parameters are chosen so that per-module throughput and
+//! the SLO headroom of each pipeline land in the same regime as the
+//! paper's testbed: single-digit-to-tens of milliseconds per batch,
+//! hundreds of requests per second per worker at moderate batch sizes.
+
+use crate::ModelProfile;
+
+/// Identifiers for the models in the zoo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelId {
+    /// Generic object detector (heaviest model).
+    ObjectDetection,
+    /// Face recognition.
+    FaceRecognition,
+    /// OCR / text recognition.
+    TextRecognition,
+    /// Person detector.
+    PersonDetection,
+    /// Facial expression recognition.
+    ExpressionRecognition,
+    /// Eye tracking.
+    EyeTracking,
+    /// Body pose recognition.
+    PoseRecognition,
+    /// Game kill-count detector.
+    KillCountDetection,
+    /// Game alive-player recognition.
+    AlivePlayerRecognition,
+    /// Game health-value recognition.
+    HealthValueRecognition,
+    /// Game icon recognition.
+    IconRecognition,
+}
+
+impl ModelId {
+    /// All models in a stable order.
+    pub const ALL: [ModelId; 11] = [
+        ModelId::ObjectDetection,
+        ModelId::FaceRecognition,
+        ModelId::TextRecognition,
+        ModelId::PersonDetection,
+        ModelId::ExpressionRecognition,
+        ModelId::EyeTracking,
+        ModelId::PoseRecognition,
+        ModelId::KillCountDetection,
+        ModelId::AlivePlayerRecognition,
+        ModelId::HealthValueRecognition,
+        ModelId::IconRecognition,
+    ];
+
+    /// Canonical name used in pipeline configs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::ObjectDetection => "object-detection",
+            ModelId::FaceRecognition => "face-recognition",
+            ModelId::TextRecognition => "text-recognition",
+            ModelId::PersonDetection => "person-detection",
+            ModelId::ExpressionRecognition => "expression-recognition",
+            ModelId::EyeTracking => "eye-tracking",
+            ModelId::PoseRecognition => "pose-recognition",
+            ModelId::KillCountDetection => "kill-count-detection",
+            ModelId::AlivePlayerRecognition => "alive-player-recognition",
+            ModelId::HealthValueRecognition => "health-value-recognition",
+            ModelId::IconRecognition => "icon-recognition",
+        }
+    }
+}
+
+/// Returns the profile of one model.
+pub fn model(id: ModelId) -> ModelProfile {
+    // (base ms, slope ms, gamma, max batch) — heavier detectors first.
+    let (base, slope, gamma, max_batch) = match id {
+        ModelId::ObjectDetection => (12.0, 6.0, 0.88, 32),
+        ModelId::FaceRecognition => (5.0, 3.0, 0.90, 32),
+        ModelId::TextRecognition => (8.0, 4.0, 0.90, 32),
+        ModelId::PersonDetection => (10.0, 5.0, 0.88, 32),
+        ModelId::ExpressionRecognition => (4.0, 2.5, 0.92, 32),
+        ModelId::EyeTracking => (4.0, 2.0, 0.92, 32),
+        ModelId::PoseRecognition => (7.0, 4.0, 0.90, 32),
+        ModelId::KillCountDetection => (5.0, 2.5, 0.92, 32),
+        ModelId::AlivePlayerRecognition => (4.0, 2.0, 0.92, 32),
+        ModelId::HealthValueRecognition => (4.0, 2.0, 0.92, 32),
+        ModelId::IconRecognition => (3.0, 1.5, 0.92, 32),
+    };
+    ModelProfile::new(id.name(), base, slope, gamma, max_batch)
+}
+
+/// Returns all zoo profiles.
+pub fn models() -> Vec<ModelProfile> {
+    ModelId::ALL.iter().map(|&id| model(id)).collect()
+}
+
+/// Looks a model up by its canonical name.
+pub fn by_name(name: &str) -> Option<ModelProfile> {
+    ModelId::ALL
+        .iter()
+        .find(|id| id.name() == name)
+        .map(|&id| model(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_has_eleven_distinct_models() {
+        let all = models();
+        assert_eq!(all.len(), 11);
+        let mut names: Vec<&str> = all.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        for id in ModelId::ALL {
+            let m = by_name(id.name()).expect("model must exist");
+            assert_eq!(m, model(id));
+        }
+        assert!(by_name("nonexistent-model").is_none());
+    }
+
+    #[test]
+    fn object_detection_is_heaviest_at_batch_8() {
+        let od = model(ModelId::ObjectDetection).latency_ms(8);
+        for id in ModelId::ALL {
+            assert!(model(id).latency_ms(8) <= od, "{:?}", id);
+        }
+    }
+
+    #[test]
+    fn per_worker_throughput_is_realistic() {
+        // At batch 8 every model should serve between 100 and 2000 req/s
+        // per worker — the regime where 64 workers can serve a few hundred
+        // req/s through a 5-module pipeline, matching the paper's traces.
+        for id in ModelId::ALL {
+            let tput = model(id).throughput(8);
+            assert!(
+                (100.0..2000.0).contains(&tput),
+                "{:?} throughput {tput}",
+                id
+            );
+        }
+    }
+}

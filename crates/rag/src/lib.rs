@@ -1,0 +1,37 @@
+//! RAG workflow case study (§7, Table 2, Fig. 15).
+//!
+//! PARD's core insight — proactively dropping requests that cannot meet
+//! their latency objective raises goodput for everyone else — carries to
+//! multi-stage LLM workflows. This crate simulates the paper's
+//! four-stage retrieval-augmented-generation pipeline:
+//!
+//! ```text
+//!            ┌────────── retrieve (FAISS, batched) ──────────┐
+//! rewrite ───┤                                               ├── generate
+//!  (LLM,     └────────── search (web API, long tail) ────────┘   (LLM,
+//!  continuous batching)                                          prefill = TTFT)
+//! ```
+//!
+//! with a 5 s time-to-first-token SLO, and compares three dropping
+//! policies (Fig. 15a):
+//!
+//! * [`RagPolicy::Reactive`] — drop only after the TTFT SLO has already
+//!   been violated.
+//! * [`RagPolicy::Proactive`] — PARD's idea adapted: estimate the
+//!   remaining path (rewrite/search by recent averages, retrieve like a
+//!   batched module, generate prefill from its profiled per-token cost
+//!   and the input length) and drop when the projection misses.
+//! * [`RagPolicy::Predict`] — the oracle upper bound: the rewrite's
+//!   output length (and hence its decode time) is known exactly.
+//!
+//! Domain differences from DNN pipelines, reproduced here (§7): rewrite
+//! latency varies with output length, continuous batching removes batch
+//! wait for the LLM stages, and search has network long-tail latency.
+
+pub mod sim;
+pub mod stages;
+pub mod workload;
+
+pub use sim::{run_rag, RagConfig, RagPolicy, RagResult};
+pub use stages::{LlmProfile, RetrieveProfile, SearchProfile};
+pub use workload::{RagQuery, RagWorkload};

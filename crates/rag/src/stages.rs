@@ -1,0 +1,164 @@
+//! Latency models of the four RAG stages (Table 2 substitutes).
+
+use pard_sim::{DetRng, SimDuration};
+
+/// A continuous-batching LLM serving stage (vLLM-style).
+///
+/// A request occupies one of `max_slots` decode slots; with a slot it
+/// runs uninterrupted: `prefill(input_len)` then one decode step per
+/// output token. Continuous batching means there is *no* batch wait —
+/// a freed slot is granted immediately (§7, Fig. 15b discussion).
+#[derive(Clone, Debug)]
+pub struct LlmProfile {
+    /// Concurrent decode slots.
+    pub max_slots: usize,
+    /// Prefill cost: fixed part, milliseconds.
+    pub prefill_base_ms: f64,
+    /// Prefill cost per input token, milliseconds.
+    pub prefill_per_token_ms: f64,
+    /// Decode step per output token, milliseconds.
+    pub decode_per_token_ms: f64,
+}
+
+impl LlmProfile {
+    /// Prefill duration for `input_len` tokens.
+    pub fn prefill(&self, input_len: usize) -> SimDuration {
+        SimDuration::from_millis_f64(
+            self.prefill_base_ms + self.prefill_per_token_ms * input_len as f64,
+        )
+    }
+
+    /// Full generation duration: prefill plus `output_len` decode steps.
+    pub fn generation(&self, input_len: usize, output_len: usize) -> SimDuration {
+        self.prefill(input_len)
+            + SimDuration::from_millis_f64(self.decode_per_token_ms * output_len as f64)
+    }
+
+    /// Llama-3-8B-class rewrite stage on an A100 (Table 2).
+    pub fn rewrite_default() -> LlmProfile {
+        LlmProfile {
+            max_slots: 36,
+            prefill_base_ms: 25.0,
+            prefill_per_token_ms: 0.35,
+            decode_per_token_ms: 18.0,
+        }
+    }
+
+    /// Llama-3-8B-class generate stage; TTFT ends at prefill completion.
+    pub fn generate_default() -> LlmProfile {
+        LlmProfile {
+            max_slots: 48,
+            prefill_base_ms: 30.0,
+            prefill_per_token_ms: 0.40,
+            decode_per_token_ms: 18.0,
+        }
+    }
+}
+
+/// Batched vector-database retrieval (FAISS over 483 k items, Table 2).
+#[derive(Clone, Copy, Debug)]
+pub struct RetrieveProfile {
+    /// Maximum batch size.
+    pub max_batch: usize,
+    /// Fixed per-batch cost, milliseconds.
+    pub base_ms: f64,
+    /// Per-query cost, milliseconds.
+    pub per_query_ms: f64,
+}
+
+impl RetrieveProfile {
+    /// Batch execution duration.
+    pub fn latency(&self, batch: usize) -> SimDuration {
+        SimDuration::from_millis_f64(self.base_ms + self.per_query_ms * batch as f64)
+    }
+
+    /// Defaults matched to a CPU FAISS index.
+    pub fn default_profile() -> RetrieveProfile {
+        RetrieveProfile {
+            max_batch: 32,
+            base_ms: 8.0,
+            per_query_ms: 1.2,
+        }
+    }
+}
+
+/// Web search with long-tail network latency (Tavily API, Table 2).
+#[derive(Clone, Copy, Debug)]
+pub struct SearchProfile {
+    /// Concurrent in-flight calls (the paper uses multithreading).
+    pub concurrency: usize,
+    /// Log-normal µ of the latency in ln-milliseconds.
+    pub mu_ln_ms: f64,
+    /// Log-normal σ.
+    pub sigma: f64,
+    /// Hard ceiling (client-side timeout), milliseconds.
+    pub cap_ms: f64,
+}
+
+impl SearchProfile {
+    /// Draws one call latency.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        SimDuration::from_millis_f64(
+            self.mu_ln_ms.exp() * 0.0 + {
+                // ln-normal draw with cap.
+                let ms = rng.lognormal(self.mu_ln_ms, self.sigma);
+                ms.min(self.cap_ms)
+            },
+        )
+    }
+
+    /// Median latency in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.mu_ln_ms.exp()
+    }
+
+    /// Defaults: ~400 ms median with a tail into seconds (Fig. 15b).
+    pub fn default_profile() -> SearchProfile {
+        SearchProfile {
+            concurrency: 64,
+            mu_ln_ms: 400.0f64.ln(),
+            sigma: 0.75,
+            cap_ms: 8_000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llm_prefill_scales_with_input() {
+        let llm = LlmProfile::rewrite_default();
+        assert!(llm.prefill(100) > llm.prefill(10));
+        let gen = llm.generation(50, 40);
+        let expect = llm.prefill(50) + SimDuration::from_millis_f64(18.0 * 40.0);
+        assert_eq!(gen, expect);
+    }
+
+    #[test]
+    fn retrieve_latency_is_affine() {
+        let r = RetrieveProfile::default_profile();
+        assert_eq!(r.latency(0), SimDuration::from_millis_f64(8.0));
+        assert_eq!(r.latency(10), SimDuration::from_millis_f64(20.0));
+    }
+
+    #[test]
+    fn search_has_long_tail_but_caps() {
+        let s = SearchProfile::default_profile();
+        let mut rng = DetRng::new(3);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| s.sample(&mut rng).as_millis_f64())
+            .collect();
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let p99 = sorted[(sorted.len() as f64 * 0.99) as usize];
+        assert!(
+            (median - s.median_ms()).abs() / s.median_ms() < 0.1,
+            "median {median}"
+        );
+        assert!(p99 > 2.0 * median, "p99 {p99} vs median {median}");
+        assert!(sorted.last().unwrap() <= &s.cap_ms);
+    }
+}

@@ -1,0 +1,111 @@
+//! HotpotQA-like query workload for the RAG case study.
+
+use pard_sim::{DetRng, SimTime};
+use pard_workload::RateTrace;
+
+/// One query.
+#[derive(Clone, Copy, Debug)]
+pub struct RagQuery {
+    /// Unique id.
+    pub id: u64,
+    /// Send time.
+    pub sent: SimTime,
+    /// Query length in tokens.
+    pub query_len: usize,
+    /// The rewrite's eventual output length in tokens (ground truth;
+    /// the `Predict` policy may read it, `Proactive` may not).
+    pub rewrite_out_len: usize,
+    /// Retrieved-context length added before generation, tokens.
+    pub context_len: usize,
+}
+
+/// A full workload: queries with send times.
+#[derive(Clone, Debug)]
+pub struct RagWorkload {
+    /// Queries sorted by send time.
+    pub queries: Vec<RagQuery>,
+}
+
+impl RagWorkload {
+    /// Generates `n` queries whose arrival rate follows `trace`
+    /// (rescaled to fit all `n` within the trace duration).
+    ///
+    /// Lengths follow HotpotQA-ish shapes: short multi-hop questions
+    /// (15–45 tokens), log-normal rewrite outputs (median ≈ 45 tokens),
+    /// and retrieval contexts of several hundred tokens.
+    pub fn generate(n: usize, trace: &RateTrace, seed: u64) -> RagWorkload {
+        let mut rng = DetRng::new(seed ^ 0x5261_4721);
+        let scaled = trace.scaled_to_mean(n as f64 / trace.duration().as_secs_f64().max(1.0));
+        let mut times = pard_workload::poisson_arrivals(&scaled, &mut rng);
+        times.truncate(n);
+        let queries = times
+            .into_iter()
+            .enumerate()
+            .map(|(i, sent)| RagQuery {
+                id: i as u64,
+                sent,
+                query_len: rng.range_u64(15, 46) as usize,
+                rewrite_out_len: (rng.lognormal(42.0f64.ln(), 0.75).round() as usize).clamp(8, 320),
+                context_len: rng.range_u64(420, 900) as usize,
+            })
+            .collect();
+        RagWorkload { queries }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_workload::azure;
+
+    #[test]
+    fn generates_requested_count() {
+        let trace = azure(120, 1);
+        let w = RagWorkload::generate(2_000, &trace, 7);
+        assert!(w.len() >= 1_900, "got {}", w.len());
+        for q in &w.queries {
+            assert!((15..46).contains(&q.query_len));
+            assert!((8..=320).contains(&q.rewrite_out_len));
+            assert!((420..900).contains(&q.context_len));
+        }
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_deterministic() {
+        let trace = azure(60, 2);
+        let a = RagWorkload::generate(500, &trace, 9);
+        let b = RagWorkload::generate(500, &trace, 9);
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.sent, y.sent);
+            assert_eq!(x.rewrite_out_len, y.rewrite_out_len);
+        }
+        for w in a.queries.windows(2) {
+            assert!(w[0].sent <= w[1].sent);
+        }
+    }
+
+    #[test]
+    fn rewrite_lengths_are_skewed() {
+        let trace = azure(60, 3);
+        let w = RagWorkload::generate(5_000, &trace, 11);
+        let lens: Vec<f64> = w.queries.iter().map(|q| q.rewrite_out_len as f64).collect();
+        let mean = lens.iter().sum::<f64>() / lens.len() as f64;
+        let mut sorted = lens.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            mean > median,
+            "log-normal skew: mean {mean} median {median}"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Inference backends for the live engine.
+//!
+//! The paper serves real DNNs through PyTorch; here a backend is
+//! anything that can "execute a batch" for a duration consistent with a
+//! [`ModelProfile`]. Two implementations:
+//!
+//! * [`SleepBackend`] — sleeps the profiled duration (scaled by the
+//!   experiment clock). The default for live demos: latency-faithful and
+//!   free.
+//! * [`CpuBackend`] — burns real CPU on f32 matrix multiplications
+//!   sized per batch item. Used with the offline profiler
+//!   ([`pard_profile::profiler`]) exactly the way a deployment would
+//!   profile a GPU model.
+
+use pard_profile::{ModelProfile, Profileable};
+use std::time::Instant;
+
+/// Executes one batch, blocking for its duration.
+pub trait InferenceBackend: Send {
+    /// Runs a batch of `batch` requests to completion.
+    fn execute(&mut self, batch: usize);
+
+    /// The profile this backend claims to follow, if known a priori.
+    fn profile(&self) -> Option<&ModelProfile> {
+        None
+    }
+}
+
+/// Latency-faithful backend: sleeps `d(B) / time_scale` wall time.
+pub struct SleepBackend {
+    profile: ModelProfile,
+    time_scale: f64,
+}
+
+impl SleepBackend {
+    /// Creates a backend following `profile` at the given clock scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is not positive.
+    pub fn new(profile: ModelProfile, time_scale: f64) -> SleepBackend {
+        assert!(time_scale > 0.0, "time scale must be positive");
+        SleepBackend {
+            profile,
+            time_scale,
+        }
+    }
+}
+
+impl InferenceBackend for SleepBackend {
+    fn execute(&mut self, batch: usize) {
+        let wall = self.profile.latency(batch).as_secs_f64() / self.time_scale;
+        std::thread::sleep(std::time::Duration::from_secs_f64(wall));
+    }
+
+    fn profile(&self) -> Option<&ModelProfile> {
+        Some(&self.profile)
+    }
+}
+
+/// Compute backend: per batch item, one `dim × dim` f32 mat-mul pass.
+///
+/// The work is real (the optimiser cannot elide it — the accumulator is
+/// folded into an observable checksum), so profiling it measures genuine
+/// execution latency.
+pub struct CpuBackend {
+    dim: usize,
+    a: Vec<f32>,
+    b: Vec<f32>,
+    checksum: f32,
+}
+
+impl CpuBackend {
+    /// Creates a backend multiplying `dim × dim` matrices per item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> CpuBackend {
+        assert!(dim > 0, "matrix dimension must be positive");
+        let a: Vec<f32> = (0..dim * dim).map(|i| (i % 13) as f32 * 0.25).collect();
+        let b: Vec<f32> = (0..dim * dim).map(|i| (i % 7) as f32 * 0.5).collect();
+        CpuBackend {
+            dim,
+            a,
+            b,
+            checksum: 0.0,
+        }
+    }
+
+    /// Observable accumulator (prevents dead-code elimination).
+    pub fn checksum(&self) -> f32 {
+        self.checksum
+    }
+
+    fn matmul_once(&mut self) {
+        let n = self.dim;
+        let mut acc = 0.0f32;
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0f32;
+                for k in 0..n {
+                    sum += self.a[i * n + k] * self.b[k * n + j];
+                }
+                acc += sum;
+            }
+        }
+        self.checksum += acc;
+    }
+}
+
+impl InferenceBackend for CpuBackend {
+    fn execute(&mut self, batch: usize) {
+        for _ in 0..batch.max(1) {
+            self.matmul_once();
+        }
+    }
+}
+
+impl Profileable for CpuBackend {
+    fn run_batch(&mut self, batch: usize) -> f64 {
+        let t0 = Instant::now();
+        self.execute(batch);
+        t0.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_profile::MeasuredProfile;
+
+    #[test]
+    fn sleep_backend_respects_scale() {
+        let profile = ModelProfile::new("m", 50.0, 10.0, 0.9, 8);
+        let mut fast = SleepBackend::new(profile.clone(), 100.0);
+        let t0 = Instant::now();
+        fast.execute(4);
+        // 50+10*4^0.9 ≈ 85 ms virtual → ~0.85 ms wall at 100×.
+        assert!(t0.elapsed().as_millis() < 50);
+        assert_eq!(fast.profile().unwrap().name, "m");
+    }
+
+    #[test]
+    fn cpu_backend_scales_with_batch() {
+        let mut backend = CpuBackend::new(64);
+        let t1 = backend.run_batch(1);
+        let t8 = backend.run_batch(8);
+        assert!(t8 > 3.0 * t1, "batch 8 ({t8} ms) vs 1 ({t1} ms)");
+        assert!(backend.checksum() != 0.0);
+    }
+
+    #[test]
+    fn cpu_backend_is_profileable_end_to_end() {
+        // Matrices large enough that per-item work (~ms) dominates timer
+        // resolution and scheduler noise from concurrently running tests.
+        let mut backend = CpuBackend::new(128);
+        let measured = MeasuredProfile::collect(&mut backend, &[1, 2, 4, 8], 3);
+        let fitted = measured.fit("cpu-128", 8);
+        // Linear work: the fitted exponent should be near 1 even under
+        // load; 0.7 leaves slack for noisy small-batch points.
+        assert!(fitted.gamma > 0.7, "gamma {}", fitted.gamma);
+        // The fit predicts the largest measured point reasonably.
+        let last = measured.points.last().unwrap();
+        let rel = (fitted.latency_ms(last.batch) - last.mean_ms).abs() / last.mean_ms;
+        assert!(rel < 0.5, "batch {}: rel {rel}", last.batch);
+    }
+}

@@ -1,0 +1,89 @@
+//! Wall-clock to virtual-time mapping.
+
+use std::time::Instant;
+
+use pard_sim::{SimDuration, SimTime};
+
+/// A monotonic wall clock that reports [`SimTime`], optionally running
+/// the simulated time faster than real time.
+///
+/// With `scale = s`, one wall-clock second advances the virtual clock by
+/// `s` virtual seconds; backends divide their sleep times by `s`, so an
+/// entire serving experiment compresses by `s×` without changing any
+/// policy arithmetic. `scale = 1` is real time.
+#[derive(Clone, Debug)]
+pub struct WallClock {
+    origin: Instant,
+    scale: f64,
+}
+
+impl WallClock {
+    /// Starts a clock at virtual time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn new(scale: f64) -> WallClock {
+        assert!(scale > 0.0, "clock scale must be positive");
+        WallClock {
+            origin: Instant::now(),
+            scale,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.origin.elapsed().as_secs_f64() * self.scale)
+    }
+
+    /// The speed-up factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Wall-clock sleep that advances virtual time by `virtual_d`.
+    pub fn sleep(&self, virtual_d: SimDuration) {
+        let wall = virtual_d.as_secs_f64() / self.scale;
+        if wall > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(wall));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let clock = WallClock::new(1.0);
+        let a = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let b = clock.now();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn scale_compresses_time() {
+        let clock = WallClock::new(50.0);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        // 10 ms wall at 50x is >= 500 ms virtual (scheduler slack only
+        // adds more).
+        assert!(clock.now() >= SimTime::from_millis(450));
+    }
+
+    #[test]
+    fn sleep_advances_virtual_duration() {
+        let clock = WallClock::new(20.0);
+        let before = clock.now();
+        clock.sleep(SimDuration::from_millis(100));
+        let elapsed = clock.now().saturating_since(before);
+        assert!(elapsed >= SimDuration::from_millis(90), "elapsed {elapsed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn rejects_zero_scale() {
+        let _ = WallClock::new(0.0);
+    }
+}

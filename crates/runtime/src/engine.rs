@@ -1,0 +1,475 @@
+//! The live threaded serving engine.
+//!
+//! One OS thread per worker, a controller thread for state
+//! synchronisation, and the same [`pard_core::WorkerPolicy`] objects the simulator
+//! drives — so a policy validated in the DES serves unchanged on real
+//! threads with a real (or sleep-based) backend.
+//!
+//! Differences from the DES (documented, deliberate):
+//!
+//! * Batches form when the worker becomes idle rather than overlapping
+//!   with the previous execution, so batch wait `W` is near zero and
+//!   waiting shows up as queueing delay `Q`. Policy arithmetic is
+//!   unchanged; the DES remains the reference for Fig. 3b-style wait
+//!   dynamics.
+//! * Chains only. DAG split/merge is exercised by the simulator.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use pard_core::window::{LinearWeightedWindow, RateMeter};
+use pard_core::{
+    ModuleState, PardConfig, PipelineView, PolicyFactory, PopCtx, PopOutcome, ReqMeta,
+    StatePlanner, SyncUpdate,
+};
+use pard_metrics::{DropReason, Outcome, RequestLog, RequestRecord, Reservoir, StageRecord};
+use pard_pipeline::{graph, PipelineSpec};
+use pard_profile::{plan_batches, ModelProfile};
+use pard_sim::{DetRng, SimDuration, SimTime};
+
+use crate::backend::InferenceBackend;
+use crate::clock::WallClock;
+
+/// Builds one backend per worker of a module.
+pub type BackendFactory = Box<dyn Fn(usize) -> Box<dyn InferenceBackend> + Send + Sync>;
+
+/// Configuration of the live engine.
+pub struct LiveConfig {
+    /// Virtual seconds per wall second (experiment compression).
+    pub time_scale: f64,
+    /// PARD algorithm knobs.
+    pub pard: PardConfig,
+    /// Workers per module.
+    pub workers_per_module: Vec<usize>,
+    /// Batch-planning headroom.
+    pub headroom: f64,
+}
+
+impl LiveConfig {
+    /// A configuration suitable for fast tests/demos: `scale`× time
+    /// compression, light Monte-Carlo load, `workers` per module.
+    pub fn compressed(scale: f64, modules: usize, workers: usize) -> LiveConfig {
+        LiveConfig {
+            time_scale: scale,
+            pard: PardConfig::default().with_mc_draws(500),
+            workers_per_module: vec![workers; modules],
+            headroom: 2.0,
+        }
+    }
+}
+
+struct WorkerShared {
+    policy: Mutex<Box<dyn pard_core::WorkerPolicy>>,
+    cv: Condvar,
+}
+
+struct ModuleShared {
+    workers: Vec<WorkerShared>,
+    input_meter: Mutex<RateMeter>,
+    q_window: Mutex<LinearWeightedWindow>,
+    wcl_window: Mutex<LinearWeightedWindow>,
+    wait_reservoir: Mutex<Reservoir>,
+}
+
+struct LiveRecord {
+    sent: SimTime,
+    deadline: SimTime,
+    stages: Vec<StageRecord>,
+    outcome: Outcome,
+}
+
+struct Shared {
+    spec: PipelineSpec,
+    batch_sizes: Vec<usize>,
+    exec_ms: Vec<f64>,
+    per_worker_tput: Vec<f64>,
+    clock: WallClock,
+    pard: PardConfig,
+    shutdown: AtomicBool,
+    modules: Vec<ModuleShared>,
+    records: Mutex<Vec<LiveRecord>>,
+}
+
+impl Shared {
+    /// Index of the least-loaded worker of `module`.
+    fn pick_worker(&self, module: usize) -> usize {
+        let mut best = 0;
+        let mut best_len = usize::MAX;
+        for (i, w) in self.modules[module].workers.iter().enumerate() {
+            let len = w.policy.lock().queue_len();
+            if len < best_len {
+                best_len = len;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Enqueues `meta` at `module`, recording admission-control drops.
+    fn enqueue(&self, module: usize, meta: ReqMeta, now: SimTime) {
+        self.modules[module].input_meter.lock().record(now);
+        let widx = self.pick_worker(module);
+        let worker = &self.modules[module].workers[widx];
+        let refused = worker.policy.lock().enqueue(meta, now);
+        match refused {
+            Some((req, reason)) => self.mark_dropped(req.id, module, now, reason),
+            None => {
+                worker.cv.notify_one();
+            }
+        }
+    }
+
+    fn mark_dropped(&self, id: u64, module: usize, at: SimTime, reason: DropReason) {
+        let mut records = self.records.lock();
+        let record = &mut records[id as usize];
+        if matches!(record.outcome, Outcome::InFlight) {
+            record.outcome = Outcome::Dropped { module, at, reason };
+        }
+    }
+}
+
+/// A running live cluster.
+pub struct LiveCluster {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl LiveCluster {
+    /// Starts worker and controller threads for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid or not a chain, or if worker counts
+    /// do not match the module count.
+    pub fn start(
+        spec: PipelineSpec,
+        profiles: Vec<ModelProfile>,
+        policy_factory: PolicyFactory,
+        backend_factory: BackendFactory,
+        config: LiveConfig,
+    ) -> LiveCluster {
+        spec.validate().expect("invalid pipeline spec");
+        assert!(spec.is_chain(), "live engine serves chain pipelines");
+        assert_eq!(config.workers_per_module.len(), spec.modules.len());
+        config.pard.validate();
+        let plan = plan_batches(&profiles, spec.slo, config.headroom);
+        let exec_ms: Vec<f64> = profiles
+            .iter()
+            .zip(&plan.batch_sizes)
+            .map(|(p, &b)| p.latency_ms(b))
+            .collect();
+        let modules: Vec<ModuleShared> = (0..spec.modules.len())
+            .map(|m| ModuleShared {
+                workers: (0..config.workers_per_module[m])
+                    .map(|_| WorkerShared {
+                        policy: Mutex::new(policy_factory(m)),
+                        cv: Condvar::new(),
+                    })
+                    .collect(),
+                input_meter: Mutex::new(RateMeter::new(config.pard.window)),
+                q_window: Mutex::new(LinearWeightedWindow::new(config.pard.window)),
+                wcl_window: Mutex::new(LinearWeightedWindow::new(config.pard.window)),
+                wait_reservoir: Mutex::new(Reservoir::new(
+                    config.pard.reservoir_capacity,
+                    0x11ee + m as u64,
+                )),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            batch_sizes: plan.batch_sizes.clone(),
+            exec_ms,
+            per_worker_tput: plan.worker_throughput.clone(),
+            clock: WallClock::new(config.time_scale),
+            pard: config.pard,
+            shutdown: AtomicBool::new(false),
+            modules,
+            records: Mutex::new(Vec::new()),
+            spec,
+        });
+
+        let mut handles = Vec::new();
+        for m in 0..shared.spec.modules.len() {
+            for w in 0..config.workers_per_module[m] {
+                let shared = Arc::clone(&shared);
+                let backend = backend_factory(m);
+                handles.push(std::thread::spawn(move || {
+                    worker_loop(shared, m, w, backend);
+                }));
+            }
+        }
+        {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || controller_loop(shared)));
+        }
+        LiveCluster { shared, handles }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.clock.now()
+    }
+
+    /// Submits one request; returns its id.
+    pub fn submit(&self) -> u64 {
+        let now = self.shared.clock.now();
+        let deadline = now + self.shared.spec.slo;
+        let id = {
+            let mut records = self.shared.records.lock();
+            records.push(LiveRecord {
+                sent: now,
+                deadline,
+                stages: Vec::new(),
+                outcome: Outcome::InFlight,
+            });
+            (records.len() - 1) as u64
+        };
+        let meta = ReqMeta {
+            id,
+            sent: now,
+            deadline,
+            arrived: now,
+        };
+        self.shared.enqueue(self.shared.spec.source(), meta, now);
+        id
+    }
+
+    /// Submits a Poisson stream of `rate` requests per *virtual* second
+    /// for `duration` of virtual time (blocking the calling thread).
+    ///
+    /// Arrival instants are pre-drawn on the virtual clock; each wakeup
+    /// submits everything that has come due, so high rates are honoured
+    /// even when they exceed the OS sleep granularity.
+    pub fn run_open_loop(&self, rate: f64, duration: SimDuration, seed: u64) {
+        assert!(rate > 0.0, "rate must be positive");
+        let mut rng = DetRng::new(seed);
+        let start = self.shared.clock.now();
+        let end = start + duration;
+        let mut next = start + SimDuration::from_secs_f64(rng.exp(1.0 / rate));
+        loop {
+            let now = self.shared.clock.now();
+            if now >= end {
+                break;
+            }
+            while next <= now && next < end {
+                self.submit();
+                next += SimDuration::from_secs_f64(rng.exp(1.0 / rate));
+            }
+            if next > now {
+                self.shared.clock.sleep(next.saturating_since(now));
+            }
+        }
+    }
+
+    /// Waits for in-flight requests to resolve (bounded by
+    /// `drain_virtual`), stops all threads, and returns the log.
+    pub fn finish(self, drain_virtual: SimDuration) -> RequestLog {
+        let deadline = self.shared.clock.now() + drain_virtual;
+        loop {
+            let pending = {
+                let records = self.shared.records.lock();
+                records
+                    .iter()
+                    .any(|r| matches!(r.outcome, Outcome::InFlight))
+            };
+            if !pending || self.shared.clock.now() >= deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for module in &self.shared.modules {
+            for worker in &module.workers {
+                worker.cv.notify_all();
+            }
+        }
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+        let records = std::mem::take(&mut *self.shared.records.lock());
+        let mut log = RequestLog::new();
+        for (id, r) in records.into_iter().enumerate() {
+            log.push(RequestRecord {
+                id: id as u64,
+                sent: r.sent,
+                deadline: r.deadline,
+                stages: r.stages,
+                outcome: r.outcome,
+            });
+        }
+        log
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, m: usize, w: usize, mut backend: Box<dyn InferenceBackend>) {
+    let is_sink = shared.spec.modules[m].subs.is_empty();
+    let next_module = shared.spec.modules[m].subs.first().copied();
+    loop {
+        let mut drops: Vec<(ReqMeta, DropReason)> = Vec::new();
+        let mut batch: Vec<(ReqMeta, SimTime)> = Vec::new();
+        {
+            let worker = &shared.modules[m].workers[w];
+            let mut policy = worker.policy.lock();
+            while policy.queue_len() == 0 {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                worker
+                    .cv
+                    .wait_for(&mut policy, std::time::Duration::from_millis(5));
+            }
+            let now = shared.clock.now();
+            let b = shared.batch_sizes[m];
+            let ctx = PopCtx {
+                now,
+                expected_exec_start: now,
+                exec_duration: SimDuration::from_millis_f64(shared.exec_ms[m]),
+                batch_size: b,
+            };
+            drops.extend(policy.on_batch_open(&ctx));
+            while batch.len() < b {
+                match policy.pop_next(&ctx) {
+                    PopOutcome::Admit(meta) => batch.push((meta, now)),
+                    PopOutcome::Drop(meta, reason) => drops.push((meta, reason)),
+                    PopOutcome::Empty => break,
+                }
+            }
+        }
+        let now = shared.clock.now();
+        for (meta, reason) in drops {
+            shared.mark_dropped(meta.id, m, now, reason);
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        let t_e = shared.clock.now();
+        backend.execute(batch.len());
+        let end = shared.clock.now();
+        let gpu_share = end.saturating_since(t_e) / batch.len() as u64;
+        for (meta, t_b) in &batch {
+            let stage = StageRecord {
+                module: m,
+                worker: w,
+                arrived: meta.arrived,
+                batched: *t_b,
+                exec_start: t_e,
+                exec_end: end,
+                batch_size: batch.len(),
+                gpu_share,
+            };
+            {
+                let module = &shared.modules[m];
+                module
+                    .q_window
+                    .lock()
+                    .push(end, t_b.saturating_since(meta.arrived).as_millis_f64());
+                module
+                    .wait_reservoir
+                    .lock()
+                    .record(t_e.saturating_since(*t_b).as_millis_f64());
+                module
+                    .wcl_window
+                    .lock()
+                    .push(end, end.saturating_since(meta.arrived).as_millis_f64());
+            }
+            let mut records = shared.records.lock();
+            let record = &mut records[meta.id as usize];
+            record.stages.push(stage);
+            let active = matches!(record.outcome, Outcome::InFlight);
+            if active && is_sink {
+                record.outcome = Outcome::Completed { finished: end };
+            }
+            drop(records);
+            if active && !is_sink {
+                let next = next_module.expect("non-sink has a successor");
+                let forwarded = ReqMeta {
+                    arrived: end,
+                    ..*meta
+                };
+                shared.enqueue(next, forwarded, end);
+            }
+        }
+    }
+}
+
+fn controller_loop(shared: Arc<Shared>) {
+    let n = shared.spec.modules.len();
+    let mut planners: Vec<StatePlanner> = (0..n)
+        .map(|k| {
+            StatePlanner::new(
+                k,
+                graph::downstream_paths(&shared.spec, k),
+                shared.pard.lambda,
+                shared.pard.mc_draws,
+                shared.pard.rate_history_len,
+                DetRng::new(0x900d + k as u64),
+            )
+        })
+        .collect();
+    let mut published: Vec<ModuleState> = (0..n).map(ModuleState::empty).collect();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        shared.clock.sleep(shared.pard.sync_period);
+        let now = shared.clock.now();
+        let fresh: Vec<ModuleState> = (0..n)
+            .map(|k| {
+                let module = &shared.modules[k];
+                let input = module.input_meter.lock().rate(now);
+                let workers = module.workers.len();
+                ModuleState {
+                    module: k,
+                    avg_queueing_ms: module.q_window.lock().mean(now).unwrap_or(0.0),
+                    batch_size: shared.batch_sizes[k],
+                    exec_ms: shared.exec_ms[k],
+                    throughput: workers as f64 * shared.per_worker_tput[k],
+                    input_rate: input,
+                    drop_rate: 0.0,
+                    worst_case_ms: module
+                        .wcl_window
+                        .lock()
+                        .max(now)
+                        .unwrap_or(shared.exec_ms[k]),
+                    wait_sample_ms: module
+                        .wait_reservoir
+                        .lock()
+                        .samples()
+                        .iter()
+                        .take(shared.pard.wait_digest_len)
+                        .map(|&x| x as f32)
+                        .collect(),
+                }
+            })
+            .collect();
+        for k in 0..n {
+            let view_modules: Vec<ModuleState> = (0..n)
+                .map(|i| {
+                    if i == k {
+                        fresh[i].clone()
+                    } else {
+                        published[i].clone()
+                    }
+                })
+                .collect();
+            let view = PipelineView {
+                taken_at: now,
+                modules: view_modules,
+            };
+            let epsilon = planners[k].observe_input_rate(fresh[k].input_rate);
+            let sub = planners[k].estimate(&view);
+            let update = SyncUpdate {
+                module: k,
+                sub,
+                load_factor: fresh[k].load_factor(),
+                epsilon,
+                wcl_cum_budget: StatePlanner::wcl_cumulative_budgets(&view, shared.spec.slo)[k],
+                input_rate: fresh[k].input_rate,
+                view,
+            };
+            for worker in &shared.modules[k].workers {
+                worker.policy.lock().on_sync(&update);
+            }
+        }
+        published = fresh;
+    }
+}

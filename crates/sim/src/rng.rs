@@ -1,0 +1,342 @@
+//! Deterministic random number generation.
+//!
+//! Experiments must be exactly reproducible from a single `u64` seed, on
+//! any platform and across toolchain upgrades. We therefore implement a
+//! small, well-known generator in-tree instead of depending on an external
+//! crate whose stream could change between versions: xoshiro256++ for the
+//! core stream, seeded through SplitMix64 (the combination recommended by
+//! the xoshiro authors).
+//!
+//! [`DetRng::fork`] derives statistically independent child generators,
+//! which lets every module/worker/arrival-process own its own stream so
+//! that adding a consumer does not perturb the draws seen by the others —
+//! a prerequisite for meaningful A/B comparisons between policies.
+
+/// SplitMix64 step, used for seeding and stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+    /// Cached second normal variate from the polar method.
+    spare_normal: Option<f64>,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> DetRng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator for stream `id`.
+    ///
+    /// Forking with distinct ids yields streams that do not overlap in
+    /// practice; the child is seeded from a hash of the parent state and
+    /// the id, so forking is insensitive to how many draws the parent has
+    /// already produced only if done before use — callers conventionally
+    /// fork all sub-streams up front.
+    pub fn fork(&self, id: u64) -> DetRng {
+        let mut sm = self.s[0]
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.s[2].rotate_left(17))
+            ^ id.wrapping_mul(0xD134_2543_DE82_EF95);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "range must be non-empty");
+        // Lemire's multiply-shift with rejection for unbiased output.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential variate with the given mean.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        // Inverse CDF; `1 - f64()` avoids ln(0).
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Standard normal variate via the Marsaglia polar method.
+    pub fn std_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * self.f64() - 1.0;
+            let v = 2.0 * self.f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare_normal = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Normal variate with mean `mu` and standard deviation `sigma`.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.std_normal()
+    }
+
+    /// Log-normal variate parameterised by the underlying normal.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Pareto variate with minimum `scale` and tail index `shape`.
+    pub fn pareto(&mut self, scale: f64, shape: f64) -> f64 {
+        scale / (1.0 - self.f64()).powf(1.0 / shape)
+    }
+
+    /// Poisson variate with mean `lambda`.
+    ///
+    /// Uses Knuth's product method for small means and a clamped normal
+    /// approximation above 64, which is ample for per-tick arrival counts.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda < 64.0 {
+            let l = (-lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= self.f64();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let x = self.normal(lambda, lambda.sqrt());
+            x.max(0.0).round() as u64
+        }
+    }
+
+    /// Uniformly chooses an element of `slice`.
+    ///
+    /// Returns `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let idx = self.below(slice.len() as u64) as usize;
+            Some(&slice[idx])
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let parent = DetRng::new(7);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let mut c1_again = parent.fork(1);
+        assert_eq!(c1.next_u64(), c1_again.next_u64());
+        let overlap = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = DetRng::new(11);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut rng = DetRng::new(5);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.exp(4.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = DetRng::new(9);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut rng = DetRng::new(13);
+        for lambda in [0.5, 5.0, 200.0] {
+            let n = 50_000;
+            let sum: u64 = (0..n).map(|_| rng.poisson(lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() / lambda < 0.05,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+        assert_eq!(rng.poisson(-1.0), 0);
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = DetRng::new(17);
+        for _ in 0..10_000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(19);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
+    }
+
+    #[test]
+    fn choose_handles_empty_and_picks_members() {
+        let mut rng = DetRng::new(23);
+        let empty: [u32; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        let v = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(v.contains(rng.choose(&v).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Turning rate envelopes into concrete request send times.
+
+use pard_sim::{DetRng, SimTime};
+
+use crate::trace::RateTrace;
+
+/// Samples arrival times from `trace` as a non-homogeneous Poisson
+/// process using Lewis–Shedler thinning.
+///
+/// The result is sorted and lies within `[0, trace.duration())`.
+pub fn poisson_arrivals(trace: &RateTrace, rng: &mut DetRng) -> Vec<SimTime> {
+    let lambda_max = trace.max_rate();
+    if lambda_max <= 0.0 {
+        return Vec::new();
+    }
+    let horizon = trace.duration().as_secs_f64();
+    let mut out = Vec::with_capacity(trace.expected_requests() as usize + 16);
+    let mut t = 0.0f64;
+    loop {
+        t += rng.exp(1.0 / lambda_max);
+        if t >= horizon {
+            break;
+        }
+        let at = SimTime::from_secs_f64(t);
+        if rng.f64() < trace.rate_at(at) / lambda_max {
+            out.push(at);
+        }
+    }
+    out
+}
+
+/// Deterministic replay: spreads each second's expected arrivals evenly
+/// across that second (fractional remainders are carried forward).
+///
+/// Useful for tests that need exact request counts.
+pub fn uniform_arrivals(trace: &RateTrace) -> Vec<SimTime> {
+    let mut out = Vec::with_capacity(trace.expected_requests() as usize + 16);
+    let mut carry = 0.0f64;
+    for (sec, &rate) in trace.rates().iter().enumerate() {
+        let want = rate + carry;
+        let n = want.floor() as u64;
+        carry = want - n as f64;
+        for i in 0..n {
+            let frac = (i as f64 + 0.5) / n as f64;
+            out.push(SimTime::from_secs_f64(sec as f64 + frac));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::constant;
+
+    #[test]
+    fn poisson_matches_expected_count() {
+        let trace = constant(200.0, 100);
+        let mut rng = DetRng::new(1);
+        let arrivals = poisson_arrivals(&trace, &mut rng);
+        let expected = 200.0 * 100.0;
+        let got = arrivals.len() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.03,
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn poisson_is_sorted_and_in_range() {
+        let trace = constant(50.0, 10);
+        let mut rng = DetRng::new(2);
+        let arrivals = poisson_arrivals(&trace, &mut rng);
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(arrivals.iter().all(|&t| t < SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn poisson_respects_rate_changes() {
+        // First half rate 10, second half rate 100.
+        let mut rates = vec![10.0; 50];
+        rates.extend(vec![100.0; 50]);
+        let trace = RateTrace::new(rates);
+        let mut rng = DetRng::new(3);
+        let arrivals = poisson_arrivals(&trace, &mut rng);
+        let split = SimTime::from_secs(50);
+        let first = arrivals.iter().filter(|&&t| t < split).count() as f64;
+        let second = arrivals.iter().filter(|&&t| t >= split).count() as f64;
+        let ratio = second / first.max(1.0);
+        assert!((7.0..13.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn poisson_deterministic_in_seed() {
+        let trace = constant(20.0, 20);
+        let a = poisson_arrivals(&trace, &mut DetRng::new(9));
+        let b = poisson_arrivals(&trace, &mut DetRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn poisson_empty_for_zero_rate() {
+        let trace = constant(0.0, 10);
+        let mut rng = DetRng::new(4);
+        assert!(poisson_arrivals(&trace, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn uniform_exact_counts_with_carry() {
+        let trace = RateTrace::new(vec![2.5, 2.5, 3.0]);
+        let arrivals = uniform_arrivals(&trace);
+        assert_eq!(arrivals.len(), 8);
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn uniform_spreads_within_second() {
+        let trace = RateTrace::new(vec![4.0]);
+        let arrivals = uniform_arrivals(&trace);
+        assert_eq!(arrivals.len(), 4);
+        assert_eq!(arrivals[0], SimTime::from_millis(125));
+        assert_eq!(arrivals[3], SimTime::from_millis(875));
+    }
+}

@@ -1,0 +1,27 @@
+//! Workload synthesis for the PARD reproduction.
+//!
+//! The paper replays three real-world request-rate traces (§5.1): the
+//! Wikipedia access trace, the Twitter access trace, and the Azure
+//! Functions trace. Those datasets are not redistributable here, so this
+//! crate synthesises traces matched to the published shape statistics:
+//!
+//! * `wiki` — smooth and periodic, coefficient of variation ≈ 0.47,
+//!   rates between ~100 and ~400 req/s (Fig. 10 left).
+//! * `tweet` — bursty (CV ≈ 1.0) with a ~2× step around t = 850 s, rates
+//!   between ~200 and ~600 req/s; the step is what trips the reactive
+//!   policy in Fig. 2d.
+//! * `azure` — spiky (CV ≈ 1.3) with sharp short bursts, rates between
+//!   ~400 and ~600 req/s, burst region around t = 400–550 s.
+//!
+//! [`RateTrace`] holds a per-second rate envelope; [`arrivals`] turns it
+//! into concrete request send times via a non-homogeneous Poisson process
+//! (thinning) or a deterministic evenly-spaced replay, both fully
+//! reproducible from a seed.
+
+pub mod arrivals;
+pub mod trace;
+pub mod traces;
+
+pub use arrivals::{poisson_arrivals, uniform_arrivals};
+pub use trace::RateTrace;
+pub use traces::{azure, constant, ramp, tweet, wiki, TraceKind};

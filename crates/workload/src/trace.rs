@@ -1,0 +1,193 @@
+//! Request-rate envelopes.
+
+use pard_sim::{SimDuration, SimTime};
+
+/// A request-rate trace: one rate sample (req/s) per one-second tick.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RateTrace {
+    rates: Vec<f64>,
+}
+
+impl RateTrace {
+    /// Builds a trace from per-second rates (negative values clamp to 0).
+    pub fn new(rates: Vec<f64>) -> RateTrace {
+        RateTrace {
+            rates: rates.into_iter().map(|r| r.max(0.0)).collect(),
+        }
+    }
+
+    /// Number of one-second ticks.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Total trace duration.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_secs(self.rates.len() as u64)
+    }
+
+    /// The per-second rate samples.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Instantaneous rate at time `t` (zero outside the trace).
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let idx = (t.as_micros() / 1_000_000) as usize;
+        self.rates.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Maximum rate over the trace.
+    pub fn max_rate(&self) -> f64 {
+        self.rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean rate over the trace.
+    pub fn mean_rate(&self) -> f64 {
+        if self.rates.is_empty() {
+            0.0
+        } else {
+            self.rates.iter().sum::<f64>() / self.rates.len() as f64
+        }
+    }
+
+    /// Coefficient of variation of the per-second rates.
+    pub fn cv(&self) -> f64 {
+        let mean = self.mean_rate();
+        if mean.abs() < f64::EPSILON {
+            return 0.0;
+        }
+        let var = self
+            .rates
+            .iter()
+            .map(|r| (r - mean) * (r - mean))
+            .sum::<f64>()
+            / self.rates.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// High-frequency burstiness: standard deviation of one-second rate
+    /// increments, normalised by the mean rate.
+    ///
+    /// Unlike [`RateTrace::cv`], which a slow diurnal swing inflates just
+    /// as much as rapid spikes do, this statistic isolates the fast
+    /// variation that stresses sliding-window estimators (§5.4's
+    /// window-size sensitivity). Smooth periodic traces score low even
+    /// when their overall CV is substantial.
+    pub fn burstiness(&self) -> f64 {
+        let mean = self.mean_rate();
+        if mean.abs() < f64::EPSILON || self.rates.len() < 2 {
+            return 0.0;
+        }
+        let diffs: Vec<f64> = self.rates.windows(2).map(|w| w[1] - w[0]).collect();
+        let dmean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        let var = diffs.iter().map(|d| (d - dmean) * (d - dmean)).sum::<f64>() / diffs.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Expected number of requests over the whole trace.
+    pub fn expected_requests(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Returns a copy rescaled so the mean rate equals `target`.
+    ///
+    /// A zero-mean trace is returned unchanged.
+    pub fn scaled_to_mean(&self, target: f64) -> RateTrace {
+        let mean = self.mean_rate();
+        if mean.abs() < f64::EPSILON {
+            return self.clone();
+        }
+        let factor = target / mean;
+        RateTrace::new(self.rates.iter().map(|r| r * factor).collect())
+    }
+
+    /// Returns a copy scaled by a constant factor.
+    pub fn scaled_by(&self, factor: f64) -> RateTrace {
+        RateTrace::new(self.rates.iter().map(|r| r * factor).collect())
+    }
+
+    /// Returns the sub-trace covering `[from, to)` seconds.
+    ///
+    /// Out-of-range bounds clamp to the trace length.
+    pub fn window(&self, from_s: usize, to_s: usize) -> RateTrace {
+        let from = from_s.min(self.rates.len());
+        let to = to_s.clamp(from, self.rates.len());
+        RateTrace::new(self.rates[from..to].to_vec())
+    }
+
+    /// Returns a copy with rates in `[at, at+len)` seconds multiplied by
+    /// `factor` — used to inject synthetic bursts.
+    pub fn with_burst(&self, at_s: usize, len_s: usize, factor: f64) -> RateTrace {
+        let mut rates = self.rates.clone();
+        for (i, r) in rates.iter_mut().enumerate() {
+            if i >= at_s && i < at_s + len_s {
+                *r *= factor;
+            }
+        }
+        RateTrace::new(rates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_lookup_and_bounds() {
+        let t = RateTrace::new(vec![10.0, 20.0, 30.0]);
+        assert_eq!(t.rate_at(SimTime::from_millis(500)), 10.0);
+        assert_eq!(t.rate_at(SimTime::from_millis(1500)), 20.0);
+        assert_eq!(t.rate_at(SimTime::from_secs(10)), 0.0);
+        assert_eq!(t.duration(), SimDuration::from_secs(3));
+        assert_eq!(t.max_rate(), 30.0);
+    }
+
+    #[test]
+    fn negative_rates_clamp() {
+        let t = RateTrace::new(vec![-5.0, 5.0]);
+        assert_eq!(t.rates(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn statistics() {
+        let t = RateTrace::new(vec![10.0, 20.0, 30.0]);
+        assert!((t.mean_rate() - 20.0).abs() < 1e-12);
+        assert!((t.expected_requests() - 60.0).abs() < 1e-12);
+        // std = sqrt(200/3), CV = std/20.
+        assert!((t.cv() - (200.0f64 / 3.0).sqrt() / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let t = RateTrace::new(vec![10.0, 30.0]);
+        let s = t.scaled_to_mean(100.0);
+        assert!((s.mean_rate() - 100.0).abs() < 1e-9);
+        assert!((s.cv() - t.cv()).abs() < 1e-12);
+        let d = t.scaled_by(2.0);
+        assert_eq!(d.rates(), &[20.0, 60.0]);
+    }
+
+    #[test]
+    fn window_and_burst() {
+        let t = RateTrace::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.window(1, 3).rates(), &[2.0, 3.0]);
+        assert_eq!(t.window(3, 100).rates(), &[4.0]);
+        let b = t.with_burst(1, 2, 10.0);
+        assert_eq!(b.rates(), &[1.0, 20.0, 30.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = RateTrace::new(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.mean_rate(), 0.0);
+        assert_eq!(t.cv(), 0.0);
+        assert_eq!(t.scaled_to_mean(5.0), t);
+    }
+}

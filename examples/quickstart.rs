@@ -1,0 +1,66 @@
+//! Quickstart: serve a 3-module pipeline under PARD and print goodput.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pard::prelude::*;
+
+fn main() {
+    // 1. Pick an application pipeline: traffic monitoring (tm) chains
+    //    object detection → face recognition → text recognition with a
+    //    400 ms end-to-end SLO (§5.1).
+    let spec = AppKind::Tm.pipeline();
+    println!(
+        "pipeline: {} ({} modules, SLO {})",
+        spec.name,
+        spec.len(),
+        spec.slo
+    );
+
+    // 2. Build a workload: a bursty Twitter-like trace, 120 s long.
+    let trace = pard::workload::tweet(120, 42);
+    println!(
+        "trace: mean {:.0} req/s, max {:.0} req/s",
+        trace.mean_rate(),
+        trace.max_rate()
+    );
+
+    // 3. Choose the serving policy. `SystemKind` covers PARD, the
+    //    reactive baselines, and every ablation of Table 1.
+    let exec = pard_bench_exec(&spec);
+    let factory = make_factory(SystemKind::Pard, &spec, &exec, OcConfig::default());
+
+    // 4. Run the cluster simulation (64-worker budget, autoscaling with
+    //    cold starts, 1 s state sync — the §5.1 defaults).
+    let config = ClusterConfig::default();
+    let result = pard::cluster::run(&spec, &trace, factory, config);
+
+    // 5. Read the paper's three metrics off the request log.
+    let log = &result.log;
+    println!("requests:     {}", log.len());
+    println!(
+        "goodput:      {} ({:.1}% of arrivals)",
+        log.goodput_count(),
+        100.0 * log.goodput_count() as f64 / log.len() as f64
+    );
+    println!("drop rate:    {:.2}%", 100.0 * log.drop_rate());
+    println!("invalid rate: {:.2}%", 100.0 * log.invalid_rate());
+    println!("peak workers: {}", result.peak_workers);
+}
+
+/// Per-module execution estimates at planned batch sizes (the inputs
+/// split-budget baselines need; PARD itself reads them from sync state).
+fn pard_bench_exec(spec: &PipelineSpec) -> Vec<f64> {
+    let profiles: Vec<ModelProfile> = spec
+        .modules
+        .iter()
+        .map(|m| pard::profile::zoo::by_name(&m.name).expect("zoo model"))
+        .collect();
+    let plan = plan_batches(&profiles, spec.slo, 2.0);
+    profiles
+        .iter()
+        .zip(&plan.batch_sizes)
+        .map(|(p, &b)| p.latency_ms(b))
+        .collect()
+}

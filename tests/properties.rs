@@ -1,0 +1,97 @@
+//! Cross-crate property tests: system-level invariants that must hold
+//! for arbitrary workloads and configurations.
+
+use pard::prelude::*;
+use proptest::prelude::*;
+
+fn exec_estimates(spec: &PipelineSpec) -> Vec<f64> {
+    let profiles: Vec<ModelProfile> = spec
+        .modules
+        .iter()
+        .map(|m| pard::profile::zoo::by_name(&m.name).expect("zoo model"))
+        .collect();
+    let plan = plan_batches(&profiles, spec.slo, 2.0);
+    profiles
+        .iter()
+        .zip(&plan.batch_sizes)
+        .map(|(p, &b)| p.latency_ms(b))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// Conservation, rate bounds, and Fig. 5 timestamp ordering hold for
+    /// arbitrary rates, seeds, and policies.
+    #[test]
+    fn serving_invariants(
+        rate in 20.0f64..400.0,
+        seed in 0u64..1_000,
+        system_idx in 0usize..SystemKind::ALL.len(),
+        burst in 1.0f64..3.0,
+    ) {
+        let system = SystemKind::ALL[system_idx];
+        let spec = AppKind::Tm.pipeline();
+        let trace = pard::workload::constant(rate, 8).with_burst(3, 2, burst);
+        let factory = make_factory(system, &spec, &exec_estimates(&spec), OcConfig::default());
+        let config = ClusterConfig::default()
+            .with_seed(seed)
+            .with_pard(PardConfig::default().with_mc_draws(300));
+        let result = pard::cluster::run(&spec, &trace, factory, config);
+        let log = &result.log;
+
+        // Conservation: everything injected is classified by the end.
+        prop_assert_eq!(result.unfinished, 0);
+        let classified = log
+            .records()
+            .iter()
+            .filter(|r| !matches!(r.outcome, Outcome::InFlight))
+            .count();
+        prop_assert_eq!(classified, log.len());
+
+        // Rates are probabilities; goodput + drops cover everything.
+        prop_assert!((0.0..=1.0).contains(&log.drop_rate()));
+        prop_assert!((0.0..=1.0).contains(&log.invalid_rate()));
+        prop_assert_eq!(log.goodput_count() + log.drop_count(), log.len());
+
+        // Fig. 5 ordering on every stage of every request, and goodput
+        // requests truly meet their deadline.
+        for r in log.records() {
+            for s in &r.stages {
+                prop_assert!(r.sent <= s.arrived);
+                prop_assert!(s.arrived <= s.batched);
+                prop_assert!(s.batched <= s.exec_start);
+                prop_assert!(s.exec_start < s.exec_end);
+            }
+            if r.is_goodput() {
+                if let Outcome::Completed { finished } = r.outcome {
+                    prop_assert!(finished <= r.deadline);
+                }
+            }
+        }
+    }
+
+    /// The RAG simulation conserves queries and keeps TTFT consistent
+    /// with the SLO classification for any policy and load level.
+    #[test]
+    fn rag_invariants(
+        n in 200usize..1_500,
+        seed in 0u64..500,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = RagPolicy::ALL[policy_idx];
+        let trace = pard::workload::azure(60, seed);
+        let workload = RagWorkload::generate(n, &trace, seed);
+        let result = run_rag(
+            &workload,
+            RagConfig { policy, seed, ..RagConfig::default() },
+        );
+        prop_assert_eq!(result.goodput + result.dropped, result.total);
+        prop_assert!((0.0..=1.0).contains(&result.drop_rate()));
+        let stage_drops: usize = result.drops_per_stage.iter().sum();
+        prop_assert_eq!(stage_drops, result.dropped);
+    }
+}
