@@ -1,0 +1,36 @@
+//! Gateway wire-protocol microbenchmarks: encode/decode cost per
+//! request and response line. The gateway parses one line per request
+//! in the reader thread, so this is the per-request front-end overhead
+//! floor (cf. §5.4's DEPQ overhead accounting).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pard_gateway::{Request, Response};
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    let request = Request {
+        app: "tm".into(),
+        slo_ms: Some(400),
+        payload_len: 256,
+        seq: Some(12345),
+    };
+    let request_line = request.encode();
+    let response_line = Response::ok(987, Some(12345), 123.456).encode();
+
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(request_line.len() as u64));
+    group.bench_function("request_encode", |b| {
+        b.iter(|| black_box(&request).encode())
+    });
+    group.bench_function("request_decode", |b| {
+        b.iter(|| Request::decode(black_box(&request_line)).expect("valid line"))
+    });
+    group.throughput(Throughput::Bytes(response_line.len() as u64));
+    group.bench_function("response_decode", |b| {
+        b.iter(|| Response::decode(black_box(&response_line)).expect("valid line"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

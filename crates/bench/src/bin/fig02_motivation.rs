@@ -71,7 +71,7 @@ fn main() {
         let dist = result.log.drop_distribution(n);
         let mut cells = vec![w.name()];
         for m in 0..5 {
-            cells.push(if m < n { pct(dist[m]) } else { "-".into() });
+            cells.push(dist.get(m).map_or_else(|| "-".into(), |&d| pct(d)));
         }
         // The paper reports 57.1%–97.2% of drops in the latter half.
         let late_half: f64 = dist[n.div_ceil(2)..].iter().sum();

@@ -81,7 +81,7 @@ fn main() {
         exec_mean[m] /= exec_n[m].max(1) as f64;
     }
 
-    for k in 0..4 {
+    for (k, &paper_w) in paper.iter().enumerate() {
         let n = 4 - k;
         let analytic = irwin_hall_quantile(n, LAMBDA);
         let uniform_sources: Vec<WaitSource<'_>> =
@@ -93,7 +93,7 @@ fn main() {
         let sim = aggregate_wait_quantile(&sim_sources, LAMBDA, 20_000, &mut rng) / d_unit;
         table.row(&[
             format!("M{}..M4 (n={n})", k + 1),
-            format!("{:.2}d", paper[k]),
+            format!("{paper_w:.2}d"),
             format!("{analytic:.2}d"),
             format!("{mc:.2}d"),
             format!("{sim:.2}d"),

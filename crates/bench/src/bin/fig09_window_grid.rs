@@ -37,10 +37,14 @@ fn main() {
             per_system_max.push(maxima);
         }
         // Reduction of PARD vs the better reactive baseline, per window.
-        for i in 0..windows_s.len() {
-            let reactive = per_system_max[1][i].min(per_system_max[2][i]);
+        for ((&pard, &nexus), &clipper) in per_system_max[0]
+            .iter()
+            .zip(&per_system_max[1])
+            .zip(&per_system_max[2])
+        {
+            let reactive = nexus.min(clipper);
             if reactive > 0.01 {
-                reductions.push(1.0 - per_system_max[0][i] / reactive);
+                reductions.push(1.0 - pard / reactive);
             }
         }
         print!("{}", table.render());

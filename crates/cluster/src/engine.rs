@@ -549,8 +549,8 @@ impl ClusterWorld {
                     *t = ((*t as f64 * scale).floor() as usize).max(1);
                 }
             }
-            for k in 0..n {
-                self.apply_target(k, targets[k], now, queue);
+            for (k, &target) in targets.iter().enumerate() {
+                self.apply_target(k, target, now, queue);
             }
             let provisioned: usize = self
                 .modules

@@ -46,6 +46,39 @@ impl DecisionInputs {
     pub fn projected_finish(&self) -> SimTime {
         self.expected_exec_start + self.exec_duration + self.sub.total
     }
+
+    /// Builds decision inputs from the state a serving *edge* can
+    /// observe on the wall clock, before the request touches any worker
+    /// queue: the entry module's current queue depth (summed over its
+    /// workers), its worker count, its planned batch size, and its
+    /// profiled execution duration.
+    ///
+    /// The `queued` requests ahead occupy `⌊queued / batch_size⌋` full
+    /// batches, drained `workers` at a time, so the batch this request
+    /// would join starts around
+    /// `now + ⌊⌊queued / batch_size⌋ / workers⌋ · d_k`. That is the same
+    /// Eq. 3 arithmetic the in-worker broker runs at `t_b`, evaluated
+    /// early with the edge's coarser queue view and zero assumed batch
+    /// wait — a lower bound, so the edge never rejects a request the
+    /// in-worker broker would have served; it only refuses ones that are
+    /// already hopeless.
+    pub fn at_edge(
+        now: SimTime,
+        queued: usize,
+        workers: usize,
+        batch_size: usize,
+        exec_duration: SimDuration,
+        sub: SubEstimate,
+    ) -> DecisionInputs {
+        let batches_ahead = queued / batch_size.max(1);
+        let rounds = batches_ahead / workers.max(1);
+        DecisionInputs {
+            now,
+            expected_exec_start: now.saturating_add(exec_duration * rounds as u64),
+            exec_duration,
+            sub,
+        }
+    }
 }
 
 /// PARD's proactive decision: Eq. 3 against the end-to-end deadline.
@@ -167,6 +200,88 @@ mod tests {
             split_decision(&r, &inputs(140, 150, 40, 0), SimDuration::from_millis(180)),
             Decision::Drop(DropReason::BudgetExceeded)
         );
+    }
+
+    #[test]
+    fn edge_inputs_account_for_queued_batches() {
+        let sub = SubEstimate::ZERO;
+        // Empty queue: execution starts immediately.
+        let idle = DecisionInputs::at_edge(
+            SimTime::from_millis(100),
+            0,
+            1,
+            4,
+            SimDuration::from_millis(40),
+            sub,
+        );
+        assert_eq!(idle.expected_exec_start, SimTime::from_millis(100));
+        // Nine queued at batch 4, one worker → two full batches ahead →
+        // 80 ms delay.
+        let busy = DecisionInputs::at_edge(
+            SimTime::from_millis(100),
+            9,
+            1,
+            4,
+            SimDuration::from_millis(40),
+            sub,
+        );
+        assert_eq!(busy.expected_exec_start, SimTime::from_millis(180));
+        // Two workers drain those batches in parallel → one 40 ms round.
+        let parallel = DecisionInputs::at_edge(
+            SimTime::from_millis(100),
+            9,
+            2,
+            4,
+            SimDuration::from_millis(40),
+            sub,
+        );
+        assert_eq!(parallel.expected_exec_start, SimTime::from_millis(140));
+        // Zero batch size / zero workers are clamped, not divide-by-zero.
+        let clamped = DecisionInputs::at_edge(
+            SimTime::from_millis(100),
+            3,
+            0,
+            0,
+            SimDuration::from_millis(40),
+            sub,
+        );
+        assert_eq!(clamped.expected_exec_start, SimTime::from_millis(220));
+    }
+
+    #[test]
+    fn edge_inputs_drive_proactive_decision() {
+        // SLO 200 ms from t=0; at t=100 with a deep queue the projected
+        // finish (100 + 2*40 exec-starts + 40 exec + 50 sub = 270)
+        // overshoots → rejected at the edge.
+        let r = req(0, 200);
+        let sub = SubEstimate {
+            sum_q: SimDuration::ZERO,
+            sum_d: SimDuration::from_millis(50),
+            wait_q: SimDuration::ZERO,
+            total: SimDuration::from_millis(50),
+        };
+        let deep = DecisionInputs::at_edge(
+            SimTime::from_millis(100),
+            8,
+            1,
+            4,
+            SimDuration::from_millis(40),
+            sub,
+        );
+        assert_eq!(
+            proactive_decision(&r, &deep),
+            Decision::Drop(DropReason::PredictedViolation)
+        );
+        // Same request with an empty queue fits: 100+40+50 = 190 ≤ 200.
+        let shallow = DecisionInputs::at_edge(
+            SimTime::from_millis(100),
+            0,
+            1,
+            4,
+            SimDuration::from_millis(40),
+            sub,
+        );
+        assert_eq!(proactive_decision(&r, &shallow), Decision::Admit);
     }
 
     #[test]

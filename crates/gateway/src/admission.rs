@@ -1,0 +1,146 @@
+//! PARD admission at the serving edge.
+//!
+//! The paper's broker evaluates Eq. 3 at batch-formation time (`t_b`),
+//! inside a worker. The gateway runs the *same* decision earlier, at
+//! accept time, from the coarser state a front-end can observe: the
+//! per-module queue depths and the static batch plan in
+//! [`pard_runtime::EdgeState`]. A request that already cannot meet its
+//! deadline under this estimate is refused before it touches a worker
+//! queue — the whole point of proactive dropping, moved to where it
+//! saves the most work.
+//!
+//! The edge estimate is deliberately a *lower bound* on latency (it
+//! assumes zero batch wait and charges only whole batches ahead of the
+//! request). Admission therefore never rejects a servable request; the
+//! in-worker broker, with its richer Monte-Carlo wait estimate, still
+//! re-checks every admitted request at `t_b`.
+
+use pard_core::{proactive_decision, Decision, DecisionInputs, ReqMeta, SubEstimate};
+use pard_runtime::EdgeState;
+use pard_sim::{SimDuration, SimTime};
+
+/// Builds the downstream estimate (`L_sub` of §4.2) for a request
+/// entering module 0, from edge-visible state: queued-batch delay
+/// (batches drain one per worker in parallel) plus execution for every
+/// subsequent module, zero batch wait.
+pub fn edge_sub_estimate(state: &EdgeState) -> SubEstimate {
+    let mut sum_q = SimDuration::ZERO;
+    let mut sum_d = SimDuration::ZERO;
+    for k in 1..state.exec_ms.len() {
+        let exec = SimDuration::from_millis_f64(state.exec_ms[k]);
+        let batches_ahead = state.queue_depths[k] / state.batch_sizes[k].max(1);
+        let rounds = batches_ahead / state.workers[k].max(1);
+        sum_q += exec * rounds as u64;
+        sum_d += exec;
+    }
+    SubEstimate {
+        sum_q,
+        sum_d,
+        wait_q: SimDuration::ZERO,
+        total: sum_q + sum_d,
+    }
+}
+
+/// The edge admission check: Eq. 3 for a request arriving `now` with
+/// `deadline`, against the current [`EdgeState`].
+pub fn edge_decision(now: SimTime, deadline: SimTime, state: &EdgeState) -> Decision {
+    let req = ReqMeta {
+        id: 0,
+        sent: now,
+        deadline,
+        arrived: now,
+    };
+    let inputs = DecisionInputs::at_edge(
+        now,
+        state.queue_depths[0],
+        state.workers[0],
+        state.batch_sizes[0],
+        SimDuration::from_millis_f64(state.exec_ms[0]),
+        edge_sub_estimate(state),
+    );
+    proactive_decision(&req, &inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_metrics::DropReason;
+
+    fn state(queues: Vec<usize>) -> EdgeState {
+        EdgeState {
+            queue_depths: queues,
+            workers: vec![1, 1, 1],
+            batch_sizes: vec![4, 4, 4],
+            exec_ms: vec![40.0, 30.0, 20.0],
+            slo: SimDuration::from_millis(400),
+        }
+    }
+
+    #[test]
+    fn idle_pipeline_admits_feasible_request() {
+        // Empty queues: projected latency = 40 + (30 + 20) = 90 ms.
+        let s = state(vec![0, 0, 0]);
+        let now = SimTime::from_millis(100);
+        let d = edge_decision(now, now + SimDuration::from_millis(400), &s);
+        assert_eq!(d, Decision::Admit);
+    }
+
+    #[test]
+    fn hopeless_slo_is_rejected_immediately() {
+        // 1 ms budget < 90 ms floor: rejected even when idle.
+        let s = state(vec![0, 0, 0]);
+        let now = SimTime::from_millis(100);
+        let d = edge_decision(now, now + SimDuration::from_millis(1), &s);
+        assert_eq!(d, Decision::Drop(DropReason::PredictedViolation));
+    }
+
+    #[test]
+    fn deep_queues_tip_the_decision() {
+        // 40 queued at module 0 → 10 batches → 400 ms before this
+        // request's batch even starts.
+        let s = state(vec![40, 0, 0]);
+        let now = SimTime::from_millis(100);
+        let d = edge_decision(now, now + SimDuration::from_millis(400), &s);
+        assert_eq!(d, Decision::Drop(DropReason::PredictedViolation));
+        // The same deadline with shallow queues is fine.
+        let shallow = state(vec![3, 3, 3]);
+        let d = edge_decision(now, now + SimDuration::from_millis(400), &shallow);
+        assert_eq!(d, Decision::Admit);
+    }
+
+    #[test]
+    fn worker_parallelism_halves_the_queue_delay() {
+        // 40 queued at module 0 is hopeless for one worker (10 rounds ×
+        // 40 ms) but fine for four workers draining in parallel.
+        let mut s = state(vec![40, 0, 0]);
+        let now = SimTime::from_millis(100);
+        let deadline = now + SimDuration::from_millis(400);
+        assert_eq!(
+            edge_decision(now, deadline, &s),
+            Decision::Drop(DropReason::PredictedViolation)
+        );
+        s.workers = vec![4, 1, 1];
+        assert_eq!(edge_decision(now, deadline, &s), Decision::Admit);
+    }
+
+    #[test]
+    fn downstream_queues_count_too() {
+        // Module 0 idle, but module 2 has 80 queued → 20 batches × 20 ms
+        // = 400 ms of downstream queueing.
+        let s = state(vec![0, 0, 80]);
+        let now = SimTime::ZERO;
+        let sub = edge_sub_estimate(&s);
+        assert_eq!(sub.sum_q, SimDuration::from_millis(400));
+        assert_eq!(sub.sum_d, SimDuration::from_millis(50));
+        let d = edge_decision(now, now + SimDuration::from_millis(300), &s);
+        assert_eq!(d, Decision::Drop(DropReason::PredictedViolation));
+    }
+
+    #[test]
+    fn expired_deadline_reports_already_expired() {
+        let s = state(vec![0, 0, 0]);
+        let now = SimTime::from_millis(500);
+        let d = edge_decision(now, SimTime::from_millis(400), &s);
+        assert_eq!(d, Decision::Drop(DropReason::AlreadyExpired));
+    }
+}

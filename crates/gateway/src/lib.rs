@@ -1,0 +1,35 @@
+//! Networked serving front-end for the PARD live runtime.
+//!
+//! The paper's goodput argument (§4, Eq. 3) pays off most when the drop
+//! decision happens *before* a request consumes any pipeline resources.
+//! This crate moves that decision to the serving edge: a multi-threaded
+//! TCP gateway wraps [`pard_runtime::LiveCluster`] behind a
+//! newline-delimited JSON protocol ([`wire`]) and runs PARD's
+//! proactive check ([`admission`], built on
+//! [`pard_core::DecisionInputs::at_edge`]) at accept time, so a request
+//! that cannot meet its deadline is refused without ever touching a
+//! worker queue. A `/metrics` endpoint exports the
+//! [`pard_metrics::ServingCounters`] family plus live queue-depth
+//! gauges in the Prometheus text format.
+//!
+//! The paired load generator ([`loadgen`]) replays
+//! [`pard_workload`] arrival traces over real sockets — open-loop on
+//! schedule, or closed-loop with one outstanding request per
+//! connection — and reports goodput and latency quantiles.
+//!
+//! Two binaries expose the pair on the command line:
+//!
+//! ```sh
+//! cargo run --release --bin pard-gateway  -- --app tm --addr 127.0.0.1:7311
+//! cargo run --release --bin pard-loadgen -- --addr 127.0.0.1:7311 --mode open --rate 120 --duration 10
+//! ```
+
+pub mod admission;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use admission::{edge_decision, edge_sub_estimate};
+pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport};
+pub use server::{Gateway, GatewayConfig, EDGE_ID_BASE};
+pub use wire::{Request, Response, WireError, WireOutcome};

@@ -1,0 +1,495 @@
+//! Open- and closed-loop load generation over real sockets.
+//!
+//! The open loop replays a [`pard_workload::RateTrace`] — expanded into
+//! a concrete schedule by [`pard_workload::wire_schedule`] — across a
+//! configurable number of connections, pacing sends on the wall clock
+//! (compressed by `time_scale`, matching the gateway's clock). The
+//! closed loop keeps every connection saturated with one outstanding
+//! request. Both report the goodput/latency summary the `BENCH_*.json`
+//! convention expects.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use pard_workload::{wire_schedule, PayloadSpec, RateTrace, WireEvent};
+
+use crate::wire::{Request, Response, WireOutcome};
+
+/// Driving discipline.
+#[derive(Clone, Debug)]
+pub enum LoadMode {
+    /// Replay `trace` arrivals on schedule regardless of responses.
+    Open {
+        /// The request-rate envelope to replay.
+        trace: RateTrace,
+    },
+    /// One outstanding request per connection, sent back-to-back.
+    Closed {
+        /// Requests each connection issues.
+        requests_per_connection: usize,
+    },
+}
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Target application name.
+    pub app: String,
+    /// Parallel TCP connections.
+    pub connections: usize,
+    /// Driving discipline.
+    pub mode: LoadMode,
+    /// Per-request SLO (ms); `None` uses the server default.
+    pub slo_ms: Option<u64>,
+    /// Fraction of requests sent with a deliberately infeasible 1 ms
+    /// SLO — an admission-path canary that makes edge rejections
+    /// observable even when the pipeline is underloaded. Set to 0.0 to
+    /// disable.
+    pub tight_fraction: f64,
+    /// Payload-size envelope.
+    pub payload: PayloadSpec,
+    /// Virtual seconds per wall second; must match the gateway's scale
+    /// for open-loop pacing and latency conversion.
+    pub time_scale: f64,
+    /// Seed for schedule expansion and canary selection.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            app: "tm".into(),
+            connections: 4,
+            mode: LoadMode::Closed {
+                requests_per_connection: 50,
+            },
+            slo_ms: None,
+            tight_fraction: 0.05,
+            payload: PayloadSpec::default(),
+            time_scale: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated results of one load-generation run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenReport {
+    /// Requests put on the wire.
+    pub sent: usize,
+    /// Completed within SLO.
+    pub ok: usize,
+    /// Completed after the deadline.
+    pub violated: usize,
+    /// Rejected proactively at the gateway edge.
+    pub dropped_edge: usize,
+    /// Dropped inside the pipeline after admission.
+    pub dropped_pipeline: usize,
+    /// Protocol errors and unparseable responses.
+    pub errors: usize,
+    /// Requests with no response before the drain deadline.
+    pub unanswered: usize,
+    /// Wall-clock run time, seconds.
+    pub elapsed_s: f64,
+    /// Virtual end-to-end latencies (ms) of completed requests,
+    /// client-measured (includes the network path).
+    pub latencies_ms: Vec<f64>,
+    /// The virtual-time compression the run used.
+    pub time_scale: f64,
+}
+
+impl LoadgenReport {
+    /// Goodput in requests per *virtual* second.
+    pub fn goodput_rps(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / (self.elapsed_s * self.time_scale)
+        }
+    }
+
+    /// The `p`-quantile (0–1) of completed-request latency, ms —
+    /// linear-interpolated, matching every simulator-side quantile.
+    pub fn latency_quantile(&self, p: f64) -> f64 {
+        pard_metrics::stats::quantile(&self.latencies_ms, p)
+    }
+
+    /// One-line JSON record in the `BENCH_*.json` convention.
+    pub fn to_json(&self, app: &str, mode: &str, connections: usize) -> String {
+        use pard_pipeline::json::Value;
+        use std::collections::BTreeMap;
+        let mut map = BTreeMap::new();
+        let mut put = |k: &str, v: Value| map.insert(k.to_string(), v);
+        put("bench", Value::String("gateway".into()));
+        put("app", Value::String(app.into()));
+        put("mode", Value::String(mode.into()));
+        put("connections", Value::Number(connections as f64));
+        put("sent", Value::Number(self.sent as f64));
+        put("ok", Value::Number(self.ok as f64));
+        put("violated", Value::Number(self.violated as f64));
+        put("dropped_edge", Value::Number(self.dropped_edge as f64));
+        put(
+            "dropped_pipeline",
+            Value::Number(self.dropped_pipeline as f64),
+        );
+        put("errors", Value::Number(self.errors as f64));
+        put("unanswered", Value::Number(self.unanswered as f64));
+        put("elapsed_s", Value::Number(self.elapsed_s));
+        put("goodput_rps", Value::Number(self.goodput_rps()));
+        put("p50_ms", Value::Number(self.latency_quantile(0.50)));
+        put("p95_ms", Value::Number(self.latency_quantile(0.95)));
+        put("p99_ms", Value::Number(self.latency_quantile(0.99)));
+        Value::Object(map).to_json()
+    }
+
+    /// Human-readable summary block.
+    pub fn render(&self) -> String {
+        format!(
+            "sent {}  ok {} ({:.1}%)  violated {}  dropped: edge {} / pipeline {}  errors {}  unanswered {}\n\
+             goodput {:.1} req/s (virtual)  latency p50 {:.1} ms  p95 {:.1} ms  p99 {:.1} ms  elapsed {:.2}s wall\n",
+            self.sent,
+            self.ok,
+            100.0 * self.ok as f64 / self.sent.max(1) as f64,
+            self.violated,
+            self.dropped_edge,
+            self.dropped_pipeline,
+            self.errors,
+            self.unanswered,
+            self.goodput_rps(),
+            self.latency_quantile(0.50),
+            self.latency_quantile(0.95),
+            self.latency_quantile(0.99),
+            self.elapsed_s,
+        )
+    }
+}
+
+#[derive(Default)]
+struct Accum {
+    ok: usize,
+    violated: usize,
+    dropped_edge: usize,
+    dropped_pipeline: usize,
+    errors: usize,
+    latencies_ms: Vec<f64>,
+}
+
+impl Accum {
+    fn record(&mut self, response: &Response, virtual_latency_ms: Option<f64>) {
+        match response.outcome {
+            WireOutcome::Ok => {
+                self.ok += 1;
+                if let Some(l) = virtual_latency_ms {
+                    self.latencies_ms.push(l);
+                }
+            }
+            WireOutcome::Violated => {
+                self.violated += 1;
+                if let Some(l) = virtual_latency_ms {
+                    self.latencies_ms.push(l);
+                }
+            }
+            WireOutcome::Dropped if response.edge => self.dropped_edge += 1,
+            WireOutcome::Dropped => self.dropped_pipeline += 1,
+        }
+    }
+}
+
+/// Runs the configured load against `addr` and blocks until every
+/// request is answered (or the per-connection drain timeout passes).
+pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let started = Instant::now();
+    let accum = Arc::new(Mutex::new(Accum::default()));
+    let mut handles = Vec::new();
+    let mut sent_total = 0usize;
+    let mut unanswered = 0usize;
+
+    match &config.mode {
+        LoadMode::Open { trace } => {
+            // The schedule's nominal SLO is only a placeholder; the
+            // request carries `config.slo_ms` (None = server default).
+            let events = wire_schedule(
+                trace,
+                &config.app,
+                config.slo_ms.unwrap_or(400),
+                config.payload,
+                config.seed,
+            );
+            // Round-robin split preserving each connection's time order.
+            let mut per_conn: Vec<Vec<(u64, WireEvent)>> =
+                vec![Vec::new(); config.connections.max(1)];
+            for (i, event) in events.into_iter().enumerate() {
+                per_conn[i % config.connections.max(1)].push((i as u64, event));
+            }
+            for events in per_conn {
+                let accum = Arc::clone(&accum);
+                let config = config.clone();
+                handles.push(std::thread::spawn(move || {
+                    open_loop_connection(addr, events, &config, accum)
+                }));
+            }
+        }
+        LoadMode::Closed {
+            requests_per_connection,
+        } => {
+            let n = *requests_per_connection;
+            for conn in 0..config.connections.max(1) {
+                let accum = Arc::clone(&accum);
+                let config = config.clone();
+                handles.push(std::thread::spawn(move || {
+                    closed_loop_connection(addr, conn as u64, n, &config, accum)
+                }));
+            }
+        }
+    }
+
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok((sent, missing))) => {
+                sent_total += sent;
+                unanswered += missing;
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(_) => {
+                return Err(io::Error::other(
+                    "load generator connection thread panicked",
+                ))
+            }
+        }
+    }
+
+    let accum = Arc::try_unwrap(accum)
+        .map_err(|_| io::Error::other("accumulator still shared"))?
+        .into_inner();
+    Ok(LoadgenReport {
+        sent: sent_total,
+        ok: accum.ok,
+        violated: accum.violated,
+        dropped_edge: accum.dropped_edge,
+        dropped_pipeline: accum.dropped_pipeline,
+        errors: accum.errors,
+        unanswered,
+        elapsed_s: started.elapsed().as_secs_f64(),
+        latencies_ms: accum.latencies_ms,
+        time_scale: config.time_scale,
+    })
+}
+
+/// Whether request `seq` is a canary under `fraction` (deterministic,
+/// evenly spread).
+fn is_canary(seq: u64, fraction: f64) -> bool {
+    if fraction <= 0.0 {
+        return false;
+    }
+    let period = (1.0 / fraction).round().max(1.0) as u64;
+    seq.is_multiple_of(period)
+}
+
+/// Returns `(requests put on the wire, requests sent but unanswered)`.
+fn open_loop_connection(
+    addr: SocketAddr,
+    events: Vec<(u64, WireEvent)>,
+    config: &LoadgenConfig,
+    accum: Arc<Mutex<Accum>>,
+) -> io::Result<(usize, usize)> {
+    if events.is_empty() {
+        return Ok((0, 0));
+    }
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    // Poll in short slices so a gateway that wedges without closing the
+    // socket cannot hang the run; a generous no-progress deadline still
+    // tolerates long response droughts in sparse traces.
+    stream.set_read_timeout(Some(Duration::from_secs(1)))?;
+    let read_half = stream.try_clone()?;
+
+    // Reader: match responses to send instants by seq.
+    let sent_at: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let expected = events.len();
+    let reader_accum = Arc::clone(&accum);
+    let reader_sent_at = Arc::clone(&sent_at);
+    let scale = config.time_scale;
+    let reader = std::thread::spawn(move || {
+        let mut reader = BufReader::new(read_half);
+        // read_until on bytes, not read_line: read_line discards partial
+        // bytes when a read times out (same pitfall the server avoids).
+        let mut line = Vec::new();
+        let mut seen = 0usize;
+        let mut last_progress = Instant::now();
+        while seen < expected {
+            match reader.read_until(b'\n', &mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    seen += 1;
+                    last_progress = Instant::now();
+                    match Response::decode(String::from_utf8_lossy(&line).trim()) {
+                        Ok(response) => {
+                            let latency = response.seq.and_then(|seq| {
+                                reader_sent_at
+                                    .lock()
+                                    .remove(&seq)
+                                    .map(|t0| t0.elapsed().as_secs_f64() * 1e3 * scale)
+                            });
+                            reader_accum.lock().record(&response, latency);
+                        }
+                        Err(_) => reader_accum.lock().errors += 1,
+                    }
+                    line.clear();
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if last_progress.elapsed() > Duration::from_secs(60) {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        expected - seen
+    });
+
+    let start = Instant::now();
+    let mut out = io::BufWriter::new(stream);
+    for (seq, event) in events {
+        let due = Duration::from_secs_f64(event.at.as_secs_f64() / config.time_scale);
+        if let Some(wait) = due.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let slo_ms = if is_canary(seq, config.tight_fraction) {
+            Some(1)
+        } else {
+            config.slo_ms
+        };
+        let request = Request {
+            app: event.app,
+            slo_ms,
+            payload_len: event.payload_len,
+            seq: Some(seq),
+        };
+        sent_at.lock().insert(seq, Instant::now());
+        writeln!(out, "{}", request.encode())?;
+        out.flush()?;
+    }
+    // Half-close: the server keeps answering already-admitted requests.
+    out.into_inner()?.shutdown(Shutdown::Write)?;
+    let missing = reader.join().unwrap_or(0);
+    Ok((expected, missing))
+}
+
+/// Returns `(requests put on the wire, requests sent but unanswered)`.
+fn closed_loop_connection(
+    addr: SocketAddr,
+    conn: u64,
+    requests: usize,
+    config: &LoadgenConfig,
+    accum: Arc<Mutex<Accum>>,
+) -> io::Result<(usize, usize)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = io::BufWriter::new(stream);
+    let mut line = String::new();
+    let mut sent = 0usize;
+    let mut missing = 0usize;
+    for i in 0..requests {
+        let seq = conn * requests as u64 + i as u64;
+        let slo_ms = if is_canary(seq, config.tight_fraction) {
+            Some(1)
+        } else {
+            config.slo_ms
+        };
+        let request = Request {
+            app: config.app.clone(),
+            slo_ms,
+            payload_len: config.payload.min,
+            seq: Some(seq),
+        };
+        let t0 = Instant::now();
+        writeln!(out, "{}", request.encode())?;
+        out.flush()?;
+        sent += 1;
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                // Connection died: the request just sent goes unanswered;
+                // the rest were never put on the wire and are not counted.
+                missing += 1;
+                break;
+            }
+            Ok(_) => match Response::decode(line.trim()) {
+                Ok(response) => {
+                    let latency = t0.elapsed().as_secs_f64() * 1e3 * config.time_scale;
+                    accum.lock().record(&response, Some(latency));
+                }
+                Err(_) => accum.lock().errors += 1,
+            },
+            Err(_) => {
+                missing += 1;
+                break;
+            }
+        }
+    }
+    Ok((sent, missing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canary_selection_matches_fraction() {
+        let hits = (0..1000).filter(|&s| is_canary(s, 0.05)).count();
+        assert_eq!(hits, 50);
+        assert_eq!((0..1000).filter(|&s| is_canary(s, 0.0)).count(), 0);
+        // Fraction 1.0: everything is a canary.
+        assert_eq!((0..10).filter(|&s| is_canary(s, 1.0)).count(), 10);
+    }
+
+    #[test]
+    fn quantiles_of_empty_report_are_zero() {
+        let report = LoadgenReport::default();
+        assert_eq!(report.latency_quantile(0.5), 0.0);
+        assert_eq!(report.goodput_rps(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_pick_sorted_positions() {
+        let report = LoadgenReport {
+            latencies_ms: vec![30.0, 10.0, 20.0, 40.0, 50.0],
+            ..LoadgenReport::default()
+        };
+        assert_eq!(report.latency_quantile(0.0), 10.0);
+        assert_eq!(report.latency_quantile(0.5), 30.0);
+        assert_eq!(report.latency_quantile(1.0), 50.0);
+    }
+
+    #[test]
+    fn report_json_is_parseable_and_complete() {
+        let report = LoadgenReport {
+            sent: 10,
+            ok: 7,
+            violated: 1,
+            dropped_edge: 1,
+            dropped_pipeline: 1,
+            elapsed_s: 2.0,
+            time_scale: 1.0,
+            latencies_ms: vec![100.0; 8],
+            ..LoadgenReport::default()
+        };
+        let json = report.to_json("tm", "open", 4);
+        let value = pard_pipeline::json::parse(&json).expect("valid JSON");
+        assert_eq!(value.get("bench").unwrap().as_str(), Some("gateway"));
+        assert_eq!(value.get("ok").unwrap().as_u64(), Some(7));
+        assert_eq!(value.get("dropped_edge").unwrap().as_u64(), Some(1));
+        assert!(value.get("goodput_rps").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(value.get("p50_ms").unwrap().as_f64(), Some(100.0));
+    }
+}

@@ -1,0 +1,586 @@
+//! The TCP serving front-end.
+//!
+//! One accept loop, one reader + one writer thread per connection
+//! (requests pipeline freely; responses carry the client's `seq` and
+//! may return out of order), one dispatcher thread routing
+//! [`Completion`]s from the live cluster back to connections, one
+//! edge-state poller refreshing the admission snapshot, and one
+//! minimal-HTTP metrics listener. The PARD admission check runs in the
+//! reader thread at accept time — a hopeless request is answered
+//! `dropped` without ever touching a worker queue.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use pard_core::{Decision, PardPolicy, PardPolicyConfig};
+use pard_metrics::{Outcome, RequestLog, ServingCounters};
+use pard_pipeline::AppKind;
+use pard_profile::{zoo, ModelProfile};
+use pard_runtime::{Completion, EdgeState, LiveCluster, LiveConfig, SleepBackend, SubmitOptions};
+use pard_sim::SimDuration;
+
+use crate::admission::edge_decision;
+use crate::wire::{Request, Response};
+
+/// Hard cap on one request line; a connection exceeding it gets an
+/// error response and is closed, bounding per-connection memory against
+/// newline-free byte streams.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Ids for edge-rejected requests live in their own space so they can
+/// never collide with cluster-assigned ids (record indices, which a
+/// process cannot push anywhere near 2^52). The base is kept within
+/// f64's exact-integer range because wire ids travel as JSON numbers:
+/// 2^52 + seq round-trips exactly for any realistic seq, where 2^63
+/// would silently lose its low bits.
+pub const EDGE_ID_BASE: u64 = 1 << 52;
+
+/// Gateway configuration.
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Listen address for the request protocol (`port 0` = ephemeral).
+    pub addr: String,
+    /// Listen address for the `/metrics` endpoint.
+    pub metrics_addr: String,
+    /// Virtual seconds per wall second (1.0 = real time).
+    pub time_scale: f64,
+    /// Worker threads per pipeline module.
+    pub workers_per_module: usize,
+    /// How often the admission snapshot refreshes (wall clock).
+    pub edge_refresh: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            addr: "127.0.0.1:7311".into(),
+            metrics_addr: "127.0.0.1:7312".into(),
+            time_scale: 1.0,
+            workers_per_module: 2,
+            edge_refresh: Duration::from_millis(10),
+        }
+    }
+}
+
+struct PendingEntry {
+    /// Per-connection channel of already-encoded response lines.
+    conn_tx: Sender<String>,
+    seq: Option<u64>,
+}
+
+/// State shared by reader threads (everything request handling needs).
+struct Edge {
+    cluster: Arc<LiveCluster>,
+    // `counters` and `pending` are separately Arc'd because the
+    // dispatcher holds them without holding the Edge (and thus without
+    // keeping the cluster alive through shutdown's Arc::try_unwrap).
+    counters: Arc<ServingCounters>,
+    pending: Arc<Mutex<HashMap<u64, PendingEntry>>>,
+    state: Mutex<EdgeState>,
+    shutdown: AtomicBool,
+    app: AppKind,
+    edge_seq: AtomicU64,
+}
+
+/// A running gateway. Dropping it without calling
+/// [`Gateway::shutdown`] leaks the serving threads; tests and binaries
+/// should always shut down explicitly to collect the request log.
+pub struct Gateway {
+    edge: Arc<Edge>,
+    addr: SocketAddr,
+    metrics_addr: SocketAddr,
+    service_threads: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    dispatcher: JoinHandle<()>,
+}
+
+impl Gateway {
+    /// Starts serving `app` (one of the paper's chain pipelines) under
+    /// PARD policies with sleep backends profiled from the model zoo.
+    pub fn start(app: AppKind, config: GatewayConfig) -> io::Result<Gateway> {
+        let spec = app.pipeline();
+        assert!(
+            spec.is_chain(),
+            "the live engine serves chain pipelines; {} is a DAG",
+            app.name()
+        );
+        let profiles: Vec<ModelProfile> = spec
+            .modules
+            .iter()
+            .map(|m| zoo::by_name(&m.name).expect("zoo model for module"))
+            .collect();
+        let backend_profiles = profiles.clone();
+        let scale = config.time_scale;
+        let live_config = LiveConfig {
+            time_scale: scale,
+            pard: pard_core::PardConfig::default().with_mc_draws(1_000),
+            workers_per_module: vec![config.workers_per_module; spec.modules.len()],
+            headroom: 2.0,
+        };
+        let cluster = Arc::new(LiveCluster::start(
+            spec,
+            profiles,
+            Box::new(|_| Box::new(PardPolicy::new(PardPolicyConfig::pard()))),
+            Box::new(move |m| Box::new(SleepBackend::new(backend_profiles[m].clone(), scale))),
+            live_config,
+        ));
+
+        let (completion_tx, completion_rx) = mpsc::channel();
+        cluster.set_completion_sink(completion_tx);
+
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics_listener = TcpListener::bind(&config.metrics_addr)?;
+        metrics_listener.set_nonblocking(true)?;
+        let metrics_addr = metrics_listener.local_addr()?;
+
+        let edge = Arc::new(Edge {
+            state: Mutex::new(cluster.edge_state()),
+            counters: Arc::new(ServingCounters::new()),
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            shutdown: AtomicBool::new(false),
+            app,
+            edge_seq: AtomicU64::new(0),
+            cluster,
+        });
+
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let mut service_threads = Vec::new();
+
+        // Dispatcher: cluster completions → per-connection channels.
+        // Holds only the pending map and counters, so it can outlive the
+        // accept/reader threads and drain the cluster during shutdown.
+        let dispatcher = {
+            let pending = Arc::clone(&edge.pending);
+            let counters = Arc::clone(&edge.counters);
+            std::thread::spawn(move || dispatcher_loop(completion_rx, pending, counters))
+        };
+
+        // Edge-state poller: refreshes the admission snapshot.
+        {
+            let edge = Arc::clone(&edge);
+            let refresh = config.edge_refresh;
+            service_threads.push(std::thread::spawn(move || {
+                while !edge.shutdown.load(Ordering::SeqCst) {
+                    *edge.state.lock() = edge.cluster.edge_state();
+                    std::thread::sleep(refresh);
+                }
+            }));
+        }
+
+        // Accept loop.
+        {
+            let edge = Arc::clone(&edge);
+            let conn_threads = Arc::clone(&conn_threads);
+            service_threads.push(std::thread::spawn(move || {
+                accept_loop(listener, edge, conn_threads);
+            }));
+        }
+
+        // Metrics endpoint.
+        {
+            let edge = Arc::clone(&edge);
+            service_threads.push(std::thread::spawn(move || {
+                metrics_loop(metrics_listener, edge);
+            }));
+        }
+
+        Ok(Gateway {
+            edge,
+            addr,
+            metrics_addr,
+            service_threads,
+            conn_threads,
+            dispatcher,
+        })
+    }
+
+    /// The bound request-protocol address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound `/metrics` address.
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.metrics_addr
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn counters(&self) -> pard_metrics::CountersSnapshot {
+        self.edge.counters.snapshot()
+    }
+
+    /// Stops accepting, drains in-flight requests (bounded by
+    /// `drain_virtual` of virtual time), stops the cluster, and returns
+    /// its request log.
+    pub fn shutdown(self, drain_virtual: SimDuration) -> RequestLog {
+        self.edge.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.service_threads {
+            let _ = handle.join();
+        }
+        // Readers stop within one read-timeout (100 ms) of the flag;
+        // wait that out so no new admissions race the flush below, then
+        // give the pipeline a bounded window to resolve what's in flight.
+        std::thread::sleep(Duration::from_millis(150));
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !self.edge.pending.lock().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Flush whatever is still pending *before* joining connection
+        // threads: each connection's writer exits only when every sender
+        // to its channel is dropped, and flushed PendingEntry senders are
+        // part of that set — flushing after the join would deadlock on
+        // any request the pipeline never resolves. Flushed requests are
+        // answered and counted as drops, so no client hangs and the
+        // admitted = ok + late + dropped invariant survives shutdown.
+        for (id, entry) in self.edge.pending.lock().drain() {
+            self.edge.counters.dropped.incr();
+            let _ = entry
+                .conn_tx
+                .send(Response::dropped(id, entry.seq, false, "shutdown").encode());
+        }
+        let conn_threads = std::mem::take(&mut *self.conn_threads.lock());
+        for handle in conn_threads {
+            let _ = handle.join();
+        }
+        let Gateway {
+            edge, dispatcher, ..
+        } = self;
+        let cluster = Arc::clone(&edge.cluster);
+        drop(edge);
+        let cluster = Arc::try_unwrap(cluster)
+            .unwrap_or_else(|_| panic!("gateway threads still hold the cluster after shutdown"));
+        let log = cluster.finish(drain_virtual);
+        let _ = dispatcher.join();
+        log
+    }
+}
+
+fn dispatcher_loop(
+    completions: Receiver<Completion>,
+    pending: Arc<Mutex<HashMap<u64, PendingEntry>>>,
+    counters: Arc<ServingCounters>,
+) {
+    // Ends when the cluster (the only sender) shuts down.
+    while let Ok(completion) = completions.recv() {
+        let entry = pending.lock().remove(&completion.id);
+        let Some(entry) = entry else {
+            // A request submitted outside the gateway (not expected) or
+            // already flushed during shutdown.
+            continue;
+        };
+        let latency_ms = completion
+            .latency()
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(0.0);
+        let response = match completion.outcome {
+            Outcome::Completed { .. } if completion.within_slo() => {
+                counters.completed_ok.incr();
+                Response::ok(completion.id, entry.seq, latency_ms)
+            }
+            Outcome::Completed { .. } => {
+                counters.completed_late.incr();
+                Response::violated(completion.id, entry.seq, latency_ms)
+            }
+            Outcome::Dropped { reason, .. } => {
+                counters.dropped.incr();
+                Response::dropped(completion.id, entry.seq, false, reason.label())
+            }
+            Outcome::InFlight => unreachable!("completions are terminal"),
+        };
+        let _ = entry.conn_tx.send(response.encode());
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    edge: Arc<Edge>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !edge.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let edge = Arc::clone(&edge);
+                let handle = std::thread::spawn(move || {
+                    if let Err(e) = serve_connection(stream, edge) {
+                        // Client went away mid-request; routine.
+                        let _ = e;
+                    }
+                });
+                let mut threads = conn_threads.lock();
+                // Reap finished connections so long-running gateways do
+                // not accumulate one handle per connection ever served.
+                threads.retain(|h: &JoinHandle<()>| !h.is_finished());
+                threads.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, edge: Arc<Edge>) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_nodelay(true)?;
+    let write_half = stream.try_clone()?;
+    let (conn_tx, conn_rx) = mpsc::channel::<String>();
+
+    // Writer: sole serialiser of this connection's response lines.
+    let writer = std::thread::spawn(move || {
+        let mut out = io::BufWriter::new(write_half);
+        while let Ok(line) = conn_rx.recv() {
+            if writeln!(out, "{line}").is_err() || out.flush().is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut reader = BufReader::new(stream);
+    // Byte buffer + read_until, NOT read_line: read_line's UTF-8 guard
+    // truncates partial bytes from the String when a read times out,
+    // silently corrupting any request fragmented across the timeout
+    // window. read_until keeps partial bytes in the buffer across the
+    // Err return, so fragments reassemble on the next pass.
+    //
+    // Each call reads through a `take` limited to the remaining line
+    // budget, so read_until returns (looking like EOF) the moment a
+    // line would exceed MAX_LINE_BYTES — even for a client streaming
+    // newline-free bytes continuously, which would otherwise keep an
+    // unlimited read_until buffering forever without any check running.
+    let mut line = Vec::new();
+    loop {
+        if edge.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let budget = (MAX_LINE_BYTES + 1 - line.len()) as u64;
+        match (&mut reader).take(budget).read_until(b'\n', &mut line) {
+            Ok(0) if line.is_empty() => break, // clean EOF
+            Ok(0) => {
+                // EOF with an unterminated final line: serve it, then the
+                // next pass hits the clean-EOF arm.
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    handle_request(trimmed, &edge, &conn_tx);
+                }
+                line.clear();
+            }
+            Ok(_) => {
+                if line.len() > MAX_LINE_BYTES {
+                    oversized_line(&edge, &conn_tx);
+                    // Briefly drain what the client already sent so the
+                    // close is a clean FIN, not an RST that could clobber
+                    // the error response in flight.
+                    let deadline = std::time::Instant::now() + Duration::from_millis(250);
+                    let mut sink = [0u8; 8192];
+                    while std::time::Instant::now() < deadline {
+                        match reader.read(&mut sink) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {}
+                        }
+                    }
+                    break;
+                }
+                if line.ends_with(b"\n") {
+                    let text = String::from_utf8_lossy(&line);
+                    let trimmed = text.trim();
+                    if !trimmed.is_empty() {
+                        handle_request(trimmed, &edge, &conn_tx);
+                    }
+                    line.clear();
+                }
+                // No trailing newline and within budget: EOF remnant or
+                // buffer-boundary read; loop to read the rest.
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // The timeout exists only to re-check the shutdown flag;
+                // partial bytes stay in `line`.
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    drop(conn_tx);
+    let _ = writer.join();
+    Ok(())
+}
+
+fn oversized_line(edge: &Edge, conn_tx: &Sender<String>) {
+    edge.counters.received.incr();
+    edge.counters.protocol_errors.incr();
+    let _ = conn_tx.send(Response::error_line(&format!(
+        "request line exceeds {MAX_LINE_BYTES} bytes; closing connection"
+    )));
+}
+
+fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
+    edge.counters.received.incr();
+    let request = match Request::decode(line) {
+        Ok(request) => request,
+        Err(e) => {
+            edge.counters.protocol_errors.incr();
+            let _ = conn_tx.send(Response::error_line(&e.to_string()));
+            return;
+        }
+    };
+    if request.app != edge.app.name() {
+        edge.counters.protocol_errors.incr();
+        let _ = conn_tx.send(Response::error_line(&format!(
+            "unknown app {:?} (serving {:?})",
+            request.app,
+            edge.app.name()
+        )));
+        return;
+    }
+
+    let now = edge.cluster.now();
+    let slo = request
+        .slo_ms
+        .map(SimDuration::from_millis)
+        .unwrap_or(edge.cluster.spec().slo);
+    let deadline = now + slo;
+    // The decision is pure arithmetic over a few vectors; running it
+    // under the short snapshot lock beats cloning three Vecs per request.
+    let decision = edge_decision(now, deadline, &edge.state.lock());
+    match decision {
+        Decision::Drop(reason) => {
+            edge.counters.rejected.incr();
+            let id = EDGE_ID_BASE + edge.edge_seq.fetch_add(1, Ordering::Relaxed);
+            let _ = conn_tx.send(Response::dropped(id, request.seq, true, reason.label()).encode());
+        }
+        Decision::Admit => {
+            edge.counters.admitted.incr();
+            // Holding the pending lock across submit closes the race
+            // with the dispatcher: a completion can only be routed once
+            // the entry is present.
+            let mut pending = edge.pending.lock();
+            let id = edge
+                .cluster
+                .submit_with(SubmitOptions::default().with_slo(slo));
+            pending.insert(
+                id,
+                PendingEntry {
+                    conn_tx: conn_tx.clone(),
+                    seq: request.seq,
+                },
+            );
+        }
+    }
+}
+
+fn metrics_loop(listener: TcpListener, edge: Arc<Edge>) {
+    while !edge.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = serve_metrics(&mut stream, &edge);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_metrics(stream: &mut TcpStream, edge: &Edge) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Consume the request head; the path is irrelevant (everything is
+    // /metrics) but draining avoids RSTs on keep-alive clients.
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let body = render_metrics(edge);
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )
+}
+
+/// Renders the Prometheus text exposition: the serving counters plus
+/// live queue-depth / goodput gauges.
+pub fn render_metrics_text(
+    snapshot: pard_metrics::CountersSnapshot,
+    state: &EdgeState,
+    pending: usize,
+) -> String {
+    let mut body = snapshot.to_prometheus("pard_gateway");
+    body.push_str("# TYPE pard_gateway_queue_depth gauge\n");
+    for (module, depth) in state.queue_depths.iter().enumerate() {
+        body.push_str(&format!(
+            "pard_gateway_queue_depth{{module=\"{module}\"}} {depth}\n"
+        ));
+    }
+    body.push_str(&format!(
+        "# TYPE pard_gateway_pending_requests gauge\npard_gateway_pending_requests {pending}\n"
+    ));
+    body.push_str(&format!(
+        "# TYPE pard_gateway_goodput_fraction gauge\npard_gateway_goodput_fraction {:.6}\n",
+        snapshot.goodput_fraction()
+    ));
+    body.push_str(&format!(
+        "# TYPE pard_gateway_drop_fraction gauge\npard_gateway_drop_fraction {:.6}\n",
+        snapshot.drop_fraction()
+    ));
+    body
+}
+
+fn render_metrics(edge: &Edge) -> String {
+    let state = edge.state.lock().clone();
+    let pending = edge.pending.lock().len();
+    render_metrics_text(edge.counters.snapshot(), &state, pending)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_text_contains_counters_and_gauges() {
+        let state = EdgeState {
+            queue_depths: vec![3, 1],
+            workers: vec![2, 2],
+            batch_sizes: vec![4, 4],
+            exec_ms: vec![40.0, 20.0],
+            slo: SimDuration::from_millis(400),
+        };
+        let snapshot = pard_metrics::CountersSnapshot {
+            received: 10,
+            admitted: 8,
+            rejected: 2,
+            completed_ok: 6,
+            ..Default::default()
+        };
+        let text = render_metrics_text(snapshot, &state, 2);
+        assert!(text.contains("pard_gateway_received_total 10"));
+        assert!(text.contains("pard_gateway_rejected_total 2"));
+        assert!(text.contains("pard_gateway_queue_depth{module=\"0\"} 3"));
+        assert!(text.contains("pard_gateway_queue_depth{module=\"1\"} 1"));
+        assert!(text.contains("pard_gateway_pending_requests 2"));
+        assert!(text.contains("pard_gateway_goodput_fraction 0.75"));
+    }
+
+    #[test]
+    fn edge_ids_round_trip_exactly_through_json_numbers() {
+        // Wire ids travel as f64; every edge id must survive the trip.
+        for seq in [0u64, 1, 2, 1_000_000_007] {
+            let id = EDGE_ID_BASE + seq;
+            assert_eq!((id as f64) as u64, id, "seq {seq} lost precision");
+        }
+        // And the space stays disjoint from any feasible record index.
+        assert!(EDGE_ID_BASE > u32::MAX as u64 * 1024);
+    }
+}

@@ -1,0 +1,380 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, UTF-8, no framing
+//! beyond `\n`. Requests:
+//!
+//! ```text
+//! {"app":"tm","slo_ms":400,"payload_len":128,"seq":5,"payload":"xx…"}
+//! ```
+//!
+//! `app` and `payload_len` are required. `slo_ms` defaults to the
+//! served pipeline's SLO. `seq` is an optional client correlation
+//! number echoed back verbatim — responses to pipelined requests may
+//! arrive out of order. `payload` is optional; when present its length
+//! must match `payload_len` (the gateway parses but does not interpret
+//! it). Responses:
+//!
+//! ```text
+//! {"id":7,"seq":5,"outcome":"ok","latency_ms":123.4}
+//! {"id":4503599627370496,"seq":6,"outcome":"dropped","edge":true,"reason":"predicted"}
+//! {"id":9,"seq":7,"outcome":"violated","latency_ms":512.0}
+//! ```
+//!
+//! `outcome` is `ok` (completed within SLO), `dropped` (removed before
+//! completing — at the gateway edge when `edge` is true, inside the
+//! pipeline otherwise), or `violated` (completed after its deadline).
+//! Malformed requests get `{"error":"…"}` with no outcome.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pard_pipeline::json::{parse, Value};
+
+/// Largest accepted `slo_ms` (one day). The bound exists for arithmetic
+/// safety, not policy: client-controlled values far above it would
+/// overflow the microsecond deadline math (`ms · 1000` then
+/// `now + slo`), panicking in debug builds and silently wrapping in
+/// release.
+pub const MAX_SLO_MS: u64 = 86_400_000;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Target application name (must match the served pipeline).
+    pub app: String,
+    /// Per-request SLO override, milliseconds.
+    pub slo_ms: Option<u64>,
+    /// Declared payload size, bytes.
+    pub payload_len: usize,
+    /// Client correlation number, echoed in the response.
+    pub seq: Option<u64>,
+}
+
+/// Terminal classification carried on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// Completed within its SLO.
+    Ok,
+    /// Removed before completing.
+    Dropped,
+    /// Completed after its deadline.
+    Violated,
+}
+
+impl WireOutcome {
+    /// Wire spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            WireOutcome::Ok => "ok",
+            WireOutcome::Dropped => "dropped",
+            WireOutcome::Violated => "violated",
+        }
+    }
+
+    fn from_label(label: &str) -> Option<WireOutcome> {
+        match label {
+            "ok" => Some(WireOutcome::Ok),
+            "dropped" => Some(WireOutcome::Dropped),
+            "violated" => Some(WireOutcome::Violated),
+            _ => None,
+        }
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Server-assigned request id.
+    pub id: u64,
+    /// Echo of the request's `seq`, if any.
+    pub seq: Option<u64>,
+    /// Terminal classification.
+    pub outcome: WireOutcome,
+    /// End-to-end latency for completed requests, milliseconds.
+    pub latency_ms: Option<f64>,
+    /// For drops: whether the gateway rejected the request at the edge
+    /// (true) or the pipeline dropped it after admission (false).
+    pub edge: bool,
+    /// For drops: the short [`pard_metrics::DropReason`] label.
+    pub reason: Option<String>,
+}
+
+/// A wire-format violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError(message.into())
+}
+
+impl Request {
+    /// Encodes to one JSON line (no trailing newline), including a
+    /// synthetic payload of `payload_len` bytes.
+    pub fn encode(&self) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("app".into(), Value::String(self.app.clone()));
+        if let Some(slo) = self.slo_ms {
+            map.insert("slo_ms".into(), Value::Number(slo as f64));
+        }
+        map.insert("payload_len".into(), Value::Number(self.payload_len as f64));
+        if let Some(seq) = self.seq {
+            map.insert("seq".into(), Value::Number(seq as f64));
+        }
+        map.insert(
+            "payload".into(),
+            Value::String("x".repeat(self.payload_len)),
+        );
+        Value::Object(map).to_json()
+    }
+
+    /// Decodes one line.
+    pub fn decode(line: &str) -> Result<Request, WireError> {
+        let value = parse(line).map_err(|e| err(format!("invalid JSON: {e}")))?;
+        let app = value
+            .get("app")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("missing string field \"app\""))?
+            .to_string();
+        let payload_len = value
+            .get("payload_len")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| err("missing integer field \"payload_len\""))?
+            as usize;
+        let slo_ms = match value.get("slo_ms") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|&ms| (1..=MAX_SLO_MS).contains(&ms))
+                    .ok_or_else(|| {
+                        err(format!(
+                            "\"slo_ms\" must be an integer in [1, {MAX_SLO_MS}]"
+                        ))
+                    })?,
+            ),
+        };
+        let seq = match value.get("seq") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| err("\"seq\" must be a non-negative integer"))?,
+            ),
+        };
+        if let Some(payload) = value.get("payload") {
+            let payload = payload
+                .as_str()
+                .ok_or_else(|| err("\"payload\" must be a string"))?;
+            if payload.len() != payload_len {
+                return Err(err(format!(
+                    "payload length {} does not match declared payload_len {payload_len}",
+                    payload.len()
+                )));
+            }
+        }
+        Ok(Request {
+            app,
+            slo_ms,
+            payload_len,
+            seq,
+        })
+    }
+}
+
+impl Response {
+    /// A within-SLO completion.
+    pub fn ok(id: u64, seq: Option<u64>, latency_ms: f64) -> Response {
+        Response {
+            id,
+            seq,
+            outcome: WireOutcome::Ok,
+            latency_ms: Some(latency_ms),
+            edge: false,
+            reason: None,
+        }
+    }
+
+    /// A completion that missed its deadline.
+    pub fn violated(id: u64, seq: Option<u64>, latency_ms: f64) -> Response {
+        Response {
+            id,
+            seq,
+            outcome: WireOutcome::Violated,
+            latency_ms: Some(latency_ms),
+            edge: false,
+            reason: None,
+        }
+    }
+
+    /// A drop, at the edge or inside the pipeline.
+    pub fn dropped(id: u64, seq: Option<u64>, edge: bool, reason: &str) -> Response {
+        Response {
+            id,
+            seq,
+            outcome: WireOutcome::Dropped,
+            latency_ms: None,
+            edge,
+            reason: Some(reason.to_string()),
+        }
+    }
+
+    /// Encodes to one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("id".into(), Value::Number(self.id as f64));
+        if let Some(seq) = self.seq {
+            map.insert("seq".into(), Value::Number(seq as f64));
+        }
+        map.insert("outcome".into(), Value::String(self.outcome.label().into()));
+        if let Some(latency) = self.latency_ms {
+            map.insert("latency_ms".into(), Value::Number(latency));
+        }
+        if self.edge {
+            map.insert("edge".into(), Value::Bool(true));
+        }
+        if let Some(reason) = &self.reason {
+            map.insert("reason".into(), Value::String(reason.clone()));
+        }
+        Value::Object(map).to_json()
+    }
+
+    /// Decodes one line.
+    pub fn decode(line: &str) -> Result<Response, WireError> {
+        let value = parse(line).map_err(|e| err(format!("invalid JSON: {e}")))?;
+        if let Some(message) = value.get("error").and_then(Value::as_str) {
+            return Err(err(format!("server error: {message}")));
+        }
+        let id = value
+            .get("id")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| err("missing integer field \"id\""))?;
+        let outcome = value
+            .get("outcome")
+            .and_then(Value::as_str)
+            .and_then(WireOutcome::from_label)
+            .ok_or_else(|| err("missing or unknown \"outcome\""))?;
+        Ok(Response {
+            id,
+            seq: value.get("seq").and_then(Value::as_u64),
+            outcome,
+            latency_ms: value.get("latency_ms").and_then(Value::as_f64),
+            edge: value.get("edge").and_then(Value::as_bool).unwrap_or(false),
+            reason: value
+                .get("reason")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+        })
+    }
+
+    /// The line sent for unparseable requests.
+    pub fn error_line(message: &str) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("error".into(), Value::String(message.to_string()));
+        Value::Object(map).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let requests = [
+            Request {
+                app: "tm".into(),
+                slo_ms: Some(400),
+                payload_len: 64,
+                seq: Some(9),
+            },
+            Request {
+                app: "lv".into(),
+                slo_ms: None,
+                payload_len: 0,
+                seq: None,
+            },
+        ];
+        for original in requests {
+            let line = original.encode();
+            assert!(!line.contains('\n'));
+            let decoded = Request::decode(&line).expect("round trip");
+            assert_eq!(decoded, original);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let responses = [
+            Response::ok(7, Some(5), 123.4),
+            Response::violated(9, None, 512.0),
+            Response::dropped((1 << 52) + 7, Some(6), true, "predicted"),
+            Response::dropped(3, Some(2), false, "expired"),
+        ];
+        for original in responses {
+            let line = original.encode();
+            assert!(!line.contains('\n'));
+            let decoded = Response::decode(&line).expect("round trip");
+            assert_eq!(decoded, original);
+        }
+    }
+
+    #[test]
+    fn request_decode_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"app":"tm"}"#,
+            r#"{"app":4,"payload_len":8}"#,
+            r#"{"app":"tm","payload_len":-3}"#,
+            r#"{"app":"tm","payload_len":8,"slo_ms":0}"#,
+            r#"{"app":"tm","payload_len":8,"slo_ms":"fast"}"#,
+            // Above MAX_SLO_MS: would overflow the deadline arithmetic.
+            r#"{"app":"tm","payload_len":8,"slo_ms":1152921504606846976}"#,
+            r#"{"app":"tm","payload_len":8,"payload":"xy"}"#,
+            r#"{"app":"tm","payload_len":8,"seq":1.5}"#,
+        ] {
+            assert!(Request::decode(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn payload_length_is_validated_when_present() {
+        let good = r#"{"app":"tm","payload_len":2,"payload":"ab"}"#;
+        assert!(Request::decode(good).is_ok());
+        let bad = r#"{"app":"tm","payload_len":3,"payload":"ab"}"#;
+        let e = Request::decode(bad).unwrap_err();
+        assert!(e.0.contains("does not match"), "{e}");
+    }
+
+    #[test]
+    fn encoded_payload_matches_declared_length() {
+        let req = Request {
+            app: "gm".into(),
+            slo_ms: None,
+            payload_len: 100,
+            seq: None,
+        };
+        let decoded = Request::decode(&req.encode()).unwrap();
+        assert_eq!(decoded.payload_len, 100);
+    }
+
+    #[test]
+    fn error_lines_decode_as_errors() {
+        let line = Response::error_line("bad thing");
+        let e = Response::decode(&line).unwrap_err();
+        assert!(e.0.contains("bad thing"));
+    }
+
+    #[test]
+    fn response_decode_rejects_unknown_outcome() {
+        assert!(Response::decode(r#"{"id":1,"outcome":"maybe"}"#).is_err());
+        assert!(Response::decode(r#"{"outcome":"ok"}"#).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! End-to-end loopback tests: a real gateway on an ephemeral port,
+//! driven by the in-process load generator over real sockets,
+//! time-compressed so each test stays fast.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use pard_gateway::{Gateway, GatewayConfig, LoadMode, LoadgenConfig};
+use pard_pipeline::AppKind;
+use pard_sim::SimDuration;
+use pard_workload::constant;
+
+const SCALE: f64 = 20.0;
+
+fn start_gateway() -> Gateway {
+    Gateway::start(
+        AppKind::Tm,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            metrics_addr: "127.0.0.1:0".into(),
+            time_scale: SCALE,
+            workers_per_module: 2,
+            edge_refresh: std::time::Duration::from_millis(5),
+        },
+    )
+    .expect("gateway binds ephemeral ports")
+}
+
+fn fetch_metrics(gateway: &Gateway) -> String {
+    let mut stream = TcpStream::connect(gateway.metrics_addr()).expect("metrics reachable");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("send request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read response");
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "got: {body}");
+    body
+}
+
+#[test]
+fn closed_loop_serves_and_rejects_at_the_edge() {
+    let gateway = start_gateway();
+    let config = LoadgenConfig {
+        app: "tm".into(),
+        connections: 4,
+        mode: LoadMode::Closed {
+            requests_per_connection: 25,
+        },
+        slo_ms: None,
+        tight_fraction: 0.2, // every 5th request carries an infeasible SLO
+        time_scale: SCALE,
+        seed: 7,
+        ..LoadgenConfig::default()
+    };
+    let report = pard_gateway::loadgen::run(gateway.addr(), &config).expect("loadgen run");
+
+    assert_eq!(report.sent, 100);
+    assert_eq!(report.unanswered, 0, "every request must be answered");
+    assert_eq!(report.errors, 0, "no protocol errors expected");
+    assert!(report.ok > 0, "goodput must be positive: {report:?}");
+    assert!(
+        report.dropped_edge >= 20,
+        "canary requests must be rejected at the edge: {report:?}"
+    );
+    // Latencies of completed requests respect the (virtual) SLO.
+    assert!(report
+        .latencies_ms
+        .iter()
+        .all(|&l| l.is_finite() && l > 0.0));
+
+    // Both outcomes are visible in /metrics.
+    let metrics = fetch_metrics(&gateway);
+    let counter = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing in:\n{metrics}"))
+    };
+    assert_eq!(counter("pard_gateway_received_total"), 100);
+    assert!(counter("pard_gateway_completed_ok_total") > 0);
+    assert!(counter("pard_gateway_rejected_total") >= 20);
+    assert!(metrics.contains("pard_gateway_queue_depth{module=\"0\"}"));
+
+    let snapshot = gateway.counters();
+    assert_eq!(
+        snapshot.admitted + snapshot.rejected + snapshot.protocol_errors,
+        snapshot.received
+    );
+    let log = gateway.shutdown(SimDuration::from_secs(10));
+    // Only admitted requests reach the cluster log.
+    assert_eq!(log.len() as u64, snapshot.admitted);
+    assert!(log.goodput_count() > 0);
+}
+
+#[test]
+fn open_loop_replays_a_trace_over_sockets() {
+    let gateway = start_gateway();
+    // 6 virtual seconds at 120 req/s virtual (~0.3 s wall at 20×).
+    let config = LoadgenConfig {
+        app: "tm".into(),
+        connections: 3,
+        mode: LoadMode::Open {
+            trace: constant(120.0, 6),
+        },
+        slo_ms: Some(400),
+        tight_fraction: 0.1,
+        time_scale: SCALE,
+        seed: 11,
+        ..LoadgenConfig::default()
+    };
+    let report = pard_gateway::loadgen::run(gateway.addr(), &config).expect("loadgen run");
+
+    assert!(
+        report.sent > 400,
+        "6 s at 120 req/s should send >400, got {}",
+        report.sent
+    );
+    assert_eq!(report.unanswered, 0);
+    assert!(report.ok > 0);
+    assert!(report.dropped_edge > 0);
+    // Goodput in virtual req/s should be a sizeable share of the
+    // offered rate (the pipeline is underloaded apart from canaries).
+    assert!(
+        report.goodput_rps() > 30.0,
+        "goodput {} req/s",
+        report.goodput_rps()
+    );
+
+    let snapshot = gateway.counters();
+    assert_eq!(snapshot.received as usize, report.sent);
+    let _ = gateway.shutdown(SimDuration::from_secs(10));
+}
+
+#[test]
+fn malformed_lines_and_wrong_apps_get_error_responses() {
+    let gateway = start_gateway();
+    let mut stream = TcpStream::connect(gateway.addr()).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+
+    let mut line = String::new();
+    let mut roundtrip = |request: &str| -> String {
+        use std::io::BufRead;
+        writeln!(stream, "{request}").expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("response");
+        line.trim().to_string()
+    };
+
+    let garbage = roundtrip("this is not json");
+    assert!(garbage.contains("\"error\""), "{garbage}");
+
+    let wrong_app = roundtrip(r#"{"app":"nope","payload_len":4,"payload":"xxxx"}"#);
+    assert!(wrong_app.contains("unknown app"), "{wrong_app}");
+
+    let valid = roundtrip(r#"{"app":"tm","payload_len":4,"payload":"xxxx","seq":1}"#);
+    let response = pard_gateway::Response::decode(&valid).expect("valid response line");
+    assert_eq!(response.seq, Some(1));
+
+    let snapshot = gateway.counters();
+    assert_eq!(snapshot.protocol_errors, 2);
+    assert_eq!(snapshot.received, 3);
+    drop(reader);
+    drop(stream);
+    let _ = gateway.shutdown(SimDuration::from_secs(5));
+}
+
+#[test]
+fn oversized_lines_close_the_connection_with_an_error() {
+    let gateway = start_gateway();
+    let mut stream = TcpStream::connect(gateway.addr()).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    use std::io::BufRead;
+
+    // A newline-free stream larger than the per-line cap must get an
+    // error response and EOF, not unbounded buffering.
+    let blob = vec![b'x'; pard_gateway::server::MAX_LINE_BYTES + 4096];
+    stream.write_all(&blob).expect("send oversized blob");
+    stream.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error response");
+    assert!(
+        line.contains("exceeds") && line.contains("\"error\""),
+        "{line}"
+    );
+    line.clear();
+    let eof = reader.read_line(&mut line).expect("read after close");
+    assert_eq!(eof, 0, "connection must be closed, got {line:?}");
+
+    let snapshot = gateway.counters();
+    assert_eq!(snapshot.protocol_errors, 1);
+    let _ = gateway.shutdown(SimDuration::from_secs(5));
+}
+
+#[test]
+fn per_request_slo_controls_admission() {
+    let gateway = start_gateway();
+    let mut stream = TcpStream::connect(gateway.addr()).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    use std::io::BufRead;
+
+    // Infeasible budget → rejected at the edge, synchronously.
+    writeln!(
+        stream,
+        r#"{{"app":"tm","payload_len":1,"payload":"x","slo_ms":1,"seq":1}}"#
+    )
+    .unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("edge rejection");
+    let rejection = pard_gateway::Response::decode(line.trim()).expect("response");
+    assert_eq!(rejection.outcome, pard_gateway::WireOutcome::Dropped);
+    assert!(
+        rejection.edge,
+        "must be rejected at the edge: {rejection:?}"
+    );
+    assert!(rejection.id >= pard_gateway::EDGE_ID_BASE);
+
+    // Generous budget → admitted and served.
+    writeln!(
+        stream,
+        r#"{{"app":"tm","payload_len":1,"payload":"x","slo_ms":2000,"seq":2}}"#
+    )
+    .unwrap();
+    line.clear();
+    reader.read_line(&mut line).expect("completion");
+    let served = pard_gateway::Response::decode(line.trim()).expect("response");
+    assert_eq!(served.outcome, pard_gateway::WireOutcome::Ok);
+    assert!(served.latency_ms.expect("latency") > 0.0);
+    assert!(served.id < pard_gateway::EDGE_ID_BASE);
+
+    drop(reader);
+    drop(stream);
+    let _ = gateway.shutdown(SimDuration::from_secs(5));
+}

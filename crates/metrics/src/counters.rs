@@ -1,0 +1,225 @@
+//! Lock-free serving counters and point-in-time snapshots.
+//!
+//! The simulator aggregates a whole run after the fact through
+//! [`crate::RequestLog`]; a *live* serving front-end needs the opposite:
+//! cheap monotonically-increasing counters it can bump on every request
+//! and snapshot on demand for a `/metrics` endpoint. [`Counter`] is a
+//! thin atomic; [`ServingCounters`] is the counter family
+//! the gateway exports, and [`CountersSnapshot`] is its consistent-enough
+//! copy (each field is read atomically; the set is not a transaction,
+//! which is the standard Prometheus exposition contract).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one; returns the new value.
+    pub fn incr(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The counter family a PARD serving edge maintains.
+///
+/// Request accounting is exhaustive:
+/// `received = rejected + admitted + protocol_errors`, and every
+/// admitted request eventually lands in exactly one of `completed_ok`,
+/// `completed_late`, or `dropped`.
+#[derive(Debug, Default)]
+pub struct ServingCounters {
+    /// Requests read off the wire.
+    pub received: Counter,
+    /// Requests admitted into the pipeline.
+    pub admitted: Counter,
+    /// Requests rejected proactively at the edge (never queued).
+    pub rejected: Counter,
+    /// Admitted requests that completed within their SLO.
+    pub completed_ok: Counter,
+    /// Admitted requests that completed after their deadline.
+    pub completed_late: Counter,
+    /// Admitted requests dropped inside the pipeline.
+    pub dropped: Counter,
+    /// Lines that failed wire-format validation.
+    pub protocol_errors: Counter,
+}
+
+impl ServingCounters {
+    /// Creates the family with every counter at zero.
+    pub const fn new() -> ServingCounters {
+        ServingCounters {
+            received: Counter::new(),
+            admitted: Counter::new(),
+            rejected: Counter::new(),
+            completed_ok: Counter::new(),
+            completed_late: Counter::new(),
+            dropped: Counter::new(),
+            protocol_errors: Counter::new(),
+        }
+    }
+
+    /// Reads every counter.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            received: self.received.get(),
+            admitted: self.admitted.get(),
+            rejected: self.rejected.get(),
+            completed_ok: self.completed_ok.get(),
+            completed_late: self.completed_late.get(),
+            dropped: self.dropped.get(),
+            protocol_errors: self.protocol_errors.get(),
+        }
+    }
+}
+
+/// Plain-data copy of [`ServingCounters`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// See [`ServingCounters::received`].
+    pub received: u64,
+    /// See [`ServingCounters::admitted`].
+    pub admitted: u64,
+    /// See [`ServingCounters::rejected`].
+    pub rejected: u64,
+    /// See [`ServingCounters::completed_ok`].
+    pub completed_ok: u64,
+    /// See [`ServingCounters::completed_late`].
+    pub completed_late: u64,
+    /// See [`ServingCounters::dropped`].
+    pub dropped: u64,
+    /// See [`ServingCounters::protocol_errors`].
+    pub protocol_errors: u64,
+}
+
+impl CountersSnapshot {
+    /// Requests that reached a terminal state.
+    pub fn resolved(&self) -> u64 {
+        self.rejected + self.completed_ok + self.completed_late + self.dropped
+    }
+
+    /// Fraction of resolved requests that completed within SLO
+    /// (the paper's goodput numerator over everything classified).
+    pub fn goodput_fraction(&self) -> f64 {
+        let resolved = self.resolved();
+        if resolved == 0 {
+            0.0
+        } else {
+            self.completed_ok as f64 / resolved as f64
+        }
+    }
+
+    /// Fraction of resolved requests counted as dropped under §5.1
+    /// (explicit drops, edge rejections, and late completions).
+    pub fn drop_fraction(&self) -> f64 {
+        let resolved = self.resolved();
+        if resolved == 0 {
+            0.0
+        } else {
+            (self.rejected + self.dropped + self.completed_late) as f64 / resolved as f64
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format,
+    /// one `<prefix>_<name>_total` line per counter.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, value) in [
+            ("received", self.received),
+            ("admitted", self.admitted),
+            ("rejected", self.rejected),
+            ("completed_ok", self.completed_ok),
+            ("completed_late", self.completed_late),
+            ("dropped", self.dropped),
+            ("protocol_errors", self.protocol_errors),
+        ] {
+            out.push_str(&format!(
+                "# TYPE {prefix}_{name}_total counter\n{prefix}_{name}_total {value}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        assert_eq!(c.incr(), 1);
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn snapshot_copies_all_fields() {
+        let s = ServingCounters::new();
+        s.received.add(10);
+        s.admitted.add(7);
+        s.rejected.add(2);
+        s.completed_ok.add(5);
+        s.completed_late.add(1);
+        s.dropped.add(1);
+        s.protocol_errors.add(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.received, 10);
+        assert_eq!(snap.resolved(), 9);
+        assert!((snap.goodput_fraction() - 5.0 / 9.0).abs() < 1e-12);
+        assert!((snap.drop_fraction() - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_rates_are_zero() {
+        let snap = CountersSnapshot::default();
+        assert_eq!(snap.goodput_fraction(), 0.0);
+        assert_eq!(snap.drop_fraction(), 0.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_every_counter() {
+        let s = ServingCounters::new();
+        s.completed_ok.add(3);
+        let text = s.snapshot().to_prometheus("pard_gateway");
+        assert!(text.contains("pard_gateway_completed_ok_total 3"));
+        assert!(text.contains("# TYPE pard_gateway_received_total counter"));
+        assert_eq!(text.lines().count(), 14);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let shared = std::sync::Arc::new(ServingCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.received.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.received.get(), 4000);
+    }
+}

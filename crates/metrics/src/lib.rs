@@ -14,15 +14,19 @@
 //! the cluster simulator and the live runtime both emit, the aggregations
 //! over a whole run ([`RequestLog`]), windowed time-series analysis
 //! ([`series`]), basic statistics ([`stats`]), empirical distributions
-//! ([`dist`]), and plain-text table rendering for the benchmark harness
-//! ([`table`]).
+//! ([`dist`]), plain-text table rendering for the benchmark harness
+//! ([`table`]), and the lock-free live serving counters with snapshot /
+//! Prometheus-text export that the gateway's `/metrics` endpoint reads
+//! ([`counters`]).
 
+pub mod counters;
 pub mod dist;
 pub mod record;
 pub mod series;
 pub mod stats;
 pub mod table;
 
+pub use counters::{Counter, CountersSnapshot, ServingCounters};
 pub use dist::{Cdf, Histogram, Reservoir};
 pub use record::{DropReason, Outcome, RequestLog, RequestRecord, StageRecord};
 pub use series::{EventKind, WindowSeries};

@@ -15,6 +15,7 @@
 //! * Chains only. DAG split/merge is exercised by the simulator.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -77,8 +78,83 @@ struct ModuleShared {
 struct LiveRecord {
     sent: SimTime,
     deadline: SimTime,
+    tag: u64,
     stages: Vec<StageRecord>,
     outcome: Outcome,
+}
+
+/// Per-request submission options (see [`LiveCluster::submit_with`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOptions {
+    /// End-to-end latency budget; the pipeline's SLO when `None`.
+    pub slo: Option<SimDuration>,
+    /// Opaque caller tag echoed back verbatim in the [`Completion`],
+    /// for submitters that want to attach their own correlation key
+    /// (the gateway routes by `id` and leaves this at 0).
+    pub tag: u64,
+}
+
+impl SubmitOptions {
+    /// Overrides the per-request SLO.
+    pub fn with_slo(mut self, slo: SimDuration) -> SubmitOptions {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Sets the caller tag.
+    pub fn with_tag(mut self, tag: u64) -> SubmitOptions {
+        self.tag = tag;
+        self
+    }
+}
+
+/// Terminal-state notification delivered to the completion sink the
+/// moment a request resolves (completes or is dropped), without waiting
+/// for [`LiveCluster::finish`].
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// The id [`LiveCluster::submit_with`] returned.
+    pub id: u64,
+    /// The caller tag from [`SubmitOptions`].
+    pub tag: u64,
+    /// Client send time.
+    pub sent: SimTime,
+    /// Absolute deadline.
+    pub deadline: SimTime,
+    /// Terminal outcome (never [`Outcome::InFlight`]).
+    pub outcome: Outcome,
+}
+
+impl Completion {
+    /// Whether the request completed within its SLO.
+    pub fn within_slo(&self) -> bool {
+        matches!(self.outcome, Outcome::Completed { finished } if finished <= self.deadline)
+    }
+
+    /// End-to-end latency for completed requests.
+    pub fn latency(&self) -> Option<SimDuration> {
+        match self.outcome {
+            Outcome::Completed { finished } => Some(finished.saturating_since(self.sent)),
+            _ => None,
+        }
+    }
+}
+
+/// Point-in-time view of the serving state a gateway needs for edge
+/// admission: per-module queue depths plus the static plan.
+#[derive(Clone, Debug)]
+pub struct EdgeState {
+    /// Queued requests per module (summed over workers).
+    pub queue_depths: Vec<usize>,
+    /// Worker threads per module (queued batches drain this many at a
+    /// time).
+    pub workers: Vec<usize>,
+    /// Planned batch size per module.
+    pub batch_sizes: Vec<usize>,
+    /// Profiled execution duration per module at the planned batch, ms.
+    pub exec_ms: Vec<f64>,
+    /// The pipeline's default SLO.
+    pub slo: SimDuration,
 }
 
 struct Shared {
@@ -91,6 +167,7 @@ struct Shared {
     shutdown: AtomicBool,
     modules: Vec<ModuleShared>,
     records: Mutex<Vec<LiveRecord>>,
+    completion_tx: Mutex<Option<Sender<Completion>>>,
 }
 
 impl Shared {
@@ -123,10 +200,35 @@ impl Shared {
     }
 
     fn mark_dropped(&self, id: u64, module: usize, at: SimTime, reason: DropReason) {
-        let mut records = self.records.lock();
-        let record = &mut records[id as usize];
-        if matches!(record.outcome, Outcome::InFlight) {
-            record.outcome = Outcome::Dropped { module, at, reason };
+        let completion = {
+            let mut records = self.records.lock();
+            let record = &mut records[id as usize];
+            if matches!(record.outcome, Outcome::InFlight) {
+                record.outcome = Outcome::Dropped { module, at, reason };
+                Some(Completion {
+                    id,
+                    tag: record.tag,
+                    sent: record.sent,
+                    deadline: record.deadline,
+                    outcome: record.outcome,
+                })
+            } else {
+                None
+            }
+        };
+        if let Some(completion) = completion {
+            self.notify(completion);
+        }
+    }
+
+    /// Delivers a terminal-state notification, dropping the sink if the
+    /// receiver has gone away.
+    fn notify(&self, completion: Completion) {
+        let mut tx = self.completion_tx.lock();
+        if let Some(sender) = tx.as_ref() {
+            if sender.send(completion).is_err() {
+                *tx = None;
+            }
         }
     }
 }
@@ -187,6 +289,7 @@ impl LiveCluster {
             shutdown: AtomicBool::new(false),
             modules,
             records: Mutex::new(Vec::new()),
+            completion_tx: Mutex::new(None),
             spec,
         });
 
@@ -212,15 +315,23 @@ impl LiveCluster {
         self.shared.clock.now()
     }
 
-    /// Submits one request; returns its id.
+    /// Submits one request under the pipeline's default SLO; returns its
+    /// id.
     pub fn submit(&self) -> u64 {
+        self.submit_with(SubmitOptions::default())
+    }
+
+    /// Submits one request with per-request options (SLO override and a
+    /// caller tag for completion routing); returns its id.
+    pub fn submit_with(&self, options: SubmitOptions) -> u64 {
         let now = self.shared.clock.now();
-        let deadline = now + self.shared.spec.slo;
+        let deadline = now + options.slo.unwrap_or(self.shared.spec.slo);
         let id = {
             let mut records = self.shared.records.lock();
             records.push(LiveRecord {
                 sent: now,
                 deadline,
+                tag: options.tag,
                 stages: Vec::new(),
                 outcome: Outcome::InFlight,
             });
@@ -234,6 +345,43 @@ impl LiveCluster {
         };
         self.shared.enqueue(self.shared.spec.source(), meta, now);
         id
+    }
+
+    /// Registers a channel that receives a [`Completion`] the moment any
+    /// request resolves. Replaces a previously registered sink.
+    pub fn set_completion_sink(&self, sender: Sender<Completion>) {
+        *self.shared.completion_tx.lock() = Some(sender);
+    }
+
+    /// The pipeline specification being served.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.shared.spec
+    }
+
+    /// Snapshot of the state edge admission control needs: per-module
+    /// queue depths and the static batch plan.
+    pub fn edge_state(&self) -> EdgeState {
+        let queue_depths = (0..self.shared.spec.modules.len())
+            .map(|m| {
+                self.shared.modules[m]
+                    .workers
+                    .iter()
+                    .map(|w| w.policy.lock().queue_len())
+                    .sum()
+            })
+            .collect();
+        EdgeState {
+            queue_depths,
+            workers: self
+                .shared
+                .modules
+                .iter()
+                .map(|m| m.workers.len())
+                .collect(),
+            batch_sizes: self.shared.batch_sizes.clone(),
+            exec_ms: self.shared.exec_ms.clone(),
+            slo: self.shared.spec.slo,
+        }
     }
 
     /// Submits a Poisson stream of `rate` requests per *virtual* second
@@ -378,10 +526,21 @@ fn worker_loop(shared: Arc<Shared>, m: usize, w: usize, mut backend: Box<dyn Inf
             let record = &mut records[meta.id as usize];
             record.stages.push(stage);
             let active = matches!(record.outcome, Outcome::InFlight);
+            let mut completion = None;
             if active && is_sink {
                 record.outcome = Outcome::Completed { finished: end };
+                completion = Some(Completion {
+                    id: meta.id,
+                    tag: record.tag,
+                    sent: record.sent,
+                    deadline: record.deadline,
+                    outcome: record.outcome,
+                });
             }
             drop(records);
+            if let Some(completion) = completion {
+                shared.notify(completion);
+            }
             if active && !is_sink {
                 let next = next_module.expect("non-sink has a successor");
                 let forwarded = ReqMeta {

@@ -15,4 +15,4 @@ pub mod engine;
 
 pub use backend::{CpuBackend, InferenceBackend, SleepBackend};
 pub use clock::WallClock;
-pub use engine::{BackendFactory, LiveCluster, LiveConfig};
+pub use engine::{BackendFactory, Completion, EdgeState, LiveCluster, LiveConfig, SubmitOptions};

@@ -4,7 +4,7 @@ use pard_core::{PardPolicy, PardPolicyConfig};
 use pard_pipeline::PipelineSpec;
 use pard_policies::NaivePolicy;
 use pard_profile::ModelProfile;
-use pard_runtime::{LiveCluster, LiveConfig, SleepBackend};
+use pard_runtime::{LiveCluster, LiveConfig, SleepBackend, SubmitOptions};
 use pard_sim::{SimDuration, SimTime};
 
 const SCALE: f64 = 40.0; // 40 virtual seconds per wall second
@@ -122,4 +122,65 @@ fn submit_returns_monotonic_ids() {
     assert_eq!(b, a + 1);
     let log = cluster.finish(SimDuration::from_secs(3));
     assert_eq!(log.len(), 2);
+}
+
+#[test]
+fn per_request_slo_overrides_pipeline_default() {
+    let cluster = start(400, 1, true);
+    // An SLO far tighter than the pipeline can serve: the request must
+    // resolve as dropped or late, while a default-SLO request completes.
+    let tight = cluster.submit_with(SubmitOptions::default().with_slo(SimDuration::from_millis(1)));
+    let loose = cluster.submit();
+    let log = cluster.finish(SimDuration::from_secs(5));
+    let tight_rec = &log.records()[tight as usize];
+    let loose_rec = &log.records()[loose as usize];
+    assert_eq!(
+        tight_rec.deadline,
+        tight_rec.sent + SimDuration::from_millis(1)
+    );
+    assert!(tight_rec.is_dropped(), "tight SLO request must not count");
+    assert!(loose_rec.is_goodput(), "default SLO request must complete");
+}
+
+#[test]
+fn completion_sink_reports_every_request_with_its_tag() {
+    let cluster = start(400, 1, true);
+    let (tx, rx) = std::sync::mpsc::channel();
+    cluster.set_completion_sink(tx);
+    let mut expected = std::collections::HashMap::new();
+    for tag in [7u64, 11, 13] {
+        let id = cluster.submit_with(SubmitOptions::default().with_tag(tag));
+        expected.insert(id, tag);
+    }
+    let mut seen = 0;
+    while seen < expected.len() {
+        let completion = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("completion within the drain window");
+        assert_eq!(expected[&completion.id], completion.tag);
+        assert!(!matches!(
+            completion.outcome,
+            pard_metrics::Outcome::InFlight
+        ));
+        if completion.within_slo() {
+            assert!(completion.latency().expect("completed") <= SimDuration::from_millis(400));
+        }
+        seen += 1;
+    }
+    let log = cluster.finish(SimDuration::from_secs(3));
+    assert_eq!(log.len(), 3);
+}
+
+#[test]
+fn edge_state_reflects_plan_and_queues() {
+    let cluster = start(400, 2, true);
+    let state = cluster.edge_state();
+    assert_eq!(state.queue_depths.len(), 3);
+    assert_eq!(state.workers, vec![2, 2, 2]);
+    assert_eq!(state.batch_sizes.len(), 3);
+    assert_eq!(state.exec_ms.len(), 3);
+    assert_eq!(state.slo, SimDuration::from_millis(400));
+    assert!(state.exec_ms.iter().all(|&d| d > 0.0));
+    assert!(state.batch_sizes.iter().all(|&b| b >= 1));
+    let _ = cluster.finish(SimDuration::from_secs(1));
 }

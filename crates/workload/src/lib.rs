@@ -19,9 +19,11 @@
 //! reproducible from a seed.
 
 pub mod arrivals;
+pub mod schedule;
 pub mod trace;
 pub mod traces;
 
 pub use arrivals::{poisson_arrivals, uniform_arrivals};
+pub use schedule::{wire_schedule, PayloadSpec, WireEvent};
 pub use trace::RateTrace;
 pub use traces::{azure, constant, ramp, tweet, wiki, TraceKind};

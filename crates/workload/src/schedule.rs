@@ -1,0 +1,126 @@
+//! Trace → wire-schedule adapter for the network load generator.
+//!
+//! The simulator consumes a [`crate::RateTrace`] directly; a client
+//! driving a real socket needs the trace expanded into concrete,
+//! fully-specified requests: *when* to send, *which* application, *what*
+//! latency budget, and *how many* payload bytes. [`wire_schedule`]
+//! performs that expansion deterministically from a seed, so a gateway
+//! experiment replays identically across runs and machines.
+
+use pard_sim::{DetRng, SimTime};
+
+use crate::arrivals::poisson_arrivals;
+use crate::trace::RateTrace;
+
+/// One request the load generator will put on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireEvent {
+    /// Offset from the start of the replay at which to send.
+    pub at: SimTime,
+    /// Application name the request targets.
+    pub app: String,
+    /// End-to-end latency budget in milliseconds.
+    pub slo_ms: u64,
+    /// Synthetic payload size in bytes.
+    pub payload_len: usize,
+}
+
+/// Payload-size envelope for [`wire_schedule`].
+///
+/// Sizes are drawn log-uniformly in `[min, max]` — heavy-tailed enough
+/// to exercise buffering without modelling any particular modality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PayloadSpec {
+    /// Smallest payload, bytes.
+    pub min: usize,
+    /// Largest payload, bytes.
+    pub max: usize,
+}
+
+impl Default for PayloadSpec {
+    fn default() -> PayloadSpec {
+        PayloadSpec { min: 64, max: 4096 }
+    }
+}
+
+impl PayloadSpec {
+    fn sample(&self, rng: &mut DetRng) -> usize {
+        assert!(self.min >= 1 && self.min <= self.max, "bad payload spec");
+        let (lo, hi) = ((self.min as f64).ln(), (self.max as f64).ln());
+        let v = (lo + rng.f64() * (hi - lo)).exp().round() as usize;
+        v.clamp(self.min, self.max)
+    }
+}
+
+/// Expands `trace` into a deterministic, time-sorted request schedule
+/// for application `app` under `slo_ms`, with payload sizes drawn from
+/// `payload`.
+pub fn wire_schedule(
+    trace: &RateTrace,
+    app: &str,
+    slo_ms: u64,
+    payload: PayloadSpec,
+    seed: u64,
+) -> Vec<WireEvent> {
+    let mut rng = DetRng::new(seed);
+    poisson_arrivals(trace, &mut rng)
+        .into_iter()
+        .map(|at| WireEvent {
+            at,
+            app: app.to_string(),
+            slo_ms,
+            payload_len: payload.sample(&mut rng),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::constant;
+
+    #[test]
+    fn schedule_is_sorted_and_fully_specified() {
+        let trace = constant(100.0, 10);
+        let events = wire_schedule(&trace, "tm", 400, PayloadSpec::default(), 7);
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for e in &events {
+            assert_eq!(e.app, "tm");
+            assert_eq!(e.slo_ms, 400);
+            assert!((64..=4096).contains(&e.payload_len));
+            assert!(e.at < SimTime::from_secs(10));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let trace = constant(50.0, 5);
+        let a = wire_schedule(&trace, "lv", 300, PayloadSpec::default(), 42);
+        let b = wire_schedule(&trace, "lv", 300, PayloadSpec::default(), 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let trace = constant(50.0, 5);
+        let a = wire_schedule(&trace, "lv", 300, PayloadSpec::default(), 1);
+        let b = wire_schedule(&trace, "lv", 300, PayloadSpec::default(), 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn payload_sizes_span_the_envelope() {
+        let trace = constant(500.0, 10);
+        let spec = PayloadSpec { min: 10, max: 1000 };
+        let events = wire_schedule(&trace, "gm", 200, spec, 3);
+        let small = events.iter().filter(|e| e.payload_len < 100).count();
+        let large = events.iter().filter(|e| e.payload_len >= 100).count();
+        // Log-uniform: both decades should be well represented.
+        assert!(small > events.len() / 10, "small {small}/{}", events.len());
+        assert!(large > events.len() / 10, "large {large}/{}", events.len());
+        assert!(events.iter().all(|e| (10..=1000).contains(&e.payload_len)));
+    }
+}

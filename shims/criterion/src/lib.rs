@@ -1,0 +1,252 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — groups,
+//! throughput annotation, `bench_function` / `bench_with_input`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock timing loop. Results print as `name: time/iter
+//! (throughput)` lines; there is no statistics engine, warm-up tuning,
+//! or HTML report. Full measurement happens only under `cargo bench`
+//! (which passes `--bench`); any other invocation — notably `cargo
+//! test` running the bench executables — gets a quick single-iteration
+//! mode so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration payload hint used to derive a throughput figure.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    last: Option<Measurement>,
+}
+
+struct Measurement {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean duration per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call to warm caches and reach steady state.
+        std::hint::black_box(routine());
+        let budget = Duration::from_millis(if self.quick { 0 } else { 300 });
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.last = Some(Measurement {
+            total: start.elapsed(),
+            iters,
+        });
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim's timing loop is
+    /// duration-bounded rather than sample-count-bounded.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput hint for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, throughput, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench` invokes bench executables with `--bench`; anything
+        // else (notably `cargo test`, which passes no marker at all) gets
+        // the quick single-iteration mode.
+        let full = std::env::args().any(|a| a == "--bench");
+        let quick = !full || std::env::args().any(|a| a == "--test" || a == "--quick");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, None, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        label: &str,
+        throughput: Option<Throughput>,
+        f: F,
+    ) {
+        let mut bencher = Bencher {
+            quick: self.quick,
+            last: None,
+        };
+        f(&mut bencher);
+        match bencher.last {
+            Some(m) if m.iters > 0 => {
+                let per_iter = m.total.as_secs_f64() / m.iters as f64;
+                let rate = match throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!(" ({:.0} elem/s)", n as f64 / per_iter)
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!(" ({:.1} MiB/s)", n as f64 / per_iter / (1024.0 * 1024.0))
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "bench {label}: {:.3} ms/iter over {} iters{rate}",
+                    per_iter * 1e3,
+                    m.iters
+                );
+            }
+            _ => println!("bench {label}: no measurement recorded"),
+        }
+    }
+}
+
+/// Declares a function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u64;
+        group
+            .throughput(Throughput::Elements(1))
+            .bench_function("count", |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+        group.finish();
+        // Warm-up call plus at least one measured iteration.
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("push", 64).to_string(), "push/64");
+        assert_eq!(BenchmarkId::from_parameter("n4").to_string(), "n4");
+    }
+}

@@ -1,0 +1,89 @@
+//! Container strategies.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K::Value, V::Value>` with an entry count drawn
+/// from `size` (duplicate keys collapse, so maps may come out smaller).
+pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    assert!(size.start < size.end, "empty size range");
+    BTreeMapStrategy { key, value, size }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len)
+            .map(|_| (self.key.new_value(rng), self.value.new_value(rng)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = TestRng::deterministic("vec");
+        let s = vec(0u64..5, 2..7);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn btree_map_respects_bounds() {
+        let mut rng = TestRng::deterministic("map");
+        let s = btree_map("[a-z]{1,8}", 0u64..100, 0..6);
+        for _ in 0..100 {
+            let m = s.new_value(&mut rng);
+            assert!(m.len() < 6);
+        }
+    }
+}

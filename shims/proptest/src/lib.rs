@@ -1,0 +1,245 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this in-tree crate
+//! reimplements the slice of proptest this workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, numeric range strategies, a regex-subset string strategy,
+//! [`strategy::Just`], `any::<bool>()`, weighted [`prop_oneof!`],
+//! [`collection`] strategies, and the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the
+//!   panic message) but is not minimised.
+//! * **Deterministic.** Each test derives its RNG seed from the test
+//!   name, so failures reproduce exactly across runs and machines.
+//! * **Regex strategies** support only the subset used in-tree:
+//!   a single char class (`[a-z]`, `[ -~]`, `\PC`) with an optional
+//!   `{m,n}` repetition.
+
+use std::fmt;
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Error carried out of a failing property body by the `prop_assert*`
+/// macros.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, TestCaseError};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) {body}`
+/// item expands to a `#[test]` that runs `config.cases` deterministic
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);)*
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__err) = __result {
+                    panic!(
+                        "property '{}' failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking
+/// directly) when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::new(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __left,
+                __right
+            )));
+        }
+    }};
+}
+
+/// Union of strategies producing the same value type, with optional
+/// per-arm weights (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let x = (10i64..20).new_value(&mut rng);
+            assert!((10..20).contains(&x));
+            let f = (0.5f64..2.0).new_value(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+            let u = (3usize..4).new_value(&mut rng);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn regex_subset_strategies() {
+        let mut rng = crate::TestRng::deterministic("regex");
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".new_value(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[ -~]{0,24}".new_value(&mut rng);
+            assert!(t.chars().count() <= 24);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let p = "\\PC{0,12}".new_value(&mut rng);
+            assert!(p.chars().count() <= 12);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let mut rng = crate::TestRng::deterministic("weights");
+        let strat = prop_oneof![
+            3 => Just(true),
+            1 => Just(false),
+        ];
+        let hits = (0..4000).filter(|_| strat.new_value(&mut rng)).count();
+        // Expect ~3000 of 4000; allow generous slack.
+        assert!((2600..3400).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn recursive_strategies_bottom_out() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::TestRng::deterministic("trees");
+        for _ in 0..200 {
+            let t = strat.new_value(&mut rng);
+            assert!(depth(&t) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The harness macro itself: args bind, asserts pass.
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flag, flag);
+        }
+    }
+
+    #[test]
+    fn prop_asserts_surface_as_errors() {
+        let body = |x: u64| -> Result<(), TestCaseError> {
+            prop_assert!(x == 0, "x was {}", x);
+            Ok(())
+        };
+        assert!(body(0).is_ok());
+        let err = body(5).expect_err("x = 5 must fail");
+        assert_eq!(err.to_string(), "x was 5");
+    }
+}

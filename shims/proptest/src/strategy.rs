@@ -1,0 +1,377 @@
+//! Value-generation strategies.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// Generates values of one type from an RNG.
+///
+/// Unlike real proptest there is no shrink tree: a strategy is just a
+/// generator, which keeps the trait object-safe enough to box cheaply.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.new_value(rng)))
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for the
+    /// previous nesting level and wraps it one level deeper, up to
+    /// `depth` levels. Generation picks a level uniformly, so shallow and
+    /// deep values both appear. `desired_size` and `expected_branch_size`
+    /// are accepted for API compatibility and unused (container
+    /// strategies already bound their own sizes).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+        for _ in 0..depth {
+            let prev = levels.last().expect("at least the leaf level").clone();
+            levels.push(recurse(prev).boxed());
+        }
+        BoxedStrategy(Rc::new(move |rng| {
+            let level = rng.below(levels.len() as u64) as usize;
+            levels[level].new_value(rng)
+        }))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<V>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn new_value(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Weighted union over same-valued strategies (built by
+/// [`crate::prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Creates a union; weights must sum to a positive value.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+        let total_weight: u64 = arms.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+        Union { arms, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, arm) in &self.arms {
+            if pick < *weight as u64 {
+                return arm.new_value(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weights cover the sampled range")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $ty)
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() as f32 * (self.end - self.start)
+    }
+}
+
+/// Marker produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy over a type's full value space.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Types [`any`] can generate.
+pub trait ArbitraryValue {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),+) => {$(
+        impl ArbitraryValue for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String strategy from a regex subset: one char class (`[a-z]`,
+/// `[ -~]`, or `\PC` for "printable") with an optional `{m,n}` / `{m}`
+/// repetition. This covers every pattern the workspace's tests use;
+/// anything else panics loudly rather than silently generating the
+/// wrong distribution.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let pattern = parse_pattern(self);
+        let len =
+            pattern.min_len + rng.below((pattern.max_len - pattern.min_len + 1) as u64) as usize;
+        (0..len).map(|_| pattern.class.sample(rng)).collect()
+    }
+}
+
+struct Pattern {
+    class: CharClass,
+    min_len: usize,
+    max_len: usize,
+}
+
+enum CharClass {
+    /// Explicit ranges from a `[...]` class.
+    Ranges(Vec<(char, char)>),
+    /// `\PC`: any printable (non-control) character; generated mostly
+    /// from ASCII with occasional multi-byte code points so UTF-8
+    /// handling gets exercised.
+    Printable,
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Ranges(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let span = (hi as u64) - (lo as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(lo as u32 + pick as u32)
+                            .expect("class ranges hold valid scalars");
+                    }
+                    pick -= span;
+                }
+                unreachable!("ranges cover the sampled total")
+            }
+            CharClass::Printable => match rng.below(10) {
+                // Mostly ASCII printable.
+                0..=7 => char::from_u32(0x20 + rng.below(0x5f) as u32).expect("ascii printable"),
+                // Latin-1 letters.
+                8 => char::from_u32(0xC0 + rng.below(0x16) as u32).expect("latin-1 letter"),
+                // A few wide code points (CJK + an emoji).
+                _ => ['中', '文', 'は', 'ひ', '🎉', 'Ω'][rng.below(6) as usize],
+            },
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Pattern {
+    let bytes = pattern.as_bytes();
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+        (CharClass::Printable, rest)
+    } else if bytes.first() == Some(&b'[') {
+        let close = pattern.find(']').unwrap_or_else(|| unsupported(pattern));
+        let body: Vec<char> = pattern[1..close].chars().collect();
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                ranges.push((body[i], body[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((body[i], body[i]));
+                i += 1;
+            }
+        }
+        if ranges.is_empty() {
+            unsupported(pattern);
+        }
+        (CharClass::Ranges(ranges), &pattern[close + 1..])
+    } else {
+        unsupported(pattern)
+    };
+
+    let (min_len, max_len) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let body = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| unsupported(pattern));
+        match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.parse().unwrap_or_else(|_| unsupported(pattern)),
+                hi.parse().unwrap_or_else(|_| unsupported(pattern)),
+            ),
+            None => {
+                let n = body.parse().unwrap_or_else(|_| unsupported(pattern));
+                (n, n)
+            }
+        }
+    };
+    assert!(min_len <= max_len, "bad repetition in pattern {pattern:?}");
+    Pattern {
+        class,
+        min_len,
+        max_len,
+    }
+}
+
+fn unsupported(pattern: &str) -> ! {
+    panic!(
+        "proptest shim: unsupported regex pattern {pattern:?} \
+         (supported: a single `[...]` class or `\\PC`, with optional `{{m,n}}`)"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn just_clones_value() {
+        let mut rng = TestRng::deterministic("just");
+        let s = Just(vec![1, 2, 3]);
+        assert_eq!(s.new_value(&mut rng), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn map_transforms() {
+        let mut rng = TestRng::deterministic("map");
+        let s = (0u64..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = s.new_value(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn exact_repetition_pattern() {
+        let mut rng = TestRng::deterministic("rep");
+        let s = "[0-9]{4}".new_value(&mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn single_char_class_defaults_to_one() {
+        let mut rng = TestRng::deterministic("one");
+        let s = "[xyz]".new_value(&mut rng);
+        assert_eq!(s.len(), 1);
+        assert!("xyz".contains(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex pattern")]
+    fn unsupported_pattern_panics() {
+        let mut rng = TestRng::deterministic("bad");
+        let _ = "(a|b)+".new_value(&mut rng);
+    }
+}

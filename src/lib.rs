@@ -25,6 +25,7 @@
 //! | [`policies`] | Nexus, Clipper++, Naive, overload control, ablations |
 //! | [`cluster`] | discrete-event cluster serving engine |
 //! | [`runtime`] | live multi-threaded serving engine |
+//! | [`gateway`] | TCP serving front-end with edge admission + load generator |
 //! | [`rag`] | §7 RAG workflow case study |
 //!
 //! # Examples
@@ -46,6 +47,7 @@
 
 pub use pard_cluster as cluster;
 pub use pard_core as core;
+pub use pard_gateway as gateway;
 pub use pard_metrics as metrics;
 pub use pard_pipeline as pipeline;
 pub use pard_policies as policies;
@@ -62,6 +64,7 @@ pub mod prelude {
         Depq, OrderMode, PardConfig, PardPolicy, PardPolicyConfig, PriorityMode, ReqMeta, RuleMode,
         SubMode, WorkerPolicy,
     };
+    pub use pard_gateway::{Gateway, GatewayConfig, LoadMode, LoadgenConfig};
     pub use pard_metrics::{DropReason, Outcome, RequestLog, Table};
     pub use pard_pipeline::{AppKind, ModuleSpec, PipelineSpec};
     pub use pard_policies::{make_factory, OcConfig, SystemKind};
