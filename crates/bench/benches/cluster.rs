@@ -21,7 +21,8 @@ fn bench_cluster(c: &mut Criterion) {
     group.bench_function("tm_10s_at_200rps", |b| {
         b.iter(|| {
             let config = experiment_config(7).with_pard(PardConfig::default().with_mc_draws(1_000));
-            let result = run_system(workload, SystemKind::Pard, &trace, config);
+            let result =
+                run_system(workload, SystemKind::Pard, &trace, config).expect("zoo models");
             black_box(result.log.len())
         })
     });

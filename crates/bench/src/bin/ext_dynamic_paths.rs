@@ -7,7 +7,7 @@
 //! reproduces that experiment with the simulator's `dynamic_paths` mode
 //! (the estimator still assumes the max-latency path, as PARD does).
 
-use pard_bench::{experiment_config, run_system, Workload, SEED, TRACE_LEN_S};
+use pard_bench::{experiment_config, must, run_system, Workload, SEED, TRACE_LEN_S};
 use pard_cluster::ClusterConfig;
 use pard_metrics::table::{pct2, Table};
 use pard_pipeline::AppKind;
@@ -26,8 +26,13 @@ fn main() {
             trace: trace_kind,
         };
         let trace = trace_kind.build(TRACE_LEN_S, SEED);
-        let static_run = run_system(workload, SystemKind::Pard, &trace, experiment_config(SEED));
-        let dynamic_run = run_system(
+        let static_run = must(run_system(
+            workload,
+            SystemKind::Pard,
+            &trace,
+            experiment_config(SEED),
+        ));
+        let dynamic_run = must(run_system(
             workload,
             SystemKind::Pard,
             &trace,
@@ -35,7 +40,7 @@ fn main() {
                 dynamic_paths: true,
                 ..experiment_config(SEED)
             },
-        );
+        ));
         let s = static_run.log.drop_rate();
         let d = dynamic_run.log.drop_rate();
         let rel = if s > 1e-6 { (d - s) / s } else { 0.0 };

@@ -8,7 +8,7 @@
 //! * (d): transient drop rate of the reactive policy over time on
 //!   lv-tweet (10 s windows; the spike rides the t ≈ 850 s rate step).
 
-use pard_bench::{run_default, Workload};
+use pard_bench::{must, run_default, Workload};
 use pard_metrics::table::{pct, Table};
 use pard_pipeline::AppKind;
 use pard_policies::SystemKind;
@@ -23,7 +23,7 @@ fn main() {
     println!("Running lv-tweet for 4 systems (full trace)...");
     let runs: Vec<(SystemKind, pard_cluster::RunResult)> = SystemKind::BASELINES
         .iter()
-        .map(|&s| (s, run_default(workload, s)))
+        .map(|&s| (s, must(run_default(workload, s))))
         .collect();
 
     let mut fig2a = Table::new(
@@ -66,7 +66,7 @@ fn main() {
     ];
     for (app, trace) in six {
         let w = Workload { app, trace };
-        let result = run_default(w, SystemKind::Nexus);
+        let result = must(run_default(w, SystemKind::Nexus));
         let n = app.pipeline().len();
         let dist = result.log.drop_distribution(n);
         let mut cells = vec![w.name()];

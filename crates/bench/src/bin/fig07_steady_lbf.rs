@@ -7,7 +7,7 @@
 //! finish. Then the aggregate effect: PARD vs PARD-FCFS vs PARD-HBF on a
 //! steady workload.
 
-use pard_bench::{experiment_config, run_system, Workload, SEED};
+use pard_bench::{experiment_config, must, run_system, Workload, SEED};
 use pard_core::{
     OrderMode, PardPolicy, PardPolicyConfig, PopCtx, PopOutcome, ReqMeta, WorkerPolicy,
 };
@@ -135,7 +135,7 @@ fn steady_comparison() {
     ] {
         eprintln!("running {} ...", system.name());
         let config = experiment_config(SEED).with_fixed_workers(vec![2, 2, 1, 1, 2]);
-        let result = run_system(workload, system, &trace, config);
+        let result = must(run_system(workload, system, &trace, config));
         table.row(&[
             system.name().to_string(),
             pct2(result.log.drop_rate()),

@@ -5,7 +5,7 @@
 //! rate by 1.6–16.7× and wasted computation by 1.5–61.9× versus Nexus
 //! and Clipper++, with Naive's drop/invalid rates up to 35×/129× PARD's.
 
-use pard_bench::{run_default, Workload};
+use pard_bench::{must, run_default, Workload};
 use pard_metrics::table::{pct2, Table};
 use pard_policies::SystemKind;
 
@@ -38,7 +38,7 @@ fn main() {
         eprintln!("running {} ...", workload.name());
         let results: Vec<_> = SystemKind::BASELINES
             .iter()
-            .map(|&s| run_default(workload, s))
+            .map(|&s| must(run_default(workload, s)))
             .collect();
         let drops: Vec<f64> = results.iter().map(|r| r.log.drop_rate()).collect();
         let invalids: Vec<f64> = results.iter().map(|r| r.log.invalid_rate()).collect();

@@ -5,7 +5,7 @@
 //! all timescales versus arrival-order baselines whose transient drop
 //! rates reach 90–96 %.
 
-use pard_bench::{run_default, Workload};
+use pard_bench::{must, run_default, Workload};
 use pard_metrics::table::{pct, Table};
 use pard_policies::SystemKind;
 use pard_sim::SimDuration;
@@ -21,7 +21,7 @@ fn main() {
         );
         let mut per_system_max: Vec<Vec<f64>> = Vec::new();
         for &system in &SystemKind::BASELINES {
-            let result = run_default(workload, system);
+            let result = must(run_default(workload, system));
             let maxima: Vec<f64> = windows_s
                 .iter()
                 .map(|&w| {

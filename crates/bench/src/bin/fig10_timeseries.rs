@@ -1,7 +1,7 @@
 //! Fig. 10 — the three traces (left) and normalized real-time goodput of
 //! the four systems in the burst regions of all 12 workloads (right).
 
-use pard_bench::{experiment_config, run_system, Workload, SEED, TRACE_LEN_S};
+use pard_bench::{experiment_config, must, run_system, Workload, SEED, TRACE_LEN_S};
 use pard_metrics::table::Table;
 use pard_policies::SystemKind;
 use pard_sim::SimDuration;
@@ -51,7 +51,12 @@ fn main() {
             &["system", "series (oldest to newest)", "min", "mean"],
         );
         for &system in &SystemKind::BASELINES {
-            let result = run_system(workload, system, &trace, experiment_config(SEED));
+            let result = must(run_system(
+                workload,
+                system,
+                &trace,
+                experiment_config(SEED),
+            ));
             let series = result.log.window_series(SimDuration::from_secs(10));
             let values: Vec<f64> = series
                 .normalized_goodput_series()

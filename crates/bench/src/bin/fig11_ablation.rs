@@ -13,7 +13,7 @@
 //!   PARD-instant flaps between modes.
 //! * PARD concentrates ~87 % of drops in the first two modules.
 
-use pard_bench::{run_default, Workload};
+use pard_bench::{must, run_default, Workload};
 use pard_metrics::table::{pct, pct2, Table};
 use pard_policies::SystemKind;
 
@@ -30,7 +30,7 @@ fn main() {
     );
     for &system in &SystemKind::ABLATIONS {
         eprintln!("running {} ...", system.name());
-        let result = run_default(workload, system);
+        let result = must(run_default(workload, system));
         let log = &result.log;
         rates.row(&[
             system.name().to_string(),

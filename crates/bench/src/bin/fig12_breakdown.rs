@@ -11,7 +11,7 @@
 //!   M3 — highly variable and time-independent, which is why arrival
 //!   order picks the wrong requests.
 
-use pard_bench::{run_burst_window, run_default, Workload};
+use pard_bench::{must, run_burst_window, run_default, Workload};
 use pard_metrics::stats::Summary;
 use pard_metrics::table::{ms, Table};
 use pard_metrics::Cdf;
@@ -21,7 +21,7 @@ use pard_sim::{SimDuration, SimTime};
 fn main() {
     let workload = Workload::lv_tweet();
     eprintln!("running PARD on lv-tweet (full trace) ...");
-    let pard = run_default(workload, SystemKind::Pard);
+    let pard = must(run_default(workload, SystemKind::Pard));
     let modules = workload.app.pipeline().len();
 
     // (a) Consumed budget per module over time (60 s buckets, first 600 s).
@@ -77,7 +77,7 @@ fn main() {
     );
     for system in [SystemKind::Pard, SystemKind::PardFcfs, SystemKind::PardLbf] {
         eprintln!("running {} on burst window ...", system.name());
-        let result = run_burst_window(workload, system);
+        let result = must(run_burst_window(workload, system));
         let mut cells = vec![system.name().to_string()];
         let mut total = 0.0;
         for m in 0..modules {

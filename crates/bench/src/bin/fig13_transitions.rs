@@ -5,7 +5,7 @@
 //! crosses 1.0, while PARD's dynamic hysteresis band `1 ± ε` holds the
 //! mode through fluctuations, dropping ~25 % fewer requests.
 
-use pard_bench::{run_default, Workload};
+use pard_bench::{must, run_default, Workload};
 use pard_core::PriorityMode;
 use pard_metrics::table::{pct2, Table};
 use pard_policies::SystemKind;
@@ -19,7 +19,7 @@ fn main() {
     let mut series_rows: Vec<(String, String)> = Vec::new();
     for system in [SystemKind::Pard, SystemKind::PardInstant] {
         eprintln!("running {} ...", system.name());
-        let result = run_default(workload, system);
+        let result = must(run_default(workload, system));
         // Module 0 is the bottleneck (heaviest model, first to overload).
         let samples: Vec<_> = result
             .priority_log

@@ -7,7 +7,7 @@
 //! * (d) drop rate vs smoothing window (1–15 s): bursty traces favour
 //!   shorter windows, stable traces longer ones.
 
-use pard_bench::{exec_estimates, experiment_config, oc_config, run_system, Workload, SEED};
+use pard_bench::{exec_estimates, experiment_config, must, oc_config, run_system, Workload, SEED};
 use pard_cluster::run;
 use pard_core::PardConfig;
 use pard_metrics::table::{pct2, Table};
@@ -41,17 +41,13 @@ fn fig14a_stress() {
         let mut optimal_done = false;
         for &system in &SystemKind::BASELINES {
             let config = experiment_config(SEED).with_fixed_workers(workers.clone());
-            let exec = exec_estimates(&spec, config.headroom);
+            let exec = must(exec_estimates(&spec, config.headroom));
             let factory = make_factory(system, &spec, &exec, oc_config(TraceKind::Tweet));
-            let result = run(&spec, &trace, factory, config);
+            let result = must(run(&spec, &trace, factory, config));
             let goodput = result.log.goodput_count() as f64 / result.trace_duration.as_secs_f64();
             if !optimal_done {
                 // Optimal = min(offered, capacity); capacity from the plan.
-                let profiles: Vec<_> = spec
-                    .modules
-                    .iter()
-                    .map(|m| pard_profile::zoo::by_name(&m.name).unwrap())
-                    .collect();
+                let profiles = must(pard_cluster::resolve_profiles(&spec));
                 let plan = pard_profile::plan_batches(&profiles, spec.slo, 2.0);
                 let capacity = plan.min_throughput() * 4.0;
                 cells.push(format!("{:.0}", offered.min(capacity)));
@@ -81,9 +77,9 @@ fn fig14b_slo() {
         let mut cells = vec![format!("{slo_ms}ms")];
         for &system in &SystemKind::BASELINES {
             let config = experiment_config(SEED);
-            let exec = exec_estimates(&spec, config.headroom);
+            let exec = must(exec_estimates(&spec, config.headroom));
             let factory = make_factory(system, &spec, &exec, oc_config(workload.trace));
-            let result = run(&spec, &trace, factory, config);
+            let result = must(run(&spec, &trace, factory, config));
             cells.push(pct2(result.log.drop_rate()));
         }
         table.row(&cells);
@@ -112,7 +108,7 @@ fn fig14c_lambda() {
                     .with_mc_draws(4_000)
                     .with_lambda(lambda),
             );
-            let result = run_system(workload, SystemKind::Pard, &trace, config);
+            let result = must(run_system(workload, SystemKind::Pard, &trace, config));
             cells.push(pct2(result.log.drop_rate()));
         }
         table.row(&cells);
@@ -141,7 +137,7 @@ fn fig14d_window() {
                     .with_mc_draws(4_000)
                     .with_window(SimDuration::from_millis(window_ms)),
             );
-            let result = run_system(workload, SystemKind::Pard, &trace, config);
+            let result = must(run_system(workload, SystemKind::Pard, &trace, config));
             cells.push(pct2(result.log.drop_rate()));
         }
         table.row(&cells);

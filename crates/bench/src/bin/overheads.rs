@@ -10,7 +10,7 @@
 //! Wall-clock microbenchmarks live in `benches/` (criterion); this
 //! binary reports the same quantities measured inside a full run.
 
-use pard_bench::{run_default, Workload};
+use pard_bench::{must, run_default, Workload};
 use pard_core::batchwait::{aggregate_wait_quantile, WaitSource};
 use pard_core::Depq;
 use pard_metrics::table::Table;
@@ -42,7 +42,7 @@ fn main() {
 
     // 2. State synchronisation traffic from a real run.
     eprintln!("running lv-tweet for sync accounting ...");
-    let result = run_default(Workload::lv_tweet(), SystemKind::Pard);
+    let result = must(run_default(Workload::lv_tweet(), SystemKind::Pard));
     let seconds = result.trace_duration.as_secs_f64();
     let per_module_bits = result.log.len().max(1) as f64 * 0.0 // silence unused-warning pattern
             + result.sync_bytes as f64 * 8.0 / seconds / 5.0 / 4.0;

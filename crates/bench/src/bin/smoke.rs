@@ -2,7 +2,7 @@
 //! lv-tweet burst window. Not a paper figure; a fast sanity check that
 //! the reproduction's qualitative ordering holds.
 
-use pard_bench::{run_burst_window, Workload};
+use pard_bench::{must, run_burst_window, Workload};
 use pard_metrics::table::{pct2, Table};
 use pard_policies::SystemKind;
 
@@ -20,7 +20,7 @@ fn main() {
         ],
     );
     for system in SystemKind::BASELINES {
-        let result = run_burst_window(workload, system);
+        let result = must(run_burst_window(workload, system));
         let log = &result.log;
         table.row(&[
             system.name().to_string(),

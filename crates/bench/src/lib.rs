@@ -5,11 +5,11 @@
 //! [`pard_metrics::Table`]). EXPERIMENTS.md records the measured outputs
 //! next to the paper's numbers.
 
-use pard_cluster::{run, ClusterConfig, RunResult};
+use pard_cluster::{resolve_profiles, run, ClusterConfig, RunResult, UnknownModelError};
 use pard_core::PardConfig;
 use pard_pipeline::{AppKind, PipelineSpec};
 use pard_policies::{make_factory, OcConfig, SystemKind};
-use pard_profile::{plan_batches, zoo};
+use pard_profile::plan_batches;
 use pard_sim::SimDuration;
 use pard_workload::{RateTrace, TraceKind};
 
@@ -62,18 +62,27 @@ impl Workload {
 
 /// Per-module execution-duration estimates (ms) at the planned batch
 /// sizes — the inputs static-split policies divide the SLO by.
-pub fn exec_estimates(spec: &PipelineSpec, headroom: f64) -> Vec<f64> {
-    let profiles: Vec<_> = spec
-        .modules
-        .iter()
-        .map(|m| zoo::by_name(&m.name).expect("zoo model"))
-        .collect();
+pub fn exec_estimates(spec: &PipelineSpec, headroom: f64) -> Result<Vec<f64>, UnknownModelError> {
+    let profiles = resolve_profiles(spec)?;
     let plan = plan_batches(&profiles, spec.slo, headroom);
-    profiles
+    Ok(profiles
         .iter()
         .zip(&plan.batch_sizes)
         .map(|(p, &b)| p.latency_ms(b))
-        .collect()
+        .collect())
+}
+
+/// Unwraps an experiment result, exiting with a clean diagnostic (no
+/// panic/backtrace) when a pipeline references a model the zoo does
+/// not know — the error path [`pard_cluster::run`] reports.
+pub fn must<T>(result: Result<T, UnknownModelError>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// The OC baseline's tuned thresholds per trace (§5.3 footnote 8).
@@ -105,22 +114,25 @@ pub fn run_system(
     system: SystemKind,
     trace: &RateTrace,
     config: ClusterConfig,
-) -> RunResult {
+) -> Result<RunResult, UnknownModelError> {
     let spec = workload.app.pipeline();
-    let exec = exec_estimates(&spec, config.headroom);
+    let exec = exec_estimates(&spec, config.headroom)?;
     let factory = make_factory(system, &spec, &exec, oc_config(workload.trace));
     run(&spec, trace, factory, config)
 }
 
 /// Runs `system` on the workload's default full trace.
-pub fn run_default(workload: Workload, system: SystemKind) -> RunResult {
+pub fn run_default(workload: Workload, system: SystemKind) -> Result<RunResult, UnknownModelError> {
     let trace = workload.build_trace();
     run_system(workload, system, &trace, experiment_config(SEED))
 }
 
 /// Runs on the burst window of the workload's trace (the red-boxed
 /// regions of Fig. 10) — where dropping policy differences concentrate.
-pub fn run_burst_window(workload: Workload, system: SystemKind) -> RunResult {
+pub fn run_burst_window(
+    workload: Workload,
+    system: SystemKind,
+) -> Result<RunResult, UnknownModelError> {
     let (from, to) = workload.trace.burst_window();
     let trace = workload.build_trace().window(from, to);
     run_system(workload, system, &trace, experiment_config(SEED))
@@ -145,10 +157,21 @@ mod tests {
     fn exec_estimates_are_positive() {
         for app in AppKind::ALL {
             let spec = app.pipeline();
-            let exec = exec_estimates(&spec, 2.0);
+            let exec = exec_estimates(&spec, 2.0).expect("builtin models in zoo");
             assert_eq!(exec.len(), spec.modules.len());
             assert!(exec.iter().all(|&d| d > 0.0));
         }
+    }
+
+    #[test]
+    fn unknown_models_surface_as_errors() {
+        let spec = PipelineSpec::chain(
+            "ghost",
+            SimDuration::from_millis(400),
+            &["no-such-model", "object-detection"],
+        );
+        let e = exec_estimates(&spec, 2.0).unwrap_err();
+        assert_eq!(e.module, "no-such-model");
     }
 
     #[test]

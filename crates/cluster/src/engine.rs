@@ -86,11 +86,11 @@ pub struct PrioritySample {
 }
 
 /// Per-module runtime state.
-struct ModuleRuntime {
-    profile: ModelProfile,
-    batch_size: usize,
+pub(crate) struct ModuleRuntime {
+    pub(crate) profile: ModelProfile,
+    pub(crate) batch_size: usize,
     per_worker_tput: f64,
-    workers: Vec<Worker>,
+    pub(crate) workers: Vec<Worker>,
     planner: StatePlanner,
     wait_reservoir: Reservoir,
     q_window: LinearWeightedWindow,
@@ -104,11 +104,11 @@ struct ModuleRuntime {
 
 /// The simulated cluster.
 pub struct ClusterWorld {
-    spec: PipelineSpec,
-    config: ClusterConfig,
+    pub(crate) spec: PipelineSpec,
+    pub(crate) config: ClusterConfig,
     factory: PolicyFactory,
-    modules: Vec<ModuleRuntime>,
-    requests: RequestTable,
+    pub(crate) modules: Vec<ModuleRuntime>,
+    pub(crate) requests: RequestTable,
     published: Vec<ModuleState>,
     rng: DetRng,
     sync_bytes: u64,
@@ -134,7 +134,7 @@ pub struct RunResult {
 }
 
 impl ClusterWorld {
-    fn new(
+    pub(crate) fn new(
         spec: PipelineSpec,
         profiles: Vec<ModelProfile>,
         factory: PolicyFactory,
@@ -838,25 +838,48 @@ pub fn run_with_profiles(
     }
 }
 
+/// A pipeline module whose `name` has no [`pard_profile::zoo`] entry,
+/// so no batch-latency profile can be attached to it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownModelError {
+    /// The module name that failed zoo lookup.
+    pub module: String,
+}
+
+impl std::fmt::Display for UnknownModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model {:?} is not in the profile zoo (see pard_profile::zoo::models())",
+            self.module
+        )
+    }
+}
+
+impl std::error::Error for UnknownModelError {}
+
+/// Resolves one [`ModelProfile`] per module of `spec` from the zoo by
+/// module name.
+pub fn resolve_profiles(spec: &PipelineSpec) -> Result<Vec<ModelProfile>, UnknownModelError> {
+    spec.modules
+        .iter()
+        .map(|m| {
+            pard_profile::zoo::by_name(&m.name).ok_or_else(|| UnknownModelError {
+                module: m.name.clone(),
+            })
+        })
+        .collect()
+}
+
 /// Like [`run_with_profiles`] but resolves model profiles from the zoo
-/// by each module's `name`.
-///
-/// # Panics
-///
-/// Panics if a module name is not in the zoo.
+/// by each module's `name`, failing cleanly (instead of panicking) when
+/// a name has no zoo entry.
 pub fn run(
     spec: &PipelineSpec,
     trace: &RateTrace,
     factory: PolicyFactory,
     config: ClusterConfig,
-) -> RunResult {
-    let profiles: Vec<ModelProfile> = spec
-        .modules
-        .iter()
-        .map(|m| {
-            pard_profile::zoo::by_name(&m.name)
-                .unwrap_or_else(|| panic!("model {:?} not in zoo", m.name))
-        })
-        .collect();
-    run_with_profiles(spec, profiles, trace, factory, config)
+) -> Result<RunResult, UnknownModelError> {
+    let profiles = resolve_profiles(spec)?;
+    Ok(run_with_profiles(spec, profiles, trace, factory, config))
 }

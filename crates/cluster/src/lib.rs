@@ -16,9 +16,14 @@
 pub mod config;
 pub mod engine;
 pub mod request;
+pub mod serve;
 pub mod worker;
 
 pub use config::{ClusterConfig, FaultSpec};
-pub use engine::{initial_workers, run, run_with_profiles, Event, PrioritySample, RunResult};
+pub use engine::{
+    initial_workers, resolve_profiles, run, run_with_profiles, Event, PrioritySample, RunResult,
+    UnknownModelError,
+};
 pub use request::{InFlight, ReqStatus, RequestTable};
+pub use serve::{EdgeSnapshot, SimServer, TerminalEvent};
 pub use worker::{BatchEntry, Worker, WorkerState};

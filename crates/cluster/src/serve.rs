@@ -1,0 +1,335 @@
+//! Externally driven serving mode for the discrete-event cluster.
+//!
+//! [`crate::run_with_profiles`] owns the whole timeline: arrivals are
+//! pre-drawn from a trace and the event loop runs to completion. A
+//! serving front-end needs the opposite — requests arrive one at a
+//! time from outside (a socket), and virtual time must only advance
+//! when the driver says so. [`SimServer`] wraps [`ClusterWorld`] behind
+//! that stepped virtual clock:
+//!
+//! * [`SimServer::submit`] stamps a request at the *current* virtual
+//!   time and schedules its first module arrival; it never advances
+//!   the clock.
+//! * [`SimServer::pump`] processes queued events — advancing the clock
+//!   event-by-event — but **only while at least one submitted request
+//!   is unresolved**, and it stops as soon as any request reaches a
+//!   terminal state. While the pipeline is idle the clock is frozen,
+//!   so the virtual timeline is a pure function of the submit sequence
+//!   (order, SLOs) and the seed — never of how often the driver polls.
+//!   This is what makes a closed-loop socket-driven simulation
+//!   bit-reproducible: when each request is submitted only after the
+//!   previous one resolved, replaying the same submit sequence yields
+//!   the same per-request outcomes. (With several requests in flight,
+//!   how many events a driver pumps between two submits shifts the
+//!   later request's virtual arrival time, so pipelined traffic is
+//!   reproducible only if the pump/submit interleaving is.)
+//! * Periodic [`Event::Sync`] / [`Event::Scale`] self-perpetuate (the
+//!   horizon is [`SimTime::MAX`]); they fire in timestamp order
+//!   between arrivals like in a trace-driven run.
+
+use pard_core::PolicyFactory;
+use pard_metrics::{Outcome, RequestLog};
+use pard_pipeline::PipelineSpec;
+use pard_profile::ModelProfile;
+use pard_sim::{SimDuration, SimTime, Simulation};
+
+use crate::config::ClusterConfig;
+use crate::engine::{ClusterWorld, Event};
+use crate::request::ReqStatus;
+use crate::worker::WorkerState;
+
+/// A request that reached a terminal state during a pump or drain.
+#[derive(Clone, Copy, Debug)]
+pub struct TerminalEvent {
+    /// The id [`SimServer::submit`] returned.
+    pub id: u64,
+    /// Virtual submit time.
+    pub sent: SimTime,
+    /// Absolute virtual deadline.
+    pub deadline: SimTime,
+    /// Terminal outcome (never [`Outcome::InFlight`]).
+    pub outcome: Outcome,
+}
+
+/// Edge-visible serving state of the simulated cluster — the same
+/// shape a live engine reports, built from the DES worker queues and
+/// the static batch plan.
+#[derive(Clone, Debug)]
+pub struct EdgeSnapshot {
+    /// Queued requests per module (summed over workers).
+    pub queue_depths: Vec<usize>,
+    /// Serviceable (`Up`) workers per module, floored at 1.
+    pub workers: Vec<usize>,
+    /// Planned batch size per module.
+    pub batch_sizes: Vec<usize>,
+    /// Profiled execution duration per module at the planned batch, ms.
+    pub exec_ms: Vec<f64>,
+    /// The pipeline's default SLO.
+    pub slo: SimDuration,
+}
+
+/// The stepped-clock serving wrapper around [`ClusterWorld`].
+pub struct SimServer {
+    sim: Simulation<ClusterWorld>,
+    /// Submitted requests not yet terminal, in submit order.
+    unresolved: Vec<u64>,
+}
+
+impl SimServer {
+    /// Builds a serving cluster for `spec` with `workers_per_module`
+    /// initial workers each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec or config is invalid, or if the worker vector
+    /// length does not match the module count (configurations are built
+    /// once; see [`ClusterConfig::validate`]).
+    pub fn new(
+        spec: PipelineSpec,
+        profiles: Vec<ModelProfile>,
+        factory: PolicyFactory,
+        config: ClusterConfig,
+        workers_per_module: Vec<usize>,
+    ) -> SimServer {
+        config.validate();
+        spec.validate().expect("invalid pipeline spec");
+        assert_eq!(profiles.len(), spec.modules.len(), "one profile per module");
+        assert_eq!(
+            workers_per_module.len(),
+            spec.modules.len(),
+            "one worker count per module"
+        );
+        let first_sync = config.pard.first_sync();
+        let scale_period = config.scale_period;
+        let world = ClusterWorld::new(
+            spec,
+            profiles,
+            factory,
+            config,
+            workers_per_module,
+            SimTime::MAX,
+        );
+        let mut sim = Simulation::new(world);
+        sim.schedule(first_sync, Event::Sync);
+        sim.schedule(SimTime::ZERO + scale_period, Event::Scale);
+        SimServer {
+            sim,
+            unresolved: Vec::new(),
+        }
+    }
+
+    /// Current virtual time (frozen while the pipeline is idle).
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The pipeline specification being served.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.sim.world().spec
+    }
+
+    /// Number of submitted requests not yet terminal.
+    pub fn unresolved(&self) -> usize {
+        self.unresolved.len()
+    }
+
+    /// Submits one request at the current virtual time under `slo` (the
+    /// pipeline's default when `None`); returns its id. The clock does
+    /// not advance — call [`SimServer::pump`] to make progress.
+    pub fn submit(&mut self, slo: Option<SimDuration>) -> u64 {
+        let now = self.sim.now();
+        let (id, arrival, source) = {
+            let w = self.sim.world_mut();
+            let slo = slo.unwrap_or(w.spec.slo);
+            let id = w.requests.insert(now, now.saturating_add(slo), &w.spec);
+            (id, now + w.config.net_delay, w.spec.source())
+        };
+        self.sim.schedule(
+            arrival,
+            Event::ModuleArrival {
+                module: source,
+                req: id,
+            },
+        );
+        self.unresolved.push(id);
+        id
+    }
+
+    /// Processes queued events while any request is unresolved, up to
+    /// `max_events`, stopping early the moment one or more requests
+    /// reach a terminal state. Returns those terminals (possibly
+    /// empty). A no-op when the pipeline is idle.
+    pub fn pump(&mut self, max_events: usize) -> Vec<TerminalEvent> {
+        let mut out = Vec::new();
+        for _ in 0..max_events {
+            if self.unresolved.is_empty() || !self.sim.step() {
+                break;
+            }
+            self.collect_terminals(&mut out);
+            if !out.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Pumps until every submitted request is terminal or virtual time
+    /// has advanced by `limit`, returning every terminal reached.
+    pub fn drain(&mut self, limit: SimDuration) -> Vec<TerminalEvent> {
+        let deadline = self.sim.now().saturating_add(limit);
+        let mut out = Vec::new();
+        while !self.unresolved.is_empty() {
+            match self.sim.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.sim.step();
+                    self.collect_terminals(&mut out);
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Snapshot of the state edge admission control needs.
+    pub fn edge_snapshot(&self) -> EdgeSnapshot {
+        let w = self.sim.world();
+        let mut queue_depths = Vec::with_capacity(w.modules.len());
+        let mut workers = Vec::with_capacity(w.modules.len());
+        let mut batch_sizes = Vec::with_capacity(w.modules.len());
+        let mut exec_ms = Vec::with_capacity(w.modules.len());
+        for m in &w.modules {
+            queue_depths.push(m.workers.iter().map(|w| w.policy.queue_len()).sum());
+            workers.push(
+                m.workers
+                    .iter()
+                    .filter(|w| w.state == WorkerState::Up)
+                    .count()
+                    .max(1),
+            );
+            batch_sizes.push(m.batch_size);
+            exec_ms.push(m.profile.latency_ms(m.batch_size));
+        }
+        EdgeSnapshot {
+            queue_depths,
+            workers,
+            batch_sizes,
+            exec_ms,
+            slo: w.spec.slo,
+        }
+    }
+
+    /// Takes the accumulated request log, leaving the server empty (a
+    /// subsequent take returns an empty log).
+    pub fn take_log(&mut self) -> RequestLog {
+        self.unresolved.clear();
+        std::mem::take(&mut self.sim.world_mut().requests).into_log()
+    }
+
+    fn collect_terminals(&mut self, out: &mut Vec<TerminalEvent>) {
+        let world = self.sim.world();
+        self.unresolved.retain(|&id| {
+            let r = world.requests.get(id);
+            if r.status == ReqStatus::Active {
+                true
+            } else {
+                out.push(TerminalEvent {
+                    id,
+                    sent: r.sent,
+                    deadline: r.deadline,
+                    outcome: r.outcome,
+                });
+                false
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_core::{PardPolicy, PardPolicyConfig};
+    use pard_pipeline::AppKind;
+
+    fn server(seed: u64) -> SimServer {
+        let spec = AppKind::Tm.pipeline();
+        let profiles = crate::engine::resolve_profiles(&spec).expect("builtin models in zoo");
+        let config = ClusterConfig::default()
+            .with_seed(seed)
+            .with_fixed_workers(vec![2; spec.modules.len()])
+            .with_pard(pard_core::PardConfig::default().with_mc_draws(500));
+        let workers = config.fixed_workers.clone().unwrap();
+        SimServer::new(
+            spec,
+            profiles,
+            Box::new(|_| Box::new(PardPolicy::new(PardPolicyConfig::pard()))),
+            config,
+            workers,
+        )
+    }
+
+    fn run_scenario(seed: u64) -> Vec<(u64, bool)> {
+        let mut s = server(seed);
+        let mut outcomes = Vec::new();
+        for i in 0..20u64 {
+            // Every fifth request carries an infeasible 1 ms budget.
+            let slo = if i % 5 == 0 {
+                Some(SimDuration::from_millis(1))
+            } else {
+                None
+            };
+            let id = s.submit(slo);
+            // Closed loop: resolve before the next submit.
+            let mut terminal = None;
+            for _ in 0..1_000 {
+                let t = s.pump(10_000);
+                if let Some(t) = t.into_iter().find(|t| t.id == id) {
+                    terminal = Some(t);
+                    break;
+                }
+            }
+            let t = terminal.expect("request resolves");
+            outcomes.push((t.id, matches!(t.outcome, Outcome::Completed { .. })));
+        }
+        outcomes
+    }
+
+    #[test]
+    fn idle_server_does_not_advance_time() {
+        let mut s = server(1);
+        let t0 = s.now();
+        assert!(s.pump(1_000).is_empty());
+        assert_eq!(s.now(), t0, "pump must be a no-op while idle");
+    }
+
+    #[test]
+    fn submitted_requests_resolve_and_drain() {
+        let mut s = server(2);
+        let a = s.submit(None);
+        let b = s.submit(Some(SimDuration::from_micros(1)));
+        let mut terminals = Vec::new();
+        terminals.extend(s.drain(SimDuration::from_secs(30)));
+        assert_eq!(terminals.len(), 2);
+        assert_eq!(s.unresolved(), 0);
+        let ok = terminals
+            .iter()
+            .find(|t| t.id == a)
+            .expect("generous request resolves");
+        assert!(matches!(ok.outcome, Outcome::Completed { .. }), "{ok:?}");
+        let hopeless = terminals.iter().find(|t| t.id == b).unwrap();
+        assert!(
+            matches!(hopeless.outcome, Outcome::Dropped { .. }),
+            "{hopeless:?}"
+        );
+        let log = s.take_log();
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn same_seed_same_submit_sequence_same_outcomes() {
+        let a = run_scenario(7);
+        let b = run_scenario(7);
+        assert_eq!(a, b, "stepped sim must be bit-reproducible");
+        assert!(a.iter().any(|&(_, ok)| ok), "some requests complete");
+        assert!(a.iter().any(|&(_, ok)| !ok), "canaries are dropped");
+    }
+}

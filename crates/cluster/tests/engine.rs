@@ -32,7 +32,7 @@ fn run_system(
 ) -> pard_cluster::RunResult {
     let spec = app.pipeline();
     let factory = make_factory(kind, &spec, &exec_estimates(app), OcConfig::default());
-    run(&spec, trace, factory, config)
+    run(&spec, trace, factory, config).expect("builtin models are in the zoo")
 }
 
 /// Fast-sim config: fewer Monte-Carlo draws keep tests snappy.

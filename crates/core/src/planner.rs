@@ -61,7 +61,7 @@ pub struct StatePlanner {
 
 impl StatePlanner {
     /// Creates a planner for `module` with the given downstream paths
-    /// (see [`pard_pipeline::graph::downstream_paths`]).
+    /// (see `pard_pipeline::graph::downstream_paths`).
     ///
     /// # Panics
     ///

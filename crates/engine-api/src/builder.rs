@@ -1,0 +1,218 @@
+//! Constructing an [`EngineHandle`] for either backend.
+
+use std::fmt;
+
+use pard_cluster::{ClusterConfig, SimServer, UnknownModelError};
+use pard_core::{PardPolicy, PardPolicyConfig, PolicyFactory};
+use pard_pipeline::{PipelineSpec, SpecError};
+use pard_profile::ModelProfile;
+use pard_runtime::{LiveCluster, LiveConfig, SleepBackend};
+
+use crate::handle::EngineHandle;
+use crate::live::LiveEngine;
+use crate::sim::SimEngine;
+
+/// Which execution serves the pipeline.
+pub enum Backend {
+    /// The live threaded runtime ([`LiveCluster`]) with sleep backends
+    /// profiled from the model zoo.
+    Live(LiveConfig),
+    /// The discrete-event simulator behind a stepped virtual clock
+    /// ([`SimServer`]); deterministic from the submit order and
+    /// `config.seed`.
+    Sim(ClusterConfig),
+}
+
+/// Why an engine could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A module name has no profile-zoo entry (and no explicit profiles
+    /// were supplied).
+    UnknownModel {
+        /// The module name that failed zoo lookup.
+        module: String,
+    },
+    /// The pipeline specification failed structural validation.
+    InvalidSpec(SpecError),
+    /// The live runtime serves chain pipelines only; DAGs need
+    /// [`Backend::Sim`].
+    NotAChain {
+        /// The offending pipeline's name.
+        pipeline: String,
+    },
+    /// A configuration vector does not match the pipeline shape.
+    Config(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownModel { module } => {
+                write!(f, "model {module:?} is not in the profile zoo")
+            }
+            EngineError::InvalidSpec(e) => write!(f, "invalid pipeline spec: {e}"),
+            EngineError::NotAChain { pipeline } => write!(
+                f,
+                "pipeline {pipeline:?} is a DAG; the live runtime serves chains only \
+                 (use Backend::Sim)"
+            ),
+            EngineError::Config(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<UnknownModelError> for EngineError {
+    fn from(e: UnknownModelError) -> EngineError {
+        EngineError::UnknownModel { module: e.module }
+    }
+}
+
+/// Builds an [`EngineHandle`] for a pipeline: resolve profiles, pick a
+/// policy, pick a [`Backend`].
+///
+/// ```
+/// use pard_engine_api::{Backend, ClusterConfig, EngineBuilder};
+/// use pard_pipeline::AppKind;
+///
+/// let engine = EngineBuilder::for_app(AppKind::Tm)
+///     .build(Backend::Sim(ClusterConfig::default()))
+///     .expect("builtin models are in the zoo");
+/// assert_eq!(engine.spec().name, "tm");
+/// ```
+pub struct EngineBuilder {
+    spec: PipelineSpec,
+    profiles: Option<Vec<ModelProfile>>,
+    policy: Option<PolicyFactory>,
+    workers_per_module: Option<Vec<usize>>,
+}
+
+impl EngineBuilder {
+    /// Starts a builder for an arbitrary pipeline (e.g. parsed from
+    /// JSON via [`pard_pipeline::PipelineSpec::from_json`]).
+    pub fn new(spec: PipelineSpec) -> EngineBuilder {
+        EngineBuilder {
+            spec,
+            profiles: None,
+            policy: None,
+            workers_per_module: None,
+        }
+    }
+
+    /// Starts a builder for one of the paper's builtin applications.
+    pub fn for_app(app: pard_pipeline::AppKind) -> EngineBuilder {
+        EngineBuilder::new(app.pipeline())
+    }
+
+    /// Supplies explicit per-module profiles instead of zoo lookup.
+    pub fn with_profiles(mut self, profiles: Vec<ModelProfile>) -> EngineBuilder {
+        self.profiles = Some(profiles);
+        self
+    }
+
+    /// Overrides the worker policy (default: PARD proactive dropping).
+    pub fn with_policy(mut self, policy: PolicyFactory) -> EngineBuilder {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Overrides per-module worker counts for either backend (defaults:
+    /// the live config's own vector; 2 per module for the simulator
+    /// unless `ClusterConfig::fixed_workers` says otherwise).
+    pub fn with_workers(mut self, workers_per_module: Vec<usize>) -> EngineBuilder {
+        self.workers_per_module = Some(workers_per_module);
+        self
+    }
+
+    /// Builds the engine behind the trait — the form front-ends like
+    /// the gateway consume. For backend-specific surface (e.g.
+    /// [`pard_runtime::LiveCluster::run_open_loop`]) use
+    /// [`EngineBuilder::build_live`] / [`EngineBuilder::build_sim`].
+    pub fn build(self, backend: Backend) -> Result<Box<dyn EngineHandle>, EngineError> {
+        match backend {
+            Backend::Live(config) => Ok(Box::new(self.build_live(config)?)),
+            Backend::Sim(config) => Ok(Box::new(self.build_sim(config)?)),
+        }
+    }
+
+    /// Builds the live threaded engine with its concrete type exposed.
+    pub fn build_live(self, mut config: LiveConfig) -> Result<LiveEngine, EngineError> {
+        let workers_override = self.workers_per_module.clone();
+        let (spec, profiles, policy) = self.resolve()?;
+        if let Some(workers) = workers_override {
+            config.workers_per_module = workers;
+        }
+        if !spec.is_chain() {
+            return Err(EngineError::NotAChain {
+                pipeline: spec.name.clone(),
+            });
+        }
+        if config.workers_per_module.len() != spec.modules.len() {
+            return Err(EngineError::Config(format!(
+                "{} worker counts for {} modules",
+                config.workers_per_module.len(),
+                spec.modules.len()
+            )));
+        }
+        let scale = config.time_scale;
+        let backend_profiles = profiles.clone();
+        let cluster = LiveCluster::start(
+            spec,
+            profiles,
+            policy,
+            Box::new(move |m| Box::new(SleepBackend::new(backend_profiles[m].clone(), scale))),
+            config,
+        );
+        Ok(LiveEngine::new(cluster))
+    }
+
+    /// Builds the stepped simulator engine with its concrete type
+    /// exposed.
+    pub fn build_sim(self, mut config: ClusterConfig) -> Result<SimEngine, EngineError> {
+        let workers_override = self.workers_per_module.clone();
+        let (spec, profiles, policy) = self.resolve()?;
+        // A builder override is a genuine override, matching
+        // `ClusterConfig::with_fixed_workers` semantics (pins the pool
+        // and disables autoscaling) — otherwise the config would record
+        // counts the cluster is not actually running.
+        if let Some(workers) = &workers_override {
+            config.fixed_workers = Some(workers.clone());
+            config.autoscale = false;
+        }
+        let workers = workers_override
+            .or_else(|| config.fixed_workers.clone())
+            .unwrap_or_else(|| vec![2; spec.modules.len()]);
+        if workers.len() != spec.modules.len() {
+            return Err(EngineError::Config(format!(
+                "{} worker counts for {} modules",
+                workers.len(),
+                spec.modules.len()
+            )));
+        }
+        let server = SimServer::new(spec, profiles, policy, config, workers);
+        Ok(SimEngine::new(server))
+    }
+
+    /// Validates the spec and resolves profiles and policy.
+    fn resolve(self) -> Result<(PipelineSpec, Vec<ModelProfile>, PolicyFactory), EngineError> {
+        self.spec.validate().map_err(EngineError::InvalidSpec)?;
+        let modules = self.spec.modules.len();
+        let profiles = match self.profiles {
+            Some(profiles) => {
+                if profiles.len() != modules {
+                    return Err(EngineError::Config(format!(
+                        "{} profiles supplied for {modules} modules",
+                        profiles.len()
+                    )));
+                }
+                profiles
+            }
+            None => pard_cluster::resolve_profiles(&self.spec)?,
+        };
+        let policy = self
+            .policy
+            .unwrap_or_else(|| Box::new(|_| Box::new(PardPolicy::new(PardPolicyConfig::pard()))));
+        Ok((self.spec, profiles, policy))
+    }
+}

@@ -1,0 +1,77 @@
+//! The [`EngineHandle`] trait: what a serving front-end needs from an
+//! engine, and nothing else.
+
+use std::sync::mpsc::Sender;
+
+use pard_metrics::RequestLog;
+use pard_pipeline::PipelineSpec;
+use pard_runtime::{Completion, EdgeState};
+use pard_sim::{SimDuration, SimTime};
+
+/// Engine-assigned request identifier, unique for the lifetime of the
+/// engine. Travels on the wire as a JSON number, so engines keep ids
+/// within f64's exact-integer range.
+pub type RequestId = u64;
+
+/// Per-request submission parameters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubmitSpec {
+    /// End-to-end latency budget; the pipeline's SLO when `None`.
+    pub slo: Option<SimDuration>,
+    /// Opaque caller tag echoed back verbatim in the [`Completion`].
+    pub tag: u64,
+}
+
+impl SubmitSpec {
+    /// Overrides the per-request SLO.
+    pub fn with_slo(mut self, slo: SimDuration) -> SubmitSpec {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Sets the caller tag.
+    pub fn with_tag(mut self, tag: u64) -> SubmitSpec {
+        self.tag = tag;
+        self
+    }
+}
+
+/// A running PARD serving engine, simulated or live.
+///
+/// All methods take `&self`: a handle is shared across a front-end's
+/// threads (readers submit, a poller snapshots edge state, a pump
+/// thread drives simulated time). Implementations are internally
+/// synchronised.
+pub trait EngineHandle: Send + Sync {
+    /// The pipeline specification being served.
+    fn spec(&self) -> &PipelineSpec;
+
+    /// Current virtual time. Live engines derive it from the wall
+    /// clock; simulated engines freeze it while idle.
+    fn now(&self) -> SimTime;
+
+    /// Submits one request; returns its id. The terminal state arrives
+    /// on the completion sink.
+    fn submit(&self, spec: SubmitSpec) -> RequestId;
+
+    /// Snapshot of the state edge admission control needs.
+    fn edge_state(&self) -> EdgeState;
+
+    /// Registers the channel that receives a [`Completion`] the moment
+    /// any request resolves. Replaces a previously registered sink.
+    fn set_completion_sink(&self, sink: Sender<Completion>);
+
+    /// Drives engines whose virtual time does not advance on its own
+    /// (the stepped simulator). Returns whether any progress was made —
+    /// `false` means the caller may idle briefly. Live engines are
+    /// self-driving and always return `false`.
+    fn pump(&self) -> bool {
+        false
+    }
+
+    /// Resolves in-flight requests (bounded by `limit` of virtual
+    /// time), stops the engine, and returns the request log. The first
+    /// call takes the log and drops the completion sink; later calls
+    /// return an empty log.
+    fn drain(&self, limit: SimDuration) -> RequestLog;
+}

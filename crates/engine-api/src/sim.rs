@@ -1,0 +1,133 @@
+//! [`EngineHandle`] over the stepped discrete-event simulator.
+
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+
+use parking_lot::Mutex;
+
+use pard_cluster::{SimServer, TerminalEvent};
+use pard_metrics::RequestLog;
+use pard_pipeline::PipelineSpec;
+use pard_runtime::{Completion, EdgeState};
+use pard_sim::{SimDuration, SimTime};
+
+use crate::handle::{EngineHandle, RequestId, SubmitSpec};
+
+/// Events processed per [`EngineHandle::pump`] call — bounds how long
+/// the simulator lock is held while other threads want to submit.
+const PUMP_CHUNK: usize = 512;
+
+struct Inner {
+    server: SimServer,
+    /// Caller tags by request id, echoed in completions.
+    tags: HashMap<u64, u64>,
+    sink: Option<Sender<Completion>>,
+}
+
+impl Inner {
+    fn deliver(&mut self, terminals: Vec<TerminalEvent>) {
+        for t in terminals {
+            let tag = self.tags.remove(&t.id).unwrap_or(0);
+            if let Some(sink) = self.sink.as_ref() {
+                let completion = Completion {
+                    id: t.id,
+                    tag,
+                    sent: t.sent,
+                    deadline: t.deadline,
+                    outcome: t.outcome,
+                };
+                if sink.send(completion).is_err() {
+                    self.sink = None;
+                }
+            }
+        }
+    }
+}
+
+/// The simulated engine behind the unified API: a [`SimServer`] under a
+/// mutex, with virtual time advanced by [`EngineHandle::pump`] calls
+/// from the front-end's pump thread.
+///
+/// # Determinism
+///
+/// The virtual clock is frozen whenever no request is unresolved, so a
+/// **closed-loop** driver (each request submitted only after the
+/// previous one resolved — e.g. one connection, one outstanding call)
+/// sees outcomes that are a pure function of the submit sequence and
+/// the seed, reproducible across runs. Under pipelined or
+/// multi-connection traffic, submits race the pump thread's progress
+/// through the event queue, so virtual arrival times (and therefore
+/// borderline admission decisions) can vary with wall-clock
+/// interleaving.
+pub struct SimEngine {
+    // The spec lives outside the lock so `spec()` can hand out a plain
+    // reference.
+    spec: PipelineSpec,
+    inner: Mutex<Inner>,
+}
+
+impl SimEngine {
+    /// Wraps a stepped simulation server.
+    pub fn new(server: SimServer) -> SimEngine {
+        SimEngine {
+            spec: server.spec().clone(),
+            inner: Mutex::new(Inner {
+                server,
+                tags: HashMap::new(),
+                sink: None,
+            }),
+        }
+    }
+}
+
+impl EngineHandle for SimEngine {
+    fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    fn now(&self) -> SimTime {
+        self.inner.lock().server.now()
+    }
+
+    fn submit(&self, spec: SubmitSpec) -> RequestId {
+        let mut inner = self.inner.lock();
+        let id = inner.server.submit(spec.slo);
+        if spec.tag != 0 {
+            inner.tags.insert(id, spec.tag);
+        }
+        id
+    }
+
+    fn edge_state(&self) -> EdgeState {
+        let snapshot = self.inner.lock().server.edge_snapshot();
+        EdgeState {
+            queue_depths: snapshot.queue_depths,
+            workers: snapshot.workers,
+            batch_sizes: snapshot.batch_sizes,
+            exec_ms: snapshot.exec_ms,
+            slo: snapshot.slo,
+        }
+    }
+
+    fn set_completion_sink(&self, sink: Sender<Completion>) {
+        self.inner.lock().sink = Some(sink);
+    }
+
+    fn pump(&self) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.server.unresolved() == 0 {
+            return false;
+        }
+        let terminals = inner.server.pump(PUMP_CHUNK);
+        inner.deliver(terminals);
+        true
+    }
+
+    fn drain(&self, limit: SimDuration) -> RequestLog {
+        let mut inner = self.inner.lock();
+        let terminals = inner.server.drain(limit);
+        inner.deliver(terminals);
+        inner.sink = None;
+        inner.server.take_log()
+    }
+}

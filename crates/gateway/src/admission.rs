@@ -4,7 +4,7 @@
 //! inside a worker. The gateway runs the *same* decision earlier, at
 //! accept time, from the coarser state a front-end can observe: the
 //! per-module queue depths and the static batch plan in
-//! [`pard_runtime::EdgeState`]. A request that already cannot meet its
+//! [`pard_engine_api::EdgeState`]. A request that already cannot meet its
 //! deadline under this estimate is refused before it touches a worker
 //! queue — the whole point of proactive dropping, moved to where it
 //! saves the most work.
@@ -16,7 +16,7 @@
 //! re-checks every admitted request at `t_b`.
 
 use pard_core::{proactive_decision, Decision, DecisionInputs, ReqMeta, SubEstimate};
-use pard_runtime::EdgeState;
+use pard_engine_api::EdgeState;
 use pard_sim::{SimDuration, SimTime};
 
 /// Builds the downstream estimate (`L_sub` of §4.2) for a request

@@ -1,45 +1,67 @@
 //! The PARD serving gateway.
 //!
 //! ```sh
-//! pard-gateway --app tm --addr 127.0.0.1:7311 --metrics 127.0.0.1:7312 \
+//! # Live threaded runtime (chains only):
+//! pard-gateway --app tm --backend live --addr 127.0.0.1:7311 --metrics 127.0.0.1:7312 \
 //!              --workers 2 --scale 1 [--duration 30]
+//!
+//! # Deterministic simulator backend (chains and DAGs; closed-loop
+//! # runs reproduce exactly from --seed and the request order):
+//! pard-gateway --app da --backend sim --seed 42
+//!
+//! # Arbitrary pipeline from a JSON spec file:
+//! pard-gateway --pipeline my_pipeline.json --backend sim
 //! ```
 //!
-//! Serves the chosen application pipeline over the newline-delimited
-//! JSON protocol, rejecting hopeless requests at the edge via PARD
+//! Serves the chosen pipeline over the v2 newline-delimited JSON
+//! protocol, rejecting hopeless requests at the edge via PARD
 //! admission. With `--duration` the gateway shuts itself down after
 //! that many wall seconds and prints the run summary; without it, it
 //! serves until killed.
 
 use std::time::Duration;
 
+use pard_engine_api::{Backend, ClusterConfig, EngineBuilder, LiveConfig};
 use pard_gateway::{Gateway, GatewayConfig};
-use pard_pipeline::AppKind;
+use pard_pipeline::{AppKind, PipelineSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pard-gateway [--app tm|lv|gm] [--addr HOST:PORT] [--metrics HOST:PORT]\n\
-         \x20                   [--workers N] [--scale F] [--duration SECS]"
+        "usage: pard-gateway [--app tm|lv|gm|da | --pipeline SPEC.json]\n\
+         \x20                   [--backend live|sim] [--addr HOST:PORT] [--metrics HOST:PORT]\n\
+         \x20                   [--workers N] [--scale F] [--seed N] [--max-pending N]\n\
+         \x20                   [--duration SECS]"
     );
     std::process::exit(2);
 }
 
-fn parse_app(name: &str) -> AppKind {
-    match name {
-        "tm" => AppKind::Tm,
-        "lv" => AppKind::Lv,
-        "gm" => AppKind::Gm,
-        // `da` is a DAG; the live engine serves chains only.
-        other => {
-            eprintln!("unknown or unsupported app {other:?} (chains: tm, lv, gm)");
-            std::process::exit(2);
+fn die(message: impl std::fmt::Display) -> ! {
+    eprintln!("pard-gateway: {message}");
+    std::process::exit(2);
+}
+
+fn parse_app(name: &str) -> PipelineSpec {
+    match AppKind::ALL.into_iter().find(|app| app.name() == name) {
+        Some(app) => app.pipeline(),
+        None => {
+            let known: Vec<&str> = AppKind::ALL.iter().map(|a| a.name()).collect();
+            die(format!(
+                "unknown app {name:?} (builtins: {}); a serving gateway answers requests \
+                 for unknown apps with error_code \"unknown_app\"",
+                known.join(", ")
+            ))
         }
     }
 }
 
 fn main() {
-    let mut app = AppKind::Tm;
+    let mut app: Option<String> = None;
+    let mut pipeline_path: Option<String> = None;
+    let mut backend = "live".to_string();
     let mut config = GatewayConfig::default();
+    let mut workers = 2usize;
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
     let mut duration: Option<u64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,11 +78,15 @@ fn main() {
                 .clone()
         };
         match flag.as_str() {
-            "--app" => app = parse_app(&value()),
+            "--app" => app = Some(value()),
+            "--pipeline" => pipeline_path = Some(value()),
+            "--backend" => backend = value(),
             "--addr" => config.addr = value(),
             "--metrics" => config.metrics_addr = value(),
-            "--workers" => config.workers_per_module = value().parse().unwrap_or_else(|_| usage()),
-            "--scale" => config.time_scale = value().parse().unwrap_or_else(|_| usage()),
+            "--workers" => workers = value().parse().unwrap_or_else(|_| usage()),
+            "--scale" => scale = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--max-pending" => config.max_pending = value().parse().unwrap_or_else(|_| usage()),
             "--duration" => duration = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -68,8 +94,45 @@ fn main() {
         i += 1;
     }
 
-    let spec = app.pipeline();
-    let gateway = match Gateway::start(app, config.clone()) {
+    let spec = match (app, pipeline_path) {
+        (Some(_), Some(_)) => die("--app and --pipeline are mutually exclusive"),
+        (Some(name), None) => parse_app(&name),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| die(format!("cannot read {path:?}: {e}")));
+            PipelineSpec::from_json(&text)
+                .unwrap_or_else(|e| die(format!("invalid pipeline spec {path:?}: {e}")))
+        }
+        (None, None) => parse_app("tm"),
+    };
+    let modules = spec.modules.len();
+    let spec_name = spec.name.clone();
+    let slo = spec.slo;
+
+    let backend = match backend.as_str() {
+        "live" => Backend::Live(LiveConfig {
+            time_scale: scale,
+            pard: pard_core::PardConfig::default().with_mc_draws(1_000),
+            workers_per_module: vec![workers; modules],
+            headroom: 2.0,
+        }),
+        "sim" => Backend::Sim(
+            ClusterConfig::default()
+                .with_seed(seed)
+                .with_fixed_workers(vec![workers; modules])
+                .with_pard(pard_core::PardConfig::default().with_mc_draws(1_000)),
+        ),
+        other => die(format!("unknown backend {other:?} (live, sim)")),
+    };
+    let backend_name = match &backend {
+        Backend::Live(_) => "live",
+        Backend::Sim(_) => "sim",
+    };
+
+    let engine = EngineBuilder::new(spec)
+        .build(backend)
+        .unwrap_or_else(|e| die(e));
+    let gateway = match Gateway::start(engine, config) {
         Ok(g) => g,
         Err(e) => {
             eprintln!("failed to start gateway: {e}");
@@ -77,13 +140,10 @@ fn main() {
         }
     };
     println!(
-        "pard-gateway serving app={} ({} modules, SLO {}) on {}  metrics on http://{}/metrics  scale {}x",
-        app.name(),
-        spec.modules.len(),
-        spec.slo,
+        "pard-gateway serving app={spec_name} ({modules} modules, SLO {slo}) on {} \
+         backend={backend_name}  metrics on http://{}/metrics",
         gateway.addr(),
         gateway.metrics_addr(),
-        config.time_scale,
     );
 
     match duration {

@@ -1,0 +1,508 @@
+//! The typed blocking client for the gateway wire protocol.
+//!
+//! Before this module existed, the load generator, the e2e tests, and
+//! the quickstart example each hand-rolled their own socket handling.
+//! [`Client`] is the one shared implementation: blocking calls over a
+//! single TCP connection, pipelining-aware (any number of requests may
+//! be outstanding; responses return in whatever order the server
+//! resolves them), with `seq` correlation handled internally and every
+//! server reply mapped to a typed [`Outcome`].
+//!
+//! ```no_run
+//! use pard_gateway::client::{CallSpec, Client};
+//! use std::time::Duration;
+//!
+//! let mut client = Client::connect("127.0.0.1:7311".parse().unwrap()).unwrap();
+//! let answer = client
+//!     .call(&CallSpec::new("tm").with_slo_ms(400), Duration::from_secs(5))
+//!     .unwrap()
+//!     .expect("answered before the timeout");
+//! println!("{:?} after {:?}", answer.outcome, answer.rtt);
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::wire::{ErrorCode, Reply, Request, WireOutcome};
+
+/// One request, before the client assigns its correlation number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSpec {
+    /// Target application name.
+    pub app: String,
+    /// Per-request SLO override, milliseconds (`None`: server default).
+    pub slo_ms: Option<u64>,
+    /// Synthetic payload size, bytes.
+    pub payload_len: usize,
+}
+
+impl CallSpec {
+    /// A request for `app` with no SLO override and an empty payload.
+    pub fn new(app: impl Into<String>) -> CallSpec {
+        CallSpec {
+            app: app.into(),
+            slo_ms: None,
+            payload_len: 0,
+        }
+    }
+
+    /// Sets the per-request SLO.
+    pub fn with_slo_ms(mut self, slo_ms: u64) -> CallSpec {
+        self.slo_ms = Some(slo_ms);
+        self
+    }
+
+    /// Sets the payload size.
+    pub fn with_payload_len(mut self, payload_len: usize) -> CallSpec {
+        self.payload_len = payload_len;
+        self
+    }
+}
+
+/// Typed terminal state of one call.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Completed within its SLO.
+    Ok {
+        /// Server-assigned request id.
+        id: u64,
+        /// Server-reported end-to-end latency, virtual milliseconds.
+        latency_ms: f64,
+    },
+    /// Completed after its deadline.
+    Violated {
+        /// Server-assigned request id.
+        id: u64,
+        /// Server-reported end-to-end latency, virtual milliseconds.
+        latency_ms: f64,
+    },
+    /// Rejected proactively at the gateway edge, before touching any
+    /// worker queue.
+    DroppedEdge {
+        /// Server-assigned request id (edge id space).
+        id: u64,
+        /// Short [`pard_metrics::DropReason`] label.
+        reason: String,
+    },
+    /// Admitted, then dropped inside the pipeline.
+    DroppedPipeline {
+        /// Server-assigned request id.
+        id: u64,
+        /// Short [`pard_metrics::DropReason`] label.
+        reason: String,
+    },
+    /// The server answered with an error envelope (or an undecodable
+    /// line) instead of an outcome.
+    Rejected {
+        /// Structured reason; `None` for v1 servers or garbled lines.
+        code: Option<ErrorCode>,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Outcome {
+    /// Coarse classification label, for comparing scenario runs across
+    /// backends.
+    pub fn taxonomy(&self) -> &'static str {
+        match self {
+            Outcome::Ok { .. } => "ok",
+            Outcome::Violated { .. } => "violated",
+            Outcome::DroppedEdge { .. } => "dropped_edge",
+            Outcome::DroppedPipeline { .. } => "dropped_pipeline",
+            Outcome::Rejected { .. } => "rejected",
+        }
+    }
+
+    /// Whether the request completed within its SLO.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Outcome::Ok { .. })
+    }
+}
+
+/// One answered request.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// The client-assigned correlation number [`Client::send`] returned.
+    pub seq: u64,
+    /// The typed outcome.
+    pub outcome: Outcome,
+    /// Client-measured wall-clock round-trip time.
+    pub rtt: Duration,
+}
+
+/// What [`Client::finish`] drained.
+#[derive(Debug, Default)]
+pub struct Drained {
+    /// Answers that arrived during the drain.
+    pub answers: Vec<Answer>,
+    /// Requests that were never answered.
+    pub unanswered: usize,
+}
+
+struct State {
+    /// Answered calls not yet handed to the caller, keyed by seq.
+    ready: HashMap<u64, Answer>,
+    /// Completion order of `ready` entries.
+    order: VecDeque<u64>,
+    /// The authoritative outstanding set: send instant per unanswered
+    /// seq (doubles as the RTT origin). O(1) membership keeps reply
+    /// delivery linear under deep pipelining.
+    sent_at: HashMap<u64, Instant>,
+    /// Seqs in send order, cleaned lazily: entries whose seq has left
+    /// `sent_at` are skipped when the front is read.
+    send_order: VecDeque<u64>,
+    /// The reader saw EOF or a fatal transport error.
+    closed: bool,
+}
+
+impl State {
+    fn is_outstanding(&self, seq: u64) -> bool {
+        self.sent_at.contains_key(&seq)
+    }
+
+    /// Oldest still-outstanding seq, discarding stale `send_order`
+    /// entries on the way.
+    fn oldest_outstanding(&mut self) -> Option<u64> {
+        while let Some(&front) = self.send_order.front() {
+            if self.sent_at.contains_key(&front) {
+                return Some(front);
+            }
+            self.send_order.pop_front();
+        }
+        None
+    }
+}
+
+struct SharedState {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// A blocking, pipelining-aware connection to a gateway.
+pub struct Client {
+    stream: TcpStream,
+    out: io::BufWriter<TcpStream>,
+    shared: Arc<SharedState>,
+    reader: Option<JoinHandle<()>>,
+    next_seq: u64,
+    sent: usize,
+}
+
+impl Client {
+    /// Connects and starts the response reader.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        // Short slices so the reader notices shutdown promptly; partial
+        // lines survive the timeout (see the read_until comment below).
+        read_half.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let out = io::BufWriter::new(stream.try_clone()?);
+        let shared = Arc::new(SharedState {
+            state: Mutex::new(State {
+                ready: HashMap::new(),
+                order: VecDeque::new(),
+                sent_at: HashMap::new(),
+                send_order: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || reader_loop(read_half, shared))
+        };
+        Ok(Client {
+            stream,
+            out,
+            shared,
+            reader: Some(reader),
+            next_seq: 0,
+            sent: 0,
+        })
+    }
+
+    /// Sends one request without waiting (pipelining); returns the
+    /// client-assigned `seq` to pass to [`Client::wait`].
+    pub fn send(&mut self, spec: &CallSpec) -> io::Result<u64> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let request = Request {
+            app: spec.app.clone(),
+            slo_ms: spec.slo_ms,
+            payload_len: spec.payload_len,
+            seq: Some(seq),
+        };
+        {
+            let mut state = self.shared.state.lock();
+            state.sent_at.insert(seq, Instant::now());
+            state.send_order.push_back(seq);
+        }
+        let result = writeln!(self.out, "{}", request.encode()).and_then(|()| self.out.flush());
+        if let Err(e) = result {
+            // The stale send_order entry is skipped lazily.
+            self.shared.state.lock().sent_at.remove(&seq);
+            return Err(e);
+        }
+        self.sent += 1;
+        Ok(seq)
+    }
+
+    /// Waits up to `timeout` for the answer to `seq`. `None` on
+    /// timeout, or if the connection died before the answer arrived.
+    pub fn wait(&mut self, seq: u64, timeout: Duration) -> Option<Answer> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock();
+        loop {
+            if state.ready.contains_key(&seq) {
+                state.order.retain(|&s| s != seq);
+                return state.ready.remove(&seq);
+            }
+            // `closed` is set after the reader's final deliver, under
+            // this lock — once observed, no answer can arrive any more,
+            // whether or not the request is still outstanding.
+            if state.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared.cv.wait_for(&mut state, deadline - now);
+        }
+    }
+
+    /// Waits up to `timeout` for the next answer in completion order.
+    /// `None` on timeout or when nothing can arrive any more.
+    pub fn recv(&mut self, timeout: Duration) -> Option<Answer> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock();
+        loop {
+            if let Some(seq) = state.order.pop_front() {
+                return state.ready.remove(&seq);
+            }
+            if state.closed || state.sent_at.is_empty() {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared.cv.wait_for(&mut state, deadline - now);
+        }
+    }
+
+    /// Answers already delivered but not yet collected, without
+    /// blocking.
+    pub fn try_recv(&mut self) -> Option<Answer> {
+        let mut state = self.shared.state.lock();
+        let seq = state.order.pop_front()?;
+        state.ready.remove(&seq)
+    }
+
+    /// Sends one request and waits for its answer — the closed-loop
+    /// primitive. `Ok(None)` means the timeout passed (the request
+    /// stays outstanding).
+    pub fn call(&mut self, spec: &CallSpec, timeout: Duration) -> io::Result<Option<Answer>> {
+        let seq = self.send(spec)?;
+        Ok(self.wait(seq, timeout))
+    }
+
+    /// Requests sent and not yet answered.
+    pub fn outstanding(&self) -> usize {
+        self.shared.state.lock().sent_at.len()
+    }
+
+    /// Requests put on the wire over the connection's lifetime.
+    pub fn sent(&self) -> usize {
+        self.sent
+    }
+
+    /// Half-closes the connection (the server keeps answering
+    /// already-sent requests) and drains remaining answers until all
+    /// arrive or no progress is made for `grace`.
+    pub fn finish(mut self, grace: Duration) -> io::Result<Drained> {
+        self.out.flush()?;
+        let _ = self.stream.shutdown(Shutdown::Write);
+        let mut drained = Drained::default();
+        let mut last_progress = Instant::now();
+        loop {
+            if let Some(answer) = self.recv(Duration::from_millis(250)) {
+                drained.answers.push(answer);
+                last_progress = Instant::now();
+                continue;
+            }
+            let state = self.shared.state.lock();
+            if state.order.is_empty()
+                && (state.sent_at.is_empty() || state.closed || last_progress.elapsed() > grace)
+            {
+                drained.unanswered = state.sent_at.len();
+                break;
+            }
+        }
+        Ok(drained)
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+fn reader_loop(read_half: TcpStream, shared: Arc<SharedState>) {
+    let mut reader = io::BufReader::new(read_half);
+    // read_until on bytes, not read_line: read_line discards partial
+    // bytes when a read times out (same pitfall the server avoids).
+    let mut line = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => break,
+            Ok(_) if !line.ends_with(b"\n") => continue, // fragment; keep reading
+            Ok(_) => {
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    deliver(&shared, trimmed);
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    // EOF with an unterminated final line: serve what arrived.
+    let text = String::from_utf8_lossy(&line);
+    let trimmed = text.trim();
+    if !trimmed.is_empty() {
+        deliver(&shared, trimmed);
+    }
+    let mut state = shared.state.lock();
+    state.closed = true;
+    shared.cv.notify_all();
+}
+
+/// Decodes one reply line, correlates it, and wakes waiters.
+fn deliver(shared: &SharedState, line: &str) {
+    let (seq_on_wire, outcome) = match Reply::decode(line) {
+        Ok(Reply::Outcome(response)) => {
+            let outcome = match (response.outcome, response.edge) {
+                (WireOutcome::Ok, _) => Outcome::Ok {
+                    id: response.id,
+                    latency_ms: response.latency_ms.unwrap_or(0.0),
+                },
+                (WireOutcome::Violated, _) => Outcome::Violated {
+                    id: response.id,
+                    latency_ms: response.latency_ms.unwrap_or(0.0),
+                },
+                (WireOutcome::Dropped, true) => Outcome::DroppedEdge {
+                    id: response.id,
+                    reason: response.reason.unwrap_or_default(),
+                },
+                (WireOutcome::Dropped, false) => Outcome::DroppedPipeline {
+                    id: response.id,
+                    reason: response.reason.unwrap_or_default(),
+                },
+            };
+            (response.seq, outcome)
+        }
+        Ok(Reply::Error(error)) => (
+            error.seq,
+            Outcome::Rejected {
+                code: error.code,
+                message: error.message,
+            },
+        ),
+        Err(e) => (
+            None,
+            Outcome::Rejected {
+                code: None,
+                message: format!("undecodable response line: {e}"),
+            },
+        ),
+    };
+    let mut state = shared.state.lock();
+    // Correlate by echoed seq when present. A reply without one (v1
+    // error envelopes, fully garbled lines) is only attributable when
+    // exactly one request is outstanding — outcomes return out of
+    // order, so with several in flight the oldest is just a guess that
+    // would mislabel an unrelated request AND discard its real answer
+    // later as a duplicate. Unattributable errors are dropped; the
+    // request they answered surfaces as a timeout/unanswered instead
+    // of corrupting a neighbour.
+    let seq = match seq_on_wire {
+        Some(seq) if state.is_outstanding(seq) => seq,
+        Some(_) => return, // duplicate or unsolicited echo; ignore
+        None if state.sent_at.len() == 1 => match state.oldest_outstanding() {
+            Some(seq) => seq,
+            None => return,
+        },
+        None => return,
+    };
+    let rtt = state
+        .sent_at
+        .remove(&seq)
+        .map(|t0| t0.elapsed())
+        .unwrap_or_default();
+    state.ready.insert(seq, Answer { seq, outcome, rtt });
+    state.order.push_back(seq);
+    shared.cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_spec_builder() {
+        let spec = CallSpec::new("tm").with_slo_ms(250).with_payload_len(16);
+        assert_eq!(spec.app, "tm");
+        assert_eq!(spec.slo_ms, Some(250));
+        assert_eq!(spec.payload_len, 16);
+    }
+
+    #[test]
+    fn taxonomy_labels_are_distinct() {
+        let outcomes = [
+            Outcome::Ok {
+                id: 1,
+                latency_ms: 1.0,
+            },
+            Outcome::Violated {
+                id: 1,
+                latency_ms: 1.0,
+            },
+            Outcome::DroppedEdge {
+                id: 1,
+                reason: "predicted".into(),
+            },
+            Outcome::DroppedPipeline {
+                id: 1,
+                reason: "expired".into(),
+            },
+            Outcome::Rejected {
+                code: Some(ErrorCode::Overloaded),
+                message: "full".into(),
+            },
+        ];
+        let mut labels: Vec<&str> = outcomes.iter().map(Outcome::taxonomy).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), outcomes.len());
+        assert!(outcomes[0].is_ok() && !outcomes[1].is_ok());
+    }
+}

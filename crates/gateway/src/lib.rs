@@ -1,10 +1,12 @@
-//! Networked serving front-end for the PARD live runtime.
+//! Networked serving front-end for PARD engines.
 //!
 //! The paper's goodput argument (§4, Eq. 3) pays off most when the drop
 //! decision happens *before* a request consumes any pipeline resources.
 //! This crate moves that decision to the serving edge: a multi-threaded
-//! TCP gateway wraps [`pard_runtime::LiveCluster`] behind a
-//! newline-delimited JSON protocol ([`wire`]) and runs PARD's
+//! TCP gateway serves any [`pard_engine_api::EngineHandle`] — the live
+//! threaded runtime or the deterministic simulator, built by
+//! [`pard_engine_api::EngineBuilder`] — behind a versioned
+//! newline-delimited JSON protocol ([`wire`], v2) and runs PARD's
 //! proactive check ([`admission`], built on
 //! [`pard_core::DecisionInputs::at_edge`]) at accept time, so a request
 //! that cannot meet its deadline is refused without ever touching a
@@ -12,24 +14,29 @@
 //! [`pard_metrics::ServingCounters`] family plus live queue-depth
 //! gauges in the Prometheus text format.
 //!
-//! The paired load generator ([`loadgen`]) replays
-//! [`pard_workload`] arrival traces over real sockets — open-loop on
-//! schedule, or closed-loop with one outstanding request per
-//! connection — and reports goodput and latency quantiles.
+//! [`client::Client`] is the typed blocking client every in-tree
+//! consumer shares — the load generator ([`loadgen`]), the e2e tests,
+//! and the quickstart example all speak the wire protocol through it.
+//! The load generator replays [`pard_workload`] arrival traces over
+//! real sockets — open-loop on schedule, or closed-loop with one
+//! outstanding request per connection — and reports goodput and
+//! latency quantiles.
 //!
 //! Two binaries expose the pair on the command line:
 //!
 //! ```sh
-//! cargo run --release --bin pard-gateway  -- --app tm --addr 127.0.0.1:7311
+//! cargo run --release --bin pard-gateway  -- --app tm --backend sim --addr 127.0.0.1:7311
 //! cargo run --release --bin pard-loadgen -- --addr 127.0.0.1:7311 --mode open --rate 120 --duration 10
 //! ```
 
 pub mod admission;
+pub mod client;
 pub mod loadgen;
 pub mod server;
 pub mod wire;
 
 pub use admission::{edge_decision, edge_sub_estimate};
+pub use client::{Answer, CallSpec, Client, Drained};
 pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport};
 pub use server::{Gateway, GatewayConfig, EDGE_ID_BASE};
-pub use wire::{Request, Response, WireError, WireOutcome};
+pub use wire::{ErrorCode, Reply, Request, Response, ServerError, WireError, WireOutcome};

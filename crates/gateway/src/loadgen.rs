@@ -3,14 +3,14 @@
 //! The open loop replays a [`pard_workload::RateTrace`] — expanded into
 //! a concrete schedule by [`pard_workload::wire_schedule`] — across a
 //! configurable number of connections, pacing sends on the wall clock
-//! (compressed by `time_scale`, matching the gateway's clock). The
+//! (compressed by `time_scale`, matching the engine's clock). The
 //! closed loop keeps every connection saturated with one outstanding
-//! request. Both report the goodput/latency summary the `BENCH_*.json`
-//! convention expects.
+//! request. Both drive the gateway through the typed
+//! [`crate::client::Client`] and report the goodput/latency summary the
+//! `BENCH_*.json` convention expects.
 
-use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::io;
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 
 use pard_workload::{wire_schedule, PayloadSpec, RateTrace, WireEvent};
 
-use crate::wire::{Request, Response, WireOutcome};
+use crate::client::{Answer, CallSpec, Client, Outcome};
 
 /// Driving discipline.
 #[derive(Clone, Debug)]
@@ -53,8 +53,9 @@ pub struct LoadgenConfig {
     pub tight_fraction: f64,
     /// Payload-size envelope.
     pub payload: PayloadSpec,
-    /// Virtual seconds per wall second; must match the gateway's scale
-    /// for open-loop pacing and latency conversion.
+    /// Virtual seconds per wall second; must match the engine's scale
+    /// for open-loop pacing and latency conversion (use 1.0 for the
+    /// simulator backend, whose virtual clock is self-paced).
     pub time_scale: f64,
     /// Seed for schedule expansion and canary selection.
     pub seed: u64,
@@ -180,22 +181,22 @@ struct Accum {
 }
 
 impl Accum {
-    fn record(&mut self, response: &Response, virtual_latency_ms: Option<f64>) {
-        match response.outcome {
-            WireOutcome::Ok => {
+    /// Records one typed answer. Completed-request latency is the
+    /// client-measured RTT converted to virtual milliseconds.
+    fn record(&mut self, answer: &Answer, time_scale: f64) {
+        let virtual_latency_ms = answer.rtt.as_secs_f64() * 1e3 * time_scale;
+        match &answer.outcome {
+            Outcome::Ok { .. } => {
                 self.ok += 1;
-                if let Some(l) = virtual_latency_ms {
-                    self.latencies_ms.push(l);
-                }
+                self.latencies_ms.push(virtual_latency_ms);
             }
-            WireOutcome::Violated => {
+            Outcome::Violated { .. } => {
                 self.violated += 1;
-                if let Some(l) = virtual_latency_ms {
-                    self.latencies_ms.push(l);
-                }
+                self.latencies_ms.push(virtual_latency_ms);
             }
-            WireOutcome::Dropped if response.edge => self.dropped_edge += 1,
-            WireOutcome::Dropped => self.dropped_pipeline += 1,
+            Outcome::DroppedEdge { .. } => self.dropped_edge += 1,
+            Outcome::DroppedPipeline { .. } => self.dropped_pipeline += 1,
+            Outcome::Rejected { .. } => self.errors += 1,
         }
     }
 }
@@ -290,6 +291,16 @@ fn is_canary(seq: u64, fraction: f64) -> bool {
     seq.is_multiple_of(period)
 }
 
+/// The per-request SLO: an infeasible 1 ms for canaries, the configured
+/// override otherwise.
+fn slo_for(seq: u64, config: &LoadgenConfig) -> Option<u64> {
+    if is_canary(seq, config.tight_fraction) {
+        Some(1)
+    } else {
+        config.slo_ms
+    }
+}
+
 /// Returns `(requests put on the wire, requests sent but unanswered)`.
 fn open_loop_connection(
     addr: SocketAddr,
@@ -300,87 +311,32 @@ fn open_loop_connection(
     if events.is_empty() {
         return Ok((0, 0));
     }
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    // Poll in short slices so a gateway that wedges without closing the
-    // socket cannot hang the run; a generous no-progress deadline still
-    // tolerates long response droughts in sparse traces.
-    stream.set_read_timeout(Some(Duration::from_secs(1)))?;
-    let read_half = stream.try_clone()?;
-
-    // Reader: match responses to send instants by seq.
-    let sent_at: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
-    let expected = events.len();
-    let reader_accum = Arc::clone(&accum);
-    let reader_sent_at = Arc::clone(&sent_at);
-    let scale = config.time_scale;
-    let reader = std::thread::spawn(move || {
-        let mut reader = BufReader::new(read_half);
-        // read_until on bytes, not read_line: read_line discards partial
-        // bytes when a read times out (same pitfall the server avoids).
-        let mut line = Vec::new();
-        let mut seen = 0usize;
-        let mut last_progress = Instant::now();
-        while seen < expected {
-            match reader.read_until(b'\n', &mut line) {
-                Ok(0) => break,
-                Ok(_) => {
-                    seen += 1;
-                    last_progress = Instant::now();
-                    match Response::decode(String::from_utf8_lossy(&line).trim()) {
-                        Ok(response) => {
-                            let latency = response.seq.and_then(|seq| {
-                                reader_sent_at
-                                    .lock()
-                                    .remove(&seq)
-                                    .map(|t0| t0.elapsed().as_secs_f64() * 1e3 * scale)
-                            });
-                            reader_accum.lock().record(&response, latency);
-                        }
-                        Err(_) => reader_accum.lock().errors += 1,
-                    }
-                    line.clear();
-                }
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    if last_progress.elapsed() > Duration::from_secs(60) {
-                        break;
-                    }
-                }
-                Err(_) => break,
-            }
-        }
-        expected - seen
-    });
-
+    let mut client = Client::connect(addr)?;
     let start = Instant::now();
-    let mut out = io::BufWriter::new(stream);
-    for (seq, event) in events {
+    for (global_seq, event) in events {
         let due = Duration::from_secs_f64(event.at.as_secs_f64() / config.time_scale);
         if let Some(wait) = due.checked_sub(start.elapsed()) {
             std::thread::sleep(wait);
         }
-        let slo_ms = if is_canary(seq, config.tight_fraction) {
-            Some(1)
-        } else {
-            config.slo_ms
-        };
-        let request = Request {
-            app: event.app,
-            slo_ms,
-            payload_len: event.payload_len,
-            seq: Some(seq),
-        };
-        sent_at.lock().insert(seq, Instant::now());
-        writeln!(out, "{}", request.encode())?;
-        out.flush()?;
+        let mut spec = CallSpec::new(event.app).with_payload_len(event.payload_len);
+        spec.slo_ms = slo_for(global_seq, config);
+        client.send(&spec)?;
+        // Collect whatever has already been answered; pipelining keeps
+        // the schedule honest while responses trickle back.
+        while let Some(answer) = client.try_recv() {
+            accum.lock().record(&answer, config.time_scale);
+        }
     }
+    let sent = client.sent();
     // Half-close: the server keeps answering already-admitted requests.
-    out.into_inner()?.shutdown(Shutdown::Write)?;
-    let missing = reader.join().unwrap_or(0);
-    Ok((expected, missing))
+    // A generous no-progress deadline still tolerates long response
+    // droughts in sparse traces.
+    let drained = client.finish(Duration::from_secs(60))?;
+    let mut accum = accum.lock();
+    for answer in &drained.answers {
+        accum.record(answer, config.time_scale);
+    }
+    Ok((sent, drained.unanswered))
 }
 
 /// Returns `(requests put on the wire, requests sent but unanswered)`.
@@ -391,53 +347,25 @@ fn closed_loop_connection(
     config: &LoadgenConfig,
     accum: Arc<Mutex<Accum>>,
 ) -> io::Result<(usize, usize)> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut out = io::BufWriter::new(stream);
-    let mut line = String::new();
-    let mut sent = 0usize;
+    let mut client = Client::connect(addr)?;
     let mut missing = 0usize;
     for i in 0..requests {
-        let seq = conn * requests as u64 + i as u64;
-        let slo_ms = if is_canary(seq, config.tight_fraction) {
-            Some(1)
-        } else {
-            config.slo_ms
-        };
-        let request = Request {
-            app: config.app.clone(),
-            slo_ms,
-            payload_len: config.payload.min,
-            seq: Some(seq),
-        };
-        let t0 = Instant::now();
-        writeln!(out, "{}", request.encode())?;
-        out.flush()?;
-        sent += 1;
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => {
-                // Connection died: the request just sent goes unanswered;
-                // the rest were never put on the wire and are not counted.
+        let global_seq = conn * requests as u64 + i as u64;
+        let mut spec = CallSpec::new(config.app.clone()).with_payload_len(config.payload.min);
+        spec.slo_ms = slo_for(global_seq, config);
+        match client.call(&spec, Duration::from_secs(30)) {
+            Ok(Some(answer)) => accum.lock().record(&answer, config.time_scale),
+            Ok(None) => {
+                // Connection died or timed out: the request just sent
+                // goes unanswered; the rest were never put on the wire
+                // and are not counted.
                 missing += 1;
                 break;
             }
-            Ok(_) => match Response::decode(line.trim()) {
-                Ok(response) => {
-                    let latency = t0.elapsed().as_secs_f64() * 1e3 * config.time_scale;
-                    accum.lock().record(&response, Some(latency));
-                }
-                Err(_) => accum.lock().errors += 1,
-            },
-            Err(_) => {
-                missing += 1;
-                break;
-            }
+            Err(e) => return Err(e),
         }
     }
-    Ok((sent, missing))
+    Ok((client.sent(), missing))
 }
 
 #[cfg(test)]

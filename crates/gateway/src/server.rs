@@ -3,11 +3,17 @@
 //! One accept loop, one reader + one writer thread per connection
 //! (requests pipeline freely; responses carry the client's `seq` and
 //! may return out of order), one dispatcher thread routing
-//! [`Completion`]s from the live cluster back to connections, one
-//! edge-state poller refreshing the admission snapshot, and one
+//! [`Completion`]s from the engine back to connections, one edge-state
+//! poller refreshing the admission snapshot, one pump thread driving
+//! engines whose virtual time does not advance on its own, and one
 //! minimal-HTTP metrics listener. The PARD admission check runs in the
 //! reader thread at accept time — a hopeless request is answered
 //! `dropped` without ever touching a worker queue.
+//!
+//! The gateway is engine-agnostic: it serves any
+//! [`pard_engine_api::EngineHandle`], so the same wire protocol and
+//! admission path run over the live threaded runtime or the
+//! deterministic simulator (see [`pard_engine_api::EngineBuilder`]).
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -20,15 +26,13 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use pard_core::{Decision, PardPolicy, PardPolicyConfig};
+use pard_core::Decision;
+use pard_engine_api::{Completion, EdgeState, EngineHandle, SubmitSpec};
 use pard_metrics::{Outcome, RequestLog, ServingCounters};
-use pard_pipeline::AppKind;
-use pard_profile::{zoo, ModelProfile};
-use pard_runtime::{Completion, EdgeState, LiveCluster, LiveConfig, SleepBackend, SubmitOptions};
 use pard_sim::SimDuration;
 
 use crate::admission::edge_decision;
-use crate::wire::{Request, Response};
+use crate::wire::{seq_hint, ErrorCode, Request, Response};
 
 /// Hard cap on one request line; a connection exceeding it gets an
 /// error response and is closed, bounding per-connection memory against
@@ -36,26 +40,26 @@ use crate::wire::{Request, Response};
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Ids for edge-rejected requests live in their own space so they can
-/// never collide with cluster-assigned ids (record indices, which a
+/// never collide with engine-assigned ids (record indices, which a
 /// process cannot push anywhere near 2^52). The base is kept within
 /// f64's exact-integer range because wire ids travel as JSON numbers:
 /// 2^52 + seq round-trips exactly for any realistic seq, where 2^63
 /// would silently lose its low bits.
 pub const EDGE_ID_BASE: u64 = 1 << 52;
 
-/// Gateway configuration.
+/// Gateway configuration (networking only — engine construction lives
+/// in [`pard_engine_api::EngineBuilder`]).
 #[derive(Clone, Debug)]
 pub struct GatewayConfig {
     /// Listen address for the request protocol (`port 0` = ephemeral).
     pub addr: String,
     /// Listen address for the `/metrics` endpoint.
     pub metrics_addr: String,
-    /// Virtual seconds per wall second (1.0 = real time).
-    pub time_scale: f64,
-    /// Worker threads per pipeline module.
-    pub workers_per_module: usize,
     /// How often the admission snapshot refreshes (wall clock).
     pub edge_refresh: Duration,
+    /// Cap on simultaneously admitted-but-unresolved requests; above
+    /// it new requests are answered with [`ErrorCode::Overloaded`].
+    pub max_pending: usize,
 }
 
 impl Default for GatewayConfig {
@@ -63,9 +67,8 @@ impl Default for GatewayConfig {
         GatewayConfig {
             addr: "127.0.0.1:7311".into(),
             metrics_addr: "127.0.0.1:7312".into(),
-            time_scale: 1.0,
-            workers_per_module: 2,
             edge_refresh: Duration::from_millis(10),
+            max_pending: 8192,
         }
     }
 }
@@ -78,16 +81,17 @@ struct PendingEntry {
 
 /// State shared by reader threads (everything request handling needs).
 struct Edge {
-    cluster: Arc<LiveCluster>,
+    engine: Box<dyn EngineHandle>,
     // `counters` and `pending` are separately Arc'd because the
-    // dispatcher holds them without holding the Edge (and thus without
-    // keeping the cluster alive through shutdown's Arc::try_unwrap).
+    // dispatcher holds them without holding the Edge (and thus keeps
+    // routing completions while shutdown drains the engine).
     counters: Arc<ServingCounters>,
     pending: Arc<Mutex<HashMap<u64, PendingEntry>>>,
     state: Mutex<EdgeState>,
     shutdown: AtomicBool,
-    app: AppKind,
+    app_name: String,
     edge_seq: AtomicU64,
+    max_pending: usize,
 }
 
 /// A running gateway. Dropping it without calling
@@ -103,38 +107,11 @@ pub struct Gateway {
 }
 
 impl Gateway {
-    /// Starts serving `app` (one of the paper's chain pipelines) under
-    /// PARD policies with sleep backends profiled from the model zoo.
-    pub fn start(app: AppKind, config: GatewayConfig) -> io::Result<Gateway> {
-        let spec = app.pipeline();
-        assert!(
-            spec.is_chain(),
-            "the live engine serves chain pipelines; {} is a DAG",
-            app.name()
-        );
-        let profiles: Vec<ModelProfile> = spec
-            .modules
-            .iter()
-            .map(|m| zoo::by_name(&m.name).expect("zoo model for module"))
-            .collect();
-        let backend_profiles = profiles.clone();
-        let scale = config.time_scale;
-        let live_config = LiveConfig {
-            time_scale: scale,
-            pard: pard_core::PardConfig::default().with_mc_draws(1_000),
-            workers_per_module: vec![config.workers_per_module; spec.modules.len()],
-            headroom: 2.0,
-        };
-        let cluster = Arc::new(LiveCluster::start(
-            spec,
-            profiles,
-            Box::new(|_| Box::new(PardPolicy::new(PardPolicyConfig::pard()))),
-            Box::new(move |m| Box::new(SleepBackend::new(backend_profiles[m].clone(), scale))),
-            live_config,
-        ));
-
+    /// Starts serving `engine` — any [`EngineHandle`], simulated or
+    /// live — over the wire protocol, with PARD admission at the edge.
+    pub fn start(engine: Box<dyn EngineHandle>, config: GatewayConfig) -> io::Result<Gateway> {
         let (completion_tx, completion_rx) = mpsc::channel();
-        cluster.set_completion_sink(completion_tx);
+        engine.set_completion_sink(completion_tx);
 
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
@@ -144,21 +121,22 @@ impl Gateway {
         let metrics_addr = metrics_listener.local_addr()?;
 
         let edge = Arc::new(Edge {
-            state: Mutex::new(cluster.edge_state()),
+            state: Mutex::new(engine.edge_state()),
             counters: Arc::new(ServingCounters::new()),
             pending: Arc::new(Mutex::new(HashMap::new())),
             shutdown: AtomicBool::new(false),
-            app,
+            app_name: engine.spec().name.clone(),
             edge_seq: AtomicU64::new(0),
-            cluster,
+            max_pending: config.max_pending,
+            engine,
         });
 
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let mut service_threads = Vec::new();
 
-        // Dispatcher: cluster completions → per-connection channels.
+        // Dispatcher: engine completions → per-connection channels.
         // Holds only the pending map and counters, so it can outlive the
-        // accept/reader threads and drain the cluster during shutdown.
+        // accept/reader threads and drain the engine during shutdown.
         let dispatcher = {
             let pending = Arc::clone(&edge.pending);
             let counters = Arc::clone(&edge.counters);
@@ -171,8 +149,22 @@ impl Gateway {
             let refresh = config.edge_refresh;
             service_threads.push(std::thread::spawn(move || {
                 while !edge.shutdown.load(Ordering::SeqCst) {
-                    *edge.state.lock() = edge.cluster.edge_state();
+                    *edge.state.lock() = edge.engine.edge_state();
                     std::thread::sleep(refresh);
+                }
+            }));
+        }
+
+        // Pump: advances engines with a stepped virtual clock (the
+        // simulator). Self-driving engines return false and this thread
+        // idles cheaply.
+        {
+            let edge = Arc::clone(&edge);
+            service_threads.push(std::thread::spawn(move || {
+                while !edge.shutdown.load(Ordering::SeqCst) {
+                    if !edge.engine.pump() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
                 }
             }));
         }
@@ -220,8 +212,8 @@ impl Gateway {
     }
 
     /// Stops accepting, drains in-flight requests (bounded by
-    /// `drain_virtual` of virtual time), stops the cluster, and returns
-    /// its request log.
+    /// `drain_virtual` of virtual time and 30 s of wall time), stops
+    /// the engine, and returns its request log.
     pub fn shutdown(self, drain_virtual: SimDuration) -> RequestLog {
         self.edge.shutdown.store(true, Ordering::SeqCst);
         for handle in self.service_threads {
@@ -229,11 +221,15 @@ impl Gateway {
         }
         // Readers stop within one read-timeout (100 ms) of the flag;
         // wait that out so no new admissions race the flush below, then
-        // give the pipeline a bounded window to resolve what's in flight.
+        // give the pipeline a bounded window to resolve what's in
+        // flight. Stepped engines no longer have their pump thread, so
+        // this loop pumps them directly.
         std::thread::sleep(Duration::from_millis(150));
         let deadline = std::time::Instant::now() + Duration::from_secs(30);
         while !self.edge.pending.lock().is_empty() && std::time::Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
+            if !self.edge.engine.pump() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
         }
         // Flush whatever is still pending *before* joining connection
         // threads: each connection's writer exits only when every sender
@@ -252,15 +248,10 @@ impl Gateway {
         for handle in conn_threads {
             let _ = handle.join();
         }
-        let Gateway {
-            edge, dispatcher, ..
-        } = self;
-        let cluster = Arc::clone(&edge.cluster);
-        drop(edge);
-        let cluster = Arc::try_unwrap(cluster)
-            .unwrap_or_else(|_| panic!("gateway threads still hold the cluster after shutdown"));
-        let log = cluster.finish(drain_virtual);
-        let _ = dispatcher.join();
+        // Draining stops the engine and drops its completion sender,
+        // which is what lets the dispatcher exit.
+        let log = self.edge.engine.drain(drain_virtual);
+        let _ = self.dispatcher.join();
         log
     }
 }
@@ -270,7 +261,7 @@ fn dispatcher_loop(
     pending: Arc<Mutex<HashMap<u64, PendingEntry>>>,
     counters: Arc<ServingCounters>,
 ) {
-    // Ends when the cluster (the only sender) shuts down.
+    // Ends when the engine (the only sender) shuts down.
     while let Ok(completion) = completions.recv() {
         let entry = pending.lock().remove(&completion.id);
         let Some(entry) = entry else {
@@ -421,9 +412,11 @@ fn serve_connection(stream: TcpStream, edge: Arc<Edge>) -> io::Result<()> {
 fn oversized_line(edge: &Edge, conn_tx: &Sender<String>) {
     edge.counters.received.incr();
     edge.counters.protocol_errors.incr();
-    let _ = conn_tx.send(Response::error_line(&format!(
-        "request line exceeds {MAX_LINE_BYTES} bytes; closing connection"
-    )));
+    let _ = conn_tx.send(Response::error_line(
+        ErrorCode::Malformed,
+        None,
+        &format!("request line exceeds {MAX_LINE_BYTES} bytes; closing connection"),
+    ));
 }
 
 fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
@@ -432,25 +425,39 @@ fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
         Ok(request) => request,
         Err(e) => {
             edge.counters.protocol_errors.incr();
-            let _ = conn_tx.send(Response::error_line(&e.to_string()));
+            let _ = conn_tx.send(Response::error_line(e.code, seq_hint(line), &e.message));
             return;
         }
     };
-    if request.app != edge.app.name() {
+    if request.app != edge.app_name {
         edge.counters.protocol_errors.incr();
-        let _ = conn_tx.send(Response::error_line(&format!(
-            "unknown app {:?} (serving {:?})",
-            request.app,
-            edge.app.name()
-        )));
+        let _ = conn_tx.send(Response::error_line(
+            ErrorCode::UnknownApp,
+            request.seq,
+            &format!(
+                "unknown app {:?} (serving {:?})",
+                request.app, edge.app_name
+            ),
+        ));
+        return;
+    }
+    if edge.shutdown.load(Ordering::SeqCst) {
+        // `refused`, not `rejected`: this is gateway back-pressure, not
+        // a PARD admission decision.
+        edge.counters.refused.incr();
+        let _ = conn_tx.send(Response::error_line(
+            ErrorCode::ShuttingDown,
+            request.seq,
+            "gateway is shutting down",
+        ));
         return;
     }
 
-    let now = edge.cluster.now();
+    let now = edge.engine.now();
     let slo = request
         .slo_ms
         .map(SimDuration::from_millis)
-        .unwrap_or(edge.cluster.spec().slo);
+        .unwrap_or(edge.engine.spec().slo);
     let deadline = now + slo;
     // The decision is pure arithmetic over a few vectors; running it
     // under the short snapshot lock beats cloning three Vecs per request.
@@ -462,14 +469,27 @@ fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
             let _ = conn_tx.send(Response::dropped(id, request.seq, true, reason.label()).encode());
         }
         Decision::Admit => {
-            edge.counters.admitted.incr();
             // Holding the pending lock across submit closes the race
             // with the dispatcher: a completion can only be routed once
             // the entry is present.
             let mut pending = edge.pending.lock();
-            let id = edge
-                .cluster
-                .submit_with(SubmitOptions::default().with_slo(slo));
+            if pending.len() >= edge.max_pending {
+                edge.counters.refused.incr();
+                let _ = conn_tx.send(Response::error_line(
+                    ErrorCode::Overloaded,
+                    request.seq,
+                    &format!(
+                        "pending-request table is full ({} entries)",
+                        edge.max_pending
+                    ),
+                ));
+                return;
+            }
+            edge.counters.admitted.incr();
+            let id = edge.engine.submit(SubmitSpec {
+                slo: Some(slo),
+                tag: 0,
+            });
             pending.insert(
                 id,
                 PendingEntry {
@@ -547,6 +567,7 @@ fn render_metrics(edge: &Edge) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pard_sim::SimDuration;
 
     #[test]
     fn metrics_text_contains_counters_and_gauges() {

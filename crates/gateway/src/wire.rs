@@ -1,10 +1,10 @@
-//! The newline-delimited JSON wire protocol.
+//! The newline-delimited JSON wire protocol, version 2.
 //!
 //! One request per line, one response per line, UTF-8, no framing
-//! beyond `\n`. Requests:
+//! beyond `\n`. Every line carries a `"v":2` envelope field. Requests:
 //!
 //! ```text
-//! {"app":"tm","slo_ms":400,"payload_len":128,"seq":5,"payload":"xx…"}
+//! {"v":2,"app":"tm","slo_ms":400,"payload_len":128,"seq":5,"payload":"xx…"}
 //! ```
 //!
 //! `app` and `payload_len` are required. `slo_ms` defaults to the
@@ -15,20 +15,36 @@
 //! it). Responses:
 //!
 //! ```text
-//! {"id":7,"seq":5,"outcome":"ok","latency_ms":123.4}
-//! {"id":4503599627370496,"seq":6,"outcome":"dropped","edge":true,"reason":"predicted"}
-//! {"id":9,"seq":7,"outcome":"violated","latency_ms":512.0}
+//! {"v":2,"id":7,"seq":5,"outcome":"ok","latency_ms":123.4}
+//! {"v":2,"id":4503599627370496,"seq":6,"outcome":"dropped","edge":true,"reason":"predicted"}
+//! {"v":2,"id":9,"seq":7,"outcome":"violated","latency_ms":512.0}
 //! ```
 //!
 //! `outcome` is `ok` (completed within SLO), `dropped` (removed before
 //! completing — at the gateway edge when `edge` is true, inside the
 //! pipeline otherwise), or `violated` (completed after its deadline).
-//! Malformed requests get `{"error":"…"}` with no outcome.
+//! Requests that cannot be served get a structured error envelope
+//! instead of an outcome, with a machine-readable [`ErrorCode`] and the
+//! request's `seq` echoed whenever it could be recovered:
+//!
+//! ```text
+//! {"v":2,"error_code":"slo_out_of_range","error":"…","seq":8}
+//! ```
+//!
+//! # Version 1 compatibility
+//!
+//! v1 lines have no `"v"` field, and v1 error lines are a bare
+//! `{"error":"…"}` with no code. Decoders in this module accept both
+//! forms for one release (encoders emit only v2); v1 support will be
+//! removed in the release after next.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use pard_pipeline::json::{parse, Value};
+
+/// The protocol version this module encodes.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Largest accepted `slo_ms` (one day). The bound exists for arithmetic
 /// safety, not policy: client-controlled values far above it would
@@ -36,6 +52,109 @@ use pard_pipeline::json::{parse, Value};
 /// `now + slo`), panicking in debug builds and silently wrapping in
 /// release.
 pub const MAX_SLO_MS: u64 = 86_400_000;
+
+/// Machine-readable reason a request was answered with an error
+/// envelope instead of an outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The line is not a well-formed request (bad JSON, missing or
+    /// mistyped fields, unsupported protocol version).
+    Malformed,
+    /// The `app` field does not name the served pipeline.
+    UnknownApp,
+    /// The `payload` length does not match the declared `payload_len`.
+    PayloadMismatch,
+    /// `slo_ms` is outside `[1, MAX_SLO_MS]`.
+    SloOutOfRange,
+    /// The gateway's pending-request table is full.
+    Overloaded,
+    /// The gateway is shutting down and no longer admits requests.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// Every code, for exhaustive round-trip tests.
+    pub const ALL: [ErrorCode; 6] = [
+        ErrorCode::Malformed,
+        ErrorCode::UnknownApp,
+        ErrorCode::PayloadMismatch,
+        ErrorCode::SloOutOfRange,
+        ErrorCode::Overloaded,
+        ErrorCode::ShuttingDown,
+    ];
+
+    /// Wire spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnknownApp => "unknown_app",
+            ErrorCode::PayloadMismatch => "payload_mismatch",
+            ErrorCode::SloOutOfRange => "slo_out_of_range",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Inverse of [`ErrorCode::label`].
+    pub fn from_label(label: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A wire-format violation, carrying the [`ErrorCode`] the server
+/// reports for it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Structured reason.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> WireError {
+    WireError {
+        code,
+        message: message.into(),
+    }
+}
+
+/// Checks the `"v"` envelope field: absent means v1 (accepted for one
+/// release), otherwise 1 or 2.
+fn check_version(value: &Value) -> Result<(), WireError> {
+    match value.get("v") {
+        None => Ok(()),
+        Some(v) => match v.as_u64() {
+            Some(1 | PROTOCOL_VERSION) => Ok(()),
+            _ => Err(err(
+                ErrorCode::Malformed,
+                format!(
+                    "unsupported protocol version {} (this gateway speaks v1 and v2)",
+                    v.to_json()
+                ),
+            )),
+        },
+    }
+}
+
+/// Best-effort `seq` recovery from a line that failed full decoding —
+/// so error envelopes can still be correlated by pipelining clients.
+pub fn seq_hint(line: &str) -> Option<u64> {
+    parse(line).ok()?.get("seq")?.as_u64()
+}
 
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -81,7 +200,7 @@ impl WireOutcome {
     }
 }
 
-/// A server response.
+/// A server response carrying an outcome.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Response {
     /// Server-assigned request id.
@@ -99,27 +218,63 @@ pub struct Response {
     pub reason: Option<String>,
 }
 
-/// A wire-format violation.
+/// An error envelope the server sent instead of an outcome.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct WireError(pub String);
+pub struct ServerError {
+    /// Structured reason; `None` for v1 lines, which carry no code.
+    pub code: Option<ErrorCode>,
+    /// Human-readable detail.
+    pub message: String,
+    /// Echo of the request's `seq`, when the server could recover it.
+    pub seq: Option<u64>,
+}
 
-impl fmt::Display for WireError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+/// Anything the server may send on a line: an outcome or an error
+/// envelope. The typed client decodes through this.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// A terminal outcome for one request.
+    Outcome(Response),
+    /// A structured (v2) or bare (v1) error envelope.
+    Error(ServerError),
+}
+
+impl Reply {
+    /// Decodes one server line. `Err` means the line itself is not a
+    /// valid reply of either protocol version.
+    pub fn decode(line: &str) -> Result<Reply, WireError> {
+        let value =
+            parse(line).map_err(|e| err(ErrorCode::Malformed, format!("invalid JSON: {e}")))?;
+        check_version(&value)?;
+        if let Some(message) = value.get("error").and_then(Value::as_str) {
+            let code = value
+                .get("error_code")
+                .and_then(Value::as_str)
+                .and_then(ErrorCode::from_label);
+            return Ok(Reply::Error(ServerError {
+                code,
+                message: message.to_string(),
+                seq: value.get("seq").and_then(Value::as_u64),
+            }));
+        }
+        Ok(Reply::Outcome(Response::from_value(&value)?))
+    }
+
+    /// The correlation number, if the reply carries one.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Reply::Outcome(response) => response.seq,
+            Reply::Error(error) => error.seq,
+        }
     }
 }
 
-impl std::error::Error for WireError {}
-
-fn err(message: impl Into<String>) -> WireError {
-    WireError(message.into())
-}
-
 impl Request {
-    /// Encodes to one JSON line (no trailing newline), including a
+    /// Encodes to one v2 JSON line (no trailing newline), including a
     /// synthetic payload of `payload_len` bytes.
     pub fn encode(&self) -> String {
         let mut map = BTreeMap::new();
+        map.insert("v".into(), Value::Number(PROTOCOL_VERSION as f64));
         map.insert("app".into(), Value::String(self.app.clone()));
         if let Some(slo) = self.slo_ms {
             map.insert("slo_ms".into(), Value::Number(slo as f64));
@@ -135,47 +290,64 @@ impl Request {
         Value::Object(map).to_json()
     }
 
-    /// Decodes one line.
+    /// Decodes one line (v1 or v2).
     pub fn decode(line: &str) -> Result<Request, WireError> {
-        let value = parse(line).map_err(|e| err(format!("invalid JSON: {e}")))?;
+        let value =
+            parse(line).map_err(|e| err(ErrorCode::Malformed, format!("invalid JSON: {e}")))?;
+        check_version(&value)?;
         let app = value
             .get("app")
             .and_then(Value::as_str)
-            .ok_or_else(|| err("missing string field \"app\""))?
+            .ok_or_else(|| err(ErrorCode::Malformed, "missing string field \"app\""))?
             .to_string();
         let payload_len = value
             .get("payload_len")
             .and_then(Value::as_u64)
-            .ok_or_else(|| err("missing integer field \"payload_len\""))?
-            as usize;
+            .ok_or_else(|| {
+                err(
+                    ErrorCode::Malformed,
+                    "missing integer field \"payload_len\"",
+                )
+            })? as usize;
         let slo_ms = match value.get("slo_ms") {
             None => None,
-            Some(v) => Some(
-                v.as_u64()
-                    .filter(|&ms| (1..=MAX_SLO_MS).contains(&ms))
-                    .ok_or_else(|| {
-                        err(format!(
-                            "\"slo_ms\" must be an integer in [1, {MAX_SLO_MS}]"
-                        ))
-                    })?,
-            ),
+            Some(v) => {
+                // A mistyped field is a wire-format bug (Malformed); an
+                // integer outside the window is a policy/range rejection
+                // (SloOutOfRange). Clients branch on the distinction.
+                let ms = v
+                    .as_u64()
+                    .ok_or_else(|| err(ErrorCode::Malformed, "\"slo_ms\" must be an integer"))?;
+                if !(1..=MAX_SLO_MS).contains(&ms) {
+                    return Err(err(
+                        ErrorCode::SloOutOfRange,
+                        format!("\"slo_ms\" must be in [1, {MAX_SLO_MS}]"),
+                    ));
+                }
+                Some(ms)
+            }
         };
         let seq = match value.get("seq") {
             None => None,
-            Some(v) => Some(
-                v.as_u64()
-                    .ok_or_else(|| err("\"seq\" must be a non-negative integer"))?,
-            ),
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                err(
+                    ErrorCode::Malformed,
+                    "\"seq\" must be a non-negative integer",
+                )
+            })?),
         };
         if let Some(payload) = value.get("payload") {
             let payload = payload
                 .as_str()
-                .ok_or_else(|| err("\"payload\" must be a string"))?;
+                .ok_or_else(|| err(ErrorCode::Malformed, "\"payload\" must be a string"))?;
             if payload.len() != payload_len {
-                return Err(err(format!(
-                    "payload length {} does not match declared payload_len {payload_len}",
-                    payload.len()
-                )));
+                return Err(err(
+                    ErrorCode::PayloadMismatch,
+                    format!(
+                        "payload length {} does not match declared payload_len {payload_len}",
+                        payload.len()
+                    ),
+                ));
             }
         }
         Ok(Request {
@@ -224,9 +396,10 @@ impl Response {
         }
     }
 
-    /// Encodes to one JSON line (no trailing newline).
+    /// Encodes to one v2 JSON line (no trailing newline).
     pub fn encode(&self) -> String {
         let mut map = BTreeMap::new();
+        map.insert("v".into(), Value::Number(PROTOCOL_VERSION as f64));
         map.insert("id".into(), Value::Number(self.id as f64));
         if let Some(seq) = self.seq {
             map.insert("seq".into(), Value::Number(seq as f64));
@@ -244,21 +417,16 @@ impl Response {
         Value::Object(map).to_json()
     }
 
-    /// Decodes one line.
-    pub fn decode(line: &str) -> Result<Response, WireError> {
-        let value = parse(line).map_err(|e| err(format!("invalid JSON: {e}")))?;
-        if let Some(message) = value.get("error").and_then(Value::as_str) {
-            return Err(err(format!("server error: {message}")));
-        }
+    fn from_value(value: &Value) -> Result<Response, WireError> {
         let id = value
             .get("id")
             .and_then(Value::as_u64)
-            .ok_or_else(|| err("missing integer field \"id\""))?;
+            .ok_or_else(|| err(ErrorCode::Malformed, "missing integer field \"id\""))?;
         let outcome = value
             .get("outcome")
             .and_then(Value::as_str)
             .and_then(WireOutcome::from_label)
-            .ok_or_else(|| err("missing or unknown \"outcome\""))?;
+            .ok_or_else(|| err(ErrorCode::Malformed, "missing or unknown \"outcome\""))?;
         Ok(Response {
             id,
             seq: value.get("seq").and_then(Value::as_u64),
@@ -272,10 +440,28 @@ impl Response {
         })
     }
 
-    /// The line sent for unparseable requests.
-    pub fn error_line(message: &str) -> String {
+    /// Decodes one line (v1 or v2), treating error envelopes as `Err`.
+    /// Typed clients should prefer [`Reply::decode`], which keeps the
+    /// error envelope structured.
+    pub fn decode(line: &str) -> Result<Response, WireError> {
+        match Reply::decode(line)? {
+            Reply::Outcome(response) => Ok(response),
+            Reply::Error(e) => Err(WireError {
+                code: e.code.unwrap_or(ErrorCode::Malformed),
+                message: format!("server error: {}", e.message),
+            }),
+        }
+    }
+
+    /// The v2 error envelope sent for requests that cannot be served.
+    pub fn error_line(code: ErrorCode, seq: Option<u64>, message: &str) -> String {
         let mut map = BTreeMap::new();
+        map.insert("v".into(), Value::Number(PROTOCOL_VERSION as f64));
         map.insert("error".into(), Value::String(message.to_string()));
+        map.insert("error_code".into(), Value::String(code.label().into()));
+        if let Some(seq) = seq {
+            map.insert("seq".into(), Value::Number(seq as f64));
+        }
         Value::Object(map).to_json()
     }
 }
@@ -303,9 +489,24 @@ mod tests {
         for original in requests {
             let line = original.encode();
             assert!(!line.contains('\n'));
+            assert!(line.contains("\"v\":2"), "{line}");
             let decoded = Request::decode(&line).expect("round trip");
             assert_eq!(decoded, original);
         }
+    }
+
+    #[test]
+    fn v1_request_lines_still_decode() {
+        let line = r#"{"app":"tm","payload_len":2,"payload":"ab","seq":3,"slo_ms":250}"#;
+        let decoded = Request::decode(line).expect("v1 accepted for one release");
+        assert_eq!(decoded.app, "tm");
+        assert_eq!(decoded.seq, Some(3));
+        // Future versions are rejected as malformed.
+        let future = r#"{"v":3,"app":"tm","payload_len":0}"#;
+        assert_eq!(
+            Request::decode(future).unwrap_err().code,
+            ErrorCode::Malformed
+        );
     }
 
     #[test]
@@ -333,24 +534,37 @@ mod tests {
             r#"{"app":"tm"}"#,
             r#"{"app":4,"payload_len":8}"#,
             r#"{"app":"tm","payload_len":-3}"#,
-            r#"{"app":"tm","payload_len":8,"slo_ms":0}"#,
+            r#"{"app":"tm","payload_len":8,"payload":42}"#,
+            r#"{"app":"tm","payload_len":8,"seq":1.5}"#,
+            r#"{"v":"two","app":"tm","payload_len":8}"#,
+            // Mistyped slo_ms is a format bug, not a range rejection.
             r#"{"app":"tm","payload_len":8,"slo_ms":"fast"}"#,
+        ] {
+            let e = Request::decode(bad).expect_err(&format!("accepted {bad:?}"));
+            assert_eq!(e.code, ErrorCode::Malformed, "{bad:?} → {e:?}");
+        }
+    }
+
+    #[test]
+    fn slo_errors_carry_their_own_code() {
+        for bad in [
+            r#"{"app":"tm","payload_len":8,"slo_ms":0}"#,
             // Above MAX_SLO_MS: would overflow the deadline arithmetic.
             r#"{"app":"tm","payload_len":8,"slo_ms":1152921504606846976}"#,
-            r#"{"app":"tm","payload_len":8,"payload":"xy"}"#,
-            r#"{"app":"tm","payload_len":8,"seq":1.5}"#,
         ] {
-            assert!(Request::decode(bad).is_err(), "accepted {bad:?}");
+            let e = Request::decode(bad).unwrap_err();
+            assert_eq!(e.code, ErrorCode::SloOutOfRange, "{bad:?}");
         }
     }
 
     #[test]
     fn payload_length_is_validated_when_present() {
-        let good = r#"{"app":"tm","payload_len":2,"payload":"ab"}"#;
+        let good = r#"{"v":2,"app":"tm","payload_len":2,"payload":"ab"}"#;
         assert!(Request::decode(good).is_ok());
-        let bad = r#"{"app":"tm","payload_len":3,"payload":"ab"}"#;
+        let bad = r#"{"v":2,"app":"tm","payload_len":3,"payload":"ab"}"#;
         let e = Request::decode(bad).unwrap_err();
-        assert!(e.0.contains("does not match"), "{e}");
+        assert_eq!(e.code, ErrorCode::PayloadMismatch);
+        assert!(e.message.contains("does not match"), "{e}");
     }
 
     #[test]
@@ -366,15 +580,47 @@ mod tests {
     }
 
     #[test]
-    fn error_lines_decode_as_errors() {
-        let line = Response::error_line("bad thing");
-        let e = Response::decode(&line).unwrap_err();
-        assert!(e.0.contains("bad thing"));
+    fn error_envelopes_round_trip_with_code_and_seq() {
+        for code in ErrorCode::ALL {
+            let line = Response::error_line(code, Some(11), "bad thing");
+            match Reply::decode(&line).expect("error envelope decodes") {
+                Reply::Error(e) => {
+                    assert_eq!(e.code, Some(code));
+                    assert_eq!(e.seq, Some(11));
+                    assert_eq!(e.message, "bad thing");
+                }
+                other => panic!("expected error, got {other:?}"),
+            }
+            // Compatibility surface: Response::decode reports it as Err.
+            let e = Response::decode(&line).unwrap_err();
+            assert_eq!(e.code, code);
+            assert!(e.message.contains("bad thing"));
+        }
+    }
+
+    #[test]
+    fn v1_error_lines_decode_without_a_code() {
+        let line = r#"{"error":"bad thing"}"#;
+        match Reply::decode(line).expect("v1 error accepted") {
+            Reply::Error(e) => {
+                assert_eq!(e.code, None);
+                assert_eq!(e.seq, None);
+                assert_eq!(e.message, "bad thing");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
     }
 
     #[test]
     fn response_decode_rejects_unknown_outcome() {
         assert!(Response::decode(r#"{"id":1,"outcome":"maybe"}"#).is_err());
         assert!(Response::decode(r#"{"outcome":"ok"}"#).is_err());
+    }
+
+    #[test]
+    fn seq_hint_recovers_seq_from_invalid_requests() {
+        assert_eq!(seq_hint(r#"{"payload_len":"x","seq":7}"#), Some(7));
+        assert_eq!(seq_hint("not json"), None);
+        assert_eq!(seq_hint(r#"{"seq":-1}"#), None);
     }
 }

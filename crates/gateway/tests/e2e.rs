@@ -1,10 +1,18 @@
 //! End-to-end loopback tests: a real gateway on an ephemeral port,
-//! driven by the in-process load generator over real sockets,
-//! time-compressed so each test stays fast.
+//! driven over real sockets — through the typed client for valid
+//! traffic, and through raw streams where the *wire itself* is under
+//! test (malformed lines, oversized lines).
+//!
+//! The same scenarios run against both engine backends via
+//! [`EngineBuilder`]; the cross-backend test at the bottom is the
+//! acceptance check that "same client, either backend" holds.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
+use pard_engine_api::{Backend, ClusterConfig, EngineBuilder, EngineHandle, LiveConfig};
+use pard_gateway::client::{CallSpec, Client, Outcome};
 use pard_gateway::{Gateway, GatewayConfig, LoadMode, LoadgenConfig};
 use pard_pipeline::AppKind;
 use pard_sim::SimDuration;
@@ -12,18 +20,34 @@ use pard_workload::constant;
 
 const SCALE: f64 = 20.0;
 
+fn live_engine() -> Box<dyn EngineHandle> {
+    EngineBuilder::for_app(AppKind::Tm)
+        .build(Backend::Live(LiveConfig::compressed(SCALE, 3, 2)))
+        .expect("builtin models resolve from the zoo")
+}
+
+fn sim_engine(seed: u64) -> Box<dyn EngineHandle> {
+    EngineBuilder::for_app(AppKind::Tm)
+        .build(Backend::Sim(
+            ClusterConfig::default()
+                .with_seed(seed)
+                .with_fixed_workers(vec![2; 3])
+                .with_pard(pard_core::PardConfig::default().with_mc_draws(500)),
+        ))
+        .expect("builtin models resolve from the zoo")
+}
+
+fn gateway_config() -> GatewayConfig {
+    GatewayConfig {
+        addr: "127.0.0.1:0".into(),
+        metrics_addr: "127.0.0.1:0".into(),
+        edge_refresh: Duration::from_millis(5),
+        max_pending: 8192,
+    }
+}
+
 fn start_gateway() -> Gateway {
-    Gateway::start(
-        AppKind::Tm,
-        GatewayConfig {
-            addr: "127.0.0.1:0".into(),
-            metrics_addr: "127.0.0.1:0".into(),
-            time_scale: SCALE,
-            workers_per_module: 2,
-            edge_refresh: std::time::Duration::from_millis(5),
-        },
-    )
-    .expect("gateway binds ephemeral ports")
+    Gateway::start(live_engine(), gateway_config()).expect("gateway binds ephemeral ports")
 }
 
 fn fetch_metrics(gateway: &Gateway) -> String {
@@ -84,12 +108,10 @@ fn closed_loop_serves_and_rejects_at_the_edge() {
     assert!(metrics.contains("pard_gateway_queue_depth{module=\"0\"}"));
 
     let snapshot = gateway.counters();
-    assert_eq!(
-        snapshot.admitted + snapshot.rejected + snapshot.protocol_errors,
-        snapshot.received
-    );
+    assert_eq!(snapshot.admitted + snapshot.unadmitted(), snapshot.received);
+    assert_eq!(snapshot.refused, 0, "no back-pressure in this scenario");
     let log = gateway.shutdown(SimDuration::from_secs(10));
-    // Only admitted requests reach the cluster log.
+    // Only admitted requests reach the engine log.
     assert_eq!(log.len() as u64, snapshot.admitted);
     assert!(log.goodput_count() > 0);
 }
@@ -134,7 +156,7 @@ fn open_loop_replays_a_trace_over_sockets() {
 }
 
 #[test]
-fn malformed_lines_and_wrong_apps_get_error_responses() {
+fn malformed_lines_and_wrong_apps_get_structured_errors() {
     let gateway = start_gateway();
     let mut stream = TcpStream::connect(gateway.addr()).expect("connect");
     stream.set_nodelay(true).unwrap();
@@ -150,13 +172,30 @@ fn malformed_lines_and_wrong_apps_get_error_responses() {
     };
 
     let garbage = roundtrip("this is not json");
-    assert!(garbage.contains("\"error\""), "{garbage}");
+    match pard_gateway::Reply::decode(&garbage).expect("error envelope") {
+        pard_gateway::Reply::Error(e) => {
+            assert_eq!(
+                e.code,
+                Some(pard_gateway::ErrorCode::Malformed),
+                "{garbage}"
+            )
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
 
-    let wrong_app = roundtrip(r#"{"app":"nope","payload_len":4,"payload":"xxxx"}"#);
-    assert!(wrong_app.contains("unknown app"), "{wrong_app}");
+    // Unknown app → the structured `unknown_app` code, with seq echoed.
+    let wrong_app = roundtrip(r#"{"v":2,"app":"nope","payload_len":4,"payload":"xxxx","seq":9}"#);
+    match pard_gateway::Reply::decode(&wrong_app).expect("error envelope") {
+        pard_gateway::Reply::Error(e) => {
+            assert_eq!(e.code, Some(pard_gateway::ErrorCode::UnknownApp));
+            assert_eq!(e.seq, Some(9), "{wrong_app}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
 
-    let valid = roundtrip(r#"{"app":"tm","payload_len":4,"payload":"xxxx","seq":1}"#);
-    let response = pard_gateway::Response::decode(&valid).expect("valid response line");
+    // A v1 line (no "v" field) is still served for one release.
+    let v1 = roundtrip(r#"{"app":"tm","payload_len":4,"payload":"xxxx","seq":1}"#);
+    let response = pard_gateway::Response::decode(&v1).expect("valid response line");
     assert_eq!(response.seq, Some(1));
 
     let snapshot = gateway.counters();
@@ -183,7 +222,7 @@ fn oversized_lines_close_the_connection_with_an_error() {
     let mut line = String::new();
     reader.read_line(&mut line).expect("error response");
     assert!(
-        line.contains("exceeds") && line.contains("\"error\""),
+        line.contains("exceeds") && line.contains("\"error_code\":\"malformed\""),
         "{line}"
     );
     line.clear();
@@ -198,41 +237,81 @@ fn oversized_lines_close_the_connection_with_an_error() {
 #[test]
 fn per_request_slo_controls_admission() {
     let gateway = start_gateway();
-    let mut stream = TcpStream::connect(gateway.addr()).expect("connect");
-    stream.set_nodelay(true).unwrap();
-    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
-    use std::io::BufRead;
+    let mut client = Client::connect(gateway.addr()).expect("connect");
 
     // Infeasible budget → rejected at the edge, synchronously.
-    writeln!(
-        stream,
-        r#"{{"app":"tm","payload_len":1,"payload":"x","slo_ms":1,"seq":1}}"#
-    )
-    .unwrap();
-    let mut line = String::new();
-    reader.read_line(&mut line).expect("edge rejection");
-    let rejection = pard_gateway::Response::decode(line.trim()).expect("response");
-    assert_eq!(rejection.outcome, pard_gateway::WireOutcome::Dropped);
-    assert!(
-        rejection.edge,
-        "must be rejected at the edge: {rejection:?}"
-    );
-    assert!(rejection.id >= pard_gateway::EDGE_ID_BASE);
+    let rejection = client
+        .call(
+            &CallSpec::new("tm").with_slo_ms(1).with_payload_len(1),
+            Duration::from_secs(10),
+        )
+        .expect("send")
+        .expect("answered");
+    match rejection.outcome {
+        Outcome::DroppedEdge { id, .. } => assert!(id >= pard_gateway::EDGE_ID_BASE),
+        other => panic!("must be rejected at the edge: {other:?}"),
+    }
 
     // Generous budget → admitted and served.
-    writeln!(
-        stream,
-        r#"{{"app":"tm","payload_len":1,"payload":"x","slo_ms":2000,"seq":2}}"#
-    )
-    .unwrap();
-    line.clear();
-    reader.read_line(&mut line).expect("completion");
-    let served = pard_gateway::Response::decode(line.trim()).expect("response");
-    assert_eq!(served.outcome, pard_gateway::WireOutcome::Ok);
-    assert!(served.latency_ms.expect("latency") > 0.0);
-    assert!(served.id < pard_gateway::EDGE_ID_BASE);
+    let served = client
+        .call(
+            &CallSpec::new("tm").with_slo_ms(2000).with_payload_len(1),
+            Duration::from_secs(30),
+        )
+        .expect("send")
+        .expect("answered");
+    match served.outcome {
+        Outcome::Ok { id, latency_ms } => {
+            assert!(latency_ms > 0.0);
+            assert!(id < pard_gateway::EDGE_ID_BASE);
+        }
+        other => panic!("must complete within SLO: {other:?}"),
+    }
 
-    drop(reader);
-    drop(stream);
+    drop(client);
     let _ = gateway.shutdown(SimDuration::from_secs(5));
+}
+
+/// Runs the identical closed-loop Client scenario against a gateway and
+/// returns the taxonomy sequence (one label per request, in order).
+fn client_scenario(engine: Box<dyn EngineHandle>) -> Vec<&'static str> {
+    let gateway = Gateway::start(engine, gateway_config()).expect("gateway starts");
+    let mut client = Client::connect(gateway.addr()).expect("connect");
+    let mut taxonomy = Vec::new();
+    for i in 0..30u64 {
+        // Every fifth request is an infeasible canary; the rest carry a
+        // generous budget.
+        let slo_ms = if i % 5 == 0 { 1 } else { 30_000 };
+        let answer = client
+            .call(
+                &CallSpec::new("tm").with_slo_ms(slo_ms).with_payload_len(8),
+                Duration::from_secs(30),
+            )
+            .expect("send")
+            .expect("answered");
+        taxonomy.push(answer.outcome.taxonomy());
+    }
+    drop(client);
+    let log = gateway.shutdown(SimDuration::from_secs(30));
+    assert_eq!(log.len(), 24, "24 admitted requests reach the engine log");
+    taxonomy
+}
+
+#[test]
+fn same_client_scenario_matches_across_backends() {
+    let live = client_scenario(live_engine());
+    let sim = client_scenario(sim_engine(42));
+    assert_eq!(
+        live, sim,
+        "the identical Client program must classify identically on both backends"
+    );
+    assert_eq!(live.iter().filter(|&&t| t == "dropped_edge").count(), 6);
+    assert_eq!(live.iter().filter(|&&t| t == "ok").count(), 24);
+}
+
+#[test]
+fn sim_backend_is_bit_reproducible_across_runs() {
+    let first = client_scenario(sim_engine(7));
+    let second = client_scenario(sim_engine(7));
+    assert_eq!(first, second, "same seed → same per-request outcomes");
 }

@@ -1,0 +1,143 @@
+//! Property tests for wire protocol v2: round trips over arbitrary
+//! field values, the full error-code taxonomy, and v1/v2 cross-decode
+//! compatibility.
+
+use proptest::prelude::*;
+
+use pard_gateway::wire::{
+    seq_hint, ErrorCode, Reply, Request, Response, ServerError, WireOutcome, MAX_SLO_MS,
+};
+
+fn maybe(n: u64, on: bool) -> Option<u64> {
+    on.then_some(n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any well-formed request survives encode → decode unchanged.
+    #[test]
+    fn request_round_trips(
+        app in "[a-z]{1,12}",
+        slo in 1u64..MAX_SLO_MS,
+        has_slo in any::<bool>(),
+        payload_len in 0usize..512,
+        seq in 0u64..1_000_000,
+        has_seq in any::<bool>(),
+    ) {
+        let original = Request {
+            app,
+            slo_ms: maybe(slo, has_slo).map(|s| s.max(1)),
+            payload_len,
+            seq: maybe(seq, has_seq),
+        };
+        let line = original.encode();
+        prop_assert!(!line.contains('\n'));
+        prop_assert!(line.contains("\"v\":2"));
+        let decoded = Request::decode(&line).expect("round trip");
+        prop_assert_eq!(decoded, original);
+    }
+
+    /// Any response — every outcome kind, edge or not — survives
+    /// encode → decode, through both the typed Reply path and the
+    /// compatibility Response path.
+    #[test]
+    fn response_round_trips(
+        id in 0u64..(1u64 << 53),
+        seq in 0u64..1_000_000,
+        has_seq in any::<bool>(),
+        latency in 0.0f64..100_000.0,
+        outcome_idx in 0usize..4,
+    ) {
+        let seq = maybe(seq, has_seq);
+        let original = match outcome_idx {
+            0 => Response::ok(id, seq, latency),
+            1 => Response::violated(id, seq, latency),
+            2 => Response::dropped(id, seq, true, "predicted"),
+            _ => Response::dropped(id, seq, false, "expired"),
+        };
+        let line = original.encode();
+        let decoded = Response::decode(&line).expect("round trip");
+        prop_assert_eq!(decoded.clone(), original.clone());
+        match Reply::decode(&line).expect("reply decodes") {
+            Reply::Outcome(r) => prop_assert_eq!(r, original),
+            Reply::Error(e) => return Err(TestCaseError::new(format!("unexpected error {e:?}"))),
+        }
+    }
+
+    /// Every error code round-trips through the v2 envelope with its
+    /// seq echo intact; decoding the same envelope through the
+    /// compatibility path preserves the code.
+    #[test]
+    fn error_envelopes_round_trip_every_code(
+        code_idx in 0usize..ErrorCode::ALL.len(),
+        seq in 0u64..1_000_000,
+        has_seq in any::<bool>(),
+        message in "[ -~]{0,60}",
+    ) {
+        let code = ErrorCode::ALL[code_idx];
+        prop_assert_eq!(ErrorCode::from_label(code.label()), Some(code));
+        let seq = maybe(seq, has_seq);
+        let line = Response::error_line(code, seq, &message);
+        match Reply::decode(&line).expect("envelope decodes") {
+            Reply::Error(ServerError { code: decoded, message: m, seq: s }) => {
+                prop_assert_eq!(decoded, Some(code));
+                prop_assert_eq!(m, message);
+                prop_assert_eq!(s, seq);
+            }
+            Reply::Outcome(r) => return Err(TestCaseError::new(format!("unexpected outcome {r:?}"))),
+        }
+        let compat = Response::decode(&line).unwrap_err();
+        prop_assert_eq!(compat.code, code);
+    }
+
+    /// v1 lines (no "v" envelope) cross-decode: requests keep their
+    /// fields, responses keep their outcome, bare error strings decode
+    /// with no code — and the v2 decoder recovers seq from requests it
+    /// must reject.
+    #[test]
+    fn v1_lines_cross_decode(
+        payload_len in 0usize..64,
+        seq in 0u64..1_000_000,
+        latency in 0.0f64..10_000.0,
+        outcome_idx in 0usize..3,
+    ) {
+        let v1_request = format!(
+            r#"{{"app":"tm","payload_len":{payload_len},"seq":{seq}}}"#
+        );
+        let decoded = Request::decode(&v1_request).expect("v1 request accepted");
+        prop_assert_eq!(decoded.payload_len, payload_len);
+        prop_assert_eq!(decoded.seq, Some(seq));
+
+        let outcome = [WireOutcome::Ok, WireOutcome::Dropped, WireOutcome::Violated][outcome_idx];
+        let v1_response = format!(
+            r#"{{"id":7,"seq":{seq},"outcome":"{}","latency_ms":{latency}}}"#,
+            outcome.label()
+        );
+        match Reply::decode(&v1_response).expect("v1 response accepted") {
+            Reply::Outcome(r) => {
+                prop_assert_eq!(r.outcome, outcome);
+                prop_assert_eq!(r.seq, Some(seq));
+            }
+            Reply::Error(e) => return Err(TestCaseError::new(format!("unexpected error {e:?}"))),
+        }
+
+        let v1_error = r#"{"error":"bad thing"}"#;
+        match Reply::decode(v1_error).expect("v1 error accepted") {
+            Reply::Error(e) => {
+                prop_assert_eq!(e.code, None);
+                prop_assert_eq!(e.seq, None);
+            }
+            Reply::Outcome(r) => return Err(TestCaseError::new(format!("unexpected outcome {r:?}"))),
+        }
+
+        // A request the decoder rejects still yields its seq for the
+        // error envelope's echo.
+        let invalid = format!(r#"{{"app":"tm","payload_len":"x","seq":{seq}}}"#);
+        prop_assert!(Request::decode(&invalid).is_err());
+        prop_assert_eq!(seq_hint(&invalid), Some(seq));
+    }
+}

@@ -40,7 +40,7 @@ impl Counter {
 /// The counter family a PARD serving edge maintains.
 ///
 /// Request accounting is exhaustive:
-/// `received = rejected + admitted + protocol_errors`, and every
+/// `received = rejected + refused + admitted + protocol_errors`, and every
 /// admitted request eventually lands in exactly one of `completed_ok`,
 /// `completed_late`, or `dropped`.
 #[derive(Debug, Default)]
@@ -57,6 +57,10 @@ pub struct ServingCounters {
     pub completed_late: Counter,
     /// Admitted requests dropped inside the pipeline.
     pub dropped: Counter,
+    /// Requests refused for gateway reasons — back-pressure (pending
+    /// table full) or shutdown — as opposed to `rejected`, which counts
+    /// only PARD's proactive edge-admission drops.
+    pub refused: Counter,
     /// Lines that failed wire-format validation.
     pub protocol_errors: Counter,
 }
@@ -71,6 +75,7 @@ impl ServingCounters {
             completed_ok: Counter::new(),
             completed_late: Counter::new(),
             dropped: Counter::new(),
+            refused: Counter::new(),
             protocol_errors: Counter::new(),
         }
     }
@@ -84,6 +89,7 @@ impl ServingCounters {
             completed_ok: self.completed_ok.get(),
             completed_late: self.completed_late.get(),
             dropped: self.dropped.get(),
+            refused: self.refused.get(),
             protocol_errors: self.protocol_errors.get(),
         }
     }
@@ -104,6 +110,8 @@ pub struct CountersSnapshot {
     pub completed_late: u64,
     /// See [`ServingCounters::dropped`].
     pub dropped: u64,
+    /// See [`ServingCounters::refused`].
+    pub refused: u64,
     /// See [`ServingCounters::protocol_errors`].
     pub protocol_errors: u64,
 }
@@ -112,6 +120,13 @@ impl CountersSnapshot {
     /// Requests that reached a terminal state.
     pub fn resolved(&self) -> u64 {
         self.rejected + self.completed_ok + self.completed_late + self.dropped
+    }
+
+    /// Requests the serving edge classified without admitting:
+    /// PARD edge rejections, gateway refusals, and protocol errors.
+    /// `received = admitted + unadmitted()` at any quiescent instant.
+    pub fn unadmitted(&self) -> u64 {
+        self.rejected + self.refused + self.protocol_errors
     }
 
     /// Fraction of resolved requests that completed within SLO
@@ -147,6 +162,7 @@ impl CountersSnapshot {
             ("completed_ok", self.completed_ok),
             ("completed_late", self.completed_late),
             ("dropped", self.dropped),
+            ("refused", self.refused),
             ("protocol_errors", self.protocol_errors),
         ] {
             out.push_str(&format!(
@@ -201,7 +217,7 @@ mod tests {
         let text = s.snapshot().to_prometheus("pard_gateway");
         assert!(text.contains("pard_gateway_completed_ok_total 3"));
         assert!(text.contains("# TYPE pard_gateway_received_total counter"));
-        assert_eq!(text.lines().count(), 14);
+        assert_eq!(text.lines().count(), 16);
     }
 
     #[test]

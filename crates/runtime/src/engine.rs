@@ -236,7 +236,9 @@ impl Shared {
 /// A running live cluster.
 pub struct LiveCluster {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    // Behind a Mutex so `drain` can join through `&self` — the unified
+    // engine API hands the cluster around as a shared trait object.
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl LiveCluster {
@@ -307,7 +309,10 @@ impl LiveCluster {
             let shared = Arc::clone(&shared);
             handles.push(std::thread::spawn(move || controller_loop(shared)));
         }
-        LiveCluster { shared, handles }
+        LiveCluster {
+            shared,
+            handles: Mutex::new(handles),
+        }
     }
 
     /// Current virtual time.
@@ -414,6 +419,14 @@ impl LiveCluster {
     /// Waits for in-flight requests to resolve (bounded by
     /// `drain_virtual`), stops all threads, and returns the log.
     pub fn finish(self, drain_virtual: SimDuration) -> RequestLog {
+        self.drain(drain_virtual)
+    }
+
+    /// [`LiveCluster::finish`] through a shared reference, for callers
+    /// that hold the cluster behind a trait object. Idempotent: the
+    /// first call stops the engine and takes the log; later calls
+    /// return an empty log.
+    pub fn drain(&self, drain_virtual: SimDuration) -> RequestLog {
         let deadline = self.shared.clock.now() + drain_virtual;
         loop {
             let pending = {
@@ -433,9 +446,12 @@ impl LiveCluster {
                 worker.cv.notify_all();
             }
         }
-        for handle in self.handles {
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for handle in handles {
             let _ = handle.join();
         }
+        // Completion consumers unblock once the engine is down.
+        *self.shared.completion_tx.lock() = None;
         let records = std::mem::take(&mut *self.shared.records.lock());
         let mut log = RequestLog::new();
         for (id, r) in records.into_iter().enumerate() {

@@ -83,6 +83,13 @@ impl<W: World> Simulation<W> {
         &mut self.world
     }
 
+    /// Timestamp of the next queued event, if any — for drivers that
+    /// step the simulation manually and need to bound how far virtual
+    /// time may advance before processing.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// # Panics

@@ -62,7 +62,8 @@ fn main() {
     );
     for system in [SystemKind::Pard, SystemKind::Nexus, SystemKind::ClipperPlus] {
         let factory = make_factory(system, &spec, &exec, OcConfig::default());
-        let result = pard::cluster::run(&spec, &trace, factory, ClusterConfig::default());
+        let result = pard::cluster::run(&spec, &trace, factory, ClusterConfig::default())
+            .expect("builtin models are in the zoo");
         let log = &result.log;
         table.row(&[
             system.name().to_string(),

@@ -21,16 +21,15 @@ fn main() {
         ModelProfile::new("rec", 5.0, 3.0, 0.90, 16),
         ModelProfile::new("ocr", 8.0, 4.0, 0.90, 16),
     ];
-    let backend_profiles = profiles.clone();
 
     println!("starting 3-module live cluster (2 workers each, {SCALE}x compressed)...");
-    let cluster = LiveCluster::start(
-        spec,
-        profiles,
-        Box::new(|_| Box::new(PardPolicy::new(PardPolicyConfig::pard()))),
-        Box::new(move |m| Box::new(SleepBackend::new(backend_profiles[m].clone(), SCALE))),
-        LiveConfig::compressed(SCALE, 3, 2),
-    );
+    // The unified engine API builds the cluster; `cluster()` exposes
+    // the runtime-specific open-loop driver.
+    let engine = EngineBuilder::new(spec)
+        .with_profiles(profiles)
+        .build_live(LiveConfig::compressed(SCALE, 3, 2))
+        .expect("valid chain pipeline");
+    let cluster = engine.cluster();
 
     // 2 minutes of virtual time: one minute calm, one minute overloaded.
     println!("phase 1: 60 virtual seconds at 150 req/s (within capacity)...");
@@ -38,7 +37,7 @@ fn main() {
     println!("phase 2: 60 virtual seconds at 700 req/s (overload: drops expected)...");
     cluster.run_open_loop(700.0, SimDuration::from_secs(60), 2);
 
-    let log = cluster.finish(SimDuration::from_secs(10));
+    let log = engine.drain(SimDuration::from_secs(10));
     let calm: Vec<_> = log
         .records()
         .iter()

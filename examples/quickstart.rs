@@ -34,7 +34,8 @@ fn main() {
     // 4. Run the cluster simulation (64-worker budget, autoscaling with
     //    cold starts, 1 s state sync — the §5.1 defaults).
     let config = ClusterConfig::default();
-    let result = pard::cluster::run(&spec, &trace, factory, config);
+    let result =
+        pard::cluster::run(&spec, &trace, factory, config).expect("builtin models are in the zoo");
 
     // 5. Read the paper's three metrics off the request log.
     let log = &result.log;

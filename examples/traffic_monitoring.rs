@@ -45,7 +45,8 @@ fn main() {
     );
     for system in SystemKind::BASELINES {
         let factory = make_factory(system, &spec, &exec, OcConfig::default());
-        let result = pard::cluster::run(&spec, &trace, factory, ClusterConfig::default());
+        let result = pard::cluster::run(&spec, &trace, factory, ClusterConfig::default())
+            .expect("builtin models are in the zoo");
         let log = &result.log;
         let dist = log.drop_distribution(spec.len());
         table.row(&[

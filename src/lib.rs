@@ -25,7 +25,8 @@
 //! | [`policies`] | Nexus, Clipper++, Naive, overload control, ablations |
 //! | [`cluster`] | discrete-event cluster serving engine |
 //! | [`runtime`] | live multi-threaded serving engine |
-//! | [`gateway`] | TCP serving front-end with edge admission + load generator |
+//! | [`engine_api`] | unified `EngineHandle` front door over simulator + live runtime |
+//! | [`gateway`] | TCP serving front-end with edge admission, typed client + load generator |
 //! | [`rag`] | §7 RAG workflow case study |
 //!
 //! # Examples
@@ -41,12 +42,25 @@
 //! let config = ClusterConfig::default()
 //!     .with_pard(PardConfig::default().with_mc_draws(500));
 //! let factory = make_factory(SystemKind::Pard, &spec, &exec, OcConfig::default());
-//! let result = pard::cluster::run(&spec, &trace, factory, config);
+//! let result = pard::cluster::run(&spec, &trace, factory, config)
+//!     .expect("builtin models are in the zoo");
 //! assert!(result.log.goodput_count() > 0);
+//! ```
+//!
+//! Build a serving engine — simulated or live — behind the unified API:
+//!
+//! ```
+//! use pard::prelude::*;
+//!
+//! let engine = EngineBuilder::for_app(AppKind::Tm)
+//!     .build(Backend::Sim(ClusterConfig::default()))
+//!     .expect("builtin models are in the zoo");
+//! assert_eq!(engine.spec().name, "tm");
 //! ```
 
 pub use pard_cluster as cluster;
 pub use pard_core as core;
+pub use pard_engine_api as engine_api;
 pub use pard_gateway as gateway;
 pub use pard_metrics as metrics;
 pub use pard_pipeline as pipeline;
@@ -59,12 +73,15 @@ pub use pard_workload as workload;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use pard_cluster::{run, ClusterConfig, FaultSpec, RunResult};
+    pub use pard_cluster::{
+        run, ClusterConfig, FaultSpec, RunResult, SimServer, UnknownModelError,
+    };
     pub use pard_core::{
         Depq, OrderMode, PardConfig, PardPolicy, PardPolicyConfig, PriorityMode, ReqMeta, RuleMode,
         SubMode, WorkerPolicy,
     };
-    pub use pard_gateway::{Gateway, GatewayConfig, LoadMode, LoadgenConfig};
+    pub use pard_engine_api::{Backend, EngineBuilder, EngineHandle, SubmitSpec};
+    pub use pard_gateway::{CallSpec, Client, Gateway, GatewayConfig, LoadMode, LoadgenConfig};
     pub use pard_metrics::{DropReason, Outcome, RequestLog, Table};
     pub use pard_pipeline::{AppKind, ModuleSpec, PipelineSpec};
     pub use pard_policies::{make_factory, OcConfig, SystemKind};

@@ -35,7 +35,8 @@ fn json_config_drives_a_full_run() {
         &exec_estimates(&spec),
         OcConfig::default(),
     );
-    let result = pard::cluster::run(&spec, &trace, factory, fast_config(1));
+    let result = pard::cluster::run(&spec, &trace, factory, fast_config(1))
+        .expect("builtin models are in the zoo");
     assert!(result.log.goodput_count() > 800);
     assert_eq!(result.unfinished, 0);
 }
@@ -49,7 +50,8 @@ fn every_system_serves_every_app() {
         let exec = exec_estimates(&spec);
         for system in SystemKind::ALL {
             let factory = make_factory(system, &spec, &exec, OcConfig::default());
-            let result = pard::cluster::run(&spec, &trace, factory, fast_config(2));
+            let result = pard::cluster::run(&spec, &trace, factory, fast_config(2))
+                .expect("builtin models are in the zoo");
             assert_eq!(
                 result.unfinished,
                 0,
@@ -89,6 +91,7 @@ fn full_stack_determinism() {
     let run_once = || {
         let factory = make_factory(SystemKind::Pard, &spec, &exec, OcConfig::default());
         pard::cluster::run(&spec, &workload_trace, factory, fast_config(5))
+            .expect("builtin models are in the zoo")
     };
     let a = run_once();
     let b = run_once();
@@ -120,17 +123,15 @@ fn des_and_live_runtime_agree_on_light_load() {
     );
     let des_frac = des.log.goodput_count() as f64 / des.log.len() as f64;
 
-    // Live side (40x compressed, ~0.25 s wall).
-    let backend_profiles = profiles.clone();
-    let live = LiveCluster::start(
-        spec,
-        profiles,
-        Box::new(|_| Box::new(PardPolicy::new(PardPolicyConfig::pard()))),
-        Box::new(move |m| Box::new(SleepBackend::new(backend_profiles[m].clone(), 40.0))),
-        LiveConfig::compressed(40.0, 2, 1),
-    );
-    live.run_open_loop(40.0, SimDuration::from_secs(10), 7);
-    let live_log = live.finish(SimDuration::from_secs(5));
+    // Live side (40x compressed, ~0.25 s wall), through the unified
+    // engine API.
+    let live = EngineBuilder::new(spec)
+        .with_profiles(profiles)
+        .build_live(LiveConfig::compressed(40.0, 2, 1))
+        .expect("valid chain pipeline");
+    live.cluster()
+        .run_open_loop(40.0, SimDuration::from_secs(10), 7);
+    let live_log = live.drain(SimDuration::from_secs(5));
     let live_frac = live_log.goodput_count() as f64 / live_log.len().max(1) as f64;
 
     assert!(des_frac > 0.99, "DES goodput {des_frac}");
@@ -153,7 +154,8 @@ fn failure_injection_through_facade() {
     };
     let factory = make_factory(SystemKind::Pard, &spec, &exec, OcConfig::default());
     let trace = pard::workload::constant(80.0, 15);
-    let result = pard::cluster::run(&spec, &trace, factory, config);
+    let result =
+        pard::cluster::run(&spec, &trace, factory, config).expect("builtin models are in the zoo");
     assert_eq!(result.unfinished, 0);
     let failed = result
         .log
@@ -203,7 +205,8 @@ fn ablation_knobs_change_behaviour() {
     ] {
         let factory = make_factory(system, &spec, &exec, OcConfig::default());
         let config = fast_config(17).with_fixed_workers(vec![2, 1, 1, 1, 2]);
-        let result = pard::cluster::run(&spec, &trace, factory, config);
+        let result = pard::cluster::run(&spec, &trace, factory, config)
+            .expect("builtin models are in the zoo");
         drops.push((
             system.name(),
             result.log.drop_rate(),

@@ -40,7 +40,7 @@ proptest! {
         let config = ClusterConfig::default()
             .with_seed(seed)
             .with_pard(PardConfig::default().with_mc_draws(300));
-        let result = pard::cluster::run(&spec, &trace, factory, config);
+        let result = pard::cluster::run(&spec, &trace, factory, config).expect("builtin models are in the zoo");
         let log = &result.log;
 
         // Conservation: everything injected is classified by the end.
