@@ -13,6 +13,7 @@ fn bench_wire(c: &mut Criterion) {
         slo_ms: Some(400),
         payload_len: 256,
         seq: Some(12345),
+        at_us: None,
     };
     let request_line = request.encode();
     let response_line = Response::ok(987, Some(12345), 123.456).encode();

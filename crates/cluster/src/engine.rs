@@ -742,6 +742,22 @@ impl World for ClusterWorld {
     }
 }
 
+/// Schedules every configured fault's onset (phase 0) and, for
+/// windowed faults, recovery (phase 1) — shared by the trace-driven
+/// run path and the stepped serving mode so the `FaultSpec` → event
+/// expansion cannot diverge between them.
+pub(crate) fn schedule_faults(sim: &mut Simulation<ClusterWorld>, faults: &[FaultSpec]) {
+    for (index, fault) in faults.iter().enumerate() {
+        match *fault {
+            FaultSpec::WorkerCrash { at, .. } => sim.schedule(at, Event::Fault { index, phase: 0 }),
+            FaultSpec::SlowWorker { from, until, .. } => {
+                sim.schedule(from, Event::Fault { index, phase: 0 });
+                sim.schedule(until, Event::Fault { index, phase: 1 });
+            }
+        }
+    }
+}
+
 /// Initial per-module worker counts for a trace: enough for the rate at
 /// t = 0 (autoscaling handles the rest), capped by the global budget.
 pub fn initial_workers(
@@ -815,15 +831,7 @@ pub fn run_with_profiles(
     sim.schedule(first_sync, Event::Sync);
     let first_scale = SimTime::ZERO + sim.world().config.scale_period;
     sim.schedule(first_scale, Event::Scale);
-    for (index, fault) in faults.iter().enumerate() {
-        match *fault {
-            FaultSpec::WorkerCrash { at, .. } => sim.schedule(at, Event::Fault { index, phase: 0 }),
-            FaultSpec::SlowWorker { from, until, .. } => {
-                sim.schedule(from, Event::Fault { index, phase: 0 });
-                sim.schedule(until, Event::Fault { index, phase: 1 });
-            }
-        }
-    }
+    schedule_faults(&mut sim, &faults);
     sim.run_to_completion();
 
     let world = sim.into_world();

@@ -25,7 +25,28 @@
 //!   reproducible only if the pump/submit interleaving is.)
 //! * Periodic [`Event::Sync`] / [`Event::Scale`] self-perpetuate (the
 //!   horizon is [`SimTime::MAX`]); they fire in timestamp order
-//!   between arrivals like in a trace-driven run.
+//!   between arrivals like in a trace-driven run, and every
+//!   [`crate::FaultSpec`] in [`ClusterConfig::faults`] is scheduled at
+//!   construction, so mid-run crashes and slowdowns fire when virtual
+//!   time passes their timestamps.
+//!
+//! # Scheduled replay and the clock gate
+//!
+//! Closed-loop driving cannot overload a pipeline (one request in
+//! flight at a time), and pipelined driving is only as reproducible as
+//! the wall-clock interleaving. [`SimServer::advance_to`] closes that
+//! gap for trace replay: a driver that knows its arrival schedule calls
+//! `advance_to(t)` before each submit. The call processes every queued
+//! event up to `t`, moves the clock to exactly `t` (through idle
+//! stretches too, so syncs, scaling, and faults fire on schedule), and
+//! raises the **clock gate** to `t`. Once the gate is set,
+//! [`SimServer::pump`] never processes an event beyond it — so between
+//! two `advance_to` calls the world is frozen, and the whole timeline
+//! is a pure function of the submit sequence and the seed no matter how
+//! driver threads interleave. Arrivals must be replayed in
+//! non-decreasing schedule order (one driver, sorted schedule);
+//! [`SimServer::drain`] releases the gate to its deadline so the tail
+//! resolves.
 
 use pard_core::PolicyFactory;
 use pard_metrics::{Outcome, RequestLog};
@@ -73,6 +94,10 @@ pub struct SimServer {
     sim: Simulation<ClusterWorld>,
     /// Submitted requests not yet terminal, in submit order.
     unresolved: Vec<u64>,
+    /// Scheduled-replay clock gate: once set (by the first
+    /// [`SimServer::advance_to`]), [`SimServer::pump`] never processes
+    /// an event beyond it. `None` = ungated closed-loop serving.
+    gate: Option<SimTime>,
 }
 
 impl SimServer {
@@ -101,6 +126,7 @@ impl SimServer {
         );
         let first_sync = config.pard.first_sync();
         let scale_period = config.scale_period;
+        let faults = config.faults.clone();
         let world = ClusterWorld::new(
             spec,
             profiles,
@@ -112,9 +138,17 @@ impl SimServer {
         let mut sim = Simulation::new(world);
         sim.schedule(first_sync, Event::Sync);
         sim.schedule(SimTime::ZERO + scale_period, Event::Scale);
+        // Faults fire mid-run when virtual time passes their
+        // timestamps, exactly as in a trace-driven run. Under a pure
+        // closed-loop driver virtual time only moves while requests are
+        // in flight, so a fault beyond the traffic horizon never fires;
+        // scheduled replay ([`SimServer::advance_to`]) moves the clock
+        // through idle stretches and hits every timestamp.
+        crate::engine::schedule_faults(&mut sim, &faults);
         SimServer {
             sim,
             unresolved: Vec::new(),
+            gate: None,
         }
     }
 
@@ -131,6 +165,15 @@ impl SimServer {
     /// Number of submitted requests not yet terminal.
     pub fn unresolved(&self) -> usize {
         self.unresolved.len()
+    }
+
+    /// Releases the replay clock gate, returning to ungated serving
+    /// (pump advances freely while requests are unresolved). Ordinary
+    /// (un-scheduled) traffic arriving on a previously gated server
+    /// must clear the gate, or its events — always beyond the last
+    /// scheduled arrival — could never be processed.
+    pub fn clear_gate(&mut self) {
+        self.gate = None;
     }
 
     /// Submits one request at the current virtual time under `slo` (the
@@ -157,26 +200,69 @@ impl SimServer {
 
     /// Processes queued events while any request is unresolved, up to
     /// `max_events`, stopping early the moment one or more requests
-    /// reach a terminal state. Returns those terminals (possibly
-    /// empty). A no-op when the pipeline is idle.
-    pub fn pump(&mut self, max_events: usize) -> Vec<TerminalEvent> {
+    /// reach a terminal state. Never crosses the clock gate (see
+    /// [`SimServer::advance_to`]). Returns the number of events
+    /// processed and the terminals reached (possibly empty). A no-op
+    /// when the pipeline is idle or the gate stalls it.
+    pub fn pump(&mut self, max_events: usize) -> (usize, Vec<TerminalEvent>) {
         let mut out = Vec::new();
+        let mut processed = 0;
         for _ in 0..max_events {
-            if self.unresolved.is_empty() || !self.sim.step() {
+            if self.unresolved.is_empty() {
                 break;
             }
+            if let (Some(gate), Some(next)) = (self.gate, self.sim.peek_time()) {
+                if next > gate {
+                    break;
+                }
+            }
+            if !self.sim.step() {
+                break;
+            }
+            processed += 1;
             self.collect_terminals(&mut out);
             if !out.is_empty() {
                 break;
             }
         }
+        (processed, out)
+    }
+
+    /// Processes every queued event up to `t`, then moves the clock to
+    /// exactly `t` — through idle stretches too, so periodic syncs,
+    /// scaling evaluations, and scheduled faults fire even while no
+    /// request is in flight — and raises the clock gate to `t`.
+    ///
+    /// This is the scheduled-replay primitive: a driver replaying a
+    /// known arrival schedule calls `advance_to(arrival)` then
+    /// [`SimServer::submit`], and because [`SimServer::pump`] never
+    /// crosses the gate, the resulting timeline is a pure function of
+    /// the schedule and the seed regardless of thread interleaving.
+    /// Calls must use non-decreasing `t` (a sorted schedule); a stale
+    /// `t` (at or before the gate) processes nothing and leaves the
+    /// gate where it was. Returns the terminals reached.
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<TerminalEvent> {
+        let mut out = Vec::new();
+        self.gate = Some(self.gate.map_or(t, |g| g.max(t)));
+        while let Some(next) = self.sim.peek_time() {
+            if next > t {
+                break;
+            }
+            self.sim.step();
+            self.collect_terminals(&mut out);
+        }
+        self.sim.advance_now_to(t);
         out
     }
 
     /// Pumps until every submitted request is terminal or virtual time
-    /// has advanced by `limit`, returning every terminal reached.
+    /// has advanced by `limit`, returning every terminal reached. On a
+    /// gated server the gate is released up to the drain deadline.
     pub fn drain(&mut self, limit: SimDuration) -> Vec<TerminalEvent> {
         let deadline = self.sim.now().saturating_add(limit);
+        if let Some(gate) = self.gate {
+            self.gate = Some(gate.max(deadline));
+        }
         let mut out = Vec::new();
         while !self.unresolved.is_empty() {
             match self.sim.peek_time() {
@@ -281,7 +367,7 @@ mod tests {
             // Closed loop: resolve before the next submit.
             let mut terminal = None;
             for _ in 0..1_000 {
-                let t = s.pump(10_000);
+                let (_, t) = s.pump(10_000);
                 if let Some(t) = t.into_iter().find(|t| t.id == id) {
                     terminal = Some(t);
                     break;
@@ -297,7 +383,9 @@ mod tests {
     fn idle_server_does_not_advance_time() {
         let mut s = server(1);
         let t0 = s.now();
-        assert!(s.pump(1_000).is_empty());
+        let (processed, terminals) = s.pump(1_000);
+        assert_eq!(processed, 0);
+        assert!(terminals.is_empty());
         assert_eq!(s.now(), t0, "pump must be a no-op while idle");
     }
 
@@ -331,5 +419,74 @@ mod tests {
         assert_eq!(a, b, "stepped sim must be bit-reproducible");
         assert!(a.iter().any(|&(_, ok)| ok), "some requests complete");
         assert!(a.iter().any(|&(_, ok)| !ok), "canaries are dropped");
+    }
+
+    #[test]
+    fn advance_to_moves_the_clock_through_idle_stretches() {
+        let mut s = server(3);
+        assert_eq!(s.now(), SimTime::ZERO);
+        let terminals = s.advance_to(SimTime::from_secs(5));
+        assert!(terminals.is_empty(), "no requests were submitted");
+        assert_eq!(s.now(), SimTime::from_secs(5));
+        // A request submitted at the advanced clock resolves normally.
+        let id = s.submit(None);
+        let terminals = s.advance_to(SimTime::from_secs(10));
+        let t = terminals.iter().find(|t| t.id == id).expect("resolves");
+        assert_eq!(t.sent, SimTime::from_secs(5));
+        assert!(matches!(t.outcome, Outcome::Completed { .. }), "{t:?}");
+    }
+
+    #[test]
+    fn pump_never_crosses_the_gate() {
+        let mut s = server(4);
+        s.advance_to(SimTime::from_secs(1));
+        let id = s.submit(None);
+        // The arrival (and everything after it) lies beyond the gate:
+        // pumping makes no progress until the gate is raised.
+        let (processed, terminals) = s.pump(100_000);
+        assert_eq!(processed, 0, "gate must stall the pump");
+        assert!(terminals.is_empty());
+        assert_eq!(s.now(), SimTime::from_secs(1));
+        let terminals = s.advance_to(SimTime::from_secs(3));
+        assert!(terminals.iter().any(|t| t.id == id), "released by gate");
+    }
+
+    #[test]
+    fn scheduled_faults_fire_under_the_stepped_clock() {
+        let spec = AppKind::Tm.pipeline();
+        let profiles = crate::engine::resolve_profiles(&spec).expect("builtin models in zoo");
+        let config = ClusterConfig::default()
+            .with_seed(9)
+            .with_fixed_workers(vec![1; spec.modules.len()])
+            .with_pard(pard_core::PardConfig::default().with_mc_draws(500));
+        let config = ClusterConfig {
+            faults: vec![crate::FaultSpec::WorkerCrash {
+                module: 0,
+                worker: 0,
+                at: SimTime::from_secs(2),
+            }],
+            exec_jitter_sigma: 0.0,
+            ..config
+        };
+        let workers = config.fixed_workers.clone().unwrap();
+        let mut s = SimServer::new(
+            spec,
+            profiles,
+            Box::new(|_| Box::new(PardPolicy::new(PardPolicyConfig::pard()))),
+            config,
+            workers,
+        );
+        // Before the crash: a request completes.
+        let a = s.submit(None);
+        let before = s.advance_to(SimTime::from_secs(1));
+        let a = before.iter().find(|t| t.id == a).expect("resolves");
+        assert!(matches!(a.outcome, Outcome::Completed { .. }), "{a:?}");
+        // Advance past the crash: module 0's only worker goes down, so
+        // every later request is dropped at dispatch.
+        s.advance_to(SimTime::from_secs(3));
+        let b = s.submit(None);
+        let after = s.advance_to(SimTime::from_secs(5));
+        let b = after.iter().find(|t| t.id == b).expect("resolves");
+        assert!(matches!(b.outcome, Outcome::Dropped { .. }), "{b:?}");
     }
 }

@@ -283,6 +283,61 @@ fn slow_worker_degrades_then_recovers() {
 }
 
 #[test]
+fn slow_worker_window_boundaries_are_exact() {
+    // The degradation multiplier applies to batches *started* in
+    // `[from, until)` — onset and recovery land exactly on the fault's
+    // timestamps. Jitter is disabled and module 0 has a single worker,
+    // so every module-0 batch duration is exactly `latency(b)` scaled
+    // (or not) by the fault factor, measurable from the stage records.
+    let factor = 4.0;
+    let (from, until) = (SimTime::from_secs(8), SimTime::from_secs(16));
+    let spec_len = AppKind::Tm.pipeline().len();
+    let config = ClusterConfig {
+        faults: vec![FaultSpec::SlowWorker {
+            module: 0,
+            worker: 0,
+            factor,
+            from,
+            until,
+        }],
+        exec_jitter_sigma: 0.0,
+        ..test_config().with_fixed_workers(vec![1; spec_len])
+    };
+    let trace = constant(60.0, 30);
+    let result = run_system(AppKind::Tm, SystemKind::Pard, &trace, config);
+    let profile = zoo::by_name(&AppKind::Tm.pipeline().modules[0].name).unwrap();
+    let (mut before, mut during, mut after) = (0usize, 0usize, 0usize);
+    for r in result.log.records() {
+        for s in r.stages.iter().filter(|s| s.module == 0) {
+            let nominal = profile.latency(s.batch_size);
+            let actual = s.exec_end.saturating_since(s.exec_start);
+            let expected = if s.exec_start >= from && s.exec_start < until {
+                during += 1;
+                nominal.mul_f64(factor)
+            } else {
+                if s.exec_start < from {
+                    before += 1;
+                } else {
+                    after += 1;
+                }
+                nominal
+            };
+            // mul_f64 rounds to whole microseconds; nothing else may
+            // perturb the duration.
+            assert_eq!(
+                actual, expected,
+                "batch at {:?} (batch {}): {actual:?} != {expected:?}",
+                s.exec_start, s.batch_size
+            );
+        }
+    }
+    assert!(
+        before > 100 && during > 20 && after > 100,
+        "all three regimes must be exercised: {before}/{during}/{after}"
+    );
+}
+
+#[test]
 fn sync_traffic_stays_within_paper_bound() {
     let trace = constant(60.0, 30);
     let result = run_system(AppKind::Lv, SystemKind::Pard, &trace, test_config());

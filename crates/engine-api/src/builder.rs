@@ -2,11 +2,12 @@
 
 use std::fmt;
 
-use pard_cluster::{ClusterConfig, SimServer, UnknownModelError};
+use pard_cluster::{ClusterConfig, FaultSpec, SimServer, UnknownModelError};
 use pard_core::{PardPolicy, PardPolicyConfig, PolicyFactory};
 use pard_pipeline::{PipelineSpec, SpecError};
 use pard_profile::ModelProfile;
 use pard_runtime::{LiveCluster, LiveConfig, SleepBackend};
+use pard_sim::SimDuration;
 
 use crate::handle::EngineHandle;
 use crate::live::LiveEngine;
@@ -69,6 +70,24 @@ impl From<UnknownModelError> for EngineError {
     }
 }
 
+/// Worker vectors must match the pipeline shape and name runnable
+/// pools — checked here with a typed error instead of panicking deep
+/// inside the cluster's own `validate`.
+fn check_worker_counts(workers: &[usize], modules: usize) -> Result<(), EngineError> {
+    if workers.len() != modules {
+        return Err(EngineError::Config(format!(
+            "{} worker counts for {modules} modules",
+            workers.len()
+        )));
+    }
+    if let Some(module) = workers.iter().position(|&n| n == 0) {
+        return Err(EngineError::Config(format!(
+            "module {module} has 0 workers; every module needs at least 1"
+        )));
+    }
+    Ok(())
+}
+
 /// Builds an [`EngineHandle`] for a pipeline: resolve profiles, pick a
 /// policy, pick a [`Backend`].
 ///
@@ -86,6 +105,12 @@ pub struct EngineBuilder {
     profiles: Option<Vec<ModelProfile>>,
     policy: Option<PolicyFactory>,
     workers_per_module: Option<Vec<usize>>,
+    faults: Option<Vec<FaultSpec>>,
+    autoscale: Option<bool>,
+    worker_cap: Option<usize>,
+    cold_start: Option<SimDuration>,
+    exec_jitter_sigma: Option<f64>,
+    net_delay: Option<SimDuration>,
 }
 
 impl EngineBuilder {
@@ -97,6 +122,12 @@ impl EngineBuilder {
             profiles: None,
             policy: None,
             workers_per_module: None,
+            faults: None,
+            autoscale: None,
+            worker_cap: None,
+            cold_start: None,
+            exec_jitter_sigma: None,
+            net_delay: None,
         }
     }
 
@@ -125,6 +156,51 @@ impl EngineBuilder {
         self
     }
 
+    /// Injects faults (worker crashes, slowdowns) that fire when
+    /// virtual time passes their timestamps. Simulator backend only —
+    /// [`EngineBuilder::build_live`] reports a typed
+    /// [`EngineError::Config`].
+    pub fn with_faults(mut self, faults: Vec<FaultSpec>) -> EngineBuilder {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Enables or disables the runtime scaling engine (simulator
+    /// backend only).
+    pub fn with_autoscale(mut self, autoscale: bool) -> EngineBuilder {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Caps the total worker budget across modules. Takes effect only
+    /// under autoscaling (simulator backend); inert otherwise.
+    pub fn with_worker_cap(mut self, worker_cap: usize) -> EngineBuilder {
+        self.worker_cap = Some(worker_cap);
+        self
+    }
+
+    /// Sets the model cold-start delay of newly provisioned workers.
+    /// Takes effect only under autoscaling (simulator backend); inert
+    /// otherwise.
+    pub fn with_cold_start(mut self, cold_start: SimDuration) -> EngineBuilder {
+        self.cold_start = Some(cold_start);
+        self
+    }
+
+    /// Sets the log-normal σ of execution-duration jitter; 0 disables
+    /// (simulator backend only).
+    pub fn with_exec_jitter(mut self, sigma: f64) -> EngineBuilder {
+        self.exec_jitter_sigma = Some(sigma);
+        self
+    }
+
+    /// Sets the one-way client/module network delay (simulator backend
+    /// only).
+    pub fn with_net_delay(mut self, net_delay: SimDuration) -> EngineBuilder {
+        self.net_delay = Some(net_delay);
+        self
+    }
+
     /// Builds the engine behind the trait — the form front-ends like
     /// the gateway consume. For backend-specific surface (e.g.
     /// [`pard_runtime::LiveCluster::run_open_loop`]) use
@@ -138,6 +214,35 @@ impl EngineBuilder {
 
     /// Builds the live threaded engine with its concrete type exposed.
     pub fn build_live(self, mut config: LiveConfig) -> Result<LiveEngine, EngineError> {
+        // Cluster-dynamics knobs model simulator-only machinery; a
+        // silently ignored fault schedule would be worse than an error.
+        // Only *active* requests are rejected — explicitly disabling a
+        // knob (no faults, autoscale off, zero jitter/delay) asks for
+        // exactly what the live runtime already does, so
+        // backend-parametric callers can configure one builder for
+        // either backend. `worker_cap`/`cold_start` only take effect
+        // under autoscaling, which is itself rejected when enabled.
+        for (active, knob) in [
+            (
+                self.faults.as_ref().is_some_and(|f| !f.is_empty()),
+                "fault injection",
+            ),
+            (self.autoscale == Some(true), "autoscaling"),
+            (
+                self.exec_jitter_sigma.is_some_and(|sigma| sigma > 0.0),
+                "execution jitter",
+            ),
+            (
+                self.net_delay.is_some_and(|delay| !delay.is_zero()),
+                "network delay",
+            ),
+        ] {
+            if active {
+                return Err(EngineError::Config(format!(
+                    "{knob} requires Backend::Sim; the live runtime does not model it"
+                )));
+            }
+        }
         let workers_override = self.workers_per_module.clone();
         let (spec, profiles, policy) = self.resolve()?;
         if let Some(workers) = workers_override {
@@ -148,13 +253,7 @@ impl EngineBuilder {
                 pipeline: spec.name.clone(),
             });
         }
-        if config.workers_per_module.len() != spec.modules.len() {
-            return Err(EngineError::Config(format!(
-                "{} worker counts for {} modules",
-                config.workers_per_module.len(),
-                spec.modules.len()
-            )));
-        }
+        check_worker_counts(&config.workers_per_module, spec.modules.len())?;
         let scale = config.time_scale;
         let backend_profiles = profiles.clone();
         let cluster = LiveCluster::start(
@@ -171,6 +270,25 @@ impl EngineBuilder {
     /// exposed.
     pub fn build_sim(self, mut config: ClusterConfig) -> Result<SimEngine, EngineError> {
         let workers_override = self.workers_per_module.clone();
+        // Builder-level cluster dynamics override the passed config.
+        if let Some(faults) = self.faults.clone() {
+            config.faults = faults;
+        }
+        if let Some(autoscale) = self.autoscale {
+            config.autoscale = autoscale;
+        }
+        if let Some(worker_cap) = self.worker_cap {
+            config.worker_cap = worker_cap;
+        }
+        if let Some(cold_start) = self.cold_start {
+            config.cold_start = cold_start;
+        }
+        if let Some(sigma) = self.exec_jitter_sigma {
+            config.exec_jitter_sigma = sigma;
+        }
+        if let Some(net_delay) = self.net_delay {
+            config.net_delay = net_delay;
+        }
         let (spec, profiles, policy) = self.resolve()?;
         // A builder override is a genuine override, matching
         // `ClusterConfig::with_fixed_workers` semantics (pins the pool
@@ -183,12 +301,50 @@ impl EngineBuilder {
         let workers = workers_override
             .or_else(|| config.fixed_workers.clone())
             .unwrap_or_else(|| vec![2; spec.modules.len()]);
-        if workers.len() != spec.modules.len() {
+        check_worker_counts(&workers, spec.modules.len())?;
+        if config.worker_cap == 0 {
+            return Err(EngineError::Config("worker cap must be at least 1".into()));
+        }
+        if !config.exec_jitter_sigma.is_finite() || config.exec_jitter_sigma < 0.0 {
             return Err(EngineError::Config(format!(
-                "{} worker counts for {} modules",
-                workers.len(),
-                spec.modules.len()
+                "execution jitter sigma {} must be finite and non-negative",
+                config.exec_jitter_sigma
             )));
+        }
+        for (i, fault) in config.faults.iter().enumerate() {
+            let (module, worker) = match *fault {
+                FaultSpec::WorkerCrash { module, worker, .. } => (module, worker),
+                FaultSpec::SlowWorker { module, worker, .. } => (module, worker),
+            };
+            if module >= spec.modules.len() {
+                return Err(EngineError::Config(format!(
+                    "fault #{i} targets module {module}, but pipeline {:?} has {} modules",
+                    spec.name,
+                    spec.modules.len()
+                )));
+            }
+            // With a pinned pool the worker index is knowable now; an
+            // out-of-range index would make the fault a silent no-op
+            // at fire time (the handler ignores unknown workers).
+            // Autoscaling pools grow at runtime, so only a pinned pool
+            // can be checked.
+            if !config.autoscale && worker >= workers[module] {
+                return Err(EngineError::Config(format!(
+                    "fault #{i} targets worker {worker} of module {module}, which has only \
+                     {} workers",
+                    workers[module]
+                )));
+            }
+            if let FaultSpec::SlowWorker { from, until, .. } = *fault {
+                // Swapped bounds would fire the recovery before the
+                // onset, leaving the worker degraded forever.
+                if from >= until {
+                    return Err(EngineError::Config(format!(
+                        "fault #{i}: SlowWorker window [{from:?}, {until:?}) is empty \
+                         or inverted"
+                    )));
+                }
+            }
         }
         let server = SimServer::new(spec, profiles, policy, config, workers);
         Ok(SimEngine::new(server))
@@ -214,5 +370,175 @@ impl EngineBuilder {
             .policy
             .unwrap_or_else(|| Box::new(|_| Box::new(PardPolicy::new(PardPolicyConfig::pard()))));
         Ok((self.spec, profiles, policy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_pipeline::AppKind;
+    use pard_sim::SimTime;
+
+    fn config_error(result: Result<SimEngine, EngineError>) -> String {
+        match result {
+            Err(EngineError::Config(message)) => message,
+            other => panic!("expected EngineError::Config, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn worker_override_length_mismatch_is_a_typed_error() {
+        let e = config_error(
+            EngineBuilder::for_app(AppKind::Tm)
+                .with_workers(vec![1, 1])
+                .build_sim(ClusterConfig::default()),
+        );
+        assert!(e.contains("2 worker counts for 3 modules"), "{e}");
+    }
+
+    #[test]
+    fn zero_worker_counts_are_a_typed_error_not_a_panic() {
+        // Via the builder override…
+        let e = config_error(
+            EngineBuilder::for_app(AppKind::Tm)
+                .with_workers(vec![1, 0, 1])
+                .build_sim(ClusterConfig::default()),
+        );
+        assert!(e.contains("module 1 has 0 workers"), "{e}");
+        // …and via a config-level fixed_workers vector, which used to
+        // panic inside ClusterConfig::validate.
+        let e = config_error(
+            EngineBuilder::for_app(AppKind::Tm)
+                .build_sim(ClusterConfig::default().with_fixed_workers(vec![0, 1, 1])),
+        );
+        assert!(e.contains("module 0 has 0 workers"), "{e}");
+    }
+
+    #[test]
+    fn live_builds_reject_worker_shape_errors_with_typed_errors() {
+        let short = EngineBuilder::for_app(AppKind::Tm)
+            .with_workers(vec![2])
+            .build_live(pard_runtime::LiveConfig::compressed(10.0, 3, 2))
+            .err();
+        assert!(matches!(short, Some(EngineError::Config(_))), "{short:?}");
+        let zero = EngineBuilder::for_app(AppKind::Tm)
+            .with_workers(vec![2, 0, 2])
+            .build_live(pard_runtime::LiveConfig::compressed(10.0, 3, 2))
+            .err();
+        assert!(matches!(zero, Some(EngineError::Config(_))), "{zero:?}");
+    }
+
+    #[test]
+    fn sim_only_dynamics_are_rejected_on_the_live_backend() {
+        let result = EngineBuilder::for_app(AppKind::Tm)
+            .with_faults(vec![FaultSpec::WorkerCrash {
+                module: 0,
+                worker: 0,
+                at: SimTime::from_secs(1),
+            }])
+            .build_live(pard_runtime::LiveConfig::compressed(10.0, 3, 2));
+        match result {
+            Err(EngineError::Config(message)) => {
+                assert!(message.contains("Backend::Sim"), "{message}")
+            }
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+        }
+        // Explicitly *disabled* knobs describe what the live runtime
+        // already does, so a backend-parametric configuration builds.
+        let disabled = EngineBuilder::for_app(AppKind::Tm)
+            .with_faults(Vec::new())
+            .with_autoscale(false)
+            .with_worker_cap(8)
+            .with_cold_start(SimDuration::from_secs(4))
+            .with_exec_jitter(0.0)
+            .with_net_delay(SimDuration::ZERO)
+            .build_live(pard_runtime::LiveConfig::compressed(10.0, 3, 2));
+        assert!(disabled.is_ok(), "{:?}", disabled.err());
+    }
+
+    #[test]
+    fn out_of_range_fault_modules_are_rejected_at_build_time() {
+        let e = config_error(
+            EngineBuilder::for_app(AppKind::Tm)
+                .with_faults(vec![FaultSpec::SlowWorker {
+                    module: 7,
+                    worker: 0,
+                    factor: 2.0,
+                    from: SimTime::ZERO,
+                    until: SimTime::from_secs(1),
+                }])
+                .build_sim(ClusterConfig::default()),
+        );
+        assert!(e.contains("targets module 7"), "{e}");
+    }
+
+    #[test]
+    fn inverted_slow_worker_windows_are_rejected_at_build_time() {
+        // Swapped bounds would fire the recovery before the onset,
+        // leaving the worker degraded forever.
+        let e = config_error(
+            EngineBuilder::for_app(AppKind::Tm)
+                .with_faults(vec![FaultSpec::SlowWorker {
+                    module: 0,
+                    worker: 0,
+                    factor: 2.0,
+                    from: SimTime::from_secs(16),
+                    until: SimTime::from_secs(8),
+                }])
+                .build_sim(ClusterConfig::default()),
+        );
+        assert!(e.contains("inverted"), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_fault_workers_are_rejected_for_pinned_pools() {
+        // An unknown worker index would make the fault a silent no-op
+        // at fire time; with a pinned pool the bound is knowable now.
+        let e = config_error(
+            EngineBuilder::for_app(AppKind::Tm)
+                .with_workers(vec![1, 1, 1])
+                .with_faults(vec![FaultSpec::WorkerCrash {
+                    module: 0,
+                    worker: 1,
+                    at: SimTime::from_secs(1),
+                }])
+                .build_sim(ClusterConfig::default()),
+        );
+        assert!(e.contains("targets worker 1"), "{e}");
+        // Autoscaling pools grow at runtime, so the same fault is
+        // accepted there.
+        let grown = EngineBuilder::for_app(AppKind::Tm)
+            .with_autoscale(true)
+            .with_faults(vec![FaultSpec::WorkerCrash {
+                module: 0,
+                worker: 5,
+                at: SimTime::from_secs(1),
+            }])
+            .build_sim(ClusterConfig::default());
+        assert!(grown.is_ok());
+    }
+
+    #[test]
+    fn builder_dynamics_land_in_the_cluster_config() {
+        // Observable end to end: a cranked-up net delay shifts a
+        // request's first arrival, so the engine resolves it later.
+        let engine = EngineBuilder::for_app(AppKind::Tm)
+            .with_net_delay(SimDuration::from_millis(250))
+            .with_exec_jitter(0.0)
+            .with_autoscale(false)
+            .build_sim(ClusterConfig::default())
+            .expect("builds");
+        use crate::handle::{EngineHandle, SubmitSpec};
+        engine.submit(SubmitSpec::default());
+        engine.advance_to(SimTime::from_millis(200));
+        // The arrival is still in flight at 200 ms (net delay 250 ms).
+        assert_eq!(engine.edge_state().queue_depths[0], 0);
+        let log = engine.drain(SimDuration::from_secs(10));
+        let record = &log.records()[0];
+        assert!(
+            record.stages[0].arrived >= SimTime::from_millis(250),
+            "{:?}",
+            record.stages[0]
+        );
     }
 }

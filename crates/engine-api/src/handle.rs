@@ -20,6 +20,14 @@ pub struct SubmitSpec {
     pub slo: Option<SimDuration>,
     /// Opaque caller tag echoed back verbatim in the [`Completion`].
     pub tag: u64,
+    /// Scheduled virtual arrival for deterministic replay: a stepped
+    /// engine advances its clock to this instant (gating background
+    /// pumping) before stamping the request. `None` marks ordinary
+    /// traffic and *releases* any replay gate — otherwise one replay
+    /// interaction would leave the clock gated and starve every later
+    /// plain request, whose events always lie beyond the gate. Live
+    /// engines ignore the field.
+    pub at: Option<SimTime>,
 }
 
 impl SubmitSpec {
@@ -32,6 +40,12 @@ impl SubmitSpec {
     /// Sets the caller tag.
     pub fn with_tag(mut self, tag: u64) -> SubmitSpec {
         self.tag = tag;
+        self
+    }
+
+    /// Sets the scheduled virtual arrival (deterministic replay).
+    pub fn with_at(mut self, at: SimTime) -> SubmitSpec {
+        self.at = Some(at);
         self
     }
 }
@@ -61,11 +75,33 @@ pub trait EngineHandle: Send + Sync {
     /// any request resolves. Replaces a previously registered sink.
     fn set_completion_sink(&self, sink: Sender<Completion>);
 
+    /// Whether this engine's virtual time only advances when driven
+    /// ([`EngineHandle::pump`] / [`EngineHandle::advance_to`]). Live
+    /// engines are self-driving and return `false`; front-ends use
+    /// this to tell "stalled because nothing drives the clock past the
+    /// gate" from "still working" during drains.
+    fn stepped(&self) -> bool {
+        false
+    }
+
     /// Drives engines whose virtual time does not advance on its own
     /// (the stepped simulator). Returns whether any progress was made —
     /// `false` means the caller may idle briefly. Live engines are
     /// self-driving and always return `false`.
     fn pump(&self) -> bool {
+        false
+    }
+
+    /// Moves virtual time to exactly `t` for engines with a stepped
+    /// clock, processing every due event on the way (completions reach
+    /// the sink) — the scheduled-replay primitive: a driver replaying a
+    /// known arrival schedule advances to each arrival time before
+    /// submitting, which also gates background pumping so outcomes are
+    /// a pure function of the schedule and the seed (see
+    /// [`pard_cluster::SimServer::advance_to`]). Calls must use
+    /// non-decreasing `t`. Returns `false` on engines whose clock
+    /// cannot be steered (the live runtime), which ignore the call.
+    fn advance_to(&self, _t: SimTime) -> bool {
         false
     }
 

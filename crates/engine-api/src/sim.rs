@@ -54,11 +54,15 @@ impl Inner {
 /// **closed-loop** driver (each request submitted only after the
 /// previous one resolved — e.g. one connection, one outstanding call)
 /// sees outcomes that are a pure function of the submit sequence and
-/// the seed, reproducible across runs. Under pipelined or
+/// the seed, reproducible across runs. Under free-running pipelined or
 /// multi-connection traffic, submits race the pump thread's progress
 /// through the event queue, so virtual arrival times (and therefore
 /// borderline admission decisions) can vary with wall-clock
-/// interleaving.
+/// interleaving. **Scheduled replay** closes that gap: a driver that
+/// calls [`EngineHandle::advance_to`] with each request's scheduled
+/// arrival time before submitting pins every arrival to the schedule
+/// and gates the pump thread, making even deeply pipelined replays
+/// bit-reproducible (see [`pard_cluster::SimServer::advance_to`]).
 pub struct SimEngine {
     // The spec lives outside the lock so `spec()` can hand out a plain
     // reference.
@@ -91,6 +95,18 @@ impl EngineHandle for SimEngine {
 
     fn submit(&self, spec: SubmitSpec) -> RequestId {
         let mut inner = self.inner.lock();
+        match spec.at {
+            // Scheduled replay: pin the clock (and the gate) to the
+            // arrival in the same critical section as the submit.
+            Some(at) => {
+                let terminals = inner.server.advance_to(at);
+                inner.deliver(terminals);
+            }
+            // Ordinary traffic releases any replay gate: its events lie
+            // beyond the last scheduled arrival and would otherwise
+            // never be processed.
+            None => inner.server.clear_gate(),
+        }
         let id = inner.server.submit(spec.slo);
         if spec.tag != 0 {
             inner.tags.insert(id, spec.tag);
@@ -113,12 +129,24 @@ impl EngineHandle for SimEngine {
         self.inner.lock().sink = Some(sink);
     }
 
+    fn stepped(&self) -> bool {
+        true
+    }
+
     fn pump(&self) -> bool {
         let mut inner = self.inner.lock();
         if inner.server.unresolved() == 0 {
             return false;
         }
-        let terminals = inner.server.pump(PUMP_CHUNK);
+        let (processed, terminals) = inner.server.pump(PUMP_CHUNK);
+        let progressed = processed > 0 || !terminals.is_empty();
+        inner.deliver(terminals);
+        progressed
+    }
+
+    fn advance_to(&self, t: SimTime) -> bool {
+        let mut inner = self.inner.lock();
+        let terminals = inner.server.advance_to(t);
         inner.deliver(terminals);
         true
     }

@@ -30,6 +30,7 @@ fn usage() -> ! {
         "usage: pard-gateway [--app tm|lv|gm|da | --pipeline SPEC.json]\n\
          \x20                   [--backend live|sim] [--addr HOST:PORT] [--metrics HOST:PORT]\n\
          \x20                   [--workers N] [--scale F] [--seed N] [--max-pending N]\n\
+         \x20                   [--no-replay]\n\
          \x20                   [--duration SECS]"
     );
     std::process::exit(2);
@@ -87,6 +88,7 @@ fn main() {
             "--scale" => scale = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
             "--max-pending" => config.max_pending = value().parse().unwrap_or_else(|_| usage()),
+            "--no-replay" => config.allow_replay = false,
             "--duration" => duration = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),

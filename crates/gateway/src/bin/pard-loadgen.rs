@@ -17,7 +17,7 @@
 use std::io::Write;
 use std::net::{SocketAddr, ToSocketAddrs};
 
-use pard_gateway::{LoadMode, LoadgenConfig};
+use pard_gateway::{LoadMode, LoadgenConfig, Pace};
 use pard_workload::{constant, PayloadSpec, TraceKind};
 
 fn usage() -> ! {
@@ -25,7 +25,13 @@ fn usage() -> ! {
         "usage: pard-loadgen --addr HOST:PORT [--app NAME] [--mode open|closed]\n\
          \x20                   [--rate RPS] [--duration SECS] [--trace wiki|tweet|azure]\n\
          \x20                   [--requests N] [--connections N] [--slo-ms MS]\n\
-         \x20                   [--tight-frac F] [--scale F] [--seed N] [--out FILE]"
+         \x20                   [--tight-frac F] [--scale F] [--pace wall|virtual]\n\
+         \x20                   [--seed N] [--out FILE]\n\
+         \n\
+         --pace virtual stamps each open-loop request with its scheduled\n\
+         virtual arrival (at_us) and sends at full speed: against a sim\n\
+         backend the replay is deterministic and runs at simulation speed\n\
+         (forces a single connection)."
     );
     std::process::exit(2);
 }
@@ -75,6 +81,16 @@ fn main() {
             "--slo-ms" => config.slo_ms = Some(value().parse().unwrap_or_else(|_| usage())),
             "--tight-frac" => config.tight_fraction = value().parse().unwrap_or_else(|_| usage()),
             "--scale" => config.time_scale = value().parse().unwrap_or_else(|_| usage()),
+            "--pace" => {
+                config.pace = match value().as_str() {
+                    "wall" => Pace::Wall,
+                    "virtual" => Pace::Virtual,
+                    other => {
+                        eprintln!("unknown pace {other:?}");
+                        usage()
+                    }
+                }
+            }
             "--seed" => config.seed = value().parse().unwrap_or_else(|_| usage()),
             "--out" => out_path = Some(value()),
             "--help" | "-h" => usage(),
@@ -94,6 +110,13 @@ fn main() {
         });
 
     config.payload = PayloadSpec::default();
+    // Virtual pacing forces a single connection (arrivals must reach
+    // the engine in schedule order); clamp here so the summary and the
+    // JSON record report the connection count actually used.
+    if config.pace == Pace::Virtual && mode == "open" && config.connections != 1 {
+        eprintln!("--pace virtual replays on a single connection; ignoring --connections");
+        config.connections = 1;
+    }
     config.mode = match mode.as_str() {
         "open" => {
             let trace = match trace_kind {

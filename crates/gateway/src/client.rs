@@ -40,6 +40,9 @@ pub struct CallSpec {
     pub slo_ms: Option<u64>,
     /// Synthetic payload size, bytes.
     pub payload_len: usize,
+    /// Scheduled virtual arrival time (µs since engine start) for
+    /// deterministic trace replay; see [`crate::wire::Request::at_us`].
+    pub at_us: Option<u64>,
 }
 
 impl CallSpec {
@@ -49,6 +52,7 @@ impl CallSpec {
             app: app.into(),
             slo_ms: None,
             payload_len: 0,
+            at_us: None,
         }
     }
 
@@ -61,6 +65,12 @@ impl CallSpec {
     /// Sets the payload size.
     pub fn with_payload_len(mut self, payload_len: usize) -> CallSpec {
         self.payload_len = payload_len;
+        self
+    }
+
+    /// Sets the scheduled virtual arrival time (deterministic replay).
+    pub fn with_at_us(mut self, at_us: u64) -> CallSpec {
+        self.at_us = Some(at_us);
         self
     }
 }
@@ -239,6 +249,7 @@ impl Client {
             slo_ms: spec.slo_ms,
             payload_len: spec.payload_len,
             seq: Some(seq),
+            at_us: spec.at_us,
         };
         {
             let mut state = self.shared.state.lock();
@@ -313,6 +324,21 @@ impl Client {
     pub fn call(&mut self, spec: &CallSpec, timeout: Duration) -> io::Result<Option<Answer>> {
         let seq = self.send(spec)?;
         Ok(self.wait(seq, timeout))
+    }
+
+    /// Sends a replay-control line steering a stepped engine's virtual
+    /// clock to `to_us` (µs since engine start) — the flush a
+    /// scheduled replay sends after its last request so the tail of
+    /// the schedule resolves. No response line is produced; outcomes of
+    /// outstanding requests keep arriving. Engines without a steerable
+    /// clock ignore it.
+    pub fn advance(&mut self, to_us: u64) -> io::Result<()> {
+        writeln!(
+            self.out,
+            "{}",
+            crate::wire::ClientLine::encode_advance(to_us)
+        )
+        .and_then(|()| self.out.flush())
     }
 
     /// Requests sent and not yet answered.

@@ -37,6 +37,6 @@ pub mod wire;
 
 pub use admission::{edge_decision, edge_sub_estimate};
 pub use client::{Answer, CallSpec, Client, Drained};
-pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport};
+pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport, Pace};
 pub use server::{Gateway, GatewayConfig, EDGE_ID_BASE};
 pub use wire::{ErrorCode, Reply, Request, Response, ServerError, WireError, WireOutcome};

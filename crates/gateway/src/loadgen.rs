@@ -19,6 +19,11 @@ use parking_lot::Mutex;
 use pard_workload::{wire_schedule, PayloadSpec, RateTrace, WireEvent};
 
 use crate::client::{Answer, CallSpec, Client, Outcome};
+use crate::wire;
+
+/// Virtual time a paced replay flushes past its final arrival so the
+/// whole tail (including late completions) resolves before `finish`.
+const VIRTUAL_FLUSH_MARGIN_US: u64 = 120_000_000;
 
 /// Driving discipline.
 #[derive(Clone, Debug)]
@@ -33,6 +38,22 @@ pub enum LoadMode {
         /// Requests each connection issues.
         requests_per_connection: usize,
     },
+}
+
+/// How an open-loop replay keeps its schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Pace {
+    /// Sleep on the wall clock until each arrival is due (compressed by
+    /// `time_scale`) — the realistic discipline for live engines.
+    #[default]
+    Wall,
+    /// Stamp each request with its scheduled virtual arrival (`at_us`)
+    /// and send as fast as the socket allows: a stepped engine paces
+    /// its own clock to the schedule, so the replay is deterministic
+    /// and runs at simulation speed. Forces a single connection (the
+    /// engine requires arrivals in schedule order); live engines
+    /// ignore the stamps and see a burst.
+    Virtual,
 }
 
 /// Load-generator configuration.
@@ -57,6 +78,9 @@ pub struct LoadgenConfig {
     /// for open-loop pacing and latency conversion (use 1.0 for the
     /// simulator backend, whose virtual clock is self-paced).
     pub time_scale: f64,
+    /// Open-loop pacing discipline (wall-clock sleep vs. virtual-time
+    /// stamps); ignored in closed-loop mode.
+    pub pace: Pace,
     /// Seed for schedule expansion and canary selection.
     pub seed: u64,
 }
@@ -73,6 +97,7 @@ impl Default for LoadgenConfig {
             tight_fraction: 0.05,
             payload: PayloadSpec::default(),
             time_scale: 1.0,
+            pace: Pace::default(),
             seed: 42,
         }
     }
@@ -210,6 +235,23 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenReport
     let mut sent_total = 0usize;
     let mut unanswered = 0usize;
 
+    // Virtual pacing requires arrivals in schedule order on one
+    // connection — a round-robin split would interleave the stepped
+    // clock backwards.
+    let forced_single;
+    let config = if matches!(
+        (&config.mode, config.pace),
+        (LoadMode::Open { .. }, Pace::Virtual)
+    ) && config.connections != 1
+    {
+        let mut forced = config.clone();
+        forced.connections = 1;
+        forced_single = forced;
+        &forced_single
+    } else {
+        config
+    };
+
     match &config.mode {
         LoadMode::Open { trace } => {
             // The schedule's nominal SLO is only a placeholder; the
@@ -313,12 +355,21 @@ fn open_loop_connection(
     }
     let mut client = Client::connect(addr)?;
     let start = Instant::now();
+    let mut last_at = None;
     for (global_seq, event) in events {
-        let due = Duration::from_secs_f64(event.at.as_secs_f64() / config.time_scale);
-        if let Some(wait) = due.checked_sub(start.elapsed()) {
-            std::thread::sleep(wait);
-        }
+        last_at = Some(event.at);
         let mut spec = CallSpec::new(event.app).with_payload_len(event.payload_len);
+        match config.pace {
+            Pace::Wall => {
+                let due = Duration::from_secs_f64(event.at.as_secs_f64() / config.time_scale);
+                if let Some(wait) = due.checked_sub(start.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+            }
+            // The engine paces itself to the stamped schedule; sending
+            // never sleeps.
+            Pace::Virtual => spec.at_us = Some(event.at.as_micros()),
+        }
         spec.slo_ms = slo_for(global_seq, config);
         client.send(&spec)?;
         // Collect whatever has already been answered; pipelining keeps
@@ -328,6 +379,18 @@ fn open_loop_connection(
         }
     }
     let sent = client.sent();
+    // A virtually paced replay flushes the stepped clock well past the
+    // last arrival so every in-flight request resolves; without it the
+    // clock gate stops at the final scheduled arrival and the tail
+    // would never be answered.
+    if config.pace == Pace::Virtual {
+        if let Some(last) = last_at {
+            // Clamped to the wire's cap: an over-limit advance would be
+            // rejected and the tail would never resolve.
+            let flush = (last.as_micros() + VIRTUAL_FLUSH_MARGIN_US).min(wire::MAX_VIRTUAL_US);
+            client.advance(flush)?;
+        }
+    }
     // Half-close: the server keeps answering already-admitted requests.
     // A generous no-progress deadline still tolerates long response
     // droughts in sparse traces.

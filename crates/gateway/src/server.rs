@@ -8,7 +8,11 @@
 //! engines whose virtual time does not advance on its own, and one
 //! minimal-HTTP metrics listener. The PARD admission check runs in the
 //! reader thread at accept time — a hopeless request is answered
-//! `dropped` without ever touching a worker queue.
+//! `dropped` without ever touching a worker queue. Requests carrying a
+//! scheduled arrival (`at_us`, deterministic trace replay) first steer
+//! a stepped engine's virtual clock to that instant and are admitted
+//! against a snapshot taken there, making replayed scenarios
+//! bit-reproducible end to end.
 //!
 //! The gateway is engine-agnostic: it serves any
 //! [`pard_engine_api::EngineHandle`], so the same wire protocol and
@@ -29,10 +33,10 @@ use parking_lot::Mutex;
 use pard_core::Decision;
 use pard_engine_api::{Completion, EdgeState, EngineHandle, SubmitSpec};
 use pard_metrics::{Outcome, RequestLog, ServingCounters};
-use pard_sim::SimDuration;
+use pard_sim::{SimDuration, SimTime};
 
 use crate::admission::edge_decision;
-use crate::wire::{seq_hint, ErrorCode, Request, Response};
+use crate::wire::{seq_hint, ClientLine, ErrorCode, Response};
 
 /// Hard cap on one request line; a connection exceeding it gets an
 /// error response and is closed, bounding per-connection memory against
@@ -60,6 +64,14 @@ pub struct GatewayConfig {
     /// Cap on simultaneously admitted-but-unresolved requests; above
     /// it new requests are answered with [`ErrorCode::Overloaded`].
     pub max_pending: usize,
+    /// Whether the deterministic-replay controls (`at_us` arrival
+    /// stamps, `advance_us` control lines) are honoured. Replay steers
+    /// the *shared* virtual clock, so it is a cooperative testing
+    /// discipline: any client could fast-forward time past every other
+    /// connection's deadlines. Disable on gateways serving mutually
+    /// untrusting clients; such requests are then answered with a
+    /// `malformed` envelope.
+    pub allow_replay: bool,
 }
 
 impl Default for GatewayConfig {
@@ -69,6 +81,7 @@ impl Default for GatewayConfig {
             metrics_addr: "127.0.0.1:7312".into(),
             edge_refresh: Duration::from_millis(10),
             max_pending: 8192,
+            allow_replay: true,
         }
     }
 }
@@ -92,6 +105,7 @@ struct Edge {
     app_name: String,
     edge_seq: AtomicU64,
     max_pending: usize,
+    allow_replay: bool,
 }
 
 /// A running gateway. Dropping it without calling
@@ -128,6 +142,7 @@ impl Gateway {
             app_name: engine.spec().name.clone(),
             edge_seq: AtomicU64::new(0),
             max_pending: config.max_pending,
+            allow_replay: config.allow_replay,
             engine,
         });
 
@@ -223,11 +238,27 @@ impl Gateway {
         // wait that out so no new admissions race the flush below, then
         // give the pipeline a bounded window to resolve what's in
         // flight. Stepped engines no longer have their pump thread, so
-        // this loop pumps them directly.
+        // this loop pumps them directly. On a *stepped* engine the loop
+        // also gives up once the pump stops progressing: when a replay
+        // client vanished without its trailing advance, the clock gate
+        // is unreachable and waiting longer cannot resolve anything —
+        // the requests are flushed below and the engine drain (which
+        // releases the gate) still runs. Live engines resolve work on
+        // their own threads, so only the 30 s ceiling applies to them.
         std::thread::sleep(Duration::from_millis(150));
+        let stepped = self.edge.engine.stepped();
         let deadline = std::time::Instant::now() + Duration::from_secs(30);
-        while !self.edge.pending.lock().is_empty() && std::time::Instant::now() < deadline {
-            if !self.edge.engine.pump() {
+        let mut last_progress = std::time::Instant::now();
+        loop {
+            let pending = self.edge.pending.lock().len();
+            if pending == 0 || std::time::Instant::now() >= deadline {
+                break;
+            }
+            if self.edge.engine.pump() {
+                last_progress = std::time::Instant::now();
+            } else if stepped && last_progress.elapsed() > Duration::from_millis(500) {
+                break;
+            } else {
                 std::thread::sleep(Duration::from_millis(5));
             }
         }
@@ -420,10 +451,43 @@ fn oversized_line(edge: &Edge, conn_tx: &Sender<String>) {
 }
 
 fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
-    edge.counters.received.incr();
-    let request = match Request::decode(line) {
-        Ok(request) => request,
+    let request = match ClientLine::decode(line) {
+        // Replay control: steer a stepped engine's clock (live engines
+        // ignore it). Not a request — no response, no serving counters.
+        Ok(ClientLine::Advance { to_us }) if edge.allow_replay => {
+            edge.engine.advance_to(SimTime::from_micros(to_us));
+            return;
+        }
+        // A *refused* advance line gets an error response, so it is
+        // counted like any other answered protocol error (keeping
+        // received = admitted + unadmitted); honored ones above stay
+        // invisible to the serving counters because they produce no
+        // response at all.
+        Ok(ClientLine::Advance { .. }) => {
+            edge.counters.received.incr();
+            edge.counters.protocol_errors.incr();
+            let _ = conn_tx.send(Response::error_line(
+                ErrorCode::Malformed,
+                None,
+                "deterministic replay is disabled on this gateway",
+            ));
+            return;
+        }
+        Ok(ClientLine::Request(request)) => {
+            edge.counters.received.incr();
+            if request.at_us.is_some() && !edge.allow_replay {
+                edge.counters.protocol_errors.incr();
+                let _ = conn_tx.send(Response::error_line(
+                    ErrorCode::Malformed,
+                    request.seq,
+                    "deterministic replay (\"at_us\") is disabled on this gateway",
+                ));
+                return;
+            }
+            request
+        }
         Err(e) => {
+            edge.counters.received.incr();
             edge.counters.protocol_errors.incr();
             let _ = conn_tx.send(Response::error_line(e.code, seq_hint(line), &e.message));
             return;
@@ -453,6 +517,15 @@ fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
         return;
     }
 
+    // A scheduled request (deterministic trace replay) first steers the
+    // stepped clock to its virtual arrival time; admission then runs
+    // against a fresh snapshot taken at exactly that instant, so the
+    // decision is a pure function of the schedule — not of how the
+    // poller thread's wall-clock refresh happened to interleave. Live
+    // engines ignore the advance and serve the request on receipt.
+    if let Some(at_us) = request.at_us {
+        edge.engine.advance_to(SimTime::from_micros(at_us));
+    }
     let now = edge.engine.now();
     let slo = request
         .slo_ms
@@ -461,7 +534,11 @@ fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
     let deadline = now + slo;
     // The decision is pure arithmetic over a few vectors; running it
     // under the short snapshot lock beats cloning three Vecs per request.
-    let decision = edge_decision(now, deadline, &edge.state.lock());
+    let decision = if request.at_us.is_some() {
+        edge_decision(now, deadline, &edge.engine.edge_state())
+    } else {
+        edge_decision(now, deadline, &edge.state.lock())
+    };
     match decision {
         Decision::Drop(reason) => {
             edge.counters.rejected.incr();
@@ -489,6 +566,10 @@ fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
             let id = edge.engine.submit(SubmitSpec {
                 slo: Some(slo),
                 tag: 0,
+                // Scheduled requests keep the replay gate pinned at
+                // their arrival; plain requests release it (see
+                // [`pard_engine_api::SubmitSpec::at`]).
+                at: request.at_us.map(SimTime::from_micros),
             });
             pending.insert(
                 id,

@@ -12,7 +12,14 @@
 //! number echoed back verbatim — responses to pipelined requests may
 //! arrive out of order. `payload` is optional; when present its length
 //! must match `payload_len` (the gateway parses but does not interpret
-//! it). Responses:
+//! it). `at_us` is an optional scheduled virtual arrival time
+//! (microseconds since engine start) for deterministic trace replay:
+//! engines with a stepped clock advance to it before admitting the
+//! request, engines without one serve the request on receipt. Replay
+//! clients must send `at_us` in non-decreasing order on a single
+//! connection, and finish with an [`ClientLine::Advance`] control line
+//! (`{"v":2,"advance_us":N}`) so the tail of the schedule resolves.
+//! Responses:
 //!
 //! ```text
 //! {"v":2,"id":7,"seq":5,"outcome":"ok","latency_ms":123.4}
@@ -31,12 +38,14 @@
 //! {"v":2,"error_code":"slo_out_of_range","error":"…","seq":8}
 //! ```
 //!
-//! # Version 1 compatibility
+//! # Version 1 removal
 //!
-//! v1 lines have no `"v"` field, and v1 error lines are a bare
-//! `{"error":"…"}` with no code. Decoders in this module accept both
-//! forms for one release (encoders emit only v2); v1 support will be
-//! removed in the release after next.
+//! v1 lines (no `"v"` field; bare `{"error":"…"}` envelopes without a
+//! code) were accepted for one deprecation release and are now
+//! rejected: decoding a v1 line yields a structured
+//! [`ErrorCode::Malformed`] error, and the gateway answers it with a
+//! v2 `malformed` envelope, echoing `seq` whenever [`seq_hint`] can
+//! recover it.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -52,6 +61,15 @@ pub const PROTOCOL_VERSION: u64 = 2;
 /// `now + slo`), panicking in debug builds and silently wrapping in
 /// release.
 pub const MAX_SLO_MS: u64 = 86_400_000;
+
+/// Largest accepted `at_us` / `advance_us` (seven virtual days). These
+/// fields steer a stepped engine's clock, which processes its
+/// self-perpetuating per-second bookkeeping events (sync, scaling) all
+/// the way to the target while holding the engine lock — so an
+/// unbounded client-controlled timestamp would stall the whole gateway
+/// on one line. Seven days bounds that walk at a few million events
+/// while dwarfing any real replay.
+pub const MAX_VIRTUAL_US: u64 = 7 * 86_400_000_000;
 
 /// Machine-readable reason a request was answered with an error
 /// envelope instead of an outcome.
@@ -132,17 +150,21 @@ fn err(code: ErrorCode, message: impl Into<String>) -> WireError {
     }
 }
 
-/// Checks the `"v"` envelope field: absent means v1 (accepted for one
-/// release), otherwise 1 or 2.
+/// Checks the `"v"` envelope field: it must be present and equal 2.
+/// Absent (a v1 line) or any other value is a wire-format violation —
+/// v1 decoding was removed after its one-release deprecation window.
 fn check_version(value: &Value) -> Result<(), WireError> {
     match value.get("v") {
-        None => Ok(()),
+        None => Err(err(
+            ErrorCode::Malformed,
+            "missing protocol version field \"v\" (v1 lines are no longer decoded; speak v2)",
+        )),
         Some(v) => match v.as_u64() {
-            Some(1 | PROTOCOL_VERSION) => Ok(()),
+            Some(PROTOCOL_VERSION) => Ok(()),
             _ => Err(err(
                 ErrorCode::Malformed,
                 format!(
-                    "unsupported protocol version {} (this gateway speaks v1 and v2)",
+                    "unsupported protocol version {} (this gateway speaks v2 only)",
                     v.to_json()
                 ),
             )),
@@ -156,6 +178,24 @@ pub fn seq_hint(line: &str) -> Option<u64> {
     parse(line).ok()?.get("seq")?.as_u64()
 }
 
+/// Decodes a virtual-time field (`at_us` / `advance_us`): non-negative
+/// integer, at most [`MAX_VIRTUAL_US`].
+fn bounded_virtual_us(v: &Value, field: &str) -> Result<u64, WireError> {
+    let us = v.as_u64().ok_or_else(|| {
+        err(
+            ErrorCode::Malformed,
+            format!("{field:?} must be a non-negative integer"),
+        )
+    })?;
+    if us > MAX_VIRTUAL_US {
+        return Err(err(
+            ErrorCode::Malformed,
+            format!("{field:?} must be at most {MAX_VIRTUAL_US}"),
+        ));
+    }
+    Ok(us)
+}
+
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Request {
@@ -167,6 +207,61 @@ pub struct Request {
     pub payload_len: usize,
     /// Client correlation number, echoed in the response.
     pub seq: Option<u64>,
+    /// Scheduled virtual arrival time (µs since engine start) for
+    /// deterministic trace replay; stepped engines advance their clock
+    /// to it before admission, live engines ignore it.
+    pub at_us: Option<u64>,
+}
+
+/// One decoded client line: a serving request, or a replay-control
+/// line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientLine {
+    /// A serving request.
+    Request(Request),
+    /// `{"v":2,"advance_us":N}` — steer a stepped engine's virtual
+    /// clock to `N` µs since engine start. A replay client sends this
+    /// once after its last request so the tail of the schedule
+    /// resolves (the clock gate otherwise stops at the last scheduled
+    /// arrival); engines without a steerable clock ignore it. The line
+    /// gets no response of its own — outcomes of in-flight requests
+    /// keep arriving as usual.
+    Advance {
+        /// Absolute virtual time to advance to, µs since engine start.
+        to_us: u64,
+    },
+}
+
+impl ClientLine {
+    /// Decodes one client line.
+    pub fn decode(line: &str) -> Result<ClientLine, WireError> {
+        let value =
+            parse(line).map_err(|e| err(ErrorCode::Malformed, format!("invalid JSON: {e}")))?;
+        check_version(&value)?;
+        if let Some(v) = value.get("advance_us") {
+            // A hybrid line would have its request half silently
+            // swallowed (control lines get no response), leaving the
+            // client's seq unanswered forever — reject it outright.
+            let request_fields = ["app", "seq", "payload_len", "payload", "slo_ms", "at_us"];
+            if request_fields.iter().any(|k| value.get(k).is_some()) {
+                return Err(err(
+                    ErrorCode::Malformed,
+                    "a line cannot carry both \"advance_us\" and request fields",
+                ));
+            }
+            let to_us = bounded_virtual_us(v, "advance_us")?;
+            return Ok(ClientLine::Advance { to_us });
+        }
+        Request::from_value(&value).map(ClientLine::Request)
+    }
+
+    /// Encodes a replay-control advance line (no trailing newline).
+    pub fn encode_advance(to_us: u64) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("v".into(), Value::Number(PROTOCOL_VERSION as f64));
+        map.insert("advance_us".into(), Value::Number(to_us as f64));
+        Value::Object(map).to_json()
+    }
 }
 
 /// Terminal classification carried on the wire.
@@ -221,7 +316,8 @@ pub struct Response {
 /// An error envelope the server sent instead of an outcome.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServerError {
-    /// Structured reason; `None` for v1 lines, which carry no code.
+    /// Structured reason; `None` when the envelope carries a code this
+    /// client does not know (a newer server).
     pub code: Option<ErrorCode>,
     /// Human-readable detail.
     pub message: String,
@@ -283,6 +379,9 @@ impl Request {
         if let Some(seq) = self.seq {
             map.insert("seq".into(), Value::Number(seq as f64));
         }
+        if let Some(at_us) = self.at_us {
+            map.insert("at_us".into(), Value::Number(at_us as f64));
+        }
         map.insert(
             "payload".into(),
             Value::String("x".repeat(self.payload_len)),
@@ -290,11 +389,15 @@ impl Request {
         Value::Object(map).to_json()
     }
 
-    /// Decodes one line (v1 or v2).
+    /// Decodes one line.
     pub fn decode(line: &str) -> Result<Request, WireError> {
         let value =
             parse(line).map_err(|e| err(ErrorCode::Malformed, format!("invalid JSON: {e}")))?;
         check_version(&value)?;
+        Request::from_value(&value)
+    }
+
+    fn from_value(value: &Value) -> Result<Request, WireError> {
         let app = value
             .get("app")
             .and_then(Value::as_str)
@@ -336,6 +439,10 @@ impl Request {
                 )
             })?),
         };
+        let at_us = match value.get("at_us") {
+            None => None,
+            Some(v) => Some(bounded_virtual_us(v, "at_us")?),
+        };
         if let Some(payload) = value.get("payload") {
             let payload = payload
                 .as_str()
@@ -355,6 +462,7 @@ impl Request {
             slo_ms,
             payload_len,
             seq,
+            at_us,
         })
     }
 }
@@ -478,12 +586,14 @@ mod tests {
                 slo_ms: Some(400),
                 payload_len: 64,
                 seq: Some(9),
+                at_us: Some(1_500_000),
             },
             Request {
                 app: "lv".into(),
                 slo_ms: None,
                 payload_len: 0,
                 seq: None,
+                at_us: None,
             },
         ];
         for original in requests {
@@ -496,17 +606,22 @@ mod tests {
     }
 
     #[test]
-    fn v1_request_lines_still_decode() {
+    fn v1_request_lines_are_rejected_as_malformed() {
+        // The deprecation window is over: a bare v1 line (no "v") is a
+        // wire-format violation, but its seq is still recoverable for
+        // the error envelope's echo.
         let line = r#"{"app":"tm","payload_len":2,"payload":"ab","seq":3,"slo_ms":250}"#;
-        let decoded = Request::decode(line).expect("v1 accepted for one release");
-        assert_eq!(decoded.app, "tm");
-        assert_eq!(decoded.seq, Some(3));
-        // Future versions are rejected as malformed.
-        let future = r#"{"v":3,"app":"tm","payload_len":0}"#;
-        assert_eq!(
-            Request::decode(future).unwrap_err().code,
-            ErrorCode::Malformed
-        );
+        let e = Request::decode(line).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Malformed);
+        assert!(e.message.contains("v1"), "{e}");
+        assert_eq!(seq_hint(line), Some(3));
+        // Explicit v1 and future versions are rejected the same way.
+        for bad in [
+            r#"{"v":1,"app":"tm","payload_len":0}"#,
+            r#"{"v":3,"app":"tm","payload_len":0}"#,
+        ] {
+            assert_eq!(Request::decode(bad).unwrap_err().code, ErrorCode::Malformed);
+        }
     }
 
     #[test]
@@ -531,14 +646,15 @@ mod tests {
             "",
             "not json",
             "{}",
-            r#"{"app":"tm"}"#,
-            r#"{"app":4,"payload_len":8}"#,
-            r#"{"app":"tm","payload_len":-3}"#,
-            r#"{"app":"tm","payload_len":8,"payload":42}"#,
-            r#"{"app":"tm","payload_len":8,"seq":1.5}"#,
+            r#"{"v":2,"app":"tm"}"#,
+            r#"{"v":2,"app":4,"payload_len":8}"#,
+            r#"{"v":2,"app":"tm","payload_len":-3}"#,
+            r#"{"v":2,"app":"tm","payload_len":8,"payload":42}"#,
+            r#"{"v":2,"app":"tm","payload_len":8,"seq":1.5}"#,
+            r#"{"v":2,"app":"tm","payload_len":8,"at_us":-4}"#,
             r#"{"v":"two","app":"tm","payload_len":8}"#,
             // Mistyped slo_ms is a format bug, not a range rejection.
-            r#"{"app":"tm","payload_len":8,"slo_ms":"fast"}"#,
+            r#"{"v":2,"app":"tm","payload_len":8,"slo_ms":"fast"}"#,
         ] {
             let e = Request::decode(bad).expect_err(&format!("accepted {bad:?}"));
             assert_eq!(e.code, ErrorCode::Malformed, "{bad:?} → {e:?}");
@@ -548,9 +664,9 @@ mod tests {
     #[test]
     fn slo_errors_carry_their_own_code() {
         for bad in [
-            r#"{"app":"tm","payload_len":8,"slo_ms":0}"#,
+            r#"{"v":2,"app":"tm","payload_len":8,"slo_ms":0}"#,
             // Above MAX_SLO_MS: would overflow the deadline arithmetic.
-            r#"{"app":"tm","payload_len":8,"slo_ms":1152921504606846976}"#,
+            r#"{"v":2,"app":"tm","payload_len":8,"slo_ms":1152921504606846976}"#,
         ] {
             let e = Request::decode(bad).unwrap_err();
             assert_eq!(e.code, ErrorCode::SloOutOfRange, "{bad:?}");
@@ -574,6 +690,7 @@ mod tests {
             slo_ms: None,
             payload_len: 100,
             seq: None,
+            at_us: None,
         };
         let decoded = Request::decode(&req.encode()).unwrap();
         assert_eq!(decoded.payload_len, 100);
@@ -599,22 +716,73 @@ mod tests {
     }
 
     #[test]
-    fn v1_error_lines_decode_without_a_code() {
-        let line = r#"{"error":"bad thing"}"#;
-        match Reply::decode(line).expect("v1 error accepted") {
-            Reply::Error(e) => {
-                assert_eq!(e.code, None);
-                assert_eq!(e.seq, None);
-                assert_eq!(e.message, "bad thing");
-            }
-            other => panic!("expected error, got {other:?}"),
-        }
+    fn v1_error_and_response_lines_are_rejected() {
+        // Bare v1 error envelopes no longer decode.
+        let e = Reply::decode(r#"{"error":"bad thing"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Malformed);
+        // Nor do v1 outcome lines, even well-formed ones.
+        let e = Reply::decode(r#"{"id":7,"outcome":"ok","latency_ms":1.5}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Malformed);
     }
 
     #[test]
     fn response_decode_rejects_unknown_outcome() {
-        assert!(Response::decode(r#"{"id":1,"outcome":"maybe"}"#).is_err());
-        assert!(Response::decode(r#"{"outcome":"ok"}"#).is_err());
+        assert!(Response::decode(r#"{"v":2,"id":1,"outcome":"maybe"}"#).is_err());
+        assert!(Response::decode(r#"{"v":2,"outcome":"ok"}"#).is_err());
+    }
+
+    #[test]
+    fn advance_control_lines_round_trip() {
+        let line = ClientLine::encode_advance(5_250_000);
+        assert_eq!(
+            ClientLine::decode(&line).expect("control line decodes"),
+            ClientLine::Advance { to_us: 5_250_000 }
+        );
+        // A plain request decodes through the same entry point.
+        let req = Request {
+            app: "tm".into(),
+            slo_ms: None,
+            payload_len: 2,
+            seq: Some(4),
+            at_us: Some(9),
+        };
+        match ClientLine::decode(&req.encode()).expect("request decodes") {
+            ClientLine::Request(decoded) => assert_eq!(decoded, req),
+            other => panic!("expected request, got {other:?}"),
+        }
+        // Control lines need the v2 envelope and a well-typed field,
+        // and may not smuggle request fields (the request half would
+        // be silently swallowed).
+        for bad in [
+            r#"{"advance_us":5}"#,
+            r#"{"v":2,"advance_us":"soon"}"#,
+            r#"{"v":2,"advance_us":-1}"#,
+            r#"{"v":2,"app":"tm","payload_len":0,"seq":7,"advance_us":5}"#,
+            r#"{"v":2,"seq":7,"advance_us":5}"#,
+            r#"{"v":2,"advance_us":5,"at_us":9}"#,
+            r#"{"v":2,"advance_us":5,"slo_ms":100}"#,
+        ] {
+            let e = ClientLine::decode(bad).expect_err(&format!("accepted {bad:?}"));
+            assert_eq!(e.code, ErrorCode::Malformed, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn virtual_timestamps_beyond_the_cap_are_rejected() {
+        // An unbounded clock target would walk the stepped engine's
+        // per-second bookkeeping events under the engine lock; the cap
+        // bounds what one client line can cost.
+        let over = MAX_VIRTUAL_US + 1;
+        let advance = format!(r#"{{"v":2,"advance_us":{over}}}"#);
+        let e = ClientLine::decode(&advance).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Malformed);
+        assert!(e.message.contains("at most"), "{e}");
+        let request = format!(r#"{{"v":2,"app":"tm","payload_len":0,"at_us":{over}}}"#);
+        let e = Request::decode(&request).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Malformed);
+        // The cap itself is accepted.
+        let at_cap = format!(r#"{{"v":2,"advance_us":{MAX_VIRTUAL_US}}}"#);
+        assert!(ClientLine::decode(&at_cap).is_ok());
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn gateway_config() -> GatewayConfig {
         metrics_addr: "127.0.0.1:0".into(),
         edge_refresh: Duration::from_millis(5),
         max_pending: 8192,
+        allow_replay: true,
     }
 }
 
@@ -193,13 +194,19 @@ fn malformed_lines_and_wrong_apps_get_structured_errors() {
         other => panic!("expected error, got {other:?}"),
     }
 
-    // A v1 line (no "v" field) is still served for one release.
+    // A bare v1 line (no "v" field) is no longer decoded: it gets a v2
+    // `malformed` envelope with its seq echoed.
     let v1 = roundtrip(r#"{"app":"tm","payload_len":4,"payload":"xxxx","seq":1}"#);
-    let response = pard_gateway::Response::decode(&v1).expect("valid response line");
-    assert_eq!(response.seq, Some(1));
+    match pard_gateway::Reply::decode(&v1).expect("error envelope") {
+        pard_gateway::Reply::Error(e) => {
+            assert_eq!(e.code, Some(pard_gateway::ErrorCode::Malformed), "{v1}");
+            assert_eq!(e.seq, Some(1), "{v1}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
 
     let snapshot = gateway.counters();
-    assert_eq!(snapshot.protocol_errors, 2);
+    assert_eq!(snapshot.protocol_errors, 3);
     assert_eq!(snapshot.received, 3);
     drop(reader);
     drop(stream);
@@ -314,4 +321,198 @@ fn sim_backend_is_bit_reproducible_across_runs() {
     let first = client_scenario(sim_engine(7));
     let second = client_scenario(sim_engine(7));
     assert_eq!(first, second, "same seed → same per-request outcomes");
+}
+
+/// Drives a worker crash through the real network path: an
+/// `EngineBuilder`-configured fault fires mid-replay under the stepped
+/// clock, and the client observes its effects over the socket.
+fn crash_scenario() -> Vec<&'static str> {
+    use pard_engine_api::FaultSpec;
+    use pard_sim::SimTime;
+
+    // Module 0 has a single worker; its crash at t = 2 s kills all
+    // service at the pipeline's entrance, so every later request dies
+    // inside the pipeline with a worker_failed drop.
+    let engine = EngineBuilder::for_app(AppKind::Tm)
+        .with_workers(vec![1; 3])
+        .with_faults(vec![FaultSpec::WorkerCrash {
+            module: 0,
+            worker: 0,
+            at: SimTime::from_secs(2),
+        }])
+        .with_exec_jitter(0.0)
+        .build(Backend::Sim(
+            ClusterConfig::default()
+                .with_seed(13)
+                .with_pard(pard_core::PardConfig::default().with_mc_draws(500)),
+        ))
+        .expect("fault-configured sim engine builds");
+    let gateway = Gateway::start(engine, gateway_config()).expect("gateway starts");
+    let mut client = Client::connect(gateway.addr()).expect("connect");
+    // Scheduled replay: one request every 500 virtual ms, crossing the
+    // crash at t = 2 s. `at_us` steers the stepped clock, so the fault
+    // fires at exactly the same point in every run; the trailing
+    // advance releases the clock gate so the tail resolves.
+    let seqs: Vec<u64> = (0..10u64)
+        .map(|i| {
+            client
+                .send(
+                    &CallSpec::new("tm")
+                        .with_slo_ms(30_000)
+                        .with_payload_len(8)
+                        .with_at_us(i * 500_000),
+                )
+                .expect("send")
+        })
+        .collect();
+    client.advance(60_000_000).expect("flush the stepped clock");
+    let taxonomy: Vec<&'static str> = seqs
+        .into_iter()
+        .map(|seq| {
+            client
+                .wait(seq, Duration::from_secs(30))
+                .expect("answered")
+                .outcome
+                .taxonomy()
+        })
+        .collect();
+    drop(client);
+    let _ = gateway.shutdown(SimDuration::from_secs(30));
+    taxonomy
+}
+
+#[test]
+fn replay_controls_can_be_disabled() {
+    // On a gateway serving mutually untrusting clients, at_us stamps
+    // and advance_us lines would let any connection steer the shared
+    // virtual clock; with allow_replay = false both get a structured
+    // refusal and plain requests still serve.
+    let gateway = Gateway::start(
+        sim_engine(3),
+        GatewayConfig {
+            allow_replay: false,
+            ..gateway_config()
+        },
+    )
+    .expect("gateway starts");
+    let mut client = Client::connect(gateway.addr()).expect("connect");
+
+    let refused = client
+        .call(
+            &CallSpec::new("tm")
+                .with_slo_ms(30_000)
+                .with_payload_len(1)
+                .with_at_us(1_000_000),
+            Duration::from_secs(10),
+        )
+        .expect("send")
+        .expect("answered");
+    match refused.outcome {
+        Outcome::Rejected { code, message } => {
+            assert_eq!(code, Some(pard_gateway::ErrorCode::Malformed));
+            assert!(message.contains("disabled"), "{message}");
+        }
+        other => panic!("expected a refusal, got {other:?}"),
+    }
+
+    let served = client
+        .call(
+            &CallSpec::new("tm").with_slo_ms(30_000).with_payload_len(1),
+            Duration::from_secs(30),
+        )
+        .expect("send")
+        .expect("answered");
+    assert!(served.outcome.is_ok(), "{served:?}");
+
+    drop(client);
+    let _ = gateway.shutdown(SimDuration::from_secs(10));
+}
+
+#[test]
+fn plain_requests_still_serve_after_a_replay_interaction() {
+    // A replay interaction leaves the stepped clock gated at its last
+    // scheduled arrival; ordinary traffic afterwards must release the
+    // gate, not hang forever behind it.
+    let gateway = Gateway::start(sim_engine(11), gateway_config()).expect("gateway starts");
+    let mut client = Client::connect(gateway.addr()).expect("connect");
+    // One scheduled request gates the engine; resolve it via the flush.
+    let seq = client
+        .send(
+            &CallSpec::new("tm")
+                .with_slo_ms(30_000)
+                .with_payload_len(2)
+                .with_at_us(500_000),
+        )
+        .expect("send");
+    client.advance(2_000_000).expect("flush");
+    assert!(client.wait(seq, Duration::from_secs(30)).is_some());
+    // Now a plain closed-loop request (no at_us) on a fresh connection.
+    let mut plain = Client::connect(gateway.addr()).expect("connect");
+    let answer = plain
+        .call(
+            &CallSpec::new("tm").with_slo_ms(30_000).with_payload_len(2),
+            Duration::from_secs(30),
+        )
+        .expect("send")
+        .expect("a plain request must resolve on a previously gated engine");
+    assert!(answer.outcome.is_ok(), "{answer:?}");
+    drop(plain);
+    drop(client);
+    let _ = gateway.shutdown(SimDuration::from_secs(10));
+}
+
+#[test]
+fn abandoned_replay_does_not_stall_shutdown() {
+    // A scheduled-replay client that disconnects without its trailing
+    // advance leaves the clock gate at its last arrival: the pending
+    // requests can never resolve by pumping. Shutdown must notice the
+    // stall and flush them well before its 30 s ceiling.
+    let engine = EngineBuilder::for_app(AppKind::Tm)
+        .with_workers(vec![2; 3])
+        .build(Backend::Sim(
+            ClusterConfig::default()
+                .with_seed(5)
+                .with_pard(pard_core::PardConfig::default().with_mc_draws(500)),
+        ))
+        .expect("sim engine builds");
+    let gateway = Gateway::start(engine, gateway_config()).expect("gateway starts");
+    let mut client = Client::connect(gateway.addr()).expect("connect");
+    for i in 0..3u64 {
+        client
+            .send(
+                &CallSpec::new("tm")
+                    .with_slo_ms(30_000)
+                    .with_payload_len(4)
+                    .with_at_us(i * 100_000),
+            )
+            .expect("send");
+    }
+    // Give the reader time to admit the requests, then vanish.
+    std::thread::sleep(Duration::from_millis(300));
+    drop(client);
+    let started = std::time::Instant::now();
+    let log = gateway.shutdown(SimDuration::from_secs(30));
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "shutdown stalled {:?} on a gated engine",
+        started.elapsed()
+    );
+    // The admitted requests were flushed (answered as drops) and still
+    // reached the engine log via the drain.
+    assert_eq!(log.len(), 3);
+}
+
+#[test]
+fn worker_crash_fault_is_visible_through_the_network_path() {
+    let taxonomy = crash_scenario();
+    // Requests scheduled before the crash complete; requests after it
+    // are dropped inside the pipeline (the gateway still admits them —
+    // the edge snapshot floors serviceable workers at one).
+    assert_eq!(&taxonomy[..4], &["ok"; 4], "{taxonomy:?}");
+    assert!(
+        taxonomy[4..].iter().all(|&t| t == "dropped_pipeline"),
+        "{taxonomy:?}"
+    );
+    // And the whole faulty scenario is bit-reproducible.
+    assert_eq!(taxonomy, crash_scenario());
 }

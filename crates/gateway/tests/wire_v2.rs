@@ -1,11 +1,13 @@
 //! Property tests for wire protocol v2: round trips over arbitrary
-//! field values, the full error-code taxonomy, and v1/v2 cross-decode
-//! compatibility.
+//! field values, the full error-code taxonomy, and the v1 removal
+//! contract (bare v1 lines yield structured `malformed` errors with
+//! `seq` still recoverable for the envelope echo).
 
 use proptest::prelude::*;
 
 use pard_gateway::wire::{
     seq_hint, ErrorCode, Reply, Request, Response, ServerError, WireOutcome, MAX_SLO_MS,
+    MAX_VIRTUAL_US,
 };
 
 fn maybe(n: u64, on: bool) -> Option<u64> {
@@ -27,12 +29,15 @@ proptest! {
         payload_len in 0usize..512,
         seq in 0u64..1_000_000,
         has_seq in any::<bool>(),
+        at_us in 0u64..MAX_VIRTUAL_US,
+        has_at in any::<bool>(),
     ) {
         let original = Request {
             app,
             slo_ms: maybe(slo, has_slo).map(|s| s.max(1)),
             payload_len,
             seq: maybe(seq, has_seq),
+            at_us: maybe(at_us, has_at),
         };
         let line = original.encode();
         prop_assert!(!line.contains('\n'));
@@ -94,12 +99,12 @@ proptest! {
         prop_assert_eq!(compat.code, code);
     }
 
-    /// v1 lines (no "v" envelope) cross-decode: requests keep their
-    /// fields, responses keep their outcome, bare error strings decode
-    /// with no code — and the v2 decoder recovers seq from requests it
-    /// must reject.
+    /// v1 lines (no "v" envelope) are gone: every shape — request,
+    /// response, bare error — now yields a structured `malformed`
+    /// error, and the rejected request's seq is still recoverable so
+    /// the server's error envelope can echo it.
     #[test]
-    fn v1_lines_cross_decode(
+    fn v1_lines_yield_structured_malformed_errors(
         payload_len in 0usize..64,
         seq in 0u64..1_000_000,
         latency in 0.0f64..10_000.0,
@@ -108,36 +113,30 @@ proptest! {
         let v1_request = format!(
             r#"{{"app":"tm","payload_len":{payload_len},"seq":{seq}}}"#
         );
-        let decoded = Request::decode(&v1_request).expect("v1 request accepted");
-        prop_assert_eq!(decoded.payload_len, payload_len);
-        prop_assert_eq!(decoded.seq, Some(seq));
+        let e = Request::decode(&v1_request).expect_err("v1 requests are rejected");
+        prop_assert_eq!(e.code, ErrorCode::Malformed);
+        prop_assert!(e.message.contains("v1"), "{}", e.message);
+        prop_assert_eq!(seq_hint(&v1_request), Some(seq));
 
         let outcome = [WireOutcome::Ok, WireOutcome::Dropped, WireOutcome::Violated][outcome_idx];
         let v1_response = format!(
             r#"{{"id":7,"seq":{seq},"outcome":"{}","latency_ms":{latency}}}"#,
             outcome.label()
         );
-        match Reply::decode(&v1_response).expect("v1 response accepted") {
-            Reply::Outcome(r) => {
-                prop_assert_eq!(r.outcome, outcome);
-                prop_assert_eq!(r.seq, Some(seq));
-            }
-            Reply::Error(e) => return Err(TestCaseError::new(format!("unexpected error {e:?}"))),
-        }
+        let e = Reply::decode(&v1_response).expect_err("v1 responses are rejected");
+        prop_assert_eq!(e.code, ErrorCode::Malformed);
 
         let v1_error = r#"{"error":"bad thing"}"#;
-        match Reply::decode(v1_error).expect("v1 error accepted") {
-            Reply::Error(e) => {
-                prop_assert_eq!(e.code, None);
-                prop_assert_eq!(e.seq, None);
-            }
-            Reply::Outcome(r) => return Err(TestCaseError::new(format!("unexpected outcome {r:?}"))),
-        }
+        let e = Reply::decode(v1_error).expect_err("v1 error envelopes are rejected");
+        prop_assert_eq!(e.code, ErrorCode::Malformed);
 
-        // A request the decoder rejects still yields its seq for the
-        // error envelope's echo.
-        let invalid = format!(r#"{{"app":"tm","payload_len":"x","seq":{seq}}}"#);
-        prop_assert!(Request::decode(&invalid).is_err());
-        prop_assert_eq!(seq_hint(&invalid), Some(seq));
+        // The same request in a v2 envelope decodes fine — the field
+        // set did not change, only the mandatory envelope.
+        let v2_request = format!(
+            r#"{{"v":2,"app":"tm","payload_len":{payload_len},"seq":{seq}}}"#
+        );
+        let decoded = Request::decode(&v2_request).expect("v2 request accepted");
+        prop_assert_eq!(decoded.payload_len, payload_len);
+        prop_assert_eq!(decoded.seq, Some(seq));
     }
 }

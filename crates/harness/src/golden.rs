@@ -1,0 +1,99 @@
+//! Golden-snapshot workflow.
+//!
+//! Each scenario's expected [`OutcomeTaxonomy`] is checked in under
+//! `crates/harness/tests/golden/<name>.json`. A run is compared
+//! structurally against its golden; on mismatch the test fails with
+//! both sides rendered. Every run also writes its *actual* taxonomy to
+//! `target/scenario-snapshots/<name>.json`, so CI can upload the
+//! would-be goldens as artifacts and a legitimate behaviour change is
+//! reviewable (and committable) straight from the run page.
+//!
+//! To regenerate after an intentional behaviour change:
+//!
+//! ```sh
+//! PARD_UPDATE_GOLDEN=1 cargo test -p pard-harness
+//! git diff crates/harness/tests/golden/   # review, then commit
+//! ```
+
+use std::path::PathBuf;
+
+use crate::outcome::OutcomeTaxonomy;
+use crate::runner::ScenarioRun;
+use crate::scenario::Scenario;
+
+/// Environment variable that switches the suite from *compare* to
+/// *rewrite* mode.
+pub const UPDATE_ENV: &str = "PARD_UPDATE_GOLDEN";
+
+/// The checked-in golden file for `name`.
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Where the actual taxonomy of the latest run is written
+/// (`target/scenario-snapshots/`, uploadable as a CI artifact).
+pub fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/scenario-snapshots")
+        .join(format!("{name}.json"))
+}
+
+/// Compares `run` against the scenario's checked-in golden taxonomy,
+/// after writing the actual taxonomy to [`snapshot_path`]. With
+/// `PARD_UPDATE_GOLDEN=1` the golden is rewritten instead of compared.
+///
+/// # Panics
+///
+/// Panics (failing the calling test) when the golden file is missing
+/// or does not match, with regeneration instructions in the message.
+pub fn check_against_golden(scenario: &Scenario, run: &ScenarioRun) {
+    let actual = &run.taxonomy;
+    let snapshot = snapshot_path(&scenario.name);
+    if let Some(parent) = snapshot.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&snapshot, actual.to_json())
+        .unwrap_or_else(|e| panic!("cannot write snapshot {}: {e}", snapshot.display()));
+
+    let golden = golden_path(&scenario.name);
+    if std::env::var(UPDATE_ENV).is_ok_and(|v| v == "1") {
+        if let Some(parent) = golden.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&golden, actual.to_json())
+            .unwrap_or_else(|e| panic!("cannot write golden {}: {e}", golden.display()));
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "scenario {:?} has no golden snapshot at {} ({e});\n\
+             generate one with {UPDATE_ENV}=1 cargo test -p pard-harness",
+            scenario.name,
+            golden.display()
+        )
+    });
+    let expected = OutcomeTaxonomy::from_json(&expected).unwrap_or_else(|| {
+        panic!(
+            "golden {} is not a valid taxonomy JSON; regenerate with \
+             {UPDATE_ENV}=1 cargo test -p pard-harness",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        &expected,
+        actual,
+        "scenario {:?} diverged from its golden taxonomy.\n\
+         --- expected ({})\n{}\
+         --- actual (also at {})\n{}\
+         If the change is intentional, regenerate with \
+         {UPDATE_ENV}=1 cargo test -p pard-harness and commit the diff.",
+        scenario.name,
+        golden.display(),
+        expected.to_json(),
+        snapshot.display(),
+        actual.to_json(),
+    );
+}

@@ -1,0 +1,47 @@
+//! Deterministic scenario harness for the PARD serving stack.
+//!
+//! PARD's core claim is goodput protection under adverse dynamics —
+//! bursts, stragglers, worker failures, scaling lag (PAPER §5,
+//! Figs. 10–14) — and this crate makes those regimes regression-testable
+//! **through the real serving path**: every scenario boots a
+//! [`pard_gateway::Gateway`] on a real loopback socket and replays a
+//! trace-driven schedule through the typed
+//! [`pard_gateway::client::Client`], so wire decoding, edge admission,
+//! the pending table, and completion dispatch are all on the hook.
+//!
+//! Determinism comes from **scheduled replay**: each request carries its
+//! virtual arrival time (`at_us`), the stepped simulator advances its
+//! clock to exactly that instant before admission, and a clock gate
+//! stops background pumping from racing ahead (see
+//! [`pard_cluster::SimServer::advance_to`]). The per-request outcome
+//! vector is therefore a pure function of the [`Scenario`] and its seed
+//! — bit-reproducible across runs, machines, and thread schedules.
+//!
+//! The pieces:
+//!
+//! * [`Scenario`] — a declarative description: named trace
+//!   (wiki/tweet/azure/ramp/burst), SLO mix, fault schedule,
+//!   autoscaling and cold-start knobs, seed, phases.
+//! * [`run_scenario`] — boots the gateway, replays the schedule,
+//!   classifies every request.
+//! * [`OutcomeTaxonomy`] — per-phase counts of
+//!   `ok / violated / dropped_edge / dropped_pipeline / rejected /
+//!   unanswered`, serialised as JSON for golden snapshots.
+//! * [`check_against_golden`] — compares a run against its checked-in
+//!   golden file (`tests/golden/<name>.json`); set
+//!   `PARD_UPDATE_GOLDEN=1` to regenerate. Every run also writes its
+//!   actual taxonomy to `target/scenario-snapshots/` so CI can upload
+//!   the diff as an artifact.
+//!
+//! The shipped suite lives in `crates/harness/tests/scenarios.rs`; the
+//! README's "Scenario suite" section catalogues it.
+
+pub mod golden;
+pub mod outcome;
+pub mod runner;
+pub mod scenario;
+
+pub use golden::{check_against_golden, golden_path, snapshot_path};
+pub use outcome::{OutcomeTaxonomy, PhaseCounts, RequestOutcome};
+pub use runner::{run_scenario, ScenarioRun};
+pub use scenario::{Burst, Phase, Scenario, SloMix, TraceSpec};

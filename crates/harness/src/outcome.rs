@@ -1,0 +1,293 @@
+//! Per-request outcomes and the per-phase taxonomy they roll up into.
+
+use std::collections::BTreeMap;
+
+use pard_pipeline::json::{parse, Value};
+
+use crate::scenario::{Phase, Scenario};
+
+/// Classification of one replayed request, keyed by its schedule
+/// position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Client correlation number (= schedule index).
+    pub seq: u64,
+    /// Scheduled virtual arrival, µs since engine start.
+    pub at_us: u64,
+    /// Coarse taxonomy label: `ok`, `violated`, `dropped_edge`,
+    /// `dropped_pipeline`, `rejected`, or `unanswered`.
+    pub label: &'static str,
+}
+
+/// Outcome counts for one phase of a scenario.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCounts {
+    /// Phase name.
+    pub name: String,
+    /// First scheduled-arrival second covered (inclusive).
+    pub from_s: u64,
+    /// First scheduled-arrival second not covered.
+    pub to_s: u64,
+    /// Requests scheduled in the phase.
+    pub sent: u64,
+    /// Admitted and completed within SLO.
+    pub ok: u64,
+    /// Admitted, completed after the deadline.
+    pub violated: u64,
+    /// Proactively rejected at the gateway edge.
+    pub dropped_edge: u64,
+    /// Admitted, then dropped inside the pipeline.
+    pub dropped_pipeline: u64,
+    /// Answered with a protocol error envelope.
+    pub rejected: u64,
+    /// Never answered before the drain deadline.
+    pub unanswered: u64,
+}
+
+impl PhaseCounts {
+    fn record(&mut self, label: &str) {
+        self.sent += 1;
+        match label {
+            "ok" => self.ok += 1,
+            "violated" => self.violated += 1,
+            "dropped_edge" => self.dropped_edge += 1,
+            "dropped_pipeline" => self.dropped_pipeline += 1,
+            "rejected" => self.rejected += 1,
+            _ => self.unanswered += 1,
+        }
+    }
+
+    /// Requests the gateway admitted into the pipeline.
+    pub fn admitted(&self) -> u64 {
+        self.ok + self.violated + self.dropped_pipeline
+    }
+
+    /// Goodput fraction of the phase (completed in SLO over sent).
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.ok as f64 / self.sent as f64
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("name".into(), Value::String(self.name.clone()));
+        let mut num = |k: &str, v: u64| map.insert(k.to_string(), Value::Number(v as f64));
+        num("from_s", self.from_s);
+        num("to_s", self.to_s);
+        num("sent", self.sent);
+        num("ok", self.ok);
+        num("violated", self.violated);
+        num("dropped_edge", self.dropped_edge);
+        num("dropped_pipeline", self.dropped_pipeline);
+        num("rejected", self.rejected);
+        num("unanswered", self.unanswered);
+        Value::Object(map)
+    }
+
+    fn from_value(value: &Value) -> Option<PhaseCounts> {
+        let num = |k: &str| value.get(k)?.as_u64();
+        Some(PhaseCounts {
+            name: value.get("name")?.as_str()?.to_string(),
+            from_s: num("from_s")?,
+            to_s: num("to_s")?,
+            sent: num("sent")?,
+            ok: num("ok")?,
+            violated: num("violated")?,
+            dropped_edge: num("dropped_edge")?,
+            dropped_pipeline: num("dropped_pipeline")?,
+            rejected: num("rejected")?,
+            unanswered: num("unanswered")?,
+        })
+    }
+}
+
+/// The structured result of one scenario run: outcome counts per phase
+/// — the unit golden snapshots store and compare.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutcomeTaxonomy {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Total requests replayed.
+    pub requests: u64,
+    /// Counts per phase, in the scenario's phase order.
+    pub phases: Vec<PhaseCounts>,
+}
+
+impl OutcomeTaxonomy {
+    /// Rolls per-request outcomes up into the scenario's phases. A
+    /// request belongs to every phase whose `[from_s, to_s)` window
+    /// contains its scheduled arrival (phases normally partition the
+    /// schedule, but overlapping views are allowed).
+    pub fn build(scenario: &Scenario, outcomes: &[RequestOutcome]) -> OutcomeTaxonomy {
+        let mut phases: Vec<(Phase, PhaseCounts)> = scenario
+            .effective_phases()
+            .into_iter()
+            .map(|p| {
+                let counts = PhaseCounts {
+                    name: p.name.clone(),
+                    from_s: p.from_s,
+                    to_s: p.to_s,
+                    ..PhaseCounts::default()
+                };
+                (p, counts)
+            })
+            .collect();
+        for outcome in outcomes {
+            let at_s = outcome.at_us / 1_000_000;
+            for (phase, counts) in &mut phases {
+                if at_s >= phase.from_s && at_s < phase.to_s {
+                    counts.record(outcome.label);
+                }
+            }
+        }
+        OutcomeTaxonomy {
+            scenario: scenario.name.clone(),
+            seed: scenario.seed,
+            requests: outcomes.len() as u64,
+            phases: phases.into_iter().map(|(_, counts)| counts).collect(),
+        }
+    }
+
+    /// Counts summed over all phases' windows (double-counts requests
+    /// only if phases overlap).
+    pub fn total(&self) -> PhaseCounts {
+        let mut total = PhaseCounts {
+            name: "total".into(),
+            from_s: self.phases.iter().map(|p| p.from_s).min().unwrap_or(0),
+            to_s: self.phases.iter().map(|p| p.to_s).max().unwrap_or(0),
+            ..PhaseCounts::default()
+        };
+        for p in &self.phases {
+            total.sent += p.sent;
+            total.ok += p.ok;
+            total.violated += p.violated;
+            total.dropped_edge += p.dropped_edge;
+            total.dropped_pipeline += p.dropped_pipeline;
+            total.rejected += p.rejected;
+            total.unanswered += p.unanswered;
+        }
+        total
+    }
+
+    /// The phase named `name`.
+    pub fn phase(&self, name: &str) -> &PhaseCounts {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("no phase {name:?} in {:?}", self.scenario))
+    }
+
+    /// Serialises to the golden-snapshot JSON (one object, stable key
+    /// order, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("scenario".into(), Value::String(self.scenario.clone()));
+        map.insert("seed".into(), Value::Number(self.seed as f64));
+        map.insert("requests".into(), Value::Number(self.requests as f64));
+        map.insert(
+            "phases".into(),
+            Value::Array(self.phases.iter().map(PhaseCounts::to_value).collect()),
+        );
+        let mut json = Value::Object(map).to_json();
+        json.push('\n');
+        json
+    }
+
+    /// Parses a golden-snapshot JSON produced by
+    /// [`OutcomeTaxonomy::to_json`].
+    pub fn from_json(json: &str) -> Option<OutcomeTaxonomy> {
+        let value = parse(json).ok()?;
+        Some(OutcomeTaxonomy {
+            scenario: value.get("scenario")?.as_str()?.to_string(),
+            seed: value.get("seed")?.as_u64()?,
+            requests: value.get("requests")?.as_u64()?,
+            phases: value
+                .get("phases")?
+                .as_array()?
+                .iter()
+                .map(PhaseCounts::from_value)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::TraceSpec;
+    use pard_pipeline::AppKind;
+
+    fn outcomes() -> Vec<RequestOutcome> {
+        let labels = [
+            "ok",
+            "ok",
+            "dropped_edge",
+            "violated",
+            "dropped_pipeline",
+            "ok",
+        ];
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, &label)| RequestOutcome {
+                seq: i as u64,
+                at_us: i as u64 * 2_000_000, // one request every 2 s
+                label,
+            })
+            .collect()
+    }
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            "unit",
+            AppKind::Tm,
+            TraceSpec::Constant {
+                rate: 1.0,
+                len_s: 12,
+            },
+        )
+        .phase("head", 0, 6)
+        .phase("tail", 6, 12)
+    }
+
+    #[test]
+    fn rollup_assigns_requests_to_phases_by_arrival() {
+        let taxonomy = OutcomeTaxonomy::build(&scenario(), &outcomes());
+        let head = taxonomy.phase("head");
+        assert_eq!(head.sent, 3);
+        assert_eq!(head.ok, 2);
+        assert_eq!(head.dropped_edge, 1);
+        let tail = taxonomy.phase("tail");
+        assert_eq!(tail.sent, 3);
+        assert_eq!(tail.violated, 1);
+        assert_eq!(tail.dropped_pipeline, 1);
+        assert_eq!(tail.admitted(), 3);
+        let total = taxonomy.total();
+        assert_eq!(total.sent, 6);
+        assert!((total.goodput_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taxonomy_round_trips_through_json() {
+        let taxonomy = OutcomeTaxonomy::build(&scenario(), &outcomes());
+        let json = taxonomy.to_json();
+        assert!(json.ends_with('\n'));
+        let parsed = OutcomeTaxonomy::from_json(&json).expect("parses");
+        assert_eq!(parsed, taxonomy);
+    }
+
+    #[test]
+    fn scenarios_without_phases_get_a_single_all_phase() {
+        let mut s = scenario();
+        s.phases.clear();
+        let taxonomy = OutcomeTaxonomy::build(&s, &outcomes());
+        assert_eq!(taxonomy.phases.len(), 1);
+        assert_eq!(taxonomy.phases[0].name, "all");
+        assert_eq!(taxonomy.phases[0].sent, 6);
+    }
+}

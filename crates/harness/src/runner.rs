@@ -1,0 +1,138 @@
+//! Boots a real gateway and replays a scenario through it.
+
+use std::time::Duration;
+
+use pard_core::PardConfig;
+use pard_engine_api::{Backend, ClusterConfig, EngineBuilder};
+use pard_gateway::client::{CallSpec, Client};
+use pard_gateway::{Gateway, GatewayConfig};
+use pard_sim::SimTime;
+use pard_workload::wire_schedule;
+
+use crate::outcome::{OutcomeTaxonomy, RequestOutcome};
+use crate::scenario::Scenario;
+
+/// Wall-clock ceiling for one answer after the flush; generous because
+/// the whole replay runs at simulation speed and only pathological
+/// hangs should ever approach it.
+const ANSWER_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Everything one scenario run produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioRun {
+    /// Per-request classifications in schedule order — the
+    /// bit-reproducibility unit (two runs of the same scenario must
+    /// compare equal on this vector, not just on aggregates).
+    pub outcomes: Vec<RequestOutcome>,
+    /// The per-phase rollup compared against golden snapshots.
+    pub taxonomy: OutcomeTaxonomy,
+}
+
+/// Runs `scenario` end to end: builds the simulated engine, boots a
+/// gateway on an ephemeral loopback socket, replays the trace-driven
+/// schedule through the typed client with scheduled arrivals
+/// (`at_us`), flushes the stepped clock past the tail, and classifies
+/// every request.
+///
+/// # Panics
+///
+/// This is a test harness: any infrastructure failure (engine build,
+/// socket bind, wire error) panics with context rather than returning
+/// an error the suite would have to unwrap anyway.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
+    let trace = scenario.build_trace();
+    let nominal_slo_ms = scenario
+        .slo
+        .default_ms
+        .unwrap_or_else(|| (scenario.app.slo().as_millis_f64()) as u64);
+    let events = wire_schedule(
+        &trace,
+        scenario.app.name(),
+        nominal_slo_ms,
+        scenario.payload,
+        scenario.seed,
+    );
+    assert!(
+        !events.is_empty(),
+        "scenario {:?} produced an empty schedule",
+        scenario.name
+    );
+
+    let mut builder = EngineBuilder::for_app(scenario.app)
+        .with_faults(scenario.faults.clone())
+        .with_autoscale(scenario.autoscale)
+        .with_worker_cap(scenario.worker_cap)
+        .with_cold_start(scenario.cold_start)
+        .with_exec_jitter(scenario.exec_jitter_sigma);
+    if let Some(workers) = scenario.fixed_workers.clone() {
+        builder = builder.with_workers(workers);
+    }
+    let config = ClusterConfig::default()
+        .with_seed(scenario.seed)
+        .with_pard(PardConfig::default().with_mc_draws(scenario.mc_draws));
+    let engine = builder
+        .build(Backend::Sim(config))
+        .unwrap_or_else(|e| panic!("scenario {:?}: engine build failed: {e}", scenario.name));
+
+    let gateway = Gateway::start(
+        engine,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            metrics_addr: "127.0.0.1:0".into(),
+            edge_refresh: Duration::from_millis(5),
+            // The replay pipelines the whole schedule; admitted
+            // requests resolve at simulation speed, but the cap must
+            // never be grazed — an `overloaded` refusal would depend on
+            // dispatcher timing, not on the schedule.
+            max_pending: 1 << 20,
+            allow_replay: true,
+        },
+    )
+    .expect("gateway binds ephemeral loopback ports");
+
+    let mut client = Client::connect(gateway.addr()).expect("client connects");
+    let mut sent: Vec<(u64, u64)> = Vec::with_capacity(events.len());
+    for (index, event) in events.iter().enumerate() {
+        let mut spec = CallSpec::new(event.app.clone())
+            .with_payload_len(event.payload_len)
+            .with_at_us(event.at.as_micros());
+        spec.slo_ms = scenario.slo.slo_for(index as u64);
+        let seq = client
+            .send(&spec)
+            .unwrap_or_else(|e| panic!("scenario {:?}: send failed: {e}", scenario.name));
+        sent.push((seq, event.at.as_micros()));
+    }
+    // Flush: release the clock gate past the last arrival so queued
+    // work, late completions, and scheduled faults beyond the traffic
+    // all resolve.
+    let flush_to = (SimTime::ZERO + trace.duration()).saturating_add(scenario.drain);
+    client
+        .advance(flush_to.as_micros().min(pard_gateway::wire::MAX_VIRTUAL_US))
+        .expect("advance control line");
+
+    // One shared deadline for the whole collection: answers that can
+    // still arrive do so promptly after the flush, and answers that
+    // can never arrive must not each burn a full timeout (a regression
+    // leaving K requests unanswered should fail in seconds, not in
+    // K × timeout).
+    let deadline = std::time::Instant::now() + ANSWER_TIMEOUT;
+    let outcomes: Vec<RequestOutcome> = sent
+        .into_iter()
+        .map(|(seq, at_us)| RequestOutcome {
+            seq,
+            at_us,
+            label: client
+                .wait(
+                    seq,
+                    deadline.saturating_duration_since(std::time::Instant::now()),
+                )
+                .map(|answer| answer.outcome.taxonomy())
+                .unwrap_or("unanswered"),
+        })
+        .collect();
+    drop(client);
+    let _ = gateway.shutdown(pard_sim::SimDuration::from_secs(1));
+
+    let taxonomy = OutcomeTaxonomy::build(scenario, &outcomes);
+    ScenarioRun { outcomes, taxonomy }
+}

@@ -1,0 +1,269 @@
+//! The declarative scenario description.
+
+use pard_cluster::FaultSpec;
+use pard_pipeline::AppKind;
+use pard_sim::SimDuration;
+use pard_workload::{PayloadSpec, RateTrace, TraceKind};
+
+/// A request-rate envelope by name — the paper's diurnal traces, plus
+/// the synthetic shapes the evaluation uses.
+#[derive(Clone, Debug)]
+pub enum TraceSpec {
+    /// Constant rate (stress tests, Fig. 14a).
+    Constant {
+        /// Rate, req/s.
+        rate: f64,
+        /// Trace length, seconds.
+        len_s: usize,
+    },
+    /// Linear ramp (autoscaling scenarios).
+    Ramp {
+        /// Starting rate, req/s.
+        from: f64,
+        /// Final rate, req/s.
+        to: f64,
+        /// Trace length, seconds.
+        len_s: usize,
+    },
+    /// A window of one of the paper's synthesised diurnal traces
+    /// (wiki/tweet/azure), rescaled to a target mean rate.
+    Named {
+        /// Which trace to synthesise.
+        kind: TraceKind,
+        /// `[from, to)` window in trace seconds (the replay is rebased
+        /// to start at 0).
+        window_s: (usize, usize),
+        /// Mean rate the window is rescaled to, req/s.
+        mean_rate: f64,
+    },
+}
+
+impl TraceSpec {
+    /// The envelope's length in seconds, known without synthesising
+    /// the trace (a `Named` window is clamped to the synthesised
+    /// length, which is exactly its upper bound).
+    pub fn len_s(&self) -> usize {
+        match *self {
+            TraceSpec::Constant { len_s, .. } | TraceSpec::Ramp { len_s, .. } => len_s,
+            TraceSpec::Named {
+                window_s: (from, to),
+                ..
+            } => to.saturating_sub(from),
+        }
+    }
+
+    /// Materialises the rate envelope (deterministic in `seed`).
+    pub fn build(&self, seed: u64) -> RateTrace {
+        match *self {
+            TraceSpec::Constant { rate, len_s } => pard_workload::constant(rate, len_s),
+            TraceSpec::Ramp { from, to, len_s } => pard_workload::ramp(from, to, len_s),
+            TraceSpec::Named {
+                kind,
+                window_s: (from, to),
+                mean_rate,
+            } => kind
+                .build(to, seed)
+                .window(from, to)
+                .scaled_to_mean(mean_rate),
+        }
+    }
+}
+
+/// A multiplicative burst overlaid on the trace (`with_burst`).
+#[derive(Clone, Copy, Debug)]
+pub struct Burst {
+    /// Burst start, trace seconds.
+    pub at_s: usize,
+    /// Burst length, seconds.
+    pub len_s: usize,
+    /// Rate multiplier during the burst.
+    pub factor: f64,
+}
+
+/// The per-request SLO mix of a scenario.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SloMix {
+    /// SLO carried by ordinary requests, ms (`None`: the app default).
+    pub default_ms: Option<u64>,
+    /// Every `tight_every`-th request (by schedule index) carries a
+    /// deliberately infeasible 1 ms SLO — an admission-path canary
+    /// that keeps edge rejection observable even when the pipeline is
+    /// underloaded. 0 disables.
+    pub tight_every: u64,
+}
+
+impl SloMix {
+    /// The SLO request `index` carries on the wire.
+    pub fn slo_for(&self, index: u64) -> Option<u64> {
+        if self.tight_every > 0 && index.is_multiple_of(self.tight_every) {
+            Some(1)
+        } else {
+            self.default_ms
+        }
+    }
+}
+
+/// A named slice of the schedule, `[from_s, to_s)` in scheduled-arrival
+/// seconds — the taxonomy is reported per phase so a fault or burst
+/// window can be asserted in isolation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase name (e.g. `"burst"`, `"degraded"`).
+    pub name: String,
+    /// First scheduled-arrival second covered (inclusive).
+    pub from_s: u64,
+    /// First scheduled-arrival second *not* covered.
+    pub to_s: u64,
+}
+
+/// A full scenario: everything needed to reproduce one e2e run
+/// bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name; also names the golden snapshot file.
+    pub name: String,
+    /// Which builtin application pipeline is served.
+    pub app: AppKind,
+    /// The request-rate envelope to replay.
+    pub trace: TraceSpec,
+    /// Optional burst overlay.
+    pub burst: Option<Burst>,
+    /// Per-request SLO mix.
+    pub slo: SloMix,
+    /// Payload-size envelope.
+    pub payload: PayloadSpec,
+    /// Pinned per-module worker counts (disables autoscaling). `None`
+    /// leaves the backend default (2 per module) under the `autoscale`
+    /// flag below.
+    pub fixed_workers: Option<Vec<usize>>,
+    /// Whether the scaling engine runs (ignored when workers are
+    /// pinned).
+    pub autoscale: bool,
+    /// Total worker budget when autoscaling.
+    pub worker_cap: usize,
+    /// Cold-start delay of newly provisioned workers.
+    pub cold_start: SimDuration,
+    /// Log-normal σ of execution jitter (deterministic in the seed).
+    pub exec_jitter_sigma: f64,
+    /// Monte-Carlo draws per drop decision (speed/precision knob).
+    pub mc_draws: usize,
+    /// Injected faults, timestamped in virtual trace time.
+    pub faults: Vec<FaultSpec>,
+    /// Master seed: trace synthesis, arrival sampling, payload sizes,
+    /// and the cluster all fork from it.
+    pub seed: u64,
+    /// Phase boundaries for the taxonomy. Empty = one `all` phase.
+    pub phases: Vec<Phase>,
+    /// Virtual time the replay flushes past the last arrival so the
+    /// tail (queued work, late completions) resolves.
+    pub drain: SimDuration,
+}
+
+impl Scenario {
+    /// A scenario with the suite's defaults: 1 worker per module
+    /// pinned, no canaries, no faults, seed 42.
+    pub fn new(name: impl Into<String>, app: AppKind, trace: TraceSpec) -> Scenario {
+        let modules = app.pipeline().modules.len();
+        Scenario {
+            name: name.into(),
+            app,
+            trace,
+            burst: None,
+            slo: SloMix::default(),
+            payload: PayloadSpec::default(),
+            fixed_workers: Some(vec![1; modules]),
+            autoscale: false,
+            worker_cap: 64,
+            cold_start: SimDuration::from_secs(4),
+            exec_jitter_sigma: 0.02,
+            mc_draws: 200,
+            faults: Vec::new(),
+            seed: 42,
+            phases: Vec::new(),
+            drain: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Overlays a burst on the trace.
+    pub fn with_burst(mut self, at_s: usize, len_s: usize, factor: f64) -> Scenario {
+        self.burst = Some(Burst {
+            at_s,
+            len_s,
+            factor,
+        });
+        self
+    }
+
+    /// Sets the SLO mix.
+    pub fn with_slo(mut self, slo: SloMix) -> Scenario {
+        self.slo = slo;
+        self
+    }
+
+    /// Pins per-module worker counts.
+    pub fn with_workers(mut self, workers: Vec<usize>) -> Scenario {
+        self.fixed_workers = Some(workers);
+        self
+    }
+
+    /// Hands the worker pool to the scaling engine: initial counts are
+    /// the backend default, growth is bounded by `worker_cap`, and new
+    /// workers pay `cold_start` before serving.
+    pub fn with_autoscale(mut self, worker_cap: usize, cold_start: SimDuration) -> Scenario {
+        self.fixed_workers = None;
+        self.autoscale = true;
+        self.worker_cap = worker_cap;
+        self.cold_start = cold_start;
+        self
+    }
+
+    /// Adds injected faults.
+    pub fn with_faults(mut self, faults: Vec<FaultSpec>) -> Scenario {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Appends a named phase covering scheduled arrivals in
+    /// `[from_s, to_s)`.
+    pub fn phase(mut self, name: &str, from_s: u64, to_s: u64) -> Scenario {
+        assert!(from_s < to_s, "empty phase {name:?}");
+        self.phases.push(Phase {
+            name: name.into(),
+            from_s,
+            to_s,
+        });
+        self
+    }
+
+    /// Materialises the rate envelope, burst included.
+    pub fn build_trace(&self) -> RateTrace {
+        let trace = self.trace.build(self.seed);
+        match self.burst {
+            Some(Burst {
+                at_s,
+                len_s,
+                factor,
+            }) => trace.with_burst(at_s, len_s, factor),
+            None => trace,
+        }
+    }
+
+    /// The phase list with the implicit `all` fallback applied.
+    pub fn effective_phases(&self) -> Vec<Phase> {
+        if !self.phases.is_empty() {
+            return self.phases.clone();
+        }
+        let len = self.trace.len_s() as u64;
+        vec![Phase {
+            name: "all".into(),
+            from_s: 0,
+            to_s: len.max(1),
+        }]
+    }
+}

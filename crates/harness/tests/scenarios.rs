@@ -1,0 +1,324 @@
+//! The shipped scenario suite: fault, diurnal, burst, autoscaling, and
+//! DAG regimes driven through a real gateway socket.
+//!
+//! Every test runs its scenario **twice** and asserts the two
+//! per-request outcome vectors are identical (bit-reproducibility over
+//! real sockets), then compares the per-phase taxonomy against the
+//! checked-in golden snapshot under `tests/golden/`. Regenerate
+//! goldens after an intentional behaviour change with:
+//!
+//! ```sh
+//! PARD_UPDATE_GOLDEN=1 cargo test -p pard-harness
+//! ```
+
+use pard_cluster::FaultSpec;
+use pard_harness::{check_against_golden, run_scenario, Scenario, ScenarioRun, SloMix, TraceSpec};
+use pard_pipeline::AppKind;
+use pard_sim::{SimDuration, SimTime};
+use pard_workload::TraceKind;
+
+/// Runs the scenario twice, asserts bit-reproducibility, checks the
+/// golden, and hands the first run back for scenario-specific
+/// assertions.
+fn check(scenario: Scenario) -> ScenarioRun {
+    let first = run_scenario(&scenario);
+    let second = run_scenario(&scenario);
+    assert_eq!(
+        first.outcomes, second.outcomes,
+        "scenario {:?} is not bit-reproducible across two consecutive runs",
+        scenario.name
+    );
+    check_against_golden(&scenario, &first);
+    first
+}
+
+#[test]
+fn steady_tm() {
+    // Comfortably below capacity: the canaries are the only losses.
+    let run = check(
+        Scenario::new(
+            "steady_tm",
+            AppKind::Tm,
+            TraceSpec::Constant {
+                rate: 120.0,
+                len_s: 25,
+            },
+        )
+        .with_slo(SloMix {
+            default_ms: None,
+            tight_every: 10,
+        }),
+    );
+    let total = run.taxonomy.total();
+    assert!(total.ok > 0, "{total:?}");
+    assert!(total.dropped_edge > 0, "canaries must be edge-rejected");
+    assert_eq!(total.unanswered, 0, "{total:?}");
+    assert!(total.goodput_fraction() > 0.85, "{total:?}");
+}
+
+#[test]
+fn diurnal_wiki() {
+    let run = check(
+        Scenario::new(
+            "diurnal_wiki",
+            AppKind::Tm,
+            TraceSpec::Named {
+                kind: TraceKind::Wiki,
+                window_s: (300, 340),
+                mean_rate: 130.0,
+            },
+        )
+        .phase("first_half", 0, 20)
+        .phase("second_half", 20, 40),
+    );
+    let total = run.taxonomy.total();
+    assert!(total.sent > 1_000, "{total:?}");
+    assert!(total.ok > 0 && total.unanswered == 0, "{total:?}");
+}
+
+#[test]
+fn diurnal_tweet_step() {
+    // The window straddles the paper's signature ~2× step at t = 850 s
+    // (rebased to second 30 of the replay): the pre-step phase is
+    // healthy, the step phase overloads and sheds load proactively.
+    let run = check(
+        Scenario::new(
+            "diurnal_tweet_step",
+            AppKind::Tm,
+            TraceSpec::Named {
+                kind: TraceKind::Tweet,
+                window_s: (820, 880),
+                mean_rate: 120.0,
+            },
+        )
+        .phase("pre_step", 0, 30)
+        .phase("step", 30, 60),
+    );
+    let pre = run.taxonomy.phase("pre_step");
+    let step = run.taxonomy.phase("step");
+    assert!(
+        step.sent as f64 > 1.4 * pre.sent as f64,
+        "step must carry the load surge: {pre:?} vs {step:?}"
+    );
+    assert!(
+        step.dropped_edge + step.dropped_pipeline > pre.dropped_edge + pre.dropped_pipeline,
+        "overload losses concentrate in the step: {pre:?} vs {step:?}"
+    );
+}
+
+#[test]
+fn diurnal_azure_spikes() {
+    let run = check(
+        Scenario::new(
+            "diurnal_azure_spikes",
+            AppKind::Tm,
+            TraceSpec::Named {
+                kind: TraceKind::Azure,
+                window_s: (380, 440),
+                mean_rate: 120.0,
+            },
+        )
+        .phase("first_half", 0, 30)
+        .phase("second_half", 30, 60),
+    );
+    let total = run.taxonomy.total();
+    assert!(total.sent > 1_000 && total.ok > 0, "{total:?}");
+    assert_eq!(total.unanswered, 0, "{total:?}");
+}
+
+#[test]
+fn burst_x4() {
+    // A 4× burst on a healthy baseline: losses live in (and just
+    // after) the burst window, the tail recovers.
+    let run = check(
+        Scenario::new(
+            "burst_x4",
+            AppKind::Tm,
+            TraceSpec::Constant {
+                rate: 60.0,
+                len_s: 30,
+            },
+        )
+        .with_burst(10, 8, 4.0)
+        .phase("pre", 0, 10)
+        .phase("burst", 10, 18)
+        .phase("post", 18, 30),
+    );
+    let pre = run.taxonomy.phase("pre");
+    let burst = run.taxonomy.phase("burst");
+    assert!(
+        burst.dropped_edge + burst.dropped_pipeline > pre.dropped_edge + pre.dropped_pipeline,
+        "the burst must shed load: {pre:?} vs {burst:?}"
+    );
+    assert!(burst.ok > 0, "the burst is shed, not blackholed: {burst:?}");
+}
+
+#[test]
+fn worker_crash_mid_burst() {
+    // One of module 0's two workers crashes in the middle of a 3×
+    // burst: its executing batch is lost (worker_failed drops) and the
+    // surviving capacity rides out the rest of the burst.
+    let run = check(
+        Scenario::new(
+            "worker_crash_mid_burst",
+            AppKind::Tm,
+            TraceSpec::Constant {
+                rate: 70.0,
+                len_s: 30,
+            },
+        )
+        .with_burst(10, 10, 3.0)
+        .with_workers(vec![2, 2, 2])
+        .with_faults(vec![FaultSpec::WorkerCrash {
+            module: 0,
+            worker: 1,
+            at: SimTime::from_secs(14),
+        }])
+        .phase("pre", 0, 10)
+        .phase("burst", 10, 20)
+        .phase("post", 20, 30),
+    );
+    let pre = run.taxonomy.phase("pre");
+    let burst = run.taxonomy.phase("burst");
+    let post = run.taxonomy.phase("post");
+    assert_eq!(
+        pre.dropped_pipeline, 0,
+        "healthy pre-phase must not drop in-pipeline: {pre:?}"
+    );
+    assert!(
+        burst.dropped_pipeline > 0,
+        "the crash must lose in-flight work: {burst:?}"
+    );
+    assert!(
+        post.goodput_fraction() > 0.9,
+        "one worker down must still serve the baseline: {post:?}"
+    );
+}
+
+#[test]
+fn slow_worker_interference() {
+    // A straggler, not a failure: module 0's only worker runs 8×
+    // slower for 8 s. Goodput collapses in the window, recovers after.
+    let run = check(
+        Scenario::new(
+            "slow_worker_interference",
+            AppKind::Tm,
+            TraceSpec::Constant {
+                rate: 100.0,
+                len_s: 30,
+            },
+        )
+        .with_faults(vec![FaultSpec::SlowWorker {
+            module: 0,
+            worker: 0,
+            factor: 8.0,
+            from: SimTime::from_secs(8),
+            until: SimTime::from_secs(16),
+        }])
+        .phase("before", 0, 8)
+        .phase("degraded", 8, 16)
+        .phase("recovered", 16, 30),
+    );
+    let before = run.taxonomy.phase("before");
+    let degraded = run.taxonomy.phase("degraded");
+    let recovered = run.taxonomy.phase("recovered");
+    assert!(
+        degraded.goodput_fraction() < 0.5 * before.goodput_fraction(),
+        "the straggler must gut goodput: {before:?} vs {degraded:?}"
+    );
+    assert!(
+        recovered.goodput_fraction() > degraded.goodput_fraction(),
+        "goodput must recover after the window: {degraded:?} vs {recovered:?}"
+    );
+}
+
+#[test]
+fn autoscale_ramp_cold_start() {
+    // A ramp from trivial to ~2.5× the initial pool's capacity, with a
+    // 4 s model cold start: scaling chases the ramp, and losses track
+    // the provisioning lag instead of persisting.
+    let run = check(
+        Scenario::new(
+            "autoscale_ramp_cold_start",
+            AppKind::Tm,
+            TraceSpec::Ramp {
+                from: 30.0,
+                to: 420.0,
+                len_s: 32,
+            },
+        )
+        .with_autoscale(12, SimDuration::from_secs(4))
+        .phase("q1", 0, 8)
+        .phase("q2", 8, 16)
+        .phase("q3", 16, 24)
+        .phase("q4", 24, 32),
+    );
+    let q1 = run.taxonomy.phase("q1");
+    let q4 = run.taxonomy.phase("q4");
+    assert!(
+        q1.goodput_fraction() > 0.9,
+        "the quiet start must be clean: {q1:?}"
+    );
+    assert!(
+        q4.ok > q1.ok,
+        "scaled-up capacity must serve the heavier tail: {q1:?} vs {q4:?}"
+    );
+    assert_eq!(run.taxonomy.total().unanswered, 0);
+}
+
+#[test]
+fn dag_split_merge() {
+    // The DAG app (split 0 → {1, 2} → 3) is only network-servable via
+    // the sim backend; this pins its end-to-end behaviour.
+    let run = check(
+        Scenario::new(
+            "dag_split_merge",
+            AppKind::Da,
+            TraceSpec::Constant {
+                rate: 55.0,
+                len_s: 25,
+            },
+        )
+        .with_workers(vec![1, 1, 1, 1])
+        .with_slo(SloMix {
+            default_ms: None,
+            tight_every: 12,
+        }),
+    );
+    let total = run.taxonomy.total();
+    assert!(total.ok > 0, "{total:?}");
+    assert!(total.dropped_edge > 0, "canaries must be edge-rejected");
+    assert_eq!(total.unanswered, 0, "{total:?}");
+}
+
+#[test]
+fn slo_mix_heavy_canaries() {
+    // 25% infeasible canaries: the edge carries the rejection load and
+    // the feasible 75% are served as if the canaries did not exist.
+    let run = check(
+        Scenario::new(
+            "slo_mix_heavy_canaries",
+            AppKind::Tm,
+            TraceSpec::Constant {
+                rate: 90.0,
+                len_s: 25,
+            },
+        )
+        .with_slo(SloMix {
+            default_ms: Some(400),
+            tight_every: 4,
+        })
+        .phase("first_half", 0, 13)
+        .phase("second_half", 13, 25),
+    );
+    let total = run.taxonomy.total();
+    let canary_share = total.dropped_edge as f64 / total.sent as f64;
+    assert!(
+        (0.2..0.3).contains(&canary_share),
+        "about a quarter must be edge-rejected: {total:?}"
+    );
+    assert!(
+        total.ok as f64 > 0.9 * (total.sent - total.dropped_edge) as f64,
+        "feasible requests must be served: {total:?}"
+    );
+}

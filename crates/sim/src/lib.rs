@@ -114,6 +114,27 @@ impl<W: World> Simulation<W> {
         }
     }
 
+    /// Advances the clock to `t` without processing anything — for
+    /// drivers that step the simulation manually and must move virtual
+    /// time through *idle* stretches (no queued event at or before `t`).
+    /// A no-op when `t` is not in the future.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if an event at or before `t` is still
+    /// queued: skipping it would reorder the timeline. Process due
+    /// events first (see [`Simulation::step`] / [`Simulation::peek_time`]).
+    pub fn advance_now_to(&mut self, t: SimTime) {
+        if t <= self.now {
+            return;
+        }
+        debug_assert!(
+            self.queue.peek_time().is_none_or(|p| p > t),
+            "advance_now_to would skip a queued event"
+        );
+        self.now = t;
+    }
+
     /// Runs until the queue is exhausted or `deadline` is passed.
     ///
     /// Events with timestamps strictly greater than `deadline` remain

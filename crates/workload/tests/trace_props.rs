@@ -1,0 +1,96 @@
+//! Property tests for the [`RateTrace`] combinators: `window`,
+//! `scaled_by`, `scaled_to_mean`, and `with_burst` must preserve the
+//! envelope's structural invariants (length, non-negativity) for any
+//! input, and `scaled_to_mean` must actually hit the target mean.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pard_workload::RateTrace;
+
+/// Rate vectors with negatives mixed in, so clamping is exercised too.
+fn rates() -> impl Strategy<Value = Vec<f64>> {
+    vec(-50.0f64..800.0, 0..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Construction clamps negatives; every combinator output stays
+    /// non-negative afterwards.
+    #[test]
+    fn construction_clamps_negative_rates(raw in rates()) {
+        let trace = RateTrace::new(raw.clone());
+        prop_assert_eq!(trace.len(), raw.len());
+        prop_assert!(trace.rates().iter().all(|&r| r >= 0.0));
+    }
+
+    /// `window` returns exactly the `[from, to)` slice, with
+    /// out-of-range bounds clamped to the trace.
+    #[test]
+    fn window_matches_the_slice(raw in rates(), from in 0usize..100, to in 0usize..100) {
+        let trace = RateTrace::new(raw);
+        let sub = trace.window(from, to);
+        let lo = from.min(trace.len());
+        let hi = to.clamp(lo, trace.len());
+        prop_assert_eq!(sub.len(), hi - lo);
+        prop_assert_eq!(sub.rates(), &trace.rates()[lo..hi]);
+    }
+
+    /// `scaled_by` preserves length, scales every sample, and clamps a
+    /// negative factor to an all-zero trace rather than going negative.
+    #[test]
+    fn scaled_by_preserves_shape(raw in rates(), factor in -2.0f64..20.0) {
+        let trace = RateTrace::new(raw);
+        let scaled = trace.scaled_by(factor);
+        prop_assert_eq!(scaled.len(), trace.len());
+        prop_assert!(scaled.rates().iter().all(|&r| r >= 0.0));
+        for (&r, &s) in trace.rates().iter().zip(scaled.rates()) {
+            prop_assert_eq!(s, (r * factor).max(0.0));
+        }
+    }
+
+    /// `scaled_to_mean` hits the requested mean exactly (up to float
+    /// round-off) and preserves the shape statistics; zero-mean traces
+    /// pass through unchanged.
+    #[test]
+    fn scaled_to_mean_hits_the_target(raw in rates(), target in 0.1f64..2_000.0) {
+        let trace = RateTrace::new(raw);
+        let scaled = trace.scaled_to_mean(target);
+        prop_assert_eq!(scaled.len(), trace.len());
+        prop_assert!(scaled.rates().iter().all(|&r| r >= 0.0));
+        if trace.mean_rate() > 0.0 {
+            let err = (scaled.mean_rate() - target).abs() / target;
+            prop_assert!(err < 1e-9, "mean {} vs target {target}", scaled.mean_rate());
+            // Pure rescaling: the coefficient of variation is invariant.
+            prop_assert!((scaled.cv() - trace.cv()).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(scaled, trace);
+        }
+    }
+
+    /// `with_burst` preserves length, multiplies exactly the window
+    /// `[at, at + len)`, and leaves everything else untouched.
+    #[test]
+    fn with_burst_multiplies_only_the_window(
+        raw in rates(),
+        at in 0usize..90,
+        len in 0usize..40,
+        factor in 0.0f64..10.0,
+    ) {
+        let trace = RateTrace::new(raw);
+        let burst = trace.with_burst(at, len, factor);
+        prop_assert_eq!(burst.len(), trace.len());
+        prop_assert!(burst.rates().iter().all(|&r| r >= 0.0));
+        for (i, (&r, &b)) in trace.rates().iter().zip(burst.rates()).enumerate() {
+            if i >= at && i < at + len {
+                prop_assert_eq!(b, (r * factor).max(0.0));
+            } else {
+                prop_assert_eq!(b, r);
+            }
+        }
+    }
+}

@@ -27,6 +27,7 @@
 //! | [`runtime`] | live multi-threaded serving engine |
 //! | [`engine_api`] | unified `EngineHandle` front door over simulator + live runtime |
 //! | [`gateway`] | TCP serving front-end with edge admission, typed client + load generator |
+//! | [`harness`] | deterministic scenario harness: fault/diurnal/autoscaling e2e suites over real sockets |
 //! | [`rag`] | §7 RAG workflow case study |
 //!
 //! # Examples
@@ -62,6 +63,7 @@ pub use pard_cluster as cluster;
 pub use pard_core as core;
 pub use pard_engine_api as engine_api;
 pub use pard_gateway as gateway;
+pub use pard_harness as harness;
 pub use pard_metrics as metrics;
 pub use pard_pipeline as pipeline;
 pub use pard_policies as policies;
