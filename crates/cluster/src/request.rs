@@ -32,8 +32,9 @@ pub struct InFlight {
     /// Outcome details once finished.
     pub outcome: Outcome,
     /// Per-module count of predecessor copies that have arrived; a merge
-    /// module only enqueues once all predecessors delivered.
-    pub merge_arrivals: Vec<u8>,
+    /// module only enqueues once all predecessors delivered (`usize`,
+    /// so any validatable fan-in fits without wrapping).
+    pub merge_arrivals: Vec<usize>,
     /// Modules whose execution completed (guards double-forwarding).
     pub completed_modules: Vec<bool>,
 }
@@ -73,7 +74,7 @@ impl InFlight {
     /// whether the request is now ready to enqueue at `module`.
     pub fn deliver(&mut self, module: usize, required: usize) -> bool {
         self.merge_arrivals[module] += 1;
-        self.merge_arrivals[module] as usize >= required.max(1)
+        self.merge_arrivals[module] >= required.max(1)
     }
 
     /// Converts into the final metrics record.

@@ -81,6 +81,54 @@ impl DecisionInputs {
     }
 }
 
+/// Downstream estimate (`L_sub` of §4.2) over an explicit set of
+/// downstream paths — the DAG form of the edge estimate.
+///
+/// Each path's latency is the sum, over its modules, of queued-batch
+/// delay (full batches ahead drain one per worker in parallel) plus one
+/// execution, with zero assumed batch wait. The estimate is the
+/// **critical** (maximum-total) path: parallel branches execute
+/// concurrently, so summing every downstream module — the chain formula
+/// — would double-charge a split and reject requests the pipeline can
+/// in fact serve. For a chain there is exactly one path and this
+/// reduces to the plain suffix sum.
+///
+/// `paths` are module-id sequences *excluding* the entry module (the
+/// shape `pard_pipeline::graph::downstream_paths` produces); the
+/// slices are indexed per module — queue depths, worker counts,
+/// planned batch sizes, and profiled execution durations in
+/// milliseconds, exactly the fields of a serving edge's state
+/// snapshot.
+pub fn critical_path_estimate(
+    paths: &[Vec<usize>],
+    queue_depths: &[usize],
+    workers: &[usize],
+    batch_sizes: &[usize],
+    exec_ms: &[f64],
+) -> SubEstimate {
+    let mut best = SubEstimate::ZERO;
+    for path in paths {
+        let mut sum_q = SimDuration::ZERO;
+        let mut sum_d = SimDuration::ZERO;
+        for &k in path {
+            let exec = SimDuration::from_millis_f64(exec_ms[k]);
+            let batches_ahead = queue_depths[k] / batch_sizes[k].max(1);
+            let rounds = batches_ahead / workers[k].max(1);
+            sum_q += exec * rounds as u64;
+            sum_d += exec;
+        }
+        if sum_q + sum_d > best.total {
+            best = SubEstimate {
+                sum_q,
+                sum_d,
+                wait_q: SimDuration::ZERO,
+                total: sum_q + sum_d,
+            };
+        }
+    }
+    best
+}
+
 /// PARD's proactive decision: Eq. 3 against the end-to-end deadline.
 pub fn proactive_decision(req: &ReqMeta, inputs: &DecisionInputs) -> Decision {
     if inputs.now > req.deadline {
@@ -282,6 +330,72 @@ mod tests {
             sub,
         );
         assert_eq!(proactive_decision(&r, &shallow), Decision::Admit);
+    }
+
+    #[test]
+    fn critical_path_estimate_matches_chain_suffix_sum() {
+        // A 3-module chain entered at module 0: one downstream path
+        // [1, 2]; the estimate must equal the plain suffix sum.
+        let paths = vec![vec![1, 2]];
+        let est = critical_path_estimate(
+            &paths,
+            &[0, 8, 80],
+            &[1, 1, 1],
+            &[4, 4, 4],
+            &[40.0, 30.0, 20.0],
+        );
+        // Module 1: 8/4 = 2 batches ahead → 60 ms queue + 30 ms exec.
+        // Module 2: 80/4 = 20 batches ahead → 400 ms queue + 20 ms.
+        assert_eq!(est.sum_q, SimDuration::from_millis(460));
+        assert_eq!(est.sum_d, SimDuration::from_millis(50));
+        assert_eq!(est.total, SimDuration::from_millis(510));
+    }
+
+    #[test]
+    fn critical_path_takes_the_max_branch_not_the_sum() {
+        // Diamond 0 → {1, 2} → 3: two downstream paths. Branch 2 is the
+        // slow one; the estimate must charge max(b1, b2) + sink, not
+        // b1 + b2 + sink.
+        let paths = vec![vec![1, 3], vec![2, 3]];
+        let est = critical_path_estimate(
+            &paths,
+            &[0, 0, 0, 0],
+            &[1, 1, 1, 1],
+            &[4, 4, 4, 4],
+            &[40.0, 30.0, 90.0, 20.0],
+        );
+        assert_eq!(est.total, SimDuration::from_millis(110)); // 90 + 20
+        assert_eq!(est.sum_d, SimDuration::from_millis(110));
+        // Queueing on the fast branch alone cannot flip the choice…
+        let est = critical_path_estimate(
+            &paths,
+            &[0, 4, 0, 0],
+            &[1, 1, 1, 1],
+            &[4, 4, 4, 4],
+            &[40.0, 30.0, 90.0, 20.0],
+        );
+        // (one queued batch on branch 1: 30+30+20 = 80 < 110.)
+        assert_eq!(est.total, SimDuration::from_millis(110));
+        // …but enough of it does, and the queue delay is charged.
+        let est = critical_path_estimate(
+            &paths,
+            &[0, 16, 0, 0],
+            &[1, 1, 1, 1],
+            &[4, 4, 4, 4],
+            &[40.0, 30.0, 90.0, 20.0],
+        );
+        assert_eq!(est.sum_q, SimDuration::from_millis(120)); // 4 batches × 30 ms
+        assert_eq!(est.total, SimDuration::from_millis(170));
+    }
+
+    #[test]
+    fn sink_entry_has_an_empty_path_and_zero_estimate() {
+        // downstream_paths at the sink is a single empty path.
+        let est = critical_path_estimate(&[vec![]], &[0], &[1], &[4], &[40.0]);
+        assert_eq!(est, SubEstimate::ZERO);
+        // And no paths at all (degenerate) is also zero.
+        let est = critical_path_estimate(&[], &[0], &[1], &[4], &[40.0]);
+        assert_eq!(est, SubEstimate::ZERO);
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod priority;
 pub mod state;
 pub mod window;
 
-pub use broker::{proactive_decision, split_decision, Decision, DecisionInputs};
+pub use broker::{
+    critical_path_estimate, proactive_decision, split_decision, Decision, DecisionInputs,
+};
 pub use config::PardConfig;
 pub use depq::Depq;
 pub use planner::{StatePlanner, SubEstimate};

@@ -35,12 +35,6 @@ pub enum EngineError {
     },
     /// The pipeline specification failed structural validation.
     InvalidSpec(SpecError),
-    /// The live runtime serves chain pipelines only; DAGs need
-    /// [`Backend::Sim`].
-    NotAChain {
-        /// The offending pipeline's name.
-        pipeline: String,
-    },
     /// A configuration vector does not match the pipeline shape.
     Config(String),
 }
@@ -52,11 +46,6 @@ impl fmt::Display for EngineError {
                 write!(f, "model {module:?} is not in the profile zoo")
             }
             EngineError::InvalidSpec(e) => write!(f, "invalid pipeline spec: {e}"),
-            EngineError::NotAChain { pipeline } => write!(
-                f,
-                "pipeline {pipeline:?} is a DAG; the live runtime serves chains only \
-                 (use Backend::Sim)"
-            ),
             EngineError::Config(message) => f.write_str(message),
         }
     }
@@ -247,11 +236,6 @@ impl EngineBuilder {
         let (spec, profiles, policy) = self.resolve()?;
         if let Some(workers) = workers_override {
             config.workers_per_module = workers;
-        }
-        if !spec.is_chain() {
-            return Err(EngineError::NotAChain {
-                pipeline: spec.name.clone(),
-            });
         }
         check_worker_counts(&config.workers_per_module, spec.modules.len())?;
         let scale = config.time_scale;
@@ -516,6 +500,34 @@ mod tests {
             }])
             .build_sim(ClusterConfig::default());
         assert!(grown.is_ok());
+    }
+
+    #[test]
+    fn dag_pipelines_build_on_the_live_backend() {
+        // The `da` split/merge app used to be rejected with a dedicated
+        // NotAChain error; the live runtime now executes any valid
+        // shape.
+        use crate::handle::EngineHandle;
+        let engine = EngineBuilder::for_app(AppKind::Da)
+            .build_live(pard_runtime::LiveConfig::compressed(20.0, 4, 1))
+            .expect("the live runtime serves DAGs");
+        assert_eq!(engine.spec().name, "da");
+        assert!(!engine.spec().is_chain());
+        let _ = engine.drain(SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn invalid_specs_still_get_typed_errors_on_live() {
+        // Genuinely invalid shapes (here: two sources) stay typed
+        // errors — removing the chain restriction must not let them
+        // through to a panic deep in the runtime.
+        let mut spec = AppKind::Da.pipeline();
+        spec.modules[0].subs.retain(|&s| s != 1);
+        spec.modules[1].pres.clear();
+        let err = EngineBuilder::new(spec)
+            .build_live(pard_runtime::LiveConfig::compressed(20.0, 4, 1))
+            .err();
+        assert!(matches!(err, Some(EngineError::InvalidSpec(_))), "{err:?}");
     }
 
     #[test]

@@ -9,41 +9,53 @@
 //! queue — the whole point of proactive dropping, moved to where it
 //! saves the most work.
 //!
+//! The downstream term is estimated over the pipeline's *critical
+//! downstream path* (§4.2 DAG handling): the gateway enumerates every
+//! entry-to-sink path once at startup
+//! ([`pard_pipeline::graph::downstream_paths`]) and
+//! [`pard_core::critical_path_estimate`] charges the slowest one.
+//! Parallel DAG branches execute concurrently, so the chain-style sum
+//! over every downstream module would double-charge a split; on a
+//! chain the single path makes both formulas identical.
+//!
 //! The edge estimate is deliberately a *lower bound* on latency (it
 //! assumes zero batch wait and charges only whole batches ahead of the
 //! request). Admission therefore never rejects a servable request; the
 //! in-worker broker, with its richer Monte-Carlo wait estimate, still
 //! re-checks every admitted request at `t_b`.
 
-use pard_core::{proactive_decision, Decision, DecisionInputs, ReqMeta, SubEstimate};
+use pard_core::{
+    critical_path_estimate, proactive_decision, Decision, DecisionInputs, ReqMeta, SubEstimate,
+};
 use pard_engine_api::EdgeState;
 use pard_sim::{SimDuration, SimTime};
 
 /// Builds the downstream estimate (`L_sub` of §4.2) for a request
-/// entering module 0, from edge-visible state: queued-batch delay
-/// (batches drain one per worker in parallel) plus execution for every
-/// subsequent module, zero batch wait.
-pub fn edge_sub_estimate(state: &EdgeState) -> SubEstimate {
-    let mut sum_q = SimDuration::ZERO;
-    let mut sum_d = SimDuration::ZERO;
-    for k in 1..state.exec_ms.len() {
-        let exec = SimDuration::from_millis_f64(state.exec_ms[k]);
-        let batches_ahead = state.queue_depths[k] / state.batch_sizes[k].max(1);
-        let rounds = batches_ahead / state.workers[k].max(1);
-        sum_q += exec * rounds as u64;
-        sum_d += exec;
-    }
-    SubEstimate {
-        sum_q,
-        sum_d,
-        wait_q: SimDuration::ZERO,
-        total: sum_q + sum_d,
-    }
+/// entering the pipeline's source module, from edge-visible state:
+/// queued-batch delay (batches drain one per worker in parallel) plus
+/// execution, summed along each downstream path and maximised over
+/// `paths` (the critical path), zero batch wait.
+pub fn edge_sub_estimate(state: &EdgeState, paths: &[Vec<usize>]) -> SubEstimate {
+    critical_path_estimate(
+        paths,
+        &state.queue_depths,
+        &state.workers,
+        &state.batch_sizes,
+        &state.exec_ms,
+    )
 }
 
 /// The edge admission check: Eq. 3 for a request arriving `now` with
-/// `deadline`, against the current [`EdgeState`].
-pub fn edge_decision(now: SimTime, deadline: SimTime, state: &EdgeState) -> Decision {
+/// `deadline`, against the current [`EdgeState`]. `source` is the
+/// pipeline's entry module and `paths` its downstream paths from there
+/// (both static; the gateway computes them once at startup).
+pub fn edge_decision(
+    now: SimTime,
+    deadline: SimTime,
+    state: &EdgeState,
+    source: usize,
+    paths: &[Vec<usize>],
+) -> Decision {
     let req = ReqMeta {
         id: 0,
         sent: now,
@@ -52,11 +64,11 @@ pub fn edge_decision(now: SimTime, deadline: SimTime, state: &EdgeState) -> Deci
     };
     let inputs = DecisionInputs::at_edge(
         now,
-        state.queue_depths[0],
-        state.workers[0],
-        state.batch_sizes[0],
-        SimDuration::from_millis_f64(state.exec_ms[0]),
-        edge_sub_estimate(state),
+        state.queue_depths[source],
+        state.workers[source],
+        state.batch_sizes[source],
+        SimDuration::from_millis_f64(state.exec_ms[source]),
+        edge_sub_estimate(state, paths),
     );
     proactive_decision(&req, &inputs)
 }
@@ -76,12 +88,21 @@ mod tests {
         }
     }
 
+    /// Downstream paths of the 3-module chain entered at module 0.
+    fn chain_paths() -> Vec<Vec<usize>> {
+        vec![vec![1, 2]]
+    }
+
+    fn decide(now: SimTime, deadline: SimTime, state: &EdgeState) -> Decision {
+        edge_decision(now, deadline, state, 0, &chain_paths())
+    }
+
     #[test]
     fn idle_pipeline_admits_feasible_request() {
         // Empty queues: projected latency = 40 + (30 + 20) = 90 ms.
         let s = state(vec![0, 0, 0]);
         let now = SimTime::from_millis(100);
-        let d = edge_decision(now, now + SimDuration::from_millis(400), &s);
+        let d = decide(now, now + SimDuration::from_millis(400), &s);
         assert_eq!(d, Decision::Admit);
     }
 
@@ -90,7 +111,7 @@ mod tests {
         // 1 ms budget < 90 ms floor: rejected even when idle.
         let s = state(vec![0, 0, 0]);
         let now = SimTime::from_millis(100);
-        let d = edge_decision(now, now + SimDuration::from_millis(1), &s);
+        let d = decide(now, now + SimDuration::from_millis(1), &s);
         assert_eq!(d, Decision::Drop(DropReason::PredictedViolation));
     }
 
@@ -100,11 +121,11 @@ mod tests {
         // request's batch even starts.
         let s = state(vec![40, 0, 0]);
         let now = SimTime::from_millis(100);
-        let d = edge_decision(now, now + SimDuration::from_millis(400), &s);
+        let d = decide(now, now + SimDuration::from_millis(400), &s);
         assert_eq!(d, Decision::Drop(DropReason::PredictedViolation));
         // The same deadline with shallow queues is fine.
         let shallow = state(vec![3, 3, 3]);
-        let d = edge_decision(now, now + SimDuration::from_millis(400), &shallow);
+        let d = decide(now, now + SimDuration::from_millis(400), &shallow);
         assert_eq!(d, Decision::Admit);
     }
 
@@ -116,11 +137,11 @@ mod tests {
         let now = SimTime::from_millis(100);
         let deadline = now + SimDuration::from_millis(400);
         assert_eq!(
-            edge_decision(now, deadline, &s),
+            decide(now, deadline, &s),
             Decision::Drop(DropReason::PredictedViolation)
         );
         s.workers = vec![4, 1, 1];
-        assert_eq!(edge_decision(now, deadline, &s), Decision::Admit);
+        assert_eq!(decide(now, deadline, &s), Decision::Admit);
     }
 
     #[test]
@@ -129,10 +150,10 @@ mod tests {
         // = 400 ms of downstream queueing.
         let s = state(vec![0, 0, 80]);
         let now = SimTime::ZERO;
-        let sub = edge_sub_estimate(&s);
+        let sub = edge_sub_estimate(&s, &chain_paths());
         assert_eq!(sub.sum_q, SimDuration::from_millis(400));
         assert_eq!(sub.sum_d, SimDuration::from_millis(50));
-        let d = edge_decision(now, now + SimDuration::from_millis(300), &s);
+        let d = decide(now, now + SimDuration::from_millis(300), &s);
         assert_eq!(d, Decision::Drop(DropReason::PredictedViolation));
     }
 
@@ -140,7 +161,31 @@ mod tests {
     fn expired_deadline_reports_already_expired() {
         let s = state(vec![0, 0, 0]);
         let now = SimTime::from_millis(500);
-        let d = edge_decision(now, SimTime::from_millis(400), &s);
+        let d = decide(now, SimTime::from_millis(400), &s);
         assert_eq!(d, Decision::Drop(DropReason::AlreadyExpired));
+    }
+
+    #[test]
+    fn parallel_branches_are_charged_once_not_summed() {
+        // Diamond 0 → {1, 2} → 3 with symmetric 100 ms branches and a
+        // 260 ms budget at the edge: the critical-path estimate
+        // (40 + 100 + 20 = 160 ms) admits, while the old chain-style
+        // sum over every module (40 + 100 + 100 + 20 = 260 ms… plus
+        // any queueing) would sit exactly at the cliff and reject as
+        // soon as anything queues.
+        let s = EdgeState {
+            queue_depths: vec![0, 4, 4, 0],
+            workers: vec![1, 1, 1, 1],
+            batch_sizes: vec![4, 4, 4, 4],
+            exec_ms: vec![40.0, 100.0, 100.0, 20.0],
+            slo: SimDuration::from_millis(400),
+        };
+        let paths = vec![vec![1, 3], vec![2, 3]];
+        let sub = edge_sub_estimate(&s, &paths);
+        // One branch + sink, with that branch's one queued batch.
+        assert_eq!(sub.total, SimDuration::from_millis(220));
+        let now = SimTime::ZERO;
+        let d = edge_decision(now, now + SimDuration::from_millis(300), &s, 0, &paths);
+        assert_eq!(d, Decision::Admit);
     }
 }

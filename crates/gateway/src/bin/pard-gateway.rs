@@ -1,12 +1,13 @@
 //! The PARD serving gateway.
 //!
 //! ```sh
-//! # Live threaded runtime (chains only):
-//! pard-gateway --app tm --backend live --addr 127.0.0.1:7311 --metrics 127.0.0.1:7312 \
+//! # Live threaded runtime (any pipeline shape, DAG split/merge
+//! # included):
+//! pard-gateway --app da --backend live --addr 127.0.0.1:7311 --metrics 127.0.0.1:7312 \
 //!              --workers 2 --scale 1 [--duration 30]
 //!
-//! # Deterministic simulator backend (chains and DAGs; closed-loop
-//! # runs reproduce exactly from --seed and the request order):
+//! # Deterministic simulator backend (closed-loop runs reproduce
+//! # exactly from --seed and the request order):
 //! pard-gateway --app da --backend sim --seed 42
 //!
 //! # Arbitrary pipeline from a JSON spec file:

@@ -32,7 +32,7 @@ use parking_lot::Mutex;
 
 use pard_core::Decision;
 use pard_engine_api::{Completion, EdgeState, EngineHandle, SubmitSpec};
-use pard_metrics::{Outcome, RequestLog, ServingCounters};
+use pard_metrics::{ModuleDropCounters, Outcome, RequestLog, ServingCounters};
 use pard_sim::{SimDuration, SimTime};
 
 use crate::admission::edge_decision;
@@ -95,14 +95,21 @@ struct PendingEntry {
 /// State shared by reader threads (everything request handling needs).
 struct Edge {
     engine: Box<dyn EngineHandle>,
-    // `counters` and `pending` are separately Arc'd because the
-    // dispatcher holds them without holding the Edge (and thus keeps
-    // routing completions while shutdown drains the engine).
+    // `counters`, `module_drops`, and `pending` are separately Arc'd
+    // because the dispatcher holds them without holding the Edge (and
+    // thus keeps routing completions while shutdown drains the engine).
     counters: Arc<ServingCounters>,
+    module_drops: Arc<ModuleDropCounters>,
     pending: Arc<Mutex<HashMap<u64, PendingEntry>>>,
     state: Mutex<EdgeState>,
     shutdown: AtomicBool,
     app_name: String,
+    /// The pipeline's entry module (static).
+    source: usize,
+    /// Downstream paths from the entry module to the sink (static) —
+    /// the admission estimate charges the critical one, so parallel
+    /// DAG branches are not double-counted.
+    paths: Vec<Vec<usize>>,
     edge_seq: AtomicU64,
     max_pending: usize,
     allow_replay: bool,
@@ -134,12 +141,16 @@ impl Gateway {
         metrics_listener.set_nonblocking(true)?;
         let metrics_addr = metrics_listener.local_addr()?;
 
+        let source = engine.spec().source();
         let edge = Arc::new(Edge {
             state: Mutex::new(engine.edge_state()),
             counters: Arc::new(ServingCounters::new()),
+            module_drops: Arc::new(ModuleDropCounters::new(engine.spec().modules.len())),
             pending: Arc::new(Mutex::new(HashMap::new())),
             shutdown: AtomicBool::new(false),
             app_name: engine.spec().name.clone(),
+            source,
+            paths: pard_pipeline::graph::downstream_paths(engine.spec(), source),
             edge_seq: AtomicU64::new(0),
             max_pending: config.max_pending,
             allow_replay: config.allow_replay,
@@ -155,7 +166,10 @@ impl Gateway {
         let dispatcher = {
             let pending = Arc::clone(&edge.pending);
             let counters = Arc::clone(&edge.counters);
-            std::thread::spawn(move || dispatcher_loop(completion_rx, pending, counters))
+            let module_drops = Arc::clone(&edge.module_drops);
+            std::thread::spawn(move || {
+                dispatcher_loop(completion_rx, pending, counters, module_drops)
+            })
         };
 
         // Edge-state poller: refreshes the admission snapshot.
@@ -226,6 +240,12 @@ impl Gateway {
         self.edge.counters.snapshot()
     }
 
+    /// Snapshot of the per-module drop counters (where admitted
+    /// requests died inside the pipeline, and why).
+    pub fn module_drops(&self) -> pard_metrics::ModuleDropsSnapshot {
+        self.edge.module_drops.snapshot()
+    }
+
     /// Stops accepting, drains in-flight requests (bounded by
     /// `drain_virtual` of virtual time and 30 s of wall time), stops
     /// the engine, and returns its request log.
@@ -291,6 +311,7 @@ fn dispatcher_loop(
     completions: Receiver<Completion>,
     pending: Arc<Mutex<HashMap<u64, PendingEntry>>>,
     counters: Arc<ServingCounters>,
+    module_drops: Arc<ModuleDropCounters>,
 ) {
     // Ends when the engine (the only sender) shuts down.
     while let Ok(completion) = completions.recv() {
@@ -313,8 +334,9 @@ fn dispatcher_loop(
                 counters.completed_late.incr();
                 Response::violated(completion.id, entry.seq, latency_ms)
             }
-            Outcome::Dropped { reason, .. } => {
+            Outcome::Dropped { module, reason, .. } => {
                 counters.dropped.incr();
+                module_drops.record(module, reason);
                 Response::dropped(completion.id, entry.seq, false, reason.label())
             }
             Outcome::InFlight => unreachable!("completions are terminal"),
@@ -535,9 +557,15 @@ fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
     // The decision is pure arithmetic over a few vectors; running it
     // under the short snapshot lock beats cloning three Vecs per request.
     let decision = if request.at_us.is_some() {
-        edge_decision(now, deadline, &edge.engine.edge_state())
+        edge_decision(
+            now,
+            deadline,
+            &edge.engine.edge_state(),
+            edge.source,
+            &edge.paths,
+        )
     } else {
-        edge_decision(now, deadline, &edge.state.lock())
+        edge_decision(now, deadline, &edge.state.lock(), edge.source, &edge.paths)
     };
     match decision {
         Decision::Drop(reason) => {
@@ -611,14 +639,16 @@ fn serve_metrics(stream: &mut TcpStream, edge: &Edge) -> io::Result<()> {
     )
 }
 
-/// Renders the Prometheus text exposition: the serving counters plus
-/// live queue-depth / goodput gauges.
+/// Renders the Prometheus text exposition: the serving counters, the
+/// per-module drop series, plus live queue-depth / goodput gauges.
 pub fn render_metrics_text(
     snapshot: pard_metrics::CountersSnapshot,
+    module_drops: &pard_metrics::ModuleDropsSnapshot,
     state: &EdgeState,
     pending: usize,
 ) -> String {
     let mut body = snapshot.to_prometheus("pard_gateway");
+    body.push_str(&module_drops.to_prometheus("pard_gateway"));
     body.push_str("# TYPE pard_gateway_queue_depth gauge\n");
     for (module, depth) in state.queue_depths.iter().enumerate() {
         body.push_str(&format!(
@@ -642,7 +672,12 @@ pub fn render_metrics_text(
 fn render_metrics(edge: &Edge) -> String {
     let state = edge.state.lock().clone();
     let pending = edge.pending.lock().len();
-    render_metrics_text(edge.counters.snapshot(), &state, pending)
+    render_metrics_text(
+        edge.counters.snapshot(),
+        &edge.module_drops.snapshot(),
+        &state,
+        pending,
+    )
 }
 
 #[cfg(test)]
@@ -652,6 +687,8 @@ mod tests {
 
     #[test]
     fn metrics_text_contains_counters_and_gauges() {
+        use pard_metrics::{DropReason, ModuleDropCounters};
+
         let state = EdgeState {
             queue_depths: vec![3, 1],
             workers: vec![2, 2],
@@ -664,15 +701,74 @@ mod tests {
             admitted: 8,
             rejected: 2,
             completed_ok: 6,
+            dropped: 2,
             ..Default::default()
         };
-        let text = render_metrics_text(snapshot, &state, 2);
+        let module_drops = ModuleDropCounters::new(2);
+        module_drops.record(1, DropReason::PredictedViolation);
+        module_drops.record(1, DropReason::SiblingDropped);
+        let text = render_metrics_text(snapshot, &module_drops.snapshot(), &state, 2);
         assert!(text.contains("pard_gateway_received_total 10"));
         assert!(text.contains("pard_gateway_rejected_total 2"));
         assert!(text.contains("pard_gateway_queue_depth{module=\"0\"} 3"));
         assert!(text.contains("pard_gateway_queue_depth{module=\"1\"} 1"));
         assert!(text.contains("pard_gateway_pending_requests 2"));
-        assert!(text.contains("pard_gateway_goodput_fraction 0.75"));
+        // Per-module drops are labeled series in the same exposition.
+        assert!(text.contains("# TYPE pard_gateway_module_dropped_total counter"));
+        assert!(
+            text.contains("pard_gateway_module_dropped_total{module=\"1\",reason=\"predicted\"} 1")
+        );
+        assert!(
+            text.contains("pard_gateway_module_dropped_total{module=\"1\",reason=\"sibling\"} 1")
+        );
+        assert!(
+            text.contains("pard_gateway_module_dropped_total{module=\"0\",reason=\"predicted\"} 0")
+        );
+    }
+
+    #[test]
+    fn metrics_scrape_format_is_well_formed() {
+        // Every line is either a `# TYPE <name> counter|gauge` header or
+        // a `<name>[{labels}] <value>` sample whose value parses —
+        // the contract an actual Prometheus scraper holds us to.
+        let state = EdgeState {
+            queue_depths: vec![0, 0],
+            workers: vec![1, 1],
+            batch_sizes: vec![4, 4],
+            exec_ms: vec![40.0, 20.0],
+            slo: SimDuration::from_millis(400),
+        };
+        let drops = pard_metrics::ModuleDropCounters::new(2);
+        drops.record(0, pard_metrics::DropReason::WorkerFailed);
+        let text = render_metrics_text(
+            pard_metrics::CountersSnapshot::default(),
+            &drops.snapshot(),
+            &state,
+            0,
+        );
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("metric name");
+                assert!(name.starts_with("pard_gateway_"), "{line}");
+                let kind = parts.next().expect("metric kind");
+                assert!(kind == "counter" || kind == "gauge", "{line}");
+                assert_eq!(parts.next(), None, "{line}");
+            } else {
+                let (series, value) = line.rsplit_once(' ').expect("sample line");
+                assert!(series.starts_with("pard_gateway_"), "{line}");
+                if let Some(open) = series.find('{') {
+                    assert!(series.ends_with('}'), "{line}");
+                    let labels = &series[open + 1..series.len() - 1];
+                    for label in labels.split(',') {
+                        let (key, val) = label.split_once('=').expect("key=\"value\"");
+                        assert!(!key.is_empty(), "{line}");
+                        assert!(val.starts_with('"') && val.ends_with('"'), "{line}");
+                    }
+                }
+                assert!(value.parse::<f64>().is_ok(), "{line}");
+            }
+        }
     }
 
     #[test]

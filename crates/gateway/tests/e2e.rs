@@ -279,9 +279,10 @@ fn per_request_slo_controls_admission() {
     let _ = gateway.shutdown(SimDuration::from_secs(5));
 }
 
-/// Runs the identical closed-loop Client scenario against a gateway and
-/// returns the taxonomy sequence (one label per request, in order).
-fn client_scenario(engine: Box<dyn EngineHandle>) -> Vec<&'static str> {
+/// Runs the identical closed-loop Client scenario against a gateway
+/// serving `app` and returns the taxonomy sequence (one label per
+/// request, in order).
+fn client_scenario(engine: Box<dyn EngineHandle>, app: &str) -> Vec<&'static str> {
     let gateway = Gateway::start(engine, gateway_config()).expect("gateway starts");
     let mut client = Client::connect(gateway.addr()).expect("connect");
     let mut taxonomy = Vec::new();
@@ -291,7 +292,7 @@ fn client_scenario(engine: Box<dyn EngineHandle>) -> Vec<&'static str> {
         let slo_ms = if i % 5 == 0 { 1 } else { 30_000 };
         let answer = client
             .call(
-                &CallSpec::new("tm").with_slo_ms(slo_ms).with_payload_len(8),
+                &CallSpec::new(app).with_slo_ms(slo_ms).with_payload_len(8),
                 Duration::from_secs(30),
             )
             .expect("send")
@@ -306,8 +307,42 @@ fn client_scenario(engine: Box<dyn EngineHandle>) -> Vec<&'static str> {
 
 #[test]
 fn same_client_scenario_matches_across_backends() {
-    let live = client_scenario(live_engine());
-    let sim = client_scenario(sim_engine(42));
+    let live = client_scenario(live_engine(), "tm");
+    let sim = client_scenario(sim_engine(42), "tm");
+    assert_eq!(
+        live, sim,
+        "the identical Client program must classify identically on both backends"
+    );
+    assert_eq!(live.iter().filter(|&&t| t == "dropped_edge").count(), 6);
+    assert_eq!(live.iter().filter(|&&t| t == "ok").count(), 24);
+}
+
+fn live_da_engine() -> Box<dyn EngineHandle> {
+    EngineBuilder::for_app(AppKind::Da)
+        .build(Backend::Live(LiveConfig::compressed(SCALE, 4, 2)))
+        .expect("the live runtime serves the da DAG")
+}
+
+fn sim_da_engine(seed: u64) -> Box<dyn EngineHandle> {
+    EngineBuilder::for_app(AppKind::Da)
+        .build(Backend::Sim(
+            ClusterConfig::default()
+                .with_seed(seed)
+                .with_fixed_workers(vec![2; 4])
+                .with_pard(pard_core::PardConfig::default().with_mc_draws(500)),
+        ))
+        .expect("builtin models resolve from the zoo")
+}
+
+#[test]
+fn same_client_scenario_matches_across_backends_on_the_da_dag() {
+    // "Same client, either backend" for a split/merge pipeline: the
+    // identical 30-request program — canaries rejected by the DAG-aware
+    // edge admission, the rest split at module 0, joined at module 3 —
+    // classifies identically over the live threaded runtime and the
+    // deterministic simulator.
+    let live = client_scenario(live_da_engine(), "da");
+    let sim = client_scenario(sim_da_engine(42), "da");
     assert_eq!(
         live, sim,
         "the identical Client program must classify identically on both backends"
@@ -318,8 +353,8 @@ fn same_client_scenario_matches_across_backends() {
 
 #[test]
 fn sim_backend_is_bit_reproducible_across_runs() {
-    let first = client_scenario(sim_engine(7));
-    let second = client_scenario(sim_engine(7));
+    let first = client_scenario(sim_engine(7), "tm");
+    let second = client_scenario(sim_engine(7), "tm");
     assert_eq!(first, second, "same seed → same per-request outcomes");
 }
 
@@ -376,6 +411,25 @@ fn crash_scenario() -> Vec<&'static str> {
                 .taxonomy()
         })
         .collect();
+    // In-pipeline drops are attributed to their module in /metrics: the
+    // crash killed module 0's only worker, so the labeled series for
+    // (module 0, worker-failed) carries the post-crash drops.
+    let metrics = fetch_metrics(&gateway);
+    let module0_failed = metrics
+        .lines()
+        .find(|l| {
+            l.starts_with(
+                "pard_gateway_module_dropped_total{module=\"0\",reason=\"worker-failed\"}",
+            )
+        })
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("module drop series missing in:\n{metrics}"));
+    let dropped = taxonomy
+        .iter()
+        .filter(|&&t| t == "dropped_pipeline")
+        .count() as u64;
+    assert_eq!(module0_failed, dropped, "{metrics}");
     drop(client);
     let _ = gateway.shutdown(SimDuration::from_secs(30));
     taxonomy

@@ -32,16 +32,25 @@
 //!   `PARD_UPDATE_GOLDEN=1` to regenerate. Every run also writes its
 //!   actual taxonomy to `target/scenario-snapshots/` so CI can upload
 //!   the diff as an artifact.
+//! * [`run_scenario_live`] + [`Envelope`] — the same scenario on the
+//!   **live threaded runtime**, paced on the compressed wall clock.
+//!   Wall-clock runs cannot be golden-equal, so live coverage asserts
+//!   statistical bounds (goodput floor, unanswered cap, canary
+//!   bracket) instead of exact taxonomies.
 //!
-//! The shipped suite lives in `crates/harness/tests/scenarios.rs`; the
-//! README's "Scenario suite" section catalogues it.
+//! The shipped suite lives in `crates/harness/tests/scenarios.rs`
+//! (golden, simulated) and `crates/harness/tests/live_envelope.rs`
+//! (envelope, live); the README's "Scenario suite" section catalogues
+//! both.
 
+pub mod envelope;
 pub mod golden;
 pub mod outcome;
 pub mod runner;
 pub mod scenario;
 
+pub use envelope::Envelope;
 pub use golden::{check_against_golden, golden_path, snapshot_path};
 pub use outcome::{OutcomeTaxonomy, PhaseCounts, RequestOutcome};
-pub use runner::{run_scenario, ScenarioRun};
+pub use runner::{run_scenario, run_scenario_live, ScenarioRun};
 pub use scenario::{Burst, Phase, Scenario, SloMix, TraceSpec};

@@ -1,9 +1,11 @@
-//! Boots a real gateway and replays a scenario through it.
+//! Boots a real gateway and replays a scenario through it — on the
+//! deterministic simulated backend (golden-comparable) or on the live
+//! threaded runtime (envelope-checkable, see [`crate::Envelope`]).
 
 use std::time::Duration;
 
 use pard_core::PardConfig;
-use pard_engine_api::{Backend, ClusterConfig, EngineBuilder};
+use pard_engine_api::{Backend, ClusterConfig, EngineBuilder, LiveConfig};
 use pard_gateway::client::{CallSpec, Client};
 use pard_gateway::{Gateway, GatewayConfig};
 use pard_sim::SimTime;
@@ -28,18 +30,12 @@ pub struct ScenarioRun {
     pub taxonomy: OutcomeTaxonomy,
 }
 
-/// Runs `scenario` end to end: builds the simulated engine, boots a
-/// gateway on an ephemeral loopback socket, replays the trace-driven
-/// schedule through the typed client with scheduled arrivals
-/// (`at_us`), flushes the stepped clock past the tail, and classifies
-/// every request.
-///
-/// # Panics
-///
-/// This is a test harness: any infrastructure failure (engine build,
-/// socket bind, wire error) panics with context rather than returning
-/// an error the suite would have to unwrap anyway.
-pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
+/// Builds the scenario's wire schedule (trace synthesis + arrival
+/// sampling + payload sizes, all seeded) — shared by the simulated and
+/// live runners so the two replay the identical request sequence.
+fn build_schedule(
+    scenario: &Scenario,
+) -> (pard_workload::RateTrace, Vec<pard_workload::WireEvent>) {
     let trace = scenario.build_trace();
     let nominal_slo_ms = scenario
         .slo
@@ -57,6 +53,43 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
         "scenario {:?} produced an empty schedule",
         scenario.name
     );
+    (trace, events)
+}
+
+/// Collects every answer under one shared deadline and classifies it.
+/// The single deadline means answers that can still arrive do so
+/// promptly, while a regression leaving K requests unanswered fails in
+/// seconds, not K × timeout.
+fn collect_outcomes(client: &mut Client, sent: Vec<(u64, u64)>) -> Vec<RequestOutcome> {
+    let deadline = std::time::Instant::now() + ANSWER_TIMEOUT;
+    sent.into_iter()
+        .map(|(seq, at_us)| RequestOutcome {
+            seq,
+            at_us,
+            label: client
+                .wait(
+                    seq,
+                    deadline.saturating_duration_since(std::time::Instant::now()),
+                )
+                .map(|answer| answer.outcome.taxonomy())
+                .unwrap_or("unanswered"),
+        })
+        .collect()
+}
+
+/// Runs `scenario` end to end: builds the simulated engine, boots a
+/// gateway on an ephemeral loopback socket, replays the trace-driven
+/// schedule through the typed client with scheduled arrivals
+/// (`at_us`), flushes the stepped clock past the tail, and classifies
+/// every request.
+///
+/// # Panics
+///
+/// This is a test harness: any infrastructure failure (engine build,
+/// socket bind, wire error) panics with context rather than returning
+/// an error the suite would have to unwrap anyway.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
+    let (trace, events) = build_schedule(scenario);
 
     let mut builder = EngineBuilder::for_app(scenario.app)
         .with_faults(scenario.faults.clone())
@@ -110,28 +143,98 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
         .advance(flush_to.as_micros().min(pard_gateway::wire::MAX_VIRTUAL_US))
         .expect("advance control line");
 
-    // One shared deadline for the whole collection: answers that can
-    // still arrive do so promptly after the flush, and answers that
-    // can never arrive must not each burn a full timeout (a regression
-    // leaving K requests unanswered should fail in seconds, not in
-    // K × timeout).
-    let deadline = std::time::Instant::now() + ANSWER_TIMEOUT;
-    let outcomes: Vec<RequestOutcome> = sent
-        .into_iter()
-        .map(|(seq, at_us)| RequestOutcome {
-            seq,
-            at_us,
-            label: client
-                .wait(
-                    seq,
-                    deadline.saturating_duration_since(std::time::Instant::now()),
-                )
-                .map(|answer| answer.outcome.taxonomy())
-                .unwrap_or("unanswered"),
-        })
-        .collect();
+    let outcomes = collect_outcomes(&mut client, sent);
     drop(client);
     let _ = gateway.shutdown(pard_sim::SimDuration::from_secs(1));
+
+    let taxonomy = OutcomeTaxonomy::build(scenario, &outcomes);
+    ScenarioRun { outcomes, taxonomy }
+}
+
+/// Runs `scenario` against the **live threaded runtime**: the same
+/// trace-driven schedule, but paced on the wall clock (compressed by
+/// `time_scale` virtual seconds per wall second) and sent as ordinary
+/// traffic — no `at_us` stamps, since a live engine's clock cannot be
+/// steered. Outcomes are therefore *not* bit-reproducible; compare the
+/// returned taxonomy against a [`crate::Envelope`] instead of a golden
+/// snapshot.
+///
+/// # Panics
+///
+/// Panics when the scenario uses simulator-only dynamics (fault
+/// injection or autoscaling) — silently ignoring them would make the
+/// run test a different scenario than the one declared — and on any
+/// infrastructure failure, like [`run_scenario`]. The scenario's
+/// `exec_jitter_sigma` is ignored: real thread scheduling already
+/// provides (unseeded) execution jitter.
+pub fn run_scenario_live(scenario: &Scenario, time_scale: f64) -> ScenarioRun {
+    assert!(
+        scenario.faults.is_empty(),
+        "scenario {:?}: fault injection needs the simulated backend",
+        scenario.name
+    );
+    assert!(
+        !scenario.autoscale,
+        "scenario {:?}: autoscaling needs the simulated backend",
+        scenario.name
+    );
+    let (_trace, events) = build_schedule(scenario);
+
+    let modules = scenario.app.pipeline().modules.len();
+    let workers = scenario
+        .fixed_workers
+        .clone()
+        .unwrap_or_else(|| vec![2; modules]);
+    let engine = EngineBuilder::for_app(scenario.app)
+        .with_workers(workers)
+        .build(Backend::Live(LiveConfig {
+            time_scale,
+            pard: PardConfig::default().with_mc_draws(scenario.mc_draws),
+            workers_per_module: vec![1; modules], // overridden above
+            headroom: 2.0,
+        }))
+        .unwrap_or_else(|e| {
+            panic!(
+                "scenario {:?}: live engine build failed: {e}",
+                scenario.name
+            )
+        });
+
+    let gateway = Gateway::start(
+        engine,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            metrics_addr: "127.0.0.1:0".into(),
+            edge_refresh: Duration::from_millis(2),
+            max_pending: 1 << 20,
+            allow_replay: false,
+        },
+    )
+    .expect("gateway binds ephemeral loopback ports");
+
+    let mut client = Client::connect(gateway.addr()).expect("client connects");
+    let started = std::time::Instant::now();
+    let mut sent: Vec<(u64, u64)> = Vec::with_capacity(events.len());
+    for (index, event) in events.iter().enumerate() {
+        // Pace each send to its scheduled arrival on the compressed
+        // wall clock; bursts past the OS sleep granularity are sent
+        // back-to-back, like a real client catching up.
+        let due = Duration::from_secs_f64(event.at.as_secs_f64() / time_scale);
+        let elapsed = started.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+        let mut spec = CallSpec::new(event.app.clone()).with_payload_len(event.payload_len);
+        spec.slo_ms = scenario.slo.slo_for(index as u64);
+        let seq = client
+            .send(&spec)
+            .unwrap_or_else(|e| panic!("scenario {:?}: send failed: {e}", scenario.name));
+        sent.push((seq, event.at.as_micros()));
+    }
+
+    let outcomes = collect_outcomes(&mut client, sent);
+    drop(client);
+    let _ = gateway.shutdown(scenario.drain);
 
     let taxonomy = OutcomeTaxonomy::build(scenario, &outcomes);
     ScenarioRun { outcomes, taxonomy }

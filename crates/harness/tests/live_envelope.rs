@@ -1,0 +1,100 @@
+//! Live-backend scenario coverage: the same declarative scenarios the
+//! golden suite replays against the simulator, run on the **live
+//! threaded runtime** over a real socket and judged against statistical
+//! envelopes (wall-clock runs cannot be golden-equal).
+//!
+//! Bounds are deliberately loose — they must hold on a loaded CI
+//! machine — while still failing hard on structural regressions: a DAG
+//! branch that never forwards, a merge barrier that never releases, a
+//! broken edge-admission path, or requests left unanswered.
+
+use pard_harness::{run_scenario_live, Envelope, Scenario, SloMix, TraceSpec};
+use pard_pipeline::AppKind;
+
+/// Virtual seconds per wall second; keeps each run ~0.5 s of wall time.
+const SCALE: f64 = 20.0;
+
+#[test]
+fn live_chain_scenario_stays_inside_its_envelope() {
+    // 40 req/s for 6 virtual s on the tm chain, every 8th request an
+    // infeasible 1 ms canary: ~240 requests, ~30 canaries.
+    let scenario = Scenario::new(
+        "live_steady_tm",
+        AppKind::Tm,
+        TraceSpec::Constant {
+            rate: 40.0,
+            len_s: 6,
+        },
+    )
+    .with_workers(vec![2, 2, 2])
+    .with_slo(SloMix {
+        default_ms: None,
+        tight_every: 8,
+    });
+    let run = run_scenario_live(&scenario, SCALE);
+    assert!(run.taxonomy.total().sent > 150, "{:?}", run.taxonomy);
+    Envelope::new()
+        .with_min_goodput_fraction(0.6)
+        .with_max_violated_fraction(0.25)
+        .with_max_unanswered(0)
+        .with_edge_rejects(15, 80)
+        .assert(&run.taxonomy);
+}
+
+#[test]
+fn live_da_dag_scenario_stays_inside_its_envelope() {
+    // The split/merge `da` app on the live backend — the shape that
+    // used to be sim-only. Same canary mix; every non-canary request
+    // must fan out at module 0, clear the join barrier at module 3,
+    // and come back over the socket.
+    let scenario = Scenario::new(
+        "live_dag_da",
+        AppKind::Da,
+        TraceSpec::Constant {
+            rate: 40.0,
+            len_s: 6,
+        },
+    )
+    .with_workers(vec![2, 2, 2, 2])
+    .with_slo(SloMix {
+        default_ms: None,
+        tight_every: 8,
+    });
+    let run = run_scenario_live(&scenario, SCALE);
+    let total = run.taxonomy.total();
+    assert!(total.sent > 150, "{total:?}");
+    Envelope::new()
+        .with_min_goodput_fraction(0.6)
+        .with_max_violated_fraction(0.25)
+        .with_max_unanswered(0)
+        .with_edge_rejects(15, 80)
+        .assert(&run.taxonomy);
+    // The canaries prove the DAG-aware (critical-path) edge admission
+    // is live: an idle diamond still cannot serve a 1 ms budget.
+    assert!(total.dropped_edge >= 15, "{total:?}");
+}
+
+#[test]
+fn live_runner_refuses_sim_only_dynamics() {
+    // Silently ignoring a fault schedule would run a different scenario
+    // than the one declared; the live runner must refuse instead.
+    let scenario = Scenario::new(
+        "live_faulty",
+        AppKind::Tm,
+        TraceSpec::Constant {
+            rate: 10.0,
+            len_s: 2,
+        },
+    )
+    .with_faults(vec![pard_engine_api::FaultSpec::WorkerCrash {
+        module: 0,
+        worker: 0,
+        at: pard_sim::SimTime::from_secs(1),
+    }]);
+    let result = std::panic::catch_unwind(|| run_scenario_live(&scenario, SCALE));
+    let message = *result
+        .expect_err("must panic")
+        .downcast::<String>()
+        .expect("panic message");
+    assert!(message.contains("fault injection"), "{message}");
+}

@@ -11,6 +11,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::record::DropReason;
+
 /// A monotonically increasing event counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -92,6 +94,88 @@ impl ServingCounters {
             refused: self.refused.get(),
             protocol_errors: self.protocol_errors.get(),
         }
+    }
+}
+
+/// Per-module, per-reason drop counters — where in the pipeline
+/// admitted requests die, and why.
+///
+/// The aggregate [`ServingCounters::dropped`] answers "how many"; this
+/// family answers "at which module, for which reason", which is what an
+/// operator actually pages on (a fan-out branch suddenly shedding load
+/// looks identical to a healthy edge in the aggregate). Rendered as one
+/// labeled Prometheus series per `(module, reason)` pair.
+#[derive(Debug)]
+pub struct ModuleDropCounters {
+    /// `[module][reason-index]`, reasons indexed per [`DropReason::ALL`].
+    drops: Vec<Vec<Counter>>,
+}
+
+impl ModuleDropCounters {
+    /// Creates the family for a pipeline of `modules` modules, all
+    /// counters at zero.
+    pub fn new(modules: usize) -> ModuleDropCounters {
+        ModuleDropCounters {
+            drops: (0..modules)
+                .map(|_| DropReason::ALL.iter().map(|_| Counter::new()).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of modules the family covers.
+    pub fn modules(&self) -> usize {
+        self.drops.len()
+    }
+
+    /// Records one drop at `module` for `reason`. Out-of-range modules
+    /// are ignored (a defensive no-op; engines only report modules of
+    /// their own spec).
+    pub fn record(&self, module: usize, reason: DropReason) {
+        if let Some(per_reason) = self.drops.get(module) {
+            per_reason[reason.index()].incr();
+        }
+    }
+
+    /// Reads every counter.
+    pub fn snapshot(&self) -> ModuleDropsSnapshot {
+        ModuleDropsSnapshot {
+            counts: self
+                .drops
+                .iter()
+                .map(|per_reason| per_reason.iter().map(Counter::get).collect())
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data copy of [`ModuleDropCounters`] at one instant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModuleDropsSnapshot {
+    /// `[module][reason-index]`, reasons indexed per [`DropReason::ALL`].
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl ModuleDropsSnapshot {
+    /// Total drops recorded at `module` over all reasons.
+    pub fn module_total(&self, module: usize) -> u64 {
+        self.counts.get(module).map_or(0, |r| r.iter().sum())
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format as
+    /// `<prefix>_module_dropped_total{module="…",reason="…"}` series.
+    /// Every `(module, reason)` pair is rendered, zeros included, so
+    /// scrapes see a stable series set from the first exposition.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = format!("# TYPE {prefix}_module_dropped_total counter\n");
+        for (module, per_reason) in self.counts.iter().enumerate() {
+            for (reason, value) in DropReason::ALL.iter().zip(per_reason) {
+                out.push_str(&format!(
+                    "{prefix}_module_dropped_total{{module=\"{module}\",reason=\"{}\"}} {value}\n",
+                    reason.label()
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -218,6 +302,39 @@ mod tests {
         assert!(text.contains("pard_gateway_completed_ok_total 3"));
         assert!(text.contains("# TYPE pard_gateway_received_total counter"));
         assert_eq!(text.lines().count(), 16);
+    }
+
+    #[test]
+    fn module_drops_accumulate_per_module_and_reason() {
+        let drops = ModuleDropCounters::new(3);
+        assert_eq!(drops.modules(), 3);
+        drops.record(1, DropReason::PredictedViolation);
+        drops.record(1, DropReason::PredictedViolation);
+        drops.record(2, DropReason::AlreadyExpired);
+        drops.record(99, DropReason::Throttled); // out of range: ignored
+        let snap = drops.snapshot();
+        assert_eq!(snap.counts[1][DropReason::PredictedViolation.index()], 2);
+        assert_eq!(snap.counts[2][DropReason::AlreadyExpired.index()], 1);
+        assert_eq!(snap.module_total(0), 0);
+        assert_eq!(snap.module_total(1), 2);
+        assert_eq!(snap.module_total(99), 0);
+    }
+
+    #[test]
+    fn module_drops_prometheus_series_are_labeled_and_complete() {
+        let drops = ModuleDropCounters::new(2);
+        drops.record(0, DropReason::WorkerFailed);
+        let text = drops.snapshot().to_prometheus("pard_gateway");
+        assert!(text.starts_with("# TYPE pard_gateway_module_dropped_total counter\n"));
+        assert!(text.contains(
+            "pard_gateway_module_dropped_total{module=\"0\",reason=\"worker-failed\"} 1\n"
+        ));
+        // Zero-valued series are rendered too, for a stable series set.
+        assert!(
+            text.contains("pard_gateway_module_dropped_total{module=\"1\",reason=\"expired\"} 0\n")
+        );
+        // One TYPE header + one line per (module, reason) pair.
+        assert_eq!(text.lines().count(), 1 + 2 * DropReason::ALL.len());
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod series;
 pub mod stats;
 pub mod table;
 
-pub use counters::{Counter, CountersSnapshot, ServingCounters};
+pub use counters::{
+    Counter, CountersSnapshot, ModuleDropCounters, ModuleDropsSnapshot, ServingCounters,
+};
 pub use dist::{Cdf, Histogram, Reservoir};
 pub use record::{DropReason, Outcome, RequestLog, RequestRecord, StageRecord};
 pub use series::{EventKind, WindowSeries};

@@ -31,6 +31,34 @@ pub enum DropReason {
 }
 
 impl DropReason {
+    /// Every reason, in a stable order — the label axis of per-module
+    /// drop counters and report tables.
+    pub const ALL: [DropReason; 7] = [
+        DropReason::AlreadyExpired,
+        DropReason::PredictedViolation,
+        DropReason::BudgetExceeded,
+        DropReason::CompletedLate,
+        DropReason::Throttled,
+        DropReason::SiblingDropped,
+        DropReason::WorkerFailed,
+    ];
+
+    /// This reason's position in [`DropReason::ALL`]. A `match`, so a
+    /// new variant is a compile error here rather than a runtime panic
+    /// at the first drop recorded with it; the agreement with `ALL` is
+    /// pinned by a unit test.
+    pub fn index(self) -> usize {
+        match self {
+            DropReason::AlreadyExpired => 0,
+            DropReason::PredictedViolation => 1,
+            DropReason::BudgetExceeded => 2,
+            DropReason::CompletedLate => 3,
+            DropReason::Throttled => 4,
+            DropReason::SiblingDropped => 5,
+            DropReason::WorkerFailed => 6,
+        }
+    }
+
     /// Short label for reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -438,6 +466,15 @@ impl RequestLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn drop_reason_index_agrees_with_all() {
+        // `index()` is a hand-written match; this pins it to the ALL
+        // ordering so the two cannot silently diverge.
+        for (position, reason) in DropReason::ALL.iter().enumerate() {
+            assert_eq!(reason.index(), position, "{reason:?}");
+        }
+    }
 
     fn stage(module: usize, arrived_ms: u64, q_ms: u64, w_ms: u64, d_ms: u64) -> StageRecord {
         let arrived = SimTime::from_millis(arrived_ms);

@@ -1,0 +1,177 @@
+//! Property tests for `pard_pipeline::graph` over randomly generated
+//! valid DAGs: topological order respects every edge, path enumeration
+//! is complete (it finds *exactly* the paths a DP count predicts, and
+//! covers every edge), and split/merge detection is consistent with
+//! degree counts.
+
+use pard_pipeline::graph::{depth, downstream_paths, merge_nodes, paths_to_sink, topo_order};
+use pard_pipeline::{ModuleSpec, PipelineSpec};
+use pard_sim::{DetRng, SimDuration};
+use proptest::prelude::*;
+
+/// Builds a random valid DAG on `n` modules: module ids are already in
+/// topological position (edges only go forward), module 0 is the only
+/// source (every later module picks a nonempty predecessor set), and
+/// module `n - 1` is the only sink (forward-childless modules are wired
+/// to it).
+fn random_dag(n: usize, seed: u64) -> PipelineSpec {
+    let mut rng = DetRng::new(seed);
+    let mut pres: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (j, pre) in pres.iter_mut().enumerate().skip(1) {
+        for i in 0..j {
+            if rng.below(100) < 40 {
+                pre.push(i);
+            }
+        }
+        if pre.is_empty() {
+            pre.push(rng.below(j as u64) as usize);
+        }
+    }
+    let mut subs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (j, pre) in pres.iter().enumerate().skip(1) {
+        for &i in pre {
+            subs[i].push(j);
+        }
+    }
+    for (i, sub) in subs.iter_mut().enumerate().take(n - 1) {
+        if sub.is_empty() {
+            sub.push(n - 1);
+            pres[n - 1].push(i);
+        }
+    }
+    PipelineSpec {
+        name: "prop-dag".into(),
+        slo: SimDuration::from_millis(400),
+        modules: (0..n)
+            .map(|id| ModuleSpec {
+                name: format!("m{id}"),
+                id,
+                pres: pres[id].clone(),
+                subs: subs[id].clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Source-to-sink path count per module, by dynamic programming over
+/// ids in reverse (ids are topologically positioned by construction).
+fn path_counts(spec: &PipelineSpec) -> Vec<u64> {
+    let n = spec.modules.len();
+    let mut counts = vec![0u64; n];
+    counts[n - 1] = 1;
+    for i in (0..n - 1).rev() {
+        counts[i] = spec.modules[i].subs.iter().map(|&s| counts[s]).sum();
+    }
+    counts
+}
+
+proptest! {
+    /// Generated DAGs satisfy every structural invariant the builders
+    /// promise — the generator itself is under test here, so the other
+    /// properties below start from known-valid specs.
+    #[test]
+    fn generated_dags_validate(n in 2usize..9, seed in any::<u64>()) {
+        let spec = random_dag(n, seed);
+        prop_assert!(spec.validate().is_ok(), "{:?}: {:?}", spec.validate(), spec);
+    }
+
+    /// Kahn's order visits every module, and every edge points forward
+    /// in it.
+    #[test]
+    fn topo_order_respects_every_edge(n in 2usize..9, seed in any::<u64>()) {
+        let spec = random_dag(n, seed);
+        let order = topo_order(&spec);
+        prop_assert_eq!(order.len(), n);
+        let pos: Vec<usize> = {
+            let mut pos = vec![usize::MAX; n];
+            for (rank, &module) in order.iter().enumerate() {
+                pos[module] = rank;
+            }
+            pos
+        };
+        prop_assert!(pos.iter().all(|&p| p != usize::MAX), "not a permutation");
+        for module in &spec.modules {
+            for &s in &module.subs {
+                prop_assert!(
+                    pos[module.id] < pos[s],
+                    "edge {} -> {s} violated by order {order:?}",
+                    module.id
+                );
+            }
+        }
+    }
+
+    /// Path enumeration is exhaustive and exact: every enumerated path
+    /// really walks edges from the start module to the sink, the paths
+    /// are pairwise distinct, and their number equals the DP count — so
+    /// none is missing and none is invented.
+    #[test]
+    fn path_enumeration_is_complete_and_exact(n in 2usize..9, seed in any::<u64>()) {
+        let spec = random_dag(n, seed);
+        let counts = path_counts(&spec);
+        let sink = spec.sink();
+        for (from, &expected) in counts.iter().enumerate() {
+            let paths = paths_to_sink(&spec, from);
+            prop_assert_eq!(paths.len() as u64, expected);
+            for path in &paths {
+                prop_assert_eq!(*path.first().unwrap(), from);
+                prop_assert_eq!(*path.last().unwrap(), sink);
+                for pair in path.windows(2) {
+                    prop_assert!(
+                        spec.modules[pair[0]].subs.contains(&pair[1]),
+                        "{:?} is not an edge", pair
+                    );
+                }
+            }
+            let mut distinct = paths.clone();
+            distinct.sort();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), paths.len());
+        }
+    }
+
+    /// `downstream_paths` is exactly `paths_to_sink` with the head
+    /// stripped (a single empty path at the sink), and every edge of
+    /// the graph lies on at least one source-to-sink path.
+    #[test]
+    fn downstream_paths_cover_every_edge(n in 2usize..9, seed in any::<u64>()) {
+        let spec = random_dag(n, seed);
+        let source = spec.source();
+        for from in 0..n {
+            let full = paths_to_sink(&spec, from);
+            let down = downstream_paths(&spec, from);
+            prop_assert_eq!(full.len(), down.len());
+            for (f, d) in full.iter().zip(&down) {
+                prop_assert_eq!(&f[1..], &d[..]);
+            }
+        }
+        let paths = paths_to_sink(&spec, source);
+        for module in &spec.modules {
+            for &s in &module.subs {
+                let covered = paths.iter().any(|p| {
+                    p.windows(2).any(|pair| pair[0] == module.id && pair[1] == s)
+                });
+                prop_assert!(covered, "edge {} -> {s} on no path", module.id);
+            }
+        }
+    }
+
+    /// Split/merge classification agrees with the degree counts, and
+    /// `depth` equals the longest enumerated path.
+    #[test]
+    fn split_merge_and_depth_match_degrees(n in 2usize..9, seed in any::<u64>()) {
+        let spec = random_dag(n, seed);
+        let splits = pard_pipeline::graph::split_nodes(&spec);
+        let merges = merge_nodes(&spec);
+        for module in &spec.modules {
+            prop_assert_eq!(splits.contains(&module.id), module.subs.len() > 1);
+            prop_assert_eq!(merges.contains(&module.id), module.pres.len() > 1);
+        }
+        let longest = paths_to_sink(&spec, spec.source())
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(depth(&spec), longest);
+    }
+}

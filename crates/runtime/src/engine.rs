@@ -12,7 +12,14 @@
 //!   waiting shows up as queueing delay `Q`. Policy arithmetic is
 //!   unchanged; the DES remains the reference for Fig. 3b-style wait
 //!   dynamics.
-//! * Chains only. DAG split/merge is exercised by the simulator.
+//!
+//! Any valid [`PipelineSpec`] is served, DAGs included (§5.1): a request
+//! finishing a fan-out module forwards one *fragment* per successor, a
+//! merge module holds a join barrier that releases only once every
+//! predecessor fragment has delivered, and a drop on any branch cancels
+//! the sibling fragments — the request resolves exactly once, as
+//! dropped, and cancelled fragments are discarded at batch formation
+//! before they burn backend execution.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
@@ -81,6 +88,14 @@ struct LiveRecord {
     tag: u64,
     stages: Vec<StageRecord>,
     outcome: Outcome,
+    /// Per-module join-barrier state: count of predecessor fragments
+    /// delivered and the latest delivery time. The merge module
+    /// enqueues only when the count reaches its `pres` length, stamped
+    /// at the *latest* branch end — worker threads may deliver out of
+    /// execution order, and the join logically completes when the
+    /// slowest branch does. Empty for chain pipelines (no merge nodes,
+    /// never consulted).
+    merge_arrivals: Vec<(usize, SimTime)>,
 }
 
 /// Per-request submission options (see [`LiveCluster::submit_with`]).
@@ -159,6 +174,9 @@ pub struct EdgeState {
 
 struct Shared {
     spec: PipelineSpec,
+    /// Whether the spec has merge nodes; chains skip the per-request
+    /// join-barrier allocation entirely.
+    has_merges: bool,
     batch_sizes: Vec<usize>,
     exec_ms: Vec<f64>,
     per_worker_tput: Vec<f64>,
@@ -197,6 +215,49 @@ impl Shared {
                 worker.cv.notify_one();
             }
         }
+    }
+
+    /// Forwards a request that finished `module` to every successor
+    /// fragment. At a merge node the fragment parks in the join barrier
+    /// until the last predecessor delivers; only that delivery enqueues.
+    fn forward(&self, module: usize, meta: &ReqMeta, end: SimTime) {
+        for &s in &self.spec.modules[module].subs {
+            if let Some(joined) = self.deliver(meta.id, s, end) {
+                let fragment = ReqMeta {
+                    arrived: joined,
+                    ..*meta
+                };
+                self.enqueue(s, fragment, joined);
+            }
+        }
+    }
+
+    /// Registers one predecessor delivery of request `id` at `module`
+    /// ending at `end`; returns the join time when the barrier released
+    /// (immediately, outside merge nodes). The records lock serialises
+    /// racing sibling branches, so exactly one delivery sees the
+    /// barrier fill — and the join is stamped at the *latest* branch
+    /// end, not the releasing thread's own (threads may deliver out of
+    /// execution order).
+    fn deliver(&self, id: u64, module: usize, end: SimTime) -> Option<SimTime> {
+        let required = self.spec.modules[module].pres.len();
+        if required <= 1 {
+            return Some(end);
+        }
+        let mut records = self.records.lock();
+        let (arrivals, latest) = &mut records[id as usize].merge_arrivals[module];
+        *arrivals += 1;
+        *latest = (*latest).max(end);
+        (*arrivals == required).then_some(*latest)
+    }
+
+    /// Discards batch entries whose request already resolved — the
+    /// sibling fragments of a dropped DAG branch. They are cancelled
+    /// here, at batch formation, before any backend execution is spent
+    /// on them; the drop itself was already reported exactly once.
+    fn cancel_resolved(&self, batch: &mut Vec<(ReqMeta, SimTime)>) {
+        let records = self.records.lock();
+        batch.retain(|(meta, _)| matches!(records[meta.id as usize].outcome, Outcome::InFlight));
     }
 
     fn mark_dropped(&self, id: u64, module: usize, at: SimTime, reason: DropReason) {
@@ -242,12 +303,13 @@ pub struct LiveCluster {
 }
 
 impl LiveCluster {
-    /// Starts worker and controller threads for `spec`.
+    /// Starts worker and controller threads for `spec` — any valid
+    /// pipeline shape, chain or DAG.
     ///
     /// # Panics
     ///
-    /// Panics if the spec is invalid or not a chain, or if worker counts
-    /// do not match the module count.
+    /// Panics if the spec is invalid or if worker counts do not match
+    /// the module count.
     pub fn start(
         spec: PipelineSpec,
         profiles: Vec<ModelProfile>,
@@ -256,7 +318,6 @@ impl LiveCluster {
         config: LiveConfig,
     ) -> LiveCluster {
         spec.validate().expect("invalid pipeline spec");
-        assert!(spec.is_chain(), "live engine serves chain pipelines");
         assert_eq!(config.workers_per_module.len(), spec.modules.len());
         config.pard.validate();
         let plan = plan_batches(&profiles, spec.slo, config.headroom);
@@ -283,6 +344,7 @@ impl LiveCluster {
             })
             .collect();
         let shared = Arc::new(Shared {
+            has_merges: !graph::merge_nodes(&spec).is_empty(),
             batch_sizes: plan.batch_sizes.clone(),
             exec_ms,
             per_worker_tput: plan.worker_throughput.clone(),
@@ -331,6 +393,11 @@ impl LiveCluster {
     pub fn submit_with(&self, options: SubmitOptions) -> u64 {
         let now = self.shared.clock.now();
         let deadline = now + options.slo.unwrap_or(self.shared.spec.slo);
+        let merge_arrivals = if self.shared.has_merges {
+            vec![(0, SimTime::ZERO); self.shared.spec.modules.len()]
+        } else {
+            Vec::new()
+        };
         let id = {
             let mut records = self.shared.records.lock();
             records.push(LiveRecord {
@@ -339,6 +406,7 @@ impl LiveCluster {
                 tag: options.tag,
                 stages: Vec::new(),
                 outcome: Outcome::InFlight,
+                merge_arrivals,
             });
             (records.len() - 1) as u64
         };
@@ -469,7 +537,6 @@ impl LiveCluster {
 
 fn worker_loop(shared: Arc<Shared>, m: usize, w: usize, mut backend: Box<dyn InferenceBackend>) {
     let is_sink = shared.spec.modules[m].subs.is_empty();
-    let next_module = shared.spec.modules[m].subs.first().copied();
     loop {
         let mut drops: Vec<(ReqMeta, DropReason)> = Vec::new();
         let mut batch: Vec<(ReqMeta, SimTime)> = Vec::new();
@@ -504,6 +571,16 @@ fn worker_loop(shared: Arc<Shared>, m: usize, w: usize, mut backend: Box<dyn Inf
         let now = shared.clock.now();
         for (meta, reason) in drops {
             shared.mark_dropped(meta.id, m, now, reason);
+        }
+        // Cancelled sibling fragments (their request was dropped on
+        // another DAG branch) are discarded before execution. Only
+        // pipelines with parallel branches can have them: a chain
+        // request has one fragment, which cannot be resolved while
+        // queued — so chains skip the records lock entirely. (Any
+        // valid split reconverges by the single sink, so `has_merges`
+        // is exactly "has parallel branches".)
+        if shared.has_merges {
+            shared.cancel_resolved(&mut batch);
         }
         if batch.is_empty() {
             continue;
@@ -541,6 +618,9 @@ fn worker_loop(shared: Arc<Shared>, m: usize, w: usize, mut backend: Box<dyn Inf
             let mut records = shared.records.lock();
             let record = &mut records[meta.id as usize];
             record.stages.push(stage);
+            // A sibling branch may have dropped the request while this
+            // fragment was executing; the stage is still recorded, but
+            // the request neither completes nor forwards.
             let active = matches!(record.outcome, Outcome::InFlight);
             let mut completion = None;
             if active && is_sink {
@@ -558,12 +638,7 @@ fn worker_loop(shared: Arc<Shared>, m: usize, w: usize, mut backend: Box<dyn Inf
                 shared.notify(completion);
             }
             if active && !is_sink {
-                let next = next_module.expect("non-sink has a successor");
-                let forwarded = ReqMeta {
-                    arrived: end,
-                    ..*meta
-                };
-                shared.enqueue(next, forwarded, end);
+                shared.forward(m, meta, end);
             }
         }
     }

@@ -27,7 +27,7 @@
 //! | [`runtime`] | live multi-threaded serving engine |
 //! | [`engine_api`] | unified `EngineHandle` front door over simulator + live runtime |
 //! | [`gateway`] | TCP serving front-end with edge admission, typed client + load generator |
-//! | [`harness`] | deterministic scenario harness: fault/diurnal/autoscaling e2e suites over real sockets |
+//! | [`harness`] | scenario harness: golden (sim) + envelope (live) e2e suites over real sockets |
 //! | [`rag`] | §7 RAG workflow case study |
 //!
 //! # Examples
