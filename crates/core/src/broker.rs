@@ -70,11 +70,38 @@ impl DecisionInputs {
         exec_duration: SimDuration,
         sub: SubEstimate,
     ) -> DecisionInputs {
+        let lead = DecisionInputs::edge_lead(queued, workers, batch_size, exec_duration);
+        DecisionInputs::at_edge_with_lead(now, lead, exec_duration, sub)
+    }
+
+    /// The queued-batch delay [`DecisionInputs::at_edge`] charges ahead
+    /// of an arriving request: full batches ahead drain `workers` at a
+    /// time, each round costing one execution. Split out so a serving
+    /// edge can precompute it once per state snapshot instead of
+    /// per request — the arithmetic is identical by construction.
+    pub fn edge_lead(
+        queued: usize,
+        workers: usize,
+        batch_size: usize,
+        exec_duration: SimDuration,
+    ) -> SimDuration {
         let batches_ahead = queued / batch_size.max(1);
         let rounds = batches_ahead / workers.max(1);
+        exec_duration * rounds as u64
+    }
+
+    /// [`DecisionInputs::at_edge`] with the queued-batch delay already
+    /// computed ([`DecisionInputs::edge_lead`]) — the per-request half
+    /// of the edge decision, pure arithmetic on `Copy` values.
+    pub fn at_edge_with_lead(
+        now: SimTime,
+        lead: SimDuration,
+        exec_duration: SimDuration,
+        sub: SubEstimate,
+    ) -> DecisionInputs {
         DecisionInputs {
             now,
-            expected_exec_start: now.saturating_add(exec_duration * rounds as u64),
+            expected_exec_start: now.saturating_add(lead),
             exec_duration,
             sub,
         }

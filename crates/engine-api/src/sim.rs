@@ -1,6 +1,7 @@
 //! [`EngineHandle`] over the stepped discrete-event simulator.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 
 use parking_lot::Mutex;
@@ -67,6 +68,17 @@ pub struct SimEngine {
     // The spec lives outside the lock so `spec()` can hand out a plain
     // reference.
     spec: PipelineSpec,
+    /// Lock-free shadow of the stepped clock, refreshed before the
+    /// engine lock is released by every time-moving operation.
+    /// [`EngineHandle::now`] runs on a serving front-end's per-request
+    /// admission path, where contending with a pump thread that is
+    /// mid-way through an event batch would serialise every reader;
+    /// the shadow makes it one atomic load. Scheduled replay stays
+    /// exact: `advance_to(t)` publishes `t` before returning, and the
+    /// clock gate keeps the pump from moving time past the last
+    /// scheduled arrival, so the stamp a replayed request observes is
+    /// still a pure function of the schedule.
+    now_us: AtomicU64,
     inner: Mutex<Inner>,
 }
 
@@ -75,12 +87,20 @@ impl SimEngine {
     pub fn new(server: SimServer) -> SimEngine {
         SimEngine {
             spec: server.spec().clone(),
+            now_us: AtomicU64::new(server.now().as_micros()),
             inner: Mutex::new(Inner {
                 server,
                 tags: HashMap::new(),
                 sink: None,
             }),
         }
+    }
+
+    /// Publishes the server's clock to the lock-free shadow; call with
+    /// the inner lock held, after any operation that may move time.
+    fn publish_now(&self, inner: &Inner) {
+        self.now_us
+            .store(inner.server.now().as_micros(), Ordering::Release);
     }
 }
 
@@ -90,7 +110,7 @@ impl EngineHandle for SimEngine {
     }
 
     fn now(&self) -> SimTime {
-        self.inner.lock().server.now()
+        SimTime::from_micros(self.now_us.load(Ordering::Acquire))
     }
 
     fn submit(&self, spec: SubmitSpec) -> RequestId {
@@ -111,6 +131,7 @@ impl EngineHandle for SimEngine {
         if spec.tag != 0 {
             inner.tags.insert(id, spec.tag);
         }
+        self.publish_now(&inner);
         id
     }
 
@@ -141,6 +162,7 @@ impl EngineHandle for SimEngine {
         let (processed, terminals) = inner.server.pump(PUMP_CHUNK);
         let progressed = processed > 0 || !terminals.is_empty();
         inner.deliver(terminals);
+        self.publish_now(&inner);
         progressed
     }
 
@@ -148,6 +170,7 @@ impl EngineHandle for SimEngine {
         let mut inner = self.inner.lock();
         let terminals = inner.server.advance_to(t);
         inner.deliver(terminals);
+        self.publish_now(&inner);
         true
     }
 
@@ -156,6 +179,7 @@ impl EngineHandle for SimEngine {
         let terminals = inner.server.drain(limit);
         inner.deliver(terminals);
         inner.sink = None;
+        self.publish_now(&inner);
         inner.server.take_log()
     }
 }

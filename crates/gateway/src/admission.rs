@@ -24,6 +24,11 @@
 //! in-worker broker, with its richer Monte-Carlo wait estimate, still
 //! re-checks every admitted request at `t_b`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
 use pard_core::{
     critical_path_estimate, proactive_decision, Decision, DecisionInputs, ReqMeta, SubEstimate,
 };
@@ -56,21 +61,165 @@ pub fn edge_decision(
     source: usize,
     paths: &[Vec<usize>],
 ) -> Decision {
-    let req = ReqMeta {
-        id: 0,
-        sent: now,
-        deadline,
-        arrived: now,
-    };
-    let inputs = DecisionInputs::at_edge(
-        now,
-        state.queue_depths[source],
-        state.workers[source],
-        state.batch_sizes[source],
-        SimDuration::from_millis_f64(state.exec_ms[source]),
-        edge_sub_estimate(state, paths),
-    );
-    proactive_decision(&req, &inputs)
+    AdmissionFloor::compute(state, source, paths).decide(now, deadline)
+}
+
+/// The state-dependent half of the edge decision, precomputed once per
+/// [`EdgeState`] snapshot: the entry module's queued-batch delay
+/// ([`DecisionInputs::edge_lead`]), its execution duration, and the
+/// critical-downstream-path estimate. [`AdmissionFloor::decide`] is
+/// then pure arithmetic on three `Copy` durations — no locks, no
+/// allocation, no per-request walk over the pipeline — and produces
+/// bit-identical decisions to [`edge_decision`] *by construction*:
+/// both run [`pard_core::proactive_decision`] over
+/// [`DecisionInputs::at_edge_with_lead`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionFloor {
+    /// Queued-batch delay ahead of an arriving request at the source.
+    lead: SimDuration,
+    /// Profiled execution duration of the source module.
+    exec: SimDuration,
+    /// Critical-downstream-path estimate (`L_sub`).
+    sub: SubEstimate,
+}
+
+impl AdmissionFloor {
+    /// Precomputes the floor from an edge-state snapshot.
+    pub fn compute(state: &EdgeState, source: usize, paths: &[Vec<usize>]) -> AdmissionFloor {
+        let exec = SimDuration::from_millis_f64(state.exec_ms[source]);
+        AdmissionFloor {
+            lead: DecisionInputs::edge_lead(
+                state.queue_depths[source],
+                state.workers[source],
+                state.batch_sizes[source],
+                exec,
+            ),
+            exec,
+            sub: edge_sub_estimate(state, paths),
+        }
+    }
+
+    /// Eq. 3 for a request arriving `now` with `deadline` — the
+    /// per-request half of [`edge_decision`].
+    pub fn decide(&self, now: SimTime, deadline: SimTime) -> Decision {
+        let req = ReqMeta {
+            id: 0,
+            sent: now,
+            deadline,
+            arrived: now,
+        };
+        let inputs = DecisionInputs::at_edge_with_lead(now, self.lead, self.exec, self.sub);
+        proactive_decision(&req, &inputs)
+    }
+}
+
+/// An immutable, epoch-published view of the serving state: the raw
+/// [`EdgeState`] (for `/metrics` gauges) plus the precomputed
+/// [`AdmissionFloor`]. Reader threads hold it through an [`Arc`]; the
+/// poller publishes a fresh one per refresh tick and never mutates a
+/// published snapshot.
+#[derive(Clone, Debug)]
+pub struct EdgeSnapshot {
+    state: EdgeState,
+    floor: AdmissionFloor,
+}
+
+impl EdgeSnapshot {
+    /// Builds a snapshot, precomputing the admission floor.
+    pub fn new(state: EdgeState, source: usize, paths: &[Vec<usize>]) -> EdgeSnapshot {
+        let floor = AdmissionFloor::compute(&state, source, paths);
+        EdgeSnapshot { state, floor }
+    }
+
+    /// The admission decision against this snapshot — lock-free pure
+    /// arithmetic; see [`AdmissionFloor::decide`].
+    #[inline]
+    pub fn decide(&self, now: SimTime, deadline: SimTime) -> Decision {
+        self.floor.decide(now, deadline)
+    }
+
+    /// The underlying edge state (for `/metrics` rendering).
+    pub fn state(&self) -> &EdgeState {
+        &self.state
+    }
+}
+
+/// Epoch-published [`EdgeSnapshot`] slot.
+///
+/// The hot path must not lock or clone per request, but `std` has no
+/// safe lock-free `Arc` swap (a bare `AtomicPtr` load races the
+/// publisher's release of the old snapshot). The design instead splits
+/// the cost by frequency: the publisher bumps an atomic **epoch** after
+/// replacing the slot (a mutexed `Arc`, cloned only on refresh), and
+/// every reader thread keeps its own [`SnapshotReader`] cache — one
+/// `Arc` clone per *publication* it observes, not per request. The
+/// per-request admission path is then a single `Acquire` load plus
+/// pure arithmetic on the cached immutable snapshot; the slot mutex is
+/// touched `refresh_hz × readers` times a second in the worst case,
+/// independent of request rate.
+pub struct EdgePublisher {
+    epoch: AtomicU64,
+    slot: Mutex<Arc<EdgeSnapshot>>,
+}
+
+impl EdgePublisher {
+    /// Creates the publisher with an initial snapshot (epoch 0).
+    pub fn new(snapshot: EdgeSnapshot) -> EdgePublisher {
+        EdgePublisher {
+            epoch: AtomicU64::new(0),
+            slot: Mutex::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// Publishes a fresh snapshot and bumps the epoch. Readers observe
+    /// the bump (`Release`/`Acquire`) no later than their next request.
+    pub fn publish(&self, snapshot: EdgeSnapshot) {
+        *self.slot.lock() = Arc::new(snapshot);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current publication epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current snapshot (an `Arc` clone under the slot lock) — for
+    /// cold paths like `/metrics`; readers on the request path go
+    /// through [`SnapshotReader`].
+    pub fn load(&self) -> Arc<EdgeSnapshot> {
+        self.slot.lock().clone()
+    }
+}
+
+/// A reader thread's cached view of an [`EdgePublisher`]: revalidated
+/// against the epoch with one atomic load per request, re-cloned only
+/// when a new snapshot was published.
+pub struct SnapshotReader {
+    epoch: u64,
+    snapshot: Arc<EdgeSnapshot>,
+}
+
+impl SnapshotReader {
+    /// Caches the publisher's current snapshot.
+    pub fn new(publisher: &EdgePublisher) -> SnapshotReader {
+        SnapshotReader {
+            epoch: publisher.epoch(),
+            snapshot: publisher.load(),
+        }
+    }
+
+    /// The freshest published snapshot. Lock-free unless the epoch
+    /// moved since the last call.
+    #[inline]
+    pub fn current(&mut self, publisher: &EdgePublisher) -> &EdgeSnapshot {
+        let epoch = publisher.epoch();
+        if epoch != self.epoch {
+            self.snapshot = publisher.load();
+            self.epoch = epoch;
+        }
+        &self.snapshot
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +312,63 @@ mod tests {
         let now = SimTime::from_millis(500);
         let d = decide(now, SimTime::from_millis(400), &s);
         assert_eq!(d, Decision::Drop(DropReason::AlreadyExpired));
+    }
+
+    #[test]
+    fn snapshot_decisions_match_edge_decision_exactly() {
+        // The published-snapshot fast path must be bit-identical to the
+        // direct computation across queue depths, SLOs, and shapes —
+        // golden taxonomies depend on it.
+        let paths = chain_paths();
+        let mut cases = Vec::new();
+        for q0 in [0usize, 3, 8, 40, 400] {
+            for q2 in [0usize, 20, 80] {
+                cases.push(state(vec![q0, 1, q2]));
+            }
+        }
+        for s in cases {
+            let snapshot = EdgeSnapshot::new(s.clone(), 0, &paths);
+            for now_ms in [0u64, 100, 500] {
+                for slo_ms in [1u64, 90, 120, 400, 1000] {
+                    let now = SimTime::from_millis(now_ms);
+                    for deadline in [
+                        now + SimDuration::from_millis(slo_ms),
+                        SimTime::from_millis(slo_ms), // possibly already expired
+                    ] {
+                        assert_eq!(
+                            snapshot.decide(now, deadline),
+                            edge_decision(now, deadline, &s, 0, &paths),
+                            "q={:?} now={now_ms} slo={slo_ms}",
+                            s.queue_depths,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn publisher_epoch_tracks_publications_and_readers_refresh() {
+        let paths = chain_paths();
+        let publisher = EdgePublisher::new(EdgeSnapshot::new(state(vec![0, 0, 0]), 0, &paths));
+        let mut reader = SnapshotReader::new(&publisher);
+        let now = SimTime::ZERO;
+        let fine = now + SimDuration::from_millis(400);
+        assert_eq!(
+            reader.current(&publisher).decide(now, fine),
+            Decision::Admit
+        );
+
+        // Publish a congested snapshot: the same reader must observe it
+        // on its next request without being recreated.
+        publisher.publish(EdgeSnapshot::new(state(vec![400, 0, 0]), 0, &paths));
+        assert_eq!(publisher.epoch(), 1);
+        assert_eq!(
+            reader.current(&publisher).decide(now, fine),
+            Decision::Drop(DropReason::PredictedViolation)
+        );
+        // The cold-path load sees the same snapshot.
+        assert_eq!(publisher.load().state().queue_depths, vec![400, 0, 0]);
     }
 
     #[test]

@@ -1,0 +1,516 @@
+//! The gateway loopback benchmark matrix — the checked-in throughput
+//! trajectory (`BENCH_gateway.json`).
+//!
+//! Goodput claims are only credible with measured numbers, so the hot
+//! path has a fixed, reproducible benchmark: every case boots a real
+//! [`crate::Gateway`] on an ephemeral loopback socket, drives it with
+//! the in-tree load generator, and reports wall-clock throughput plus
+//! client-measured p50/p99 RTT. The matrix crosses pipeline shape
+//! (chain `tm`, DAG `da`), backend (deterministic sim, live threaded
+//! runtime), and driving discipline (closed loop saturating 8
+//! connections; open loop replaying a trace):
+//!
+//! | case              | drive                      | what it stresses             |
+//! |-------------------|----------------------------|------------------------------|
+//! | `closed/tm/sim`   | 8 conns, 1 outstanding each| full RTT: wire + admission + submit + pump + dispatch |
+//! | `closed/da/sim`   | as above, DAG app          | DAG critical-path admission  |
+//! | `closed/tm/live`  | as above, live backend     | no-regression guard on live  |
+//! | `closed/da/live`  | as above                   | live DAG split/merge         |
+//! | `open/tm/sim`     | virtual-paced replay, 1 conn| wire decode + replay advance at full socket speed |
+//! | `open/tm/live`    | wall-paced trace, 4 conns  | pacing fidelity on live      |
+//!
+//! Run it with `pard-loadgen --bench quick|full [--out FILE]
+//! [--check BENCH_gateway.json]`. `--check` compares each case's
+//! throughput against the *last* run recorded in the checked-in
+//! trajectory and fails below `0.5×` — a deliberately loose bound, CI
+//! machines are noisy; the precise before/after numbers live in the
+//! trajectory file, regenerated on one machine (see README
+//! "Performance").
+
+use std::collections::BTreeMap;
+use std::io;
+
+use pard_engine_api::{Backend, ClusterConfig, EngineBuilder, LiveConfig};
+use pard_pipeline::json::{parse, Value};
+use pard_pipeline::AppKind;
+use pard_workload::constant;
+
+use crate::loadgen::{self, LoadMode, LoadgenConfig, LoadgenReport, Pace};
+use crate::server::{Gateway, GatewayConfig};
+
+/// Fraction of gross regression `check_against` tolerates: a case fails
+/// only below `0.5×` the recorded throughput. When the runs being
+/// compared used different effort levels (CI's `quick` smoke against a
+/// recorded `full` trajectory), the floor halves again to `0.25×` —
+/// short runs amortise connection/process startup poorly, and CI
+/// machines are unrelated to the recording machine.
+pub const REGRESSION_FLOOR: f64 = 0.5;
+
+/// Workers per module, every case (matches the CI smoke invocations).
+const WORKERS: usize = 2;
+
+/// Virtual-time compression for live-backend cases: exec durations are
+/// tens of virtual milliseconds, so 25× keeps the whole matrix under a
+/// minute of wall time without starving the pipeline.
+const LIVE_SCALE: f64 = 25.0;
+
+/// Benchmark effort: `Quick` for CI smoke, `Full` for the checked-in
+/// trajectory numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effort {
+    /// Small request counts; finishes in a few seconds.
+    Quick,
+    /// The request counts the trajectory file records.
+    Full,
+}
+
+impl Effort {
+    /// Label used in the JSON record.
+    pub fn label(self) -> &'static str {
+        match self {
+            Effort::Quick => "quick",
+            Effort::Full => "full",
+        }
+    }
+}
+
+/// One measured matrix case.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Stable case name, `mode/app/backend`.
+    pub case: String,
+    /// Parallel client connections driven.
+    pub connections: usize,
+    /// Requests put on the wire.
+    pub sent: usize,
+    /// Requests answered with any outcome (including edge rejects).
+    pub answered: usize,
+    /// Completed within SLO.
+    pub ok: usize,
+    /// Rejected proactively at the edge.
+    pub dropped_edge: usize,
+    /// Answered requests per wall-clock second — the hot-path figure.
+    pub throughput_rps: f64,
+    /// Client-measured wall RTT, milliseconds.
+    pub p50_ms: f64,
+    /// Client-measured wall RTT, milliseconds.
+    pub p99_ms: f64,
+    /// Wall-clock run time, seconds.
+    pub elapsed_s: f64,
+}
+
+impl BenchRow {
+    fn from_report(case: &str, connections: usize, report: &LoadgenReport) -> BenchRow {
+        let answered = report.ok
+            + report.violated
+            + report.dropped_edge
+            + report.dropped_pipeline
+            + report.errors;
+        // Wall RTT: the loadgen stores virtual latencies (rtt ×
+        // time_scale); divide the scale back out.
+        let scale = if report.time_scale > 0.0 {
+            report.time_scale
+        } else {
+            1.0
+        };
+        BenchRow {
+            case: case.to_string(),
+            connections,
+            sent: report.sent,
+            answered,
+            ok: report.ok,
+            dropped_edge: report.dropped_edge,
+            throughput_rps: if report.elapsed_s > 0.0 {
+                answered as f64 / report.elapsed_s
+            } else {
+                0.0
+            },
+            p50_ms: report.latency_quantile(0.50) / scale,
+            p99_ms: report.latency_quantile(0.99) / scale,
+            elapsed_s: report.elapsed_s,
+        }
+    }
+
+    /// One-row JSON object.
+    pub fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("case".into(), Value::String(self.case.clone()));
+        map.insert("connections".into(), Value::Number(self.connections as f64));
+        map.insert("sent".into(), Value::Number(self.sent as f64));
+        map.insert("answered".into(), Value::Number(self.answered as f64));
+        map.insert("ok".into(), Value::Number(self.ok as f64));
+        map.insert(
+            "dropped_edge".into(),
+            Value::Number(self.dropped_edge as f64),
+        );
+        map.insert(
+            "throughput_rps".into(),
+            Value::Number(round2(self.throughput_rps)),
+        );
+        map.insert("p50_ms".into(), Value::Number(round3(self.p50_ms)));
+        map.insert("p99_ms".into(), Value::Number(round3(self.p99_ms)));
+        map.insert("elapsed_s".into(), Value::Number(round3(self.elapsed_s)));
+        Value::Object(map)
+    }
+
+    /// Parses a row back from its JSON object.
+    pub fn from_value(value: &Value) -> Option<BenchRow> {
+        Some(BenchRow {
+            case: value.get("case")?.as_str()?.to_string(),
+            connections: value.get("connections")?.as_u64()? as usize,
+            sent: value.get("sent")?.as_u64()? as usize,
+            answered: value.get("answered")?.as_u64()? as usize,
+            ok: value.get("ok")?.as_u64()? as usize,
+            dropped_edge: value.get("dropped_edge")?.as_u64()? as usize,
+            throughput_rps: value.get("throughput_rps")?.as_f64()?,
+            p50_ms: value.get("p50_ms")?.as_f64()?,
+            p99_ms: value.get("p99_ms")?.as_f64()?,
+            elapsed_s: value.get("elapsed_s")?.as_f64()?,
+        })
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// One complete matrix run.
+#[derive(Clone, Debug)]
+pub struct BenchRun {
+    /// Free-form label (e.g. `pr5-after`).
+    pub label: String,
+    /// The effort level the run used.
+    pub effort: &'static str,
+    /// Every measured case.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchRun {
+    /// The run as a JSON object.
+    pub fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("label".into(), Value::String(self.label.clone()));
+        map.insert("effort".into(), Value::String(self.effort.into()));
+        map.insert(
+            "rows".into(),
+            Value::Array(self.rows.iter().map(BenchRow::to_value).collect()),
+        );
+        Value::Object(map)
+    }
+
+    /// Parses a run back from its JSON object.
+    pub fn from_value(value: &Value) -> Option<BenchRun> {
+        let rows = value
+            .get("rows")?
+            .as_array()?
+            .iter()
+            .map(BenchRow::from_value)
+            .collect::<Option<Vec<_>>>()?;
+        Some(BenchRun {
+            label: value.get("label")?.as_str()?.to_string(),
+            effort: match value.get("effort")?.as_str()? {
+                "full" => "full",
+                _ => "quick",
+            },
+            rows,
+        })
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = format!("gateway bench matrix ({} · {})\n", self.label, self.effort);
+        out.push_str(
+            "case              conns    sent  answered      ok  edge-rej   req/s   p50 ms   p99 ms\n",
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<17} {:>5} {:>7} {:>9} {:>7} {:>9} {:>9.0} {:>8.3} {:>8.3}\n",
+                row.case,
+                row.connections,
+                row.sent,
+                row.answered,
+                row.ok,
+                row.dropped_edge,
+                row.throughput_rps,
+                row.p50_ms,
+                row.p99_ms,
+            ));
+        }
+        out
+    }
+}
+
+/// The checked-in trajectory: an ordered list of runs, newest last.
+#[derive(Clone, Debug, Default)]
+pub struct Trajectory {
+    /// Runs in recording order.
+    pub runs: Vec<BenchRun>,
+}
+
+impl Trajectory {
+    /// Serialises the trajectory to pretty-enough JSON (one run per
+    /// parse; the whole document is a single object).
+    pub fn to_json(&self) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("bench".into(), Value::String("gateway_trajectory".into()));
+        map.insert("schema".into(), Value::Number(1.0));
+        map.insert(
+            "runs".into(),
+            Value::Array(self.runs.iter().map(BenchRun::to_value).collect()),
+        );
+        Value::Object(map).to_json()
+    }
+
+    /// Parses a trajectory document.
+    pub fn from_json(text: &str) -> Result<Trajectory, String> {
+        let value = parse(text).map_err(|e| e.to_string())?;
+        if value.get("bench").and_then(Value::as_str) != Some("gateway_trajectory") {
+            return Err("not a gateway_trajectory document".into());
+        }
+        let runs = value
+            .get("runs")
+            .and_then(Value::as_array)
+            .ok_or("missing runs array")?
+            .iter()
+            .map(|r| BenchRun::from_value(r).ok_or("malformed run record"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trajectory { runs })
+    }
+
+    /// The newest recorded run — what `--check` compares against.
+    pub fn latest(&self) -> Option<&BenchRun> {
+        self.runs.last()
+    }
+}
+
+/// Compares `current` against `baseline` (the trajectory's newest run):
+/// every case present in both must reach at least
+/// [`REGRESSION_FLOOR`] × the recorded throughput. Returns the list of
+/// violations, empty when the run is clean.
+pub fn check_against(baseline: &BenchRun, current: &BenchRun) -> Vec<String> {
+    let factor = if baseline.effort == current.effort {
+        REGRESSION_FLOOR
+    } else {
+        REGRESSION_FLOOR / 2.0
+    };
+    let mut violations = Vec::new();
+    for base in &baseline.rows {
+        let Some(cur) = current.rows.iter().find(|r| r.case == base.case) else {
+            violations.push(format!("case {} missing from current run", base.case));
+            continue;
+        };
+        let floor = base.throughput_rps * factor;
+        if cur.throughput_rps < floor {
+            violations.push(format!(
+                "{}: {:.0} req/s < {:.0} ({}× of recorded {:.0})",
+                base.case, cur.throughput_rps, floor, factor, base.throughput_rps,
+            ));
+        }
+    }
+    violations
+}
+
+fn sim_backend(app: AppKind) -> Backend {
+    Backend::Sim(
+        ClusterConfig::default()
+            .with_seed(42)
+            .with_fixed_workers(vec![WORKERS; app.pipeline().modules.len()])
+            .with_pard(pard_core::PardConfig::default().with_mc_draws(1_000)),
+    )
+}
+
+fn live_backend(app: AppKind) -> Backend {
+    Backend::Live(LiveConfig {
+        time_scale: LIVE_SCALE,
+        pard: pard_core::PardConfig::default().with_mc_draws(1_000),
+        workers_per_module: vec![WORKERS; app.pipeline().modules.len()],
+        headroom: 2.0,
+    })
+}
+
+/// Boots a gateway on ephemeral loopback ports, runs `config` against
+/// it, and shuts it down.
+fn run_case(app: AppKind, backend: Backend, config: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let engine = EngineBuilder::new(app.pipeline())
+        .build(backend)
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let gateway = Gateway::start(
+        engine,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            metrics_addr: "127.0.0.1:0".into(),
+            ..GatewayConfig::default()
+        },
+    )?;
+    let report = loadgen::run(gateway.addr(), config);
+    gateway.shutdown(pard_sim::SimDuration::from_secs(30));
+    report
+}
+
+fn closed_config(app: AppKind, requests: usize, time_scale: f64) -> LoadgenConfig {
+    LoadgenConfig {
+        app: app.name().into(),
+        connections: 8,
+        mode: LoadMode::Closed {
+            requests_per_connection: requests,
+        },
+        slo_ms: None,
+        tight_fraction: 0.05,
+        time_scale,
+        ..LoadgenConfig::default()
+    }
+}
+
+/// Runs the full matrix at `effort`, labelling the run `label`.
+pub fn run_matrix(label: &str, effort: Effort) -> io::Result<BenchRun> {
+    let (closed_requests, open_sim_rate, open_sim_secs, open_live_rate, open_live_secs) =
+        match effort {
+            Effort::Quick => (80, 400.0, 4, 150.0, 4),
+            Effort::Full => (250, 1500.0, 10, 200.0, 10),
+        };
+    let mut rows = Vec::new();
+
+    // Closed loop: 8 connections, one outstanding request each — the
+    // end-to-end RTT figure (wire + admission + submit + dispatch).
+    for (app, backend_name) in [
+        (AppKind::Tm, "sim"),
+        (AppKind::Da, "sim"),
+        (AppKind::Tm, "live"),
+        (AppKind::Da, "live"),
+    ] {
+        let (backend, scale) = match backend_name {
+            "sim" => (sim_backend(app), 1.0),
+            _ => (live_backend(app), LIVE_SCALE),
+        };
+        let case = format!("closed/{}/{}", app.name(), backend_name);
+        eprintln!("bench: {case} …");
+        let report = run_case(app, backend, &closed_config(app, closed_requests, scale))?;
+        rows.push(BenchRow::from_report(&case, 8, &report));
+    }
+
+    // Open loop, sim backend, virtual pacing: the wire path at full
+    // socket speed (single connection; the engine paces itself).
+    {
+        let case = "open/tm/sim";
+        eprintln!("bench: {case} …");
+        let app = AppKind::Tm;
+        let config = LoadgenConfig {
+            app: app.name().into(),
+            connections: 1,
+            mode: LoadMode::Open {
+                trace: constant(open_sim_rate, open_sim_secs),
+            },
+            pace: Pace::Virtual,
+            tight_fraction: 0.05,
+            time_scale: 1.0,
+            ..LoadgenConfig::default()
+        };
+        let report = run_case(app, sim_backend(app), &config)?;
+        rows.push(BenchRow::from_report(case, 1, &report));
+    }
+
+    // Open loop, live backend, wall pacing: trace replay fidelity on
+    // the compressed wall clock.
+    {
+        let case = "open/tm/live";
+        eprintln!("bench: {case} …");
+        let app = AppKind::Tm;
+        let config = LoadgenConfig {
+            app: app.name().into(),
+            connections: 4,
+            mode: LoadMode::Open {
+                trace: constant(open_live_rate, open_live_secs),
+            },
+            pace: Pace::Wall,
+            tight_fraction: 0.05,
+            time_scale: LIVE_SCALE,
+            ..LoadgenConfig::default()
+        };
+        let report = run_case(app, live_backend(app), &config)?;
+        rows.push(BenchRow::from_report(case, 4, &report));
+    }
+
+    Ok(BenchRun {
+        label: label.to_string(),
+        effort: effort.label(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(case: &str, rps: f64) -> BenchRow {
+        BenchRow {
+            case: case.into(),
+            connections: 8,
+            sent: 100,
+            answered: 100,
+            ok: 90,
+            dropped_edge: 5,
+            throughput_rps: rps,
+            p50_ms: 1.0,
+            p99_ms: 2.0,
+            elapsed_s: 0.5,
+        }
+    }
+
+    fn run(label: &str, rps: f64) -> BenchRun {
+        BenchRun {
+            label: label.into(),
+            effort: "quick",
+            rows: vec![row("closed/tm/sim", rps), row("open/tm/sim", rps * 2.0)],
+        }
+    }
+
+    #[test]
+    fn trajectory_round_trips_through_json() {
+        let trajectory = Trajectory {
+            runs: vec![run("before", 1000.0), run("after", 2500.0)],
+        };
+        let parsed = Trajectory::from_json(&trajectory.to_json()).expect("round trip");
+        assert_eq!(parsed.runs.len(), 2);
+        assert_eq!(parsed.latest().unwrap().label, "after");
+        assert_eq!(parsed.runs[0].rows[0].case, "closed/tm/sim");
+        assert_eq!(parsed.runs[0].rows[0].throughput_rps, 1000.0);
+        assert!(Trajectory::from_json("{}").is_err());
+        assert!(Trajectory::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn check_flags_gross_regressions_only() {
+        let baseline = run("baseline", 1000.0);
+        // 60% of baseline: above the 0.5× floor, clean.
+        assert!(check_against(&baseline, &run("now", 600.0)).is_empty());
+        // 40%: a gross regression on every case.
+        let violations = check_against(&baseline, &run("now", 400.0));
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].contains("closed/tm/sim"), "{violations:?}");
+        // A case missing from the current run is itself a violation.
+        let mut partial = run("now", 1000.0);
+        partial.rows.remove(1);
+        let violations = check_against(&baseline, &partial);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("missing"), "{violations:?}");
+        // Cross-effort comparisons (CI quick vs recorded full) halve
+        // the floor: 40% of baseline passes, 20% still fails.
+        let mut full_baseline = run("baseline", 1000.0);
+        full_baseline.effort = "full";
+        assert!(check_against(&full_baseline, &run("now", 400.0)).is_empty());
+        assert_eq!(check_against(&full_baseline, &run("now", 200.0)).len(), 2);
+    }
+
+    #[test]
+    fn rows_round_trip_and_reject_garbage() {
+        let original = row("closed/da/live", 123.45);
+        let parsed = BenchRow::from_value(&original.to_value()).expect("round trip");
+        assert_eq!(parsed.case, original.case);
+        assert_eq!(parsed.throughput_rps, original.throughput_rps);
+        assert!(BenchRow::from_value(&Value::Null).is_none());
+    }
+}

@@ -203,6 +203,9 @@ pub struct Client {
     reader: Option<JoinHandle<()>>,
     next_seq: u64,
     sent: usize,
+    /// Reusable encode buffer: one line allocation per connection, not
+    /// per request.
+    encode_buf: String,
 }
 
 impl Client {
@@ -236,6 +239,7 @@ impl Client {
             reader: Some(reader),
             next_seq: 0,
             sent: 0,
+            encode_buf: String::with_capacity(256),
         })
     }
 
@@ -256,7 +260,13 @@ impl Client {
             state.sent_at.insert(seq, Instant::now());
             state.send_order.push_back(seq);
         }
-        let result = writeln!(self.out, "{}", request.encode()).and_then(|()| self.out.flush());
+        self.encode_buf.clear();
+        request.encode_into(&mut self.encode_buf);
+        self.encode_buf.push('\n');
+        let result = self
+            .out
+            .write_all(self.encode_buf.as_bytes())
+            .and_then(|()| self.out.flush());
         if let Err(e) = result {
             // The stale send_order entry is skipped lazily.
             self.shared.state.lock().sent_at.remove(&seq);

@@ -1,0 +1,340 @@
+//! The sharded pending-request table.
+//!
+//! Every admitted request lives in this table between `submit` and its
+//! completion. A single `Mutex<HashMap>` here serialises *every*
+//! submit against *every* completion — under many connections the
+//! gateway's whole request path funnels through one cache line. The
+//! table is therefore split into [`SHARDS`] independently locked
+//! shards keyed by request id (multiplicative hashing; ids are dense
+//! engine-assigned integers plus the disjoint edge-id space), so
+//! submits and completions on different requests almost never contend.
+//! In-shard maps use an FxHash-style hasher: SipHash's DoS resistance
+//! buys nothing for server-assigned integer keys and costs a
+//! per-operation hashing round.
+//!
+//! # The insert/complete race
+//!
+//! The old global-lock design closed one real race: the reader thread
+//! held the table lock *across* `submit`, so a completion (which can
+//! fire on an engine thread before `submit` even returns) could not be
+//! routed until the entry existed. Sharding cannot pre-lock the right
+//! shard — the shard is keyed by the id `submit` returns. Instead each
+//! shard keeps an `orphans` side-map: a completion that arrives before
+//! its entry parks there ([`PendingMap::take_or_stash`]), and the
+//! inserting thread claims it atomically under the same shard lock
+//! ([`PendingMap::insert`]). Both orders deliver exactly one response;
+//! the hammer test below drives both interleavings.
+//!
+//! Capacity is enforced by a global atomic reservation counter
+//! ([`PendingMap::reserve`]), not by locking every shard: the count
+//! includes reserved-but-not-yet-inserted requests, which is exactly
+//! the back-pressure semantics the old length check had (the request
+//! is already on its way into the engine).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Shard count; a power of two so the shard index is a mask.
+pub const SHARDS: usize = 32;
+
+/// Fibonacci-style multiplicative spread of the (dense, sequential)
+/// request ids across shards: low bits of consecutive ids would pile
+/// neighbouring requests into the same shard cycle, which is fine, but
+/// the edge-id space (`1 << 52` upwards) must spread too.
+const SPREAD: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// FxHash-style hasher (the rustc / firefox design): one rotate-xor-
+/// multiply per word. Not DoS-resistant — keys here are server-assigned
+/// integers, never attacker-chosen.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+struct Shard<V, C> {
+    entries: HashMap<u64, V, FxBuildHasher>,
+    /// Completions that arrived before their entry was filed (see the
+    /// module docs); claimed by [`PendingMap::insert`].
+    orphans: HashMap<u64, C, FxBuildHasher>,
+}
+
+impl<V, C> Default for Shard<V, C> {
+    fn default() -> Shard<V, C> {
+        Shard {
+            entries: HashMap::default(),
+            orphans: HashMap::default(),
+        }
+    }
+}
+
+/// Sharded id → entry table with orphan parking and atomic capacity
+/// reservations. `V` is the per-request entry; `C` the completion
+/// payload parked when it beats the insert.
+pub struct PendingMap<V, C> {
+    shards: Vec<Mutex<Shard<V, C>>>,
+    /// Live entries plus outstanding reservations.
+    len: AtomicUsize,
+    capacity: usize,
+}
+
+impl<V, C> PendingMap<V, C> {
+    /// Creates the table with a global capacity (the gateway's
+    /// `max_pending`).
+    pub fn new(capacity: usize) -> PendingMap<V, C> {
+        PendingMap {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            len: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    #[inline]
+    fn shard(&self, id: u64) -> &Mutex<Shard<V, C>> {
+        let idx = (id.wrapping_mul(SPREAD) >> 32) as usize & (SHARDS - 1);
+        &self.shards[idx]
+    }
+
+    /// Entries in flight (including reservations not yet inserted).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// The configured capacity (the gateway's `max_pending`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserves one slot ahead of `submit`; `false` when the table is
+    /// at capacity (the caller refuses the request). A successful
+    /// reservation must be followed by [`PendingMap::insert`] or
+    /// undone with [`PendingMap::cancel_reservation`].
+    pub fn reserve(&self) -> bool {
+        if self.len.fetch_add(1, Ordering::AcqRel) >= self.capacity {
+            self.len.fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        true
+    }
+
+    /// Releases a reservation that will not be inserted.
+    pub fn cancel_reservation(&self) {
+        self.len.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Files the entry for a reserved slot. If the completion already
+    /// raced past ([`PendingMap::take_or_stash`] parked it), the entry
+    /// is *not* stored: the parked completion is returned, the slot
+    /// released, and the caller responds immediately.
+    pub fn insert(&self, id: u64, entry: V) -> Option<C> {
+        let mut shard = self.shard(id).lock();
+        if let Some(completion) = shard.orphans.remove(&id) {
+            drop(shard);
+            self.len.fetch_sub(1, Ordering::AcqRel);
+            Some(completion)
+        } else {
+            shard.entries.insert(id, entry);
+            None
+        }
+    }
+
+    /// Routes a completion: returns the entry if it is filed (slot
+    /// released); otherwise parks the completion for the racing
+    /// [`PendingMap::insert`] to claim. A completion for an id that was
+    /// never reserved (e.g. flushed during shutdown) parks harmlessly —
+    /// the table is dropped with the gateway.
+    pub fn take_or_stash(&self, id: u64, completion: C) -> Option<V> {
+        let mut shard = self.shard(id).lock();
+        match shard.entries.remove(&id) {
+            Some(entry) => {
+                drop(shard);
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                Some(entry)
+            }
+            None => {
+                shard.orphans.insert(id, completion);
+                None
+            }
+        }
+    }
+
+    /// Removes and returns every filed entry (the shutdown flush).
+    /// Outstanding reservations (reserved, not yet inserted) are left
+    /// to resolve through [`PendingMap::insert`].
+    pub fn drain_entries(&self) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            out.extend(shard.entries.drain());
+        }
+        self.len.fetch_sub(out.len(), Ordering::AcqRel);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_then_take_routes_the_entry() {
+        let map: PendingMap<&'static str, u64> = PendingMap::new(4);
+        assert!(map.reserve());
+        assert_eq!(map.insert(7, "entry"), None);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.take_or_stash(7, 99), Some("entry"));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn completion_racing_ahead_is_parked_and_claimed() {
+        let map: PendingMap<&'static str, u64> = PendingMap::new(4);
+        // Completion first (engine resolved before insert ran).
+        assert_eq!(map.take_or_stash(7, 99), None);
+        assert!(map.reserve());
+        // Insert claims the parked completion instead of filing.
+        assert_eq!(map.insert(7, "entry"), Some(99));
+        assert!(map.is_empty());
+        // The entry was never filed.
+        assert_eq!(map.take_or_stash(7, 100), None);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_reservations_release() {
+        let map: PendingMap<(), ()> = PendingMap::new(2);
+        assert!(map.reserve());
+        assert!(map.reserve());
+        assert!(!map.reserve(), "third reservation exceeds capacity");
+        map.cancel_reservation();
+        assert!(map.reserve(), "released slot is reusable");
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn drain_returns_filed_entries_and_resets_len() {
+        let map: PendingMap<u64, ()> = PendingMap::new(64);
+        for id in 0..10u64 {
+            assert!(map.reserve());
+            assert_eq!(map.insert(id * 1_000_003, id), None);
+        }
+        let mut drained = map.drain_entries();
+        drained.sort();
+        assert_eq!(drained.len(), 10);
+        assert!(map.is_empty());
+        assert_eq!(map.drain_entries(), vec![]);
+    }
+
+    #[test]
+    fn edge_id_space_spreads_across_shards() {
+        // Both the dense engine ids and the 2^52 edge-id space must not
+        // all land in one shard.
+        let map: PendingMap<(), ()> = PendingMap::new(1);
+        let mut hit = std::collections::HashSet::new();
+        for id in 0..64u64 {
+            let shard = map.shard(id) as *const _ as usize;
+            hit.insert(shard);
+        }
+        assert!(hit.len() > SHARDS / 2, "dense ids hit {} shards", hit.len());
+        hit.clear();
+        for seq in 0..64u64 {
+            let shard = map.shard((1 << 52) + seq) as *const _ as usize;
+            hit.insert(shard);
+        }
+        assert!(hit.len() > SHARDS / 2, "edge ids hit {} shards", hit.len());
+    }
+
+    /// The exactly-once hammer: 8 submitter threads race 8 completer
+    /// threads over the same id stream, with completers frequently
+    /// beating the insert (the orphan path). Every completion must be
+    /// routed exactly once — either returned to the completer or
+    /// claimed by the inserter — and the table must end empty.
+    #[test]
+    fn concurrent_submit_and_complete_lose_nothing() {
+        const IDS: u64 = 4_000;
+        const LANES: u64 = 8;
+        let map: Arc<PendingMap<u64, u64>> = Arc::new(PendingMap::new(usize::MAX >> 1));
+        let routed = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for lane in 0..LANES {
+            // Submitter lane: reserve + insert, claiming raced orphans.
+            let submit_map = Arc::clone(&map);
+            let submit_routed = Arc::clone(&routed);
+            handles.push(std::thread::spawn(move || {
+                for id in (lane..IDS).step_by(LANES as usize) {
+                    assert!(submit_map.reserve());
+                    if let Some(completion) = submit_map.insert(id, id) {
+                        assert_eq!(completion, id);
+                        submit_routed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+            // Completer lane for the same ids: take or park.
+            let complete_map = Arc::clone(&map);
+            let complete_routed = Arc::clone(&routed);
+            handles.push(std::thread::spawn(move || {
+                for id in (lane..IDS).step_by(LANES as usize) {
+                    if let Some(entry) = complete_map.take_or_stash(id, id) {
+                        assert_eq!(entry, id);
+                        complete_routed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("no panics under the hammer");
+        }
+        assert_eq!(
+            routed.load(Ordering::Relaxed),
+            IDS,
+            "every id routed exactly once"
+        );
+        assert!(map.is_empty(), "no live entries remain");
+    }
+}

@@ -4,7 +4,7 @@
 //! (requests pipeline freely; responses carry the client's `seq` and
 //! may return out of order), one dispatcher thread routing
 //! [`Completion`]s from the engine back to connections, one edge-state
-//! poller refreshing the admission snapshot, one pump thread driving
+//! poller publishing the admission snapshot, one pump thread driving
 //! engines whose virtual time does not advance on its own, and one
 //! minimal-HTTP metrics listener. The PARD admission check runs in the
 //! reader thread at accept time — a hopeless request is answered
@@ -14,28 +14,52 @@
 //! against a snapshot taken there, making replayed scenarios
 //! bit-reproducible end to end.
 //!
+//! # The hot path
+//!
+//! The per-request path is engineered to scale with connection count:
+//!
+//! * **Admission is lock-free.** The poller publishes an immutable
+//!   [`EdgeSnapshot`] (with the critical-path admission arithmetic
+//!   precomputed) through an epoch counter; each reader thread
+//!   revalidates its cached `Arc` with a single atomic load and
+//!   decides with pure arithmetic — no lock, no clone, no allocation
+//!   (see [`crate::admission::EdgePublisher`]).
+//! * **The pending table is sharded.** Submits and completions on
+//!   different requests land on different
+//!   [`crate::pending::PendingMap`] shards; capacity is one atomic
+//!   reservation, and the submit/complete race is closed by orphan
+//!   parking instead of a global lock held across `submit`.
+//! * **The wire path reuses buffers.** Lines decode through the typed
+//!   scanner (no `Value` tree, payloads measured in place), and each
+//!   connection's writer drains its queue into one reusable encode
+//!   buffer behind a `BufWriter`, flushing once per batch instead of
+//!   once per reply.
+//! * **Submits wake the pump.** Stepped engines are driven the moment
+//!   work arrives instead of on the pump thread's next idle tick,
+//!   which is what bounds closed-loop RTT on the sim backend.
+//!
 //! The gateway is engine-agnostic: it serves any
 //! [`pard_engine_api::EngineHandle`], so the same wire protocol and
 //! admission path run over the live threaded runtime or the
 //! deterministic simulator (see [`pard_engine_api::EngineBuilder`]).
 
-use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use pard_core::Decision;
-use pard_engine_api::{Completion, EdgeState, EngineHandle, SubmitSpec};
+use pard_engine_api::{Completion, EngineHandle, SubmitSpec};
 use pard_metrics::{ModuleDropCounters, Outcome, RequestLog, ServingCounters};
 use pard_sim::{SimDuration, SimTime};
 
-use crate::admission::edge_decision;
+use crate::admission::{EdgePublisher, EdgeSnapshot, SnapshotReader};
+use crate::pending::PendingMap;
 use crate::wire::{seq_hint, ClientLine, ErrorCode, Response};
 
 /// Hard cap on one request line; a connection exceeding it gets an
@@ -50,6 +74,10 @@ pub const MAX_LINE_BYTES: usize = 1 << 20;
 /// 2^52 + seq round-trips exactly for any realistic seq, where 2^63
 /// would silently lose its low bits.
 pub const EDGE_ID_BASE: u64 = 1 << 52;
+
+/// How often the accept loop reaps finished connection threads while
+/// idle (no new connections to trigger reaping on).
+const REAP_INTERVAL: Duration = Duration::from_millis(500);
 
 /// Gateway configuration (networking only — engine construction lives
 /// in [`pard_engine_api::EngineBuilder`]).
@@ -86,10 +114,90 @@ impl Default for GatewayConfig {
     }
 }
 
+/// One queued item on a connection's writer channel. Outcome replies
+/// travel typed and are encoded by the writer into its reusable
+/// buffer; pre-rendered lines (error envelopes — the cold path) travel
+/// as strings.
+enum WriteItem {
+    /// A typed outcome reply, encoded writer-side.
+    Reply(Response),
+    /// An already-encoded line (no trailing newline).
+    Line(String),
+}
+
 struct PendingEntry {
-    /// Per-connection channel of already-encoded response lines.
-    conn_tx: Sender<String>,
+    /// Per-connection writer channel.
+    conn_tx: Sender<WriteItem>,
     seq: Option<u64>,
+}
+
+/// Wakes the pump thread the moment a submit gives it work, so stepped
+/// engines resolve requests at notify latency instead of on the next
+/// idle-sleep tick.
+///
+/// The fast path is one `armed` load: while the pump is actively
+/// working (or the engine is live and never pumps), submitters skip
+/// the signal mutex entirely. The generation counter closes the lost-
+/// wakeup race: the pump reads the generation *before* its final
+/// empty-handed `pump()`, and [`PumpSignal::wait_after`] refuses to
+/// sleep if any notify moved the generation since — a submit that
+/// landed between the check and the wait is therefore never slept
+/// through (the engine-mutex ordering makes the submitter's `armed`
+/// load observe the pump's store).
+struct PumpSignal {
+    generation: Mutex<u64>,
+    cv: Condvar,
+    armed: AtomicBool,
+}
+
+impl PumpSignal {
+    fn new() -> PumpSignal {
+        PumpSignal {
+            generation: Mutex::new(0),
+            cv: Condvar::new(),
+            armed: AtomicBool::new(false),
+        }
+    }
+
+    /// Declares intent to sleep; returns the generation to hand to
+    /// [`PumpSignal::wait_after`]. Call *before* the final work check.
+    fn arm(&self) -> u64 {
+        self.armed.store(true, Ordering::SeqCst);
+        *self.generation.lock()
+    }
+
+    /// Withdraws the intent (work was found after all).
+    fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Sleeps until a notify or `timeout` — unless the generation
+    /// already moved past `observed`, in which case a submit raced the
+    /// final check and the pump should run again immediately.
+    fn wait_after(&self, observed: u64, timeout: Duration) {
+        let mut generation = self.generation.lock();
+        if *generation == observed {
+            self.cv.wait_for(&mut generation, timeout);
+        }
+        drop(generation);
+        self.disarm();
+    }
+
+    /// Wakes an armed pump; a no-op (one atomic load) while the pump
+    /// is busy.
+    fn notify(&self) {
+        if !self.armed.load(Ordering::SeqCst) {
+            return;
+        }
+        *self.generation.lock() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Unconditional wake (shutdown).
+    fn force_notify(&self) {
+        *self.generation.lock() += 1;
+        self.cv.notify_all();
+    }
 }
 
 /// State shared by reader threads (everything request handling needs).
@@ -100,8 +208,10 @@ struct Edge {
     // thus keeps routing completions while shutdown drains the engine).
     counters: Arc<ServingCounters>,
     module_drops: Arc<ModuleDropCounters>,
-    pending: Arc<Mutex<HashMap<u64, PendingEntry>>>,
-    state: Mutex<EdgeState>,
+    pending: Arc<PendingMap<PendingEntry, Completion>>,
+    /// The epoch-published admission snapshot (see the module docs).
+    snapshot: EdgePublisher,
+    pump_signal: PumpSignal,
     shutdown: AtomicBool,
     app_name: String,
     /// The pipeline's entry module (static).
@@ -111,8 +221,19 @@ struct Edge {
     /// DAG branches are not double-counted.
     paths: Vec<Vec<usize>>,
     edge_seq: AtomicU64,
-    max_pending: usize,
     allow_replay: bool,
+    /// Cached [`EngineHandle::stepped`]: live engines never need the
+    /// pump, so per-request submit paths must not touch the pump
+    /// signal for them at all.
+    stepped: bool,
+}
+
+impl Edge {
+    /// Builds and publishes a fresh snapshot from the engine's current
+    /// state (the poller tick, and the scheduled-replay path).
+    fn fresh_snapshot(&self) -> EdgeSnapshot {
+        EdgeSnapshot::new(self.engine.edge_state(), self.source, &self.paths)
+    }
 }
 
 /// A running gateway. Dropping it without calling
@@ -142,18 +263,20 @@ impl Gateway {
         let metrics_addr = metrics_listener.local_addr()?;
 
         let source = engine.spec().source();
+        let paths = pard_pipeline::graph::downstream_paths(engine.spec(), source);
         let edge = Arc::new(Edge {
-            state: Mutex::new(engine.edge_state()),
+            snapshot: EdgePublisher::new(EdgeSnapshot::new(engine.edge_state(), source, &paths)),
             counters: Arc::new(ServingCounters::new()),
             module_drops: Arc::new(ModuleDropCounters::new(engine.spec().modules.len())),
-            pending: Arc::new(Mutex::new(HashMap::new())),
+            pending: Arc::new(PendingMap::new(config.max_pending)),
+            pump_signal: PumpSignal::new(),
             shutdown: AtomicBool::new(false),
             app_name: engine.spec().name.clone(),
             source,
-            paths: pard_pipeline::graph::downstream_paths(engine.spec(), source),
+            paths,
             edge_seq: AtomicU64::new(0),
-            max_pending: config.max_pending,
             allow_replay: config.allow_replay,
+            stepped: engine.stepped(),
             engine,
         });
 
@@ -172,13 +295,13 @@ impl Gateway {
             })
         };
 
-        // Edge-state poller: refreshes the admission snapshot.
+        // Edge-state poller: publishes the admission snapshot.
         {
             let edge = Arc::clone(&edge);
             let refresh = config.edge_refresh;
             service_threads.push(std::thread::spawn(move || {
                 while !edge.shutdown.load(Ordering::SeqCst) {
-                    *edge.state.lock() = edge.engine.edge_state();
+                    edge.snapshot.publish(edge.fresh_snapshot());
                     std::thread::sleep(refresh);
                 }
             }));
@@ -186,14 +309,27 @@ impl Gateway {
 
         // Pump: advances engines with a stepped virtual clock (the
         // simulator). Self-driving engines return false and this thread
-        // idles cheaply.
+        // idles on the signal; submits notify it so work is picked up
+        // at wake latency, not on the next timeout tick.
         {
             let edge = Arc::clone(&edge);
             service_threads.push(std::thread::spawn(move || {
                 while !edge.shutdown.load(Ordering::SeqCst) {
-                    if !edge.engine.pump() {
-                        std::thread::sleep(Duration::from_millis(1));
+                    let observed = edge.pump_signal.arm();
+                    if edge.stepped && edge.engine.pump() {
+                        edge.pump_signal.disarm();
+                        continue;
                     }
+                    // Live engines are self-driving: their pump thread
+                    // just parks here (no per-request wakes reach it;
+                    // see `handle_request`) until shutdown's
+                    // force-notify.
+                    let idle = if edge.stepped {
+                        Duration::from_millis(1)
+                    } else {
+                        Duration::from_millis(200)
+                    };
+                    edge.pump_signal.wait_after(observed, idle);
                 }
             }));
         }
@@ -246,11 +382,20 @@ impl Gateway {
         self.edge.module_drops.snapshot()
     }
 
+    /// Admitted-but-unresolved requests currently in the pending table
+    /// (the `pard_gateway_pending_requests` gauge).
+    pub fn pending_len(&self) -> usize {
+        self.edge.pending.len()
+    }
+
     /// Stops accepting, drains in-flight requests (bounded by
     /// `drain_virtual` of virtual time and 30 s of wall time), stops
     /// the engine, and returns its request log.
     pub fn shutdown(self, drain_virtual: SimDuration) -> RequestLog {
         self.edge.shutdown.store(true, Ordering::SeqCst);
+        // Wake the pump thread out of its idle wait so it observes the
+        // flag now rather than on its next timeout tick.
+        self.edge.pump_signal.force_notify();
         for handle in self.service_threads {
             let _ = handle.join();
         }
@@ -270,8 +415,7 @@ impl Gateway {
         let deadline = std::time::Instant::now() + Duration::from_secs(30);
         let mut last_progress = std::time::Instant::now();
         loop {
-            let pending = self.edge.pending.lock().len();
-            if pending == 0 || std::time::Instant::now() >= deadline {
+            if self.edge.pending.is_empty() || std::time::Instant::now() >= deadline {
                 break;
             }
             if self.edge.engine.pump() {
@@ -289,11 +433,11 @@ impl Gateway {
         // any request the pipeline never resolves. Flushed requests are
         // answered and counted as drops, so no client hangs and the
         // admitted = ok + late + dropped invariant survives shutdown.
-        for (id, entry) in self.edge.pending.lock().drain() {
+        for (id, entry) in self.edge.pending.drain_entries() {
             self.edge.counters.dropped.incr();
-            let _ = entry
-                .conn_tx
-                .send(Response::dropped(id, entry.seq, false, "shutdown").encode());
+            let _ = entry.conn_tx.send(WriteItem::Reply(Response::dropped(
+                id, entry.seq, false, "shutdown",
+            )));
         }
         let conn_threads = std::mem::take(&mut *self.conn_threads.lock());
         for handle in conn_threads {
@@ -307,41 +451,54 @@ impl Gateway {
     }
 }
 
+/// Classifies one completion into its wire reply, bumping the serving
+/// counters — shared by the dispatcher (completion found its entry) and
+/// the reader thread (completion raced the insert and was parked).
+fn completion_reply(
+    completion: &Completion,
+    seq: Option<u64>,
+    counters: &ServingCounters,
+    module_drops: &ModuleDropCounters,
+) -> Response {
+    let latency_ms = completion
+        .latency()
+        .map(|d| d.as_millis_f64())
+        .unwrap_or(0.0);
+    match completion.outcome {
+        Outcome::Completed { .. } if completion.within_slo() => {
+            counters.completed_ok.incr();
+            Response::ok(completion.id, seq, latency_ms)
+        }
+        Outcome::Completed { .. } => {
+            counters.completed_late.incr();
+            Response::violated(completion.id, seq, latency_ms)
+        }
+        Outcome::Dropped { module, reason, .. } => {
+            counters.dropped.incr();
+            module_drops.record(module, reason);
+            Response::dropped(completion.id, seq, false, reason.label())
+        }
+        Outcome::InFlight => unreachable!("completions are terminal"),
+    }
+}
+
 fn dispatcher_loop(
     completions: Receiver<Completion>,
-    pending: Arc<Mutex<HashMap<u64, PendingEntry>>>,
+    pending: Arc<PendingMap<PendingEntry, Completion>>,
     counters: Arc<ServingCounters>,
     module_drops: Arc<ModuleDropCounters>,
 ) {
     // Ends when the engine (the only sender) shuts down.
     while let Ok(completion) = completions.recv() {
-        let entry = pending.lock().remove(&completion.id);
-        let Some(entry) = entry else {
-            // A request submitted outside the gateway (not expected) or
-            // already flushed during shutdown.
+        // An entry means the submit already filed it; otherwise the
+        // completion is parked in the shard and the inserting reader
+        // claims it (see `crate::pending`). A completion for a request
+        // flushed during shutdown parks harmlessly.
+        let Some(entry) = pending.take_or_stash(completion.id, completion) else {
             continue;
         };
-        let latency_ms = completion
-            .latency()
-            .map(|d| d.as_millis_f64())
-            .unwrap_or(0.0);
-        let response = match completion.outcome {
-            Outcome::Completed { .. } if completion.within_slo() => {
-                counters.completed_ok.incr();
-                Response::ok(completion.id, entry.seq, latency_ms)
-            }
-            Outcome::Completed { .. } => {
-                counters.completed_late.incr();
-                Response::violated(completion.id, entry.seq, latency_ms)
-            }
-            Outcome::Dropped { module, reason, .. } => {
-                counters.dropped.incr();
-                module_drops.record(module, reason);
-                Response::dropped(completion.id, entry.seq, false, reason.label())
-            }
-            Outcome::InFlight => unreachable!("completions are terminal"),
-        };
-        let _ = entry.conn_tx.send(response.encode());
+        let response = completion_reply(&completion, entry.seq, &counters, &module_drops);
+        let _ = entry.conn_tx.send(WriteItem::Reply(response));
     }
 }
 
@@ -350,6 +507,7 @@ fn accept_loop(
     edge: Arc<Edge>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
+    let mut last_reap = std::time::Instant::now();
     while !edge.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -365,8 +523,18 @@ fn accept_loop(
                 // not accumulate one handle per connection ever served.
                 threads.retain(|h: &JoinHandle<()>| !h.is_finished());
                 threads.push(handle);
+                last_reap = std::time::Instant::now();
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Reap on a timer too: an *idle* gateway would otherwise
+                // hold every dead JoinHandle until the next connection
+                // happens to arrive.
+                if last_reap.elapsed() >= REAP_INTERVAL {
+                    conn_threads
+                        .lock()
+                        .retain(|h: &JoinHandle<()>| !h.is_finished());
+                    last_reap = std::time::Instant::now();
+                }
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => break,
@@ -378,17 +546,41 @@ fn serve_connection(stream: TcpStream, edge: Arc<Edge>) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     stream.set_nodelay(true)?;
     let write_half = stream.try_clone()?;
-    let (conn_tx, conn_rx) = mpsc::channel::<String>();
+    let (conn_tx, conn_rx) = mpsc::channel::<WriteItem>();
 
     // Writer: sole serialiser of this connection's response lines.
+    // Replies are encoded into one reusable buffer, and the channel is
+    // drained per wakeup so a burst of completions costs one flush (one
+    // syscall), not one per reply.
     let writer = std::thread::spawn(move || {
         let mut out = io::BufWriter::new(write_half);
-        while let Ok(line) = conn_rx.recv() {
-            if writeln!(out, "{line}").is_err() || out.flush().is_err() {
+        let mut buf = String::with_capacity(256);
+        'serve: while let Ok(first) = conn_rx.recv() {
+            let mut item = first;
+            loop {
+                buf.clear();
+                match item {
+                    WriteItem::Reply(response) => response.encode_into(&mut buf),
+                    WriteItem::Line(line) => buf.push_str(&line),
+                }
+                buf.push('\n');
+                if out.write_all(buf.as_bytes()).is_err() {
+                    break 'serve;
+                }
+                match conn_rx.try_recv() {
+                    Ok(next) => item = next,
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                }
+            }
+            if out.flush().is_err() {
                 break;
             }
         }
     });
+
+    // Each reader caches the published admission snapshot, revalidated
+    // per request with one atomic epoch load.
+    let mut snapshots = SnapshotReader::new(&edge.snapshot);
 
     let mut reader = BufReader::new(stream);
     // Byte buffer + read_until, NOT read_line: read_line's UTF-8 guard
@@ -416,7 +608,7 @@ fn serve_connection(stream: TcpStream, edge: Arc<Edge>) -> io::Result<()> {
                 let text = String::from_utf8_lossy(&line);
                 let trimmed = text.trim();
                 if !trimmed.is_empty() {
-                    handle_request(trimmed, &edge, &conn_tx);
+                    handle_request(trimmed, &edge, &conn_tx, &mut snapshots);
                 }
                 line.clear();
             }
@@ -440,7 +632,7 @@ fn serve_connection(stream: TcpStream, edge: Arc<Edge>) -> io::Result<()> {
                     let text = String::from_utf8_lossy(&line);
                     let trimmed = text.trim();
                     if !trimmed.is_empty() {
-                        handle_request(trimmed, &edge, &conn_tx);
+                        handle_request(trimmed, &edge, &conn_tx, &mut snapshots);
                     }
                     line.clear();
                 }
@@ -462,17 +654,22 @@ fn serve_connection(stream: TcpStream, edge: Arc<Edge>) -> io::Result<()> {
     Ok(())
 }
 
-fn oversized_line(edge: &Edge, conn_tx: &Sender<String>) {
+fn oversized_line(edge: &Edge, conn_tx: &Sender<WriteItem>) {
     edge.counters.received.incr();
     edge.counters.protocol_errors.incr();
-    let _ = conn_tx.send(Response::error_line(
+    let _ = conn_tx.send(WriteItem::Line(Response::error_line(
         ErrorCode::Malformed,
         None,
         &format!("request line exceeds {MAX_LINE_BYTES} bytes; closing connection"),
-    ));
+    )));
 }
 
-fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
+fn handle_request(
+    line: &str,
+    edge: &Edge,
+    conn_tx: &Sender<WriteItem>,
+    snapshots: &mut SnapshotReader,
+) {
     let request = match ClientLine::decode(line) {
         // Replay control: steer a stepped engine's clock (live engines
         // ignore it). Not a request — no response, no serving counters.
@@ -488,22 +685,22 @@ fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
         Ok(ClientLine::Advance { .. }) => {
             edge.counters.received.incr();
             edge.counters.protocol_errors.incr();
-            let _ = conn_tx.send(Response::error_line(
+            let _ = conn_tx.send(WriteItem::Line(Response::error_line(
                 ErrorCode::Malformed,
                 None,
                 "deterministic replay is disabled on this gateway",
-            ));
+            )));
             return;
         }
         Ok(ClientLine::Request(request)) => {
             edge.counters.received.incr();
             if request.at_us.is_some() && !edge.allow_replay {
                 edge.counters.protocol_errors.incr();
-                let _ = conn_tx.send(Response::error_line(
+                let _ = conn_tx.send(WriteItem::Line(Response::error_line(
                     ErrorCode::Malformed,
                     request.seq,
                     "deterministic replay (\"at_us\") is disabled on this gateway",
-                ));
+                )));
                 return;
             }
             request
@@ -511,31 +708,35 @@ fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
         Err(e) => {
             edge.counters.received.incr();
             edge.counters.protocol_errors.incr();
-            let _ = conn_tx.send(Response::error_line(e.code, seq_hint(line), &e.message));
+            let _ = conn_tx.send(WriteItem::Line(Response::error_line(
+                e.code,
+                seq_hint(line),
+                &e.message,
+            )));
             return;
         }
     };
     if request.app != edge.app_name {
         edge.counters.protocol_errors.incr();
-        let _ = conn_tx.send(Response::error_line(
+        let _ = conn_tx.send(WriteItem::Line(Response::error_line(
             ErrorCode::UnknownApp,
             request.seq,
             &format!(
                 "unknown app {:?} (serving {:?})",
                 request.app, edge.app_name
             ),
-        ));
+        )));
         return;
     }
     if edge.shutdown.load(Ordering::SeqCst) {
         // `refused`, not `rejected`: this is gateway back-pressure, not
         // a PARD admission decision.
         edge.counters.refused.incr();
-        let _ = conn_tx.send(Response::error_line(
+        let _ = conn_tx.send(WriteItem::Line(Response::error_line(
             ErrorCode::ShuttingDown,
             request.seq,
             "gateway is shutting down",
-        ));
+        )));
         return;
     }
 
@@ -554,40 +755,40 @@ fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
         .map(SimDuration::from_millis)
         .unwrap_or(edge.engine.spec().slo);
     let deadline = now + slo;
-    // The decision is pure arithmetic over a few vectors; running it
-    // under the short snapshot lock beats cloning three Vecs per request.
+    // Ordinary traffic decides against the published snapshot — pure
+    // reads on shared immutable data, no lock on this path. Scheduled
+    // replay still takes a fresh snapshot at its exact arrival instant.
     let decision = if request.at_us.is_some() {
-        edge_decision(
-            now,
-            deadline,
-            &edge.engine.edge_state(),
-            edge.source,
-            &edge.paths,
-        )
+        edge.fresh_snapshot().decide(now, deadline)
     } else {
-        edge_decision(now, deadline, &edge.state.lock(), edge.source, &edge.paths)
+        snapshots.current(&edge.snapshot).decide(now, deadline)
     };
     match decision {
         Decision::Drop(reason) => {
             edge.counters.rejected.incr();
             let id = EDGE_ID_BASE + edge.edge_seq.fetch_add(1, Ordering::Relaxed);
-            let _ = conn_tx.send(Response::dropped(id, request.seq, true, reason.label()).encode());
+            let _ = conn_tx.send(WriteItem::Reply(Response::dropped(
+                id,
+                request.seq,
+                true,
+                reason.label(),
+            )));
         }
         Decision::Admit => {
-            // Holding the pending lock across submit closes the race
-            // with the dispatcher: a completion can only be routed once
-            // the entry is present.
-            let mut pending = edge.pending.lock();
-            if pending.len() >= edge.max_pending {
+            // Reserve capacity before the submit; the entry itself is
+            // filed right after, and the shard-level orphan parking
+            // closes the race with a completion firing in between (see
+            // `crate::pending`).
+            if !edge.pending.reserve() {
                 edge.counters.refused.incr();
-                let _ = conn_tx.send(Response::error_line(
+                let _ = conn_tx.send(WriteItem::Line(Response::error_line(
                     ErrorCode::Overloaded,
                     request.seq,
                     &format!(
                         "pending-request table is full ({} entries)",
-                        edge.max_pending
+                        edge.pending.capacity()
                     ),
-                ));
+                )));
                 return;
             }
             edge.counters.admitted.incr();
@@ -599,13 +800,29 @@ fn handle_request(line: &str, edge: &Edge, conn_tx: &Sender<String>) {
                 // [`pard_engine_api::SubmitSpec::at`]).
                 at: request.at_us.map(SimTime::from_micros),
             });
-            pending.insert(
+            // Give the pump thread the work immediately — stepped
+            // engines only; a live engine resolves work on its own
+            // threads and must not pay a per-request signal lock.
+            // Scheduled
+            // replay skips the wake: the replay connection drives the
+            // clock itself (each `advance_to` delivers due terminals),
+            // and waking the gated pump per arrival only makes it
+            // contend for the engine lock.
+            if edge.stepped && request.at_us.is_none() {
+                edge.pump_signal.notify();
+            }
+            if let Some(completion) = edge.pending.insert(
                 id,
                 PendingEntry {
                     conn_tx: conn_tx.clone(),
                     seq: request.seq,
                 },
-            );
+            ) {
+                // The completion beat the insert; answer it here.
+                let response =
+                    completion_reply(&completion, request.seq, &edge.counters, &edge.module_drops);
+                let _ = conn_tx.send(WriteItem::Reply(response));
+            }
         }
     }
 }
@@ -644,7 +861,7 @@ fn serve_metrics(stream: &mut TcpStream, edge: &Edge) -> io::Result<()> {
 pub fn render_metrics_text(
     snapshot: pard_metrics::CountersSnapshot,
     module_drops: &pard_metrics::ModuleDropsSnapshot,
-    state: &EdgeState,
+    state: &pard_engine_api::EdgeState,
     pending: usize,
 ) -> String {
     let mut body = snapshot.to_prometheus("pard_gateway");
@@ -670,19 +887,22 @@ pub fn render_metrics_text(
 }
 
 fn render_metrics(edge: &Edge) -> String {
-    let state = edge.state.lock().clone();
-    let pending = edge.pending.lock().len();
+    // The published snapshot is shared immutable data: rendering reads
+    // it through the same `Arc` the admission path uses instead of
+    // cloning the whole `EdgeState` per scrape.
+    let snapshot = edge.snapshot.load();
     render_metrics_text(
         edge.counters.snapshot(),
         &edge.module_drops.snapshot(),
-        &state,
-        pending,
+        snapshot.state(),
+        edge.pending.len(),
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pard_engine_api::EdgeState;
     use pard_sim::SimDuration;
 
     #[test]

