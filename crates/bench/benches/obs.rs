@@ -1,0 +1,82 @@
+//! Flight-recorder microbenchmarks: the per-event cost producers pay
+//! on the serving hot path.
+//!
+//! The recorder is enabled by default on the gateway edge and the
+//! runtime worker loop, so `record/*` is a per-request tax and must
+//! stay in the tens of nanoseconds: one ticket `fetch_add` plus a
+//! handful of atomic word stores — no lock, no allocation, no
+//! formatting. Serialization happens only in `dump`, which is rare and
+//! operator-driven, so its cost is reported for context rather than
+//! budgeted.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pard_metrics::DropReason;
+use pard_obs::{FlightRecorder, ObsEvent, ObsKind};
+use std::hint::black_box;
+
+fn edge_event(i: u64) -> ObsEvent {
+    ObsEvent {
+        t_us: 1_000_000 + i,
+        req: i,
+        kind: ObsKind::EdgeDecision {
+            lead_us: 12_000,
+            sub_us: 48_000,
+            slack_us: 31_000,
+            reason: if i.is_multiple_of(7) {
+                Some(DropReason::PredictedViolation)
+            } else {
+                None
+            },
+        },
+    }
+}
+
+fn stage_event(i: u64) -> ObsEvent {
+    ObsEvent {
+        t_us: 2_000_000 + i,
+        req: i,
+        kind: ObsKind::Stage {
+            module: (i % 4) as u16,
+            worker: (i % 2) as u16,
+            batch: 8,
+            arrived_us: 1_900_000 + i,
+            batched_us: 1_940_000 + i,
+            exec_start_us: 1_950_000 + i,
+            exec_end_us: 2_000_000 + i,
+        },
+    }
+}
+
+fn bench_recorder(c: &mut Criterion) {
+    let recorder = FlightRecorder::new();
+
+    let mut group = c.benchmark_group("flightrecorder");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("record_edge", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            recorder.record(black_box(&edge_event(i)));
+        })
+    });
+    group.bench_function("record_stage", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            recorder.record(black_box(&stage_event(i)));
+        })
+    });
+
+    // Dump cost for context: decode + copy of a fully warm 4096-slot
+    // ring (the events above already wrapped the default ring; use a
+    // small dedicated one so the figure is per-dump, not per-capacity).
+    let small = FlightRecorder::with_capacity(4096);
+    for i in 0..8192 {
+        small.record(&stage_event(i));
+    }
+    group.bench_function("dump_4k", |b| b.iter(|| black_box(small.dump()).len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorder);
+criterion_main!(benches);

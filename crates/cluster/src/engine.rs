@@ -21,6 +21,7 @@ use pard_core::{
     StatePlanner, SyncUpdate,
 };
 use pard_metrics::{DropReason, RequestLog, Reservoir, StageRecord};
+use pard_obs::{FlightRecorder, ObsEvent, ObsKind};
 use pard_pipeline::{graph, PipelineSpec};
 use pard_profile::{plan_batches, ModelProfile};
 use pard_sim::{DetRng, EventQueue, SimDuration, SimTime, Simulation, World};
@@ -30,6 +31,7 @@ use crate::config::{ClusterConfig, FaultSpec};
 use crate::request::{ReqStatus, RequestTable};
 use crate::worker::{BatchEntry, Worker, WorkerState};
 use pard_core::window::{LinearWeightedWindow, RateMeter};
+use std::sync::Arc;
 
 /// Events of the cluster world.
 #[derive(Clone, Copy, Debug)]
@@ -115,6 +117,12 @@ pub struct ClusterWorld {
     priority_log: Vec<PrioritySample>,
     horizon: SimTime,
     peak_workers: usize,
+    /// Flight recorder for lifecycle events (stage, drop, merge,
+    /// completion); `None` in trace-driven batch runs, installed by the
+    /// serving mode ([`crate::SimServer::set_recorder`]). Recording is
+    /// observation only — it never influences the event timeline, so a
+    /// recorded run stays bit-identical to an unrecorded one.
+    pub(crate) recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// Everything a run produces.
@@ -194,6 +202,15 @@ impl ClusterWorld {
             priority_log: Vec::new(),
             horizon,
             peak_workers: peak,
+            recorder: None,
+        }
+    }
+
+    /// Records one flight-recorder event, if a recorder is installed.
+    #[inline]
+    fn obs(&self, ev: ObsEvent) {
+        if let Some(r) = &self.recorder {
+            r.record(&ev);
         }
     }
 
@@ -203,6 +220,14 @@ impl ClusterWorld {
         if req.status == ReqStatus::Active {
             req.mark_dropped(module, now, reason);
             self.modules[module].drop_meter.record(now);
+            self.obs(ObsEvent {
+                t_us: now.as_micros(),
+                req: id,
+                kind: ObsKind::Dropped {
+                    module: module as u16,
+                    reason,
+                },
+            });
         }
     }
 
@@ -347,8 +372,17 @@ impl ClusterWorld {
         } else {
             self.modules[module].pres_count
         };
-        if required > 1 && !self.requests.get_mut(req).deliver(module, required) {
-            return; // waiting for the other branch(es)
+        if required > 1 {
+            if !self.requests.get_mut(req).deliver(module, required) {
+                return; // waiting for the other branch(es)
+            }
+            self.obs(ObsEvent {
+                t_us: now.as_micros(),
+                req,
+                kind: ObsKind::MergeRelease {
+                    module: module as u16,
+                },
+            });
         }
         self.modules[module].input_meter.record(now);
         let meta = ReqMeta {
@@ -396,6 +430,19 @@ impl ClusterWorld {
                 gpu_share,
             };
             wcl_samples.push(now.saturating_since(e.arrived).as_millis_f64());
+            self.obs(ObsEvent {
+                t_us: now.as_micros(),
+                req: e.req,
+                kind: ObsKind::Stage {
+                    module: m as u16,
+                    worker: w as u16,
+                    batch: batch_len as u16,
+                    arrived_us: e.arrived.as_micros(),
+                    batched_us: e.batched.as_micros(),
+                    exec_start_us: t_e.as_micros(),
+                    exec_end_us: now.as_micros(),
+                },
+            });
             let record = self.requests.get_mut(e.req);
             record.stages.push(stage);
             record.completed_modules[m] = true;
@@ -403,7 +450,16 @@ impl ClusterWorld {
                 continue; // dropped elsewhere while executing
             }
             if subs.is_empty() {
+                let deadline = record.deadline;
                 record.mark_completed(now);
+                self.obs(ObsEvent {
+                    t_us: now.as_micros(),
+                    req: e.req,
+                    kind: ObsKind::Completed {
+                        finished_us: now.as_micros(),
+                        deadline_us: deadline.as_micros(),
+                    },
+                });
             } else if self.config.dynamic_paths && subs.len() > 1 {
                 // Dynamic DAG: the branch depends on this request's
                 // intermediate result — modelled as a uniform choice.

@@ -167,6 +167,14 @@ impl SimServer {
         self.unresolved.len()
     }
 
+    /// Installs a flight recorder: from now on every lifecycle event
+    /// (stage execution, drop, merge-barrier release, completion) is
+    /// recorded with its virtual timestamp. Observation only — the
+    /// event timeline is bit-identical with or without a recorder.
+    pub fn set_recorder(&mut self, recorder: std::sync::Arc<pard_obs::FlightRecorder>) {
+        self.sim.world_mut().recorder = Some(recorder);
+    }
+
     /// Releases the replay clock gate, returning to ungated serving
     /// (pump advances freely while requests are unresolved). Ordinary
     /// (un-scheduled) traffic arriving on a previously gated server

@@ -2,8 +2,10 @@
 //! engine, and nothing else.
 
 use std::sync::mpsc::Sender;
+use std::sync::Arc;
 
 use pard_metrics::RequestLog;
+use pard_obs::FlightRecorder;
 use pard_pipeline::PipelineSpec;
 use pard_runtime::{Completion, EdgeState};
 use pard_sim::{SimDuration, SimTime};
@@ -110,4 +112,17 @@ pub trait EngineHandle: Send + Sync {
     /// call takes the log and drops the completion sink; later calls
     /// return an empty log.
     fn drain(&self, limit: SimDuration) -> RequestLog;
+
+    /// The engine's flight recorder, if it records lifecycle events.
+    ///
+    /// Both shipped engines (sim and live) record by default with the
+    /// same event vocabulary and clocks, so a front-end can expose one
+    /// `/flightrecord` endpoint — and a harness can explain a diverging
+    /// golden — without caring which engine is behind the handle. The
+    /// front-end also records its *edge* events (admission decisions
+    /// with their Eq. 3 inputs) into the same ring, keeping one
+    /// time-ordered stream per engine.
+    fn telemetry(&self) -> Option<Arc<FlightRecorder>> {
+        None
+    }
 }

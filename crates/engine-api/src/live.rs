@@ -1,8 +1,10 @@
 //! [`EngineHandle`] over the live threaded runtime.
 
 use std::sync::mpsc::Sender;
+use std::sync::Arc;
 
 use pard_metrics::RequestLog;
+use pard_obs::FlightRecorder;
 use pard_pipeline::PipelineSpec;
 use pard_runtime::{Completion, EdgeState, LiveCluster, SubmitOptions};
 use pard_sim::{SimDuration, SimTime};
@@ -54,5 +56,9 @@ impl EngineHandle for LiveEngine {
 
     fn drain(&self, limit: SimDuration) -> RequestLog {
         self.cluster.drain(limit)
+    }
+
+    fn telemetry(&self) -> Option<Arc<FlightRecorder>> {
+        Some(self.cluster.recorder())
     }
 }

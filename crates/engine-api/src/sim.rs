@@ -3,11 +3,13 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use pard_cluster::{SimServer, TerminalEvent};
 use pard_metrics::RequestLog;
+use pard_obs::FlightRecorder;
 use pard_pipeline::PipelineSpec;
 use pard_runtime::{Completion, EdgeState};
 use pard_sim::{SimDuration, SimTime};
@@ -79,15 +81,23 @@ pub struct SimEngine {
     /// scheduled arrival, so the stamp a replayed request observes is
     /// still a pure function of the schedule.
     now_us: AtomicU64,
+    /// Flight recorder shared with the wrapped server's world; handed
+    /// out by [`EngineHandle::telemetry`] so front-ends can add edge
+    /// events and dump the combined stream.
+    recorder: Arc<FlightRecorder>,
     inner: Mutex<Inner>,
 }
 
 impl SimEngine {
-    /// Wraps a stepped simulation server.
-    pub fn new(server: SimServer) -> SimEngine {
+    /// Wraps a stepped simulation server; lifecycle events are
+    /// recorded into a fresh default-capacity [`FlightRecorder`].
+    pub fn new(mut server: SimServer) -> SimEngine {
+        let recorder = Arc::new(FlightRecorder::new());
+        server.set_recorder(Arc::clone(&recorder));
         SimEngine {
             spec: server.spec().clone(),
             now_us: AtomicU64::new(server.now().as_micros()),
+            recorder,
             inner: Mutex::new(Inner {
                 server,
                 tags: HashMap::new(),
@@ -181,5 +191,9 @@ impl EngineHandle for SimEngine {
         inner.sink = None;
         self.publish_now(&inner);
         inner.server.take_log()
+    }
+
+    fn telemetry(&self) -> Option<Arc<FlightRecorder>> {
+        Some(Arc::clone(&self.recorder))
     }
 }

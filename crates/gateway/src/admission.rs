@@ -111,6 +111,45 @@ impl AdmissionFloor {
         let inputs = DecisionInputs::at_edge_with_lead(now, self.lead, self.exec, self.sub);
         proactive_decision(&req, &inputs)
     }
+
+    /// [`AdmissionFloor::decide`] plus the inputs it weighed, in the
+    /// units the flight recorder stores — so an observer can replay
+    /// *why*: the decision drops exactly when `sub_us > slack_us`
+    /// (or the slack itself has gone negative).
+    pub fn decide_traced(&self, now: SimTime, deadline: SimTime) -> (Decision, EdgeTrace) {
+        let budget = deadline.as_micros() as i64 - now.as_micros() as i64;
+        let trace = EdgeTrace {
+            lead_us: self.lead.as_micros(),
+            sub_us: self.sub.total.as_micros(),
+            slack_us: budget - self.lead.as_micros() as i64 - self.exec.as_micros() as i64,
+        };
+        (self.decide(now, deadline), trace)
+    }
+
+    /// Queued-batch delay ahead of an arriving request at the source.
+    pub fn lead(&self) -> SimDuration {
+        self.lead
+    }
+
+    /// Critical-downstream-path estimate (`L_sub`) total.
+    pub fn sub_total(&self) -> SimDuration {
+        self.sub.total
+    }
+}
+
+/// The Eq. 3 inputs behind one edge decision, as recorded in the
+/// flight recorder's `edge` events: the queued-batch lead at the
+/// source, the downstream estimate `L_sub`, and the slack
+/// `(deadline − now) − lead − exec` it was compared against (negative
+/// when the budget is already consumed by the source module alone).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeTrace {
+    /// Queued-batch delay ahead of the request at the source (µs).
+    pub lead_us: u64,
+    /// Critical-downstream-path estimate total (µs).
+    pub sub_us: u64,
+    /// Remaining budget after the source's lead and execution (µs).
+    pub slack_us: i64,
 }
 
 /// An immutable, epoch-published view of the serving state: the raw
@@ -136,6 +175,18 @@ impl EdgeSnapshot {
     #[inline]
     pub fn decide(&self, now: SimTime, deadline: SimTime) -> Decision {
         self.floor.decide(now, deadline)
+    }
+
+    /// [`EdgeSnapshot::decide`] plus the Eq. 3 inputs it weighed (see
+    /// [`AdmissionFloor::decide_traced`]).
+    #[inline]
+    pub fn decide_traced(&self, now: SimTime, deadline: SimTime) -> (Decision, EdgeTrace) {
+        self.floor.decide_traced(now, deadline)
+    }
+
+    /// The precomputed admission floor (for telemetry frames).
+    pub fn floor(&self) -> &AdmissionFloor {
+        &self.floor
     }
 
     /// The underlying edge state (for `/metrics` rendering).
@@ -343,6 +394,33 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_decision_matches_decide_and_explains_it() {
+        // The trace is the decision's own arithmetic: a predicted drop
+        // happens exactly when L_sub exceeds the slack (and an expired
+        // deadline shows as negative slack).
+        let paths = chain_paths();
+        for q0 in [0usize, 3, 8, 40, 400] {
+            let snapshot = EdgeSnapshot::new(state(vec![q0, 1, 0]), 0, &paths);
+            let now = SimTime::from_millis(100);
+            for deadline in [
+                now + SimDuration::from_millis(1),
+                now + SimDuration::from_millis(90),
+                now + SimDuration::from_millis(400),
+                SimTime::from_millis(50), // already expired
+            ] {
+                let (decision, trace) = snapshot.decide_traced(now, deadline);
+                assert_eq!(decision, snapshot.decide(now, deadline));
+                let dropped = matches!(decision, Decision::Drop(_));
+                assert_eq!(
+                    dropped,
+                    trace.slack_us < 0 || trace.sub_us as i64 > trace.slack_us,
+                    "q0={q0} deadline={deadline:?} trace={trace:?}"
+                );
             }
         }
     }

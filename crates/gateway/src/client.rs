@@ -134,6 +134,19 @@ impl Outcome {
     pub fn is_ok(&self) -> bool {
         matches!(self, Outcome::Ok { .. })
     }
+
+    /// The server-assigned request id, when the outcome carries one —
+    /// the key for flight-recorder lookups. `Rejected` envelopes have
+    /// no engine-side identity.
+    pub fn id(&self) -> Option<u64> {
+        match *self {
+            Outcome::Ok { id, .. }
+            | Outcome::Violated { id, .. }
+            | Outcome::DroppedEdge { id, .. }
+            | Outcome::DroppedPipeline { id, .. } => Some(id),
+            Outcome::Rejected { .. } => None,
+        }
+    }
 }
 
 /// One answered request.

@@ -35,14 +35,17 @@ pub mod client;
 pub mod loadgen;
 pub mod pending;
 pub mod server;
+pub mod telemetry;
 pub mod wire;
 
 pub use admission::{
-    edge_decision, edge_sub_estimate, AdmissionFloor, EdgePublisher, EdgeSnapshot, SnapshotReader,
+    edge_decision, edge_sub_estimate, AdmissionFloor, EdgePublisher, EdgeSnapshot, EdgeTrace,
+    SnapshotReader,
 };
 pub use bench::{BenchRow, BenchRun, Trajectory};
 pub use client::{Answer, CallSpec, Client, Drained};
 pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport, Pace};
 pub use pending::PendingMap;
 pub use server::{Gateway, GatewayConfig, EDGE_ID_BASE};
+pub use telemetry::RttWindow;
 pub use wire::{ErrorCode, Reply, Request, Response, ServerError, WireError, WireOutcome};

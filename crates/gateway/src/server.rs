@@ -55,11 +55,13 @@ use parking_lot::{Condvar, Mutex};
 
 use pard_core::Decision;
 use pard_engine_api::{Completion, EngineHandle, SubmitSpec};
-use pard_metrics::{ModuleDropCounters, Outcome, RequestLog, ServingCounters};
+use pard_metrics::{DropReason, ModuleDropCounters, Outcome, RequestLog, ServingCounters};
+use pard_obs::{EngineFrame, FlightRecorder, FrameBus, ObsEvent, ObsKind};
 use pard_sim::{SimDuration, SimTime};
 
 use crate::admission::{EdgePublisher, EdgeSnapshot, SnapshotReader};
 use crate::pending::PendingMap;
+use crate::telemetry::{window_rates, RttWindow, DEFAULT_RTT_SAMPLES};
 use crate::wire::{seq_hint, ClientLine, ErrorCode, Response};
 
 /// Hard cap on one request line; a connection exceeding it gets an
@@ -100,6 +102,9 @@ pub struct GatewayConfig {
     /// untrusting clients; such requests are then answered with a
     /// `malformed` envelope.
     pub allow_replay: bool,
+    /// How often the telemetry sampler publishes an [`EngineFrame`]
+    /// (the `/events` stream's cadence, wall clock).
+    pub telemetry_period: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -110,6 +115,7 @@ impl Default for GatewayConfig {
             edge_refresh: Duration::from_millis(10),
             max_pending: 8192,
             allow_replay: true,
+            telemetry_period: Duration::from_millis(100),
         }
     }
 }
@@ -226,6 +232,18 @@ struct Edge {
     /// pump, so per-request submit paths must not touch the pump
     /// signal for them at all.
     stepped: bool,
+    /// The engine's flight recorder ([`EngineHandle::telemetry`]);
+    /// edge admission decisions are recorded into the same ring the
+    /// engine writes its lifecycle events to, so `/flightrecord`
+    /// serves one time-ordered stream.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// The `/events` stream's frame bus: the sampler publishes, SSE
+    /// subscribers wait. Laggy subscribers skip to the latest frame
+    /// and can never block the sampler.
+    frames: Arc<FrameBus>,
+    /// Rolling RTT window behind `pard_gateway_rtt_us` and the frame
+    /// quantiles; completions push, scrapes read.
+    rtt: Arc<RttWindow>,
 }
 
 impl Edge {
@@ -233,6 +251,32 @@ impl Edge {
     /// state (the poller tick, and the scheduled-replay path).
     fn fresh_snapshot(&self) -> EdgeSnapshot {
         EdgeSnapshot::new(self.engine.edge_state(), self.source, &self.paths)
+    }
+
+    /// Records one edge admission decision into the engine's flight
+    /// recorder: the Eq. 3 inputs plus the verdict. `reason` is the
+    /// drop reason for rejections, `None` for admissions. Costs one
+    /// ring write; a no-op for engines without a recorder.
+    #[inline]
+    fn record_edge_decision(
+        &self,
+        now: SimTime,
+        id: u64,
+        trace: &crate::admission::EdgeTrace,
+        reason: Option<DropReason>,
+    ) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record(&ObsEvent {
+                t_us: now.as_micros(),
+                req: id,
+                kind: ObsKind::EdgeDecision {
+                    lead_us: trace.lead_us,
+                    sub_us: trace.sub_us,
+                    slack_us: trace.slack_us,
+                    reason,
+                },
+            });
+        }
     }
 }
 
@@ -264,6 +308,7 @@ impl Gateway {
 
         let source = engine.spec().source();
         let paths = pard_pipeline::graph::downstream_paths(engine.spec(), source);
+        let recorder = engine.telemetry();
         let edge = Arc::new(Edge {
             snapshot: EdgePublisher::new(EdgeSnapshot::new(engine.edge_state(), source, &paths)),
             counters: Arc::new(ServingCounters::new()),
@@ -277,6 +322,9 @@ impl Gateway {
             edge_seq: AtomicU64::new(0),
             allow_replay: config.allow_replay,
             stepped: engine.stepped(),
+            recorder,
+            frames: Arc::new(FrameBus::new()),
+            rtt: Arc::new(RttWindow::new(DEFAULT_RTT_SAMPLES)),
             engine,
         });
 
@@ -290,8 +338,9 @@ impl Gateway {
             let pending = Arc::clone(&edge.pending);
             let counters = Arc::clone(&edge.counters);
             let module_drops = Arc::clone(&edge.module_drops);
+            let rtt = Arc::clone(&edge.rtt);
             std::thread::spawn(move || {
-                dispatcher_loop(completion_rx, pending, counters, module_drops)
+                dispatcher_loop(completion_rx, pending, counters, module_drops, rtt)
             })
         };
 
@@ -343,6 +392,29 @@ impl Gateway {
             }));
         }
 
+        // Telemetry sampler: periodically folds the serving counters,
+        // the published admission snapshot, and the RTT window into an
+        // EngineFrame and publishes it on the frame bus. Off the hot
+        // path entirely — per-request work never waits on it.
+        {
+            let edge = Arc::clone(&edge);
+            let period = config.telemetry_period;
+            service_threads.push(std::thread::spawn(move || {
+                let mut seq = 0u64;
+                let mut prev = edge.counters.snapshot();
+                loop {
+                    let (frame, counts) = build_frame(&edge, seq, &prev);
+                    prev = counts;
+                    edge.frames.publish(frame);
+                    seq += 1;
+                    if edge.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::sleep(period);
+                }
+            }));
+        }
+
         // Metrics endpoint.
         {
             let edge = Arc::clone(&edge);
@@ -386,6 +458,19 @@ impl Gateway {
     /// (the `pard_gateway_pending_requests` gauge).
     pub fn pending_len(&self) -> usize {
         self.edge.pending.len()
+    }
+
+    /// The engine's flight recorder, if it records lifecycle events —
+    /// the same ring `/flightrecord` serves.
+    pub fn recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.edge.recorder.clone()
+    }
+
+    /// The telemetry frame bus the `/events` stream serves; in-process
+    /// consumers can subscribe directly with
+    /// [`pard_obs::FrameBus::wait_newer`].
+    pub fn frames(&self) -> Arc<FrameBus> {
+        Arc::clone(&self.edge.frames)
     }
 
     /// Stops accepting, drains in-flight requests (bounded by
@@ -459,6 +544,7 @@ fn completion_reply(
     seq: Option<u64>,
     counters: &ServingCounters,
     module_drops: &ModuleDropCounters,
+    rtt: &RttWindow,
 ) -> Response {
     let latency_ms = completion
         .latency()
@@ -467,10 +553,12 @@ fn completion_reply(
     match completion.outcome {
         Outcome::Completed { .. } if completion.within_slo() => {
             counters.completed_ok.incr();
+            rtt.push(latency_ms * 1000.0);
             Response::ok(completion.id, seq, latency_ms)
         }
         Outcome::Completed { .. } => {
             counters.completed_late.incr();
+            rtt.push(latency_ms * 1000.0);
             Response::violated(completion.id, seq, latency_ms)
         }
         Outcome::Dropped { module, reason, .. } => {
@@ -487,6 +575,7 @@ fn dispatcher_loop(
     pending: Arc<PendingMap<PendingEntry, Completion>>,
     counters: Arc<ServingCounters>,
     module_drops: Arc<ModuleDropCounters>,
+    rtt: Arc<RttWindow>,
 ) {
     // Ends when the engine (the only sender) shuts down.
     while let Ok(completion) = completions.recv() {
@@ -497,7 +586,7 @@ fn dispatcher_loop(
         let Some(entry) = pending.take_or_stash(completion.id, completion) else {
             continue;
         };
-        let response = completion_reply(&completion, entry.seq, &counters, &module_drops);
+        let response = completion_reply(&completion, entry.seq, &counters, &module_drops, &rtt);
         let _ = entry.conn_tx.send(WriteItem::Reply(response));
     }
 }
@@ -758,15 +847,20 @@ fn handle_request(
     // Ordinary traffic decides against the published snapshot — pure
     // reads on shared immutable data, no lock on this path. Scheduled
     // replay still takes a fresh snapshot at its exact arrival instant.
-    let decision = if request.at_us.is_some() {
-        edge.fresh_snapshot().decide(now, deadline)
+    // The traced variant carries the Eq. 3 inputs alongside the
+    // decision so the flight recorder can explain it later.
+    let (decision, trace) = if request.at_us.is_some() {
+        edge.fresh_snapshot().decide_traced(now, deadline)
     } else {
-        snapshots.current(&edge.snapshot).decide(now, deadline)
+        snapshots
+            .current(&edge.snapshot)
+            .decide_traced(now, deadline)
     };
     match decision {
         Decision::Drop(reason) => {
             edge.counters.rejected.incr();
             let id = EDGE_ID_BASE + edge.edge_seq.fetch_add(1, Ordering::Relaxed);
+            edge.record_edge_decision(now, id, &trace, Some(reason));
             let _ = conn_tx.send(WriteItem::Reply(Response::dropped(
                 id,
                 request.seq,
@@ -800,6 +894,7 @@ fn handle_request(
                 // [`pard_engine_api::SubmitSpec::at`]).
                 at: request.at_us.map(SimTime::from_micros),
             });
+            edge.record_edge_decision(now, id, &trace, None);
             // Give the pump thread the work immediately — stepped
             // engines only; a live engine resolves work on its own
             // threads and must not pay a per-request signal lock.
@@ -819,19 +914,82 @@ fn handle_request(
                 },
             ) {
                 // The completion beat the insert; answer it here.
-                let response =
-                    completion_reply(&completion, request.seq, &edge.counters, &edge.module_drops);
+                let response = completion_reply(
+                    &completion,
+                    request.seq,
+                    &edge.counters,
+                    &edge.module_drops,
+                    &edge.rtt,
+                );
                 let _ = conn_tx.send(WriteItem::Reply(response));
             }
         }
     }
 }
 
+/// One telemetry sample: the cumulative serving counters plus window
+/// rates differenced against `prev`, the published admission
+/// snapshot's queue state and floor, the pending gauge, the summed
+/// per-reason drop counters, and the rolling RTT quantiles. Returns
+/// the counter snapshot it used so the sampler differences the next
+/// frame against exactly what this one reported.
+fn build_frame(
+    edge: &Edge,
+    seq: u64,
+    prev: &pard_metrics::CountersSnapshot,
+) -> (EngineFrame, pard_metrics::CountersSnapshot) {
+    let counts = edge.counters.snapshot();
+    let snapshot = edge.snapshot.load();
+    let state = snapshot.state();
+    let floor = snapshot.floor();
+    let module_drops = edge.module_drops.snapshot();
+    let mut drops_by_reason = vec![0u64; DropReason::ALL.len()];
+    for module in &module_drops.counts {
+        for (total, n) in drops_by_reason.iter_mut().zip(module) {
+            *total += n;
+        }
+    }
+    let rates = window_rates(prev, &counts);
+    let [p50, p95, p99] = edge.rtt.quantiles();
+    let frame = EngineFrame {
+        seq,
+        t_us: edge.engine.now().as_micros(),
+        queues: state.queue_depths.clone(),
+        workers: state.workers.clone(),
+        pending: edge.pending.len(),
+        floor_lead_us: floor.lead().as_micros(),
+        floor_sub_us: floor.sub_total().as_micros(),
+        received: counts.received,
+        admitted: counts.admitted,
+        rejected: counts.rejected,
+        refused: counts.refused,
+        completed_ok: counts.completed_ok,
+        completed_late: counts.completed_late,
+        dropped: counts.dropped,
+        drops_by_reason,
+        window_goodput: rates.goodput,
+        window_violation: rates.violation,
+        window_drop: rates.drop,
+        rtt_p50_us: p50,
+        rtt_p95_us: p95,
+        rtt_p99_us: p99,
+    };
+    (frame, counts)
+}
+
 fn metrics_loop(listener: TcpListener, edge: Arc<Edge>) {
+    // Each accepted connection gets its own thread: an `/events`
+    // subscriber holds its connection open indefinitely and must not
+    // block `/metrics` scrapes behind it.
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !edge.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((mut stream, _)) => {
-                let _ = serve_metrics(&mut stream, &edge);
+            Ok((stream, _)) => {
+                let edge = Arc::clone(&edge);
+                conns.retain(|h| !h.is_finished());
+                conns.push(std::thread::spawn(move || {
+                    let _ = serve_http(stream, &edge);
+                }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -839,21 +997,162 @@ fn metrics_loop(listener: TcpListener, edge: Arc<Edge>) {
             Err(_) => break,
         }
     }
+    // Streaming handlers observe the shutdown flag within one wait
+    // timeout; one-shot handlers are already gone or about to be.
+    for handle in conns {
+        let _ = handle.join();
+    }
 }
 
-fn serve_metrics(stream: &mut TcpStream, edge: &Edge) -> io::Result<()> {
+/// Minimal HTTP/1.x router for the observability listener: parse the
+/// request line, drain the header block, dispatch on the path — one
+/// request per connection. A malformed request line gets `400`, a
+/// non-GET method `405`, an unknown path `404`; each as a proper
+/// response instead of the old behaviour of answering every byte
+/// stream with the `/metrics` body.
+fn serve_http(stream: TcpStream, edge: &Edge) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    // Consume the request head; the path is irrelevant (everything is
-    // /metrics) but draining avoids RSTs on keep-alive clients.
-    let mut buf = [0u8; 1024];
-    let _ = stream.read(&mut buf);
-    let body = render_metrics(edge);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() || line.trim().is_empty() {
+        return Ok(()); // client vanished before sending a request line
+    }
+    // Drain the header block so the close after a one-shot response is
+    // a clean FIN — a client still mid-send would otherwise see an RST
+    // clobber the response in flight. Bounded by the read timeout.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(n) if n > 0 && header != "\r\n" && header != "\n" => continue,
+            _ => break,
+        }
+    }
+    let mut stream = stream;
+    let Some((method, target)) = parse_request_line(&line) else {
+        return respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain",
+            "malformed request line\n",
+        );
+    };
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        );
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (target, None),
+    };
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4",
+            &render_metrics(edge),
+        ),
+        "/events" => serve_events(&mut stream, edge),
+        "/flightrecord" => serve_flightrecord(&mut stream, edge, query),
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "unknown path; try /metrics, /events, or /flightrecord\n",
+        ),
+    }
+}
+
+/// Splits a `METHOD SP TARGET SP HTTP/x.y` request line; `None` when
+/// the line does not have that shape.
+fn parse_request_line(line: &str) -> Option<(&str, &str)> {
+    let mut parts = line.trim_end().split(' ');
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if method.is_empty()
+        || !target.starts_with('/')
+        || !version.starts_with("HTTP/")
+        || parts.next().is_some()
+    {
+        return None;
+    }
+    Some((method, target))
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
-        body
     )
+}
+
+/// `GET /events`: streams telemetry frames as server-sent events, one
+/// `data:` line of JSON per frame. The subscriber always receives the
+/// *latest* frame — a laggy consumer skips intermediate frames rather
+/// than backpressuring the sampler — and the stream ends at shutdown
+/// or when the client disconnects.
+fn serve_events(stream: &mut TcpStream, edge: &Edge) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut seen = 0u64;
+    while !edge.shutdown.load(Ordering::SeqCst) {
+        // The timeout exists only to re-check the shutdown flag.
+        let Some((epoch, frame)) = edge.frames.wait_newer(seen, Duration::from_millis(250)) else {
+            continue;
+        };
+        seen = epoch;
+        write!(stream, "data: {}\n\n", frame.to_json_line())?;
+    }
+    Ok(())
+}
+
+/// `GET /flightrecord[?last_us=N]`: dumps the engine's flight-recorder
+/// ring as JSONL, oldest event first — the whole retained window, or
+/// only events within `N` microseconds of the newest one.
+fn serve_flightrecord(stream: &mut TcpStream, edge: &Edge, query: Option<&str>) -> io::Result<()> {
+    let last_us = match query
+        .into_iter()
+        .flat_map(|q| q.split('&'))
+        .find_map(|kv| kv.strip_prefix("last_us="))
+    {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                return respond(
+                    stream,
+                    "400 Bad Request",
+                    "text/plain",
+                    "last_us must be an unsigned integer of microseconds\n",
+                )
+            }
+        },
+        None => None,
+    };
+    let Some(recorder) = &edge.recorder else {
+        return respond(
+            stream,
+            "404 Not Found",
+            "text/plain",
+            "the engine behind this gateway exposes no flight recorder\n",
+        );
+    };
+    let events = match last_us {
+        Some(n) => recorder.dump_last_us(n),
+        None => recorder.dump(),
+    };
+    let mut body = String::with_capacity(events.len() * 96 + 1);
+    for event in &events {
+        body.push_str(&event.to_json_line());
+        body.push('\n');
+    }
+    respond(stream, "200 OK", "application/x-ndjson", &body)
 }
 
 /// Renders the Prometheus text exposition: the serving counters, the
@@ -891,12 +1190,17 @@ fn render_metrics(edge: &Edge) -> String {
     // it through the same `Arc` the admission path uses instead of
     // cloning the whole `EdgeState` per scrape.
     let snapshot = edge.snapshot.load();
-    render_metrics_text(
+    let mut body = render_metrics_text(
         edge.counters.snapshot(),
         &edge.module_drops.snapshot(),
         snapshot.state(),
         edge.pending.len(),
-    )
+    );
+    body.push_str(&crate::telemetry::render_rtt_lines(
+        "pard_gateway",
+        edge.rtt.quantiles(),
+    ));
+    body
 }
 
 #[cfg(test)]
@@ -960,19 +1264,28 @@ mod tests {
         };
         let drops = pard_metrics::ModuleDropCounters::new(2);
         drops.record(0, pard_metrics::DropReason::WorkerFailed);
-        let text = render_metrics_text(
+        let mut text = render_metrics_text(
             pard_metrics::CountersSnapshot::default(),
             &drops.snapshot(),
             &state,
             0,
         );
+        // The full scrape appends the RTT summary family; hold it to
+        // the same contract.
+        text.push_str(&crate::telemetry::render_rtt_lines(
+            "pard_gateway",
+            [150.0, 900.0, 1200.5],
+        ));
         for line in text.lines() {
             if let Some(rest) = line.strip_prefix("# TYPE ") {
                 let mut parts = rest.split_whitespace();
                 let name = parts.next().expect("metric name");
                 assert!(name.starts_with("pard_gateway_"), "{line}");
                 let kind = parts.next().expect("metric kind");
-                assert!(kind == "counter" || kind == "gauge", "{line}");
+                assert!(
+                    kind == "counter" || kind == "gauge" || kind == "summary",
+                    "{line}"
+                );
                 assert_eq!(parts.next(), None, "{line}");
             } else {
                 let (series, value) = line.rsplit_once(' ').expect("sample line");
@@ -989,6 +1302,29 @@ mod tests {
                 assert!(value.parse::<f64>().is_ok(), "{line}");
             }
         }
+    }
+
+    #[test]
+    fn request_line_parser_accepts_http_and_rejects_noise() {
+        assert_eq!(
+            parse_request_line("GET /metrics HTTP/1.1\r\n"),
+            Some(("GET", "/metrics"))
+        );
+        assert_eq!(
+            parse_request_line("GET /flightrecord?last_us=5000 HTTP/1.0\n"),
+            Some(("GET", "/flightrecord?last_us=5000"))
+        );
+        assert_eq!(
+            parse_request_line("POST /events HTTP/1.1\r\n"),
+            Some(("POST", "/events"))
+        );
+        // Shapes that must 400: too few or too many tokens, a target
+        // that is not origin-form, a version that is not HTTP.
+        assert_eq!(parse_request_line("GET /metrics\r\n"), None);
+        assert_eq!(parse_request_line("GET /metrics HTTP/1.1 extra\r\n"), None);
+        assert_eq!(parse_request_line("GET metrics HTTP/1.1\r\n"), None);
+        assert_eq!(parse_request_line("GET /metrics SPDY/3\r\n"), None);
+        assert_eq!(parse_request_line("{\"app\":\"tm\"}\r\n"), None);
     }
 
     #[test]

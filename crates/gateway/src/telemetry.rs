@@ -1,0 +1,180 @@
+//! Gateway-side telemetry: the rolling RTT window behind the
+//! `pard_gateway_rtt_us` quantile family, and the helpers the sampler
+//! thread uses to turn serving-counter deltas into per-frame rates.
+//!
+//! The heavy machinery lives in `pard-obs` (the flight recorder ring
+//! and the epoch-published [`pard_obs::FrameBus`]); this module holds
+//! only what is specific to the serving front-end. Nothing here sits
+//! on the per-request hot path except [`RttWindow::push`], which is
+//! one short mutex hold on the *completion* side (amortised against a
+//! full pipeline traversal, not against admission).
+
+use parking_lot::Mutex;
+
+use pard_metrics::stats;
+use pard_metrics::CountersSnapshot;
+
+/// Default number of RTT samples retained (a ring: old samples fall
+/// off as new completions land).
+pub const DEFAULT_RTT_SAMPLES: usize = 4096;
+
+/// A fixed-capacity rolling window of request round-trip times in
+/// microseconds. Completions push; the `/metrics` scrape and the
+/// telemetry sampler read p50/p95/p99 over whatever the window holds.
+pub struct RttWindow {
+    inner: Mutex<Ring>,
+}
+
+struct Ring {
+    samples: Vec<f64>,
+    /// Next write position once the ring has wrapped.
+    cursor: usize,
+    cap: usize,
+}
+
+impl RttWindow {
+    /// Creates a window retaining the last `cap` samples (min 1).
+    pub fn new(cap: usize) -> RttWindow {
+        RttWindow {
+            inner: Mutex::new(Ring {
+                samples: Vec::new(),
+                cursor: 0,
+                cap: cap.max(1),
+            }),
+        }
+    }
+
+    /// Records one round-trip time in microseconds.
+    pub fn push(&self, rtt_us: f64) {
+        let mut ring = self.inner.lock();
+        if ring.samples.len() < ring.cap {
+            ring.samples.push(rtt_us);
+        } else {
+            let at = ring.cursor;
+            ring.samples[at] = rtt_us;
+            ring.cursor = (at + 1) % ring.cap;
+        }
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().samples.len()
+    }
+
+    /// Whether no completion has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `[p50, p95, p99]` over the window, in microseconds; zeros while
+    /// the window is empty (matching [`stats::quantile_sorted`]'s
+    /// empty-slice convention, so the metric family is always present).
+    pub fn quantiles(&self) -> [f64; 3] {
+        let ring = self.inner.lock();
+        let qs = stats::quantiles(&ring.samples, &[0.5, 0.95, 0.99]);
+        [qs[0], qs[1], qs[2]]
+    }
+}
+
+/// Renders the `<prefix>_rtt_us` summary family from a quantile
+/// triple, appended to the `/metrics` exposition.
+pub fn render_rtt_lines(prefix: &str, q: [f64; 3]) -> String {
+    format!(
+        "# TYPE {prefix}_rtt_us summary\n\
+         {prefix}_rtt_us{{quantile=\"0.5\"}} {:.1}\n\
+         {prefix}_rtt_us{{quantile=\"0.95\"}} {:.1}\n\
+         {prefix}_rtt_us{{quantile=\"0.99\"}} {:.1}\n",
+        q[0], q[1], q[2]
+    )
+}
+
+/// Per-frame rates over the sampler's window: the fraction of
+/// requests *newly resolved or rejected since the previous frame* that
+/// were goodput, SLO violations, or drops. All zero when the window
+/// saw no traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WindowRates {
+    /// Completed within SLO / window total.
+    pub goodput: f64,
+    /// Completed late / window total.
+    pub violation: f64,
+    /// Dropped in-pipeline or edge-rejected / window total.
+    pub drop: f64,
+}
+
+/// Rates between two consecutive counter snapshots. The denominator is
+/// every request that reached a terminal answer in the window
+/// (completed, dropped, or edge-rejected); `refused` back-pressure and
+/// protocol errors are excluded — they never entered the admission
+/// decision the rates characterise.
+pub fn window_rates(prev: &CountersSnapshot, now: &CountersSnapshot) -> WindowRates {
+    let ok = now.completed_ok.saturating_sub(prev.completed_ok);
+    let late = now.completed_late.saturating_sub(prev.completed_late);
+    let dropped = now.dropped.saturating_sub(prev.dropped);
+    let rejected = now.rejected.saturating_sub(prev.rejected);
+    let total = ok + late + dropped + rejected;
+    if total == 0 {
+        return WindowRates::default();
+    }
+    let total = total as f64;
+    WindowRates {
+        goodput: ok as f64 / total,
+        violation: late as f64 / total,
+        drop: (dropped + rejected) as f64 / total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_window_wraps_and_reports_quantiles() {
+        let w = RttWindow::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.quantiles(), [0.0, 0.0, 0.0]);
+        for us in [100.0, 200.0, 300.0, 400.0] {
+            w.push(us);
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.quantiles()[0], 250.0); // median of 100..400
+                                             // Two more pushes evict the two oldest samples.
+        w.push(500.0);
+        w.push(600.0);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.quantiles()[0], 450.0); // median of 300..600
+    }
+
+    #[test]
+    fn rtt_lines_are_prometheus_well_formed() {
+        let text = render_rtt_lines("pard_gateway", [150.0, 900.0, 1200.5]);
+        assert!(text.contains("# TYPE pard_gateway_rtt_us summary\n"));
+        assert!(text.contains("pard_gateway_rtt_us{quantile=\"0.5\"} 150.0\n"));
+        assert!(text.contains("pard_gateway_rtt_us{quantile=\"0.95\"} 900.0\n"));
+        assert!(text.contains("pard_gateway_rtt_us{quantile=\"0.99\"} 1200.5\n"));
+    }
+
+    #[test]
+    fn window_rates_use_deltas_not_totals() {
+        let prev = CountersSnapshot {
+            completed_ok: 100,
+            completed_late: 10,
+            dropped: 10,
+            rejected: 20,
+            ..Default::default()
+        };
+        let now = CountersSnapshot {
+            completed_ok: 106,
+            completed_late: 11,
+            dropped: 11,
+            rejected: 22,
+            ..Default::default()
+        };
+        let rates = window_rates(&prev, &now);
+        assert!((rates.goodput - 0.6).abs() < 1e-9);
+        assert!((rates.violation - 0.1).abs() < 1e-9);
+        assert!((rates.drop - 0.3).abs() < 1e-9);
+        // An idle window reports flat zeros, not NaNs.
+        assert_eq!(window_rates(&now, &now), WindowRates::default());
+    }
+}

@@ -44,6 +44,7 @@ fn gateway_config() -> GatewayConfig {
         edge_refresh: Duration::from_millis(5),
         max_pending: 8192,
         allow_replay: true,
+        ..GatewayConfig::default()
     }
 }
 

@@ -17,7 +17,7 @@
 
 use std::path::PathBuf;
 
-use crate::outcome::OutcomeTaxonomy;
+use crate::outcome::{OutcomeTaxonomy, PhaseCounts};
 use crate::runner::ScenarioRun;
 use crate::scenario::Scenario;
 
@@ -82,18 +82,120 @@ pub fn check_against_golden(scenario: &Scenario, run: &ScenarioRun) {
             golden.display()
         )
     });
-    assert_eq!(
-        &expected,
-        actual,
-        "scenario {:?} diverged from its golden taxonomy.\n\
-         --- expected ({})\n{}\
-         --- actual (also at {})\n{}\
-         If the change is intentional, regenerate with \
-         {UPDATE_ENV}=1 cargo test -p pard-harness and commit the diff.",
-        scenario.name,
-        golden.display(),
-        expected.to_json(),
-        snapshot.display(),
-        actual.to_json(),
+    if &expected != actual {
+        panic!(
+            "scenario {:?} diverged from its golden taxonomy.\n\
+             --- expected ({})\n{}\
+             --- actual (also at {})\n{}\
+             --- flight record\n{}\n\
+             If the change is intentional, regenerate with \
+             {UPDATE_ENV}=1 cargo test -p pard-harness and commit the diff.",
+            scenario.name,
+            golden.display(),
+            expected.to_json(),
+            snapshot.display(),
+            actual.to_json(),
+            explain_divergence(run, &expected),
+        );
+    }
+}
+
+/// The outcome labels a [`PhaseCounts`] tracks, in report order.
+const LABELS: [&str; 6] = [
+    "ok",
+    "violated",
+    "dropped_edge",
+    "dropped_pipeline",
+    "rejected",
+    "unanswered",
+];
+
+fn count(phase: &PhaseCounts, label: &str) -> u64 {
+    match label {
+        "ok" => phase.ok,
+        "violated" => phase.violated,
+        "dropped_edge" => phase.dropped_edge,
+        "dropped_pipeline" => phase.dropped_pipeline,
+        "rejected" => phase.rejected,
+        _ => phase.unanswered,
+    }
+}
+
+/// Explains a golden divergence from the run's flight record: finds the
+/// first phase whose counts differ, the first request carrying an
+/// over-represented outcome label inside that phase, and renders that
+/// request's recorded lifecycle — so a taxonomy mismatch reads as
+/// "request 4217 was edge-rejected because L_sub=48ms > slack=31ms at
+/// t=2.114s" instead of two diverging count tables.
+pub fn explain_divergence(run: &ScenarioRun, expected: &OutcomeTaxonomy) -> String {
+    let actual = &run.taxonomy;
+    let Some((exp, act)) = expected
+        .phases
+        .iter()
+        .zip(&actual.phases)
+        .find(|(e, a)| e != a)
+    else {
+        return "no per-phase count divergence (taxonomies differ in \
+                structure: scenario name, seed, request total, or phase \
+                list)"
+            .into();
+    };
+
+    let mut report = format!(
+        "first diverging phase: {:?} [{}s, {}s):\n",
+        exp.name, exp.from_s, exp.to_s
     );
+    for label in LABELS {
+        let (e, a) = (count(exp, label), count(act, label));
+        if e != a {
+            report.push_str(&format!("  {label}: expected {e}, got {a}\n"));
+        }
+    }
+
+    // A label the run produced *more* of than the golden expects has a
+    // concrete witness request in this run; point at the first one.
+    let Some(over) = LABELS
+        .iter()
+        .find(|&&l| count(act, l) > count(exp, l))
+        .copied()
+    else {
+        report.push_str("  (every diverging label is under-represented; the missing requests have no witness in this run)");
+        return report;
+    };
+    let Some(witness) = run.outcomes.iter().find(|o| {
+        let at_s = o.at_us / 1_000_000;
+        o.label == over && at_s >= exp.from_s && at_s < exp.to_s
+    }) else {
+        report.push_str(&format!(
+            "  (no {over:?} request found in the phase window)"
+        ));
+        return report;
+    };
+
+    report.push_str(&format!(
+        "first diverging request: seq={} scheduled at t={:.3}s -> {}\n",
+        witness.seq,
+        witness.at_us as f64 / 1e6,
+        witness.label,
+    ));
+    match (&run.recorder, witness.id) {
+        (Some(recorder), Some(id)) => {
+            let events = recorder.events_for(id);
+            if events.is_empty() {
+                report.push_str(&format!(
+                    "  (request id {id} already rotated out of the flight-recorder ring)"
+                ));
+            } else {
+                for event in events {
+                    report.push_str(&format!("  {}\n", event.describe()));
+                }
+            }
+        }
+        (None, _) => report.push_str("  (engine exposes no flight recorder)"),
+        (_, None) => report.push_str(&format!(
+            "  (outcome {:?} carries no server-assigned request id)",
+            witness.label
+        )),
+    }
+    report
 }

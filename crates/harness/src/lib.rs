@@ -50,7 +50,7 @@ pub mod runner;
 pub mod scenario;
 
 pub use envelope::Envelope;
-pub use golden::{check_against_golden, golden_path, snapshot_path};
+pub use golden::{check_against_golden, explain_divergence, golden_path, snapshot_path};
 pub use outcome::{OutcomeTaxonomy, PhaseCounts, RequestOutcome};
 pub use runner::{run_scenario, run_scenario_live, ScenarioRun};
-pub use scenario::{Burst, Phase, Scenario, SloMix, TraceSpec};
+pub use scenario::{Burst, Phase, Scenario, ScenarioApp, SloMix, TraceSpec};

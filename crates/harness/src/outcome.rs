@@ -17,6 +17,10 @@ pub struct RequestOutcome {
     /// Coarse taxonomy label: `ok`, `violated`, `dropped_edge`,
     /// `dropped_pipeline`, `rejected`, or `unanswered`.
     pub label: &'static str,
+    /// Server-assigned request id (edge-id space for edge rejections);
+    /// `None` for protocol rejections and unanswered requests. Keys
+    /// the flight-recorder lookup when a golden diverges.
+    pub id: Option<u64>,
 }
 
 /// Outcome counts for one phase of a scenario.
@@ -238,6 +242,7 @@ mod tests {
                 seq: i as u64,
                 at_us: i as u64 * 2_000_000, // one request every 2 s
                 label,
+                id: Some(i as u64 + 1),
             })
             .collect()
     }

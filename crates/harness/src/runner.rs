@@ -2,17 +2,19 @@
 //! deterministic simulated backend (golden-comparable) or on the live
 //! threaded runtime (envelope-checkable, see [`crate::Envelope`]).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use pard_core::PardConfig;
 use pard_engine_api::{Backend, ClusterConfig, EngineBuilder, LiveConfig};
 use pard_gateway::client::{CallSpec, Client};
 use pard_gateway::{Gateway, GatewayConfig};
+use pard_obs::FlightRecorder;
 use pard_sim::SimTime;
 use pard_workload::wire_schedule;
 
 use crate::outcome::{OutcomeTaxonomy, RequestOutcome};
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioApp};
 
 /// Wall-clock ceiling for one answer after the flush; generous because
 /// the whole replay runs at simulation speed and only pathological
@@ -20,7 +22,7 @@ use crate::scenario::Scenario;
 const ANSWER_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Everything one scenario run produced.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct ScenarioRun {
     /// Per-request classifications in schedule order — the
     /// bit-reproducibility unit (two runs of the same scenario must
@@ -28,6 +30,20 @@ pub struct ScenarioRun {
     pub outcomes: Vec<RequestOutcome>,
     /// The per-phase rollup compared against golden snapshots.
     pub taxonomy: OutcomeTaxonomy,
+    /// The engine's flight recorder, retained past gateway shutdown so
+    /// a golden divergence can be explained from the event record (see
+    /// [`crate::golden::explain_divergence`]).
+    pub recorder: Option<Arc<FlightRecorder>>,
+}
+
+impl std::fmt::Debug for ScenarioRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioRun")
+            .field("outcomes", &self.outcomes)
+            .field("taxonomy", &self.taxonomy)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 /// Builds the scenario's wire schedule (trace synthesis + arrival
@@ -43,7 +59,7 @@ fn build_schedule(
         .unwrap_or_else(|| (scenario.app.slo().as_millis_f64()) as u64);
     let events = wire_schedule(
         &trace,
-        scenario.app.name(),
+        &scenario.app.name(),
         nominal_slo_ms,
         scenario.payload,
         scenario.seed,
@@ -63,18 +79,38 @@ fn build_schedule(
 fn collect_outcomes(client: &mut Client, sent: Vec<(u64, u64)>) -> Vec<RequestOutcome> {
     let deadline = std::time::Instant::now() + ANSWER_TIMEOUT;
     sent.into_iter()
-        .map(|(seq, at_us)| RequestOutcome {
-            seq,
-            at_us,
-            label: client
-                .wait(
-                    seq,
-                    deadline.saturating_duration_since(std::time::Instant::now()),
-                )
-                .map(|answer| answer.outcome.taxonomy())
-                .unwrap_or("unanswered"),
+        .map(|(seq, at_us)| {
+            let answer = client.wait(
+                seq,
+                deadline.saturating_duration_since(std::time::Instant::now()),
+            );
+            let (label, id) = answer
+                .map(|a| (a.outcome.taxonomy(), a.outcome.id()))
+                .unwrap_or(("unanswered", None));
+            RequestOutcome {
+                seq,
+                at_us,
+                label,
+                id,
+            }
         })
         .collect()
+}
+
+/// The engine builder for a scenario's app — `for_app` for builtins,
+/// `new(spec)` (plus explicit profiles, when given) for custom
+/// pipelines.
+fn engine_builder(app: &ScenarioApp) -> EngineBuilder {
+    match app {
+        ScenarioApp::Builtin(kind) => EngineBuilder::for_app(*kind),
+        ScenarioApp::Custom { spec, profiles } => {
+            let builder = EngineBuilder::new(spec.clone());
+            match profiles {
+                Some(profiles) => builder.with_profiles(profiles.clone()),
+                None => builder,
+            }
+        }
+    }
 }
 
 /// Runs `scenario` end to end: builds the simulated engine, boots a
@@ -91,7 +127,7 @@ fn collect_outcomes(client: &mut Client, sent: Vec<(u64, u64)>) -> Vec<RequestOu
 pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
     let (trace, events) = build_schedule(scenario);
 
-    let mut builder = EngineBuilder::for_app(scenario.app)
+    let mut builder = engine_builder(&scenario.app)
         .with_faults(scenario.faults.clone())
         .with_autoscale(scenario.autoscale)
         .with_worker_cap(scenario.worker_cap)
@@ -119,6 +155,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
             // dispatcher timing, not on the schedule.
             max_pending: 1 << 20,
             allow_replay: true,
+            ..GatewayConfig::default()
         },
     )
     .expect("gateway binds ephemeral loopback ports");
@@ -145,10 +182,15 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
 
     let outcomes = collect_outcomes(&mut client, sent);
     drop(client);
+    let recorder = gateway.recorder();
     let _ = gateway.shutdown(pard_sim::SimDuration::from_secs(1));
 
     let taxonomy = OutcomeTaxonomy::build(scenario, &outcomes);
-    ScenarioRun { outcomes, taxonomy }
+    ScenarioRun {
+        outcomes,
+        taxonomy,
+        recorder,
+    }
 }
 
 /// Runs `scenario` against the **live threaded runtime**: the same
@@ -180,12 +222,12 @@ pub fn run_scenario_live(scenario: &Scenario, time_scale: f64) -> ScenarioRun {
     );
     let (_trace, events) = build_schedule(scenario);
 
-    let modules = scenario.app.pipeline().modules.len();
+    let modules = scenario.app.modules();
     let workers = scenario
         .fixed_workers
         .clone()
         .unwrap_or_else(|| vec![2; modules]);
-    let engine = EngineBuilder::for_app(scenario.app)
+    let engine = engine_builder(&scenario.app)
         .with_workers(workers)
         .build(Backend::Live(LiveConfig {
             time_scale,
@@ -208,6 +250,7 @@ pub fn run_scenario_live(scenario: &Scenario, time_scale: f64) -> ScenarioRun {
             edge_refresh: Duration::from_millis(2),
             max_pending: 1 << 20,
             allow_replay: false,
+            ..GatewayConfig::default()
         },
     )
     .expect("gateway binds ephemeral loopback ports");
@@ -234,8 +277,13 @@ pub fn run_scenario_live(scenario: &Scenario, time_scale: f64) -> ScenarioRun {
 
     let outcomes = collect_outcomes(&mut client, sent);
     drop(client);
+    let recorder = gateway.recorder();
     let _ = gateway.shutdown(scenario.drain);
 
     let taxonomy = OutcomeTaxonomy::build(scenario, &outcomes);
-    ScenarioRun { outcomes, taxonomy }
+    ScenarioRun {
+        outcomes,
+        taxonomy,
+        recorder,
+    }
 }

@@ -1,9 +1,84 @@
 //! The declarative scenario description.
 
 use pard_cluster::FaultSpec;
-use pard_pipeline::AppKind;
+use pard_pipeline::{AppKind, PipelineSpec};
+use pard_profile::ModelProfile;
 use pard_sim::SimDuration;
 use pard_workload::{PayloadSpec, RateTrace, TraceKind};
+
+/// The application pipeline a scenario serves: one of the paper's
+/// builtin apps, or an arbitrary [`PipelineSpec`] — the same format
+/// `pard-gateway --pipeline spec.json` consumes — with either explicit
+/// per-module latency profiles or zoo lookup by module name.
+#[derive(Clone, Debug)]
+pub enum ScenarioApp {
+    /// A builtin application (tm/lv/gm/da); profiles resolve from the
+    /// model zoo.
+    Builtin(AppKind),
+    /// A custom pipeline spec.
+    Custom {
+        /// The pipeline shape, name, and SLO.
+        spec: PipelineSpec,
+        /// Explicit per-module profiles (must match the module count);
+        /// `None` resolves each module's name against the zoo.
+        profiles: Option<Vec<ModelProfile>>,
+    },
+}
+
+impl From<AppKind> for ScenarioApp {
+    fn from(app: AppKind) -> ScenarioApp {
+        ScenarioApp::Builtin(app)
+    }
+}
+
+impl ScenarioApp {
+    /// A custom pipeline whose module names resolve from the zoo.
+    pub fn custom(spec: PipelineSpec) -> ScenarioApp {
+        ScenarioApp::Custom {
+            spec,
+            profiles: None,
+        }
+    }
+
+    /// A custom pipeline with explicit per-module latency profiles.
+    pub fn custom_with_profiles(spec: PipelineSpec, profiles: Vec<ModelProfile>) -> ScenarioApp {
+        assert_eq!(
+            spec.modules.len(),
+            profiles.len(),
+            "pipeline {:?}: one profile per module required",
+            spec.name
+        );
+        ScenarioApp::Custom {
+            spec,
+            profiles: Some(profiles),
+        }
+    }
+
+    /// The app name requests carry on the wire (the gateway refuses
+    /// requests whose app does not match the engine's spec).
+    pub fn name(&self) -> String {
+        match self {
+            ScenarioApp::Builtin(app) => app.name().to_string(),
+            ScenarioApp::Custom { spec, .. } => spec.name.clone(),
+        }
+    }
+
+    /// The pipeline's default SLO.
+    pub fn slo(&self) -> SimDuration {
+        match self {
+            ScenarioApp::Builtin(app) => app.slo(),
+            ScenarioApp::Custom { spec, .. } => spec.slo,
+        }
+    }
+
+    /// Number of modules in the pipeline.
+    pub fn modules(&self) -> usize {
+        match self {
+            ScenarioApp::Builtin(app) => app.pipeline().modules.len(),
+            ScenarioApp::Custom { spec, .. } => spec.modules.len(),
+        }
+    }
+}
 
 /// A request-rate envelope by name — the paper's diurnal traces, plus
 /// the synthetic shapes the evaluation uses.
@@ -122,8 +197,8 @@ pub struct Phase {
 pub struct Scenario {
     /// Scenario name; also names the golden snapshot file.
     pub name: String,
-    /// Which builtin application pipeline is served.
-    pub app: AppKind,
+    /// Which application pipeline is served.
+    pub app: ScenarioApp,
     /// The request-rate envelope to replay.
     pub trace: TraceSpec,
     /// Optional burst overlay.
@@ -162,8 +237,9 @@ pub struct Scenario {
 impl Scenario {
     /// A scenario with the suite's defaults: 1 worker per module
     /// pinned, no canaries, no faults, seed 42.
-    pub fn new(name: impl Into<String>, app: AppKind, trace: TraceSpec) -> Scenario {
-        let modules = app.pipeline().modules.len();
+    pub fn new(name: impl Into<String>, app: impl Into<ScenarioApp>, trace: TraceSpec) -> Scenario {
+        let app = app.into();
+        let modules = app.modules();
         Scenario {
             name: name.into(),
             app,

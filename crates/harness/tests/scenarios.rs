@@ -12,8 +12,13 @@
 //! ```
 
 use pard_cluster::FaultSpec;
-use pard_harness::{check_against_golden, run_scenario, Scenario, ScenarioRun, SloMix, TraceSpec};
-use pard_pipeline::AppKind;
+use pard_harness::{
+    check_against_golden, explain_divergence, run_scenario, Scenario, ScenarioApp, ScenarioRun,
+    SloMix, TraceSpec,
+};
+use pard_pipeline::{AppKind, ModuleSpec, PipelineSpec};
+use pard_profile::ModelProfile;
+use pard_rag::{LlmProfile, RetrieveProfile, SearchProfile};
 use pard_sim::{SimDuration, SimTime};
 use pard_workload::TraceKind;
 
@@ -321,4 +326,187 @@ fn slo_mix_heavy_canaries() {
         total.ok as f64 > 0.9 * (total.sent - total.dropped_edge) as f64,
         "feasible requests must be served: {total:?}"
     );
+}
+
+/// Batch-affine approximation of a continuous-batching LLM stage: the
+/// base is one prefill at a typical input length, the slope the
+/// per-slot decode share of a typical output length.
+fn affine_llm(
+    name: &str,
+    llm: &LlmProfile,
+    input_tokens: usize,
+    output_tokens: usize,
+) -> ModelProfile {
+    ModelProfile::new(
+        name,
+        llm.prefill(input_tokens).as_millis_f64(),
+        llm.decode_per_token_ms * output_tokens as f64 / llm.max_slots as f64,
+        1.0,
+        llm.max_slots,
+    )
+}
+
+/// The §7 RAG pipeline as a gateway-servable DAG — rewrite →
+/// {retrieve, search} → generate — with profiles derived from the
+/// `pard_rag` Table-2 stage defaults.
+fn rag_app() -> ScenarioApp {
+    let spec = PipelineSpec {
+        name: "rag".into(),
+        slo: SimDuration::from_secs(5),
+        modules: vec![
+            ModuleSpec {
+                name: "rewrite".into(),
+                id: 0,
+                pres: vec![],
+                subs: vec![1, 2],
+            },
+            ModuleSpec {
+                name: "retrieve".into(),
+                id: 1,
+                pres: vec![0],
+                subs: vec![3],
+            },
+            ModuleSpec {
+                name: "search".into(),
+                id: 2,
+                pres: vec![0],
+                subs: vec![3],
+            },
+            ModuleSpec {
+                name: "generate".into(),
+                id: 3,
+                pres: vec![1, 2],
+                subs: vec![],
+            },
+        ],
+    };
+    let retrieve = RetrieveProfile::default_profile();
+    let search = SearchProfile::default_profile();
+    let profiles = vec![
+        affine_llm("rewrite", &LlmProfile::rewrite_default(), 96, 32),
+        ModelProfile::new(
+            "retrieve",
+            retrieve.base_ms,
+            retrieve.per_query_ms,
+            1.0,
+            retrieve.max_batch,
+        ),
+        // Search fans a batch out over its concurrency budget, so the
+        // median dominates and the per-call share is small.
+        ModelProfile::new(
+            "search",
+            search.median_ms(),
+            search.median_ms() / search.concurrency as f64,
+            1.0,
+            search.concurrency,
+        ),
+        affine_llm("generate", &LlmProfile::generate_default(), 192, 128),
+    ];
+    ScenarioApp::custom_with_profiles(spec, profiles)
+}
+
+#[test]
+fn rag_pipeline() {
+    // The paper's §7 extension served end to end: seconds-scale SLO,
+    // LLM-heavy stages, and the same proactive edge in front.
+    let run = check(
+        Scenario::new(
+            "rag_pipeline",
+            rag_app(),
+            TraceSpec::Constant {
+                rate: 10.0,
+                len_s: 24,
+            },
+        )
+        .with_slo(SloMix {
+            default_ms: None,
+            tight_every: 9,
+        })
+        .phase("first_half", 0, 12)
+        .phase("second_half", 12, 24),
+    );
+    let total = run.taxonomy.total();
+    assert!(total.ok > 0, "{total:?}");
+    assert!(total.dropped_edge > 0, "canaries must be edge-rejected");
+    assert_eq!(total.unanswered, 0, "{total:?}");
+}
+
+/// The same JSON configuration format `pard-gateway --pipeline
+/// spec.json` consumes — module profiles resolve from the zoo by name.
+const CUSTOM_SPEC_JSON: &str = r#"{
+  "name": "custom",
+  "slo_ms": 450,
+  "modules": [
+    {"name": "object-detection",      "id": 0, "pres": [],     "subs": [1, 2]},
+    {"name": "icon-recognition",      "id": 1, "pres": [0],    "subs": [3]},
+    {"name": "text-recognition",      "id": 2, "pres": [0],    "subs": [3]},
+    {"name": "expression-recognition","id": 3, "pres": [1, 2], "subs": []}
+  ]
+}"#;
+
+#[test]
+fn custom_json() {
+    let spec = PipelineSpec::from_json(CUSTOM_SPEC_JSON).expect("spec parses and validates");
+    let run = check(
+        Scenario::new(
+            "custom_json",
+            ScenarioApp::custom(spec),
+            TraceSpec::Constant {
+                rate: 55.0,
+                len_s: 20,
+            },
+        )
+        .with_slo(SloMix {
+            default_ms: None,
+            tight_every: 10,
+        }),
+    );
+    let total = run.taxonomy.total();
+    assert!(total.ok > 0, "{total:?}");
+    assert!(total.dropped_edge > 0, "canaries must be edge-rejected");
+    assert_eq!(total.unanswered, 0, "{total:?}");
+}
+
+#[test]
+fn perturbed_golden_explains_divergence_from_flight_record() {
+    // The e2e proof for the golden-diff story: run a real scenario
+    // over real sockets, perturb its taxonomy the way a behaviour
+    // regression would (one canary "should" have been served), and
+    // check the divergence report names the first diverging request
+    // and the Eq. 3 admission inputs behind its rejection.
+    let scenario = Scenario::new(
+        "perturbed_probe",
+        AppKind::Tm,
+        TraceSpec::Constant {
+            rate: 30.0,
+            len_s: 6,
+        },
+    )
+    .with_slo(SloMix {
+        default_ms: None,
+        tight_every: 6,
+    });
+    let run = run_scenario(&scenario);
+    let total = run.taxonomy.total();
+    assert!(total.dropped_edge > 0, "probe needs canaries: {total:?}");
+
+    let mut expected = run.taxonomy.clone();
+    expected.phases[0].dropped_edge -= 1;
+    expected.phases[0].ok += 1;
+
+    let excerpt = explain_divergence(&run, &expected);
+    assert!(
+        excerpt.contains("dropped_edge: expected"),
+        "no count diff: {excerpt}"
+    );
+    assert!(
+        excerpt.contains("first diverging request: seq="),
+        "no witness request: {excerpt}"
+    );
+    for needle in ["edge-rejected", "L_sub=", "slack=", "lead=", " req="] {
+        assert!(
+            excerpt.contains(needle),
+            "excerpt lacks {needle:?}:\n{excerpt}"
+        );
+    }
 }

@@ -59,6 +59,14 @@ impl DropReason {
         }
     }
 
+    /// Inverse of [`DropReason::index`]: `None` for out-of-range
+    /// indices. Decoders of compact on-wire forms (flight-recorder
+    /// slots, drop-counter axes) use this instead of re-owning the
+    /// ordering.
+    pub fn from_index(index: usize) -> Option<DropReason> {
+        DropReason::ALL.get(index).copied()
+    }
+
     /// Short label for reports.
     pub fn label(self) -> &'static str {
         match self {

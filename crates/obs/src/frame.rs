@@ -1,0 +1,247 @@
+//! Periodic engine telemetry frames and their publication bus.
+//!
+//! A frame is an immutable snapshot of engine health sampled off the
+//! hot path (the gateway's poller thread builds one every
+//! `telemetry_period`). Publication reuses the epoch-stamped `Arc`
+//! discipline of the admission snapshots: one mutex-guarded `Arc`
+//! swap, an epoch bump, a condvar broadcast. Subscribers wait for an
+//! epoch newer than the last one they saw and always receive the
+//! *latest* frame — a slow SSE consumer skips intermediate frames
+//! instead of applying backpressure to the sampler.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pard_metrics::DropReason;
+
+/// One telemetry sample: engine + gateway state at `t_us`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineFrame {
+    /// Monotonic frame number (equals the bus epoch that published it).
+    pub seq: u64,
+    /// Engine-clock timestamp of the sample, microseconds.
+    pub t_us: u64,
+    /// Per-module queue depths (summed over each module's workers).
+    pub queues: Vec<usize>,
+    /// Per-module worker counts.
+    pub workers: Vec<usize>,
+    /// Occupied entries in the gateway pending table.
+    pub pending: usize,
+    /// Admission-floor queued-batch lead for the entry module, µs.
+    pub floor_lead_us: u64,
+    /// Admission-floor downstream estimate `L_sub`, µs.
+    pub floor_sub_us: u64,
+    /// Cumulative serving counters at sample time.
+    pub received: u64,
+    /// Requests admitted past the edge.
+    pub admitted: u64,
+    /// Requests rejected at the edge.
+    pub rejected: u64,
+    /// Requests refused for gateway overload (pending table full).
+    pub refused: u64,
+    /// Completions within their SLO.
+    pub completed_ok: u64,
+    /// Completions after their deadline.
+    pub completed_late: u64,
+    /// Requests dropped inside the pipeline.
+    pub dropped: u64,
+    /// Cumulative drops by [`DropReason`] index (length 7, the order
+    /// of [`DropReason::ALL`]).
+    pub drops_by_reason: Vec<u64>,
+    /// Fraction of requests *resolved in this sampling window* that
+    /// completed within SLO; 0 when the window resolved nothing.
+    pub window_goodput: f64,
+    /// Fraction of the window's resolutions that completed late.
+    pub window_violation: f64,
+    /// Fraction of the window's resolutions that were dropped.
+    pub window_drop: f64,
+    /// Rolling gateway round-trip-time quantiles, µs (0 when no
+    /// completions have been observed yet).
+    pub rtt_p50_us: f64,
+    /// 95th percentile RTT, µs.
+    pub rtt_p95_us: f64,
+    /// 99th percentile RTT, µs.
+    pub rtt_p99_us: f64,
+}
+
+fn json_usize_array(xs: &[usize]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+impl EngineFrame {
+    /// Renders the frame as one JSON object on one line — the payload
+    /// of one `GET /events` SSE frame.
+    pub fn to_json_line(&self) -> String {
+        let drops: Vec<String> = DropReason::ALL
+            .iter()
+            .zip(self.drops_by_reason.iter())
+            .map(|(r, n)| format!("\"{}\":{n}", r.label()))
+            .collect();
+        format!(
+            "{{\"seq\":{},\"t_us\":{},\"queues\":{},\"workers\":{},\"pending\":{},\
+             \"floor_lead_us\":{},\"floor_sub_us\":{},\
+             \"received\":{},\"admitted\":{},\"rejected\":{},\"refused\":{},\
+             \"completed_ok\":{},\"completed_late\":{},\"dropped\":{},\
+             \"drops_by_reason\":{{{}}},\
+             \"window_goodput\":{:.4},\"window_violation\":{:.4},\"window_drop\":{:.4},\
+             \"rtt_us\":{{\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}}}}",
+            self.seq,
+            self.t_us,
+            json_usize_array(&self.queues),
+            json_usize_array(&self.workers),
+            self.pending,
+            self.floor_lead_us,
+            self.floor_sub_us,
+            self.received,
+            self.admitted,
+            self.rejected,
+            self.refused,
+            self.completed_ok,
+            self.completed_late,
+            self.dropped,
+            drops.join(","),
+            self.window_goodput,
+            self.window_violation,
+            self.window_drop,
+            self.rtt_p50_us,
+            self.rtt_p95_us,
+            self.rtt_p99_us,
+        )
+    }
+}
+
+/// Epoch-published frame slot with wakeup for streaming subscribers.
+///
+/// `publish` never blocks on consumers: it swaps the `Arc`, bumps the
+/// epoch, and broadcasts. `wait_newer` returns the newest frame once
+/// its epoch exceeds the caller's — a subscriber that slept through
+/// five frames gets the fifth, not a backlog.
+pub struct FrameBus {
+    epoch: AtomicU64,
+    slot: Mutex<Option<Arc<EngineFrame>>>,
+    cond: Condvar,
+}
+
+impl FrameBus {
+    /// Creates an empty bus (epoch 0, no frame yet).
+    pub fn new() -> FrameBus {
+        FrameBus {
+            epoch: AtomicU64::new(0),
+            slot: Mutex::new(None),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Epoch of the newest published frame; 0 means none yet.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publishes a frame, waking all waiting subscribers.
+    pub fn publish(&self, frame: EngineFrame) {
+        let mut slot = self.slot.lock().unwrap();
+        *slot = Some(Arc::new(frame));
+        self.epoch.fetch_add(1, Ordering::Release);
+        self.cond.notify_all();
+    }
+
+    /// The newest frame, if any has been published.
+    pub fn latest(&self) -> Option<Arc<EngineFrame>> {
+        self.slot.lock().unwrap().clone()
+    }
+
+    /// Blocks until a frame newer than epoch `seen` exists (or the
+    /// timeout passes), returning the *latest* frame and its epoch.
+    pub fn wait_newer(&self, seen: u64, timeout: Duration) -> Option<(u64, Arc<EngineFrame>)> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            let epoch = self.epoch.load(Ordering::Acquire);
+            if epoch > seen {
+                if let Some(f) = slot.as_ref() {
+                    return Some((epoch, Arc::clone(f)));
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, res) = self.cond.wait_timeout(slot, deadline - now).unwrap();
+            slot = guard;
+            if res.timed_out() {
+                let epoch = self.epoch.load(Ordering::Acquire);
+                if epoch > seen {
+                    if let Some(f) = slot.as_ref() {
+                        return Some((epoch, Arc::clone(f)));
+                    }
+                }
+                return None;
+            }
+        }
+    }
+}
+
+impl Default for FrameBus {
+    fn default() -> FrameBus {
+        FrameBus::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn frame(seq: u64) -> EngineFrame {
+        EngineFrame {
+            seq,
+            t_us: seq * 1_000,
+            queues: vec![1, 2],
+            workers: vec![1, 1],
+            drops_by_reason: vec![0; DropReason::ALL.len()],
+            ..EngineFrame::default()
+        }
+    }
+
+    #[test]
+    fn frame_json_is_one_line_and_names_reasons() {
+        let mut f = frame(3);
+        f.drops_by_reason[DropReason::PredictedViolation.index()] = 4;
+        let line = f.to_json_line();
+        assert!(!line.contains('\n'), "{line}");
+        assert!(line.contains("\"seq\":3"), "{line}");
+        assert!(line.contains("\"queues\":[1,2]"), "{line}");
+        assert!(line.contains("\"predicted\":4"), "{line}");
+        assert!(line.contains("\"rtt_us\":{\"p50\":"), "{line}");
+    }
+
+    #[test]
+    fn subscribers_see_latest_frame_and_skip_missed_ones() {
+        let bus = FrameBus::new();
+        assert_eq!(bus.epoch(), 0);
+        assert!(bus.latest().is_none());
+        bus.publish(frame(1));
+        bus.publish(frame(2));
+        bus.publish(frame(3));
+        assert_eq!(bus.epoch(), 3);
+        // A subscriber that saw nothing gets the latest, not frame 1.
+        let (epoch, f) = bus.wait_newer(0, Duration::from_millis(10)).unwrap();
+        assert_eq!(epoch, 3);
+        assert_eq!(f.seq, 3);
+        // Caught-up subscriber times out quietly.
+        assert!(bus.wait_newer(3, Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn wait_newer_wakes_on_publish() {
+        let bus = Arc::new(FrameBus::new());
+        let sub = Arc::clone(&bus);
+        let waiter = thread::spawn(move || sub.wait_newer(0, Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(20));
+        bus.publish(frame(1));
+        let got = waiter.join().unwrap();
+        assert_eq!(got.unwrap().1.seq, 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! The flight recorder: a fixed-capacity lock-free event ring.
+//!
+//! Producers on the serving hot path must pay near-nothing: one
+//! `fetch_add` to claim a ticket, nine relaxed-ish atomic stores to
+//! fill the slot. There is no lock, no allocation, and no formatting —
+//! a dump (rare, operator-driven) does all the decoding.
+//!
+//! Correctness under concurrency comes from a per-slot seqlock keyed
+//! by the ticket's generation, the same validated-read pattern as
+//! `crossbeam`'s `AtomicCell`:
+//!
+//! * writer for ticket `t`: wait until the slot shows the previous
+//!   generation complete (it always does unless the ring wrapped fully
+//!   during another writer's nine stores), `swap` in `2t + 1`
+//!   (odd = busy), store the payload words, `store` `2t + 2`
+//!   (even = published) with release ordering;
+//! * reader for ticket `t`: accept the slot only if it reads `2t + 2`
+//!   both before and after copying the words (acquire fence between).
+//!
+//! A dump walks tickets downward from the head; the first slot that
+//! fails validation is the overwrite frontier and terminates the
+//! suffix. Every dump is therefore a **contiguous, gap-free suffix**
+//! of the emitted event sequence — bounded loss only at that frontier
+//! — which is exactly the property the proptests in
+//! `tests/ring_contention.rs` pin down.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::event::{ObsEvent, WORDS};
+
+struct Slot {
+    /// Generation stamp: `0` = never written, `2t + 1` = ticket `t`
+    /// mid-write, `2t + 2` = ticket `t` published.
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Fixed-capacity lock-free ring buffer of [`ObsEvent`]s.
+///
+/// The capacity is rounded up to a power of two so slot selection is a
+/// mask. Sizing: a slot is 72 bytes, so the default 65 536 slots cost
+/// ~4.5 MiB and hold the full lifecycle (2 + modules events per
+/// request) of the last ~10 k requests of a busy pipeline.
+pub struct FlightRecorder {
+    mask: u64,
+    /// Next ticket to hand out == number of events ever emitted.
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl FlightRecorder {
+    /// Default capacity in slots.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates a recorder with at least `capacity` slots (rounded up
+    /// to a power of two, minimum 8).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        let cap = capacity.next_power_of_two().max(8);
+        let slots: Vec<Slot> = (0..cap).map(|_| Slot::new()).collect();
+        FlightRecorder {
+            mask: (cap - 1) as u64,
+            head: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Creates a recorder with [`FlightRecorder::DEFAULT_CAPACITY`].
+    pub fn new() -> FlightRecorder {
+        FlightRecorder::with_capacity(FlightRecorder::DEFAULT_CAPACITY)
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of events ever recorded (monotonic; the ring retains the
+    /// last [`capacity`](FlightRecorder::capacity) of them).
+    pub fn emitted(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Records one event. Lock-free and allocation-free; the only
+    /// contended operation is the ticket `fetch_add`.
+    pub fn record(&self, ev: &ObsEvent) {
+        let ticket = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        // The slot's previous generation must be fully published before
+        // this writer may reuse it. Unless the ring wrapped completely
+        // during another writer's handful of stores this never waits;
+        // the bounded spin keeps two same-slot writers from interleaving
+        // their payload words.
+        let ready = if ticket > self.mask {
+            2 * (ticket - self.mask - 1) + 2
+        } else {
+            0
+        };
+        let mut spins = 0u32;
+        while slot.seq.load(Ordering::Acquire) != ready {
+            spins += 1;
+            if spins > 128 {
+                std::thread::yield_now();
+            }
+        }
+        // Entry: odd stamp, AcqRel swap so the payload stores below
+        // cannot be hoisted above it (crossbeam's seqlock write-begin).
+        slot.seq.swap(2 * ticket + 1, Ordering::AcqRel);
+        let w = ev.pack();
+        for (cell, word) in slot.words.iter().zip(w) {
+            cell.store(word, Ordering::Relaxed);
+        }
+        // Exit: even stamp with release ordering publishes the words.
+        slot.seq.store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// Validated read of ticket `t`'s slot; `None` if the slot no
+    /// longer (or does not yet) hold ticket `t` intact.
+    fn read_ticket(&self, t: u64) -> Option<ObsEvent> {
+        let slot = &self.slots[(t & self.mask) as usize];
+        let want = 2 * t + 2;
+        if slot.seq.load(Ordering::Acquire) != want {
+            return None;
+        }
+        let mut w = [0u64; WORDS];
+        for (out, cell) in w.iter_mut().zip(slot.words.iter()) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+        // Validate after the copy (acquire fence orders the word loads
+        // before the re-check) — crossbeam's seqlock read-validate.
+        fence(Ordering::Acquire);
+        if slot.seq.load(Ordering::Relaxed) != want {
+            return None;
+        }
+        ObsEvent::unpack(&w)
+    }
+
+    /// Dumps the retained events, oldest first.
+    ///
+    /// The result is always a contiguous suffix of the emitted
+    /// sequence: the walk starts at the newest ticket and stops at the
+    /// first slot that fails seqlock validation (overwritten or still
+    /// being written), so no interior gaps are possible.
+    pub fn dump(&self) -> Vec<ObsEvent> {
+        let head = self.emitted();
+        let oldest = head.saturating_sub(self.slots.len() as u64);
+        let mut out = Vec::with_capacity((head - oldest) as usize);
+        let mut t = head;
+        while t > oldest {
+            t -= 1;
+            match self.read_ticket(t) {
+                Some(ev) => out.push(ev),
+                None => break,
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// Dumps only events from the last `last_us` microseconds of
+    /// recorded time (relative to the newest retained event).
+    pub fn dump_last_us(&self, last_us: u64) -> Vec<ObsEvent> {
+        let mut evs = self.dump();
+        if let Some(newest) = evs.iter().map(|e| e.t_us).max() {
+            let cutoff = newest.saturating_sub(last_us);
+            evs.retain(|e| e.t_us >= cutoff);
+        }
+        evs
+    }
+
+    /// All retained events for one request, oldest first.
+    pub fn events_for(&self, req: u64) -> Vec<ObsEvent> {
+        let mut evs = self.dump();
+        evs.retain(|e| e.req == req);
+        evs
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ObsKind;
+
+    fn ev(t_us: u64, req: u64) -> ObsEvent {
+        ObsEvent {
+            t_us,
+            req,
+            kind: ObsKind::MergeRelease { module: 1 },
+        }
+    }
+
+    #[test]
+    fn empty_recorder_dumps_nothing() {
+        let r = FlightRecorder::with_capacity(16);
+        assert_eq!(r.capacity(), 16);
+        assert_eq!(r.emitted(), 0);
+        assert!(r.dump().is_empty());
+        assert!(r.dump_last_us(1_000).is_empty());
+    }
+
+    #[test]
+    fn dump_returns_events_in_emission_order() {
+        let r = FlightRecorder::with_capacity(8);
+        for i in 0..5u64 {
+            r.record(&ev(i * 10, i));
+        }
+        let d = r.dump();
+        assert_eq!(d.len(), 5);
+        assert_eq!(
+            d.iter().map(|e| e.req).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn wrap_keeps_only_newest_capacity_events() {
+        let r = FlightRecorder::with_capacity(8);
+        for i in 0..20u64 {
+            r.record(&ev(i, i));
+        }
+        assert_eq!(r.emitted(), 20);
+        let d = r.dump();
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.first().unwrap().req, 12);
+        assert_eq!(d.last().unwrap().req, 19);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(FlightRecorder::with_capacity(3).capacity(), 8);
+        assert_eq!(FlightRecorder::with_capacity(100).capacity(), 128);
+        assert_eq!(FlightRecorder::with_capacity(128).capacity(), 128);
+    }
+
+    #[test]
+    fn dump_last_us_filters_by_recorded_time() {
+        let r = FlightRecorder::with_capacity(16);
+        for i in 0..10u64 {
+            r.record(&ev(i * 100, i));
+        }
+        let d = r.dump_last_us(250);
+        // Newest t_us is 900; the window keeps 650..=900.
+        assert_eq!(d.iter().map(|e| e.req).collect::<Vec<_>>(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn events_for_filters_one_request() {
+        let r = FlightRecorder::with_capacity(16);
+        r.record(&ev(1, 7));
+        r.record(&ev(2, 8));
+        r.record(&ev(3, 7));
+        let d = r.events_for(7);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|e| e.req == 7));
+    }
+}

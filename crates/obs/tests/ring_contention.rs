@@ -1,0 +1,131 @@
+//! Flight-recorder concurrency contract: dumps taken while producers
+//! are writing — or after arbitrary interleavings of writes and wraps
+//! — are always a **contiguous, time-ordered, gap-free suffix** of the
+//! emitted event sequence, with loss only at the overwrite frontier.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use pard_obs::{FlightRecorder, ObsEvent, ObsKind};
+use proptest::prelude::*;
+
+/// Encodes (producer, per-producer sequence) into the request id so a
+/// dump can be checked for per-producer order and gaps.
+fn tagged(producer: u64, seq: u64) -> ObsEvent {
+    ObsEvent {
+        t_us: seq,
+        req: producer << 32 | seq,
+        kind: ObsKind::MergeRelease {
+            module: producer as u16,
+        },
+    }
+}
+
+/// N producer threads hammer the ring while a dumper thread takes
+/// dumps the whole time. Every dump must satisfy the suffix contract
+/// *per producer*: the events of producer `p` appear in emission
+/// order, and once the dump contains `p`'s event `s`, it contains
+/// every later event of `p` that was emitted before the dump's head
+/// was read — i.e. no interior gaps, only truncation at the old end.
+#[test]
+fn concurrent_dumps_see_ordered_gap_free_suffixes() {
+    const PRODUCERS: u64 = 4;
+    const PER_PRODUCER: u64 = 20_000;
+    let ring = Arc::new(FlightRecorder::with_capacity(1 << 10));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let dumper = {
+        let ring = Arc::clone(&ring);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut dumps = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let d = ring.dump();
+                check_suffix(&d, PRODUCERS);
+                dumps += 1;
+            }
+            dumps
+        })
+    };
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for s in 0..PER_PRODUCER {
+                    ring.record(&tagged(p, s));
+                }
+            })
+        })
+        .collect();
+    for h in producers {
+        h.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let dumps = dumper.join().unwrap();
+    assert!(dumps > 0, "dumper never ran");
+
+    // Quiescent dump: exactly the newest `capacity` events survive.
+    let d = ring.dump();
+    assert_eq!(ring.emitted(), PRODUCERS * PER_PRODUCER);
+    assert_eq!(d.len(), ring.capacity());
+    check_suffix(&d, PRODUCERS);
+}
+
+/// Asserts the per-producer suffix contract on one dump.
+fn check_suffix(dump: &[ObsEvent], producers: u64) {
+    // Per producer: strictly increasing, consecutive after the first
+    // occurrence (a gap in the middle would mean the dump skipped a
+    // published slot, which the frontier-terminated walk cannot do for
+    // a single producer's consecutive tickets... they interleave with
+    // other producers, so the per-producer view may only be missing a
+    // prefix, never interior elements).
+    let mut last: Vec<Option<u64>> = vec![None; producers as usize];
+    // Walk newest -> oldest so "suffix" means: once seen, every
+    // earlier-emitted event must be either present or beyond the
+    // frontier (dump start).
+    for ev in dump.iter().rev() {
+        let p = (ev.req >> 32) as usize;
+        let s = ev.req & 0xFFFF_FFFF;
+        assert_eq!(ev.t_us, s, "payload tearing: t_us disagrees with req");
+        if let Some(prev) = last[p] {
+            assert_eq!(
+                s,
+                prev - 1,
+                "producer {p}: interior gap between {prev} and {s}"
+            );
+        }
+        last[p] = Some(s);
+    }
+}
+
+// Single-threaded model check: after any interleaving of records the
+// dump equals the tail of the emission log exactly (full fidelity up
+// to capacity), time-ordered and gap-free.
+proptest! {
+    #[test]
+    fn dump_is_exact_tail_of_emission_log(
+        capacity in 3usize..64,
+        count in 0usize..300,
+    ) {
+        let ring = FlightRecorder::with_capacity(capacity);
+        let mut log = Vec::new();
+        for s in 0..count as u64 {
+            let ev = tagged(1, s);
+            ring.record(&ev);
+            log.push(ev);
+        }
+        let dump = ring.dump();
+        let keep = log.len().min(ring.capacity());
+        prop_assert_eq!(dump.len(), keep);
+        prop_assert_eq!(&dump[..], &log[log.len() - keep..]);
+        for w in dump.windows(2) {
+            prop_assert!(w[0].t_us <= w[1].t_us, "dump not time-ordered");
+        }
+        // The time filter keeps a suffix of the dump.
+        let last = ring.dump_last_us(keep as u64 / 2);
+        let n = last.len();
+        prop_assert_eq!(&last[..], &dump[dump.len() - n..]);
+    }
+}

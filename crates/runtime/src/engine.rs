@@ -34,6 +34,7 @@ use pard_core::{
     StatePlanner, SyncUpdate,
 };
 use pard_metrics::{DropReason, Outcome, RequestLog, RequestRecord, Reservoir, StageRecord};
+use pard_obs::{FlightRecorder, ObsEvent, ObsKind};
 use pard_pipeline::{graph, PipelineSpec};
 use pard_profile::{plan_batches, ModelProfile};
 use pard_sim::{DetRng, SimDuration, SimTime};
@@ -186,6 +187,10 @@ struct Shared {
     modules: Vec<ModuleShared>,
     records: Mutex<Vec<LiveRecord>>,
     completion_tx: Mutex<Option<Sender<Completion>>>,
+    /// Flight recorder for lifecycle events, always on: recording is a
+    /// ticket `fetch_add` plus a handful of atomic stores, so it stays
+    /// off every lock and adds nothing observable to the serving path.
+    recorder: Arc<FlightRecorder>,
 }
 
 impl Shared {
@@ -244,11 +249,23 @@ impl Shared {
         if required <= 1 {
             return Some(end);
         }
-        let mut records = self.records.lock();
-        let (arrivals, latest) = &mut records[id as usize].merge_arrivals[module];
-        *arrivals += 1;
-        *latest = (*latest).max(end);
-        (*arrivals == required).then_some(*latest)
+        let joined = {
+            let mut records = self.records.lock();
+            let (arrivals, latest) = &mut records[id as usize].merge_arrivals[module];
+            *arrivals += 1;
+            *latest = (*latest).max(end);
+            (*arrivals == required).then_some(*latest)
+        };
+        if let Some(t) = joined {
+            self.recorder.record(&ObsEvent {
+                t_us: t.as_micros(),
+                req: id,
+                kind: ObsKind::MergeRelease {
+                    module: module as u16,
+                },
+            });
+        }
+        joined
     }
 
     /// Discards batch entries whose request already resolved — the
@@ -278,6 +295,14 @@ impl Shared {
             }
         };
         if let Some(completion) = completion {
+            self.recorder.record(&ObsEvent {
+                t_us: at.as_micros(),
+                req: id,
+                kind: ObsKind::Dropped {
+                    module: module as u16,
+                    reason,
+                },
+            });
             self.notify(completion);
         }
     }
@@ -354,6 +379,7 @@ impl LiveCluster {
             modules,
             records: Mutex::new(Vec::new()),
             completion_tx: Mutex::new(None),
+            recorder: Arc::new(FlightRecorder::new()),
             spec,
         });
 
@@ -429,6 +455,11 @@ impl LiveCluster {
     /// The pipeline specification being served.
     pub fn spec(&self) -> &PipelineSpec {
         &self.shared.spec
+    }
+
+    /// The cluster's flight recorder (always recording).
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.recorder)
     }
 
     /// Snapshot of the state edge admission control needs: per-module
@@ -634,7 +665,28 @@ fn worker_loop(shared: Arc<Shared>, m: usize, w: usize, mut backend: Box<dyn Inf
                 });
             }
             drop(records);
+            shared.recorder.record(&ObsEvent {
+                t_us: end.as_micros(),
+                req: meta.id,
+                kind: ObsKind::Stage {
+                    module: m as u16,
+                    worker: w as u16,
+                    batch: batch.len() as u16,
+                    arrived_us: meta.arrived.as_micros(),
+                    batched_us: t_b.as_micros(),
+                    exec_start_us: t_e.as_micros(),
+                    exec_end_us: end.as_micros(),
+                },
+            });
             if let Some(completion) = completion {
+                shared.recorder.record(&ObsEvent {
+                    t_us: end.as_micros(),
+                    req: meta.id,
+                    kind: ObsKind::Completed {
+                        finished_us: end.as_micros(),
+                        deadline_us: completion.deadline.as_micros(),
+                    },
+                });
                 shared.notify(completion);
             }
             if active && !is_sink {

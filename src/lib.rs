@@ -65,6 +65,7 @@ pub use pard_engine_api as engine_api;
 pub use pard_gateway as gateway;
 pub use pard_harness as harness;
 pub use pard_metrics as metrics;
+pub use pard_obs as obs;
 pub use pard_pipeline as pipeline;
 pub use pard_policies as policies;
 pub use pard_profile as profile;
@@ -85,6 +86,7 @@ pub mod prelude {
     pub use pard_engine_api::{Backend, EngineBuilder, EngineHandle, SubmitSpec};
     pub use pard_gateway::{CallSpec, Client, Gateway, GatewayConfig, LoadMode, LoadgenConfig};
     pub use pard_metrics::{DropReason, Outcome, RequestLog, Table};
+    pub use pard_obs::{EngineFrame, FlightRecorder, ObsEvent, ObsKind};
     pub use pard_pipeline::{AppKind, ModuleSpec, PipelineSpec};
     pub use pard_policies::{make_factory, OcConfig, SystemKind};
     pub use pard_profile::{plan_batches, ModelProfile};
