@@ -1,0 +1,42 @@
+//! Per-cell setup cost for the sweep engine.
+//!
+//! A sweep cell pays three setup costs before replaying a single
+//! request: synthesising the wire schedule, constructing the
+//! `SimServer`, and — until `pard-sweep` disabled it — eagerly
+//! allocating the default 65 536-slot flight recorder, which dominated
+//! engine construction on small grids. The sweep amortises the first
+//! (schedules are cached by trace/SLO/seed coordinates and shared
+//! across the policy and worker axes) and eliminates the third
+//! (`build_sim_engine(…, Some(0))`); this bench keeps the split
+//! honest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pard_harness::{build_schedule, build_sim_engine, Scenario, TraceSpec};
+use pard_pipeline::AppKind;
+use std::hint::black_box;
+
+fn bench_sweep_setup(c: &mut Criterion) {
+    let scenario = Scenario::new(
+        "bench_setup",
+        AppKind::Tm,
+        TraceSpec::Constant {
+            rate: 100.0,
+            len_s: 10,
+        },
+    );
+    let mut group = c.benchmark_group("sweep_setup");
+    group.sample_size(20);
+    group.bench_function("build_schedule_10s_at_100rps", |b| {
+        b.iter(|| black_box(build_schedule(&scenario).1.len()))
+    });
+    group.bench_function("build_sim_default_recorder", |b| {
+        b.iter(|| black_box(build_sim_engine(&scenario, None)))
+    });
+    group.bench_function("build_sim_recorder_disabled", |b| {
+        b.iter(|| black_box(build_sim_engine(&scenario, Some(0))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_setup);
+criterion_main!(benches);

@@ -100,6 +100,7 @@ pub struct EngineBuilder {
     cold_start: Option<SimDuration>,
     exec_jitter_sigma: Option<f64>,
     net_delay: Option<SimDuration>,
+    recorder_capacity: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -117,6 +118,7 @@ impl EngineBuilder {
             cold_start: None,
             exec_jitter_sigma: None,
             net_delay: None,
+            recorder_capacity: None,
         }
     }
 
@@ -190,6 +192,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Sizes the simulated engine's flight-recorder ring (entries,
+    /// rounded up to a power of two); `0` disables recording entirely.
+    /// The default ring eagerly allocates ~65k slots, which dominates
+    /// engine construction when thousands of short-lived engines are
+    /// built — a parallel sweep disables it per cell. Simulator backend
+    /// only; inert on the live backend (which exposes no recorder).
+    pub fn with_recorder_capacity(mut self, capacity: usize) -> EngineBuilder {
+        self.recorder_capacity = Some(capacity);
+        self
+    }
+
     /// Builds the engine behind the trait — the form front-ends like
     /// the gateway consume. For backend-specific surface (e.g.
     /// [`pard_runtime::LiveCluster::run_open_loop`]) use
@@ -254,6 +267,9 @@ impl EngineBuilder {
     /// exposed.
     pub fn build_sim(self, mut config: ClusterConfig) -> Result<SimEngine, EngineError> {
         let workers_override = self.workers_per_module.clone();
+        let recorder_capacity = self
+            .recorder_capacity
+            .unwrap_or(pard_obs::FlightRecorder::DEFAULT_CAPACITY);
         // Builder-level cluster dynamics override the passed config.
         if let Some(faults) = self.faults.clone() {
             config.faults = faults;
@@ -331,7 +347,7 @@ impl EngineBuilder {
             }
         }
         let server = SimServer::new(spec, profiles, policy, config, workers);
-        Ok(SimEngine::new(server))
+        Ok(SimEngine::with_recorder_capacity(server, recorder_capacity))
     }
 
     /// Validates the spec and resolves profiles and policy.

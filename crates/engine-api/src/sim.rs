@@ -83,17 +83,31 @@ pub struct SimEngine {
     now_us: AtomicU64,
     /// Flight recorder shared with the wrapped server's world; handed
     /// out by [`EngineHandle::telemetry`] so front-ends can add edge
-    /// events and dump the combined stream.
-    recorder: Arc<FlightRecorder>,
+    /// events and dump the combined stream. `None` when recording was
+    /// disabled at build time ([`SimEngine::with_recorder_capacity`]
+    /// with capacity 0) — the default ring is ~65k slots of eager
+    /// allocation, which dominates engine setup for short-lived
+    /// engines like parallel sweep cells.
+    recorder: Option<Arc<FlightRecorder>>,
     inner: Mutex<Inner>,
 }
 
 impl SimEngine {
     /// Wraps a stepped simulation server; lifecycle events are
     /// recorded into a fresh default-capacity [`FlightRecorder`].
-    pub fn new(mut server: SimServer) -> SimEngine {
-        let recorder = Arc::new(FlightRecorder::new());
-        server.set_recorder(Arc::clone(&recorder));
+    pub fn new(server: SimServer) -> SimEngine {
+        SimEngine::with_recorder_capacity(server, FlightRecorder::DEFAULT_CAPACITY)
+    }
+
+    /// Wraps a stepped simulation server with an explicitly sized
+    /// flight-recorder ring; `capacity == 0` disables recording
+    /// entirely ([`EngineHandle::telemetry`] returns `None` and no
+    /// lifecycle events are buffered).
+    pub fn with_recorder_capacity(mut server: SimServer, capacity: usize) -> SimEngine {
+        let recorder = (capacity > 0).then(|| Arc::new(FlightRecorder::with_capacity(capacity)));
+        if let Some(recorder) = &recorder {
+            server.set_recorder(Arc::clone(recorder));
+        }
         SimEngine {
             spec: server.spec().clone(),
             now_us: AtomicU64::new(server.now().as_micros()),
@@ -194,6 +208,6 @@ impl EngineHandle for SimEngine {
     }
 
     fn telemetry(&self) -> Option<Arc<FlightRecorder>> {
-        Some(Arc::clone(&self.recorder))
+        self.recorder.clone()
     }
 }

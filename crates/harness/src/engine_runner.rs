@@ -1,0 +1,207 @@
+//! Socketless scenario replay: the wire path without the wire.
+//!
+//! [`run_scenario`](crate::run_scenario) measures the full serving
+//! stack — sockets, protocol decode, the pending table — which is what
+//! a golden scenario wants on the hook. A parallel sweep running
+//! thousands of cells wants none of it: per-cell loopback listeners
+//! and connection threads would dominate runtime and fight over
+//! ephemeral ports. This module replays the *identical* schedule
+//! through [`EngineHandle`] directly, mirroring the gateway's
+//! scheduled-replay request path step for step:
+//!
+//! 1. `advance_to(at)` pins the stepped clock to the scheduled arrival;
+//! 2. admission decides against a **fresh** [`EdgeSnapshot`] taken at
+//!    exactly that instant ([`EdgeSnapshot::decide_traced`] — the same
+//!    arithmetic, on the same inputs);
+//! 3. rejections take an id from the gateway's edge-id space
+//!    ([`EDGE_ID_BASE`]); admissions submit with the arrival pinned;
+//! 4. the flush releases the clock gate past the trace tail plus the
+//!    scenario's drain, and anything still unresolved is flushed as a
+//!    drop — exactly what [`pard_gateway::Gateway::shutdown`] does to
+//!    its pending table.
+//!
+//! Because every decision input is reproduced exactly, the socketless
+//! path yields the **same per-request outcome vector** as the wire
+//! path (asserted by `tests/engine_path.rs` against a golden
+//! scenario), so a sweep cell and a golden scenario measure the same
+//! thing.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+
+use pard_core::Decision;
+use pard_engine_api::{Completion, EngineHandle, SubmitSpec};
+use pard_gateway::{EdgeSnapshot, EDGE_ID_BASE};
+use pard_metrics::{DropReason, Outcome};
+use pard_obs::{FlightRecorder, ObsEvent, ObsKind};
+use pard_sim::{SimDuration, SimTime};
+use pard_workload::WireEvent;
+
+use crate::outcome::{OutcomeTaxonomy, RequestOutcome};
+use crate::runner::{build_schedule, build_sim_engine, ScenarioRun};
+use crate::scenario::Scenario;
+
+/// Records one edge admission decision into the engine's flight
+/// recorder — the mirror of the gateway's `record_edge_decision`, so
+/// [`crate::explain_divergence`] reads identically on either path.
+fn record_edge_decision(
+    recorder: Option<&std::sync::Arc<FlightRecorder>>,
+    now: SimTime,
+    id: u64,
+    trace: &pard_gateway::EdgeTrace,
+    reason: Option<DropReason>,
+) {
+    if let Some(recorder) = recorder {
+        recorder.record(&ObsEvent {
+            t_us: now.as_micros(),
+            req: id,
+            kind: ObsKind::EdgeDecision {
+                lead_us: trace.lead_us,
+                sub_us: trace.sub_us,
+                slack_us: trace.slack_us,
+                reason,
+            },
+        });
+    }
+}
+
+/// Replays a pre-built schedule against a pre-built **simulated**
+/// engine and classifies every request. This is the sweep engine's
+/// per-cell hot loop: the schedule is built once per (trace, seed) and
+/// shared across every cell that differs only in policy or workers,
+/// and `recorder_capacity = 0` in [`crate::runner::build_sim_engine`]
+/// skips the flight-recorder allocation entirely.
+///
+/// `trace_duration` is the rate envelope's length (the flush point is
+/// its end plus the scenario's drain, like the wire path's trailing
+/// `advance` control line).
+pub fn run_schedule_engine(
+    scenario: &Scenario,
+    engine: Box<dyn EngineHandle>,
+    events: &[WireEvent],
+    trace_duration: SimDuration,
+) -> ScenarioRun {
+    let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
+    engine.set_completion_sink(completion_tx);
+    let recorder = engine.telemetry();
+
+    let source = engine.spec().source();
+    let paths = pard_pipeline::graph::downstream_paths(engine.spec(), source);
+
+    // Replay. `pending[seq]` holds the engine-assigned id of each
+    // admitted request; edge rejections classify immediately.
+    let mut edge_seq: u64 = 0;
+    let mut admitted: Vec<(u64, u64, u64)> = Vec::new(); // (seq, at_us, id)
+    let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; events.len()];
+    for (index, event) in events.iter().enumerate() {
+        let at = event.at;
+        engine.advance_to(at);
+        let now = engine.now();
+        let slo = scenario
+            .slo
+            .slo_for(index as u64)
+            .map(SimDuration::from_millis)
+            .unwrap_or(engine.spec().slo);
+        let deadline = now + slo;
+        let (decision, trace) =
+            EdgeSnapshot::new(engine.edge_state(), source, &paths).decide_traced(now, deadline);
+        match decision {
+            Decision::Drop(reason) => {
+                let id = EDGE_ID_BASE + edge_seq;
+                edge_seq += 1;
+                record_edge_decision(recorder.as_ref(), now, id, &trace, Some(reason));
+                outcomes[index] = Some(RequestOutcome {
+                    seq: index as u64,
+                    at_us: at.as_micros(),
+                    label: "dropped_edge",
+                    id: Some(id),
+                    latency_us: None,
+                });
+            }
+            Decision::Admit => {
+                let id = engine.submit(SubmitSpec {
+                    slo: Some(slo),
+                    tag: 0,
+                    at: Some(at),
+                });
+                record_edge_decision(recorder.as_ref(), now, id, &trace, None);
+                admitted.push((index as u64, at.as_micros(), id));
+            }
+        }
+    }
+
+    // Flush: release the clock gate past the last arrival plus the
+    // drain window (the wire path's trailing `advance` control line),
+    // then stop the engine. Completions delivered up to the flush
+    // classify by their real outcome; anything later is flushed as a
+    // drop, exactly like the gateway's shutdown flush of its pending
+    // table.
+    let flush_to = (SimTime::ZERO + trace_duration).saturating_add(scenario.drain);
+    engine.advance_to(SimTime::from_micros(
+        flush_to.as_micros().min(pard_gateway::wire::MAX_VIRTUAL_US),
+    ));
+    let mut completions: HashMap<u64, Completion> = HashMap::new();
+    while let Ok(completion) = completion_rx.try_recv() {
+        completions.insert(completion.id, completion);
+    }
+    let _ = engine.drain(SimDuration::from_secs(1));
+
+    for (seq, at_us, id) in admitted {
+        let (label, latency_us) = match completions.get(&id) {
+            Some(completion) => match completion.outcome {
+                Outcome::Completed { .. } => {
+                    // µs → f64 ms → µs matches the wire's latency field
+                    // bit for bit (exact below ~2^52 µs).
+                    let latency_us = completion
+                        .latency()
+                        .map(|d| (d.as_millis_f64() * 1000.0).round() as u64);
+                    if completion.within_slo() {
+                        ("ok", latency_us)
+                    } else {
+                        ("violated", latency_us)
+                    }
+                }
+                Outcome::Dropped { .. } => ("dropped_pipeline", None),
+                Outcome::InFlight => unreachable!("completions are terminal"),
+            },
+            // Unresolved past the flush: the wire path answers these
+            // from the shutdown flush as drops.
+            None => ("dropped_pipeline", None),
+        };
+        outcomes[seq as usize] = Some(RequestOutcome {
+            seq,
+            at_us,
+            label,
+            id: Some(id),
+            latency_us,
+        });
+    }
+
+    let outcomes: Vec<RequestOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every scheduled request classified"))
+        .collect();
+    let taxonomy = OutcomeTaxonomy::build(scenario, &outcomes);
+    ScenarioRun {
+        outcomes,
+        taxonomy,
+        recorder,
+    }
+}
+
+/// Runs `scenario` end to end **without a gateway socket**: the same
+/// schedule builder, the same engine configuration, the same admission
+/// arithmetic and outcome classification as [`crate::run_scenario`] —
+/// minus the wire. Produces the identical per-request outcome vector
+/// (and therefore the identical golden taxonomy); see the module docs
+/// for the exact mirror.
+///
+/// # Panics
+///
+/// Like [`crate::run_scenario`], any infrastructure failure panics
+/// with context.
+pub fn run_scenario_engine(scenario: &Scenario) -> ScenarioRun {
+    let (trace, events) = build_schedule(scenario);
+    let engine = build_sim_engine(scenario, None);
+    run_schedule_engine(scenario, engine, &events, trace.duration())
+}

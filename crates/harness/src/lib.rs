@@ -24,6 +24,12 @@
 //!   autoscaling and cold-start knobs, seed, phases.
 //! * [`run_scenario`] — boots the gateway, replays the schedule,
 //!   classifies every request.
+//! * [`run_scenario_engine`] — the same schedule, admission
+//!   arithmetic, and classification **without a socket**: the replay
+//!   drives [`pard_engine_api::EngineHandle`] directly and mirrors the
+//!   gateway's scheduled-replay path step for step, producing the
+//!   identical outcome vector. This is the path `pard-sweep` fans
+//!   across cores.
 //! * [`OutcomeTaxonomy`] — per-phase counts of
 //!   `ok / violated / dropped_edge / dropped_pipeline / rejected /
 //!   unanswered`, serialised as JSON for golden snapshots.
@@ -43,14 +49,16 @@
 //! (envelope, live); the README's "Scenario suite" section catalogues
 //! both.
 
+pub mod engine_runner;
 pub mod envelope;
 pub mod golden;
 pub mod outcome;
 pub mod runner;
 pub mod scenario;
 
+pub use engine_runner::{run_scenario_engine, run_schedule_engine};
 pub use envelope::Envelope;
 pub use golden::{check_against_golden, explain_divergence, golden_path, snapshot_path};
 pub use outcome::{OutcomeTaxonomy, PhaseCounts, RequestOutcome};
-pub use runner::{run_scenario, run_scenario_live, ScenarioRun};
+pub use runner::{build_schedule, build_sim_engine, run_scenario, run_scenario_live, ScenarioRun};
 pub use scenario::{Burst, Phase, Scenario, ScenarioApp, SloMix, TraceSpec};

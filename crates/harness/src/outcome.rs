@@ -21,6 +21,10 @@ pub struct RequestOutcome {
     /// `None` for protocol rejections and unanswered requests. Keys
     /// the flight-recorder lookup when a golden diverges.
     pub id: Option<u64>,
+    /// End-to-end virtual latency for requests that completed (within
+    /// SLO or late); `None` for every other label. Feeds the sweep
+    /// engine's RTT quantiles.
+    pub latency_us: Option<u64>,
 }
 
 /// Outcome counts for one phase of a scenario.
@@ -243,6 +247,7 @@ mod tests {
                 at_us: i as u64 * 2_000_000, // one request every 2 s
                 label,
                 id: Some(i as u64 + 1),
+                latency_us: matches!(label, "ok" | "violated").then_some(90_000),
             })
             .collect()
     }

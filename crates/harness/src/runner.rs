@@ -6,10 +6,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pard_core::PardConfig;
-use pard_engine_api::{Backend, ClusterConfig, EngineBuilder, LiveConfig};
-use pard_gateway::client::{CallSpec, Client};
+use pard_engine_api::{Backend, ClusterConfig, EngineBuilder, EngineHandle, LiveConfig};
+use pard_gateway::client::{CallSpec, Client, Outcome};
 use pard_gateway::{Gateway, GatewayConfig};
 use pard_obs::FlightRecorder;
+use pard_pipeline::PipelineSpec;
+use pard_policies::{make_factory, OcConfig};
+use pard_profile::plan_batches;
 use pard_sim::SimTime;
 use pard_workload::wire_schedule;
 
@@ -47,9 +50,12 @@ impl std::fmt::Debug for ScenarioRun {
 }
 
 /// Builds the scenario's wire schedule (trace synthesis + arrival
-/// sampling + payload sizes, all seeded) — shared by the simulated and
-/// live runners so the two replay the identical request sequence.
-fn build_schedule(
+/// sampling + payload sizes, all seeded) — shared by the simulated,
+/// live, and socketless engine runners so all three replay the
+/// identical request sequence. Public so a sweep can build one
+/// schedule and share it across every cell that differs only in
+/// policy or worker allocation.
+pub fn build_schedule(
     scenario: &Scenario,
 ) -> (pard_workload::RateTrace, Vec<pard_workload::WireEvent>) {
     let trace = scenario.build_trace();
@@ -84,24 +90,49 @@ fn collect_outcomes(client: &mut Client, sent: Vec<(u64, u64)>) -> Vec<RequestOu
                 seq,
                 deadline.saturating_duration_since(std::time::Instant::now()),
             );
-            let (label, id) = answer
-                .map(|a| (a.outcome.taxonomy(), a.outcome.id()))
-                .unwrap_or(("unanswered", None));
+            let (label, id, latency_us) = answer
+                .map(|a| {
+                    // Wire latency travels as f64 milliseconds
+                    // (µs / 1000.0); the round-trip back to µs is exact
+                    // for any latency below ~2^52 µs, so this field is
+                    // bit-comparable against the socketless path.
+                    let latency_us = match a.outcome {
+                        Outcome::Ok { latency_ms, .. } | Outcome::Violated { latency_ms, .. } => {
+                            Some((latency_ms * 1000.0).round() as u64)
+                        }
+                        _ => None,
+                    };
+                    (a.outcome.taxonomy(), a.outcome.id(), latency_us)
+                })
+                .unwrap_or(("unanswered", None, None));
             RequestOutcome {
                 seq,
                 at_us,
                 label,
                 id,
+                latency_us,
             }
         })
         .collect()
 }
 
+/// The scenario's pipeline spec (builtin apps materialise theirs).
+fn pipeline_spec(app: &ScenarioApp) -> PipelineSpec {
+    match app {
+        ScenarioApp::Builtin(kind) => kind.pipeline(),
+        ScenarioApp::Custom { spec, .. } => spec.clone(),
+    }
+}
+
 /// The engine builder for a scenario's app — `for_app` for builtins,
 /// `new(spec)` (plus explicit profiles, when given) for custom
-/// pipelines.
-fn engine_builder(app: &ScenarioApp) -> EngineBuilder {
-    match app {
+/// pipelines — with the scenario's policy selection applied. A selected
+/// [`pard_policies::SystemKind`] is instantiated exactly as the
+/// experiment binaries do it: static-split inputs are the profiled
+/// execution durations at the planned batch sizes under the default
+/// headroom.
+fn engine_builder(scenario: &Scenario) -> EngineBuilder {
+    let mut builder = match &scenario.app {
         ScenarioApp::Builtin(kind) => EngineBuilder::for_app(*kind),
         ScenarioApp::Custom { spec, profiles } => {
             let builder = EngineBuilder::new(spec.clone());
@@ -110,7 +141,64 @@ fn engine_builder(app: &ScenarioApp) -> EngineBuilder {
                 None => builder,
             }
         }
+    };
+    if let Some(kind) = scenario.policy {
+        let spec = pipeline_spec(&scenario.app);
+        let profiles = match &scenario.app {
+            ScenarioApp::Custom {
+                profiles: Some(profiles),
+                ..
+            } => profiles.clone(),
+            _ => pard_cluster::resolve_profiles(&spec).unwrap_or_else(|e| {
+                panic!(
+                    "scenario {:?}: cannot resolve profiles for policy {:?}: \
+                     model {:?} is not in the zoo",
+                    scenario.name,
+                    kind.name(),
+                    e.module
+                )
+            }),
+        };
+        let plan = plan_batches(&profiles, spec.slo, ClusterConfig::default().headroom);
+        let exec_ms: Vec<f64> = profiles
+            .iter()
+            .zip(&plan.batch_sizes)
+            .map(|(p, &b)| p.latency_ms(b))
+            .collect();
+        builder = builder.with_policy(make_factory(kind, &spec, &exec_ms, OcConfig::default()));
     }
+    builder
+}
+
+/// Builds the scenario's **simulated** engine — the one configuration
+/// both the wire replay ([`run_scenario`]) and the socketless engine
+/// replay ([`crate::run_scenario_engine`]) boot, so the two paths can
+/// only diverge in transport, never in engine dynamics.
+/// `recorder_capacity` overrides the flight-recorder ring size
+/// (`Some(0)` disables recording entirely — the sweep engine's
+/// per-cell setup economy); `None` keeps the default ring.
+pub fn build_sim_engine(
+    scenario: &Scenario,
+    recorder_capacity: Option<usize>,
+) -> Box<dyn EngineHandle> {
+    let mut builder = engine_builder(scenario)
+        .with_faults(scenario.faults.clone())
+        .with_autoscale(scenario.autoscale)
+        .with_worker_cap(scenario.worker_cap)
+        .with_cold_start(scenario.cold_start)
+        .with_exec_jitter(scenario.exec_jitter_sigma);
+    if let Some(workers) = scenario.fixed_workers.clone() {
+        builder = builder.with_workers(workers);
+    }
+    if let Some(capacity) = recorder_capacity {
+        builder = builder.with_recorder_capacity(capacity);
+    }
+    let config = ClusterConfig::default()
+        .with_seed(scenario.seed)
+        .with_pard(PardConfig::default().with_mc_draws(scenario.mc_draws));
+    builder
+        .build(Backend::Sim(config))
+        .unwrap_or_else(|e| panic!("scenario {:?}: engine build failed: {e}", scenario.name))
 }
 
 /// Runs `scenario` end to end: builds the simulated engine, boots a
@@ -126,22 +214,7 @@ fn engine_builder(app: &ScenarioApp) -> EngineBuilder {
 /// an error the suite would have to unwrap anyway.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
     let (trace, events) = build_schedule(scenario);
-
-    let mut builder = engine_builder(&scenario.app)
-        .with_faults(scenario.faults.clone())
-        .with_autoscale(scenario.autoscale)
-        .with_worker_cap(scenario.worker_cap)
-        .with_cold_start(scenario.cold_start)
-        .with_exec_jitter(scenario.exec_jitter_sigma);
-    if let Some(workers) = scenario.fixed_workers.clone() {
-        builder = builder.with_workers(workers);
-    }
-    let config = ClusterConfig::default()
-        .with_seed(scenario.seed)
-        .with_pard(PardConfig::default().with_mc_draws(scenario.mc_draws));
-    let engine = builder
-        .build(Backend::Sim(config))
-        .unwrap_or_else(|e| panic!("scenario {:?}: engine build failed: {e}", scenario.name));
+    let engine = build_sim_engine(scenario, None);
 
     let gateway = Gateway::start(
         engine,
@@ -227,7 +300,7 @@ pub fn run_scenario_live(scenario: &Scenario, time_scale: f64) -> ScenarioRun {
         .fixed_workers
         .clone()
         .unwrap_or_else(|| vec![2; modules]);
-    let engine = engine_builder(&scenario.app)
+    let engine = engine_builder(scenario)
         .with_workers(workers)
         .build(Backend::Live(LiveConfig {
             time_scale,

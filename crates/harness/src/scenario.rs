@@ -2,6 +2,7 @@
 
 use pard_cluster::FaultSpec;
 use pard_pipeline::{AppKind, PipelineSpec};
+use pard_policies::SystemKind;
 use pard_profile::ModelProfile;
 use pard_sim::SimDuration;
 use pard_workload::{PayloadSpec, RateTrace, TraceKind};
@@ -222,6 +223,10 @@ pub struct Scenario {
     pub exec_jitter_sigma: f64,
     /// Monte-Carlo draws per drop decision (speed/precision knob).
     pub mc_draws: usize,
+    /// Which dropping system the workers run (`None`: full PARD). Any
+    /// registry entry works — baselines and ablations included — so a
+    /// sweep can compare policies on the identical schedule.
+    pub policy: Option<SystemKind>,
     /// Injected faults, timestamped in virtual trace time.
     pub faults: Vec<FaultSpec>,
     /// Master seed: trace synthesis, arrival sampling, payload sizes,
@@ -253,6 +258,7 @@ impl Scenario {
             cold_start: SimDuration::from_secs(4),
             exec_jitter_sigma: 0.02,
             mc_draws: 200,
+            policy: None,
             faults: Vec::new(),
             seed: 42,
             phases: Vec::new(),
@@ -290,6 +296,13 @@ impl Scenario {
         self.autoscale = true;
         self.worker_cap = worker_cap;
         self.cold_start = cold_start;
+        self
+    }
+
+    /// Selects the dropping system the workers run (default: full
+    /// PARD).
+    pub fn with_policy(mut self, policy: SystemKind) -> Scenario {
+        self.policy = Some(policy);
         self
     }
 

@@ -1,0 +1,111 @@
+//! The socketless engine path must measure the same thing as the wire
+//! path.
+//!
+//! `pard-sweep` fans [`pard_harness::run_scenario_engine`] across
+//! cores; its results are only meaningful if a sweep cell and a golden
+//! scenario agree. These tests drive one existing golden scenario
+//! (`steady_tm`, canaries included so the edge-rejection path is
+//! exercised) through both runners and assert the **full per-request
+//! outcome vectors** — labels, ids, and latencies — are identical, not
+//! just the taxonomy rollup.
+
+use pard_harness::{
+    golden_path, run_scenario, run_scenario_engine, OutcomeTaxonomy, Scenario, SloMix, TraceSpec,
+};
+use pard_pipeline::AppKind;
+use pard_policies::SystemKind;
+
+/// The `steady_tm` golden scenario, verbatim from the shipped suite.
+fn steady_tm() -> Scenario {
+    Scenario::new(
+        "steady_tm",
+        AppKind::Tm,
+        TraceSpec::Constant {
+            rate: 120.0,
+            len_s: 25,
+        },
+    )
+    .with_slo(SloMix {
+        default_ms: None,
+        tight_every: 10,
+    })
+}
+
+#[test]
+fn engine_path_matches_wire_path_on_a_golden_scenario() {
+    let scenario = steady_tm();
+    let wire = run_scenario(&scenario);
+    let engine = run_scenario_engine(&scenario);
+    assert_eq!(
+        wire.outcomes, engine.outcomes,
+        "socketless replay diverged from the wire replay"
+    );
+    assert_eq!(wire.taxonomy, engine.taxonomy);
+    // And both agree with the checked-in golden.
+    let golden = std::fs::read_to_string(golden_path(&scenario.name)).expect("golden exists");
+    let golden = OutcomeTaxonomy::from_json(&golden).expect("golden parses");
+    assert_eq!(engine.taxonomy, golden);
+}
+
+#[test]
+fn engine_path_is_bit_reproducible_and_policy_aware() {
+    // Two runs of the same cell must compare equal on the outcome
+    // vector (the sweep's determinism unit), and the policy axis must
+    // actually change behaviour — Naive admits everything at the edge,
+    // so its canaries become violations instead of edge rejections.
+    let scenario = steady_tm();
+    let first = run_scenario_engine(&scenario);
+    let second = run_scenario_engine(&scenario);
+    assert_eq!(first.outcomes, second.outcomes);
+
+    // The policy axis only shows under pressure — an underloaded PARD
+    // pipeline has nothing to drop — so probe it at ~3× capacity.
+    let overloaded = |name: &str| {
+        Scenario::new(
+            name,
+            AppKind::Tm,
+            TraceSpec::Constant {
+                rate: 400.0,
+                len_s: 8,
+            },
+        )
+    };
+    let pard = run_scenario_engine(&overloaded("probe_pard"));
+    let naive = run_scenario_engine(&overloaded("probe_naive").with_policy(SystemKind::Naive));
+    assert_ne!(
+        naive.taxonomy.phases, pard.taxonomy.phases,
+        "selecting the Naive worker policy must change behaviour under overload"
+    );
+    // Naive never drops inside the pipeline; PARD sheds load there to
+    // protect the requests it keeps.
+    assert_eq!(naive.taxonomy.total().dropped_pipeline, 0);
+    assert!(
+        pard.taxonomy.total().dropped_pipeline > 0,
+        "{:?}",
+        pard.taxonomy.total()
+    );
+}
+
+#[test]
+fn disabled_recorder_does_not_change_outcomes() {
+    // The sweep disables the flight recorder per cell (it is ~65k
+    // eagerly allocated slots of pure observability); recording must
+    // never feed back into behaviour.
+    let scenario = steady_tm();
+    let (trace, events) = pard_harness::build_schedule(&scenario);
+    let with_recorder = pard_harness::run_schedule_engine(
+        &scenario,
+        pard_harness::build_sim_engine(&scenario, None),
+        &events,
+        trace.duration(),
+    );
+    let without = pard_harness::run_schedule_engine(
+        &scenario,
+        pard_harness::build_sim_engine(&scenario, Some(0)),
+        &events,
+        trace.duration(),
+    );
+    assert!(with_recorder.recorder.is_some());
+    assert!(without.recorder.is_none());
+    assert_eq!(with_recorder.outcomes, without.outcomes);
+}

@@ -1,0 +1,234 @@
+//! `pard-sweep` — run a declarative scenario grid in parallel and
+//! report its Pareto frontier.
+//!
+//! ```text
+//! pard-sweep --spec sweep.json --out results.jsonl --front front.json --threads 4
+//! pard-sweep --spec sweep.json --pin 17 --golden-dir crates/harness/tests/golden
+//! ```
+//!
+//! Results stream to `--out` as one JSON line per cell **as cells
+//! finish** (completion order; sort by `cell` for the canonical
+//! deterministic view). The frontier report lands in `--front` after
+//! the sweep completes. Wall-clock timing is printed to stdout only —
+//! nothing time-dependent ever enters the output files.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use pard_pipeline::json::Value;
+use pard_sweep::{pareto_front_of, run_sweep, CellRecord, SweepSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pard-sweep --spec <sweep.json> [options]\n\
+         \n\
+         options:\n\
+           --spec <file>        sweep grid spec (JSON; required)\n\
+           --out <file>         per-cell results, one JSON line each (default results.jsonl)\n\
+           --front <file>       Pareto-frontier report JSON (default: skip)\n\
+           --threads <n>        worker threads; 0 = all cores (default 0)\n\
+           --pin <cell>         re-run one cell and write its golden snapshot, then exit\n\
+           --golden-dir <dir>   where --pin writes (default crates/harness/tests/golden)\n\
+           --quiet              suppress the per-cell progress line"
+    );
+    std::process::exit(2)
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("pard-sweep: {message}");
+    std::process::exit(2)
+}
+
+struct Options {
+    spec: PathBuf,
+    out: PathBuf,
+    front: Option<PathBuf>,
+    threads: usize,
+    pin: Option<u64>,
+    golden_dir: PathBuf,
+    quiet: bool,
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut spec = None;
+    let mut out = PathBuf::from("results.jsonl");
+    let mut front = None;
+    let mut threads = 0usize;
+    let mut pin = None;
+    let mut golden_dir = PathBuf::from("crates/harness/tests/golden");
+    let mut quiet = false;
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => spec = Some(PathBuf::from(value(&mut args, "--spec"))),
+            "--out" => out = PathBuf::from(value(&mut args, "--out")),
+            "--front" => front = Some(PathBuf::from(value(&mut args, "--front"))),
+            "--threads" => {
+                threads = value(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| die("--threads needs an integer"))
+            }
+            "--pin" => {
+                pin = Some(
+                    value(&mut args, "--pin")
+                        .parse()
+                        .unwrap_or_else(|_| die("--pin needs a cell id")),
+                )
+            }
+            "--golden-dir" => golden_dir = PathBuf::from(value(&mut args, "--golden-dir")),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Options {
+        spec: spec.unwrap_or_else(|| die("--spec is required (try --help)")),
+        out,
+        front,
+        threads,
+        pin,
+        golden_dir,
+        quiet,
+    }
+}
+
+/// The frontier report: enough per-cell context to read without
+/// joining against the results file, plus the witness edges.
+fn front_report(records: &[CellRecord]) -> Value {
+    let result = pareto_front_of(records);
+    let summarise = |cell: u64| {
+        let record = records.iter().find(|r| r.cell == cell).expect("cell ran");
+        let mut map = BTreeMap::new();
+        map.insert("cell".into(), Value::Number(record.cell as f64));
+        map.insert("policy".into(), Value::String(record.policy.clone()));
+        map.insert(
+            "workers".into(),
+            Value::Array(
+                record
+                    .workers
+                    .iter()
+                    .map(|&n| Value::Number(n as f64))
+                    .collect(),
+            ),
+        );
+        map.insert("trace".into(), Value::String(record.trace.clone()));
+        map.insert("seed".into(), Value::Number(record.seed as f64));
+        map.insert("goodput".into(), Value::Number(record.goodput));
+        map.insert(
+            "latency_p99_us".into(),
+            Value::Number(record.latency_p99_us),
+        );
+        map.insert("cost_worker_s".into(), Value::Number(record.cost_worker_s));
+        Value::Object(map)
+    };
+    let mut map = BTreeMap::new();
+    map.insert("cells".into(), Value::Number(records.len() as f64));
+    map.insert(
+        "front".into(),
+        Value::Array(result.front.iter().map(|p| summarise(p.cell)).collect()),
+    );
+    map.insert(
+        "dominated".into(),
+        Value::Array(
+            result
+                .dominated
+                .iter()
+                .map(|d| {
+                    let mut edge = BTreeMap::new();
+                    edge.insert("cell".into(), Value::Number(d.cell as f64));
+                    edge.insert("by".into(), Value::Number(d.by as f64));
+                    Value::Object(edge)
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(map)
+}
+
+fn main() {
+    let options = parse_args();
+    let spec_json = std::fs::read_to_string(&options.spec)
+        .unwrap_or_else(|e| die(&format!("read {}: {e}", options.spec.display())));
+    let spec = SweepSpec::from_json(&spec_json)
+        .unwrap_or_else(|e| die(&format!("{}: {e}", options.spec.display())));
+
+    if let Some(cell) = options.pin {
+        let path =
+            pard_sweep::pin_cell(&spec, cell, &options.golden_dir).unwrap_or_else(|e| die(&e));
+        println!("pinned cell {cell} as golden {}", path.display());
+        return;
+    }
+
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        options.threads
+    };
+    let out = File::create(&options.out)
+        .unwrap_or_else(|e| die(&format!("create {}: {e}", options.out.display())));
+    let out = Mutex::new(BufWriter::new(out));
+
+    println!(
+        "sweep {:?}: {} cells ({} policies x {} allocations x {} traces x {} SLO mixes x {} seeds) on {threads} threads",
+        spec.name,
+        spec.len(),
+        spec.policies.len(),
+        spec.workers.len(),
+        spec.traces.len(),
+        spec.slo_mixes.len(),
+        spec.seeds.len(),
+    );
+    let started = Instant::now();
+    let records = run_sweep(&spec, threads, |record| {
+        let mut out = out.lock().unwrap();
+        writeln!(out, "{}", record.to_json_line()).unwrap_or_else(|e| die(&format!("write: {e}")));
+        out.flush().ok();
+        if !options.quiet {
+            println!(
+                "  cell {:>4}  {:<12} goodput {:.4}  p99 {:>9.0}us  cost {:>7.1}ws",
+                record.cell,
+                record.policy,
+                record.goodput,
+                record.latency_p99_us,
+                record.cost_worker_s,
+            );
+        }
+    });
+    let wall = started.elapsed();
+    out.into_inner()
+        .unwrap()
+        .flush()
+        .unwrap_or_else(|e| die(&format!("flush {}: {e}", options.out.display())));
+
+    let report = front_report(&records);
+    let front_len = report
+        .get("front")
+        .and_then(Value::as_array)
+        .map_or(0, |a| a.len());
+    let dominated_len = report
+        .get("dominated")
+        .and_then(Value::as_array)
+        .map_or(0, |a| a.len());
+    if let Some(path) = &options.front {
+        let mut json = report.to_json();
+        json.push('\n');
+        std::fs::write(path, json)
+            .unwrap_or_else(|e| die(&format!("write {}: {e}", path.display())));
+    }
+    println!(
+        "{} cells in {:.2}s wall on {threads} threads -> {} ({} frontier, {} dominated)",
+        records.len(),
+        wall.as_secs_f64(),
+        options.out.display(),
+        front_len,
+        dominated_len,
+    );
+}

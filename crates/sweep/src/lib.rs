@@ -1,0 +1,45 @@
+//! `pard-sweep` — parallel scenario-sweep engine with a
+//! goodput/latency/cost Pareto-frontier explorer.
+//!
+//! PARD's evaluation questions are all of the form "across this grid
+//! of configurations, which ones are worth running?" (PAPER §5 sweeps
+//! rate, SLO tightness, and policy ablations). This crate makes that a
+//! first-class operation:
+//!
+//! 1. **Declare** a grid as a [`SweepSpec`] — five axes (worker
+//!    policy, worker allocation, trace + mean rate, SLO mix, seed
+//!    replication) over one application pipeline, parsed from a small
+//!    JSON schema (see the README's table) or built in code.
+//! 2. **Run** it with [`run_sweep`]: a scoped worker pool pulls cells
+//!    from a shared atomic index, each cell boots its own socketless
+//!    sim engine through the harness ([`pard_harness::run_schedule_engine`])
+//!    — the *same* schedule builder and outcome classifier the golden
+//!    scenario suite uses, so a sweep cell and a golden measure the
+//!    same thing. Each finished cell streams a one-line JSON
+//!    [`CellRecord`] through the `on_record` hook.
+//! 3. **Explore** with [`pareto_front`]: maximise goodput, minimise
+//!    p99 latency, minimise worker-seconds; the frontier is exactly
+//!    the non-dominated cells and every dominated cell carries a
+//!    frontier witness that beats it.
+//! 4. **Pin** a frontier cell as a golden scenario with [`pin_cell`]
+//!    — it writes the harness's golden-snapshot format, promoting an
+//!    explored configuration into the regression suite.
+//!
+//! Determinism is the contract throughout: records contain no
+//! wall-clock or host state, each cell's outcome vector is a pure
+//! function of the spec and its seed, and the record set is
+//! bit-identical at any `--threads` value (completion *order* is the
+//! only thing parallelism may change, and the results are keyed and
+//! re-sorted by cell id). `cargo test -p pard-sweep` includes a
+//! property suite pitting the frontier scan against a brute-force
+//! dominance oracle and a thread-count-invariance check.
+
+pub mod pareto;
+pub mod record;
+pub mod runner;
+pub mod spec;
+
+pub use pareto::{pareto_front, pareto_front_of, Dominated, ParetoFront, ParetoPoint};
+pub use record::CellRecord;
+pub use runner::{pin_cell, run_sweep};
+pub use spec::{policy_from_name, trace_label, Cell, SweepSpec};

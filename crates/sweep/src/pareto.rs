@@ -1,0 +1,182 @@
+//! Goodput / latency / cost Pareto-frontier computation.
+//!
+//! A cell **dominates** another when it is at least as good on every
+//! objective — goodput no lower, p99 latency no higher, cost no higher
+//! — and strictly better on at least one. The frontier is exactly the
+//! set of non-dominated cells; everything else is reported with a
+//! *witness*: one frontier cell that dominates it, so the explorer can
+//! answer "why is this configuration not worth running?" with a
+//! concrete better alternative.
+//!
+//! The implementation sorts candidates by (goodput desc, latency asc,
+//! cost asc, cell asc) and scans once, testing each candidate against
+//! the accepted front only. That is sound because any dominator of a
+//! candidate sorts strictly before it under this order, and by
+//! transitivity some *frontier* member also dominates it — so a
+//! candidate clean against the front is clean against everything. The
+//! proptest suite pits this against a brute-force O(n²) oracle.
+
+use crate::record::CellRecord;
+
+/// One cell's coordinates in objective space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParetoPoint {
+    /// The cell id the point came from.
+    pub cell: u64,
+    /// Maximise: goodput fraction.
+    pub goodput: f64,
+    /// Minimise: p99 end-to-end latency, µs.
+    pub latency_us: f64,
+    /// Minimise: worker-seconds spent.
+    pub cost: f64,
+}
+
+impl ParetoPoint {
+    /// Whether `self` Pareto-dominates `other` (no worse on every
+    /// objective, strictly better on at least one).
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let no_worse = self.goodput >= other.goodput
+            && self.latency_us <= other.latency_us
+            && self.cost <= other.cost;
+        let strictly_better = self.goodput > other.goodput
+            || self.latency_us < other.latency_us
+            || self.cost < other.cost;
+        no_worse && strictly_better
+    }
+}
+
+/// A cell knocked off the frontier, with one frontier cell that beats
+/// it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dominated {
+    /// The losing cell.
+    pub cell: u64,
+    /// A frontier cell that dominates it.
+    pub by: u64,
+}
+
+/// The frontier and the cells it dominates, both in ascending cell-id
+/// order (stable across thread counts and completion order).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParetoFront {
+    /// Non-dominated cells.
+    pub front: Vec<ParetoPoint>,
+    /// Every other cell, with its witness.
+    pub dominated: Vec<Dominated>,
+}
+
+/// Computes the Pareto front over a set of points.
+pub fn pareto_front(points: &[ParetoPoint]) -> ParetoFront {
+    let mut order: Vec<&ParetoPoint> = points.iter().collect();
+    order.sort_by(|a, b| {
+        b.goodput
+            .total_cmp(&a.goodput)
+            .then(a.latency_us.total_cmp(&b.latency_us))
+            .then(a.cost.total_cmp(&b.cost))
+            .then(a.cell.cmp(&b.cell))
+    });
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    let mut dominated: Vec<Dominated> = Vec::new();
+    for point in order {
+        match front.iter().find(|f| f.dominates(point)) {
+            Some(winner) => dominated.push(Dominated {
+                cell: point.cell,
+                by: winner.cell,
+            }),
+            None => front.push(*point),
+        }
+    }
+    front.sort_by_key(|p| p.cell);
+    dominated.sort_by_key(|d| d.cell);
+    ParetoFront { front, dominated }
+}
+
+/// [`pareto_front`] over finished cell records.
+pub fn pareto_front_of(records: &[CellRecord]) -> ParetoFront {
+    let points: Vec<ParetoPoint> = records.iter().map(CellRecord::pareto_point).collect();
+    pareto_front(&points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(cell: u64, goodput: f64, latency_us: f64, cost: f64) -> ParetoPoint {
+        ParetoPoint {
+            cell,
+            goodput,
+            latency_us,
+            cost,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_a_strict_edge() {
+        let a = p(0, 0.9, 100.0, 10.0);
+        assert!(!a.dominates(&a), "a point never dominates itself");
+        assert!(a.dominates(&p(1, 0.9, 100.0, 11.0)));
+        assert!(a.dominates(&p(1, 0.8, 200.0, 20.0)));
+        // A trade-off (better latency, worse goodput) is incomparable.
+        assert!(!a.dominates(&p(1, 0.95, 150.0, 10.0)));
+        assert!(!p(1, 0.95, 150.0, 10.0).dominates(&a));
+    }
+
+    #[test]
+    fn front_separates_trade_offs_from_strict_losers() {
+        let points = vec![
+            p(0, 0.95, 200_000.0, 20.0), // frontier: best goodput
+            p(1, 0.80, 90_000.0, 20.0),  // frontier: best latency
+            p(2, 0.80, 150_000.0, 8.0),  // frontier: best cost
+            p(3, 0.70, 250_000.0, 25.0), // dominated by 0
+            p(4, 0.80, 95_000.0, 21.0),  // dominated by 1
+        ];
+        let result = pareto_front(&points);
+        let ids: Vec<u64> = result.front.iter().map(|f| f.cell).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(
+            result.dominated,
+            vec![Dominated { cell: 3, by: 0 }, Dominated { cell: 4, by: 1 },]
+        );
+    }
+
+    #[test]
+    fn duplicate_points_all_reach_the_front() {
+        // Equal points do not dominate each other (no strict edge), so
+        // ties survive — the explorer should see every cell that
+        // achieves the same optimum.
+        let points = vec![p(3, 0.9, 100.0, 10.0), p(1, 0.9, 100.0, 10.0)];
+        let result = pareto_front(&points);
+        let ids: Vec<u64> = result.front.iter().map(|f| f.cell).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert!(result.dominated.is_empty());
+    }
+
+    #[test]
+    fn witnesses_always_sit_on_the_front() {
+        let points: Vec<ParetoPoint> = (0..20)
+            .map(|i| {
+                p(
+                    i,
+                    0.5 + (i % 7) as f64 / 20.0,
+                    100_000.0 + (i % 5) as f64 * 10_000.0,
+                    10.0 + (i % 3) as f64,
+                )
+            })
+            .collect();
+        let result = pareto_front(&points);
+        for d in &result.dominated {
+            let by = result
+                .front
+                .iter()
+                .find(|f| f.cell == d.by)
+                .expect("witness is a frontier cell");
+            let loser = points.iter().find(|q| q.cell == d.cell).unwrap();
+            assert!(by.dominates(loser));
+        }
+        assert_eq!(
+            result.front.len() + result.dominated.len(),
+            points.len(),
+            "every point is classified exactly once"
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! The one-line JSON record each sweep cell streams out.
+//!
+//! A [`CellRecord`] is deliberately free of wall-clock or host state:
+//! every field is a pure function of the spec and the cell's seed, so
+//! the same sweep produces **bit-identical** records regardless of
+//! thread count or completion order (the determinism the results file
+//! is compared on, after a stable sort by cell id). Serialisation goes
+//! through [`pard_pipeline::json::Value`] — object keys are sorted and
+//! number formatting is deterministic.
+
+use std::collections::BTreeMap;
+
+use pard_harness::{OutcomeTaxonomy, ScenarioRun};
+use pard_metrics::stats::quantiles;
+use pard_pipeline::json::{parse, Value};
+
+use crate::spec::{Cell, SweepSpec};
+
+/// The measured result of one grid cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellRecord {
+    /// The cell's stable row-major id.
+    pub cell: u64,
+    /// Policy registry name (`"PARD"`, `"Naive"`, …).
+    pub policy: String,
+    /// Per-module worker allocation.
+    pub workers: Vec<usize>,
+    /// Trace axis label ([`crate::spec::trace_label`]).
+    pub trace: String,
+    /// SLO mix: default SLO override, ms (`null`: app default).
+    pub slo_default_ms: Option<u64>,
+    /// SLO mix: canary cadence (0 disables).
+    pub slo_tight_every: u64,
+    /// The cell's seed.
+    pub seed: u64,
+    /// Requests replayed.
+    pub requests: u64,
+    /// Goodput fraction over the whole schedule (ok / sent) — the
+    /// Pareto **maximise** objective.
+    pub goodput: f64,
+    /// Virtual end-to-end RTT quantiles over completed requests, µs
+    /// (0 when nothing completed). p99 is the Pareto **minimise**
+    /// latency objective.
+    pub latency_p50_us: f64,
+    /// p95 of the same distribution.
+    pub latency_p95_us: f64,
+    /// p99 of the same distribution.
+    pub latency_p99_us: f64,
+    /// Worker budget × trace length, worker-seconds — the Pareto
+    /// **minimise** cost objective.
+    pub cost_worker_s: f64,
+    /// The full per-phase outcome taxonomy — the same structure golden
+    /// snapshots store, embedded so a cell can be diffed against (or
+    /// pinned as) a golden without re-running.
+    pub taxonomy: OutcomeTaxonomy,
+}
+
+impl CellRecord {
+    /// Builds the record for one finished cell.
+    pub fn new(spec: &SweepSpec, cell: &Cell, run: &ScenarioRun) -> CellRecord {
+        let total = run.taxonomy.total();
+        let mut latencies: Vec<f64> = run
+            .outcomes
+            .iter()
+            .filter_map(|o| o.latency_us.map(|us| us as f64))
+            .collect();
+        latencies.sort_by(f64::total_cmp);
+        let [p50, p95, p99] = if latencies.is_empty() {
+            [0.0; 3]
+        } else {
+            let qs = quantiles(&latencies, &[0.50, 0.95, 0.99]);
+            [qs[0], qs[1], qs[2]]
+        };
+        CellRecord {
+            cell: cell.id,
+            policy: spec.policies[cell.policy].name().to_string(),
+            workers: spec.workers[cell.workers].clone(),
+            trace: spec.trace_label(cell.trace),
+            slo_default_ms: spec.slo_mixes[cell.slo].default_ms,
+            slo_tight_every: spec.slo_mixes[cell.slo].tight_every,
+            seed: spec.seeds[cell.seed],
+            requests: total.sent,
+            goodput: total.goodput_fraction(),
+            latency_p50_us: p50,
+            latency_p95_us: p95,
+            latency_p99_us: p99,
+            cost_worker_s: spec.cost_worker_s(cell),
+            taxonomy: run.taxonomy.clone(),
+        }
+    }
+
+    /// The record as a [`Value`] object (sorted keys).
+    pub fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("cell".into(), Value::Number(self.cell as f64));
+        map.insert("policy".into(), Value::String(self.policy.clone()));
+        map.insert(
+            "workers".into(),
+            Value::Array(
+                self.workers
+                    .iter()
+                    .map(|&n| Value::Number(n as f64))
+                    .collect(),
+            ),
+        );
+        map.insert("trace".into(), Value::String(self.trace.clone()));
+        map.insert(
+            "slo_default_ms".into(),
+            match self.slo_default_ms {
+                Some(ms) => Value::Number(ms as f64),
+                None => Value::Null,
+            },
+        );
+        map.insert(
+            "slo_tight_every".into(),
+            Value::Number(self.slo_tight_every as f64),
+        );
+        map.insert("seed".into(), Value::Number(self.seed as f64));
+        map.insert("requests".into(), Value::Number(self.requests as f64));
+        map.insert("goodput".into(), Value::Number(self.goodput));
+        map.insert("latency_p50_us".into(), Value::Number(self.latency_p50_us));
+        map.insert("latency_p95_us".into(), Value::Number(self.latency_p95_us));
+        map.insert("latency_p99_us".into(), Value::Number(self.latency_p99_us));
+        map.insert("cost_worker_s".into(), Value::Number(self.cost_worker_s));
+        let taxonomy = parse(&self.taxonomy.to_json()).expect("taxonomy JSON parses");
+        map.insert("taxonomy".into(), taxonomy);
+        Value::Object(map)
+    }
+
+    /// One results-file line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Parses one results-file line.
+    pub fn from_json_line(line: &str) -> Option<CellRecord> {
+        let value = parse(line).ok()?;
+        let taxonomy = OutcomeTaxonomy::from_json(&value.get("taxonomy")?.to_json())?;
+        Some(CellRecord {
+            cell: value.get("cell")?.as_u64()?,
+            policy: value.get("policy")?.as_str()?.to_string(),
+            workers: value
+                .get("workers")?
+                .as_array()?
+                .iter()
+                .map(|n| n.as_u64().map(|n| n as usize))
+                .collect::<Option<Vec<_>>>()?,
+            trace: value.get("trace")?.as_str()?.to_string(),
+            slo_default_ms: match value.get("slo_default_ms")? {
+                Value::Null => None,
+                v => Some(v.as_u64()?),
+            },
+            slo_tight_every: value.get("slo_tight_every")?.as_u64()?,
+            seed: value.get("seed")?.as_u64()?,
+            requests: value.get("requests")?.as_u64()?,
+            goodput: value.get("goodput")?.as_f64()?,
+            latency_p50_us: value.get("latency_p50_us")?.as_f64()?,
+            latency_p95_us: value.get("latency_p95_us")?.as_f64()?,
+            latency_p99_us: value.get("latency_p99_us")?.as_f64()?,
+            cost_worker_s: value.get("cost_worker_s")?.as_f64()?,
+            taxonomy,
+        })
+    }
+
+    /// The record's coordinates in objective space.
+    pub fn pareto_point(&self) -> crate::pareto::ParetoPoint {
+        crate::pareto::ParetoPoint {
+            cell: self.cell,
+            goodput: self.goodput,
+            latency_us: self.latency_p99_us,
+            cost: self.cost_worker_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_harness::{PhaseCounts, RequestOutcome};
+
+    fn record() -> CellRecord {
+        CellRecord {
+            cell: 7,
+            policy: "PARD".into(),
+            workers: vec![2, 1, 1],
+            trace: "constant-120x10".into(),
+            slo_default_ms: None,
+            slo_tight_every: 10,
+            seed: 42,
+            requests: 1200,
+            goodput: 0.9375,
+            latency_p50_us: 88_000.0,
+            latency_p95_us: 145_500.5,
+            latency_p99_us: 190_001.0,
+            cost_worker_s: 40.0,
+            taxonomy: OutcomeTaxonomy {
+                scenario: "grid-c0007".into(),
+                seed: 42,
+                requests: 1200,
+                phases: vec![PhaseCounts {
+                    name: "all".into(),
+                    from_s: 0,
+                    to_s: 10,
+                    sent: 1200,
+                    ok: 1125,
+                    violated: 25,
+                    dropped_edge: 50,
+                    ..PhaseCounts::default()
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_results_line() {
+        let record = record();
+        let line = record.to_json_line();
+        assert!(!line.contains('\n'));
+        let parsed = CellRecord::from_json_line(&line).expect("parses");
+        assert_eq!(parsed, record);
+        // And the line itself is stable (sorted keys, deterministic
+        // number formatting).
+        assert_eq!(parsed.to_json_line(), line);
+    }
+
+    #[test]
+    fn latency_quantiles_come_from_completed_requests_only() {
+        let spec = SweepSpec::new(
+            "unit",
+            pard_pipeline::AppKind::Tm,
+            pard_harness::TraceSpec::Constant {
+                rate: 1.0,
+                len_s: 4,
+            },
+        );
+        let cells = spec.cells();
+        let outcomes: Vec<RequestOutcome> = [
+            ("ok", Some(10_000)),
+            ("violated", Some(30_000)),
+            ("dropped_edge", None),
+            ("ok", Some(20_000)),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &(label, latency_us))| RequestOutcome {
+            seq: i as u64,
+            at_us: i as u64 * 1_000_000,
+            label,
+            id: Some(i as u64),
+            latency_us,
+        })
+        .collect();
+        let scenario = spec.scenario(&cells[0]);
+        let taxonomy = OutcomeTaxonomy::build(&scenario, &outcomes);
+        let run = ScenarioRun {
+            outcomes,
+            taxonomy,
+            recorder: None,
+        };
+        let record = CellRecord::new(&spec, &cells[0], &run);
+        assert_eq!(record.requests, 4);
+        assert!((record.goodput - 0.5).abs() < 1e-12);
+        // Quantiles over {10ms, 20ms, 30ms}: the median is exact and
+        // the p99 tail interpolates toward the maximum
+        // (20ms + 0.98 × 10ms).
+        assert_eq!(record.latency_p50_us, 20_000.0);
+        assert_eq!(record.latency_p99_us, 29_800.0);
+        assert_eq!(record.cost_worker_s, 12.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! The parallel sweep executor.
+//!
+//! [`run_sweep`] fans a spec's cells across a scoped worker pool: one
+//! OS thread per requested slot, all pulling from a shared atomic work
+//! index (work-stealing in the degenerate-but-sufficient sense — an
+//! idle worker immediately claims the next unstarted cell, so an
+//! unlucky long cell never strands the rest of the grid behind it).
+//! Each cell boots its own socketless [`pard_harness`] engine, so
+//! cells share **no** mutable state and the per-cell record is the
+//! same bit pattern at any thread count.
+//!
+//! Two things keep small-grid overhead honest:
+//!
+//! * the wire schedule (trace sampling + payload synthesis) is cached
+//!   by `(trace, slo, seed)` axis coordinates — policy and worker axes
+//!   reuse it, so a 15-policy sweep builds each schedule once, and
+//! * cell engines are built with the flight recorder disabled
+//!   (`build_sim_engine(…, Some(0))`): a sweep wants the taxonomy, not
+//!   65 536 eagerly allocated trace slots per cell.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pard_harness::{build_schedule, build_sim_engine, run_schedule_engine};
+use pard_sim::SimDuration;
+use pard_workload::WireEvent;
+
+use crate::record::CellRecord;
+use crate::spec::{Cell, SweepSpec};
+
+/// A cached wire schedule: everything about a cell's input that does
+/// not depend on the policy or worker axes.
+struct Schedule {
+    duration: SimDuration,
+    events: Vec<WireEvent>,
+}
+
+/// Axis coordinates the schedule actually depends on. The trace axis
+/// fixes the arrival process, the SLO axis fixes the nominal
+/// per-request deadline stamped on the wire, and the seed fixes the
+/// sampling RNG.
+type ScheduleKey = (usize, usize, usize);
+
+struct ScheduleCache {
+    schedules: Mutex<HashMap<ScheduleKey, Arc<Schedule>>>,
+}
+
+impl ScheduleCache {
+    fn new() -> ScheduleCache {
+        ScheduleCache {
+            schedules: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get(&self, spec: &SweepSpec, cell: &Cell) -> Arc<Schedule> {
+        let key = (cell.trace, cell.slo, cell.seed);
+        if let Some(schedule) = self.schedules.lock().unwrap().get(&key) {
+            return Arc::clone(schedule);
+        }
+        // Build outside the lock — schedules for distinct keys can be
+        // synthesised concurrently; a racing duplicate is cheap and
+        // the first insert wins.
+        let (trace, events) = build_schedule(&spec.scenario(cell));
+        let schedule = Arc::new(Schedule {
+            duration: trace.duration(),
+            events,
+        });
+        Arc::clone(
+            self.schedules
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert(schedule),
+        )
+    }
+}
+
+/// Runs one cell to its finished record.
+fn run_cell(spec: &SweepSpec, cell: &Cell, cache: &ScheduleCache) -> CellRecord {
+    let scenario = spec.scenario(cell);
+    let schedule = cache.get(spec, cell);
+    let engine = build_sim_engine(&scenario, Some(0));
+    let run = run_schedule_engine(&scenario, engine, &schedule.events, schedule.duration);
+    CellRecord::new(spec, cell, &run)
+}
+
+/// Runs every cell of `spec` across `threads` workers and returns the
+/// records **in cell-id order**.
+///
+/// `on_record` fires once per cell as it completes (from the worker
+/// thread that ran it — this is the streaming hook the binary uses to
+/// append results lines while the sweep is still going). Completion
+/// order is nondeterministic; the returned vector is not.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`SweepSpec::validate`].
+pub fn run_sweep<F>(spec: &SweepSpec, threads: usize, on_record: F) -> Vec<CellRecord>
+where
+    F: Fn(&CellRecord) + Sync,
+{
+    spec.validate()
+        .unwrap_or_else(|e| panic!("invalid sweep spec: {e}"));
+    let cells = spec.cells();
+    let cache = ScheduleCache::new();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellRecord>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let workers = threads.max(1).min(cells.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= cells.len() {
+                    break;
+                }
+                let record = run_cell(spec, &cells[index], &cache);
+                on_record(&record);
+                *slots[index].lock().unwrap() = Some(record);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every cell ran"))
+        .collect()
+}
+
+/// Promotes one frontier cell to a golden scenario: re-runs the cell
+/// and writes its taxonomy in the harness's golden-snapshot format to
+/// `dir/<sweep>-c<id>.json`. Point `dir` at
+/// `crates/harness/tests/golden/` to pin it into the shipped suite —
+/// the scenario to re-check it with is [`SweepSpec::scenario`] for the
+/// same cell.
+pub fn pin_cell(spec: &SweepSpec, cell_id: u64, dir: &Path) -> Result<PathBuf, String> {
+    let cells = spec.cells();
+    let cell = cells
+        .iter()
+        .find(|c| c.id == cell_id)
+        .ok_or_else(|| format!("no cell {cell_id} in a {}-cell grid", cells.len()))?;
+    let scenario = spec.scenario(cell);
+    let run = pard_harness::run_scenario_engine(&scenario);
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{}.json", scenario.name));
+    std::fs::write(&path, run.taxonomy.to_json())
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_harness::TraceSpec;
+    use pard_pipeline::AppKind;
+    use pard_policies::SystemKind;
+    use std::sync::atomic::AtomicUsize;
+
+    fn small_grid() -> SweepSpec {
+        let mut spec = SweepSpec::new(
+            "unit",
+            AppKind::Tm,
+            TraceSpec::Constant {
+                rate: 40.0,
+                len_s: 3,
+            },
+        );
+        spec.policies = vec![SystemKind::Pard, SystemKind::Naive];
+        spec.seeds = vec![42, 43];
+        spec.drain_s = 10;
+        spec.mc_draws = 50;
+        spec
+    }
+
+    #[test]
+    fn records_come_back_in_cell_order_and_stream_once_per_cell() {
+        let spec = small_grid();
+        let streamed = AtomicUsize::new(0);
+        let records = run_sweep(&spec, 2, |_| {
+            streamed.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(records.len(), 4);
+        assert_eq!(streamed.load(Ordering::Relaxed), 4);
+        assert!(records.iter().enumerate().all(|(i, r)| r.cell == i as u64));
+        // Every cell actually replayed the trace.
+        assert!(records.iter().all(|r| r.requests > 0));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_records() {
+        let spec = small_grid();
+        let serial = run_sweep(&spec, 1, |_| {});
+        let parallel = run_sweep(&spec, 4, |_| {});
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pinning_writes_the_golden_format() {
+        let spec = small_grid();
+        let dir = std::env::temp_dir().join("pard-sweep-pin-test");
+        let path = pin_cell(&spec, 1, &dir).expect("pins");
+        let golden = std::fs::read_to_string(&path).expect("written");
+        let taxonomy =
+            pard_harness::OutcomeTaxonomy::from_json(&golden).expect("golden format parses");
+        assert_eq!(taxonomy.scenario, "unit-c0001");
+        // The pinned golden matches what the sweep measured for the
+        // same cell.
+        let records = run_sweep(&spec, 2, |_| {});
+        assert_eq!(taxonomy, records[1].taxonomy);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,466 @@
+//! The declarative sweep grid.
+//!
+//! A [`SweepSpec`] names one application and up to five axes — worker
+//! policy, per-module worker allocation, trace (with mean rate), SLO
+//! mix, and seed replication. Its cartesian product is the cell list:
+//! every combination becomes one deterministic [`Scenario`] replayed
+//! through the harness's socketless engine path. Cell ids are the
+//! **row-major index** over the axes in declaration order, so the same
+//! spec always yields the same id → configuration mapping regardless
+//! of thread count or completion order.
+
+use pard_harness::{Scenario, SloMix, TraceSpec};
+use pard_pipeline::json::{parse, Value};
+use pard_pipeline::AppKind;
+use pard_policies::SystemKind;
+use pard_sim::SimDuration;
+use pard_workload::TraceKind;
+
+/// One fully resolved grid coordinate: indices into the spec's axes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Row-major index over (policy, workers, trace, slo, seed) — the
+    /// stable identity every record and Pareto verdict keys on.
+    pub id: u64,
+    /// Index into [`SweepSpec::policies`].
+    pub policy: usize,
+    /// Index into [`SweepSpec::workers`].
+    pub workers: usize,
+    /// Index into [`SweepSpec::traces`].
+    pub trace: usize,
+    /// Index into [`SweepSpec::slo_mixes`].
+    pub slo: usize,
+    /// Index into [`SweepSpec::seeds`].
+    pub seed: usize,
+}
+
+/// A declarative sweep: one app, five axes, a cartesian grid of cells.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Sweep name; prefixes every cell's scenario name.
+    pub name: String,
+    /// The application pipeline every cell serves.
+    pub app: AppKind,
+    /// Worker-policy axis (any registry entry: PARD, baselines,
+    /// ablations).
+    pub policies: Vec<SystemKind>,
+    /// Worker-allocation axis: per-module worker counts, pinned.
+    pub workers: Vec<Vec<usize>>,
+    /// Trace axis (each entry is a full rate envelope).
+    pub traces: Vec<TraceSpec>,
+    /// SLO-mix axis.
+    pub slo_mixes: Vec<SloMix>,
+    /// Seed-replication axis.
+    pub seeds: Vec<u64>,
+    /// Virtual drain past each cell's trace tail, seconds.
+    pub drain_s: u64,
+    /// Monte-Carlo draws per drop decision (speed/precision knob).
+    pub mc_draws: usize,
+}
+
+impl SweepSpec {
+    /// A single-cell sweep skeleton: full PARD, one worker per module,
+    /// seed 42 — extend the axes from here.
+    pub fn new(name: impl Into<String>, app: AppKind, trace: TraceSpec) -> SweepSpec {
+        let modules = app.pipeline().modules.len();
+        SweepSpec {
+            name: name.into(),
+            app,
+            policies: vec![SystemKind::Pard],
+            workers: vec![vec![1; modules]],
+            traces: vec![trace],
+            slo_mixes: vec![SloMix::default()],
+            seeds: vec![42],
+            drain_s: 60,
+            mc_draws: 200,
+        }
+    }
+
+    /// Number of grid cells (the product of the axis lengths).
+    pub fn len(&self) -> usize {
+        self.policies.len()
+            * self.workers.len()
+            * self.traces.len()
+            * self.slo_mixes.len()
+            * self.seeds.len()
+    }
+
+    /// Whether the grid is empty (some axis has no entries).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The full cell list in row-major order over
+    /// (policy, workers, trace, slo, seed) — the id assignment every
+    /// results file and Pareto report refers back to.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut cells = Vec::with_capacity(self.len());
+        let mut id = 0u64;
+        for policy in 0..self.policies.len() {
+            for workers in 0..self.workers.len() {
+                for trace in 0..self.traces.len() {
+                    for slo in 0..self.slo_mixes.len() {
+                        for seed in 0..self.seeds.len() {
+                            cells.push(Cell {
+                                id,
+                                policy,
+                                workers,
+                                trace,
+                                slo,
+                                seed,
+                            });
+                            id += 1;
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Materialises one cell as a harness [`Scenario`] — the same type
+    /// a golden scenario is, so a sweep cell and a golden measure the
+    /// same thing. The scenario name embeds the cell id
+    /// (`<sweep>-c<id>`), which also names the golden file when a
+    /// frontier cell is pinned.
+    pub fn scenario(&self, cell: &Cell) -> Scenario {
+        let mut scenario = Scenario::new(
+            format!("{}-c{:04}", self.name, cell.id),
+            self.app,
+            self.traces[cell.trace].clone(),
+        )
+        .with_workers(self.workers[cell.workers].clone())
+        .with_slo(self.slo_mixes[cell.slo])
+        .with_seed(self.seeds[cell.seed])
+        .with_policy(self.policies[cell.policy]);
+        scenario.drain = SimDuration::from_secs(self.drain_s);
+        scenario.mc_draws = self.mc_draws;
+        scenario
+    }
+
+    /// The cell's total worker budget × trace length — the **cost**
+    /// objective of the Pareto analysis, in worker-seconds.
+    pub fn cost_worker_s(&self, cell: &Cell) -> f64 {
+        let budget: usize = self.workers[cell.workers].iter().sum();
+        (budget * self.traces[cell.trace].len_s()) as f64
+    }
+
+    /// A short human-stable label for a trace axis entry
+    /// (`constant-120x25`, `wiki-300-340@130`, …).
+    pub fn trace_label(&self, index: usize) -> String {
+        trace_label(&self.traces[index])
+    }
+
+    /// Structural validation: every axis non-empty, every worker
+    /// vector matching the pipeline shape with no zero pools.
+    pub fn validate(&self) -> Result<(), String> {
+        let modules = self.app.pipeline().modules.len();
+        for (name, len) in [
+            ("policies", self.policies.len()),
+            ("workers", self.workers.len()),
+            ("traces", self.traces.len()),
+            ("slo_mixes", self.slo_mixes.len()),
+            ("seeds", self.seeds.len()),
+        ] {
+            if len == 0 {
+                return Err(format!("axis {name:?} is empty"));
+            }
+        }
+        for (i, allocation) in self.workers.iter().enumerate() {
+            if allocation.len() != modules {
+                return Err(format!(
+                    "workers[{i}] has {} counts for {modules} modules",
+                    allocation.len()
+                ));
+            }
+            if allocation.contains(&0) {
+                return Err(format!("workers[{i}] contains a zero-worker module"));
+            }
+        }
+        if self.mc_draws == 0 {
+            return Err("mc_draws must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Parses the JSON sweep-spec format (see the README's schema
+    /// table). Required: `name`, `app`, `traces`. Every axis and knob
+    /// not given takes [`SweepSpec::new`]'s default.
+    pub fn from_json(json: &str) -> Result<SweepSpec, String> {
+        let value = parse(json).map_err(|e| e.to_string())?;
+        let name = value
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("spec needs a string \"name\"")?
+            .to_string();
+        let app_name = value
+            .get("app")
+            .and_then(Value::as_str)
+            .ok_or("spec needs a string \"app\"")?;
+        let app = AppKind::ALL
+            .into_iter()
+            .find(|a| a.name() == app_name)
+            .ok_or_else(|| {
+                let known: Vec<&str> = AppKind::ALL.iter().map(|a| a.name()).collect();
+                format!("unknown app {app_name:?} (builtins: {})", known.join(", "))
+            })?;
+        let traces = value
+            .get("traces")
+            .and_then(Value::as_array)
+            .ok_or("spec needs a \"traces\" array")?
+            .iter()
+            .map(parse_trace)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut spec = SweepSpec::new(
+            name,
+            app,
+            TraceSpec::Constant {
+                rate: 1.0,
+                len_s: 1,
+            },
+        );
+        spec.traces = traces;
+        if let Some(policies) = value.get("policies") {
+            let names = policies.as_array().ok_or("\"policies\" must be an array")?;
+            spec.policies = names
+                .iter()
+                .map(|v| {
+                    let name = v.as_str().ok_or("policy entries must be strings")?;
+                    policy_from_name(name)
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+        }
+        if let Some(workers) = value.get("workers") {
+            let rows = workers.as_array().ok_or("\"workers\" must be an array")?;
+            spec.workers = rows
+                .iter()
+                .map(|row| {
+                    row.as_array()
+                        .ok_or("worker entries must be arrays of counts")?
+                        .iter()
+                        .map(|n| {
+                            n.as_u64()
+                                .map(|n| n as usize)
+                                .ok_or_else(|| "worker counts must be non-negative integers".into())
+                        })
+                        .collect::<Result<Vec<usize>, String>>()
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+        }
+        if let Some(mixes) = value.get("slo_mixes") {
+            let rows = mixes.as_array().ok_or("\"slo_mixes\" must be an array")?;
+            spec.slo_mixes = rows.iter().map(parse_slo_mix).collect::<Result<_, _>>()?;
+        }
+        if let Some(seeds) = value.get("seeds") {
+            let rows = seeds.as_array().ok_or("\"seeds\" must be an array")?;
+            spec.seeds = rows
+                .iter()
+                .map(|n| n.as_u64().ok_or("seeds must be non-negative integers"))
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(drain) = value.get("drain_s") {
+            spec.drain_s = drain.as_u64().ok_or("\"drain_s\" must be an integer")?;
+        }
+        if let Some(draws) = value.get("mc_draws") {
+            spec.mc_draws = draws.as_u64().ok_or("\"mc_draws\" must be an integer")? as usize;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Looks a policy up by its registry display name, case-insensitively
+/// (`"PARD"`, `"naive"`, `"Clipper++"`, …).
+pub fn policy_from_name(name: &str) -> Result<SystemKind, String> {
+    SystemKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let known: Vec<&str> = SystemKind::ALL.iter().map(|k| k.name()).collect();
+            format!("unknown policy {name:?} (registry: {})", known.join(", "))
+        })
+}
+
+/// The short deterministic label for a trace axis entry.
+pub fn trace_label(trace: &TraceSpec) -> String {
+    match trace {
+        TraceSpec::Constant { rate, len_s } => format!("constant-{rate}x{len_s}"),
+        TraceSpec::Ramp { from, to, len_s } => format!("ramp-{from}-{to}x{len_s}"),
+        TraceSpec::Named {
+            kind,
+            window_s: (from, to),
+            mean_rate,
+        } => format!("{}-{from}-{to}@{mean_rate}", kind.name()),
+    }
+}
+
+fn parse_trace(value: &Value) -> Result<TraceSpec, String> {
+    let kind = value
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("trace entries need a string \"kind\"")?;
+    match kind {
+        "constant" => Ok(TraceSpec::Constant {
+            rate: value
+                .get("rate")
+                .and_then(Value::as_f64)
+                .ok_or("constant traces need a numeric \"rate\"")?,
+            len_s: value
+                .get("len_s")
+                .and_then(Value::as_u64)
+                .ok_or("constant traces need an integer \"len_s\"")? as usize,
+        }),
+        "ramp" => Ok(TraceSpec::Ramp {
+            from: value
+                .get("from")
+                .and_then(Value::as_f64)
+                .ok_or("ramp traces need a numeric \"from\"")?,
+            to: value
+                .get("to")
+                .and_then(Value::as_f64)
+                .ok_or("ramp traces need a numeric \"to\"")?,
+            len_s: value
+                .get("len_s")
+                .and_then(Value::as_u64)
+                .ok_or("ramp traces need an integer \"len_s\"")? as usize,
+        }),
+        name => {
+            let kind = TraceKind::ALL
+                .into_iter()
+                .find(|k| k.name() == name)
+                .ok_or_else(|| {
+                    format!("unknown trace kind {name:?} (constant, ramp, wiki, tweet, azure)")
+                })?;
+            let window = value
+                .get("window_s")
+                .and_then(Value::as_array)
+                .ok_or("named traces need a 2-element \"window_s\" array")?;
+            let (from, to) = match window {
+                [from, to] => (
+                    from.as_u64().ok_or("window_s bounds must be integers")? as usize,
+                    to.as_u64().ok_or("window_s bounds must be integers")? as usize,
+                ),
+                _ => return Err("\"window_s\" must have exactly two elements".into()),
+            };
+            if from >= to {
+                return Err(format!("window_s [{from}, {to}) is empty or inverted"));
+            }
+            Ok(TraceSpec::Named {
+                kind,
+                window_s: (from, to),
+                mean_rate: value
+                    .get("mean_rate")
+                    .and_then(Value::as_f64)
+                    .ok_or("named traces need a numeric \"mean_rate\"")?,
+            })
+        }
+    }
+}
+
+fn parse_slo_mix(value: &Value) -> Result<SloMix, String> {
+    let default_ms = match value.get("default_ms") {
+        Some(v) => Some(v.as_u64().ok_or("\"default_ms\" must be an integer")?),
+        None => None,
+    };
+    let tight_every = match value.get("tight_every") {
+        Some(v) => v.as_u64().ok_or("\"tight_every\" must be an integer")?,
+        None => 0,
+    };
+    Ok(SloMix {
+        default_ms,
+        tight_every,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"{
+        "name": "tm-grid",
+        "app": "tm",
+        "policies": ["PARD", "naive"],
+        "workers": [[1, 1, 1], [2, 1, 1]],
+        "traces": [
+            {"kind": "constant", "rate": 120, "len_s": 10},
+            {"kind": "wiki", "window_s": [300, 320], "mean_rate": 110}
+        ],
+        "slo_mixes": [{"tight_every": 10}, {"default_ms": 300}],
+        "seeds": [42, 43],
+        "drain_s": 20,
+        "mc_draws": 50
+    }"#;
+
+    #[test]
+    fn parses_the_full_schema_and_enumerates_row_major() {
+        let spec = SweepSpec::from_json(SPEC).expect("parses");
+        assert_eq!(spec.len(), 2 * 2 * 2 * 2 * 2);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 32);
+        // Ids are dense, ordered, and row-major: the innermost axis is
+        // the seed.
+        assert!(cells.iter().enumerate().all(|(i, c)| c.id == i as u64));
+        assert_eq!((cells[0].policy, cells[0].seed), (0, 0));
+        assert_eq!((cells[1].policy, cells[1].seed), (0, 1));
+        assert_eq!(cells[16].policy, 1);
+        // The materialised scenario carries every axis value.
+        let scenario = spec.scenario(&cells[31]);
+        assert_eq!(scenario.name, "tm-grid-c0031");
+        assert_eq!(scenario.seed, 43);
+        assert_eq!(scenario.fixed_workers, Some(vec![2, 1, 1]));
+        assert_eq!(scenario.policy, Some(SystemKind::Naive));
+        assert_eq!(scenario.mc_draws, 50);
+        assert_eq!(spec.cost_worker_s(&cells[0]), 3.0 * 10.0);
+    }
+
+    #[test]
+    fn defaults_fill_missing_axes() {
+        let spec = SweepSpec::from_json(
+            r#"{"name": "mini", "app": "tm",
+                "traces": [{"kind": "constant", "rate": 50, "len_s": 5}]}"#,
+        )
+        .expect("parses");
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec.policies, vec![SystemKind::Pard]);
+        assert_eq!(spec.workers, vec![vec![1, 1, 1]]);
+        assert_eq!(spec.seeds, vec![42]);
+        assert_eq!(spec.drain_s, 60);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        for (json, needle) in [
+            (r#"{"app": "tm", "traces": []}"#, "name"),
+            (
+                r#"{"name": "x", "app": "nope", "traces": []}"#,
+                "unknown app",
+            ),
+            (
+                r#"{"name": "x", "app": "tm", "traces": [{"kind": "constant", "rate": 1, "len_s": 1}],
+                    "policies": ["fifo-magic"]}"#,
+                "unknown policy",
+            ),
+            (
+                r#"{"name": "x", "app": "tm", "traces": [{"kind": "constant", "rate": 1, "len_s": 1}],
+                    "workers": [[1, 1]]}"#,
+                "3 modules",
+            ),
+            (
+                r#"{"name": "x", "app": "tm", "traces": [{"kind": "wiki", "window_s": [50, 40],
+                    "mean_rate": 100}]}"#,
+                "inverted",
+            ),
+            (r#"{"name": "x", "app": "tm", "traces": []}"#, "empty"),
+        ] {
+            let err = SweepSpec::from_json(json).expect_err(json);
+            assert!(err.contains(needle), "{json}: {err}");
+        }
+    }
+
+    #[test]
+    fn trace_labels_are_stable() {
+        let spec = SweepSpec::from_json(SPEC).expect("parses");
+        assert_eq!(spec.trace_label(0), "constant-120x10");
+        assert_eq!(spec.trace_label(1), "wiki-300-320@110");
+    }
+}

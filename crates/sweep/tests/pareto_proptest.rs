@@ -1,0 +1,94 @@
+//! Property tests for the Pareto-frontier scan against a brute-force
+//! O(n²) dominance oracle.
+//!
+//! The production scan sorts and tests candidates against the accepted
+//! front only; the oracle tests every point against every other point
+//! straight from the definition. They must agree exactly: the front is
+//! *precisely* the non-dominated set, every dominated cell's witness
+//! sits on the front and beats it, and the output is order-stable
+//! under input permutation.
+
+use pard_sim::DetRng;
+use pard_sweep::{pareto_front, ParetoPoint};
+use proptest::prelude::*;
+
+/// Random objective-space points. Coordinates are quantised to a small
+/// lattice so ties, duplicates, and exact dominance chains all occur
+/// often — the regime where a sloppy strictness test would diverge
+/// from the oracle.
+fn random_points(n: usize, seed: u64) -> Vec<ParetoPoint> {
+    let mut rng = DetRng::new(seed);
+    (0..n)
+        .map(|i| ParetoPoint {
+            cell: i as u64,
+            goodput: rng.below(8) as f64 / 8.0,
+            latency_us: 50_000.0 + rng.below(6) as f64 * 25_000.0,
+            cost: 5.0 + rng.below(4) as f64 * 5.0,
+        })
+        .collect()
+}
+
+/// The definitionally-correct frontier: a point is on it iff no other
+/// point dominates it.
+fn oracle_front(points: &[ParetoPoint]) -> Vec<u64> {
+    let mut ids: Vec<u64> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .map(|p| p.cell)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    /// The scan's frontier is exactly the oracle's non-dominated set.
+    #[test]
+    fn front_equals_the_brute_force_oracle(n in 1usize..80, seed in any::<u64>()) {
+        let points = random_points(n, seed);
+        let result = pareto_front(&points);
+        let ids: Vec<u64> = result.front.iter().map(|p| p.cell).collect();
+        prop_assert_eq!(ids, oracle_front(&points));
+    }
+
+    /// Every point is classified exactly once, and every dominated
+    /// point's witness is a frontier cell that actually dominates it.
+    #[test]
+    fn witnesses_are_frontier_cells_that_beat_the_loser(n in 1usize..80, seed in any::<u64>()) {
+        let points = random_points(n, seed);
+        let result = pareto_front(&points);
+        prop_assert_eq!(result.front.len() + result.dominated.len(), points.len());
+        for d in &result.dominated {
+            let by = result.front.iter().find(|f| f.cell == d.by);
+            prop_assert!(by.is_some(), "witness {} is not on the front", d.by);
+            let loser = points.iter().find(|p| p.cell == d.cell).unwrap();
+            prop_assert!(by.unwrap().dominates(loser));
+        }
+    }
+
+    /// Input order never matters: the report is keyed and sorted by
+    /// cell id, so a permuted point set produces the identical result.
+    #[test]
+    fn output_is_stable_under_input_permutation(n in 1usize..60, seed in any::<u64>()) {
+        let points = random_points(n, seed);
+        let baseline = pareto_front(&points);
+        let mut shuffled = points.clone();
+        let mut rng = DetRng::new(seed ^ 0x5eed);
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        prop_assert_eq!(pareto_front(&shuffled), baseline);
+    }
+
+    /// Frontier cells never dominate each other (mutual
+    /// non-domination is what makes the front a trade-off surface).
+    #[test]
+    fn frontier_cells_are_mutually_non_dominated(n in 1usize..60, seed in any::<u64>()) {
+        let points = random_points(n, seed);
+        let result = pareto_front(&points);
+        for a in &result.front {
+            for b in &result.front {
+                prop_assert!(!a.dominates(b), "{a:?} dominates fellow frontier cell {b:?}");
+            }
+        }
+    }
+}

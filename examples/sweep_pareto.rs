@@ -1,0 +1,76 @@
+//! Sweep a policy × rate × worker grid and print its Pareto frontier.
+//!
+//! ```text
+//! cargo run --release --example sweep_pareto
+//! ```
+//!
+//! Every cell replays the same deterministic schedule through the
+//! harness's socketless engine path, so re-running this example
+//! produces byte-identical records at any thread count.
+
+use pard::harness::TraceSpec;
+use pard::prelude::*;
+use pard::sweep::pareto_front_of;
+
+fn main() {
+    // Traffic-monitoring pipeline: sweep PARD against the naive
+    // baseline, a lean and a beefed-up worker allocation, and an
+    // in-capacity vs over-capacity arrival rate — 2 × 2 × 2 = 8 cells.
+    let mut spec = SweepSpec::new(
+        "demo",
+        AppKind::Tm,
+        TraceSpec::Constant {
+            rate: 100.0,
+            len_s: 10,
+        },
+    );
+    spec.policies = vec![SystemKind::Pard, SystemKind::Naive];
+    spec.workers = vec![vec![1, 1, 1], vec![2, 2, 2]];
+    spec.traces = vec![
+        TraceSpec::Constant {
+            rate: 100.0,
+            len_s: 10,
+        },
+        TraceSpec::Constant {
+            rate: 300.0,
+            len_s: 10,
+        },
+    ];
+    spec.drain_s = 20;
+    spec.mc_draws = 100;
+
+    let records = run_sweep(&spec, 2, |record| {
+        println!(
+            "cell {:>2}  {:<6} workers {:?} {:<16} goodput {:.4}  p99 {:>7.1} ms  cost {:>4.0} ws",
+            record.cell,
+            record.policy,
+            record.workers,
+            record.trace,
+            record.goodput,
+            record.latency_p99_us / 1_000.0,
+            record.cost_worker_s,
+        );
+    });
+
+    let front = pareto_front_of(&records);
+    println!(
+        "\nPareto frontier ({} of {} cells):",
+        front.front.len(),
+        records.len()
+    );
+    for point in &front.front {
+        println!(
+            "  cell {:>2}  goodput {:.4}  p99 {:>7.1} ms  cost {:>4.0} ws",
+            point.cell,
+            point.goodput,
+            point.latency_us / 1_000.0,
+            point.cost
+        );
+    }
+    for d in &front.dominated {
+        println!(
+            "  cell {:>2} is dominated by frontier cell {}",
+            d.cell, d.by
+        );
+    }
+}

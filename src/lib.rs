@@ -28,6 +28,7 @@
 //! | [`engine_api`] | unified `EngineHandle` front door over simulator + live runtime |
 //! | [`gateway`] | TCP serving front-end with edge admission, typed client + load generator |
 //! | [`harness`] | scenario harness: golden (sim) + envelope (live) e2e suites over real sockets |
+//! | [`sweep`] | parallel scenario-sweep engine + goodput/latency/cost Pareto explorer |
 //! | [`rag`] | §7 RAG workflow case study |
 //!
 //! # Examples
@@ -72,6 +73,7 @@ pub use pard_profile as profile;
 pub use pard_rag as rag;
 pub use pard_runtime as runtime;
 pub use pard_sim as sim;
+pub use pard_sweep as sweep;
 pub use pard_workload as workload;
 
 /// The most commonly used items in one import.
@@ -93,5 +95,6 @@ pub mod prelude {
     pub use pard_rag::{run_rag, RagConfig, RagPolicy, RagWorkload};
     pub use pard_runtime::{LiveCluster, LiveConfig, SleepBackend};
     pub use pard_sim::{DetRng, SimDuration, SimTime};
+    pub use pard_sweep::{pareto_front_of, run_sweep, CellRecord, SweepSpec};
     pub use pard_workload::{RateTrace, TraceKind};
 }
