@@ -193,7 +193,7 @@ impl SimServer {
             let w = self.sim.world_mut();
             let slo = slo.unwrap_or(w.spec.slo);
             let id = w.requests.insert(now, now.saturating_add(slo), &w.spec);
-            (id, now + w.config.net_delay, w.spec.source())
+            (id, now.saturating_add(w.config.net_delay), w.spec.source())
         };
         self.sim.schedule(
             arrival,

@@ -413,6 +413,57 @@ pub fn run_matrix(label: &str, effort: Effort) -> io::Result<BenchRun> {
         rows.push(BenchRow::from_report(case, 1, &report));
     }
 
+    // Open loop, sim backend, virtual pacing split across a replay
+    // group: three connections declare `replay_join` and the gateway
+    // re-serializes their slices into global schedule order — the
+    // multi-connection deterministic-replay path end to end.
+    {
+        let case = "replay/tm/sim";
+        eprintln!("bench: {case} …");
+        let app = AppKind::Tm;
+        let config = LoadgenConfig {
+            app: app.name().into(),
+            connections: 3,
+            mode: LoadMode::Open {
+                trace: constant(open_sim_rate, open_sim_secs),
+            },
+            pace: Pace::Virtual,
+            tight_fraction: 0.05,
+            time_scale: 1.0,
+            ..LoadgenConfig::default()
+        };
+        let report = run_case(app, sim_backend(app), &config)?;
+        rows.push(BenchRow::from_report(case, 3, &report));
+    }
+
+    // Open loop at connection scale: thousands of sockets multiplexed
+    // onto one epoll thread in the load generator, wall pacing — the
+    // C10K row (the CI smoke pushes the count higher across separate
+    // processes; in-process both sides share one fd budget).
+    {
+        let case = "mux/tm/sim";
+        eprintln!("bench: {case} …");
+        let connections = match effort {
+            Effort::Quick => 2000,
+            Effort::Full => 6000,
+        };
+        let app = AppKind::Tm;
+        let config = LoadgenConfig {
+            app: app.name().into(),
+            connections,
+            mode: LoadMode::Open {
+                trace: constant(open_sim_rate, open_sim_secs),
+            },
+            pace: Pace::Wall,
+            mux: true,
+            tight_fraction: 0.05,
+            time_scale: 1.0,
+            ..LoadgenConfig::default()
+        };
+        let report = run_case(app, sim_backend(app), &config)?;
+        rows.push(BenchRow::from_report(case, connections, &report));
+    }
+
     // Open loop, live backend, wall pacing: trace replay fidelity on
     // the compressed wall clock.
     {

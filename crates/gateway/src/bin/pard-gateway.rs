@@ -10,29 +10,42 @@
 //! # exactly from --seed and the request order):
 //! pard-gateway --app da --backend sim --seed 42
 //!
+//! # Multi-tenant: two apps behind one listener, each with its own
+//! # engine, edge rate limit, and weighted pending-table share:
+//! pard-gateway --app tm --app lv --backend sim \
+//!              --rate-limit tm:500:100 --weight tm:3 --weight lv:1
+//!
 //! # Arbitrary pipeline from a JSON spec file:
 //! pard-gateway --pipeline my_pipeline.json --backend sim
 //! ```
 //!
-//! Serves the chosen pipeline over the v2 newline-delimited JSON
-//! protocol, rejecting hopeless requests at the edge via PARD
-//! admission. With `--duration` the gateway shuts itself down after
-//! that many wall seconds and prints the run summary; without it, it
-//! serves until killed.
+//! Serves the chosen pipelines over the v2 newline-delimited JSON
+//! protocol, routing each request by its wire `app` field and rejecting
+//! hopeless requests at the edge via PARD admission. With `--duration`
+//! the gateway shuts itself down after that many wall seconds and
+//! prints the run summary; without it, it serves until killed.
 
 use std::time::Duration;
 
 use pard_engine_api::{Backend, ClusterConfig, EngineBuilder, LiveConfig};
-use pard_gateway::{Gateway, GatewayConfig};
+use pard_gateway::{AppConfig, Gateway, GatewayConfig, RateLimit};
 use pard_pipeline::{AppKind, PipelineSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pard-gateway [--app tm|lv|gm|da | --pipeline SPEC.json]\n\
+        "usage: pard-gateway [--app tm|lv|gm|da ... | --pipeline SPEC.json]\n\
          \x20                   [--backend live|sim] [--addr HOST:PORT] [--metrics HOST:PORT]\n\
          \x20                   [--workers N] [--scale F] [--seed N] [--max-pending N]\n\
-         \x20                   [--no-replay]\n\
-         \x20                   [--duration SECS]"
+         \x20                   [--rate-limit APP:RATE:BURST] [--weight APP:W]\n\
+         \x20                   [--shards N] [--no-replay]\n\
+         \x20                   [--duration SECS]\n\
+         \n\
+         --app may repeat (or take a comma-separated list): each entry is\n\
+         served as its own tenant behind the one listener, routed by the\n\
+         wire `app` field. --rate-limit gives a tenant a token-bucket edge\n\
+         limit; --weight sets its share of the guaranteed half of the\n\
+         pending table (default 1). --shards sets the I/O event-loop\n\
+         thread count."
     );
     std::process::exit(2);
 }
@@ -56,8 +69,52 @@ fn parse_app(name: &str) -> PipelineSpec {
     }
 }
 
+/// `APP:RATE:BURST` → (app, limit).
+fn parse_rate_limit(text: &str) -> (String, RateLimit) {
+    let parts: Vec<&str> = text.split(':').collect();
+    let parsed = match parts.as_slice() {
+        [app, rate, burst] => rate
+            .parse::<f64>()
+            .ok()
+            .zip(burst.parse::<f64>().ok())
+            .filter(|(rate, burst)| *rate > 0.0 && *burst > 0.0)
+            .map(|(rate_per_sec, burst)| {
+                (
+                    app.to_string(),
+                    RateLimit {
+                        rate_per_sec,
+                        burst,
+                    },
+                )
+            }),
+        _ => None,
+    };
+    parsed.unwrap_or_else(|| {
+        die(format!(
+            "invalid --rate-limit {text:?} (expected APP:RATE:BURST with positive numbers)"
+        ))
+    })
+}
+
+/// `APP:W` → (app, weight).
+fn parse_weight(text: &str) -> (String, usize) {
+    let parsed = match text.split_once(':') {
+        Some((app, w)) => w
+            .parse::<usize>()
+            .ok()
+            .filter(|w| *w > 0)
+            .map(|w| (app.to_string(), w)),
+        None => None,
+    };
+    parsed.unwrap_or_else(|| {
+        die(format!(
+            "invalid --weight {text:?} (expected APP:W with W >= 1)"
+        ))
+    })
+}
+
 fn main() {
-    let mut app: Option<String> = None;
+    let mut apps: Vec<String> = Vec::new();
     let mut pipeline_path: Option<String> = None;
     let mut backend = "live".to_string();
     let mut config = GatewayConfig::default();
@@ -65,6 +122,8 @@ fn main() {
     let mut scale = 1.0f64;
     let mut seed = 42u64;
     let mut duration: Option<u64> = None;
+    let mut rate_limits: Vec<(String, RateLimit)> = Vec::new();
+    let mut weights: Vec<(String, usize)> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -80,7 +139,13 @@ fn main() {
                 .clone()
         };
         match flag.as_str() {
-            "--app" => app = Some(value()),
+            "--app" => apps.extend(
+                value()
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from),
+            ),
             "--pipeline" => pipeline_path = Some(value()),
             "--backend" => backend = value(),
             "--addr" => config.addr = value(),
@@ -89,6 +154,9 @@ fn main() {
             "--scale" => scale = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
             "--max-pending" => config.max_pending = value().parse().unwrap_or_else(|_| usage()),
+            "--rate-limit" => rate_limits.push(parse_rate_limit(&value())),
+            "--weight" => weights.push(parse_weight(&value())),
+            "--shards" => config.shards = value().parse().unwrap_or_else(|_| usage()),
             "--no-replay" => config.allow_replay = false,
             "--duration" => duration = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
@@ -97,45 +165,77 @@ fn main() {
         i += 1;
     }
 
-    let spec = match (app, pipeline_path) {
-        (Some(_), Some(_)) => die("--app and --pipeline are mutually exclusive"),
-        (Some(name), None) => parse_app(&name),
-        (None, Some(path)) => {
+    let specs: Vec<PipelineSpec> = match (&apps[..], pipeline_path) {
+        ([], None) => vec![parse_app("tm")],
+        (names, None) => names.iter().map(|name| parse_app(name)).collect(),
+        ([], Some(path)) => {
             let text = std::fs::read_to_string(&path)
                 .unwrap_or_else(|e| die(format!("cannot read {path:?}: {e}")));
-            PipelineSpec::from_json(&text)
-                .unwrap_or_else(|e| die(format!("invalid pipeline spec {path:?}: {e}")))
+            vec![PipelineSpec::from_json(&text)
+                .unwrap_or_else(|e| die(format!("invalid pipeline spec {path:?}: {e}")))]
         }
-        (None, None) => parse_app("tm"),
+        (_, Some(_)) => die("--app and --pipeline are mutually exclusive"),
     };
-    let modules = spec.modules.len();
-    let spec_name = spec.name.clone();
-    let slo = spec.slo;
+    let served: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+    for (app, _) in &rate_limits {
+        if !served.contains(app) {
+            die(format!("--rate-limit names unserved app {app:?}"));
+        }
+    }
+    for (app, _) in &weights {
+        if !served.contains(app) {
+            die(format!("--weight names unserved app {app:?}"));
+        }
+    }
 
-    let backend = match backend.as_str() {
-        "live" => Backend::Live(LiveConfig {
-            time_scale: scale,
-            pard: pard_core::PardConfig::default().with_mc_draws(1_000),
-            workers_per_module: vec![workers; modules],
-            headroom: 2.0,
-        }),
-        "sim" => Backend::Sim(
-            ClusterConfig::default()
-                .with_seed(seed)
-                .with_fixed_workers(vec![workers; modules])
-                .with_pard(pard_core::PardConfig::default().with_mc_draws(1_000)),
-        ),
+    let backend_name = match backend.as_str() {
+        "live" | "sim" => backend.clone(),
         other => die(format!("unknown backend {other:?} (live, sim)")),
     };
-    let backend_name = match &backend {
-        Backend::Live(_) => "live",
-        Backend::Sim(_) => "sim",
-    };
 
-    let engine = EngineBuilder::new(spec)
-        .build(backend)
-        .unwrap_or_else(|e| die(e));
-    let gateway = match Gateway::start(engine, config) {
+    let mut app_configs = Vec::new();
+    let mut banner = Vec::new();
+    for spec in specs {
+        let modules = spec.modules.len();
+        let name = spec.name.clone();
+        let slo = spec.slo;
+        let backend = match backend.as_str() {
+            "live" => Backend::Live(LiveConfig {
+                time_scale: scale,
+                pard: pard_core::PardConfig::default().with_mc_draws(1_000),
+                workers_per_module: vec![workers; modules],
+                headroom: 2.0,
+            }),
+            _ => Backend::Sim(
+                ClusterConfig::default()
+                    .with_seed(seed)
+                    .with_fixed_workers(vec![workers; modules])
+                    .with_pard(pard_core::PardConfig::default().with_mc_draws(1_000)),
+            ),
+        };
+        let engine = EngineBuilder::new(spec)
+            .build(backend)
+            .unwrap_or_else(|e| die(e));
+        let mut app = AppConfig::new(engine);
+        app.rate_limit = rate_limits
+            .iter()
+            .find(|(a, _)| *a == name)
+            .map(|(_, limit)| *limit);
+        if let Some((_, weight)) = weights.iter().find(|(a, _)| *a == name) {
+            app.weight = *weight;
+        }
+        let limit_text = match &app.rate_limit {
+            Some(limit) => format!(" limit {}rps burst {}", limit.rate_per_sec, limit.burst),
+            None => String::new(),
+        };
+        banner.push(format!(
+            "{name} ({modules} modules, SLO {slo}, weight {}{limit_text})",
+            app.weight
+        ));
+        app_configs.push(app);
+    }
+
+    let gateway = match Gateway::start_multi(app_configs, config) {
         Ok(g) => g,
         Err(e) => {
             eprintln!("failed to start gateway: {e}");
@@ -143,8 +243,8 @@ fn main() {
         }
     };
     println!(
-        "pard-gateway serving app={spec_name} ({modules} modules, SLO {slo}) on {} \
-         backend={backend_name}  metrics on http://{}/metrics",
+        "pard-gateway serving {} on {} backend={backend_name}  metrics on http://{}/metrics",
+        banner.join(", "),
         gateway.addr(),
         gateway.metrics_addr(),
     );
@@ -152,25 +252,33 @@ fn main() {
     match duration {
         Some(secs) => {
             std::thread::sleep(Duration::from_secs(secs));
-            let snapshot = gateway.counters();
-            let log = gateway.shutdown(pard_sim::SimDuration::from_secs(10));
+            let names = gateway.app_names();
+            let snapshots: Vec<_> = names
+                .iter()
+                .filter_map(|name| gateway.counters_of(name))
+                .collect();
+            let logs = gateway.shutdown_multi(pard_sim::SimDuration::from_secs(10));
             println!("--- run summary ---");
-            println!(
-                "received {}  admitted {}  edge-rejected {}  ok {}  late {}  dropped {}  protocol-errors {}",
-                snapshot.received,
-                snapshot.admitted,
-                snapshot.rejected,
-                snapshot.completed_ok,
-                snapshot.completed_late,
-                snapshot.dropped,
-                snapshot.protocol_errors,
-            );
-            println!(
-                "request log: {} entries, goodput {}, drops {}",
-                log.len(),
-                log.goodput_count(),
-                log.drop_count()
-            );
+            for ((name, snapshot), log) in names.iter().zip(&snapshots).zip(&logs) {
+                println!(
+                    "[{name}] received {}  admitted {}  edge-rejected {}  rate-limited {}  ok {}  \
+                     late {}  dropped {}  protocol-errors {}",
+                    snapshot.received,
+                    snapshot.admitted,
+                    snapshot.rejected,
+                    snapshot.rate_limited,
+                    snapshot.completed_ok,
+                    snapshot.completed_late,
+                    snapshot.dropped,
+                    snapshot.protocol_errors,
+                );
+                println!(
+                    "[{name}] request log: {} entries, goodput {}, drops {}",
+                    log.len(),
+                    log.goodput_count(),
+                    log.drop_count()
+                );
+            }
         }
         None => {
             // Serve until killed.

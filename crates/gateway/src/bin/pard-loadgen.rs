@@ -26,14 +26,22 @@ fn usage() -> ! {
          \x20                   [--rate RPS] [--duration SECS] [--trace wiki|tweet|azure]\n\
          \x20                   [--requests N] [--connections N] [--slo-ms MS]\n\
          \x20                   [--tight-frac F] [--scale F] [--pace wall|virtual]\n\
-         \x20                   [--seed N] [--out FILE]\n\
+         \x20                   [--seed N] [--mux] [--out FILE]\n\
          \x20      pard-loadgen --bench quick|full [--label NAME] [--out FILE]\n\
          \x20                   [--check BENCH_gateway.json]\n\
          \n\
+         --app accepts a comma-separated list; connections round-robin\n\
+         across the entries (multi-tenant gateways).\n\
+         \n\
          --pace virtual stamps each open-loop request with its scheduled\n\
          virtual arrival (at_us) and sends at full speed: against a sim\n\
-         backend the replay is deterministic and runs at simulation speed\n\
-         (forces a single connection).\n\
+         backend the replay is deterministic and runs at simulation speed.\n\
+         With several connections the run declares a replay group and the\n\
+         gateway re-serializes the parties into global schedule order.\n\
+         \n\
+         --mux multiplexes every open-loop connection onto one epoll\n\
+         thread (wall pacing) — the C10K discipline; use it for\n\
+         --connections counts in the thousands.\n\
          \n\
          --bench runs the self-contained loopback benchmark matrix (boots\n\
          its own gateways; no --addr). --check compares throughput per case\n\
@@ -176,6 +184,7 @@ fn main() {
                 }
             }
             "--seed" => config.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--mux" => config.mux = true,
             "--out" => out_path = Some(value()),
             "--bench" => bench = Some(value()),
             "--label" => label = value(),
@@ -201,13 +210,6 @@ fn main() {
         });
 
     config.payload = PayloadSpec::default();
-    // Virtual pacing forces a single connection (arrivals must reach
-    // the engine in schedule order); clamp here so the summary and the
-    // JSON record report the connection count actually used.
-    if config.pace == Pace::Virtual && mode == "open" && config.connections != 1 {
-        eprintln!("--pace virtual replays on a single connection; ignoring --connections");
-        config.connections = 1;
-    }
     config.mode = match mode.as_str() {
         "open" => {
             let trace = match trace_kind {

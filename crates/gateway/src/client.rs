@@ -215,6 +215,7 @@ pub struct Client {
     shared: Arc<SharedState>,
     reader: Option<JoinHandle<()>>,
     next_seq: u64,
+    seq_stride: u64,
     sent: usize,
     /// Reusable encode buffer: one line allocation per connection, not
     /// per request.
@@ -251,16 +252,29 @@ impl Client {
             shared,
             reader: Some(reader),
             next_seq: 0,
+            seq_stride: 1,
             sent: 0,
             encode_buf: String::with_capacity(256),
         })
+    }
+
+    /// Makes this connection stamp wire seqs `start, start + stride,
+    /// start + 2·stride, …` instead of `0, 1, 2, …`. A replay group of
+    /// `K` connections driving a round-robin-split schedule uses
+    /// `(party, K)` so every wire seq equals its *global* schedule
+    /// index — the gateway breaks equal-`at_us` ordering ties on seq,
+    /// so globally-unique seqs make the replay order a pure function
+    /// of the schedule. Call before the first send.
+    pub fn set_seq_stride(&mut self, start: u64, stride: u64) {
+        self.next_seq = start;
+        self.seq_stride = stride.max(1);
     }
 
     /// Sends one request without waiting (pipelining); returns the
     /// client-assigned `seq` to pass to [`Client::wait`].
     pub fn send(&mut self, spec: &CallSpec) -> io::Result<u64> {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.next_seq += self.seq_stride;
         let request = Request {
             app: spec.app.clone(),
             slo_ms: spec.slo_ms,
@@ -364,6 +378,21 @@ impl Client {
         .and_then(|()| self.out.flush())
     }
 
+    /// Declares this connection a member of a `parties`-strong replay
+    /// group. Send before any scheduled (`at_us`) request: the gateway
+    /// parks every member's scheduled lines and serves them in global
+    /// `(at_us, seq)` order once each member's watermark passes, so a
+    /// trace split across connections replays deterministically. No
+    /// response line is produced on success.
+    pub fn replay_join(&mut self, parties: u64) -> io::Result<()> {
+        writeln!(
+            self.out,
+            "{}",
+            crate::wire::ClientLine::encode_replay_join(parties)
+        )
+        .and_then(|()| self.out.flush())
+    }
+
     /// Requests sent and not yet answered.
     pub fn outstanding(&self) -> usize {
         self.shared.state.lock().sent_at.len()
@@ -445,9 +474,12 @@ fn reader_loop(read_half: TcpStream, shared: Arc<SharedState>) {
     shared.cv.notify_all();
 }
 
-/// Decodes one reply line, correlates it, and wakes waiters.
-fn deliver(shared: &SharedState, line: &str) {
-    let (seq_on_wire, outcome) = match Reply::decode(line) {
+/// Decodes one reply line into its echoed seq (when present) and a
+/// typed [`Outcome`]. Shared by the blocking reader thread and the
+/// multiplexed load-generator driver, which correlate differently but
+/// must agree on the wire semantics.
+pub(crate) fn decode_answer_line(line: &str) -> (Option<u64>, Outcome) {
+    match Reply::decode(line) {
         Ok(Reply::Outcome(response)) => {
             let outcome = match (response.outcome, response.edge) {
                 (WireOutcome::Ok, _) => Outcome::Ok {
@@ -483,7 +515,12 @@ fn deliver(shared: &SharedState, line: &str) {
                 message: format!("undecodable response line: {e}"),
             },
         ),
-    };
+    }
+}
+
+/// Decodes one reply line, correlates it, and wakes waiters.
+fn deliver(shared: &SharedState, line: &str) {
+    let (seq_on_wire, outcome) = decode_answer_line(line);
     let mut state = shared.state.lock();
     // Correlate by echoed seq when present. A reply without one (v1
     // error envelopes, fully garbled lines) is only attributable when

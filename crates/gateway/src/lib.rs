@@ -33,6 +33,7 @@ pub mod admission;
 pub mod bench;
 pub mod client;
 pub mod loadgen;
+pub mod netpoll;
 pub mod pending;
 pub mod server;
 pub mod telemetry;
@@ -46,6 +47,6 @@ pub use bench::{BenchRow, BenchRun, Trajectory};
 pub use client::{Answer, CallSpec, Client, Drained};
 pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport, Pace};
 pub use pending::PendingMap;
-pub use server::{Gateway, GatewayConfig, EDGE_ID_BASE};
+pub use server::{AppConfig, Gateway, GatewayConfig, RateLimit, EDGE_ID_BASE};
 pub use telemetry::RttWindow;
 pub use wire::{ErrorCode, Reply, Request, Response, ServerError, WireError, WireOutcome};

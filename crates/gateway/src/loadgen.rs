@@ -9,8 +9,10 @@
 //! [`crate::client::Client`] and report the goodput/latency summary the
 //! `BENCH_*.json` convention expects.
 
-use std::io;
-use std::net::SocketAddr;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -19,7 +21,8 @@ use parking_lot::Mutex;
 use pard_workload::{wire_schedule, PayloadSpec, RateTrace, WireEvent};
 
 use crate::client::{Answer, CallSpec, Client, Outcome};
-use crate::wire;
+use crate::netpoll;
+use crate::wire::{self, Request};
 
 /// Virtual time a paced replay flushes past its final arrival so the
 /// whole tail (including late completions) resolves before `finish`.
@@ -50,16 +53,19 @@ pub enum Pace {
     /// Stamp each request with its scheduled virtual arrival (`at_us`)
     /// and send as fast as the socket allows: a stepped engine paces
     /// its own clock to the schedule, so the replay is deterministic
-    /// and runs at simulation speed. Forces a single connection (the
-    /// engine requires arrivals in schedule order); live engines
-    /// ignore the stamps and see a burst.
+    /// and runs at simulation speed. With more than one connection the
+    /// run declares a replay group (`replay_join`) and the gateway
+    /// re-serializes the parties' schedules into global `(at_us, seq)`
+    /// order; live engines ignore the stamps and see a burst.
     Virtual,
 }
 
 /// Load-generator configuration.
 #[derive(Clone, Debug)]
 pub struct LoadgenConfig {
-    /// Target application name.
+    /// Target application name — or a comma-separated list; connections
+    /// round-robin across the entries, so one run can drive every
+    /// tenant of a multi-app gateway.
     pub app: String,
     /// Parallel TCP connections.
     pub connections: usize,
@@ -83,6 +89,11 @@ pub struct LoadgenConfig {
     pub pace: Pace,
     /// Seed for schedule expansion and canary selection.
     pub seed: u64,
+    /// Multiplex every open-loop connection onto one readiness-driven
+    /// thread (epoll) instead of a sender/reader thread pair per
+    /// connection — the C10K discipline. Wall pacing only; virtual
+    /// multi-connection replays go through the replay-group path.
+    pub mux: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -99,6 +110,7 @@ impl Default for LoadgenConfig {
             time_scale: 1.0,
             pace: Pace::default(),
             seed: 42,
+            mux: false,
         }
     }
 }
@@ -245,46 +257,70 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenReport
     let mut sent_total = 0usize;
     let mut unanswered = 0usize;
 
-    // Virtual pacing requires arrivals in schedule order on one
-    // connection — a round-robin split would interleave the stepped
-    // clock backwards.
-    let forced_single;
-    let config = if matches!(
-        (&config.mode, config.pace),
-        (LoadMode::Open { .. }, Pace::Virtual)
-    ) && config.connections != 1
-    {
-        let mut forced = config.clone();
-        forced.connections = 1;
-        forced_single = forced;
-        &forced_single
-    } else {
-        config
-    };
+    // `app` may be a comma-separated list; each connection speaks one
+    // entry, round-robin, so a single run loads every tenant of a
+    // multi-app gateway.
+    let apps: Vec<String> = config
+        .app
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if apps.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "no app name configured",
+        ));
+    }
 
     match &config.mode {
         LoadMode::Open { trace } => {
+            let connections = config.connections.max(1);
             // The schedule's nominal SLO is only a placeholder; the
             // request carries `config.slo_ms` (None = server default).
             let events = wire_schedule(
                 trace,
-                &config.app,
+                &apps[0],
                 config.slo_ms.unwrap_or(400),
                 config.payload,
                 config.seed,
             );
+            // Arrivals are non-decreasing, so the global flush horizon
+            // sits strictly past the last of them (margin > 0).
+            let horizon_us = events
+                .last()
+                .map(|e| (e.at.as_micros() + VIRTUAL_FLUSH_MARGIN_US).min(wire::MAX_VIRTUAL_US))
+                .unwrap_or(0);
             // Round-robin split preserving each connection's time order.
-            let mut per_conn: Vec<Vec<(u64, WireEvent)>> =
-                vec![Vec::new(); config.connections.max(1)];
-            for (i, event) in events.into_iter().enumerate() {
-                per_conn[i % config.connections.max(1)].push((i as u64, event));
+            let mut per_conn: Vec<Vec<(u64, WireEvent)>> = vec![Vec::new(); connections];
+            for (i, mut event) in events.into_iter().enumerate() {
+                let conn = i % connections;
+                event.app.clone_from(&apps[conn % apps.len()]);
+                per_conn[conn].push((i as u64, event));
             }
-            for events in per_conn {
-                let accum = Arc::clone(&accum);
-                let config = config.clone();
-                handles.push(std::thread::spawn(move || {
-                    open_loop_connection(addr, events, &config, accum)
-                }));
+            if config.mux && config.pace == Pace::Wall {
+                let (sent, missing) = run_open_mux(addr, per_conn, config, &accum)?;
+                sent_total += sent;
+                unanswered += missing;
+            } else {
+                // A multi-connection virtual replay declares a replay
+                // group: the gateway re-serializes the parties into
+                // global schedule order, so the split stays
+                // deterministic.
+                let grouped = config.pace == Pace::Virtual && connections > 1;
+                for (party, events) in per_conn.into_iter().enumerate() {
+                    let accum = Arc::clone(&accum);
+                    let config = config.clone();
+                    let replay = grouped.then_some(ReplayPlan {
+                        parties: connections as u64,
+                        party: party as u64,
+                        horizon_us,
+                    });
+                    handles.push(std::thread::spawn(move || {
+                        open_loop_connection(addr, events, &config, accum, replay)
+                    }));
+                }
             }
         }
         LoadMode::Closed {
@@ -294,8 +330,9 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenReport
             for conn in 0..config.connections.max(1) {
                 let accum = Arc::clone(&accum);
                 let config = config.clone();
+                let app = apps[conn % apps.len()].clone();
                 handles.push(std::thread::spawn(move || {
-                    closed_loop_connection(addr, conn as u64, n, &config, accum)
+                    closed_loop_connection(addr, conn as u64, app, n, &config, accum)
                 }));
             }
         }
@@ -353,17 +390,42 @@ fn slo_for(seq: u64, config: &LoadgenConfig) -> Option<u64> {
     }
 }
 
+/// How one open-loop connection participates in a multi-connection
+/// deterministic replay.
+#[derive(Clone, Debug)]
+struct ReplayPlan {
+    /// Replay-group size (the run's connection count).
+    parties: u64,
+    /// This connection's index: its wire seqs start here and stride by
+    /// `parties`, so under the round-robin split every seq equals its
+    /// global schedule index and the gateway's `(at_us, seq)` ordering
+    /// is a pure function of the schedule.
+    party: u64,
+    /// Global flush horizon (µs), strictly past every party's last
+    /// arrival, so every party's trailing advance releases the whole
+    /// group's tail.
+    horizon_us: u64,
+}
+
 /// Returns `(requests put on the wire, requests sent but unanswered)`.
 fn open_loop_connection(
     addr: SocketAddr,
     events: Vec<(u64, WireEvent)>,
     config: &LoadgenConfig,
     accum: Arc<Mutex<Accum>>,
+    replay: Option<ReplayPlan>,
 ) -> io::Result<(usize, usize)> {
-    if events.is_empty() {
+    if events.is_empty() && replay.is_none() {
         return Ok((0, 0));
     }
     let mut client = Client::connect(addr)?;
+    // Group membership is declared before any scheduled line; an empty
+    // slice still joins (and flushes), otherwise the group would never
+    // complete and every other party would stall.
+    if let Some(plan) = &replay {
+        client.set_seq_stride(plan.party, plan.parties);
+        client.replay_join(plan.parties)?;
+    }
     let start = Instant::now();
     let mut last_at = None;
     for (global_seq, event) in events {
@@ -394,10 +456,17 @@ fn open_loop_connection(
     // clock gate stops at the final scheduled arrival and the tail
     // would never be answered.
     if config.pace == Pace::Virtual {
-        if let Some(last) = last_at {
-            // Clamped to the wire's cap: an over-limit advance would be
-            // rejected and the tail would never resolve.
-            let flush = (last.as_micros() + VIRTUAL_FLUSH_MARGIN_US).min(wire::MAX_VIRTUAL_US);
+        // A replay-group member flushes to the *global* horizon (its
+        // own slice's tail is not past the other parties' arrivals); a
+        // lone connection flushes past its own last arrival. Clamped to
+        // the wire's cap either way: an over-limit advance would be
+        // rejected and the tail would never resolve.
+        let flush = match &replay {
+            Some(plan) => Some(plan.horizon_us),
+            None => last_at
+                .map(|last| (last.as_micros() + VIRTUAL_FLUSH_MARGIN_US).min(wire::MAX_VIRTUAL_US)),
+        };
+        if let Some(flush) = flush {
             client.advance(flush)?;
         }
     }
@@ -416,6 +485,7 @@ fn open_loop_connection(
 fn closed_loop_connection(
     addr: SocketAddr,
     conn: u64,
+    app: String,
     requests: usize,
     config: &LoadgenConfig,
     accum: Arc<Mutex<Accum>>,
@@ -424,7 +494,7 @@ fn closed_loop_connection(
     let mut missing = 0usize;
     for i in 0..requests {
         let global_seq = conn * requests as u64 + i as u64;
-        let mut spec = CallSpec::new(config.app.clone()).with_payload_len(config.payload.min);
+        let mut spec = CallSpec::new(app.clone()).with_payload_len(config.payload.min);
         spec.slo_ms = slo_for(global_seq, config);
         match client.call(&spec, Duration::from_secs(30)) {
             Ok(Some(answer)) => accum.lock().record(&answer, config.time_scale),
@@ -439,6 +509,267 @@ fn closed_loop_connection(
         }
     }
     Ok((client.sent(), missing))
+}
+
+// ---------------------------------------------------------------------------
+// The multiplexed C10K driver
+// ---------------------------------------------------------------------------
+
+/// One multiplexed connection's state.
+struct MuxConn {
+    stream: TcpStream,
+    fd: RawFd,
+    /// Unparsed response bytes (partial lines across reads).
+    rbuf: Vec<u8>,
+    /// Encoded-but-unflushed request bytes.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// WRITABLE interest is currently registered.
+    want_write: bool,
+    /// The connection failed or saw EOF; its outstanding requests
+    /// surface as unanswered.
+    dead: bool,
+    /// All sends done and flushed; the write half is shut down.
+    half_closed: bool,
+}
+
+/// Connects with brief retries: a kernel listen backlog overflows long
+/// before ten thousand connects complete, and a refused/reset connect
+/// during the ramp is congestion, not failure.
+fn connect_with_retry(addr: SocketAddr) -> io::Result<TcpStream> {
+    let mut last = None;
+    for _ in 0..200 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionRefused
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::AddrNotAvailable
+                ) =>
+            {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("connect retries exhausted")))
+}
+
+/// Writes as much buffered output as the socket accepts, toggling
+/// WRITABLE interest to match what remains.
+fn mux_flush(poller: &netpoll::Poller, token: u64, conn: &mut MuxConn) {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    if conn.out_pos == conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+        if conn.want_write {
+            conn.want_write = false;
+            let _ = poller.modify(conn.fd, token, netpoll::READABLE);
+        }
+    } else if !conn.want_write {
+        conn.want_write = true;
+        let _ = poller.modify(conn.fd, token, netpoll::READABLE | netpoll::WRITABLE);
+    }
+}
+
+/// The readiness-multiplexed open-loop driver: every connection on one
+/// thread behind a [`netpoll::Poller`], so a C10K-scale run costs one
+/// poller and N sockets instead of 2·N sender/reader threads. Wall
+/// pacing only — a multi-connection *virtual* replay needs the
+/// replay-group path, which is about ordering, not thread thrift.
+///
+/// Returns `(requests put on the wire, requests sent but unanswered)`.
+fn run_open_mux(
+    addr: SocketAddr,
+    per_conn: Vec<Vec<(u64, WireEvent)>>,
+    config: &LoadgenConfig,
+    accum: &Mutex<Accum>,
+) -> io::Result<(usize, usize)> {
+    // Re-interleave the split back into global schedule order: the
+    // sender walks one due-ordered cursor, not N.
+    let mut schedule: Vec<(u64, usize, WireEvent)> = Vec::new();
+    for (conn, events) in per_conn.iter().enumerate() {
+        for (seq, event) in events {
+            schedule.push((*seq, conn, event.clone()));
+        }
+    }
+    schedule.sort_unstable_by_key(|&(seq, _, _)| seq);
+
+    let poller = netpoll::Poller::new()?;
+    let mut conns = Vec::with_capacity(per_conn.len());
+    for token in 0..per_conn.len() {
+        let stream = connect_with_retry(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        let fd = stream.as_raw_fd();
+        poller.add(fd, token as u64, netpoll::READABLE)?;
+        conns.push(MuxConn {
+            stream,
+            fd,
+            rbuf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            want_write: false,
+            dead: false,
+            half_closed: false,
+        });
+    }
+
+    let start = Instant::now();
+    let mut sent_at: HashMap<u64, Instant> = HashMap::new();
+    let mut sent_total = 0usize;
+    let mut cursor = 0usize;
+    let mut events = Vec::new();
+    let mut line_buf = String::new();
+    let mut tmp = [0u8; 16 * 1024];
+    let mut last_progress = Instant::now();
+
+    loop {
+        // Put every due request on the wire (a dead connection's
+        // schedule slice is skipped; those requests were never sent).
+        let now = start.elapsed();
+        while let Some((seq, conn_idx, event)) = schedule.get(cursor) {
+            let due = Duration::from_secs_f64(event.at.as_secs_f64() / config.time_scale);
+            if due > now {
+                break;
+            }
+            let conn = &mut conns[*conn_idx];
+            if !conn.dead {
+                let request = Request {
+                    app: event.app.clone(),
+                    slo_ms: slo_for(*seq, config),
+                    payload_len: event.payload_len,
+                    seq: Some(*seq),
+                    at_us: None,
+                };
+                line_buf.clear();
+                request.encode_into(&mut line_buf);
+                line_buf.push('\n');
+                conn.out.extend_from_slice(line_buf.as_bytes());
+                sent_at.insert(*seq, Instant::now());
+                sent_total += 1;
+                mux_flush(&poller, *conn_idx as u64, conn);
+                if conn.dead {
+                    let _ = poller.delete(conn.fd);
+                }
+            }
+            cursor += 1;
+        }
+
+        if cursor == schedule.len() {
+            // Half-close each flushed connection: the server keeps
+            // answering already-sent requests, and its close sweep
+            // waits for the last reply to flush.
+            for conn in conns.iter_mut() {
+                if !conn.dead && !conn.half_closed && conn.out_pos == conn.out.len() {
+                    let _ = conn.stream.shutdown(Shutdown::Write);
+                    conn.half_closed = true;
+                }
+            }
+            if sent_at.is_empty()
+                || conns.iter().all(|c| c.dead)
+                || last_progress.elapsed() > Duration::from_secs(60)
+            {
+                break;
+            }
+        }
+
+        // Sleep until the next arrival is due, capped so answer drains
+        // stay responsive under sparse schedules.
+        let timeout_ms = match schedule.get(cursor) {
+            Some((_, _, event)) => {
+                let due = Duration::from_secs_f64(event.at.as_secs_f64() / config.time_scale);
+                due.checked_sub(start.elapsed())
+                    .map(|d| (d.as_millis() as i32).min(50))
+                    .unwrap_or(0)
+            }
+            None => 50,
+        };
+        events.clear();
+        poller.wait(&mut events, Some(timeout_ms))?;
+
+        for event in &events {
+            let idx = event.token as usize;
+            let Some(conn) = conns.get_mut(idx) else {
+                continue;
+            };
+            if conn.dead {
+                continue;
+            }
+            if event.is_writable() && conn.out_pos < conn.out.len() {
+                mux_flush(&poller, event.token, conn);
+            }
+            if event.is_readable() {
+                loop {
+                    match conn.stream.read(&mut tmp) {
+                        Ok(0) => {
+                            conn.dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.rbuf.extend_from_slice(&tmp[..n]);
+                            if n < tmp.len() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            conn.dead = true;
+                            break;
+                        }
+                    }
+                }
+                // Decode every complete line; correlation is global
+                // (seqs are unique across the whole run).
+                let mut start_pos = 0usize;
+                while let Some(nl) = conn.rbuf[start_pos..].iter().position(|&b| b == b'\n') {
+                    let line = String::from_utf8_lossy(&conn.rbuf[start_pos..start_pos + nl]);
+                    let trimmed = line.trim();
+                    if !trimmed.is_empty() {
+                        let (seq, outcome) = crate::client::decode_answer_line(trimmed);
+                        if let Some(seq) = seq {
+                            if let Some(t0) = sent_at.remove(&seq) {
+                                accum.lock().record(
+                                    &Answer {
+                                        seq,
+                                        outcome,
+                                        rtt: t0.elapsed(),
+                                    },
+                                    config.time_scale,
+                                );
+                                last_progress = Instant::now();
+                            }
+                        }
+                    }
+                    start_pos += nl + 1;
+                }
+                conn.rbuf.drain(..start_pos);
+            }
+            if conn.dead {
+                let _ = poller.delete(conn.fd);
+            }
+        }
+    }
+
+    Ok((sent_total, sent_at.len()))
 }
 
 #[cfg(test)]

@@ -30,6 +30,23 @@
 //! includes reserved-but-not-yet-inserted requests, which is exactly
 //! the back-pressure semantics the old length check had (the request
 //! is already on its way into the engine).
+//!
+//! # Weighted-fair tenant quotas
+//!
+//! A multi-tenant gateway shares one table between apps, and one
+//! flooding tenant must not starve the rest out of the pending
+//! capacity. [`PendingMap::with_tenants`] therefore attaches a
+//! *guaranteed* slot count to each tenant: a reservation inside the
+//! tenant's guarantee always succeeds (up to the global capacity), and
+//! a reservation beyond it succeeds only if the table can still honour
+//! every other tenant's unused guarantee — the flooding tenant gets
+//! all of the unguaranteed headroom, never the polite tenant's
+//! reserve. Accounting is per-tenant atomic counters; the guarantee
+//! check tolerates the benign races of unlocked reads (a slot may
+//! briefly over- or under-admit by the number of in-flight
+//! reservations), while the *global* capacity stays exact.
+//! [`PendingMap::new`] is the single-tenant special case (one tenant,
+//! no guarantee) and preserves the legacy behaviour bit for bit.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -93,7 +110,9 @@ impl Hasher for FxHasher {
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 struct Shard<V, C> {
-    entries: HashMap<u64, V, FxBuildHasher>,
+    /// Entry plus the tenant that reserved its slot (so the release on
+    /// completion credits the right quota).
+    entries: HashMap<u64, (u32, V), FxBuildHasher>,
     /// Completions that arrived before their entry was filed (see the
     /// module docs); claimed by [`PendingMap::insert`].
     orphans: HashMap<u64, C, FxBuildHasher>,
@@ -116,16 +135,36 @@ pub struct PendingMap<V, C> {
     /// Live entries plus outstanding reservations.
     len: AtomicUsize,
     capacity: usize,
+    /// Per-tenant guaranteed slot counts (module docs); a single zero
+    /// entry in the single-tenant case.
+    guaranteed: Vec<usize>,
+    /// Per-tenant live entries plus outstanding reservations.
+    tenant_counts: Vec<AtomicUsize>,
 }
 
 impl<V, C> PendingMap<V, C> {
     /// Creates the table with a global capacity (the gateway's
-    /// `max_pending`).
+    /// `max_pending`); single tenant, no guarantee.
     pub fn new(capacity: usize) -> PendingMap<V, C> {
+        PendingMap::with_tenants(capacity, vec![0])
+    }
+
+    /// Creates the table with per-tenant guaranteed slot counts. The
+    /// guarantees must fit inside the capacity; headroom beyond their
+    /// sum is shared first-come first-served.
+    pub fn with_tenants(capacity: usize, guaranteed: Vec<usize>) -> PendingMap<V, C> {
+        assert!(!guaranteed.is_empty(), "at least one tenant");
+        assert!(
+            guaranteed.iter().sum::<usize>() <= capacity,
+            "tenant guarantees exceed the table capacity"
+        );
+        let tenant_counts = guaranteed.iter().map(|_| AtomicUsize::new(0)).collect();
         PendingMap {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             len: AtomicUsize::new(0),
             capacity,
+            guaranteed,
+            tenant_counts,
         }
     }
 
@@ -155,15 +194,50 @@ impl<V, C> PendingMap<V, C> {
     /// reservation must be followed by [`PendingMap::insert`] or
     /// undone with [`PendingMap::cancel_reservation`].
     pub fn reserve(&self) -> bool {
+        self.reserve_tenant(0)
+    }
+
+    /// Reserves one slot on a tenant's account. Succeeds while the
+    /// tenant is inside its guarantee; beyond it, only while the table
+    /// can still honour every *other* tenant's unused guarantee.
+    pub fn reserve_tenant(&self, tenant: usize) -> bool {
+        // Global capacity stays exact: the counter is the arbiter.
         if self.len.fetch_add(1, Ordering::AcqRel) >= self.capacity {
             self.len.fetch_sub(1, Ordering::AcqRel);
             return false;
         }
-        true
+        let mine = self.tenant_counts[tenant].fetch_add(1, Ordering::AcqRel);
+        if mine < self.guaranteed[tenant] {
+            return true;
+        }
+        // Beyond the guarantee: leave room for what other tenants are
+        // still owed. Unlocked reads — transient in-flight reservations
+        // can refuse a slot a hair early, never steal a guarantee.
+        let mut owed_to_others = 0usize;
+        for (other, &guarantee) in self.guaranteed.iter().enumerate() {
+            if other == tenant {
+                continue;
+            }
+            let used = self.tenant_counts[other].load(Ordering::Acquire);
+            owed_to_others += guarantee.saturating_sub(used);
+        }
+        if owed_to_others == 0 || self.len.load(Ordering::Acquire) <= self.capacity - owed_to_others
+        {
+            return true;
+        }
+        self.tenant_counts[tenant].fetch_sub(1, Ordering::AcqRel);
+        self.len.fetch_sub(1, Ordering::AcqRel);
+        false
     }
 
     /// Releases a reservation that will not be inserted.
     pub fn cancel_reservation(&self) {
+        self.cancel_reservation_tenant(0);
+    }
+
+    /// Releases a tenant's reservation that will not be inserted.
+    pub fn cancel_reservation_tenant(&self, tenant: usize) {
+        self.tenant_counts[tenant].fetch_sub(1, Ordering::AcqRel);
         self.len.fetch_sub(1, Ordering::AcqRel);
     }
 
@@ -172,27 +246,35 @@ impl<V, C> PendingMap<V, C> {
     /// is *not* stored: the parked completion is returned, the slot
     /// released, and the caller responds immediately.
     pub fn insert(&self, id: u64, entry: V) -> Option<C> {
+        self.insert_tenant(id, 0, entry)
+    }
+
+    /// Files the entry for a slot reserved on a tenant's account.
+    pub fn insert_tenant(&self, id: u64, tenant: usize, entry: V) -> Option<C> {
         let mut shard = self.shard(id).lock();
         if let Some(completion) = shard.orphans.remove(&id) {
             drop(shard);
+            self.tenant_counts[tenant].fetch_sub(1, Ordering::AcqRel);
             self.len.fetch_sub(1, Ordering::AcqRel);
             Some(completion)
         } else {
-            shard.entries.insert(id, entry);
+            shard.entries.insert(id, (tenant as u32, entry));
             None
         }
     }
 
     /// Routes a completion: returns the entry if it is filed (slot
-    /// released); otherwise parks the completion for the racing
-    /// [`PendingMap::insert`] to claim. A completion for an id that was
-    /// never reserved (e.g. flushed during shutdown) parks harmlessly —
-    /// the table is dropped with the gateway.
+    /// released to the tenant that reserved it); otherwise parks the
+    /// completion for the racing [`PendingMap::insert`] to claim. A
+    /// completion for an id that was never reserved (e.g. flushed
+    /// during shutdown) parks harmlessly — the table is dropped with
+    /// the gateway.
     pub fn take_or_stash(&self, id: u64, completion: C) -> Option<V> {
         let mut shard = self.shard(id).lock();
         match shard.entries.remove(&id) {
-            Some(entry) => {
+            Some((tenant, entry)) => {
                 drop(shard);
+                self.tenant_counts[tenant as usize].fetch_sub(1, Ordering::AcqRel);
                 self.len.fetch_sub(1, Ordering::AcqRel);
                 Some(entry)
             }
@@ -203,6 +285,12 @@ impl<V, C> PendingMap<V, C> {
         }
     }
 
+    /// Entries in flight on a tenant's account (including reservations
+    /// not yet inserted).
+    pub fn tenant_len(&self, tenant: usize) -> usize {
+        self.tenant_counts[tenant].load(Ordering::Acquire)
+    }
+
     /// Removes and returns every filed entry (the shutdown flush).
     /// Outstanding reservations (reserved, not yet inserted) are left
     /// to resolve through [`PendingMap::insert`].
@@ -210,7 +298,10 @@ impl<V, C> PendingMap<V, C> {
         let mut out = Vec::new();
         for shard in &self.shards {
             let mut shard = shard.lock();
-            out.extend(shard.entries.drain());
+            for (id, (tenant, entry)) in shard.entries.drain() {
+                self.tenant_counts[tenant as usize].fetch_sub(1, Ordering::AcqRel);
+                out.push((id, entry));
+            }
         }
         self.len.fetch_sub(out.len(), Ordering::AcqRel);
         out
@@ -288,6 +379,55 @@ mod tests {
             hit.insert(shard);
         }
         assert!(hit.len() > SHARDS / 2, "edge ids hit {} shards", hit.len());
+    }
+
+    #[test]
+    fn flooding_tenant_cannot_take_the_polite_tenants_guarantee() {
+        // Capacity 10; tenant 0 guaranteed 4, tenant 1 guaranteed 2,
+        // 4 slots of shared headroom.
+        let map: PendingMap<(), ()> = PendingMap::with_tenants(10, vec![4, 2]);
+        // Tenant 0 floods: its guarantee (4) plus the headroom (4) is
+        // all it can get — the table refuses the 9th slot because
+        // tenant 1 is still owed its 2.
+        for taken in 0..8 {
+            assert!(map.reserve_tenant(0), "flood slot {taken} fits");
+        }
+        assert!(!map.reserve_tenant(0), "tenant 1's guarantee is off limits");
+        assert_eq!(map.tenant_len(0), 8);
+        // The polite tenant's guarantee is still there.
+        assert!(map.reserve_tenant(1));
+        assert!(map.reserve_tenant(1));
+        // Now the table is genuinely full for everyone.
+        assert!(!map.reserve_tenant(1));
+        assert!(!map.reserve_tenant(0));
+        // Releasing a flood slot frees shared headroom for either side.
+        map.cancel_reservation_tenant(0);
+        assert!(map.reserve_tenant(1), "freed headroom is shared");
+    }
+
+    #[test]
+    fn tenant_accounting_follows_the_entry_lifecycle() {
+        let map: PendingMap<&'static str, u64> = PendingMap::with_tenants(8, vec![2, 2]);
+        // Insert + complete releases the right tenant's count.
+        assert!(map.reserve_tenant(1));
+        assert_eq!(map.insert_tenant(5, 1, "entry"), None);
+        assert_eq!(map.tenant_len(1), 1);
+        assert_eq!(map.take_or_stash(5, 9), Some("entry"));
+        assert_eq!(map.tenant_len(1), 0);
+        // The orphan-claim path releases the reserving tenant too.
+        assert_eq!(map.take_or_stash(6, 9), None);
+        assert!(map.reserve_tenant(1));
+        assert_eq!(map.insert_tenant(6, 1, "entry"), Some(9));
+        assert_eq!(map.tenant_len(1), 0);
+        // Drain credits each entry's own tenant.
+        assert!(map.reserve_tenant(0));
+        assert!(map.reserve_tenant(1));
+        assert_eq!(map.insert_tenant(7, 0, "a"), None);
+        assert_eq!(map.insert_tenant(8, 1, "b"), None);
+        assert_eq!(map.drain_entries().len(), 2);
+        assert_eq!(map.tenant_len(0), 0);
+        assert_eq!(map.tenant_len(1), 0);
+        assert!(map.is_empty());
     }
 
     /// The exactly-once hammer: 8 submitter threads race 8 completer

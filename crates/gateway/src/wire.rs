@@ -7,18 +7,25 @@
 //! {"v":2,"app":"tm","slo_ms":400,"payload_len":128,"seq":5,"payload":"xx…"}
 //! ```
 //!
-//! `app` and `payload_len` are required. `slo_ms` defaults to the
-//! served pipeline's SLO. `seq` is an optional client correlation
-//! number echoed back verbatim — responses to pipelined requests may
-//! arrive out of order. `payload` is optional; when present its length
-//! must match `payload_len` (the gateway parses but does not interpret
+//! `app` and `payload_len` are required. `app` *routes*: a gateway
+//! serves a registry of engines keyed by app name, and the field
+//! selects which one admits the request (a name outside the registry
+//! is answered with `unknown_app`). `slo_ms` defaults to the served
+//! pipeline's SLO. `seq` is an optional client correlation number
+//! echoed back verbatim — responses to pipelined requests may arrive
+//! out of order. `payload` is optional; when present its length must
+//! match `payload_len` (the gateway parses but does not interpret
 //! it). `at_us` is an optional scheduled virtual arrival time
 //! (microseconds since engine start) for deterministic trace replay:
 //! engines with a stepped clock advance to it before admitting the
 //! request, engines without one serve the request on receipt. Replay
-//! clients must send `at_us` in non-decreasing order on a single
-//! connection, and finish with an [`ClientLine::Advance`] control line
-//! (`{"v":2,"advance_us":N}`) so the tail of the schedule resolves.
+//! clients must send `at_us` in non-decreasing order per connection,
+//! and finish with an [`ClientLine::Advance`] control line
+//! (`{"v":2,"advance_us":N}`) so the tail of the schedule resolves. A
+//! replay split across `K` connections has each send
+//! `{"v":2,"replay_join":K}` first ([`ClientLine::Join`]), which
+//! gates admission on the minimum arrival watermark across all `K`
+//! parties so the interleaved schedule replays at exact virtual times.
 //! Responses:
 //!
 //! ```text
@@ -85,6 +92,12 @@ pub const MAX_SLO_MS: u64 = 86_400_000;
 /// while dwarfing any real replay.
 pub const MAX_VIRTUAL_US: u64 = 7 * 86_400_000_000;
 
+/// Largest accepted `replay_join` party count. Each declared party
+/// costs the gateway a watermark slot for the lifetime of the replay,
+/// so the count is client-controlled memory; 64k parties dwarfs any
+/// real parallel replay while bounding that allocation.
+pub const MAX_REPLAY_PARTIES: u64 = 65_536;
+
 /// Machine-readable reason a request was answered with an error
 /// envelope instead of an outcome.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -100,18 +113,22 @@ pub enum ErrorCode {
     SloOutOfRange,
     /// The gateway's pending-request table is full.
     Overloaded,
+    /// The tenant's token-bucket rate limit turned the request away
+    /// before the admission decision ran.
+    RateLimited,
     /// The gateway is shutting down and no longer admits requests.
     ShuttingDown,
 }
 
 impl ErrorCode {
     /// Every code, for exhaustive round-trip tests.
-    pub const ALL: [ErrorCode; 6] = [
+    pub const ALL: [ErrorCode; 7] = [
         ErrorCode::Malformed,
         ErrorCode::UnknownApp,
         ErrorCode::PayloadMismatch,
         ErrorCode::SloOutOfRange,
         ErrorCode::Overloaded,
+        ErrorCode::RateLimited,
         ErrorCode::ShuttingDown,
     ];
 
@@ -123,6 +140,7 @@ impl ErrorCode {
             ErrorCode::PayloadMismatch => "payload_mismatch",
             ErrorCode::SloOutOfRange => "slo_out_of_range",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::RateLimited => "rate_limited",
             ErrorCode::ShuttingDown => "shutting_down",
         }
     }
@@ -204,6 +222,18 @@ pub enum ClientLine {
         /// Absolute virtual time to advance to, µs since engine start.
         to_us: u64,
     },
+    /// `{"v":2,"replay_join":K}` — declare this connection one of `K`
+    /// parallel replay parties for its app. Scheduled (`at_us`)
+    /// requests from joined connections are admitted in global
+    /// schedule order once every party has joined: each party's last
+    /// seen `at_us` is its watermark (a promise it will send nothing
+    /// earlier), and a scheduled arrival runs only when it is below
+    /// the minimum watermark across all parties. The line gets no
+    /// response of its own.
+    Join {
+        /// Total number of connections participating in the replay.
+        parties: u64,
+    },
 }
 
 impl ClientLine {
@@ -211,6 +241,27 @@ impl ClientLine {
     pub fn decode(line: &str) -> Result<ClientLine, WireError> {
         let raw = scan(line)?;
         raw.check_version()?;
+        if !matches!(raw.replay_join, Field::Absent) {
+            // Control lines get no response, so a hybrid line would
+            // have its other half silently swallowed — reject it.
+            let other_fields = [
+                &raw.app,
+                &raw.seq,
+                &raw.payload_len,
+                &raw.payload,
+                &raw.slo_ms,
+                &raw.at_us,
+                &raw.advance_us,
+            ];
+            if other_fields.iter().any(|f| !matches!(f, Field::Absent)) {
+                return Err(err(
+                    ErrorCode::Malformed,
+                    "a line cannot carry both \"replay_join\" and other protocol fields",
+                ));
+            }
+            let parties = bounded_replay_parties(raw.replay_join.num())?;
+            return Ok(ClientLine::Join { parties });
+        }
         if !matches!(raw.advance_us, Field::Absent) {
             // A hybrid line would have its request half silently
             // swallowed (control lines get no response), leaving the
@@ -240,6 +291,15 @@ impl ClientLine {
         let mut out = String::with_capacity(32);
         out.push_str("{\"advance_us\":");
         push_number(&mut out, to_us as f64);
+        out.push_str(",\"v\":2}");
+        out
+    }
+
+    /// Encodes a replay-join control line (no trailing newline).
+    pub fn encode_replay_join(parties: u64) -> String {
+        let mut out = String::with_capacity(32);
+        out.push_str("{\"replay_join\":");
+        push_number(&mut out, parties as f64);
         out.push_str(",\"v\":2}");
         out
     }
@@ -655,6 +715,25 @@ fn bounded_virtual_us(v: &Field<'_>, field: &str) -> Result<u64, WireError> {
     Ok(us)
 }
 
+/// Decodes a `replay_join` party count: integer in
+/// `[1, MAX_REPLAY_PARTIES]`. Shared by the scanner and the oracle so
+/// the diagnostics stay byte-identical.
+fn bounded_replay_parties(n: Option<f64>) -> Result<u64, WireError> {
+    let parties = n.and_then(num_as_u64).ok_or_else(|| {
+        err(
+            ErrorCode::Malformed,
+            "\"replay_join\" must be a non-negative integer",
+        )
+    })?;
+    if !(1..=MAX_REPLAY_PARTIES).contains(&parties) {
+        return Err(err(
+            ErrorCode::Malformed,
+            format!("\"replay_join\" must be in [1, {MAX_REPLAY_PARTIES}]"),
+        ));
+    }
+    Ok(parties)
+}
+
 /// A string value as scanned in place: the escaped span between the
 /// quotes plus its decoded byte length. Resolving to text is deferred —
 /// and skipped entirely for the payload, where only the length is ever
@@ -778,6 +857,7 @@ struct RawLine<'a> {
     seq: Field<'a>,
     at_us: Field<'a>,
     advance_us: Field<'a>,
+    replay_join: Field<'a>,
     payload: Field<'a>,
     id: Field<'a>,
     outcome: Field<'a>,
@@ -798,6 +878,7 @@ impl<'a> RawLine<'a> {
             "seq" => &mut self.seq,
             "at_us" => &mut self.at_us,
             "advance_us" => &mut self.advance_us,
+            "replay_join" => &mut self.replay_join,
             "payload" => &mut self.payload,
             "id" => &mut self.id,
             "outcome" => &mut self.outcome,
@@ -1229,8 +1310,8 @@ pub mod oracle {
     use pard_pipeline::json::{parse, Value};
 
     use super::{
-        err, ClientLine, ErrorCode, Reply, Request, Response, ServerError, WireError, WireOutcome,
-        MAX_SLO_MS, MAX_VIRTUAL_US, PROTOCOL_VERSION,
+        bounded_replay_parties, err, ClientLine, ErrorCode, Reply, Request, Response, ServerError,
+        WireError, WireOutcome, MAX_SLO_MS, MAX_VIRTUAL_US, PROTOCOL_VERSION,
     };
 
     fn check_version(value: &Value) -> Result<(), WireError> {
@@ -1301,6 +1382,14 @@ pub mod oracle {
         Value::Object(map).to_json()
     }
 
+    /// Reference replay-join control encoder.
+    pub fn encode_replay_join(parties: u64) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("v".into(), Value::Number(PROTOCOL_VERSION as f64));
+        map.insert("replay_join".into(), Value::Number(parties as f64));
+        Value::Object(map).to_json()
+    }
+
     /// Reference [`Response`] encoder.
     pub fn encode_response(response: &Response) -> String {
         let mut map = BTreeMap::new();
@@ -1342,6 +1431,25 @@ pub mod oracle {
         let value =
             parse(line).map_err(|e| err(ErrorCode::Malformed, format!("invalid JSON: {e}")))?;
         check_version(&value)?;
+        if let Some(v) = value.get("replay_join") {
+            let other_fields = [
+                "app",
+                "seq",
+                "payload_len",
+                "payload",
+                "slo_ms",
+                "at_us",
+                "advance_us",
+            ];
+            if other_fields.iter().any(|k| value.get(k).is_some()) {
+                return Err(err(
+                    ErrorCode::Malformed,
+                    "a line cannot carry both \"replay_join\" and other protocol fields",
+                ));
+            }
+            let parties = bounded_replay_parties(v.as_f64())?;
+            return Ok(ClientLine::Join { parties });
+        }
         if let Some(v) = value.get("advance_us") {
             let request_fields = ["app", "seq", "payload_len", "payload", "slo_ms", "at_us"];
             if request_fields.iter().any(|k| value.get(k).is_some()) {
@@ -1669,6 +1777,40 @@ mod tests {
             r#"{"v":2,"seq":7,"advance_us":5}"#,
             r#"{"v":2,"advance_us":5,"at_us":9}"#,
             r#"{"v":2,"advance_us":5,"slo_ms":100}"#,
+        ] {
+            let e = ClientLine::decode(bad).expect_err(&format!("accepted {bad:?}"));
+            assert_eq!(e.code, ErrorCode::Malformed, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn replay_join_control_lines_round_trip() {
+        let line = ClientLine::encode_replay_join(8);
+        assert_eq!(line, r#"{"replay_join":8,"v":2}"#);
+        assert_eq!(
+            ClientLine::decode(&line).expect("join line decodes"),
+            ClientLine::Join { parties: 8 }
+        );
+        // Joining as a single party is legal (a uniform client can
+        // always send it), and the cap itself is accepted.
+        assert!(ClientLine::decode(r#"{"v":2,"replay_join":1}"#).is_ok());
+        let at_cap = format!(r#"{{"v":2,"replay_join":{MAX_REPLAY_PARTIES}}}"#);
+        assert!(ClientLine::decode(&at_cap).is_ok());
+        // Zero parties, absurd counts, mistyped values, missing
+        // version, and hybrids with request or advance fields are all
+        // rejected — the control line must stand alone.
+        let over = MAX_REPLAY_PARTIES + 1;
+        let too_many = format!(r#"{{"v":2,"replay_join":{over}}}"#);
+        for bad in [
+            r#"{"replay_join":2}"#,
+            r#"{"v":2,"replay_join":0}"#,
+            r#"{"v":2,"replay_join":"all"}"#,
+            r#"{"v":2,"replay_join":2.5}"#,
+            too_many.as_str(),
+            r#"{"v":2,"replay_join":2,"app":"tm","payload_len":0}"#,
+            r#"{"v":2,"replay_join":2,"seq":7}"#,
+            r#"{"v":2,"replay_join":2,"advance_us":5}"#,
+            r#"{"v":2,"replay_join":2,"at_us":5}"#,
         ] {
             let e = ClientLine::decode(bad).expect_err(&format!("accepted {bad:?}"));
             assert_eq!(e.code, ErrorCode::Malformed, "{bad:?}");

@@ -172,6 +172,34 @@ proptest! {
             line, typed, reference
         );
     }
+
+    /// Replay-join control lines: identical encoding, and agreement on
+    /// the bounds and hybrid-rejection surface.
+    #[test]
+    fn replay_join_codec_matches_oracle(
+        parties in 0u64..(2 * pard_gateway::wire::MAX_REPLAY_PARTIES),
+        smuggled in 0usize..7,
+        smuggle in any::<bool>(),
+    ) {
+        let in_range = parties.clamp(1, pard_gateway::wire::MAX_REPLAY_PARTIES);
+        let clean = ClientLine::encode_replay_join(in_range);
+        prop_assert_eq!(&clean, &oracle::encode_replay_join(in_range));
+
+        let line = if smuggle {
+            let field = ["app", "seq", "payload_len", "payload", "slo_ms", "at_us", "advance_us"]
+                [smuggled];
+            format!(r#"{{"v":2,"replay_join":{parties},"{field}":0}}"#)
+        } else {
+            format!(r#"{{"v":2,"replay_join":{parties}}}"#)
+        };
+        let typed = ClientLine::decode(&line);
+        let reference = oracle::decode_client_line(&line);
+        prop_assert!(
+            same_result(&typed, &reference),
+            "replay_join decode diverged on {:?}: typed {:?} vs oracle {:?}",
+            line, typed, reference
+        );
+    }
 }
 
 /// Hand-picked adversarial lines: every branch of the scanner against

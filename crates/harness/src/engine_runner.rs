@@ -100,9 +100,9 @@ pub fn run_schedule_engine(
         let slo = scenario
             .slo
             .slo_for(index as u64)
-            .map(SimDuration::from_millis)
+            .map(SimDuration::saturating_from_millis)
             .unwrap_or(engine.spec().slo);
-        let deadline = now + slo;
+        let deadline = now.saturating_add(slo);
         let (decision, trace) =
             EdgeSnapshot::new(engine.edge_state(), source, &paths).decide_traced(now, deadline);
         match decision {

@@ -60,5 +60,8 @@ pub use engine_runner::{run_scenario_engine, run_schedule_engine};
 pub use envelope::Envelope;
 pub use golden::{check_against_golden, explain_divergence, golden_path, snapshot_path};
 pub use outcome::{OutcomeTaxonomy, PhaseCounts, RequestOutcome};
-pub use runner::{build_schedule, build_sim_engine, run_scenario, run_scenario_live, ScenarioRun};
+pub use runner::{
+    build_schedule, build_sim_engine, run_scenario, run_scenario_live, run_scenario_multi,
+    ScenarioRun,
+};
 pub use scenario::{Burst, Phase, Scenario, ScenarioApp, SloMix, TraceSpec};

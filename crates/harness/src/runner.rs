@@ -8,7 +8,7 @@ use std::time::Duration;
 use pard_core::PardConfig;
 use pard_engine_api::{Backend, ClusterConfig, EngineBuilder, EngineHandle, LiveConfig};
 use pard_gateway::client::{CallSpec, Client, Outcome};
-use pard_gateway::{Gateway, GatewayConfig};
+use pard_gateway::{AppConfig, Gateway, GatewayConfig};
 use pard_obs::FlightRecorder;
 use pard_pipeline::PipelineSpec;
 use pard_policies::{make_factory, OcConfig};
@@ -264,6 +264,129 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
         taxonomy,
         recorder,
     }
+}
+
+/// Runs several scenarios **against one multi-tenant gateway**: each
+/// scenario becomes one app (distinct wire names required), each app
+/// gets its own connection, and the connections form a replay group
+/// (`replay_join`) so the gateway re-serializes every party's
+/// scheduled requests into global `(at_us, seq)` order before touching
+/// any engine. Per-connection wire seqs are striped (`party`,
+/// `party + N`, …), making them globally unique — the drain order, and
+/// therefore every admission decision, is a pure function of the
+/// schedules, not of socket interleaving. Each app's outcome vector is
+/// as bit-reproducible as a single-tenant [`run_scenario`], and is
+/// returned in scenario order with seqs renumbered back to that app's
+/// schedule order (golden-comparable per app).
+///
+/// # Panics
+///
+/// Panics when two scenarios serve the same app name (the wire `app`
+/// field is the routing key) and on any infrastructure failure, like
+/// [`run_scenario`].
+pub fn run_scenario_multi(scenarios: &[Scenario]) -> Vec<ScenarioRun> {
+    assert!(
+        scenarios.len() >= 2,
+        "a multi-tenant run needs at least two scenarios"
+    );
+    let names: Vec<String> = scenarios.iter().map(|s| s.app.name()).collect();
+    for (i, name) in names.iter().enumerate() {
+        assert!(
+            !names[..i].contains(name),
+            "multi-tenant scenarios must serve distinct apps; {name:?} repeats"
+        );
+    }
+    let schedules: Vec<_> = scenarios.iter().map(build_schedule).collect();
+    let gateway = Gateway::start_multi(
+        scenarios
+            .iter()
+            .map(|s| AppConfig::new(build_sim_engine(s, None)))
+            .collect(),
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            metrics_addr: "127.0.0.1:0".into(),
+            edge_refresh: Duration::from_millis(5),
+            max_pending: 1 << 20,
+            allow_replay: true,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway binds ephemeral loopback ports");
+    let addr = gateway.addr();
+
+    // Every party's trailing advance targets the same global flush, so
+    // the group's clock gate ends past the last arrival of *every*
+    // schedule — a shorter tenant must not strand a longer one's tail.
+    let flush_us = scenarios
+        .iter()
+        .zip(&schedules)
+        .map(|(s, (trace, _))| {
+            (SimTime::ZERO + trace.duration())
+                .saturating_add(s.drain)
+                .as_micros()
+        })
+        .max()
+        .expect("at least two scenarios")
+        .min(pard_gateway::wire::MAX_VIRTUAL_US);
+
+    let parties = scenarios.len() as u64;
+    let per_app: Vec<Vec<RequestOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scenarios
+            .iter()
+            .zip(&schedules)
+            .enumerate()
+            .map(|(party, (scenario, (_trace, events)))| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    // Striped seqs: globally unique across the group,
+                    // equal to the request's own stripe of the global
+                    // schedule index space.
+                    client.set_seq_stride(party as u64, parties);
+                    client
+                        .replay_join(parties)
+                        .unwrap_or_else(|e| panic!("scenario {:?}: join: {e}", scenario.name));
+                    let mut sent: Vec<(u64, u64)> = Vec::with_capacity(events.len());
+                    for (index, event) in events.iter().enumerate() {
+                        let mut spec = CallSpec::new(event.app.clone())
+                            .with_payload_len(event.payload_len)
+                            .with_at_us(event.at.as_micros());
+                        spec.slo_ms = scenario.slo.slo_for(index as u64);
+                        let seq = client.send(&spec).unwrap_or_else(|e| {
+                            panic!("scenario {:?}: send failed: {e}", scenario.name)
+                        });
+                        sent.push((seq, event.at.as_micros()));
+                    }
+                    client.advance(flush_us).expect("advance control line");
+                    let mut outcomes = collect_outcomes(&mut client, sent);
+                    // Wire seqs are striped across the group; the
+                    // outcome vector is per app, in schedule order.
+                    for (index, outcome) in outcomes.iter_mut().enumerate() {
+                        outcome.seq = index as u64;
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("party thread panicked"))
+            .collect()
+    });
+
+    let runs = scenarios
+        .iter()
+        .zip(per_app)
+        .map(|(scenario, outcomes)| {
+            let taxonomy = OutcomeTaxonomy::build(scenario, &outcomes);
+            ScenarioRun {
+                outcomes,
+                taxonomy,
+                recorder: gateway.recorder_of(&scenario.app.name()),
+            }
+        })
+        .collect();
+    let _ = gateway.shutdown_multi(pard_sim::SimDuration::from_secs(1));
+    runs
 }
 
 /// Runs `scenario` against the **live threaded runtime**: the same

@@ -13,8 +13,8 @@
 
 use pard_cluster::FaultSpec;
 use pard_harness::{
-    check_against_golden, explain_divergence, run_scenario, Scenario, ScenarioApp, ScenarioRun,
-    SloMix, TraceSpec,
+    check_against_golden, explain_divergence, run_scenario, run_scenario_multi, Scenario,
+    ScenarioApp, ScenarioRun, SloMix, TraceSpec,
 };
 use pard_pipeline::{AppKind, ModuleSpec, PipelineSpec};
 use pard_profile::ModelProfile;
@@ -326,6 +326,59 @@ fn slo_mix_heavy_canaries() {
         total.ok as f64 > 0.9 * (total.sent - total.dropped_edge) as f64,
         "feasible requests must be served: {total:?}"
     );
+}
+
+#[test]
+fn multi_tenant_overload_isolation() {
+    // Two tenants share one gateway: `tm` at twice the rate the steady
+    // scenario calls comfortable (overloaded, shedding load through the
+    // proactive edge) and `lv` well within capacity. Each tenant's
+    // per-request outcome vector must be bit-reproducible and golden-
+    // stable on its own — the other tenant's overload is invisible.
+    let scenarios = vec![
+        Scenario::new(
+            "multi_tenant_tm_overload",
+            AppKind::Tm,
+            TraceSpec::Constant {
+                rate: 240.0,
+                len_s: 20,
+            },
+        )
+        .with_slo(SloMix {
+            default_ms: None,
+            tight_every: 10,
+        }),
+        Scenario::new(
+            "multi_tenant_lv_steady",
+            AppKind::Lv,
+            TraceSpec::Constant {
+                rate: 40.0,
+                len_s: 20,
+            },
+        ),
+    ];
+    let first = run_scenario_multi(&scenarios);
+    let second = run_scenario_multi(&scenarios);
+    for ((a, b), scenario) in first.iter().zip(&second).zip(&scenarios) {
+        assert_eq!(
+            a.outcomes, b.outcomes,
+            "scenario {:?} is not bit-reproducible on a shared gateway",
+            scenario.name
+        );
+        check_against_golden(scenario, a);
+    }
+    let tm = first[0].taxonomy.total();
+    let lv = first[1].taxonomy.total();
+    assert!(
+        tm.dropped_edge + tm.dropped_pipeline > 0,
+        "the overloaded tenant must shed load: {tm:?}"
+    );
+    assert!(
+        lv.goodput_fraction() > 0.9,
+        "the steady tenant must ride through its neighbour's overload: {lv:?}"
+    );
+    assert_eq!(tm.unanswered, 0, "{tm:?}");
+    assert_eq!(lv.unanswered, 0, "{lv:?}");
 }
 
 /// Batch-affine approximation of a continuous-batching LLM stage: the

@@ -42,7 +42,8 @@ impl Counter {
 /// The counter family a PARD serving edge maintains.
 ///
 /// Request accounting is exhaustive:
-/// `received = rejected + refused + admitted + protocol_errors`, and every
+/// `received = rejected + refused + rate_limited + admitted +
+/// protocol_errors`, and every
 /// admitted request eventually lands in exactly one of `completed_ok`,
 /// `completed_late`, or `dropped`.
 #[derive(Debug, Default)]
@@ -63,6 +64,10 @@ pub struct ServingCounters {
     /// table full) or shutdown — as opposed to `rejected`, which counts
     /// only PARD's proactive edge-admission drops.
     pub refused: Counter,
+    /// Requests turned away by a per-tenant token-bucket rate limit
+    /// before the admission decision ran (distinct from both `refused`
+    /// back-pressure and PARD's `rejected`).
+    pub rate_limited: Counter,
     /// Lines that failed wire-format validation.
     pub protocol_errors: Counter,
 }
@@ -78,6 +83,7 @@ impl ServingCounters {
             completed_late: Counter::new(),
             dropped: Counter::new(),
             refused: Counter::new(),
+            rate_limited: Counter::new(),
             protocol_errors: Counter::new(),
         }
     }
@@ -92,6 +98,7 @@ impl ServingCounters {
             completed_late: self.completed_late.get(),
             dropped: self.dropped.get(),
             refused: self.refused.get(),
+            rate_limited: self.rate_limited.get(),
             protocol_errors: self.protocol_errors.get(),
         }
     }
@@ -196,6 +203,8 @@ pub struct CountersSnapshot {
     pub dropped: u64,
     /// See [`ServingCounters::refused`].
     pub refused: u64,
+    /// See [`ServingCounters::rate_limited`].
+    pub rate_limited: u64,
     /// See [`ServingCounters::protocol_errors`].
     pub protocol_errors: u64,
 }
@@ -207,10 +216,11 @@ impl CountersSnapshot {
     }
 
     /// Requests the serving edge classified without admitting:
-    /// PARD edge rejections, gateway refusals, and protocol errors.
+    /// PARD edge rejections, gateway refusals, rate-limit turnaways,
+    /// and protocol errors.
     /// `received = admitted + unadmitted()` at any quiescent instant.
     pub fn unadmitted(&self) -> u64 {
-        self.rejected + self.refused + self.protocol_errors
+        self.rejected + self.refused + self.rate_limited + self.protocol_errors
     }
 
     /// Fraction of resolved requests that completed within SLO
@@ -247,6 +257,7 @@ impl CountersSnapshot {
             ("completed_late", self.completed_late),
             ("dropped", self.dropped),
             ("refused", self.refused),
+            ("rate_limited", self.rate_limited),
             ("protocol_errors", self.protocol_errors),
         ] {
             out.push_str(&format!(
@@ -301,7 +312,7 @@ mod tests {
         let text = s.snapshot().to_prometheus("pard_gateway");
         assert!(text.contains("pard_gateway_completed_ok_total 3"));
         assert!(text.contains("# TYPE pard_gateway_received_total counter"));
-        assert_eq!(text.lines().count(), 16);
+        assert_eq!(text.lines().count(), 18);
     }
 
     #[test]

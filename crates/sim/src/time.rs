@@ -107,6 +107,17 @@ impl SimDuration {
         SimDuration((s.max(0.0) * 1e6).round() as u64)
     }
 
+    /// `ms → µs` conversion that clamps at [`SimDuration::MAX`] instead
+    /// of overflowing. [`SimDuration::from_millis`] is fine for
+    /// compile-time constants, but any millisecond count that passed
+    /// through a caller (per-request `slo_ms`, scenario SLO mixes,
+    /// sweep axes) must convert through this, so a huge value degrades
+    /// to "effectively unbounded" rather than wrapping into a deadline
+    /// in the past.
+    pub const fn saturating_from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms.saturating_mul(1_000))
+    }
+
     /// Creates a duration from fractional milliseconds.
     ///
     /// Negative inputs clamp to zero.
@@ -294,6 +305,28 @@ mod tests {
         assert_eq!(
             d.saturating_sub(SimDuration::from_millis(7)),
             SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn saturating_from_millis_clamps_at_the_boundary() {
+        // In range: identical to the plain constructor.
+        assert_eq!(
+            SimDuration::saturating_from_millis(86_400_000),
+            SimDuration::from_millis(86_400_000)
+        );
+        // `u64::MAX / 1000 + 1` ms would wrap in `ms * 1000`; the
+        // saturating form clamps to MAX, and adding it to any instant
+        // saturates instead of producing a deadline in the past.
+        let huge = SimDuration::saturating_from_millis(u64::MAX / 1_000 + 1);
+        assert_eq!(huge, SimDuration::MAX);
+        assert_eq!(
+            SimTime::from_micros(u64::MAX - 10).saturating_add(huge),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimDuration::saturating_from_millis(u64::MAX),
+            SimDuration::MAX
         );
     }
 
