@@ -24,7 +24,7 @@ use pard_metrics::{DropReason, RequestLog, Reservoir, StageRecord};
 use pard_obs::{FlightRecorder, ObsEvent, ObsKind};
 use pard_pipeline::{graph, PipelineSpec};
 use pard_profile::{plan_batches, ModelProfile};
-use pard_sim::{DetRng, EventQueue, SimDuration, SimTime, Simulation, World};
+use pard_sim::{DetRng, EventQueue, SimDuration, SimTime, Simulation, SlowdownTrace, World};
 use pard_workload::{poisson_arrivals, RateTrace};
 
 use crate::config::{ClusterConfig, FaultSpec};
@@ -123,6 +123,12 @@ pub struct ClusterWorld {
     /// observation only — it never influences the event timeline, so a
     /// recorded run stays bit-identical to an unrecorded one.
     pub(crate) recorder: Option<Arc<FlightRecorder>>,
+    /// Precomputed interference schedule per fault index (`None` for
+    /// step faults): drawn once from `(seed, index)` at construction,
+    /// so the factor applied at each change point is a pure function
+    /// of the configuration — and identical to what the live
+    /// scripted-slowdown backend applies for the same spec.
+    pub(crate) interference: Vec<Option<SlowdownTrace>>,
 }
 
 /// Everything a run produces.
@@ -190,6 +196,12 @@ impl ClusterWorld {
         }
         let published = (0..n).map(ModuleState::empty).collect();
         let peak = initial_workers.iter().sum();
+        let interference = config
+            .faults
+            .iter()
+            .enumerate()
+            .map(|(i, f)| f.slowdown_trace(config.seed, i as u64))
+            .collect();
         ClusterWorld {
             spec,
             config,
@@ -203,6 +215,7 @@ impl ClusterWorld {
             horizon,
             peak_workers: peak,
             recorder: None,
+            interference,
         }
     }
 
@@ -769,6 +782,20 @@ impl ClusterWorld {
                 let w = &mut self.modules[module].workers[worker];
                 w.slow_factor = if phase == 0 { factor.max(0.01) } else { 1.0 };
             }
+            // Interference change point: re-sample the precomputed
+            // trace at the current instant. `factor_at` returns 1.0
+            // outside the window, so the recovery event (scheduled at
+            // `until`) restores nominal speed through the same path.
+            FaultSpec::InterferenceWalk { module, worker, .. }
+            | FaultSpec::InterferenceMarkov { module, worker, .. } => {
+                if worker >= self.modules[module].workers.len() {
+                    return;
+                }
+                let factor = self.interference[index]
+                    .as_ref()
+                    .map_or(1.0, |t| t.factor_at(now.as_micros()));
+                self.modules[module].workers[worker].slow_factor = factor.max(0.01);
+            }
         }
     }
 }
@@ -809,6 +836,20 @@ pub(crate) fn schedule_faults(sim: &mut Simulation<ClusterWorld>, faults: &[Faul
             FaultSpec::SlowWorker { from, until, .. } => {
                 sim.schedule(from, Event::Fault { index, phase: 0 });
                 sim.schedule(until, Event::Fault { index, phase: 1 });
+            }
+            // A continuous-interference fault expands into one change
+            // point per trace step plus the recovery instant; each
+            // fires as an ordinary timed event, so the piecewise
+            // factor is applied on the virtual clock whether the run
+            // is trace-driven or externally stepped.
+            FaultSpec::InterferenceWalk { .. } | FaultSpec::InterferenceMarkov { .. } => {
+                let points: Vec<u64> = sim.world().interference[index]
+                    .as_ref()
+                    .map(|t| t.change_points().collect())
+                    .unwrap_or_default();
+                for t_us in points {
+                    sim.schedule(SimTime::from_micros(t_us), Event::Fault { index, phase: 0 });
+                }
             }
         }
     }

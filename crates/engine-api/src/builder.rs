@@ -6,8 +6,11 @@ use pard_cluster::{ClusterConfig, FaultSpec, SimServer, UnknownModelError};
 use pard_core::{PardPolicy, PardPolicyConfig, PolicyFactory};
 use pard_pipeline::{PipelineSpec, SpecError};
 use pard_profile::ModelProfile;
-use pard_runtime::{LiveCluster, LiveConfig, SleepBackend};
-use pard_sim::SimDuration;
+use pard_runtime::{
+    BackendFactory, LiveCluster, LiveConfig, ScriptedSlowdownBackend, SleepBackend,
+};
+use pard_sim::{SimDuration, SlowdownTrace};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::handle::EngineHandle;
 use crate::live::LiveEngine;
@@ -77,6 +80,52 @@ fn check_worker_counts(workers: &[usize], modules: usize) -> Result<(), EngineEr
     Ok(())
 }
 
+/// Fault schedules must name reachable targets and well-ordered
+/// windows — checked at build time with typed errors, because a fault
+/// aimed at a worker that never exists is a silent no-op at fire time
+/// (the handler ignores unknown workers). `pinned_workers` is `Some`
+/// when the pool size is knowable now (the live runtime, or the
+/// simulator without autoscaling); growing pools can only have their
+/// module index checked.
+fn check_fault_targets(
+    faults: &[FaultSpec],
+    modules: usize,
+    pinned_workers: Option<&[usize]>,
+) -> Result<(), EngineError> {
+    for (i, fault) in faults.iter().enumerate() {
+        let (module, worker) = fault.target();
+        if module >= modules {
+            return Err(EngineError::Config(format!(
+                "fault #{i} targets module {module}, but the pipeline has {modules} modules"
+            )));
+        }
+        if let Some(workers) = pinned_workers {
+            if worker >= workers[module] {
+                return Err(EngineError::Config(format!(
+                    "fault #{i} targets worker {worker} of module {module}, which has only \
+                     {} workers",
+                    workers[module]
+                )));
+            }
+        }
+        // Swapped bounds would fire the recovery before the onset,
+        // leaving the worker degraded forever.
+        match *fault {
+            FaultSpec::SlowWorker { from, until, .. }
+            | FaultSpec::InterferenceWalk { from, until, .. }
+            | FaultSpec::InterferenceMarkov { from, until, .. } => {
+                if from >= until {
+                    return Err(EngineError::Config(format!(
+                        "fault #{i}: window [{from:?}, {until:?}) is empty or inverted"
+                    )));
+                }
+            }
+            FaultSpec::WorkerCrash { .. } => {}
+        }
+    }
+    Ok(())
+}
+
 /// Builds an [`EngineHandle`] for a pipeline: resolve profiles, pick a
 /// policy, pick a [`Backend`].
 ///
@@ -95,6 +144,7 @@ pub struct EngineBuilder {
     policy: Option<PolicyFactory>,
     workers_per_module: Option<Vec<usize>>,
     faults: Option<Vec<FaultSpec>>,
+    fault_seed: Option<u64>,
     autoscale: Option<bool>,
     worker_cap: Option<usize>,
     cold_start: Option<SimDuration>,
@@ -113,6 +163,7 @@ impl EngineBuilder {
             policy: None,
             workers_per_module: None,
             faults: None,
+            fault_seed: None,
             autoscale: None,
             worker_cap: None,
             cold_start: None,
@@ -147,12 +198,26 @@ impl EngineBuilder {
         self
     }
 
-    /// Injects faults (worker crashes, slowdowns) that fire when
-    /// virtual time passes their timestamps. Simulator backend only —
-    /// [`EngineBuilder::build_live`] reports a typed
-    /// [`EngineError::Config`].
+    /// Injects faults that fire when virtual time passes their
+    /// timestamps. Discrete faults (worker crashes, step slowdowns)
+    /// are simulator-only — [`EngineBuilder::build_live`] reports a
+    /// typed [`EngineError::Config`] for them. Continuous interference
+    /// faults ([`FaultSpec::InterferenceWalk`] /
+    /// [`FaultSpec::InterferenceMarkov`]) work on both backends: the
+    /// simulator steps worker slowdown through the generated trace,
+    /// the live runtime mirrors the *same* trace through a
+    /// [`ScriptedSlowdownBackend`] wrapper.
     pub fn with_faults(mut self, faults: Vec<FaultSpec>) -> EngineBuilder {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Seed for generating interference slowdown traces on the live
+    /// backend (defaults to 0). The simulator derives its traces from
+    /// `ClusterConfig::seed`; pass the same value here and the two
+    /// backends inject bit-identical interference schedules.
+    pub fn with_fault_seed(mut self, seed: u64) -> EngineBuilder {
+        self.fault_seed = Some(seed);
         self
     }
 
@@ -222,12 +287,17 @@ impl EngineBuilder {
         // knob (no faults, autoscale off, zero jitter/delay) asks for
         // exactly what the live runtime already does, so
         // backend-parametric callers can configure one builder for
-        // either backend. `worker_cap`/`cold_start` only take effect
-        // under autoscaling, which is itself rejected when enabled.
+        // either backend. Continuous interference faults are the
+        // exception: they have a live mirror (the scripted-slowdown
+        // backend wrapper), so only *discrete* faults are rejected.
+        // `worker_cap`/`cold_start` only take effect under
+        // autoscaling, which is itself rejected when enabled.
         for (active, knob) in [
             (
-                self.faults.as_ref().is_some_and(|f| !f.is_empty()),
-                "fault injection",
+                self.faults
+                    .as_ref()
+                    .is_some_and(|f| f.iter().any(|fault| !fault.is_interference())),
+                "discrete fault injection (crash / step slowdown)",
             ),
             (self.autoscale == Some(true), "autoscaling"),
             (
@@ -245,21 +315,61 @@ impl EngineBuilder {
                 )));
             }
         }
+        let faults = self.faults.clone().unwrap_or_default();
+        let fault_seed = self.fault_seed.unwrap_or(0);
         let workers_override = self.workers_per_module.clone();
         let (spec, profiles, policy) = self.resolve()?;
         if let Some(workers) = workers_override {
             config.workers_per_module = workers;
         }
         check_worker_counts(&config.workers_per_module, spec.modules.len())?;
+        check_fault_targets(
+            &faults,
+            spec.modules.len(),
+            Some(&config.workers_per_module),
+        )?;
+        for fault in &faults {
+            fault.validate_params();
+        }
+        // The interference traces, keyed by (module, worker) target —
+        // the same `slowdown_trace(seed, index)` pure function the
+        // simulator folds into its event schedule.
+        let traces: Vec<((usize, usize), SlowdownTrace)> = faults
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                f.slowdown_trace(fault_seed, i as u64)
+                    .map(|t| (f.target(), t))
+            })
+            .collect();
         let scale = config.time_scale;
         let backend_profiles = profiles.clone();
-        let cluster = LiveCluster::start(
-            spec,
-            profiles,
-            policy,
-            Box::new(move |m| Box::new(SleepBackend::new(backend_profiles[m].clone(), scale))),
-            config,
-        );
+        let factory: BackendFactory = if traces.is_empty() {
+            Box::new(move |m, _| Box::new(SleepBackend::new(backend_profiles[m].clone(), scale)))
+        } else {
+            // The factory only receives the module index; worker
+            // indices are recovered by counting — `LiveCluster::start`
+            // invokes it sequentially, worker-minor within each module.
+            let next_worker: Vec<AtomicUsize> = (0..spec.modules.len())
+                .map(|_| AtomicUsize::new(0))
+                .collect();
+            Box::new(move |m, clock| {
+                let w = next_worker[m].fetch_add(1, Ordering::Relaxed);
+                let inner: Box<dyn pard_runtime::InferenceBackend> =
+                    Box::new(SleepBackend::new(backend_profiles[m].clone(), scale));
+                let mine: Vec<SlowdownTrace> = traces
+                    .iter()
+                    .filter(|(target, _)| *target == (m, w))
+                    .map(|(_, t)| t.clone())
+                    .collect();
+                if mine.is_empty() {
+                    inner
+                } else {
+                    Box::new(ScriptedSlowdownBackend::new(inner, mine, clock.clone()))
+                }
+            })
+        };
+        let cluster = LiveCluster::start(spec, profiles, policy, factory, config);
         Ok(LiveEngine::new(cluster))
     }
 
@@ -311,41 +421,11 @@ impl EngineBuilder {
                 config.exec_jitter_sigma
             )));
         }
-        for (i, fault) in config.faults.iter().enumerate() {
-            let (module, worker) = match *fault {
-                FaultSpec::WorkerCrash { module, worker, .. } => (module, worker),
-                FaultSpec::SlowWorker { module, worker, .. } => (module, worker),
-            };
-            if module >= spec.modules.len() {
-                return Err(EngineError::Config(format!(
-                    "fault #{i} targets module {module}, but pipeline {:?} has {} modules",
-                    spec.name,
-                    spec.modules.len()
-                )));
-            }
-            // With a pinned pool the worker index is knowable now; an
-            // out-of-range index would make the fault a silent no-op
-            // at fire time (the handler ignores unknown workers).
-            // Autoscaling pools grow at runtime, so only a pinned pool
-            // can be checked.
-            if !config.autoscale && worker >= workers[module] {
-                return Err(EngineError::Config(format!(
-                    "fault #{i} targets worker {worker} of module {module}, which has only \
-                     {} workers",
-                    workers[module]
-                )));
-            }
-            if let FaultSpec::SlowWorker { from, until, .. } = *fault {
-                // Swapped bounds would fire the recovery before the
-                // onset, leaving the worker degraded forever.
-                if from >= until {
-                    return Err(EngineError::Config(format!(
-                        "fault #{i}: SlowWorker window [{from:?}, {until:?}) is empty \
-                         or inverted"
-                    )));
-                }
-            }
-        }
+        check_fault_targets(
+            &config.faults,
+            spec.modules.len(),
+            (!config.autoscale).then_some(workers.as_slice()),
+        )?;
         let server = SimServer::new(spec, profiles, policy, config, workers);
         Ok(SimEngine::with_recorder_capacity(server, recorder_capacity))
     }
@@ -516,6 +596,51 @@ mod tests {
             }])
             .build_sim(ClusterConfig::default());
         assert!(grown.is_ok());
+    }
+
+    #[test]
+    fn interference_faults_build_on_both_backends() {
+        use pard_sim::WalkParams;
+        let walk = || FaultSpec::InterferenceWalk {
+            module: 0,
+            worker: 0,
+            walk: WalkParams {
+                lo: 1.0,
+                hi: 4.0,
+                mean: 2.0,
+                theta: 0.2,
+                sigma: 0.3,
+            },
+            period: SimDuration::from_millis(250),
+            from: SimTime::from_secs(1),
+            until: SimTime::from_secs(3),
+        };
+        // The live runtime mirrors interference through the scripted
+        // backend wrapper instead of rejecting it like discrete faults.
+        let live = EngineBuilder::for_app(AppKind::Tm)
+            .with_faults(vec![walk()])
+            .with_fault_seed(7)
+            .build_live(pard_runtime::LiveConfig::compressed(50.0, 3, 2));
+        assert!(live.is_ok(), "{:?}", live.err().map(|e| e.to_string()));
+        let sim = EngineBuilder::for_app(AppKind::Tm)
+            .with_faults(vec![walk()])
+            .build_sim(ClusterConfig::default());
+        assert!(sim.is_ok());
+        // Shared target validation applies to the live path too.
+        let mut bad = walk();
+        if let FaultSpec::InterferenceWalk { worker, .. } = &mut bad {
+            *worker = 9;
+        }
+        let e = EngineBuilder::for_app(AppKind::Tm)
+            .with_faults(vec![bad])
+            .build_live(pard_runtime::LiveConfig::compressed(50.0, 3, 2))
+            .err();
+        match e {
+            Some(EngineError::Config(message)) => {
+                assert!(message.contains("targets worker 9"), "{message}")
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
     }
 
     #[test]

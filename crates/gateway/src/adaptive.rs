@@ -1,0 +1,736 @@
+//! Online re-planning and graceful degradation for edge admission.
+//!
+//! Static PARD computes its admission floor from *profiled* stage
+//! latencies. Under dynamic interference — a co-located tenant
+//! stealing cycles, a thermally throttled accelerator — the profile
+//! goes stale: the floor admits requests the slowed pipeline can no
+//! longer finish, and goodput collapses exactly where the paper's
+//! argument needs it most. This module closes the loop:
+//!
+//! * [`AdaptiveState`] folds the engine's own flight-recorder stream
+//!   ([`ObsKind::Stage`] execution spans, completions, pipeline drops)
+//!   into a per-module latency estimator — an EWMA plus a rolling
+//!   quantile of the observed/profiled execution ratio.
+//! * A **re-planner** with a hysteresis band: when a module's observed
+//!   ratio drifts above `enter_ratio`, the admission floor switches to
+//!   the observed estimate; it falls back to the profile only once the
+//!   ratio recovers below `exit_ratio`, so the floor does not flap on
+//!   noise.
+//! * A **brownout controller**: when the windowed violation + drop
+//!   rate breaches its envelope, the whole floor is tightened by a
+//!   multiplicative step (and relaxed stepwise on recovery), shedding
+//!   load at the edge until the pipeline is healthy again.
+//!
+//! Every floor movement is stamped into the same flight recorder as an
+//! [`ObsKind::FloorAdjust`] event, so a post-mortem can replay exactly
+//! when and why admission tightened.
+//!
+//! # Determinism
+//!
+//! The estimator is updated *pull-style*: callers drain the recorder
+//! with [`pard_obs::FlightRecorder::read_since`] and fold the new
+//! events. Every state transition — EWMA update, hysteresis latch,
+//! brownout step — happens per event during the fold, never per drain,
+//! so the state after folding events `[0, n)` is a pure function of
+//! that prefix no matter how wall-clock polling partitioned it into
+//! drains. On the deterministic replay path the gateway folds right
+//! after steering the virtual clock, which makes every adaptive
+//! admission decision a pure function of the schedule and the seed —
+//! the same discipline as the rest of the replay machinery.
+
+use pard_engine_api::EdgeState;
+use pard_obs::{FlightRecorder, FloorCause, ObsKind};
+
+/// Tuning for the online estimator, the re-planner's hysteresis band,
+/// and the brownout envelope. `Default` is the configuration the
+/// harness scenarios and the gateway binary use.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    /// EWMA weight of one new observed/profiled ratio sample, in
+    /// `(0, 1]`.
+    pub alpha: f64,
+    /// Rolling quantile of the ratio window the estimator takes (the
+    /// floor uses `max(ewma, quantile)` — robust to a few fast
+    /// batches hiding a slow worker).
+    pub quantile: f64,
+    /// Ratio samples retained per module for the quantile.
+    pub window: usize,
+    /// Hysteresis entry: adopt the observed estimate once
+    /// observed/profiled exceeds this.
+    pub enter_ratio: f64,
+    /// Hysteresis exit: fall back to the profile once the ratio drops
+    /// below this. Must be below `enter_ratio`.
+    pub exit_ratio: f64,
+    /// Stage samples a module needs before the re-planner may act on
+    /// it.
+    pub min_samples: u64,
+    /// Terminal outcomes (completions + pipeline drops) in the
+    /// brownout's violation window.
+    pub brownout_window: usize,
+    /// Windowed violation + drop fraction that trips one brownout
+    /// tightening step.
+    pub brownout_threshold: f64,
+    /// Windowed fraction below which one recovery step is taken.
+    pub brownout_recover: f64,
+    /// Multiplicative floor scale applied per brownout step.
+    pub brownout_step: f64,
+    /// Ceiling on the cumulative brownout scale.
+    pub brownout_max: f64,
+    /// Consecutive edge sheds with no admitted evidence in between
+    /// that trigger one downward probe of the latched estimates. A
+    /// floor that exceeds every request's deadline admits nothing, so
+    /// no stage samples or terminal outcomes arrive and the latch
+    /// would otherwise hold forever; probing breaks the black hole.
+    pub probe_after: usize,
+    /// Safety factor applied on top of a *latched* observed estimate.
+    /// The edge floor's queue term counts whole batch rounds and
+    /// assumes zero batch-fill wait, so at a degraded module the queue
+    /// states just below the shed threshold admit requests the slowed
+    /// pipeline finishes late; the margin moves the threshold below
+    /// that doomed band. `1.0` disables it.
+    pub floor_margin: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> AdaptiveConfig {
+        AdaptiveConfig {
+            alpha: 0.3,
+            quantile: 0.9,
+            window: 64,
+            enter_ratio: 1.15,
+            exit_ratio: 1.05,
+            min_samples: 8,
+            brownout_window: 64,
+            brownout_threshold: 0.3,
+            brownout_recover: 0.05,
+            brownout_step: 1.25,
+            brownout_max: 4.0,
+            probe_after: 16,
+            floor_margin: 1.5,
+        }
+    }
+}
+
+/// One floor movement the fold produced; the caller records it as an
+/// [`ObsKind::FloorAdjust`] once the adjusted floor's `L_sub` is
+/// known.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FloorAdjustment {
+    /// Module whose estimate moved (the entry module for brownout
+    /// steps).
+    pub module: u16,
+    /// What moved it.
+    pub cause: FloorCause,
+    /// The observed estimate after the movement, microseconds.
+    pub observed_us: u64,
+    /// The static profile's value for the same term, microseconds.
+    pub profiled_us: u64,
+}
+
+/// Per-module feed: EWMA + rolling window of observed/profiled
+/// execution ratios, plus the hysteresis latch.
+#[derive(Clone, Debug)]
+struct ModuleFeed {
+    ewma: f64,
+    window: Vec<f64>,
+    next: usize,
+    samples: u64,
+    /// Hysteresis latch: the floor currently uses the observed
+    /// estimate instead of the profile.
+    active: bool,
+    /// The ratio the floor currently applies while `active` (frozen at
+    /// latch transitions only when it *rises*, so the floor tracks
+    /// worsening interference without waiting for a re-latch).
+    applied: f64,
+}
+
+impl ModuleFeed {
+    fn new() -> ModuleFeed {
+        ModuleFeed {
+            ewma: 1.0,
+            window: Vec::new(),
+            next: 0,
+            samples: 0,
+            active: false,
+            applied: 1.0,
+        }
+    }
+
+    fn push(&mut self, ratio: f64, capacity: usize) {
+        self.samples += 1;
+        if self.window.len() < capacity.max(1) {
+            self.window.push(ratio);
+        } else {
+            self.window[self.next] = ratio;
+            self.next = (self.next + 1) % self.window.len();
+        }
+    }
+
+    /// `max(ewma, quantile)` — the estimate the re-planner compares
+    /// against the hysteresis band.
+    fn estimate(&self, quantile: f64) -> f64 {
+        let mut sorted = self.window.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+        let q = match sorted.len() {
+            0 => 1.0,
+            n => {
+                let ix = ((quantile * n as f64).ceil() as usize).clamp(1, n) - 1;
+                sorted[ix]
+            }
+        };
+        self.ewma.max(q)
+    }
+}
+
+/// The adaptive layer's whole mutable state: the recorder cursor, the
+/// per-module feeds, the brownout window, and the audit trail of
+/// adjustments the last fold produced.
+pub struct AdaptiveState {
+    config: AdaptiveConfig,
+    /// Resume point for [`FlightRecorder::read_since`].
+    cursor: u64,
+    modules: Vec<ModuleFeed>,
+    /// Ring of recent terminal outcomes: `true` = violated or dropped
+    /// in the pipeline.
+    outcomes: Vec<bool>,
+    outcomes_next: usize,
+    /// Brownout stepping cooldown, counted in terminal outcomes — a
+    /// step (either direction) is allowed only when this reaches zero,
+    /// so the controller reacts to *new* evidence, not to every fold.
+    cooldown: usize,
+    /// Cumulative brownout scale; `1.0` = off.
+    brownout_scale: f64,
+    /// Edge sheds folded since the last admitted evidence (stage
+    /// sample or terminal outcome). Reaching `config.probe_after`
+    /// probes the latched estimates one step toward the profile.
+    shed_streak: usize,
+    /// Profiled per-module execution latencies, captured from the
+    /// pristine engine state (static for a given engine).
+    baseline_ms: Vec<f64>,
+}
+
+impl AdaptiveState {
+    /// Fresh state; the module count is learned from the first
+    /// [`AdaptiveState::observe_and_adjust`] call.
+    pub fn new(config: AdaptiveConfig) -> AdaptiveState {
+        assert!(config.alpha > 0.0 && config.alpha <= 1.0, "alpha in (0,1]");
+        assert!(
+            config.exit_ratio < config.enter_ratio,
+            "hysteresis band is empty: exit {} >= enter {}",
+            config.exit_ratio,
+            config.enter_ratio
+        );
+        assert!(
+            config.brownout_step > 1.0,
+            "a brownout step must tighten the floor"
+        );
+        AdaptiveState {
+            config,
+            cursor: 0,
+            modules: Vec::new(),
+            outcomes: Vec::new(),
+            outcomes_next: 0,
+            cooldown: 0,
+            brownout_scale: 1.0,
+            shed_streak: 0,
+            baseline_ms: Vec::new(),
+        }
+    }
+
+    /// The current cumulative brownout scale (`1.0` = not browned
+    /// out).
+    pub fn brownout_scale(&self) -> f64 {
+        self.brownout_scale
+    }
+
+    /// Whether any module's floor currently uses the observed estimate.
+    pub fn replanned(&self) -> bool {
+        self.modules.iter().any(|m| m.active)
+    }
+
+    /// Drains the recorder, folds the new events into the estimator,
+    /// and rewrites `state.exec_ms` with the effective (observed ×
+    /// brownout) execution estimates. Returns the floor movements this
+    /// fold produced, for the caller to stamp into the recorder.
+    ///
+    /// `state` must be the engine's pristine edge state (profiled
+    /// `exec_ms`); `source` is the pipeline's entry module, charged
+    /// with brownout adjustments in the audit trail.
+    pub fn observe_and_adjust(
+        &mut self,
+        recorder: &FlightRecorder,
+        state: &mut EdgeState,
+        source: usize,
+    ) -> Vec<FloorAdjustment> {
+        self.baseline_ms.clone_from(&state.exec_ms);
+        if self.modules.len() < state.exec_ms.len() {
+            self.modules
+                .resize_with(state.exec_ms.len(), ModuleFeed::new);
+        }
+        let (events, cursor) = recorder.read_since(self.cursor);
+        self.cursor = cursor;
+        let mut adjustments = Vec::new();
+        for event in &events {
+            match event.kind {
+                ObsKind::Stage {
+                    module,
+                    exec_start_us,
+                    exec_end_us,
+                    ..
+                } => {
+                    self.shed_streak = 0;
+                    self.fold_stage(module, exec_start_us, exec_end_us, &mut adjustments);
+                }
+                ObsKind::Completed {
+                    finished_us,
+                    deadline_us,
+                } => {
+                    self.shed_streak = 0;
+                    self.fold_outcome(finished_us > deadline_us, source, &mut adjustments);
+                }
+                ObsKind::Dropped { .. } => {
+                    self.shed_streak = 0;
+                    self.fold_outcome(true, source, &mut adjustments);
+                }
+                // A shed at the edge is the floor doing its job, not a
+                // bad ending — it feeds the brownout window as a
+                // healthy outcome (so a fully shedding floor still
+                // relaxes) and a long unbroken run of sheds probes the
+                // latched estimates back toward the profile.
+                ObsKind::EdgeDecision {
+                    reason: Some(_), ..
+                } => self.fold_shed(source, &mut adjustments),
+                // Admitted edge decisions, merges, and prior floor
+                // audit events carry no latency evidence.
+                ObsKind::EdgeDecision { reason: None, .. }
+                | ObsKind::MergeRelease { .. }
+                | ObsKind::FloorAdjust { .. } => {}
+            }
+        }
+        // Rewrite the execution estimates the floor is computed from.
+        // The margin rides only on latched modules: an on-profile
+        // module keeps its exact profiled floor.
+        for (m, exec) in state.exec_ms.iter_mut().enumerate() {
+            let feed = &self.modules[m];
+            let ratio = if feed.active {
+                feed.applied * self.config.floor_margin.max(1.0)
+            } else {
+                1.0
+            };
+            *exec = self.baseline_ms[m] * ratio * self.brownout_scale;
+        }
+        adjustments
+    }
+
+    fn fold_stage(
+        &mut self,
+        module: u16,
+        exec_start_us: u64,
+        exec_end_us: u64,
+        adjustments: &mut Vec<FloorAdjustment>,
+    ) {
+        let m = module as usize;
+        if m >= self.modules.len() || exec_end_us <= exec_start_us {
+            return;
+        }
+        let profiled_ms = self.baseline_ms[m];
+        if profiled_ms <= 0.0 {
+            return;
+        }
+        let observed_ms = (exec_end_us - exec_start_us) as f64 / 1e3;
+        let ratio = observed_ms / profiled_ms;
+        let config = self.config;
+        let feed = &mut self.modules[m];
+        feed.ewma = if feed.samples == 0 {
+            ratio
+        } else {
+            config.alpha * ratio + (1.0 - config.alpha) * feed.ewma
+        };
+        feed.push(ratio, config.window);
+        if feed.samples < config.min_samples {
+            return;
+        }
+        let estimate = feed.estimate(config.quantile);
+        // Hysteresis latch, evaluated per sample: enter above the
+        // band, exit below it, and while latched keep tracking a
+        // *worsening* estimate so deepening interference tightens the
+        // floor without a re-latch.
+        let moved = if !feed.active && estimate >= config.enter_ratio {
+            feed.active = true;
+            feed.applied = estimate;
+            true
+        } else if feed.active && estimate <= config.exit_ratio {
+            feed.active = false;
+            feed.applied = 1.0;
+            true
+        } else if feed.active && estimate > feed.applied * 1.10 {
+            feed.applied = estimate;
+            true
+        } else {
+            false
+        };
+        if moved {
+            adjustments.push(FloorAdjustment {
+                module,
+                cause: FloorCause::Replan,
+                observed_us: (profiled_ms * feed.applied.max(1.0) * 1e3) as u64,
+                profiled_us: (profiled_ms * 1e3) as u64,
+            });
+        }
+    }
+
+    fn fold_outcome(
+        &mut self,
+        violated: bool,
+        source: usize,
+        adjustments: &mut Vec<FloorAdjustment>,
+    ) {
+        let capacity = self.config.brownout_window.max(1);
+        if self.outcomes.len() < capacity {
+            self.outcomes.push(violated);
+        } else {
+            self.outcomes[self.outcomes_next] = violated;
+            self.outcomes_next = (self.outcomes_next + 1) % self.outcomes.len();
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return;
+        }
+        // Only judge a reasonably full window; a couple of early
+        // violations must not brown the gateway out at startup.
+        if self.outcomes.len() < capacity / 2 {
+            return;
+        }
+        let bad = self.outcomes.iter().filter(|&&v| v).count() as f64;
+        let rate = bad / self.outcomes.len() as f64;
+        let profiled_ms = self.baseline_ms.get(source).copied().unwrap_or(0.0);
+        let stepped = if rate >= self.config.brownout_threshold
+            && self.brownout_scale < self.config.brownout_max
+        {
+            self.brownout_scale =
+                (self.brownout_scale * self.config.brownout_step).min(self.config.brownout_max);
+            Some(FloorCause::Brownout)
+        } else if rate <= self.config.brownout_recover && self.brownout_scale > 1.0 {
+            self.brownout_scale = (self.brownout_scale / self.config.brownout_step).max(1.0);
+            Some(FloorCause::Recover)
+        } else {
+            None
+        };
+        if let Some(cause) = stepped {
+            // One step per half-window of fresh evidence, so the scale
+            // ramps at a rate set by outcomes, not by fold frequency.
+            self.cooldown = capacity / 2;
+            adjustments.push(FloorAdjustment {
+                module: source as u16,
+                cause,
+                observed_us: (profiled_ms * self.brownout_scale * 1e3) as u64,
+                profiled_us: (profiled_ms * 1e3) as u64,
+            });
+        }
+    }
+
+    /// One folded edge shed. Counts as a healthy terminal outcome (the
+    /// request was refused cheaply, not served late), and after
+    /// `probe_after` consecutive sheds with no admitted evidence the
+    /// latched estimates decay one multiplicative step toward the
+    /// profile. Without this a floor that exceeds every deadline
+    /// starves itself of samples and stays shut forever; with it the
+    /// floor probes downward until traffic admits again and real
+    /// observations resume — if the slowdown persists, the first fresh
+    /// samples re-latch immediately.
+    fn fold_shed(&mut self, source: usize, adjustments: &mut Vec<FloorAdjustment>) {
+        self.fold_outcome(false, source, adjustments);
+        self.shed_streak += 1;
+        if self.shed_streak < self.config.probe_after.max(1) {
+            return;
+        }
+        self.shed_streak = 0;
+        let config = self.config;
+        for m in 0..self.modules.len() {
+            let feed = &mut self.modules[m];
+            if !feed.active {
+                continue;
+            }
+            feed.applied = (feed.applied / config.brownout_step).max(1.0);
+            if feed.applied <= config.exit_ratio {
+                feed.active = false;
+                feed.applied = 1.0;
+            }
+            // Restart the estimator at the probe level: fresh samples
+            // decide quickly whether the slowdown really ended, instead
+            // of fighting a window full of storm-era ratios.
+            feed.ewma = feed.applied;
+            feed.window.clear();
+            feed.next = 0;
+            let profiled_ms = self.baseline_ms.get(m).copied().unwrap_or(0.0);
+            adjustments.push(FloorAdjustment {
+                module: m as u16,
+                cause: FloorCause::Recover,
+                observed_us: (profiled_ms * feed.applied * 1e3) as u64,
+                profiled_us: (profiled_ms * 1e3) as u64,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pard_obs::ObsEvent;
+    use pard_sim::SimDuration;
+
+    fn state() -> EdgeState {
+        EdgeState {
+            queue_depths: vec![0, 0],
+            workers: vec![1, 1],
+            batch_sizes: vec![4, 4],
+            exec_ms: vec![40.0, 20.0],
+            slo: SimDuration::from_millis(400),
+        }
+    }
+
+    fn stage(t_us: u64, module: u16, exec_ms: u64) -> ObsEvent {
+        ObsEvent {
+            t_us,
+            req: t_us,
+            kind: ObsKind::Stage {
+                module,
+                worker: 0,
+                batch: 4,
+                arrived_us: t_us,
+                batched_us: t_us,
+                exec_start_us: t_us,
+                exec_end_us: t_us + exec_ms * 1_000,
+            },
+        }
+    }
+
+    fn done(t_us: u64, violated: bool) -> ObsEvent {
+        ObsEvent {
+            t_us,
+            req: t_us,
+            kind: ObsKind::Completed {
+                finished_us: t_us + 10,
+                deadline_us: if violated { t_us } else { t_us + 20 },
+            },
+        }
+    }
+
+    fn shed(t_us: u64) -> ObsEvent {
+        ObsEvent {
+            t_us,
+            req: t_us,
+            kind: ObsKind::EdgeDecision {
+                lead_us: 0,
+                sub_us: 500_000,
+                slack_us: -100_000,
+                reason: Some(pard_metrics::DropReason::PredictedViolation),
+            },
+        }
+    }
+
+    #[test]
+    fn matching_latencies_leave_the_floor_alone() {
+        let recorder = FlightRecorder::with_capacity(256);
+        for i in 0..32u64 {
+            recorder.record(&stage(i * 1_000, 0, 40));
+            recorder.record(&stage(i * 1_000, 1, 20));
+        }
+        let mut adaptive = AdaptiveState::new(AdaptiveConfig::default());
+        let mut s = state();
+        let adjustments = adaptive.observe_and_adjust(&recorder, &mut s, 0);
+        assert!(adjustments.is_empty(), "{adjustments:?}");
+        assert_eq!(s.exec_ms, vec![40.0, 20.0]);
+        assert!(!adaptive.replanned());
+    }
+
+    #[test]
+    fn sustained_slowdown_latches_the_observed_estimate() {
+        let recorder = FlightRecorder::with_capacity(256);
+        // Module 1 runs 3x slow; module 0 stays on profile.
+        for i in 0..32u64 {
+            recorder.record(&stage(i * 1_000, 0, 40));
+            recorder.record(&stage(i * 1_000, 1, 60));
+        }
+        let mut adaptive = AdaptiveState::new(AdaptiveConfig {
+            floor_margin: 1.0,
+            ..AdaptiveConfig::default()
+        });
+        let mut s = state();
+        let adjustments = adaptive.observe_and_adjust(&recorder, &mut s, 0);
+        assert!(adaptive.replanned());
+        assert!(
+            adjustments
+                .iter()
+                .any(|a| a.module == 1 && a.cause == FloorCause::Replan),
+            "{adjustments:?}"
+        );
+        assert_eq!(s.exec_ms[0], 40.0, "on-profile module untouched");
+        assert!(
+            (s.exec_ms[1] - 60.0).abs() < 1.0,
+            "observed estimate adopted: {}",
+            s.exec_ms[1]
+        );
+    }
+
+    #[test]
+    fn the_floor_margin_rides_on_latched_modules_only() {
+        let recorder = FlightRecorder::with_capacity(256);
+        for i in 0..32u64 {
+            recorder.record(&stage(i * 1_000, 0, 40));
+            recorder.record(&stage(i * 1_000, 1, 60));
+        }
+        let mut adaptive = AdaptiveState::new(AdaptiveConfig::default());
+        let mut s = state();
+        adaptive.observe_and_adjust(&recorder, &mut s, 0);
+        assert_eq!(s.exec_ms[0], 40.0, "on-profile module unmargined");
+        assert!(
+            (s.exec_ms[1] - 90.0).abs() < 1.5,
+            "latched estimate carries the 1.5x safety margin: {}",
+            s.exec_ms[1]
+        );
+    }
+
+    #[test]
+    fn hysteresis_exits_only_below_the_band() {
+        let recorder = FlightRecorder::with_capacity(1024);
+        let mut adaptive = AdaptiveState::new(AdaptiveConfig::default());
+        let mut s = state();
+        for i in 0..32u64 {
+            recorder.record(&stage(i * 1_000, 1, 60));
+        }
+        adaptive.observe_and_adjust(&recorder, &mut s, 0);
+        assert!(adaptive.replanned());
+        // Recovery: enough on-profile samples to pull the whole
+        // window and the EWMA back under exit_ratio.
+        for i in 32..160u64 {
+            recorder.record(&stage(i * 1_000, 1, 20));
+        }
+        let mut s = state();
+        let adjustments = adaptive.observe_and_adjust(&recorder, &mut s, 0);
+        assert!(!adaptive.replanned(), "latch released on recovery");
+        assert!(
+            adjustments
+                .iter()
+                .any(|a| a.module == 1 && a.cause == FloorCause::Replan),
+            "the release is audited too: {adjustments:?}"
+        );
+        assert_eq!(s.exec_ms[1], 20.0, "floor back on the profile");
+    }
+
+    #[test]
+    fn violation_storm_steps_the_brownout_and_recovery_relaxes_it() {
+        let recorder = FlightRecorder::with_capacity(4096);
+        let config = AdaptiveConfig::default();
+        let mut adaptive = AdaptiveState::new(config);
+        let mut s = state();
+        for i in 0..64u64 {
+            recorder.record(&done(i * 1_000, true));
+        }
+        let adjustments = adaptive.observe_and_adjust(&recorder, &mut s, 0);
+        assert!(adaptive.brownout_scale() > 1.0);
+        assert!(
+            adjustments
+                .iter()
+                .any(|a| a.cause == FloorCause::Brownout && a.module == 0),
+            "{adjustments:?}"
+        );
+        assert!(
+            s.exec_ms[0] > 40.0 && s.exec_ms[1] > 20.0,
+            "whole floor tightened"
+        );
+        // A clean stretch relaxes stepwise back to 1.0.
+        let mut relaxed = false;
+        for round in 0..8u64 {
+            for i in 0..64u64 {
+                recorder.record(&done((100 + round * 64 + i) * 1_000, false));
+            }
+            let adjustments = adaptive.observe_and_adjust(&recorder, &mut state(), 0);
+            relaxed |= adjustments.iter().any(|a| a.cause == FloorCause::Recover);
+        }
+        assert!(relaxed, "recovery steps were audited");
+        assert_eq!(adaptive.brownout_scale(), 1.0, "fully recovered");
+    }
+
+    #[test]
+    fn full_shedding_cannot_latch_the_floor_shut_forever() {
+        // Latch a deep slowdown and ratchet the brownout, then feed
+        // nothing but edge sheds — the regime a floor above every
+        // deadline produces. The probe path must walk both the latched
+        // estimate and the brownout scale back to the profile.
+        let recorder = FlightRecorder::with_capacity(8192);
+        let mut adaptive = AdaptiveState::new(AdaptiveConfig::default());
+        for i in 0..32u64 {
+            recorder.record(&stage(i * 1_000, 1, 60));
+        }
+        for i in 0..64u64 {
+            recorder.record(&done((32 + i) * 1_000, true));
+        }
+        adaptive.observe_and_adjust(&recorder, &mut state(), 0);
+        assert!(adaptive.replanned());
+        assert!(adaptive.brownout_scale() > 1.0);
+        // Nothing but sheds from here on.
+        let mut recovered = false;
+        for round in 0..64u64 {
+            for i in 0..32u64 {
+                recorder.record(&shed((1_000 + round * 32 + i) * 1_000));
+            }
+            let adjustments = adaptive.observe_and_adjust(&recorder, &mut state(), 0);
+            recovered |= adjustments.iter().any(|a| a.cause == FloorCause::Recover);
+        }
+        assert!(recovered, "probe steps were audited");
+        assert!(!adaptive.replanned(), "latch released by probing");
+        assert_eq!(adaptive.brownout_scale(), 1.0, "brownout fully relaxed");
+        let mut s = state();
+        adaptive.observe_and_adjust(&recorder, &mut s, 0);
+        assert_eq!(s.exec_ms, vec![40.0, 20.0], "floor back on the profile");
+    }
+
+    #[test]
+    fn folding_is_independent_of_drain_partitioning() {
+        // The same event stream folded in one drain or many must land
+        // in the same state — the determinism contract the replay path
+        // relies on.
+        let mut events = Vec::new();
+        for i in 0..48u64 {
+            events.push(stage(i * 1_000, 1, 55));
+            if i % 3 == 0 {
+                events.push(done(i * 1_000, i % 2 == 0));
+            }
+            if i % 5 == 0 {
+                events.push(shed(i * 1_000));
+            }
+        }
+        for i in 48..120u64 {
+            events.push(shed(i * 1_000));
+        }
+        let run = |chunks: &[usize]| {
+            let recorder = FlightRecorder::with_capacity(1024);
+            let mut adaptive = AdaptiveState::new(AdaptiveConfig::default());
+            let mut ix = 0;
+            for &chunk in chunks {
+                for _ in 0..chunk {
+                    if ix < events.len() {
+                        recorder.record(&events[ix]);
+                        ix += 1;
+                    }
+                }
+                // Like `fresh_snapshot`: every call starts from the
+                // engine's pristine profiled state.
+                adaptive.observe_and_adjust(&recorder, &mut state(), 0);
+            }
+            while ix < events.len() {
+                recorder.record(&events[ix]);
+                ix += 1;
+            }
+            let mut s = state();
+            adaptive.observe_and_adjust(&recorder, &mut s, 0);
+            (s.exec_ms.clone(), adaptive.brownout_scale())
+        };
+        let one_shot = run(&[]);
+        let per_event = run(&vec![1; 64]);
+        let ragged = run(&[3, 1, 17, 2, 29]);
+        assert_eq!(one_shot, per_event);
+        assert_eq!(one_shot, ragged);
+    }
+}

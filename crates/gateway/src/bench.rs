@@ -343,6 +343,11 @@ fn run_case(app: AppKind, backend: Backend, config: &LoadgenConfig) -> io::Resul
         GatewayConfig {
             addr: "127.0.0.1:0".into(),
             metrics_addr: "127.0.0.1:0".into(),
+            // The bench matrix runs with the online estimator on: its
+            // fold cost sits on the snapshot-refresh path, so the
+            // trajectory check guards the adaptive layer's overhead
+            // too.
+            adaptive: Some(crate::adaptive::AdaptiveConfig::default()),
             ..GatewayConfig::default()
         },
     )?;

@@ -29,6 +29,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use pard_sim::DetRng;
+
 use crate::wire::{ErrorCode, Reply, Request, WireOutcome};
 
 /// One request, before the client assigns its correlation number.
@@ -146,6 +148,67 @@ impl Outcome {
             | Outcome::DroppedPipeline { id, .. } => Some(id),
             Outcome::Rejected { .. } => None,
         }
+    }
+}
+
+/// Bounded retry with seeded, jittered exponential backoff for
+/// *transient* back-pressure replies — `overloaded` (pending table
+/// full) and `rate_limited` (edge token bucket empty). Both mean "try
+/// again shortly"; every other outcome is terminal: a PARD drop says
+/// the *deadline* is unreachable, so resending the same request is
+/// exactly the wasted work proactive dropping exists to avoid.
+///
+/// Backoff for attempt `n` is `min(cap, base · 2ⁿ)` scaled by a jitter
+/// factor in `[0.5, 1.0)` drawn from a [`DetRng`] — seeded, so a
+/// replayed load test backs off identically run to run.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = plain [`Client::call`]).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Jitter stream seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            seed: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jitter stream this policy seeds; keep it across calls so
+    /// successive retries draw successive variates.
+    pub fn rng(&self) -> DetRng {
+        DetRng::new(self.seed)
+    }
+
+    /// The jittered backoff before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32, rng: &mut DetRng) -> Duration {
+        let doubled = self
+            .base
+            .saturating_mul(2u32.saturating_pow(attempt.min(20)))
+            .min(self.cap);
+        doubled.mul_f64(0.5 + 0.5 * rng.f64())
+    }
+
+    /// Whether `outcome` is transient back-pressure worth retrying.
+    pub fn transient(outcome: &Outcome) -> bool {
+        matches!(
+            outcome,
+            Outcome::Rejected {
+                code: Some(ErrorCode::Overloaded | ErrorCode::RateLimited),
+                ..
+            }
+        )
     }
 }
 
@@ -361,6 +424,34 @@ impl Client {
     pub fn call(&mut self, spec: &CallSpec, timeout: Duration) -> io::Result<Option<Answer>> {
         let seq = self.send(spec)?;
         Ok(self.wait(seq, timeout))
+    }
+
+    /// [`Client::call`] with bounded retry on transient back-pressure
+    /// (`overloaded`, `rate_limited`) per `policy`, sleeping the
+    /// jittered backoff between attempts. Returns the final answer
+    /// plus how many retries were spent on it — callers account
+    /// retries separately so counter algebra over *requests* stays
+    /// closed while the wire carries more *attempts*. `timeout` bounds
+    /// each attempt individually; a timeout is returned as-is (the
+    /// request is still outstanding, so resending would double-spend).
+    pub fn call_retry(
+        &mut self,
+        spec: &CallSpec,
+        timeout: Duration,
+        policy: &RetryPolicy,
+        rng: &mut DetRng,
+    ) -> io::Result<(Option<Answer>, u32)> {
+        let mut retries = 0u32;
+        loop {
+            let answer = self.call(spec, timeout)?;
+            match &answer {
+                Some(a) if RetryPolicy::transient(&a.outcome) && retries < policy.max_retries => {
+                    std::thread::sleep(policy.backoff(retries, rng));
+                    retries += 1;
+                }
+                _ => return Ok((answer, retries)),
+            }
+        }
     }
 
     /// Sends a replay-control line steering a stepped engine's virtual

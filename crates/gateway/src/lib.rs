@@ -29,6 +29,7 @@
 //! cargo run --release --bin pard-loadgen -- --addr 127.0.0.1:7311 --mode open --rate 120 --duration 10
 //! ```
 
+pub mod adaptive;
 pub mod admission;
 pub mod bench;
 pub mod client;
@@ -39,12 +40,13 @@ pub mod server;
 pub mod telemetry;
 pub mod wire;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveState, FloorAdjustment};
 pub use admission::{
     edge_decision, edge_sub_estimate, AdmissionFloor, EdgePublisher, EdgeSnapshot, EdgeTrace,
     SnapshotReader,
 };
 pub use bench::{BenchRow, BenchRun, Trajectory};
-pub use client::{Answer, CallSpec, Client, Drained};
+pub use client::{Answer, CallSpec, Client, Drained, RetryPolicy};
 pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport, Pace};
 pub use pending::PendingMap;
 pub use server::{AppConfig, Gateway, GatewayConfig, RateLimit, EDGE_ID_BASE};

@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 
 use pard_workload::{wire_schedule, PayloadSpec, RateTrace, WireEvent};
 
-use crate::client::{Answer, CallSpec, Client, Outcome};
+use crate::client::{Answer, CallSpec, Client, Outcome, RetryPolicy};
 use crate::netpoll;
 use crate::wire::{self, Request};
 
@@ -94,6 +94,12 @@ pub struct LoadgenConfig {
     /// connection — the C10K discipline. Wall pacing only; virtual
     /// multi-connection replays go through the replay-group path.
     pub mux: bool,
+    /// Closed-loop retry policy for transient back-pressure replies
+    /// (`overloaded`, `rate_limited`); `None` treats them as terminal
+    /// errors. Retried attempts are counted separately
+    /// ([`LoadgenReport::retries`]) so `sent` keeps counting logical
+    /// requests and the outcome algebra stays closed.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for LoadgenConfig {
@@ -111,6 +117,7 @@ impl Default for LoadgenConfig {
             pace: Pace::default(),
             seed: 42,
             mux: false,
+            retry: None,
         }
     }
 }
@@ -130,6 +137,11 @@ pub struct LoadgenReport {
     pub dropped_pipeline: usize,
     /// Protocol errors and unparseable responses.
     pub errors: usize,
+    /// Extra wire attempts spent retrying transient back-pressure
+    /// (closed loop with a [`RetryPolicy`]); not counted in `sent`, so
+    /// `sent == ok + violated + dropped + errors + unanswered` holds
+    /// with or without retries.
+    pub retries: usize,
     /// Requests with no response before the drain deadline.
     pub unanswered: usize,
     /// Wall-clock run time, seconds.
@@ -184,6 +196,7 @@ impl LoadgenReport {
             Value::Number(self.dropped_pipeline as f64),
         );
         put("errors", Value::Number(self.errors as f64));
+        put("retries", Value::Number(self.retries as f64));
         put("unanswered", Value::Number(self.unanswered as f64));
         put("elapsed_s", Value::Number(self.elapsed_s));
         put("goodput_rps", Value::Number(self.goodput_rps()));
@@ -198,7 +211,7 @@ impl LoadgenReport {
     pub fn render(&self) -> String {
         let (p50, p95, p99) = self.latency_summary();
         format!(
-            "sent {}  ok {} ({:.1}%)  violated {}  dropped: edge {} / pipeline {}  errors {}  unanswered {}\n\
+            "sent {}  ok {} ({:.1}%)  violated {}  dropped: edge {} / pipeline {}  errors {}  retries {}  unanswered {}\n\
              goodput {:.1} req/s (virtual)  latency p50 {:.1} ms  p95 {:.1} ms  p99 {:.1} ms  elapsed {:.2}s wall\n",
             self.sent,
             self.ok,
@@ -207,6 +220,7 @@ impl LoadgenReport {
             self.dropped_edge,
             self.dropped_pipeline,
             self.errors,
+            self.retries,
             self.unanswered,
             self.goodput_rps(),
             p50,
@@ -224,6 +238,7 @@ struct Accum {
     dropped_edge: usize,
     dropped_pipeline: usize,
     errors: usize,
+    retries: usize,
     latencies_ms: Vec<f64>,
 }
 
@@ -363,6 +378,7 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenReport
         dropped_edge: accum.dropped_edge,
         dropped_pipeline: accum.dropped_pipeline,
         errors: accum.errors,
+        retries: accum.retries,
         unanswered,
         elapsed_s: started.elapsed().as_secs_f64(),
         latencies_ms: accum.latencies_ms,
@@ -492,23 +508,39 @@ fn closed_loop_connection(
 ) -> io::Result<(usize, usize)> {
     let mut client = Client::connect(addr)?;
     let mut missing = 0usize;
+    // Each connection gets its own jitter stream forked from the
+    // policy seed, so runs back off identically regardless of how the
+    // OS interleaves the connection threads.
+    let mut rng = config.retry.map(|policy| policy.rng().fork(conn));
+    let mut retries = 0usize;
+    let timeout = Duration::from_secs(30);
     for i in 0..requests {
         let global_seq = conn * requests as u64 + i as u64;
         let mut spec = CallSpec::new(app.clone()).with_payload_len(config.payload.min);
         spec.slo_ms = slo_for(global_seq, config);
-        match client.call(&spec, Duration::from_secs(30)) {
-            Ok(Some(answer)) => accum.lock().record(&answer, config.time_scale),
-            Ok(None) => {
+        let answer = match (&config.retry, &mut rng) {
+            (Some(policy), Some(rng)) => {
+                let (answer, spent) = client.call_retry(&spec, timeout, policy, rng)?;
+                retries += spent as usize;
+                answer
+            }
+            _ => client.call(&spec, timeout)?,
+        };
+        match answer {
+            Some(answer) => accum.lock().record(&answer, config.time_scale),
+            None => {
                 // Connection died or timed out: the request just sent
                 // goes unanswered; the rest were never put on the wire
                 // and are not counted.
                 missing += 1;
                 break;
             }
-            Err(e) => return Err(e),
         }
     }
-    Ok((client.sent(), missing))
+    accum.lock().retries += retries;
+    // `sent` counts logical requests: retried attempts are reported
+    // separately, keeping the outcome algebra closed.
+    Ok((client.sent() - retries, missing))
 }
 
 // ---------------------------------------------------------------------------

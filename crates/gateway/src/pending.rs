@@ -306,6 +306,32 @@ impl<V, C> PendingMap<V, C> {
         self.len.fetch_sub(out.len(), Ordering::AcqRel);
         out
     }
+
+    /// Removes and returns every filed entry whose key satisfies
+    /// `pred`, leaving the rest untouched — the single-app flush the
+    /// engine watchdog uses when one tenant's engine dies but the
+    /// gateway keeps serving the others. Reservations in flight are
+    /// left to resolve through [`PendingMap::insert`].
+    pub fn drain_matching(&self, pred: impl Fn(u64) -> bool) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let matched: Vec<u64> = shard
+                .entries
+                .keys()
+                .copied()
+                .filter(|&id| pred(id))
+                .collect();
+            for id in matched {
+                if let Some((tenant, entry)) = shard.entries.remove(&id) {
+                    self.tenant_counts[tenant as usize].fetch_sub(1, Ordering::AcqRel);
+                    out.push((id, entry));
+                }
+            }
+        }
+        self.len.fetch_sub(out.len(), Ordering::AcqRel);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +339,23 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
     use std::sync::Arc;
+
+    #[test]
+    fn drain_matching_flushes_only_the_predicate_keys() {
+        let map: PendingMap<&'static str, u64> = PendingMap::with_tenants(8, vec![1, 1]);
+        assert!(map.reserve_tenant(0));
+        assert!(map.reserve_tenant(1));
+        assert!(map.reserve_tenant(1));
+        assert_eq!(map.insert_tenant(10, 0, "keep"), None);
+        assert_eq!(map.insert_tenant(21, 1, "flush-a"), None);
+        assert_eq!(map.insert_tenant(22, 1, "flush-b"), None);
+        let mut drained = map.drain_matching(|id| id >= 20);
+        drained.sort_by_key(|(id, _)| *id);
+        assert_eq!(drained, vec![(21, "flush-a"), (22, "flush-b")]);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.tenant_len(1), 0, "flushed tenant's account emptied");
+        assert_eq!(map.take_or_stash(10, 0), Some("keep"));
+    }
 
     #[test]
     fn insert_then_take_routes_the_entry() {

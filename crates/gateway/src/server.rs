@@ -70,6 +70,7 @@ use pard_metrics::{DropReason, ModuleDropCounters, Outcome, RequestLog, ServingC
 use pard_obs::{EngineFrame, FlightRecorder, FrameBus, ObsEvent, ObsKind};
 use pard_sim::{SimDuration, SimTime, TokenBucket};
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveState};
 use crate::admission::{EdgePublisher, EdgeSnapshot, SnapshotReader};
 use crate::netpoll::{Poller, Waker, READABLE, WRITABLE};
 use crate::pending::PendingMap;
@@ -145,6 +146,19 @@ pub struct GatewayConfig {
     pub telemetry_period: Duration,
     /// Event-loop shard threads sharing the connection population.
     pub shards: usize,
+    /// Online re-planning and brownout control (see [`crate::adaptive`]).
+    /// `None` (the default) keeps the floor on the static profile —
+    /// byte-identical to the pre-adaptive gateway.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Deterministic connection-chaos injection for robustness tests;
+    /// `None` disables every fault.
+    pub chaos: Option<ChaosConfig>,
+    /// Engine-pump watchdog: a pump call exceeding this wall-clock
+    /// budget marks its app unhealthy (in-flight requests are answered
+    /// `shutting_down`, new ones refused). Pump *panics* always trip
+    /// the watchdog regardless of this setting. `None` disables the
+    /// stall check only.
+    pub pump_stall: Option<Duration>,
 }
 
 impl Default for GatewayConfig {
@@ -157,8 +171,31 @@ impl Default for GatewayConfig {
             allow_replay: true,
             telemetry_period: Duration::from_millis(100),
             shards: 4,
+            adaptive: None,
+            chaos: None,
+            pump_stall: None,
         }
     }
+}
+
+/// Deterministic connection-fault injection, counter-based (no RNG) so
+/// a replayed scenario hits the same faults at the same protocol
+/// positions every run. All faults are at the socket layer; the
+/// admission and engine state machines above them are untouched, which
+/// is exactly what the robustness tests pin down.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Cap on bytes written per flush call — forces partial writes and
+    /// cross-tick `WANT_WRITE` resumes.
+    pub max_write_chunk: Option<usize>,
+    /// Skip every Nth read tick per connection (a read stall: the
+    /// level-triggered poller re-delivers the readiness, so the bytes
+    /// arrive one tick late).
+    pub read_stall_every: Option<u64>,
+    /// After every Nth served protocol line per connection, fail the
+    /// connection's writes (a mid-request reset: the reply is computed
+    /// but never delivered; the sweep closes the socket).
+    pub reset_every: Option<u64>,
 }
 
 /// Per-app edge rate limit: a token bucket refilled on the app
@@ -410,13 +447,67 @@ struct AppState {
     rtt: Arc<RttWindow>,
     /// Per-tenant edge rate limiter, refilled on this engine's clock.
     limiter: Option<Mutex<TokenBucket>>,
+    /// Online re-planner + brownout controller; `None` keeps the floor
+    /// on the static profile. Snapshot rebuilds are already serialized
+    /// per app in the common case (one poller, or the replay gate), so
+    /// the mutex is uncontended — it exists for the race between the
+    /// wall-clock poller and a scheduled-replay rebuild, where fold
+    /// order must be serialized for determinism.
+    adaptive: Option<Mutex<AdaptiveState>>,
+    /// `false` once the engine-pump watchdog tripped: the engine is
+    /// wedged or panicked, requests are refused, pending ones flushed.
+    healthy: AtomicBool,
+    /// Wall-clock millis (since gateway start) when the current pump
+    /// call began; `u64::MAX` when no pump call is in flight. The
+    /// watchdog reads it from the poller thread.
+    pump_entered_ms: AtomicU64,
 }
 
 impl AppState {
     /// Builds a fresh snapshot from the engine's current state (the
     /// poller tick, and the scheduled-replay path).
+    ///
+    /// With the adaptive layer on, this is where the feedback loop
+    /// closes: drain the engine's flight-recorder stream, fold it into
+    /// the estimator, and compute the floor from *observed* per-module
+    /// latencies instead of the static profile. Every floor movement
+    /// the fold produced is stamped back into the recorder with the
+    /// resulting `L_sub`.
     fn fresh_snapshot(&self) -> EdgeSnapshot {
-        EdgeSnapshot::new(self.engine.edge_state(), self.source, &self.paths)
+        let mut state = self.engine.edge_state();
+        let adjustments = match (&self.adaptive, &self.recorder) {
+            (Some(adaptive), Some(recorder)) => {
+                adaptive
+                    .lock()
+                    .observe_and_adjust(recorder, &mut state, self.source)
+            }
+            _ => Vec::new(),
+        };
+        let snapshot = EdgeSnapshot::new(state, self.source, &self.paths);
+        if !adjustments.is_empty() {
+            if let Some(recorder) = &self.recorder {
+                let t_us = self.engine.now().as_micros();
+                let sub_us = snapshot.floor().sub_total().as_micros();
+                for adj in adjustments {
+                    recorder.record(&ObsEvent {
+                        t_us,
+                        req: 0,
+                        kind: ObsKind::FloorAdjust {
+                            module: adj.module,
+                            cause: adj.cause,
+                            observed_us: adj.observed_us,
+                            profiled_us: adj.profiled_us,
+                            sub_us,
+                        },
+                    });
+                }
+            }
+        }
+        snapshot
+    }
+
+    fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Acquire)
     }
 
     /// Records one edge admission decision into the engine's flight
@@ -455,6 +546,32 @@ impl AppState {
     }
 }
 
+/// Trips the engine watchdog for one app: stop admitting to it, and
+/// answer every in-flight request it owes with `shutting_down` so no
+/// client blocks on a reply the dead engine will never complete. The
+/// flushed requests were admitted, so they resolve as drops — the
+/// `admitted == ok + late + dropped` invariant survives the failure.
+/// Idempotent; other apps are untouched.
+fn mark_app_unhealthy(core: &Core, app: &AppState, why: &str) {
+    if app.healthy.swap(false, Ordering::AcqRel) {
+        let app_index = app.index as u64;
+        for (_key, entry) in core
+            .pending
+            .drain_matching(|key| key >> TENANT_SHIFT == app_index)
+        {
+            app.counters.dropped.incr();
+            entry.sink.line(
+                Response::error_line(
+                    ErrorCode::ShuttingDown,
+                    entry.seq,
+                    &format!("engine for app {:?} is unavailable ({why})", app.name),
+                ),
+                true,
+            );
+        }
+    }
+}
+
 /// State shared by every serving thread.
 struct Core {
     apps: Vec<Arc<AppState>>,
@@ -471,6 +588,10 @@ struct Core {
     stop_io: AtomicBool,
     /// The multi-connection replay coordinator (see [`ReplayCoordinator`]).
     replay: Mutex<ReplayCoordinator>,
+    /// Deterministic connection-fault injection; `None` in production.
+    chaos: Option<ChaosConfig>,
+    /// Gateway start instant; the pump watchdog's time base.
+    epoch: Instant,
 }
 
 // ---------------------------------------------------------------------------
@@ -678,6 +799,12 @@ struct ConnState {
     discard_deadline: Option<Instant>,
     /// This connection's membership in the replay group, if joined.
     replay_party: Option<usize>,
+    /// Read ticks taken on this connection — the [`ChaosConfig`] read-
+    /// stall counter (zero cost when chaos is off).
+    chaos_reads: u64,
+    /// Protocol lines served on this connection — the [`ChaosConfig`]
+    /// reset counter.
+    chaos_lines: u64,
     sink: ReplySink,
 }
 
@@ -776,11 +903,11 @@ fn shard_loop(core: Arc<Core>, inbox: Arc<ShardInbox>) {
                 continue;
             };
             if event.is_readable() {
-                shard_read(conn);
+                shard_read(conn, core.chaos.as_ref());
                 shard_process_lines(&core, &mut snapshots, conn, &mut backlog);
             }
             if event.is_writable() {
-                shard_flush(conn, &poller);
+                shard_flush(conn, &poller, core.chaos.as_ref());
             }
         }
 
@@ -804,7 +931,7 @@ fn shard_loop(core: Arc<Core>, inbox: Arc<ShardInbox>) {
         let mut closed: Vec<u64> = Vec::new();
         for (token, conn) in conns.iter_mut() {
             if !conn.write_failed && !conn.flushed() {
-                shard_flush(conn, &poller);
+                shard_flush(conn, &poller, core.chaos.as_ref());
             }
             if should_close(conn, now) {
                 closed.push(*token);
@@ -857,6 +984,8 @@ fn apply_msg(
                     read_closed: false,
                     discard_deadline: None,
                     replay_party: None,
+                    chaos_reads: 0,
+                    chaos_lines: 0,
                     sink: ReplySink {
                         inbox: Arc::clone(inbox),
                         token,
@@ -902,9 +1031,19 @@ fn apply_msg(
 /// triggered readiness re-fires for the rest). In discard mode the
 /// bytes are dropped — the connection is only being drained for a
 /// clean close.
-fn shard_read(conn: &mut ConnState) {
+fn shard_read(conn: &mut ConnState, chaos: Option<&ChaosConfig>) {
     if conn.write_failed {
         return;
+    }
+    if let Some(every) = chaos.and_then(|c| c.read_stall_every) {
+        // Injected read stall: skip this readiness tick entirely. The
+        // level-triggered poller re-delivers the readiness, so the
+        // bytes arrive one tick late — a pure delay, never a loss,
+        // which is why stalls must be outcome-preserving under replay.
+        conn.chaos_reads += 1;
+        if conn.chaos_reads.is_multiple_of(every.max(1)) {
+            return;
+        }
     }
     let mut tmp = [0u8; 16 * 1024];
     let mut budget = READ_BUDGET;
@@ -958,15 +1097,32 @@ fn shard_process_lines(
             break;
         }
         let line_end = consumed + offset;
+        let mut handled = false;
         {
             let text = String::from_utf8_lossy(&conn.rbuf[consumed..line_end]);
             let trimmed = text.trim();
             if !trimmed.is_empty() {
                 handle_line(core, snapshots, &conn.sink, &mut conn.replay_party, trimmed);
+                handled = true;
             }
         }
         consumed = line_end + 1;
         served += 1;
+        if handled {
+            if let Some(every) = core.chaos.as_ref().and_then(|c| c.reset_every) {
+                // Injected mid-request reset: the request was fully
+                // handled (admitted, counted, possibly submitted), but
+                // the connection dies before its reply can be written —
+                // the sweep closes the socket, and any completion for
+                // it resolves against a gone token. Server-side counter
+                // algebra must survive exactly this.
+                conn.chaos_lines += 1;
+                if conn.chaos_lines.is_multiple_of(every.max(1)) {
+                    conn.write_failed = true;
+                    break;
+                }
+            }
+        }
     }
     if consumed > 0 {
         conn.rbuf.drain(..consumed);
@@ -1013,17 +1169,30 @@ fn oversized_line(core: &Core, conn: &mut ConnState) {
 /// Writes as much of `out` as the socket takes, tracking `WRITABLE`
 /// interest only while bytes remain (so an idle socket's permanent
 /// write-readiness does not spin the poller).
-fn shard_flush(conn: &mut ConnState, poller: &Poller) {
+fn shard_flush(conn: &mut ConnState, poller: &Poller, chaos: Option<&ChaosConfig>) {
     if conn.write_failed {
         return;
     }
+    // Injected partial writes: cap each write call and stop after one
+    // chunk per flush, forcing the cross-tick `WANT_WRITE` resume path
+    // that short-write bugs hide in.
+    let chunk = chaos.and_then(|c| c.max_write_chunk);
     while conn.out_pos < conn.out.len() {
-        match conn.stream.write(&conn.out[conn.out_pos..]) {
+        let end = match chunk {
+            Some(cap) => (conn.out_pos + cap.max(1)).min(conn.out.len()),
+            None => conn.out.len(),
+        };
+        match conn.stream.write(&conn.out[conn.out_pos..end]) {
             Ok(0) => {
                 conn.write_failed = true;
                 break;
             }
-            Ok(n) => conn.out_pos += n,
+            Ok(n) => {
+                conn.out_pos += n;
+                if chunk.is_some() {
+                    break;
+                }
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => {
@@ -1250,6 +1419,21 @@ fn handle_line(
         );
         return;
     }
+    if !app.is_healthy() {
+        // The watchdog tripped on this app's engine: refuse rather
+        // than submit into a wedged or panicked pipeline. Other apps
+        // keep serving.
+        app.counters.refused.incr();
+        sink.line(
+            Response::error_line(
+                ErrorCode::ShuttingDown,
+                request.seq,
+                &format!("engine for app {:?} is unavailable", app.name),
+            ),
+            false,
+        );
+        return;
+    }
     match (request.at_us, *replay_party) {
         (Some(at), Some(party)) => {
             // A scheduled request from a replay-group member parks; it
@@ -1322,10 +1506,10 @@ fn serve_scheduled(
     at_us: u64,
     settles: bool,
 ) {
-    if core.shutdown.load(Ordering::SeqCst) {
+    if core.shutdown.load(Ordering::SeqCst) || !app.is_healthy() {
         // Parked requests can surface here after the admission-path
-        // shutdown check ran; answer them instead of submitting into a
-        // draining engine.
+        // shutdown and health checks ran; answer them instead of
+        // submitting into a draining (or dead) engine.
         app.counters.refused.incr();
         sink.line(
             Response::error_line(
@@ -1643,6 +1827,11 @@ impl Gateway {
                 frames: Arc::new(FrameBus::new()),
                 rtt: Arc::new(RttWindow::new(DEFAULT_RTT_SAMPLES)),
                 limiter,
+                adaptive: config
+                    .adaptive
+                    .map(|cfg| Mutex::new(AdaptiveState::new(cfg))),
+                healthy: AtomicBool::new(true),
+                pump_entered_ms: AtomicU64::new(u64::MAX),
                 engine,
             }));
         }
@@ -1656,6 +1845,8 @@ impl Gateway {
             shutdown: AtomicBool::new(false),
             stop_io: AtomicBool::new(false),
             replay: Mutex::new(ReplayCoordinator::new()),
+            chaos: config.chaos,
+            epoch: Instant::now(),
         });
 
         // Shard event loops: the connection fabric.
@@ -1685,12 +1876,30 @@ impl Gateway {
         let mut service_threads = Vec::new();
 
         // Edge-state poller: publishes every app's admission snapshot.
+        // Doubles as the pump watchdog's monitor — it already wakes
+        // every `edge_refresh` and holds the core, and it must skip
+        // unhealthy apps anyway (a panicked engine's `edge_state` can
+        // no longer be trusted not to panic too).
         {
             let core = Arc::clone(&core);
             let refresh = config.edge_refresh;
+            let pump_stall = config.pump_stall;
             service_threads.push(std::thread::spawn(move || {
                 while !core.shutdown.load(Ordering::SeqCst) {
                     for app in &core.apps {
+                        if !app.is_healthy() {
+                            continue;
+                        }
+                        if let Some(stall) = pump_stall {
+                            let entered = app.pump_entered_ms.load(Ordering::Acquire);
+                            let now_ms = core.epoch.elapsed().as_millis() as u64;
+                            if entered != u64::MAX
+                                && now_ms.saturating_sub(entered) > stall.as_millis() as u64
+                            {
+                                mark_app_unhealthy(&core, app, "engine pump stalled");
+                                continue;
+                            }
+                        }
                         app.snapshot.publish(app.fresh_snapshot());
                     }
                     std::thread::sleep(refresh);
@@ -1702,15 +1911,39 @@ impl Gateway {
         // clock (the simulator). Self-driving engines return false and
         // the thread idles on the signal; submits notify it so work is
         // picked up at wake latency, not on the next timeout tick.
+        //
+        // The pump is the one gateway thread that runs arbitrary engine
+        // code in a loop, so it carries the watchdog instrumentation: a
+        // panic trips the app unhealthy immediately (instead of
+        // silently wedging every request the dead pump owed), and the
+        // entry stamp lets the poller catch a pump that never returns.
         for app in &core.apps {
             let app = Arc::clone(app);
             let core = Arc::clone(&core);
             service_threads.push(std::thread::spawn(move || {
                 while !core.shutdown.load(Ordering::SeqCst) {
+                    if !app.is_healthy() {
+                        return;
+                    }
                     let observed = app.pump_signal.arm();
-                    if app.stepped && app.engine.pump() {
-                        app.pump_signal.disarm();
-                        continue;
+                    if app.stepped {
+                        let now_ms = core.epoch.elapsed().as_millis() as u64;
+                        app.pump_entered_ms.store(now_ms, Ordering::Release);
+                        let pumped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            app.engine.pump()
+                        }));
+                        app.pump_entered_ms.store(u64::MAX, Ordering::Release);
+                        match pumped {
+                            Ok(true) => {
+                                app.pump_signal.disarm();
+                                continue;
+                            }
+                            Ok(false) => {}
+                            Err(_) => {
+                                mark_app_unhealthy(&core, &app, "engine pump panicked");
+                                return;
+                            }
+                        }
                     }
                     let idle = if app.stepped {
                         Duration::from_millis(1)
@@ -1882,7 +2115,7 @@ impl Gateway {
             }
             let mut progressed = false;
             for app in &core.apps {
-                if app.engine.pump() {
+                if app.is_healthy() && app.engine.pump() {
                     progressed = true;
                 }
             }
@@ -1934,7 +2167,14 @@ impl Gateway {
         let logs: Vec<RequestLog> = core
             .apps
             .iter()
-            .map(|app| app.engine.drain(drain_virtual))
+            .map(|app| {
+                // A watchdog-tripped engine may panic again in drain;
+                // its log is forfeit, the other apps' logs are not.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    app.engine.drain(drain_virtual)
+                }))
+                .unwrap_or_default()
+            })
             .collect();
         for handle in dispatchers {
             let _ = handle.join();
@@ -2341,6 +2581,14 @@ fn render_app_series(core: &Core) -> String {
                 app.name
             ));
         }
+    }
+    body.push_str("# TYPE pard_gateway_app_healthy gauge\n");
+    for app in &core.apps {
+        body.push_str(&format!(
+            "pard_gateway_app_healthy{{app=\"{}\"}} {}\n",
+            app.name,
+            u8::from(app.is_healthy())
+        ));
     }
     body
 }

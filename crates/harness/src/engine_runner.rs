@@ -31,7 +31,7 @@ use std::sync::mpsc;
 
 use pard_core::Decision;
 use pard_engine_api::{Completion, EngineHandle, SubmitSpec};
-use pard_gateway::{EdgeSnapshot, EDGE_ID_BASE};
+use pard_gateway::{AdaptiveState, EdgeSnapshot, EDGE_ID_BASE};
 use pard_metrics::{DropReason, Outcome};
 use pard_obs::{FlightRecorder, ObsEvent, ObsKind};
 use pard_sim::{SimDuration, SimTime};
@@ -87,6 +87,12 @@ pub fn run_schedule_engine(
 
     let source = engine.spec().source();
     let paths = pard_pipeline::graph::downstream_paths(engine.spec(), source);
+    // The adaptive fold needs the event stream; a sweep cell that
+    // disabled the recorder keeps the static floor.
+    let mut adaptive = match (&scenario.adaptive, &recorder) {
+        (Some(config), Some(_)) => Some(AdaptiveState::new(*config)),
+        _ => None,
+    };
 
     // Replay. `pending[seq]` holds the engine-assigned id of each
     // admitted request; edge rejections classify immediately.
@@ -103,8 +109,36 @@ pub fn run_schedule_engine(
             .map(SimDuration::saturating_from_millis)
             .unwrap_or(engine.spec().slo);
         let deadline = now.saturating_add(slo);
-        let (decision, trace) =
-            EdgeSnapshot::new(engine.edge_state(), source, &paths).decide_traced(now, deadline);
+        // Mirror of the gateway's `fresh_snapshot`: fold the event
+        // stream into the estimator, adjust the pristine edge state,
+        // and stamp every floor movement back into the recorder.
+        let mut state = engine.edge_state();
+        let adjustments = match (adaptive.as_mut(), recorder.as_ref()) {
+            (Some(adaptive), Some(recorder)) => {
+                adaptive.observe_and_adjust(recorder, &mut state, source)
+            }
+            _ => Vec::new(),
+        };
+        let snapshot = EdgeSnapshot::new(state, source, &paths);
+        if !adjustments.is_empty() {
+            if let Some(recorder) = recorder.as_ref() {
+                let sub_us = snapshot.floor().sub_total().as_micros();
+                for adj in adjustments {
+                    recorder.record(&ObsEvent {
+                        t_us: now.as_micros(),
+                        req: 0,
+                        kind: ObsKind::FloorAdjust {
+                            module: adj.module,
+                            cause: adj.cause,
+                            observed_us: adj.observed_us,
+                            profiled_us: adj.profiled_us,
+                            sub_us,
+                        },
+                    });
+                }
+            }
+        }
+        let (decision, trace) = snapshot.decide_traced(now, deadline);
         match decision {
             Decision::Drop(reason) => {
                 let id = EDGE_ID_BASE + edge_seq;

@@ -53,6 +53,7 @@ pub mod engine_runner;
 pub mod envelope;
 pub mod golden;
 pub mod outcome;
+pub mod robustness;
 pub mod runner;
 pub mod scenario;
 

@@ -1,0 +1,105 @@
+//! The canned dynamic-interference scenario pair (the "chaos smoke").
+//!
+//! One scenario, two admission configurations: the **static** floor
+//! (profile-trusting, as shipped before the adaptive layer) and the
+//! **adaptive** floor (online estimator + re-planner + brownout). The
+//! golden suite replays the pair on the simulator and asserts the
+//! headline claim bit-reproducibly; the live envelope suite replays the
+//! same pair on the threaded runtime (the scripted-slowdown backend
+//! mirrors the seeded interference trace) and asserts it statistically;
+//! CI's `chaos-smoke` job runs both in release.
+//!
+//! The regime is chosen so the interference actually *hurts* and
+//! adaptation actually *helps*:
+//!
+//! * The Markov slowdown rides the **terminal** module's only worker.
+//!   Upstream modules shed doomed requests cheaply at batch formation
+//!   (stale profiled estimates still predict those violations), but a
+//!   stale-admitted request reaching the terminal module executes on
+//!   the contended bottleneck and finishes violated — real wasted
+//!   capacity, which is what guts the static floor.
+//! * Factor 1.7 keeps the contended steady state *barely* servable
+//!   within tm's 400 ms SLO (batch fill + formed-batch residual +
+//!   1.7x exec + upstream transit ≈ 390 ms), so a floor that tracks
+//!   the observed ratio keeps serving at contended capacity, while the
+//!   static floor admits deep queues whose every occupant misses.
+//! * Long bouts (mean ≈ 2 s calm / ≈ 3.3 s contended at a 500 ms flip
+//!   period) give the estimator time to latch and make the static
+//!   queue poison compound.
+
+use pard_cluster::FaultSpec;
+use pard_gateway::AdaptiveConfig;
+use pard_pipeline::AppKind;
+use pard_sim::{MarkovParams, SimDuration, SimTime};
+
+use crate::{Scenario, ScenarioRun, TraceSpec};
+
+/// The dynamic-interference scenario: tm at 205 req/s with a seeded
+/// Markov-modulated slowdown on the terminal module's worker between
+/// t = 10 s and t = 30 s. Run it as-is for the static floor; add
+/// [`adaptive_config`] for the adaptive floor.
+pub fn interference_scenario(name: &str) -> Scenario {
+    Scenario::new(
+        name,
+        AppKind::Tm,
+        TraceSpec::Constant {
+            rate: 205.0,
+            len_s: 40,
+        },
+    )
+    .with_workers(vec![2, 1, 1])
+    .with_faults(vec![FaultSpec::InterferenceMarkov {
+        module: 2,
+        worker: 0,
+        markov: MarkovParams {
+            calm: 1.0,
+            contended: 1.7,
+            p_enter: 0.25,
+            p_exit: 0.15,
+        },
+        period: SimDuration::from_millis(500),
+        from: SimTime::from_secs(10),
+        until: SimTime::from_secs(30),
+    }])
+    .phase("calm", 0, 10)
+    .phase("storm", 10, 30)
+    .phase("after", 30, 40)
+}
+
+/// The adaptive config the pair runs with: a long quantile window so
+/// the latch *holds* across calm gaps between bouts (losing the latch
+/// costs a fresh detection lag per bout), a floor margin that pushes
+/// the shed threshold below the doomed batch-fill band the floor's
+/// queue arithmetic cannot see, and a lazy downward probe so full
+/// shedding still decays back to the profile.
+pub fn adaptive_config() -> AdaptiveConfig {
+    AdaptiveConfig {
+        window: 256,
+        brownout_threshold: 0.5,
+        brownout_step: 1.1,
+        brownout_max: 2.0,
+        floor_margin: 2.0,
+        probe_after: 64,
+        ..AdaptiveConfig::default()
+    }
+}
+
+/// Dumps the tail of a run's flight record to stderr — called by the
+/// chaos-smoke assertions on failure so CI logs carry the admission
+/// decisions and floor movements that led to the miss, not just the
+/// counts.
+pub fn dump_flight_tail(run: &ScenarioRun, max: usize) {
+    let Some(recorder) = &run.recorder else {
+        eprintln!("(no flight recorder on this run)");
+        return;
+    };
+    let (events, dropped) = recorder.read_since(0);
+    eprintln!(
+        "flight record tail ({} of {} events, {dropped} dropped):",
+        max.min(events.len()),
+        events.len()
+    );
+    for event in events.iter().rev().take(max).rev() {
+        eprintln!("  {}", event.describe());
+    }
+}

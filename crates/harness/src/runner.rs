@@ -228,6 +228,11 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
             // dispatcher timing, not on the schedule.
             max_pending: 1 << 20,
             allow_replay: true,
+            // Scheduled replay stays deterministic with the adaptive
+            // layer on: every estimator transition is a per-event fold,
+            // so the state any decision sees depends only on how far
+            // the schedule has advanced, never on poller timing.
+            adaptive: scenario.adaptive,
             ..GatewayConfig::default()
         },
     )
@@ -308,6 +313,9 @@ pub fn run_scenario_multi(scenarios: &[Scenario]) -> Vec<ScenarioRun> {
             edge_refresh: Duration::from_millis(5),
             max_pending: 1 << 20,
             allow_replay: true,
+            // The adaptive layer is a gateway-wide setting with
+            // per-app state; any tenant asking for it enables it.
+            adaptive: scenarios.iter().find_map(|s| s.adaptive),
             ..GatewayConfig::default()
         },
     )
@@ -407,8 +415,9 @@ pub fn run_scenario_multi(scenarios: &[Scenario]) -> Vec<ScenarioRun> {
 /// provides (unseeded) execution jitter.
 pub fn run_scenario_live(scenario: &Scenario, time_scale: f64) -> ScenarioRun {
     assert!(
-        scenario.faults.is_empty(),
-        "scenario {:?}: fault injection needs the simulated backend",
+        scenario.faults.iter().all(|f| f.is_interference()),
+        "scenario {:?}: discrete fault injection (crash / step slowdown) \
+         needs the simulated backend",
         scenario.name
     );
     assert!(
@@ -425,6 +434,11 @@ pub fn run_scenario_live(scenario: &Scenario, time_scale: f64) -> ScenarioRun {
         .unwrap_or_else(|| vec![2; modules]);
     let engine = engine_builder(scenario)
         .with_workers(workers)
+        // Continuous-interference faults have a live mirror: the
+        // scripted-slowdown backend replays the same seeded trace the
+        // simulator folds into its event schedule.
+        .with_faults(scenario.faults.clone())
+        .with_fault_seed(scenario.seed)
         .build(Backend::Live(LiveConfig {
             time_scale,
             pard: PardConfig::default().with_mc_draws(scenario.mc_draws),
@@ -446,6 +460,7 @@ pub fn run_scenario_live(scenario: &Scenario, time_scale: f64) -> ScenarioRun {
             edge_refresh: Duration::from_millis(2),
             max_pending: 1 << 20,
             allow_replay: false,
+            adaptive: scenario.adaptive,
             ..GatewayConfig::default()
         },
     )

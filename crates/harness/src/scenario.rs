@@ -1,6 +1,7 @@
 //! The declarative scenario description.
 
 use pard_cluster::FaultSpec;
+use pard_gateway::AdaptiveConfig;
 use pard_pipeline::{AppKind, PipelineSpec};
 use pard_policies::SystemKind;
 use pard_profile::ModelProfile;
@@ -229,6 +230,10 @@ pub struct Scenario {
     pub policy: Option<SystemKind>,
     /// Injected faults, timestamped in virtual trace time.
     pub faults: Vec<FaultSpec>,
+    /// Online re-planning + brownout control at the gateway edge (see
+    /// [`pard_gateway::adaptive`]). `None` keeps the admission floor
+    /// on the static profile — the paper's PARD.
+    pub adaptive: Option<AdaptiveConfig>,
     /// Master seed: trace synthesis, arrival sampling, payload sizes,
     /// and the cluster all fork from it.
     pub seed: u64,
@@ -260,6 +265,7 @@ impl Scenario {
             mc_draws: 200,
             policy: None,
             faults: Vec::new(),
+            adaptive: None,
             seed: 42,
             phases: Vec::new(),
             drain: SimDuration::from_secs(60),
@@ -309,6 +315,18 @@ impl Scenario {
     /// Adds injected faults.
     pub fn with_faults(mut self, faults: Vec<FaultSpec>) -> Scenario {
         self.faults = faults;
+        self
+    }
+
+    /// Turns on the adaptive admission layer (online re-planning +
+    /// brownout) with its default knobs.
+    pub fn with_adaptive(self) -> Scenario {
+        self.with_adaptive_config(AdaptiveConfig::default())
+    }
+
+    /// Turns on the adaptive admission layer with explicit knobs.
+    pub fn with_adaptive_config(mut self, config: AdaptiveConfig) -> Scenario {
+        self.adaptive = Some(config);
         self
     }
 

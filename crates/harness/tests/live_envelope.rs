@@ -75,6 +75,77 @@ fn live_da_dag_scenario_stays_inside_its_envelope() {
 }
 
 #[test]
+fn live_interference_pair_adaptive_recovers() {
+    // The headline robustness pair (golden on the simulator in
+    // `scenarios.rs`) on the live threaded runtime: the scripted
+    // slowdown backend replays the same seeded Markov interference
+    // trace the simulator folds into its schedule. Wall-clock noise
+    // means the exact goodput differs run to run, so the live half
+    // asserts a loose envelope of the same shape: the storm must hurt
+    // the static floor, and the adaptive floor must claw back a
+    // meaningful share by shedding at the edge.
+    const ISCALE: f64 = 10.0;
+    let static_run = run_scenario_live(
+        &pard_harness::robustness::interference_scenario("live_interference_static"),
+        ISCALE,
+    );
+    let adaptive_run = run_scenario_live(
+        &pard_harness::robustness::interference_scenario("live_interference_adaptive")
+            .with_adaptive_config(pard_harness::robustness::adaptive_config()),
+        ISCALE,
+    );
+
+    let calm = static_run.taxonomy.phase("calm").goodput_fraction();
+    let g_static = static_run.taxonomy.phase("storm").goodput_fraction();
+    let g_adaptive = adaptive_run.taxonomy.phase("storm").goodput_fraction();
+    let shed_static = static_run.taxonomy.phase("storm").dropped_edge;
+    let shed_adaptive = adaptive_run.taxonomy.phase("storm").dropped_edge;
+    eprintln!(
+        "live pair: calm {calm:.3} static {g_static:.3} adaptive {g_adaptive:.3} \
+         shed {shed_static} -> {shed_adaptive}"
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    if calm < 0.85 {
+        failures.push(format!("calm phase must be healthy: {calm:.3}"));
+    }
+    if g_static > 0.85 {
+        failures.push(format!(
+            "interference must hurt the static floor: storm {g_static:.3}"
+        ));
+    }
+    if g_adaptive < g_static + 0.25 * (calm - g_static) {
+        failures.push(format!(
+            "adaptive must recover a meaningful share on live: \
+             calm {calm:.3} static {g_static:.3} adaptive {g_adaptive:.3}"
+        ));
+    }
+    if shed_adaptive <= shed_static {
+        failures.push(format!(
+            "the adaptive floor must shed at the edge: {shed_static} -> {shed_adaptive}"
+        ));
+    }
+    let recorder = adaptive_run.recorder.as_ref().expect("live recorder");
+    let (events, _) = recorder.read_since(0);
+    if !events
+        .iter()
+        .any(|e| matches!(e.kind, pard_obs::ObsKind::FloorAdjust { .. }))
+    {
+        failures.push("floor movements must be on the live audit trail".into());
+    }
+    if static_run.taxonomy.total().unanswered + adaptive_run.taxonomy.total().unanswered > 0 {
+        failures.push("every live request must be answered".into());
+    }
+    if !failures.is_empty() {
+        pard_harness::robustness::dump_flight_tail(&adaptive_run, 120);
+        panic!(
+            "live interference envelope failed:\n  {}",
+            failures.join("\n  ")
+        );
+    }
+}
+
+#[test]
 fn live_runner_refuses_sim_only_dynamics() {
     // Silently ignoring a fault schedule would run a different scenario
     // than the one declared; the live runner must refuse instead.

@@ -17,9 +17,56 @@ const TAG_STAGE: u64 = 1;
 const TAG_DROP: u64 = 2;
 const TAG_MERGE: u64 = 3;
 const TAG_DONE: u64 = 4;
+const TAG_FLOOR: u64 = 5;
 
 /// `reason` byte meaning "no drop reason" (an admitted edge decision).
 const NO_REASON: u64 = 0xFF;
+
+/// Why the adaptive admission layer moved the floor (see
+/// [`ObsKind::FloorAdjust`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FloorCause {
+    /// The online re-planner: observed stage latency drifted outside
+    /// the hysteresis band around the static profile.
+    Replan,
+    /// The brownout controller tightened the floor after the windowed
+    /// violation rate breached its envelope.
+    Brownout,
+    /// The brownout controller relaxed the floor on recovery.
+    Recover,
+}
+
+impl FloorCause {
+    /// All causes, in index order.
+    pub const ALL: [FloorCause; 3] = [
+        FloorCause::Replan,
+        FloorCause::Brownout,
+        FloorCause::Recover,
+    ];
+
+    /// Stable wire index.
+    pub fn index(self) -> usize {
+        match self {
+            FloorCause::Replan => 0,
+            FloorCause::Brownout => 1,
+            FloorCause::Recover => 2,
+        }
+    }
+
+    /// Inverse of [`FloorCause::index`].
+    pub fn from_index(ix: usize) -> Option<FloorCause> {
+        FloorCause::ALL.get(ix).copied()
+    }
+
+    /// Short lowercase label for JSON and log lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            FloorCause::Replan => "replan",
+            FloorCause::Brownout => "brownout",
+            FloorCause::Recover => "recover",
+        }
+    }
+}
 
 /// One recorded lifecycle event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,6 +137,22 @@ pub enum ObsKind {
         /// The request's deadline, microseconds.
         deadline_us: u64,
     },
+    /// The adaptive admission layer changed the floor it holds
+    /// requests to — the audit trail of every online re-plan and
+    /// brownout step. Not tied to a request (`req` is 0).
+    FloorAdjust {
+        /// Module whose execution estimate moved (the entry module for
+        /// brownout steps, which scale the whole floor).
+        module: u16,
+        /// What triggered the adjustment.
+        cause: FloorCause,
+        /// Observed latency estimate for the module, microseconds.
+        observed_us: u64,
+        /// The static profile's value for the same term, microseconds.
+        profiled_us: u64,
+        /// The downstream estimate `L_sub` after the adjustment.
+        sub_us: u64,
+    },
 }
 
 impl ObsEvent {
@@ -143,6 +206,18 @@ impl ObsEvent {
                 w[3] = finished_us;
                 w[4] = deadline_us;
             }
+            ObsKind::FloorAdjust {
+                module,
+                cause,
+                observed_us,
+                profiled_us,
+                sub_us,
+            } => {
+                w[2] = TAG_FLOOR | ((module as u64) << 8) | ((cause.index() as u64) << 56);
+                w[3] = observed_us;
+                w[4] = profiled_us;
+                w[5] = sub_us;
+            }
         }
         w
     }
@@ -183,6 +258,13 @@ impl ObsEvent {
             TAG_DONE => ObsKind::Completed {
                 finished_us: w[3],
                 deadline_us: w[4],
+            },
+            TAG_FLOOR => ObsKind::FloorAdjust {
+                module,
+                cause: FloorCause::from_index(reason_ix as usize)?,
+                observed_us: w[3],
+                profiled_us: w[4],
+                sub_us: w[5],
             },
             _ => return None,
         };
@@ -239,6 +321,18 @@ impl ObsEvent {
             } => format!(
                 "{head},\"kind\":\"done\",\"finished_us\":{finished_us},\
                  \"deadline_us\":{deadline_us}}}"
+            ),
+            ObsKind::FloorAdjust {
+                module,
+                cause,
+                observed_us,
+                profiled_us,
+                sub_us,
+            } => format!(
+                "{head},\"kind\":\"floor\",\"module\":{module},\"cause\":\"{}\",\
+                 \"observed_us\":{observed_us},\"profiled_us\":{profiled_us},\
+                 \"sub_us\":{sub_us}}}",
+                cause.label()
             ),
         }
     }
@@ -298,6 +392,19 @@ impl ObsEvent {
                     deadline_us as f64 / 1e6
                 )
             }
+            ObsKind::FloorAdjust {
+                module,
+                cause,
+                observed_us,
+                profiled_us,
+                sub_us,
+            } => format!(
+                "{head} floor {} module={module}: observed={:.1}ms vs profiled={:.1}ms -> L_sub={:.1}ms",
+                cause.label(),
+                observed_us as f64 / 1e3,
+                profiled_us as f64 / 1e3,
+                sub_us as f64 / 1e3
+            ),
         }
     }
 }
@@ -366,6 +473,45 @@ mod tests {
                 deadline_us: 420_000,
             },
         });
+        for cause in FloorCause::ALL {
+            round_trip(ObsEvent {
+                t_us: 10,
+                req: 0,
+                kind: ObsKind::FloorAdjust {
+                    module: 2,
+                    cause,
+                    observed_us: 80_000,
+                    profiled_us: 50_000,
+                    sub_us: 130_000,
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn floor_adjust_renders_cause_and_latencies() {
+        let ev = ObsEvent {
+            t_us: 3_000_000,
+            req: 0,
+            kind: ObsKind::FloorAdjust {
+                module: 1,
+                cause: FloorCause::Replan,
+                observed_us: 80_000,
+                profiled_us: 50_000,
+                sub_us: 130_000,
+            },
+        };
+        let line = ev.to_json_line();
+        assert!(line.contains("\"kind\":\"floor\""), "{line}");
+        assert!(line.contains("\"cause\":\"replan\""), "{line}");
+        assert!(line.contains("\"observed_us\":80000"), "{line}");
+        let text = ev.describe();
+        assert!(text.contains("floor replan"), "{text}");
+        assert!(text.contains("observed=80.0ms"), "{text}");
+        // Out-of-range cause byte is a torn slot, not garbage.
+        let mut w = ev.pack();
+        w[2] = TAG_FLOOR | (7 << 56);
+        assert_eq!(ObsEvent::unpack(&w), None);
     }
 
     #[test]

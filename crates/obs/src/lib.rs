@@ -30,6 +30,6 @@ mod event;
 mod frame;
 mod ring;
 
-pub use event::{ObsEvent, ObsKind};
+pub use event::{FloorCause, ObsEvent, ObsKind};
 pub use frame::{EngineFrame, FrameBus};
 pub use ring::FlightRecorder;

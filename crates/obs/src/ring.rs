@@ -165,6 +165,33 @@ impl FlightRecorder {
         out
     }
 
+    /// Incremental read: the events emitted since `cursor` (a ticket
+    /// number, i.e. a previous [`FlightRecorder::emitted`] value),
+    /// oldest first, plus the new cursor to resume from.
+    ///
+    /// Like [`FlightRecorder::dump`], the result is a contiguous
+    /// suffix of the emitted sequence: if the ring wrapped past
+    /// `cursor`, or a slot in the range is mid-write, the lost prefix
+    /// is silently skipped — the caller still observes every retained
+    /// event exactly once across successive calls.
+    pub fn read_since(&self, cursor: u64) -> (Vec<ObsEvent>, u64) {
+        let head = self.emitted();
+        let oldest = head
+            .saturating_sub(self.slots.len() as u64)
+            .max(cursor.min(head));
+        let mut out = Vec::with_capacity((head - oldest) as usize);
+        let mut t = head;
+        while t > oldest {
+            t -= 1;
+            match self.read_ticket(t) {
+                Some(ev) => out.push(ev),
+                None => break,
+            }
+        }
+        out.reverse();
+        (out, head)
+    }
+
     /// Dumps only events from the last `last_us` microseconds of
     /// recorded time (relative to the newest retained event).
     pub fn dump_last_us(&self, last_us: u64) -> Vec<ObsEvent> {
@@ -255,6 +282,43 @@ mod tests {
         let d = r.dump_last_us(250);
         // Newest t_us is 900; the window keeps 650..=900.
         assert_eq!(d.iter().map(|e| e.req).collect::<Vec<_>>(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn read_since_returns_only_new_events_and_advances_cursor() {
+        let r = FlightRecorder::with_capacity(16);
+        for i in 0..4u64 {
+            r.record(&ev(i, i));
+        }
+        let (first, cursor) = r.read_since(0);
+        assert_eq!(first.len(), 4);
+        assert_eq!(cursor, 4);
+        let (none, cursor) = r.read_since(cursor);
+        assert!(none.is_empty());
+        assert_eq!(cursor, 4);
+        for i in 4..7u64 {
+            r.record(&ev(i, i));
+        }
+        let (next, cursor) = r.read_since(cursor);
+        assert_eq!(
+            next.iter().map(|e| e.req).collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+        assert_eq!(cursor, 7);
+    }
+
+    #[test]
+    fn read_since_skips_the_prefix_lost_to_wrap() {
+        let r = FlightRecorder::with_capacity(8);
+        for i in 0..20u64 {
+            r.record(&ev(i, i));
+        }
+        // Cursor 2 was overwritten long ago: only the retained suffix
+        // (tickets 12..20) comes back.
+        let (evs, cursor) = r.read_since(2);
+        assert_eq!(evs.first().unwrap().req, 12);
+        assert_eq!(evs.last().unwrap().req, 19);
+        assert_eq!(cursor, 20);
     }
 
     #[test]

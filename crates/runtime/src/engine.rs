@@ -42,8 +42,12 @@ use pard_sim::{DetRng, SimDuration, SimTime};
 use crate::backend::InferenceBackend;
 use crate::clock::WallClock;
 
-/// Builds one backend per worker of a module.
-pub type BackendFactory = Box<dyn Fn(usize) -> Box<dyn InferenceBackend> + Send + Sync>;
+/// Builds one backend per worker of a module. Called sequentially at
+/// startup — module-major, worker-minor — with the module index and
+/// the engine's own clock (so wrappers like
+/// [`crate::ScriptedSlowdownBackend`] share the exact virtual-time
+/// origin the engine runs on).
+pub type BackendFactory = Box<dyn Fn(usize, &WallClock) -> Box<dyn InferenceBackend> + Send + Sync>;
 
 /// Configuration of the live engine.
 pub struct LiveConfig {
@@ -387,7 +391,7 @@ impl LiveCluster {
         for m in 0..shared.spec.modules.len() {
             for w in 0..config.workers_per_module[m] {
                 let shared = Arc::clone(&shared);
-                let backend = backend_factory(m);
+                let backend = backend_factory(m, &shared.clock);
                 handles.push(std::thread::spawn(move || {
                     worker_loop(shared, m, w, backend);
                 }));

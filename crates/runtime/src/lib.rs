@@ -13,6 +13,6 @@ pub mod backend;
 pub mod clock;
 pub mod engine;
 
-pub use backend::{CpuBackend, InferenceBackend, SleepBackend};
+pub use backend::{CpuBackend, InferenceBackend, ScriptedSlowdownBackend, SleepBackend};
 pub use clock::WallClock;
 pub use engine::{BackendFactory, Completion, EdgeState, LiveCluster, LiveConfig, SubmitOptions};

@@ -63,7 +63,7 @@ fn start(policy: PolicyFactory) -> LiveCluster {
         diamond(),
         profs,
         policy,
-        Box::new(move |m| Box::new(SleepBackend::new(backend_profs[m].clone(), SCALE))),
+        Box::new(move |m, _| Box::new(SleepBackend::new(backend_profs[m].clone(), SCALE))),
         LiveConfig::compressed(SCALE, 4, 1),
     )
 }

@@ -32,7 +32,7 @@ fn start(slo_ms: u64, workers: usize, pard: bool) -> LiveCluster {
         } else {
             Box::new(|_| Box::new(NaivePolicy::new()))
         },
-        Box::new(move |m| Box::new(SleepBackend::new(backend_profs[m].clone(), SCALE))),
+        Box::new(move |m, _| Box::new(SleepBackend::new(backend_profs[m].clone(), SCALE))),
         LiveConfig::compressed(SCALE, 3, workers),
     )
 }

@@ -18,11 +18,13 @@
 //! be fast anyway (see `pard-bench`'s `des` microbenchmark).
 
 pub mod event;
+pub mod interference;
 pub mod rng;
 pub mod time;
 pub mod token_bucket;
 
 pub use event::EventQueue;
+pub use interference::{markov_trace, walk_trace, MarkovParams, SlowdownTrace, WalkParams};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 pub use token_bucket::TokenBucket;
